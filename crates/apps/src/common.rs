@@ -1,0 +1,117 @@
+//! Shared sizing and math helpers for the application suite.
+
+/// Bytes per megabyte as the paper uses them (decimal).
+pub const MB: f64 = 1_000_000.0;
+
+/// Number of elements a dataset of `nominal_mb` megabytes holds at
+/// `bytes_per_element`.
+pub fn nominal_elements(nominal_mb: f64, bytes_per_element: usize) -> u64 {
+    assert!(nominal_mb > 0.0);
+    (nominal_mb * MB / bytes_per_element as f64).round() as u64
+}
+
+/// Number of elements actually generated when running at `scale`.
+pub fn physical_elements(nominal_mb: f64, scale: f64, bytes_per_element: usize) -> u64 {
+    let n = (nominal_elements(nominal_mb, bytes_per_element) as f64 * scale).round() as u64;
+    assert!(n > 0, "scale {scale} leaves no elements at {nominal_mb} MB");
+    n
+}
+
+/// Split `total` elements into chunks of roughly `per_chunk` elements.
+/// The chunk count is rounded up to a multiple of `granule` (capped at
+/// `total`) and element counts are balanced to within one.
+///
+/// The granule matters for parallel balance: the middleware statically
+/// assigns chunks to compute nodes, so a chunk count divisible by every
+/// node count in play (the paper grid tops out at 16) keeps per-node
+/// chunk counts exactly equal, as the demand-driven chunk delivery of a
+/// production repository would. Datasets at paper scale have hundreds to
+/// thousands of chunks, where this rounding is in the noise.
+pub fn chunk_sizes(total: u64, per_chunk: u64, granule: usize) -> Vec<u64> {
+    assert!(total > 0 && per_chunk > 0 && granule >= 1);
+    let by_size = total.div_ceil(per_chunk) as usize;
+    let num = by_size
+        .div_ceil(granule)
+        .max(1)
+        .saturating_mul(granule)
+        .min(total as usize)
+        .max(1);
+    (0..num as u64)
+        .map(|i| {
+            let lo = i * total / num as u64;
+            let hi = (i + 1) * total / num as u64;
+            hi - lo
+        })
+        .collect()
+}
+
+/// Squared Euclidean distance between two equal-length slices.
+#[inline]
+pub fn dist_sq(a: &[f32], b: &[f32]) -> f32 {
+    debug_assert_eq!(a.len(), b.len());
+    let mut acc = 0.0f32;
+    for (x, y) in a.iter().zip(b.iter()) {
+        let d = x - y;
+        acc += d * d;
+    }
+    acc
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn nominal_element_math() {
+        assert_eq!(nominal_elements(1.0, 4), 250_000);
+        assert_eq!(nominal_elements(1400.0, 32), 43_750_000);
+    }
+
+    #[test]
+    fn physical_elements_apply_scale() {
+        assert_eq!(physical_elements(1.0, 0.01, 4), 2_500);
+    }
+
+    #[test]
+    #[should_panic(expected = "leaves no elements")]
+    fn vanishing_scale_rejected() {
+        physical_elements(0.001, 1e-9, 32);
+    }
+
+    #[test]
+    fn chunk_sizes_cover_total_and_balance() {
+        let sizes = chunk_sizes(100, 30, 1);
+        assert_eq!(sizes.len(), 4);
+        assert_eq!(sizes.iter().sum::<u64>(), 100);
+        let (mn, mx) = (sizes.iter().min().unwrap(), sizes.iter().max().unwrap());
+        assert!(mx - mn <= 1);
+    }
+
+    #[test]
+    fn chunk_count_is_a_granule_multiple() {
+        let sizes = chunk_sizes(10_000, 300, 16);
+        // 34 raw chunks round up to 48.
+        assert_eq!(sizes.len(), 48);
+        assert_eq!(sizes.iter().sum::<u64>(), 10_000);
+    }
+
+    #[test]
+    fn granule_respected_when_size_suggests_fewer() {
+        let sizes = chunk_sizes(10, 100, 4);
+        assert_eq!(sizes.len(), 4);
+        assert_eq!(sizes.iter().sum::<u64>(), 10);
+    }
+
+    #[test]
+    fn chunk_count_never_exceeds_elements() {
+        let sizes = chunk_sizes(3, 100, 8);
+        assert_eq!(sizes.len(), 3);
+        assert!(sizes.iter().all(|&s| s == 1));
+    }
+
+    #[test]
+    fn dist_sq_basic() {
+        assert_eq!(dist_sq(&[0.0, 0.0], &[3.0, 4.0]), 25.0);
+        assert_eq!(dist_sq(&[], &[]), 0.0);
+    }
+}

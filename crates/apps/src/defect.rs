@@ -1,0 +1,946 @@
+//! Molecular defect detection and categorization (§4.5 of the paper).
+//!
+//! A two-phase feature-mining pipeline over a silicon lattice (modeled as
+//! a simple-cubic lattice with positional noise, which preserves the
+//! algorithmic structure at lower geometric complexity than the diamond
+//! lattice):
+//!
+//! 1. **Detection pass** — atoms with abnormal neighborhoods (wrong
+//!    coordination count, large displacement, or foreign species) are
+//!    marked and clustered into defect structures on the chunks local to
+//!    each node; defects spanning slab boundaries are joined in the
+//!    global combination, and the detected defects are re-broadcast.
+//! 2. **Categorization pass** — each node computes candidate classes for
+//!    the defects whose centroids fall in its chunks and shape-matches
+//!    them against the catalog; non-matching defects receive temporary
+//!    class assignments added to local catalogs, which the global
+//!    combination merges into a new catalog copy.
+//!
+//! Classes: defect lists and local catalogs are dataset-proportional —
+//! **linear** reduction objects with a **constant-linear** global
+//! reduction, matching the paper's classification.
+
+use fg_chunks::{codec, Chunk, Dataset, DatasetBuilder, Span};
+use fg_middleware::{ObjSize, PassOutcome, ReductionApp, ReductionObject, WorkMeter};
+use fg_sim::rng::stream_rng;
+use rand::Rng;
+
+/// Lattice extent in x and y (sites); z grows with dataset size. Kept
+/// small so even modest datasets span many z-layers and therefore many
+/// chunks (parallel balance needs chunk counts well above the node
+/// count).
+pub const LATTICE_XY: usize = 16;
+/// Bytes per atom: x, y, z, species — four f32.
+pub const BYTES_PER_ATOM: usize = 16;
+/// Owned z-layers per chunk.
+const LAYERS_PER_CHUNK: usize = 4;
+/// Positional noise amplitude (uniform, per axis).
+const NOISE: f32 = 0.05;
+/// Two atoms are lattice neighbors within this distance.
+const NEIGHBOR_CUTOFF: f32 = 1.2;
+/// Abnormal atoms within this distance belong to one defect.
+const CLUSTER_CUTOFF: f32 = 1.7;
+/// An atom further than this from its nearest site is displaced.
+const DISPLACEMENT_THRESHOLD: f32 = 0.25;
+/// Shape-match acceptance threshold.
+const MATCH_THRESHOLD: f32 = 0.5;
+
+/// Kinds of planted defects.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum DefectKind {
+    /// A missing atom; detected as its six under-coordinated neighbors.
+    Vacancy,
+    /// An extra atom at a cell center; detected as nine over-coordinated
+    /// atoms (the interstitial plus its eight corner neighbors).
+    Interstitial,
+    /// A foreign species on a regular site; detected as one atom.
+    Substitution,
+}
+
+/// Ground truth for one planted defect.
+#[derive(Debug, Clone, Copy)]
+pub struct PlantedDefect {
+    /// Defect type.
+    pub kind: DefectKind,
+    /// Lattice site of the defect center.
+    pub site: [i32; 3],
+}
+
+/// Generate a silicon lattice with planted defects. Returns the dataset
+/// and the ground truth.
+pub fn generate(id: &str, nominal_mb: f64, scale: f64, seed: u64) -> (Dataset, Vec<PlantedDefect>) {
+    let target_atoms =
+        crate::common::physical_elements(nominal_mb, scale, BYTES_PER_ATOM) as usize;
+    // Round the layer count so the chunk count is a multiple of 16 (see
+    // `common::chunk_sizes` for the balance rationale).
+    let slab = LAYERS_PER_CHUNK * 16;
+    let layers = (target_atoms / (LATTICE_XY * LATTICE_XY))
+        .max(slab)
+        .div_ceil(slab)
+        * slab;
+    let mut rng = stream_rng(seed, "defect-data");
+
+    // Plant defects on a coarse grid so no two interact (>= 6 sites apart,
+    // >= 3 from every border).
+    let count = (target_atoms / 5_000).max(3);
+    let mut planted = Vec::with_capacity(count);
+    let mut used = std::collections::BTreeSet::new();
+    let kinds = [DefectKind::Vacancy, DefectKind::Interstitial, DefectKind::Substitution];
+    let mut attempts = 0;
+    while planted.len() < count && attempts < count * 100 {
+        attempts += 1;
+        let sx = rng.gen_range(3..(LATTICE_XY as i32 - 3));
+        let sy = rng.gen_range(3..(LATTICE_XY as i32 - 3));
+        let sz = rng.gen_range(3..(layers as i32 - 3));
+        let cell = (sx / 6, sy / 6, sz / 6);
+        if used.contains(&cell) {
+            continue;
+        }
+        used.insert(cell);
+        planted.push(PlantedDefect {
+            kind: kinds[planted.len() % kinds.len()],
+            site: [sx, sy, sz],
+        });
+    }
+
+    let vacancies: std::collections::BTreeSet<[i32; 3]> = planted
+        .iter()
+        .filter(|p| p.kind == DefectKind::Vacancy)
+        .map(|p| p.site)
+        .collect();
+    let substitutions: std::collections::BTreeSet<[i32; 3]> = planted
+        .iter()
+        .filter(|p| p.kind == DefectKind::Substitution)
+        .map(|p| p.site)
+        .collect();
+
+    // Emit atoms layer by layer, then slice into halo-overlapped slabs.
+    let mut layer_atoms: Vec<Vec<f32>> = vec![Vec::new(); layers];
+    for z in 0..layers as i32 {
+        let atoms = &mut layer_atoms[z as usize];
+        for x in 0..LATTICE_XY as i32 {
+            for y in 0..LATTICE_XY as i32 {
+                if vacancies.contains(&[x, y, z]) {
+                    continue;
+                }
+                let species = if substitutions.contains(&[x, y, z]) { 1.0 } else { 0.0 };
+                atoms.extend_from_slice(&[
+                    x as f32 + rng.gen_range(-NOISE..NOISE),
+                    y as f32 + rng.gen_range(-NOISE..NOISE),
+                    z as f32 + rng.gen_range(-NOISE..NOISE),
+                    species,
+                ]);
+            }
+        }
+    }
+    for p in &planted {
+        if p.kind == DefectKind::Interstitial {
+            let [x, y, z] = p.site;
+            layer_atoms[z as usize].extend_from_slice(&[
+                x as f32 + 0.5,
+                y as f32 + 0.5,
+                z as f32 + 0.5,
+                0.0,
+            ]);
+        }
+    }
+
+    let mut builder = DatasetBuilder::new(id, "si-lattice", scale);
+    let mut z0 = 0usize;
+    while z0 < layers {
+        let z1 = (z0 + LAYERS_PER_CHUNK).min(layers);
+        let halo_before = usize::from(z0 > 0);
+        let halo_after = usize::from(z1 < layers);
+        let mut payload = Vec::new();
+        let mut owned = 0u64;
+        for z in (z0 - halo_before)..(z1 + halo_after) {
+            payload.extend_from_slice(&layer_atoms[z]);
+            if z >= z0 && z < z1 {
+                owned += (layer_atoms[z].len() / 4) as u64;
+            }
+        }
+        builder.push_chunk(
+            codec::encode_f32s(&payload),
+            owned,
+            Some(Span {
+                begin: z0 as u64,
+                end: z1 as u64,
+                halo_before: halo_before as u64,
+                halo_after: halo_after as u64,
+            }),
+        );
+        z0 = z1;
+    }
+    (builder.build(), planted)
+}
+
+/// Shape signature: mean and spread of atom distances from the centroid,
+/// atom count, and foreign-species fraction. Robust to positional noise,
+/// separable across the planted defect types.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct Signature {
+    /// Mean distance from centroid.
+    pub mean_r: f32,
+    /// Standard deviation of distances.
+    pub std_r: f32,
+    /// Atom count.
+    pub atoms: f32,
+    /// Fraction of foreign-species atoms.
+    pub foreign: f32,
+}
+
+impl Signature {
+    /// Compute from atom positions and species.
+    pub fn from_atoms(atoms: &[[f32; 4]]) -> Signature {
+        let n = atoms.len() as f32;
+        let mut c = [0.0f32; 3];
+        let mut foreign = 0.0;
+        for a in atoms {
+            for d in 0..3 {
+                c[d] += a[d];
+            }
+            if a[3] != 0.0 {
+                foreign += 1.0;
+            }
+        }
+        for v in &mut c {
+            *v /= n;
+        }
+        let rs: Vec<f32> = atoms
+            .iter()
+            .map(|a| {
+                ((a[0] - c[0]).powi(2) + (a[1] - c[1]).powi(2) + (a[2] - c[2]).powi(2)).sqrt()
+            })
+            .collect();
+        let mean = rs.iter().sum::<f32>() / n;
+        let var = rs.iter().map(|r| (r - mean).powi(2)).sum::<f32>() / n;
+        Signature {
+            mean_r: mean,
+            std_r: var.sqrt(),
+            atoms: n,
+            foreign: foreign / n,
+        }
+    }
+
+    /// Shape distance used for catalog matching.
+    pub fn distance(&self, other: &Signature) -> f32 {
+        (self.mean_r - other.mean_r).abs()
+            + (self.std_r - other.std_r).abs()
+            + (self.atoms - other.atoms).abs() / self.atoms.max(other.atoms)
+            + (self.foreign - other.foreign).abs()
+    }
+
+    /// Canonical templates for the planted defect types (ideal geometry):
+    /// the seeded defect catalog.
+    pub fn canonical_catalog() -> Vec<Signature> {
+        let vacancy: Vec<[f32; 4]> = vec![
+            [1.0, 0.0, 0.0, 0.0],
+            [-1.0, 0.0, 0.0, 0.0],
+            [0.0, 1.0, 0.0, 0.0],
+            [0.0, -1.0, 0.0, 0.0],
+            [0.0, 0.0, 1.0, 0.0],
+            [0.0, 0.0, -1.0, 0.0],
+        ];
+        let mut interstitial: Vec<[f32; 4]> = vec![[0.5, 0.5, 0.5, 0.0]];
+        for dx in [0.0f32, 1.0] {
+            for dy in [0.0f32, 1.0] {
+                for dz in [0.0f32, 1.0] {
+                    interstitial.push([dx, dy, dz, 0.0]);
+                }
+            }
+        }
+        let substitution: Vec<[f32; 4]> = vec![[0.0, 0.0, 0.0, 1.0]];
+        vec![
+            Signature::from_atoms(&vacancy),
+            Signature::from_atoms(&interstitial),
+            Signature::from_atoms(&substitution),
+        ]
+    }
+}
+
+/// A defect fragment detected within one chunk.
+#[derive(Debug, Clone)]
+pub struct Fragment {
+    /// Atom records (x, y, z, species).
+    pub atoms: Vec<[f32; 4]>,
+    /// First owned z-layer of the source chunk.
+    pub chunk_first: u64,
+    /// Last owned z-layer of the source chunk.
+    pub chunk_last: u64,
+    /// Occupied (x*L + y) cells on `chunk_first`, sorted.
+    pub cells_first: Vec<u16>,
+    /// Occupied cells on `chunk_last`, sorted.
+    pub cells_last: Vec<u16>,
+}
+
+/// A joined defect with its shape signature.
+#[derive(Debug, Clone)]
+pub struct Defect {
+    /// Centroid position.
+    pub centroid: [f32; 3],
+    /// Atom count.
+    pub atoms: u64,
+    /// Shape signature.
+    pub signature: Signature,
+}
+
+/// Reduction object for the detection pass.
+#[derive(Debug, Clone, Default)]
+pub struct DetectObj {
+    /// Fragments found so far.
+    pub fragments: Vec<Fragment>,
+}
+
+/// Class assignment of one defect during categorization.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Match {
+    /// Matched an existing catalog class.
+    Catalog(u32),
+    /// Novel shape: index into the object's `new_templates`.
+    Novel(u32),
+}
+
+/// Reduction object for the categorization pass.
+#[derive(Debug, Clone, Default)]
+pub struct CategorizeObj {
+    /// (defect index, match) pairs.
+    pub assignments: Vec<(u32, Match)>,
+    /// Temporary class templates created by this node.
+    pub new_templates: Vec<Signature>,
+}
+
+/// The reduction object across both passes.
+#[derive(Debug, Clone)]
+pub enum DefectObj {
+    /// Detection-pass accumulator.
+    Detect(DetectObj),
+    /// Categorization-pass accumulator.
+    Categorize(CategorizeObj),
+}
+
+impl ReductionObject for DefectObj {
+    fn merge(&mut self, other: &Self, meter: &mut WorkMeter) {
+        match (self, other) {
+            (DefectObj::Detect(a), DefectObj::Detect(b)) => {
+                meter.data_mem(b.fragments.iter().map(|f| f.atoms.len() as u64 + 4).sum());
+                a.fragments.extend_from_slice(&b.fragments);
+            }
+            (DefectObj::Categorize(a), DefectObj::Categorize(b)) => {
+                let offset = a.new_templates.len() as u32;
+                for (d, m) in &b.assignments {
+                    let m = match m {
+                        Match::Catalog(c) => Match::Catalog(*c),
+                        Match::Novel(i) => Match::Novel(i + offset),
+                    };
+                    a.assignments.push((*d, m));
+                }
+                a.new_templates.extend_from_slice(&b.new_templates);
+                meter.data_mem(b.assignments.len() as u64 + b.new_templates.len() as u64 * 4);
+            }
+            _ => panic!("cannot merge reduction objects from different passes"),
+        }
+    }
+
+    fn size(&self) -> ObjSize {
+        match self {
+            DefectObj::Detect(o) => ObjSize {
+                fixed: 16,
+                data: o
+                    .fragments
+                    .iter()
+                    .map(|f| {
+                        16 * f.atoms.len() as u64
+                            + 2 * (f.cells_first.len() + f.cells_last.len()) as u64
+                            + 24
+                    })
+                    .sum(),
+            },
+            DefectObj::Categorize(o) => ObjSize {
+                fixed: 16,
+                data: o.assignments.len() as u64 * 8 + o.new_templates.len() as u64 * 16,
+            },
+        }
+    }
+}
+
+/// The broadcast state across the two passes.
+#[derive(Debug, Clone)]
+pub enum DefectState {
+    /// Pass 0: detect.
+    Detect,
+    /// Pass 1: categorize the detected defects against the catalog.
+    Categorize {
+        /// Defects from the detection pass.
+        defects: Vec<Defect>,
+        /// Current catalog.
+        catalog: Vec<Signature>,
+    },
+    /// Final result.
+    Done {
+        /// Detected defects.
+        defects: Vec<Defect>,
+        /// Class of each defect (index into `catalog`).
+        classes: Vec<u32>,
+        /// Final catalog (seeded templates plus novel classes).
+        catalog: Vec<Signature>,
+    },
+}
+
+/// The molecular defect detection application.
+pub struct DefectDetect {
+    /// Total z-layers of the lattice (needed for boundary coordination
+    /// counts); read from the generated dataset.
+    pub total_layers: u64,
+}
+
+impl DefectDetect {
+    /// Build for a dataset produced by [`generate`].
+    pub fn for_dataset(dataset: &Dataset) -> DefectDetect {
+        let total_layers = dataset
+            .chunks
+            .iter()
+            .map(|c| c.span.expect("lattice chunks carry spans").end)
+            .max()
+            .unwrap_or(0);
+        DefectDetect { total_layers }
+    }
+
+    /// Detect defect fragments within one chunk.
+    pub fn detect_in_chunk(&self, chunk: &Chunk, meter: &mut WorkMeter) -> Vec<Fragment> {
+        let span = chunk.span.expect("lattice chunks carry spans");
+        let vals = codec::decode_f32s(&chunk.payload);
+        let atoms: Vec<[f32; 4]> = vals
+            .chunks_exact(4)
+            .map(|a| [a[0], a[1], a[2], a[3]])
+            .collect();
+        let l = LATTICE_XY as i32;
+        let z_lo = span.begin as i64 - span.halo_before as i64;
+        let z_hi = span.end as i64 + span.halo_after as i64;
+        let stored_layers = (z_hi - z_lo) as usize;
+
+        // Dense site-grid over the stored slab for neighbor queries.
+        let cell_of = |a: &[f32; 4]| -> Option<usize> {
+            let ix = a[0].round() as i32;
+            let iy = a[1].round() as i32;
+            let iz = a[2].round() as i64;
+            if ix < 0 || ix >= l || iy < 0 || iy >= l || iz < z_lo || iz >= z_hi {
+                return None;
+            }
+            Some(((iz - z_lo) as usize * LATTICE_XY + ix as usize) * LATTICE_XY + iy as usize)
+        };
+        let mut grid: Vec<Vec<u32>> = vec![Vec::new(); stored_layers * LATTICE_XY * LATTICE_XY];
+        for (i, a) in atoms.iter().enumerate() {
+            if let Some(c) = cell_of(a) {
+                grid[c].push(i as u32);
+            }
+        }
+
+        // Mark abnormal owned atoms.
+        let mut abnormal: Vec<u32> = Vec::new();
+        let mut query_ops = 0u64;
+        for (i, a) in atoms.iter().enumerate() {
+            let iz_site = a[2].round() as i64;
+            if iz_site < span.begin as i64 || iz_site >= span.end as i64 {
+                continue; // halo atom: owned by a neighboring chunk
+            }
+            let ix = a[0].round() as i32;
+            let iy = a[1].round() as i32;
+            let displacement = ((a[0] - ix as f32).powi(2)
+                + (a[1] - iy as f32).powi(2)
+                + (a[2] - iz_site as f32).powi(2))
+            .sqrt();
+            // Coordination count within the cutoff.
+            let mut neighbors = 0u32;
+            for dz in -1i64..=1 {
+                for dx in -1i32..=1 {
+                    for dy in -1i32..=1 {
+                        let (nx, ny, nz) = (ix + dx, iy + dy, iz_site + dz);
+                        if nx < 0 || nx >= l || ny < 0 || ny >= l || nz < z_lo || nz >= z_hi {
+                            continue;
+                        }
+                        let cell = ((nz - z_lo) as usize * LATTICE_XY + nx as usize) * LATTICE_XY
+                            + ny as usize;
+                        for &j in &grid[cell] {
+                            if j as usize == i {
+                                continue;
+                            }
+                            let b = &atoms[j as usize];
+                            let d2 = (a[0] - b[0]).powi(2)
+                                + (a[1] - b[1]).powi(2)
+                                + (a[2] - b[2]).powi(2);
+                            query_ops += 1;
+                            if d2 < NEIGHBOR_CUTOFF * NEIGHBOR_CUTOFF {
+                                neighbors += 1;
+                            }
+                        }
+                    }
+                }
+            }
+            // Expected coordination from in-bounds neighbor sites.
+            let mut expected = 0u32;
+            for (dx, dy, dz) in
+                [(1, 0, 0), (-1, 0, 0), (0, 1, 0), (0, -1, 0), (0, 0, 1), (0, 0, -1)]
+            {
+                let (nx, ny, nz) = (ix + dx, iy + dy, iz_site + dz);
+                if nx >= 0
+                    && nx < l
+                    && ny >= 0
+                    && ny < l
+                    && nz >= 0
+                    && nz < self.total_layers as i64
+                {
+                    expected += 1;
+                }
+            }
+            if neighbors != expected || displacement > DISPLACEMENT_THRESHOLD || a[3] != 0.0 {
+                abnormal.push(i as u32);
+            }
+        }
+        meter.data_flops(query_ops * 8 + atoms.len() as u64 * 6);
+        meter.data_mem(atoms.len() as u64 * 30);
+        meter.data_cmp(query_ops + atoms.len() as u64 * 8);
+
+        // Cluster abnormal atoms (pairwise union-find: defects are tiny).
+        let m = abnormal.len();
+        let mut parent: Vec<u32> = (0..m as u32).collect();
+        fn find(parent: &mut [u32], mut x: u32) -> u32 {
+            while parent[x as usize] != x {
+                parent[x as usize] = parent[parent[x as usize] as usize];
+                x = parent[x as usize];
+            }
+            x
+        }
+        for i in 0..m {
+            for j in (i + 1)..m {
+                let a = &atoms[abnormal[i] as usize];
+                let b = &atoms[abnormal[j] as usize];
+                let d2 =
+                    (a[0] - b[0]).powi(2) + (a[1] - b[1]).powi(2) + (a[2] - b[2]).powi(2);
+                if d2 < CLUSTER_CUTOFF * CLUSTER_CUTOFF {
+                    let (ra, rb) = (find(&mut parent, i as u32), find(&mut parent, j as u32));
+                    parent[ra as usize] = rb;
+                }
+            }
+        }
+        meter.data_cmp((m * m) as u64);
+
+        // Build fragments with slab-boundary fingerprints.
+        let mut by_root = std::collections::BTreeMap::<u32, Fragment>::new();
+        for (i, &ai) in abnormal.iter().enumerate() {
+            let root = find(&mut parent, i as u32);
+            let a = atoms[ai as usize];
+            let frag = by_root.entry(root).or_insert_with(|| Fragment {
+                atoms: Vec::new(),
+                chunk_first: span.begin,
+                chunk_last: span.end - 1,
+                cells_first: Vec::new(),
+                cells_last: Vec::new(),
+            });
+            let iz = a[2].round() as u64;
+            let cell = (a[0].round() as u16) * LATTICE_XY as u16 + a[1].round() as u16;
+            if iz == span.begin {
+                frag.cells_first.push(cell);
+            }
+            if iz == span.end - 1 {
+                frag.cells_last.push(cell);
+            }
+            frag.atoms.push(a);
+        }
+        let mut frags: Vec<Fragment> = by_root.into_values().collect();
+        for f in &mut frags {
+            f.cells_first.sort_unstable();
+            f.cells_last.sort_unstable();
+        }
+        frags
+    }
+
+    /// Join fragments across slab boundaries and compute signatures.
+    pub fn combine(&self, fragments: Vec<Fragment>, meter: &mut WorkMeter) -> Vec<Defect> {
+        let n = fragments.len();
+        let mut parent: Vec<u32> = (0..n as u32).collect();
+        fn find(parent: &mut [u32], mut x: u32) -> u32 {
+            while parent[x as usize] != x {
+                parent[x as usize] = parent[parent[x as usize] as usize];
+                x = parent[x as usize];
+            }
+            x
+        }
+        let mut by_last = std::collections::BTreeMap::<u64, Vec<usize>>::new();
+        let mut by_first = std::collections::BTreeMap::<u64, Vec<usize>>::new();
+        for (i, f) in fragments.iter().enumerate() {
+            if !f.cells_last.is_empty() {
+                by_last.entry(f.chunk_last).or_default().push(i);
+            }
+            if !f.cells_first.is_empty() && f.chunk_first > 0 {
+                by_first.entry(f.chunk_first - 1).or_default().push(i);
+            }
+        }
+        let mut join_ops = 0u64;
+        for (layer, uppers) in &by_last {
+            let Some(lowers) = by_first.get(layer) else { continue };
+            for &a in uppers {
+                for &b in lowers {
+                    join_ops += 1;
+                    if cells_adjacent(&fragments[a].cells_last, &fragments[b].cells_first) {
+                        let (ra, rb) = (find(&mut parent, a as u32), find(&mut parent, b as u32));
+                        parent[ra as usize] = rb;
+                    }
+                }
+            }
+        }
+        let mut grouped = std::collections::BTreeMap::<u32, Vec<[f32; 4]>>::new();
+        for (i, f) in fragments.iter().enumerate() {
+            let root = find(&mut parent, i as u32);
+            grouped.entry(root).or_default().extend_from_slice(&f.atoms);
+        }
+        meter.data_cmp(join_ops * 8 + n as u64);
+        // Exact shape verification of every joined defect at the master
+        // (atom-level alignment against the lattice): dataset-proportional
+        // work — the constant-linear global-reduction class.
+        let total_atoms: u64 = grouped.values().map(|a| a.len() as u64).sum();
+        meter.data_flops(total_atoms * 300);
+        meter.data_mem(total_atoms * 60);
+        let defects: Vec<Defect> = grouped
+            .into_values()
+            .map(|atoms| {
+                let sig = Signature::from_atoms(&atoms);
+                let mut c = [0.0f32; 3];
+                for a in &atoms {
+                    for d in 0..3 {
+                        c[d] += a[d];
+                    }
+                }
+                for v in &mut c {
+                    *v /= atoms.len() as f32;
+                }
+                Defect { centroid: c, atoms: atoms.len() as u64, signature: sig }
+            })
+            .collect();
+        meter.data_flops(defects.iter().map(|d| d.atoms * 12).sum());
+        defects
+    }
+}
+
+/// Are any two cells (one from each sorted list) in the same or a
+/// face-adjacent (x, y) position? Used for joining fragments across a
+/// one-layer z gap.
+fn cells_adjacent(a: &[u16], b: &[u16]) -> bool {
+    let l = LATTICE_XY as i32;
+    for &ca in a {
+        let (ax, ay) = ((ca as i32) / l, (ca as i32) % l);
+        for &cb in b {
+            let (bx, by) = ((cb as i32) / l, (cb as i32) % l);
+            let (dx, dy) = ((ax - bx).abs(), (ay - by).abs());
+            if dx <= 1 && dy <= 1 {
+                return true;
+            }
+        }
+    }
+    false
+}
+
+impl ReductionApp for DefectDetect {
+    type Obj = DefectObj;
+    type State = DefectState;
+
+    fn name(&self) -> &str {
+        "defect"
+    }
+
+    fn initial_state(&self) -> DefectState {
+        DefectState::Detect
+    }
+
+    fn new_object(&self, state: &DefectState) -> DefectObj {
+        match state {
+            DefectState::Detect => DefectObj::Detect(DetectObj::default()),
+            _ => DefectObj::Categorize(CategorizeObj::default()),
+        }
+    }
+
+    fn local_reduce(
+        &self,
+        state: &DefectState,
+        chunk: &Chunk,
+        obj: &mut DefectObj,
+        meter: &mut WorkMeter,
+    ) {
+        match (state, obj) {
+            (DefectState::Detect, DefectObj::Detect(o)) => {
+                o.fragments.extend(self.detect_in_chunk(chunk, meter));
+            }
+            (DefectState::Categorize { defects, catalog }, DefectObj::Categorize(o)) => {
+                let span = chunk.span.expect("span");
+                let total = self.total_layers as i64;
+                for (di, defect) in defects.iter().enumerate() {
+                    let z = (defect.centroid[2].round() as i64).clamp(0, total - 1) as u64;
+                    if z < span.begin || z >= span.end {
+                        continue;
+                    }
+                    // Candidate classes: best catalog match, then local
+                    // temporary classes.
+                    let mut best: Option<(f32, Match)> = None;
+                    for (ci, t) in catalog.iter().enumerate() {
+                        let d = defect.signature.distance(t);
+                        if best.map_or(true, |(bd, _)| d < bd) {
+                            best = Some((d, Match::Catalog(ci as u32)));
+                        }
+                    }
+                    for (ti, t) in o.new_templates.iter().enumerate() {
+                        let d = defect.signature.distance(t);
+                        if best.map_or(true, |(bd, _)| d < bd) {
+                            best = Some((d, Match::Novel(ti as u32)));
+                        }
+                    }
+                    meter.data_flops(((catalog.len() + o.new_templates.len()) * 8) as u64);
+                    meter.data_cmp((catalog.len() + o.new_templates.len()) as u64);
+                    let m = match best {
+                        Some((d, m)) if d < MATCH_THRESHOLD => m,
+                        _ => {
+                            o.new_templates.push(defect.signature);
+                            Match::Novel(o.new_templates.len() as u32 - 1)
+                        }
+                    };
+                    o.assignments.push((di as u32, m));
+                }
+                // The scan over the chunk itself (exact shape matching
+                // re-reads the atoms around each candidate).
+                meter.data_mem(chunk.elements * 4);
+            }
+            _ => unreachable!("state and object pass mismatch"),
+        }
+    }
+
+    fn global_finalize(
+        &self,
+        state: &DefectState,
+        merged: DefectObj,
+        meter: &mut WorkMeter,
+    ) -> PassOutcome<DefectState> {
+        match (state, merged) {
+            (DefectState::Detect, DefectObj::Detect(o)) => {
+                let defects = self.combine(o.fragments, meter);
+                PassOutcome::NextPass(DefectState::Categorize {
+                    defects,
+                    catalog: Signature::canonical_catalog(),
+                })
+            }
+            (DefectState::Categorize { defects, catalog }, DefectObj::Categorize(o)) => {
+                // Merge temporary classes: greedy dedup in template order.
+                let mut final_catalog = catalog.clone();
+                let mut novel_map = Vec::with_capacity(o.new_templates.len());
+                for t in &o.new_templates {
+                    let found = final_catalog[catalog.len()..]
+                        .iter()
+                        .position(|u| t.distance(u) < MATCH_THRESHOLD)
+                        .map(|p| (catalog.len() + p) as u32);
+                    meter.data_flops((final_catalog.len() - catalog.len()) as u64 * 8 + 8);
+                    match found {
+                        Some(id) => novel_map.push(id),
+                        None => {
+                            final_catalog.push(*t);
+                            novel_map.push(final_catalog.len() as u32 - 1);
+                        }
+                    }
+                }
+                let mut classes = vec![u32::MAX; defects.len()];
+                for (di, m) in &o.assignments {
+                    classes[*di as usize] = match m {
+                        Match::Catalog(c) => *c,
+                        Match::Novel(i) => novel_map[*i as usize],
+                    };
+                }
+                meter.data_mem(o.assignments.len() as u64 * 2);
+                assert!(
+                    classes.iter().all(|&c| c != u32::MAX),
+                    "some defects were never categorized"
+                );
+                PassOutcome::Finished(DefectState::Done {
+                    defects: defects.clone(),
+                    classes,
+                    catalog: final_catalog,
+                })
+            }
+            _ => unreachable!("state and object pass mismatch"),
+        }
+    }
+
+    fn state_size(&self, state: &DefectState) -> ObjSize {
+        match state {
+            DefectState::Detect => ObjSize { fixed: 8, data: 0 },
+            DefectState::Categorize { defects, catalog } => ObjSize {
+                fixed: 16 + catalog.len() as u64 * 16,
+                data: defects.len() as u64 * 32,
+            },
+            DefectState::Done { defects, catalog, .. } => ObjSize {
+                fixed: 16 + catalog.len() as u64 * 16,
+                data: defects.len() as u64 * 36,
+            },
+        }
+    }
+
+    fn caches(&self) -> bool {
+        true
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use fg_cluster::{ComputeSite, Configuration, Deployment, RepositorySite, Wan};
+    use fg_middleware::Executor;
+
+    fn deployment(n: usize, c: usize) -> Deployment {
+        Deployment::new(
+            RepositorySite::pentium_repository("repo", 8),
+            ComputeSite::pentium_myrinet("cs", 16),
+            Wan::per_stream(1e6),
+            Configuration::new(n, c),
+        )
+    }
+
+    fn run(ds: &Dataset, n: usize, c: usize) -> (Vec<Defect>, Vec<u32>, Vec<Signature>) {
+        let app = DefectDetect::for_dataset(ds);
+        match Executor::new(deployment(n, c)).run(&app, ds).final_state {
+            DefectState::Done { defects, classes, catalog } => (defects, classes, catalog),
+            _ => panic!("did not finish"),
+        }
+    }
+
+    #[test]
+    fn finds_every_planted_defect() {
+        let (ds, planted) = generate("df-count", 2.0, 0.01, 55);
+        let (defects, _, _) = run(&ds, 2, 4);
+        assert_eq!(defects.len(), planted.len(), "defect count mismatch");
+        for p in &planted {
+            let target = [p.site[0] as f32, p.site[1] as f32, p.site[2] as f32];
+            let nearest = defects
+                .iter()
+                .map(|d| {
+                    (0..3)
+                        .map(|i| (d.centroid[i] - target[i]).powi(2))
+                        .sum::<f32>()
+                        .sqrt()
+                })
+                .fold(f32::INFINITY, f32::min);
+            assert!(nearest < 1.5, "planted {:?} at {:?} not located", p.kind, p.site);
+        }
+    }
+
+    #[test]
+    fn expected_atom_counts_per_kind() {
+        let (ds, planted) = generate("df-size", 2.0, 0.01, 56);
+        let (defects, _, _) = run(&ds, 1, 1);
+        for p in &planted {
+            let target = [p.site[0] as f32, p.site[1] as f32, p.site[2] as f32];
+            let d = defects
+                .iter()
+                .min_by(|a, b| {
+                    let da: f32 = (0..3).map(|i| (a.centroid[i] - target[i]).powi(2)).sum();
+                    let db: f32 = (0..3).map(|i| (b.centroid[i] - target[i]).powi(2)).sum();
+                    da.total_cmp(&db)
+                })
+                .unwrap();
+            let expect = match p.kind {
+                DefectKind::Vacancy => 6,
+                DefectKind::Interstitial => 9,
+                DefectKind::Substitution => 1,
+            };
+            assert_eq!(d.atoms, expect, "{:?} at {:?}", p.kind, p.site);
+        }
+    }
+
+    #[test]
+    fn categorization_matches_canonical_classes() {
+        let (ds, planted) = generate("df-class", 2.0, 0.01, 57);
+        let (defects, classes, catalog) = run(&ds, 2, 8);
+        // Canonical catalog: 0 = vacancy, 1 = interstitial, 2 = substitution.
+        assert_eq!(catalog.len(), 3, "no novel classes expected for clean defects");
+        for p in &planted {
+            let target = [p.site[0] as f32, p.site[1] as f32, p.site[2] as f32];
+            let (di, _) = defects
+                .iter()
+                .enumerate()
+                .min_by(|(_, a), (_, b)| {
+                    let da: f32 = (0..3).map(|i| (a.centroid[i] - target[i]).powi(2)).sum();
+                    let db: f32 = (0..3).map(|i| (b.centroid[i] - target[i]).powi(2)).sum();
+                    da.total_cmp(&db)
+                })
+                .unwrap();
+            let expect = match p.kind {
+                DefectKind::Vacancy => 0,
+                DefectKind::Interstitial => 1,
+                DefectKind::Substitution => 2,
+            };
+            assert_eq!(classes[di], expect, "{:?} misclassified", p.kind);
+        }
+    }
+
+    #[test]
+    fn result_is_configuration_independent() {
+        let (ds, _) = generate("df-cfg", 60.0, 0.01, 58);
+        let (d1, c1, k1) = run(&ds, 1, 1);
+        let (d2, c2, k2) = run(&ds, 8, 16);
+        assert_eq!(d1.len(), d2.len());
+        assert_eq!(c1, c2);
+        assert_eq!(k1.len(), k2.len());
+    }
+
+    #[test]
+    fn two_passes_with_cache() {
+        let (ds, _) = generate("df-pass", 2.0, 0.01, 59);
+        let app = DefectDetect::for_dataset(&ds);
+        let report = Executor::new(deployment(2, 2)).run(&app, &ds).report;
+        assert_eq!(report.num_passes(), 2);
+        assert!(report.passes[1].retrieval.is_zero(), "pass 2 must hit the cache");
+        assert!(report.passes[1].network.is_zero());
+    }
+
+    #[test]
+    fn object_is_linear_class() {
+        let (ds, _) = generate("df-lin", 4.0, 0.01, 60);
+        let app = DefectDetect::for_dataset(&ds);
+        let mut obj = app.new_object(&DefectState::Detect);
+        let mut meter = WorkMeter::new();
+        let mut grew = false;
+        let mut prev = 0;
+        for chunk in &ds.chunks {
+            app.local_reduce(&DefectState::Detect, chunk, &mut obj, &mut meter);
+            let now = obj.size().data;
+            if now > prev {
+                grew = true;
+            }
+            prev = now;
+        }
+        assert!(grew, "defect object must grow with data volume");
+    }
+
+    #[test]
+    fn signature_separates_canonical_shapes() {
+        let catalog = Signature::canonical_catalog();
+        for i in 0..catalog.len() {
+            for j in 0..catalog.len() {
+                let d = catalog[i].distance(&catalog[j]);
+                if i == j {
+                    assert!(d < 1e-6);
+                } else {
+                    assert!(
+                        d > MATCH_THRESHOLD,
+                        "templates {i} and {j} too close: {d}"
+                    );
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn cells_adjacency_rules() {
+        let l = LATTICE_XY as u16;
+        let cell = |x: u16, y: u16| x * l + y;
+        assert!(cells_adjacent(&[cell(5, 5)], &[cell(5, 5)]));
+        assert!(cells_adjacent(&[cell(5, 5)], &[cell(6, 5)]));
+        assert!(cells_adjacent(&[cell(5, 5)], &[cell(6, 6)]));
+        assert!(!cells_adjacent(&[cell(5, 5)], &[cell(7, 5)]));
+        assert!(!cells_adjacent(&[], &[cell(1, 1)]));
+    }
+}

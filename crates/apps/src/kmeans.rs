@@ -1,0 +1,414 @@
+//! k-means clustering (§4.1 of the paper).
+//!
+//! Points are partitioned among the nodes; each node accumulates, per
+//! cluster, the local sum of its assigned points and their count; the
+//! global reduction combines the local sums and moves the centers.
+//!
+//! Classes: the reduction object is `k` centroid accumulators —
+//! **constant** size; the global reduction merges `c` fixed-size objects
+//! — **linear-constant** (`T_g ∝ c`, independent of dataset size).
+
+use crate::common::{chunk_sizes, dist_sq, physical_elements};
+use fg_chunks::{codec, Chunk, Dataset, DatasetBuilder};
+use fg_middleware::{ObjSize, PassOutcome, ReductionApp, ReductionObject, WorkMeter};
+use fg_sim::rng::stream_rng;
+use rand::Rng;
+
+/// Dimensionality of the point space.
+pub const DIM: usize = 8;
+/// Bytes per point on the wire.
+pub const BYTES_PER_POINT: usize = DIM * 4;
+/// Logical chunk size: 2 MB, "manageable for the repository nodes".
+const CHUNK_BYTES: u64 = 2_000_000;
+
+/// Generate a clustered point dataset: `k_true` Gaussian blobs in
+/// `[0, 100]^DIM` plus 5% uniform background noise.
+pub fn generate(id: &str, nominal_mb: f64, scale: f64, seed: u64, k_true: usize) -> Dataset {
+    let total = physical_elements(nominal_mb, scale, BYTES_PER_POINT);
+    let mut rng = stream_rng(seed, "kmeans-data");
+    let centers: Vec<[f32; DIM]> = (0..k_true)
+        .map(|_| std::array::from_fn(|_| rng.gen_range(10.0..90.0)))
+        .collect();
+    let per_chunk = (CHUNK_BYTES as f64 * scale / BYTES_PER_POINT as f64).max(1.0) as u64;
+    let mut builder = DatasetBuilder::new(id, "kmeans-points", scale);
+    for count in chunk_sizes(total, per_chunk, 16) {
+        let mut vals = Vec::with_capacity(count as usize * DIM);
+        for _ in 0..count {
+            if rng.gen_bool(0.05) {
+                for _ in 0..DIM {
+                    vals.push(rng.gen_range(0.0f32..100.0));
+                }
+            } else {
+                let c = &centers[rng.gen_range(0..k_true)];
+                for d in 0..DIM {
+                    // Sum of three uniforms: cheap approximately-normal
+                    // jitter with sigma ~= 2.9.
+                    let jitter: f32 =
+                        rng.gen_range(-5.0f32..5.0) + rng.gen_range(-5.0f32..5.0) + rng.gen_range(-5.0f32..5.0);
+                    vals.push(c[d] + jitter * 0.58);
+                }
+            }
+        }
+        builder.push_chunk(codec::encode_f32s(&vals), count, None);
+    }
+    builder.build()
+}
+
+/// The broadcast state: current centers and the pass counter.
+#[derive(Debug, Clone)]
+pub struct KMeansState {
+    /// Current cluster centers.
+    pub centroids: Vec<[f32; DIM]>,
+    /// Passes completed so far.
+    pub pass: usize,
+    /// Sum of squared distances from the previous assignment (for
+    /// monitoring convergence).
+    pub sse: f64,
+}
+
+/// Per-node accumulator: per-cluster coordinate sums and counts.
+#[derive(Debug, Clone)]
+pub struct KMeansObj {
+    sums: Vec<[f64; DIM]>,
+    counts: Vec<u64>,
+    sse: f64,
+}
+
+impl ReductionObject for KMeansObj {
+    fn merge(&mut self, other: &Self, meter: &mut WorkMeter) {
+        for (s, o) in self.sums.iter_mut().zip(other.sums.iter()) {
+            for d in 0..DIM {
+                s[d] += o[d];
+            }
+        }
+        for (c, o) in self.counts.iter_mut().zip(other.counts.iter()) {
+            *c += o;
+        }
+        self.sse += other.sse;
+        meter.fixed_flops((self.sums.len() * (DIM + 1)) as u64 + 1);
+        meter.fixed_mem((self.sums.len() * (DIM + 1)) as u64);
+    }
+
+    fn size(&self) -> ObjSize {
+        ObjSize {
+            fixed: (self.sums.len() * (DIM * 8 + 8) + 8) as u64,
+            data: 0,
+        }
+    }
+}
+
+/// The k-means application: `k` clusters, a fixed number of passes.
+///
+/// The pass count is fixed (rather than convergence-tested) so identical
+/// datasets take identical passes on every configuration — the property
+/// the profile-based prediction model relies on.
+pub struct KMeans {
+    /// Number of clusters.
+    pub k: usize,
+    /// Scan passes over the data.
+    pub passes: usize,
+    /// Seed for initial center placement.
+    pub seed: u64,
+}
+
+impl KMeans {
+    /// Standard instance used by the experiments: k=8, 10 passes.
+    pub fn paper(seed: u64) -> KMeans {
+        KMeans { k: 8, passes: 10, seed }
+    }
+}
+
+impl ReductionApp for KMeans {
+    type Obj = KMeansObj;
+    type State = KMeansState;
+
+    fn name(&self) -> &str {
+        "kmeans"
+    }
+
+    fn initial_state(&self) -> KMeansState {
+        let mut rng = stream_rng(self.seed, "kmeans-init");
+        KMeansState {
+            centroids: (0..self.k)
+                .map(|_| std::array::from_fn(|_| rng.gen_range(0.0..100.0)))
+                .collect(),
+            pass: 0,
+            sse: f64::INFINITY,
+        }
+    }
+
+    fn new_object(&self, _: &KMeansState) -> KMeansObj {
+        KMeansObj {
+            sums: vec![[0.0; DIM]; self.k],
+            counts: vec![0; self.k],
+            sse: 0.0,
+        }
+    }
+
+    fn local_reduce(
+        &self,
+        state: &KMeansState,
+        chunk: &Chunk,
+        obj: &mut KMeansObj,
+        meter: &mut WorkMeter,
+    ) {
+        let vals = codec::decode_f32s(&chunk.payload);
+        let points = vals.chunks_exact(DIM);
+        let n = points.len() as u64;
+        for p in points {
+            let mut best = 0usize;
+            let mut best_d = f32::INFINITY;
+            for (ci, c) in state.centroids.iter().enumerate() {
+                let d = dist_sq(p, c);
+                if d < best_d {
+                    best_d = d;
+                    best = ci;
+                }
+            }
+            for d in 0..DIM {
+                obj.sums[best][d] += p[d] as f64;
+            }
+            obj.counts[best] += 1;
+            obj.sse += best_d as f64;
+        }
+        // Per point: k distances of 3*DIM flops, k compares, DIM+1
+        // accumulator updates, DIM element loads.
+        meter.data_flops(n * (self.k as u64 * 3 * DIM as u64 + DIM as u64 + 1));
+        meter.data_cmp(n * self.k as u64);
+        meter.data_mem(n * DIM as u64 * 2);
+    }
+
+    fn global_finalize(
+        &self,
+        state: &KMeansState,
+        merged: KMeansObj,
+        meter: &mut WorkMeter,
+    ) -> PassOutcome<KMeansState> {
+        let centroids = merged
+            .sums
+            .iter()
+            .zip(merged.counts.iter())
+            .zip(state.centroids.iter())
+            .map(|((sum, &count), old)| {
+                if count == 0 {
+                    *old // empty cluster keeps its center
+                } else {
+                    std::array::from_fn(|d| (sum[d] / count as f64) as f32)
+                }
+            })
+            .collect();
+        meter.fixed_flops((self.k * DIM) as u64);
+        let next = KMeansState {
+            centroids,
+            pass: state.pass + 1,
+            sse: merged.sse,
+        };
+        if next.pass >= self.passes {
+            PassOutcome::Finished(next)
+        } else {
+            PassOutcome::NextPass(next)
+        }
+    }
+
+    fn state_size(&self, _: &KMeansState) -> ObjSize {
+        ObjSize {
+            fixed: (self.k * DIM * 4 + 16) as u64,
+            data: 0,
+        }
+    }
+
+    fn caches(&self) -> bool {
+        true
+    }
+}
+
+/// Sequential reference: plain Lloyd iterations over all points at once.
+/// Used by tests to check the middleware run computes the same thing.
+pub fn reference_kmeans(
+    points: &[f32],
+    mut centroids: Vec<[f32; DIM]>,
+    passes: usize,
+) -> (Vec<[f32; DIM]>, f64) {
+    let mut sse = f64::INFINITY;
+    for _ in 0..passes {
+        let mut sums = vec![[0.0f64; DIM]; centroids.len()];
+        let mut counts = vec![0u64; centroids.len()];
+        sse = 0.0;
+        for p in points.chunks_exact(DIM) {
+            let (best, best_d) = centroids
+                .iter()
+                .enumerate()
+                .map(|(i, c)| (i, dist_sq(p, c)))
+                .min_by(|a, b| a.1.total_cmp(&b.1))
+                .expect("at least one centroid");
+            for d in 0..DIM {
+                sums[best][d] += p[d] as f64;
+            }
+            counts[best] += 1;
+            sse += best_d as f64;
+        }
+        for (i, c) in centroids.iter_mut().enumerate() {
+            if counts[i] > 0 {
+                *c = std::array::from_fn(|d| (sums[i][d] / counts[i] as f64) as f32);
+            }
+        }
+    }
+    (centroids, sse)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::common::MB;
+    use fg_cluster::{ComputeSite, Configuration, Deployment, RepositorySite, Wan};
+    use fg_middleware::Executor;
+
+    fn small_dataset() -> Dataset {
+        generate("km-test", 4.0, 0.01, 42, 4)
+    }
+
+    fn deployment(n: usize, c: usize) -> Deployment {
+        Deployment::new(
+            RepositorySite::pentium_repository("repo", 8),
+            ComputeSite::pentium_myrinet("cs", 16),
+            Wan::per_stream(1e6),
+            Configuration::new(n, c),
+        )
+    }
+
+    fn all_points(ds: &Dataset) -> Vec<f32> {
+        ds.chunks
+            .iter()
+            .flat_map(|c| codec::decode_f32s(&c.payload))
+            .collect()
+    }
+
+    #[test]
+    fn generator_hits_requested_size() {
+        let ds = small_dataset();
+        let expect = physical_elements(4.0, 0.01, BYTES_PER_POINT);
+        assert_eq!(ds.elements(), expect);
+        assert!(ds.num_chunks() >= 16);
+        // Logical size is the nominal 4 MB within rounding.
+        let logical = ds.logical_bytes() as f64;
+        assert!((logical - 4.0 * MB).abs() / (4.0 * MB) < 0.01, "{logical}");
+    }
+
+    #[test]
+    fn middleware_matches_sequential_reference() {
+        let ds = small_dataset();
+        let app = KMeans { k: 4, passes: 5, seed: 7 };
+        let run = Executor::new(deployment(2, 4)).run(&app, &ds);
+        let (ref_centroids, ref_sse) =
+            reference_kmeans(&all_points(&ds), app.initial_state().centroids, 5);
+        // Same pass count means same assignment sequence; centroids agree
+        // up to f32/f64 accumulation-order noise.
+        for (a, b) in run.final_state.centroids.iter().zip(ref_centroids.iter()) {
+            for d in 0..DIM {
+                assert!((a[d] - b[d]).abs() < 1e-2, "{:?} vs {:?}", a, b);
+            }
+        }
+        let rel = (run.final_state.sse - ref_sse).abs() / ref_sse;
+        assert!(rel < 1e-5, "sse {} vs {}", run.final_state.sse, ref_sse);
+    }
+
+    #[test]
+    fn result_is_configuration_independent() {
+        let ds = small_dataset();
+        let app = KMeans { k: 4, passes: 5, seed: 7 };
+        let base = Executor::new(deployment(1, 1)).run(&app, &ds);
+        for (n, c) in [(2, 2), (4, 8), (8, 16)] {
+            let run = Executor::new(deployment(n, c)).run(&app, &ds);
+            for (a, b) in run
+                .final_state
+                .centroids
+                .iter()
+                .zip(base.final_state.centroids.iter())
+            {
+                for d in 0..DIM {
+                    assert!((a[d] - b[d]).abs() < 1e-2, "config {n}-{c}");
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn recovers_planted_centers() {
+        let ds = generate("km-plant", 4.0, 0.02, 99, 3);
+        // Random initialization can stall in a local optimum; the test
+        // scans a few seeds and requires that at least one recovers all
+        // planted blobs (deterministically — seeds are fixed).
+        let run = (0..8u64)
+            .map(|seed| {
+                let app = KMeans { k: 3, passes: 15, seed };
+                Executor::new(deployment(1, 2)).run(&app, &ds)
+            })
+            .min_by(|a, b| a.final_state.sse.total_cmp(&b.final_state.sse))
+            .unwrap();
+        // Every fitted centroid should sit near one of the planted blobs:
+        // regenerate the centers the generator used.
+        let mut rng = stream_rng(99, "kmeans-data");
+        let planted: Vec<[f32; DIM]> = (0..3)
+            .map(|_| std::array::from_fn(|_| rng.gen_range(10.0..90.0)))
+            .collect();
+        for c in &run.final_state.centroids {
+            let nearest = planted
+                .iter()
+                .map(|p| dist_sq(c, p).sqrt())
+                .fold(f32::INFINITY, f32::min);
+            assert!(nearest < 12.0, "centroid {:?} far from any planted center", c);
+        }
+    }
+
+    #[test]
+    fn sse_decreases_over_passes() {
+        let ds = small_dataset();
+        let pts = all_points(&ds);
+        let app = KMeans { k: 4, passes: 1, seed: 7 };
+        let mut prev = f64::INFINITY;
+        for passes in [2usize, 4, 8] {
+            let (_, sse) = reference_kmeans(&pts, app.initial_state().centroids, passes);
+            assert!(sse <= prev * (1.0 + 1e-9), "sse rose: {sse} > {prev}");
+            prev = sse;
+        }
+    }
+
+    #[test]
+    fn object_size_is_constant_class() {
+        let app = KMeans { k: 8, passes: 1, seed: 1 };
+        let st = app.initial_state();
+        let o = app.new_object(&st);
+        assert_eq!(o.size().data, 0, "k-means is the constant object-size class");
+        assert!(o.size().fixed > 0);
+    }
+
+    #[test]
+    fn runs_expected_pass_count() {
+        let ds = small_dataset();
+        let app = KMeans { k: 2, passes: 3, seed: 1 };
+        let run = Executor::new(deployment(1, 1)).run(&app, &ds);
+        assert_eq!(run.report.num_passes(), 3);
+        assert_eq!(run.final_state.pass, 3);
+    }
+
+    #[test]
+    fn empty_cluster_keeps_its_center() {
+        // Place k=2 with a far-away initial center that captures nothing.
+        let vals = vec![1.0f32; DIM * 10];
+        let mut b = DatasetBuilder::new("d", "t", 1.0);
+        b.push_chunk(codec::encode_f32s(&vals), 10, None);
+        let ds = b.build();
+        let app = KMeans { k: 2, passes: 1, seed: 5 };
+        let mut state = app.initial_state();
+        state.centroids = vec![[1.0; DIM], [1000.0; DIM]];
+        let mut obj = app.new_object(&state);
+        let mut meter = WorkMeter::new();
+        app.local_reduce(&state, &ds.chunks[0], &mut obj, &mut meter);
+        match app.global_finalize(&state, obj, &mut meter) {
+            PassOutcome::Finished(s) | PassOutcome::NextPass(s) => {
+                assert_eq!(s.centroids[1], [1000.0; DIM]);
+                assert_eq!(s.centroids[0], [1.0; DIM]);
+            }
+        }
+    }
+}

@@ -1,0 +1,361 @@
+//! k-nearest-neighbor search (§4.3 of the paper).
+//!
+//! Training samples are distributed among the nodes; given a batch of
+//! unknown samples, each node finds the k nearest training points it
+//! owns; the global reduction merges the per-node k-best lists into the
+//! overall k nearest and classifies by majority vote.
+//!
+//! Classes: the reduction object holds `Q * k` candidate records —
+//! **constant** size; merging `c` such objects makes the global reduction
+//! **linear-constant**.
+
+use crate::common::{chunk_sizes, dist_sq, physical_elements};
+use fg_chunks::{codec, Chunk, Dataset, DatasetBuilder};
+use fg_middleware::{ObjSize, PassOutcome, ReductionApp, ReductionObject, WorkMeter};
+use fg_sim::rng::stream_rng;
+use rand::Rng;
+
+/// Feature dimensionality.
+pub const DIM: usize = 4;
+/// Bytes per training sample: DIM features + one label, all f32.
+pub const BYTES_PER_POINT: usize = (DIM + 1) * 4;
+/// Logical chunk size.
+const CHUNK_BYTES: u64 = 2_000_000;
+
+/// Number of planted classes in generated datasets.
+pub const NUM_CLASSES: usize = 4;
+
+/// Generate a labeled training set: `NUM_CLASSES` Gaussian blobs in
+/// `[0, 100]^DIM`, label = blob index.
+pub fn generate(id: &str, nominal_mb: f64, scale: f64, seed: u64) -> Dataset {
+    let total = physical_elements(nominal_mb, scale, BYTES_PER_POINT);
+    let mut rng = stream_rng(seed, "knn-data");
+    let centers: Vec<[f32; DIM]> = (0..NUM_CLASSES)
+        .map(|_| std::array::from_fn(|_| rng.gen_range(15.0..85.0)))
+        .collect();
+    let per_chunk = (CHUNK_BYTES as f64 * scale / BYTES_PER_POINT as f64).max(1.0) as u64;
+    let mut builder = DatasetBuilder::new(id, "knn-points", scale);
+    for count in chunk_sizes(total, per_chunk, 16) {
+        let mut vals = Vec::with_capacity(count as usize * (DIM + 1));
+        for _ in 0..count {
+            let label = rng.gen_range(0..NUM_CLASSES);
+            for d in 0..DIM {
+                let jitter: f32 = rng.gen_range(-4.0f32..4.0) + rng.gen_range(-4.0f32..4.0);
+                vals.push(centers[label][d] + jitter);
+            }
+            vals.push(label as f32);
+        }
+        builder.push_chunk(codec::encode_f32s(&vals), count, None);
+    }
+    builder.build()
+}
+
+/// A neighbor candidate: squared distance and label.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct Neighbor {
+    /// Squared distance to the query.
+    pub dist_sq: f32,
+    /// Training label.
+    pub label: u32,
+}
+
+/// Per-query bounded best-list (kept sorted ascending by distance;
+/// ties broken by label so merges are order-independent).
+#[derive(Debug, Clone)]
+struct BestList {
+    k: usize,
+    items: Vec<Neighbor>,
+}
+
+impl BestList {
+    fn new(k: usize) -> BestList {
+        BestList { k, items: Vec::with_capacity(k + 1) }
+    }
+
+    fn push(&mut self, n: Neighbor) {
+        // Selection of the k smallest under the total order (dist, label):
+        // exact and independent of insertion order, including ties.
+        if self.items.len() == self.k {
+            let last = self.items.last().expect("k >= 1");
+            if (n.dist_sq, n.label) >= (last.dist_sq, last.label) {
+                return;
+            }
+        }
+        let pos = self
+            .items
+            .partition_point(|x| (x.dist_sq, x.label) < (n.dist_sq, n.label));
+        self.items.insert(pos, n);
+        self.items.truncate(self.k);
+    }
+}
+
+/// The reduction object: one k-best list per query.
+#[derive(Debug, Clone)]
+pub struct KnnObj {
+    lists: Vec<BestList>,
+}
+
+impl ReductionObject for KnnObj {
+    fn merge(&mut self, other: &Self, meter: &mut WorkMeter) {
+        let mut work = 0u64;
+        for (mine, theirs) in self.lists.iter_mut().zip(other.lists.iter()) {
+            for n in &theirs.items {
+                mine.push(*n);
+                work += 1;
+            }
+        }
+        meter.fixed_cmp(work * 4);
+        meter.fixed_mem(work);
+    }
+
+    fn size(&self) -> ObjSize {
+        ObjSize {
+            fixed: self.lists.iter().map(|l| (l.k * 8 + 8) as u64).sum(),
+            data: 0,
+        }
+    }
+}
+
+/// The kNN application: classify `queries` against the distributed
+/// training set in a single pass.
+pub struct Knn {
+    /// Neighbors per query.
+    pub k: usize,
+    /// The query batch (each `DIM` long).
+    pub queries: Vec<[f32; DIM]>,
+}
+
+impl Knn {
+    /// The experiment instance: k=16, 64 queries drawn near the data
+    /// region.
+    pub fn paper(seed: u64) -> Knn {
+        let mut rng = stream_rng(seed, "knn-queries");
+        Knn {
+            k: 16,
+            queries: (0..64)
+                .map(|_| std::array::from_fn(|_| rng.gen_range(10.0..90.0)))
+                .collect(),
+        }
+    }
+}
+
+/// Final classification result.
+#[derive(Debug, Clone)]
+pub enum KnnState {
+    /// Still searching (the only pass).
+    Searching,
+    /// Majority-vote label and neighbor lists per query.
+    Done {
+        /// Predicted label per query.
+        labels: Vec<u32>,
+        /// The k nearest neighbors per query.
+        neighbors: Vec<Vec<Neighbor>>,
+    },
+}
+
+impl ReductionApp for Knn {
+    type Obj = KnnObj;
+    type State = KnnState;
+
+    fn name(&self) -> &str {
+        "knn"
+    }
+
+    fn initial_state(&self) -> KnnState {
+        KnnState::Searching
+    }
+
+    fn new_object(&self, _: &KnnState) -> KnnObj {
+        KnnObj {
+            lists: (0..self.queries.len()).map(|_| BestList::new(self.k)).collect(),
+        }
+    }
+
+    fn local_reduce(&self, _: &KnnState, chunk: &Chunk, obj: &mut KnnObj, meter: &mut WorkMeter) {
+        let vals = codec::decode_f32s(&chunk.payload);
+        let samples = vals.chunks_exact(DIM + 1);
+        let n = samples.len() as u64;
+        for s in samples {
+            let (coords, label) = s.split_at(DIM);
+            let label = label[0] as u32;
+            for (q, query) in self.queries.iter().enumerate() {
+                let d = dist_sq(coords, query);
+                obj.lists[q].push(Neighbor { dist_sq: d, label });
+            }
+        }
+        // kNN is compare-bound: partial-distance pruning and bounded-list
+        // maintenance dominate over the raw subtract-square arithmetic.
+        let q = self.queries.len() as u64;
+        meter.data_flops(n * q * DIM as u64);
+        meter.data_cmp(n * q * 6 * DIM as u64);
+        meter.data_mem(n * (DIM as u64 + 1) * 2);
+    }
+
+    fn global_finalize(
+        &self,
+        _: &KnnState,
+        merged: KnnObj,
+        meter: &mut WorkMeter,
+    ) -> PassOutcome<KnnState> {
+        let mut labels = Vec::with_capacity(merged.lists.len());
+        let mut neighbors = Vec::with_capacity(merged.lists.len());
+        for list in merged.lists {
+            let mut votes = std::collections::BTreeMap::<u32, usize>::new();
+            for n in &list.items {
+                *votes.entry(n.label).or_insert(0) += 1;
+            }
+            // Most votes; lowest label breaks ties (deterministic).
+            let best = votes
+                .iter()
+                .max_by_key(|(label, count)| (**count, std::cmp::Reverse(**label)))
+                .map(|(l, _)| *l)
+                .unwrap_or_else(|| list.items.first().map(|n| n.label).unwrap_or(0));
+            labels.push(best);
+            neighbors.push(list.items);
+        }
+        meter.fixed_cmp((labels.len() * self.k) as u64);
+        PassOutcome::Finished(KnnState::Done { labels, neighbors })
+    }
+
+    fn state_size(&self, _: &KnnState) -> ObjSize {
+        ObjSize {
+            fixed: (self.queries.len() * 4) as u64,
+            data: 0,
+        }
+    }
+
+    fn caches(&self) -> bool {
+        false // single pass: nothing to cache
+    }
+}
+
+/// Sequential reference: exact brute-force kNN over all samples.
+pub fn reference_knn(samples: &[f32], queries: &[[f32; DIM]], k: usize) -> Vec<Vec<Neighbor>> {
+    queries
+        .iter()
+        .map(|q| {
+            let mut all: Vec<Neighbor> = samples
+                .chunks_exact(DIM + 1)
+                .map(|s| Neighbor {
+                    dist_sq: dist_sq(&s[..DIM], q),
+                    label: s[DIM] as u32,
+                })
+                .collect();
+            all.sort_by(|a, b| (a.dist_sq, a.label).partial_cmp(&(b.dist_sq, b.label)).unwrap());
+            all.truncate(k);
+            all
+        })
+        .collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use fg_cluster::{ComputeSite, Configuration, Deployment, RepositorySite, Wan};
+    use fg_middleware::Executor;
+
+    fn deployment(n: usize, c: usize) -> Deployment {
+        Deployment::new(
+            RepositorySite::pentium_repository("repo", 8),
+            ComputeSite::pentium_myrinet("cs", 16),
+            Wan::per_stream(1e6),
+            Configuration::new(n, c),
+        )
+    }
+
+    fn all_samples(ds: &Dataset) -> Vec<f32> {
+        ds.chunks
+            .iter()
+            .flat_map(|c| codec::decode_f32s(&c.payload))
+            .collect()
+    }
+
+    #[test]
+    fn middleware_matches_bruteforce_exactly() {
+        let ds = generate("knn-test", 2.0, 0.01, 11);
+        let app = Knn::paper(5);
+        let run = Executor::new(deployment(2, 4)).run(&app, &ds);
+        let expect = reference_knn(&all_samples(&ds), &app.queries, app.k);
+        match run.final_state {
+            KnnState::Done { neighbors, .. } => {
+                for (got, want) in neighbors.iter().zip(expect.iter()) {
+                    assert_eq!(got.len(), want.len());
+                    for (g, w) in got.iter().zip(want.iter()) {
+                        assert_eq!(g.label, w.label);
+                        assert_eq!(g.dist_sq.to_bits(), w.dist_sq.to_bits());
+                    }
+                }
+            }
+            KnnState::Searching => panic!("did not finish"),
+        }
+    }
+
+    #[test]
+    fn classification_is_configuration_independent() {
+        let ds = generate("knn-cfg", 2.0, 0.01, 12);
+        let app = Knn::paper(6);
+        let labels = |n, c| match Executor::new(deployment(n, c)).run(&app, &ds).final_state {
+            KnnState::Done { labels, .. } => labels,
+            _ => panic!(),
+        };
+        let base = labels(1, 1);
+        assert_eq!(base, labels(4, 8));
+        assert_eq!(base, labels(8, 16));
+    }
+
+    #[test]
+    fn queries_on_blobs_get_blob_labels() {
+        let seed = 21;
+        let ds = generate("knn-acc", 2.0, 0.01, seed);
+        // Build queries exactly at the planted centers.
+        let mut rng = stream_rng(seed, "knn-data");
+        let centers: Vec<[f32; DIM]> = (0..NUM_CLASSES)
+            .map(|_| std::array::from_fn(|_| rng.gen_range(15.0..85.0)))
+            .collect();
+        let app = Knn { k: 9, queries: centers.clone() };
+        let run = Executor::new(deployment(1, 2)).run(&app, &ds);
+        match run.final_state {
+            KnnState::Done { labels, .. } => {
+                for (i, &l) in labels.iter().enumerate() {
+                    assert_eq!(l as usize, i, "query at center {i} misclassified");
+                }
+            }
+            _ => panic!(),
+        }
+    }
+
+    #[test]
+    fn best_list_keeps_k_smallest_sorted() {
+        let mut l = BestList::new(3);
+        for d in [5.0f32, 1.0, 4.0, 2.0, 3.0] {
+            l.push(Neighbor { dist_sq: d, label: d as u32 });
+        }
+        let dists: Vec<f32> = l.items.iter().map(|n| n.dist_sq).collect();
+        assert_eq!(dists, vec![1.0, 2.0, 3.0]);
+    }
+
+    #[test]
+    fn best_list_merge_is_order_independent() {
+        let ns: Vec<Neighbor> = (0..20)
+            .map(|i| Neighbor { dist_sq: ((i * 7) % 13) as f32, label: i })
+            .collect();
+        let build = |order: &[usize]| {
+            let mut l = BestList::new(5);
+            for &i in order {
+                l.push(ns[i]);
+            }
+            l.items
+        };
+        let fwd: Vec<usize> = (0..20).collect();
+        let rev: Vec<usize> = (0..20).rev().collect();
+        assert_eq!(build(&fwd), build(&rev));
+    }
+
+    #[test]
+    fn single_pass_and_no_cache() {
+        let ds = generate("knn-1p", 2.0, 0.01, 13);
+        let app = Knn::paper(1);
+        let run = Executor::new(deployment(1, 1)).run(&app, &ds);
+        assert_eq!(run.report.num_passes(), 1);
+    }
+}

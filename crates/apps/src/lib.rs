@@ -1,0 +1,33 @@
+//! # fg-apps — the FREERIDE-G application suite
+//!
+//! The five applications of the paper's evaluation (§4), implemented
+//! against the generalized-reduction API with seeded synthetic dataset
+//! generators, plus apriori association mining (named in §2.2) as an
+//! extension:
+//!
+//! | module | application | reduction-object class | global-reduction class | passes |
+//! |--------|-------------|------------------------|------------------------|--------|
+//! | [`kmeans`] | k-means clustering | constant | linear-constant | fixed iterations |
+//! | [`em`] | expectation-maximization clustering | linear (diagnostic buffer ∝ data) | constant-linear | 2 per EM iteration |
+//! | [`knn`] | k-nearest-neighbor search | constant | linear-constant | 1 |
+//! | [`vortex`] | CFD vortex detection | linear (feature lists ∝ data) | constant-linear | 1 |
+//! | [`defect`] | molecular defect detection + categorization | linear | constant-linear | 2 |
+//! | [`apriori`] | association mining (extension) | constant | linear-constant | ≥ 2 |
+//! | [`ann`] | neural-network training (extension) | constant | linear-constant | epochs |
+//!
+//! Every module carries a synthetic generator with *planted structure*
+//! (mixtures, vortices, lattice defects) so the kernels do real,
+//! data-dependent work, a sequential reference implementation, and tests
+//! that the middleware run recovers the planted answer on any
+//! configuration.
+
+#![warn(missing_docs)]
+
+pub mod ann;
+pub mod apriori;
+pub mod common;
+pub mod defect;
+pub mod em;
+pub mod kmeans;
+pub mod knn;
+pub mod vortex;

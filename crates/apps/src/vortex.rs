@@ -1,0 +1,662 @@
+//! Vortex detection in CFD fields (§4.4 of the paper).
+//!
+//! A feature-mining pipeline over a 2-D vector field: per-cell vorticity
+//! (**detection**), thresholding with sign (**classification**), local
+//! connected-component **aggregation** within each chunk, then a global
+//! combination that joins vortex fragments spanning chunk boundaries,
+//! followed by de-noising and sorting — the structure Machiraju et al.'s
+//! EVITA algorithm takes in the paper.
+//!
+//! Chunks are row slabs with one halo row on each side, so detection
+//! needs no neighbor communication ("a special approach to partitioning
+//! data between nodes ... overlapping data instances from neighboring
+//! partitions"). Because the halo rows are stored in the payload, a
+//! dataset's logical size slightly exceeds its nominal label (by
+//! `2/rows_per_chunk`); all model arithmetic uses the measured logical
+//! size, so this is only a labeling nuance.
+//!
+//! Classes: the reduction object is the list of detected fragments —
+//! **linear** (dataset-proportional); the master's join/denoise/sort over
+//! all fragments makes the global reduction **constant-linear**.
+
+use fg_chunks::{codec, Chunk, Dataset, DatasetBuilder, Span};
+use fg_middleware::{ObjSize, PassOutcome, ReductionApp, ReductionObject, WorkMeter};
+use fg_sim::rng::stream_rng;
+use rand::Rng;
+
+/// Grid width (columns); the field's height follows from the dataset size.
+pub const WIDTH: usize = 256;
+/// Bytes per cell: two f32 velocity components.
+pub const BYTES_PER_CELL: usize = 8;
+/// Owned rows per chunk.
+const ROWS_PER_CHUNK: usize = 20;
+/// Vorticity magnitude threshold for candidate cells.
+pub const VORTICITY_THRESHOLD: f32 = 0.25;
+/// Minimum cells for a region to survive de-noising.
+pub const MIN_REGION_CELLS: u64 = 5;
+
+/// A planted vortex (ground truth, returned by the generator for tests).
+#[derive(Debug, Clone, Copy)]
+pub struct PlantedVortex {
+    /// Center column.
+    pub col: f32,
+    /// Center row.
+    pub row: f32,
+    /// Core radius in cells.
+    pub radius: f32,
+    /// Signed strength (positive = counter-clockwise).
+    pub strength: f32,
+}
+
+/// Generate a vector field with planted vortices. Returns the dataset and
+/// the ground truth.
+pub fn generate(id: &str, nominal_mb: f64, scale: f64, seed: u64) -> (Dataset, Vec<PlantedVortex>) {
+    let total_cells =
+        crate::common::physical_elements(nominal_mb, scale, BYTES_PER_CELL) as usize;
+    // Round the height so the chunk count is a multiple of 16: per-node
+    // chunk counts then divide evenly on every paper configuration (see
+    // `common::chunk_sizes` for why this matters for balance).
+    let slab = ROWS_PER_CHUNK * 16;
+    let height = (total_cells / WIDTH).max(slab).div_ceil(slab) * slab;
+    let mut rng = stream_rng(seed, "vortex-data");
+
+    // Smooth, low-vorticity background flow.
+    let mut field = vec![0.0f32; height * WIDTH * 2];
+    for r in 0..height {
+        for c in 0..WIDTH {
+            let i = (r * WIDTH + c) * 2;
+            field[i] = (r as f32 * 0.02).sin() * 0.8 + (c as f32 * 0.013).cos() * 0.4;
+            field[i + 1] = (c as f32 * 0.017).sin() * 0.7 + (r as f32 * 0.011).cos() * 0.3;
+        }
+    }
+
+    // Plant vortices with margins so every core is fully measurable, and
+    // mutual separation so cores never overlap or merge.
+    let count = (total_cells / 30_000).max(3);
+    let mut planted: Vec<PlantedVortex> = Vec::with_capacity(count);
+    let mut attempts = 0;
+    while planted.len() < count && attempts < count * 200 {
+        attempts += 1;
+        let radius = rng.gen_range(3.0f32..6.0);
+        let margin = (radius * 4.0) as usize + 3;
+        let v = PlantedVortex {
+            col: rng.gen_range(margin as f32..(WIDTH - margin) as f32),
+            row: rng.gen_range(margin as f32..(height - margin) as f32),
+            radius,
+            strength: rng.gen_range(2.0f32..4.0) * if rng.gen_bool(0.5) { 1.0 } else { -1.0 },
+        };
+        let separated = planted.iter().all(|p| {
+            let d = ((p.col - v.col).powi(2) + (p.row - v.row).powi(2)).sqrt();
+            d > 4.0 * (p.radius + v.radius)
+        });
+        if !separated {
+            continue;
+        }
+        // Superpose a Gaussian-core vortex within a 4-radius box.
+        let r4 = (v.radius * 4.0) as i64;
+        let (vr, vc) = (v.row as i64, v.col as i64);
+        for r in (vr - r4).max(0)..(vr + r4).min(height as i64) {
+            for c in (vc - r4).max(0)..(vc + r4).min(WIDTH as i64) {
+                let dy = r as f32 - v.row;
+                let dx = c as f32 - v.col;
+                let d2 = dx * dx + dy * dy;
+                let f = v.strength * (-d2 / (v.radius * v.radius)).exp() / v.radius;
+                let i = (r as usize * WIDTH + c as usize) * 2;
+                field[i] -= dy * f;
+                field[i + 1] += dx * f;
+            }
+        }
+        planted.push(v);
+    }
+
+    // Slice into halo-overlapped row slabs.
+    let mut builder = DatasetBuilder::new(id, "cfd-field", scale);
+    let mut row = 0usize;
+    while row < height {
+        let end = (row + ROWS_PER_CHUNK).min(height);
+        let halo_before = usize::from(row > 0);
+        let halo_after = usize::from(end < height);
+        let lo = row - halo_before;
+        let hi = end + halo_after;
+        let payload = codec::encode_f32s(&field[lo * WIDTH * 2..hi * WIDTH * 2]);
+        builder.push_chunk(
+            payload,
+            ((end - row) * WIDTH) as u64,
+            Some(Span {
+                begin: row as u64,
+                end: end as u64,
+                halo_before: halo_before as u64,
+                halo_after: halo_after as u64,
+            }),
+        );
+        row = end;
+    }
+    (builder.build(), planted)
+}
+
+/// A connected vorticity fragment found within one chunk.
+#[derive(Debug, Clone)]
+pub struct Region {
+    /// Candidate cells in the fragment.
+    pub cells: u64,
+    /// Sum of cell columns (for the centroid).
+    pub sum_col: f64,
+    /// Sum of cell rows.
+    pub sum_row: f64,
+    /// Sum of |vorticity| over cells.
+    pub strength: f64,
+    /// Rotation sense: +1 or -1.
+    pub sign: i8,
+    /// Global row index of the chunk's first owned row.
+    pub chunk_first: u64,
+    /// Global row index of the chunk's last owned row.
+    pub chunk_last: u64,
+    /// Column intervals of this fragment on `chunk_first` (inclusive).
+    pub spans_first: Vec<(u32, u32)>,
+    /// Column intervals on `chunk_last`.
+    pub spans_last: Vec<(u32, u32)>,
+}
+
+/// A detected vortex after global combination.
+#[derive(Debug, Clone)]
+pub struct Vortex {
+    /// Total candidate cells.
+    pub cells: u64,
+    /// Centroid column.
+    pub col: f64,
+    /// Centroid row.
+    pub row: f64,
+    /// Integrated |vorticity|.
+    pub strength: f64,
+    /// Rotation sense.
+    pub sign: i8,
+}
+
+/// Reduction object: fragments detected so far.
+#[derive(Debug, Clone, Default)]
+pub struct VortexObj {
+    /// Per-chunk fragments, concatenated.
+    pub regions: Vec<Region>,
+}
+
+impl ReductionObject for VortexObj {
+    fn merge(&mut self, other: &Self, meter: &mut WorkMeter) {
+        meter.data_mem(other.regions.len() as u64 * 8);
+        self.regions.extend_from_slice(&other.regions);
+    }
+
+    fn size(&self) -> ObjSize {
+        let bytes: u64 = self
+            .regions
+            .iter()
+            .map(|r| 48 + 8 * (r.spans_first.len() + r.spans_last.len()) as u64)
+            .sum();
+        ObjSize { fixed: 16, data: bytes }
+    }
+}
+
+/// Application state: scanning, then done.
+#[derive(Debug, Clone)]
+pub enum VortexState {
+    /// The single detection pass.
+    Scan,
+    /// Sorted, de-noised vortices.
+    Done(Vec<Vortex>),
+}
+
+/// The vortex detection application.
+pub struct VortexDetect {
+    /// Vorticity threshold.
+    pub threshold: f32,
+    /// De-noising floor.
+    pub min_cells: u64,
+}
+
+impl Default for VortexDetect {
+    fn default() -> Self {
+        VortexDetect {
+            threshold: VORTICITY_THRESHOLD,
+            min_cells: MIN_REGION_CELLS,
+        }
+    }
+}
+
+impl VortexDetect {
+    /// Detect fragments within one chunk (detection + classification +
+    /// local aggregation). Public so the sequential reference and tests
+    /// can reuse it.
+    pub fn detect_in_chunk(&self, chunk: &Chunk, meter: &mut WorkMeter) -> Vec<Region> {
+        let span = chunk.span.expect("vortex chunks carry spans");
+        let vals = codec::decode_f32s(&chunk.payload);
+        let stored_rows = span.stored_len() as usize;
+        let owned_rows = span.owned_len() as usize;
+        debug_assert_eq!(vals.len(), stored_rows * WIDTH * 2);
+        let first_owned = span.halo_before as usize; // row offset in `vals`
+
+        // Detection: vorticity at every owned cell with full neighborhoods.
+        let u = |r: usize, c: usize| vals[(r * WIDTH + c) * 2];
+        let v = |r: usize, c: usize| vals[(r * WIDTH + c) * 2 + 1];
+        let mut vort = vec![0.0f32; owned_rows * WIDTH];
+        let mut candidate = vec![false; owned_rows * WIDTH];
+        for or in 0..owned_rows {
+            let sr = first_owned + or;
+            if sr == 0 || sr + 1 >= stored_rows {
+                continue; // global field boundary: no one-sided stencils
+            }
+            for c in 1..WIDTH - 1 {
+                let w = (v(sr, c + 1) - v(sr, c - 1)) * 0.5 - (u(sr + 1, c) - u(sr - 1, c)) * 0.5;
+                vort[or * WIDTH + c] = w;
+                candidate[or * WIDTH + c] = w.abs() > self.threshold;
+            }
+        }
+        // Per-cell cost of the full EVITA-style detection/classification
+        // criterion (velocity-gradient tensor and swirl test, of which the
+        // curl is our computational stand-in).
+        meter.data_flops(owned_rows as u64 * WIDTH as u64 * 40);
+        meter.data_cmp(owned_rows as u64 * WIDTH as u64 * 6);
+        meter.data_mem(owned_rows as u64 * WIDTH as u64 * 10);
+
+        // Local aggregation: union-find over same-sign candidates,
+        // 4-connectivity within the owned slab.
+        let n = owned_rows * WIDTH;
+        let mut parent: Vec<u32> = (0..n as u32).collect();
+        fn find(parent: &mut [u32], mut x: u32) -> u32 {
+            while parent[x as usize] != x {
+                parent[x as usize] = parent[parent[x as usize] as usize];
+                x = parent[x as usize];
+            }
+            x
+        }
+        let mut uf_ops = 0u64;
+        for or in 0..owned_rows {
+            for c in 0..WIDTH {
+                let i = or * WIDTH + c;
+                if !candidate[i] {
+                    continue;
+                }
+                let sign = vort[i] > 0.0;
+                if c > 0 && candidate[i - 1] && (vort[i - 1] > 0.0) == sign {
+                    let (a, b) = (find(&mut parent, i as u32), find(&mut parent, (i - 1) as u32));
+                    parent[a as usize] = b;
+                    uf_ops += 1;
+                }
+                if or > 0 && candidate[i - WIDTH] && (vort[i - WIDTH] > 0.0) == sign {
+                    let (a, b) =
+                        (find(&mut parent, i as u32), find(&mut parent, (i - WIDTH) as u32));
+                    parent[a as usize] = b;
+                    uf_ops += 1;
+                }
+            }
+        }
+        meter.data_cmp(uf_ops * 3);
+
+        // Collect fragments.
+        let mut by_root = std::collections::BTreeMap::<u32, Region>::new();
+        for or in 0..owned_rows {
+            for c in 0..WIDTH {
+                let i = or * WIDTH + c;
+                if !candidate[i] {
+                    continue;
+                }
+                let root = find(&mut parent, i as u32);
+                let global_row = span.begin + or as u64;
+                let region = by_root.entry(root).or_insert_with(|| Region {
+                    cells: 0,
+                    sum_col: 0.0,
+                    sum_row: 0.0,
+                    strength: 0.0,
+                    sign: if vort[i] > 0.0 { 1 } else { -1 },
+                    chunk_first: span.begin,
+                    chunk_last: span.end - 1,
+                    spans_first: Vec::new(),
+                    spans_last: Vec::new(),
+                });
+                region.cells += 1;
+                region.sum_col += c as f64;
+                region.sum_row += global_row as f64;
+                region.strength += vort[i].abs() as f64;
+                let col = c as u32;
+                if or == 0 {
+                    push_span(&mut region.spans_first, col);
+                }
+                if or == owned_rows - 1 {
+                    push_span(&mut region.spans_last, col);
+                }
+            }
+        }
+        by_root.into_values().collect()
+    }
+
+    /// Global combination: join fragments across chunk boundaries, then
+    /// de-noise and sort by strength. Public for the reference and tests.
+    pub fn combine(&self, regions: Vec<Region>, meter: &mut WorkMeter) -> Vec<Vortex> {
+        let n = regions.len();
+        let mut parent: Vec<u32> = (0..n as u32).collect();
+        fn find(parent: &mut [u32], mut x: u32) -> u32 {
+            while parent[x as usize] != x {
+                parent[x as usize] = parent[parent[x as usize] as usize];
+                x = parent[x as usize];
+            }
+            x
+        }
+        // Index fragments by the boundary row where they expose spans.
+        let mut by_last = std::collections::BTreeMap::<u64, Vec<usize>>::new();
+        let mut by_first = std::collections::BTreeMap::<u64, Vec<usize>>::new();
+        for (i, r) in regions.iter().enumerate() {
+            if !r.spans_last.is_empty() {
+                by_last.entry(r.chunk_last).or_default().push(i);
+            }
+            if !r.spans_first.is_empty() && r.chunk_first > 0 {
+                by_first.entry(r.chunk_first - 1).or_default().push(i);
+            }
+        }
+        let mut join_ops = 0u64;
+        for (row, uppers) in &by_last {
+            let Some(lowers) = by_first.get(row) else { continue };
+            for &a in uppers {
+                for &b in lowers {
+                    join_ops += 1;
+                    if regions[a].sign == regions[b].sign
+                        && spans_overlap(&regions[a].spans_last, &regions[b].spans_first)
+                    {
+                        let (ra, rb) = (find(&mut parent, a as u32), find(&mut parent, b as u32));
+                        parent[ra as usize] = rb;
+                    }
+                }
+            }
+        }
+        meter.data_cmp(join_ops * 4 + n as u64);
+        meter.data_mem(n as u64 * 8);
+        // De-noising re-verifies every candidate cell of every region
+        // (the EVITA pipeline's per-point swirl verification): genuinely
+        // dataset-proportional master work — this is what makes vortex
+        // detection's global reduction the constant-linear class.
+        let region_cells: u64 = regions.iter().map(|r| r.cells).sum();
+        meter.data_flops(region_cells * 60);
+        meter.data_mem(region_cells * 12);
+
+        // Accumulate per root, de-noise, sort.
+        let mut acc = std::collections::BTreeMap::<u32, Vortex>::new();
+        for (i, r) in regions.iter().enumerate() {
+            let root = find(&mut parent, i as u32);
+            let v = acc.entry(root).or_insert(Vortex {
+                cells: 0,
+                col: 0.0,
+                row: 0.0,
+                strength: 0.0,
+                sign: r.sign,
+            });
+            v.cells += r.cells;
+            v.col += r.sum_col;
+            v.row += r.sum_row;
+            v.strength += r.strength;
+        }
+        let mut out: Vec<Vortex> = acc
+            .into_values()
+            .filter(|v| v.cells >= self.min_cells)
+            .map(|mut v| {
+                v.col /= v.cells as f64;
+                v.row /= v.cells as f64;
+                v
+            })
+            .collect();
+        let sort_ops = (out.len() as u64 + 1) * (64 - (out.len() as u64 + 1).leading_zeros() as u64);
+        meter.data_cmp(sort_ops * 4);
+        out.sort_by(|a, b| b.strength.total_cmp(&a.strength));
+        out
+    }
+}
+
+fn push_span(spans: &mut Vec<(u32, u32)>, col: u32) {
+    if let Some(last) = spans.last_mut() {
+        if last.1 + 1 == col {
+            last.1 = col;
+            return;
+        }
+    }
+    spans.push((col, col));
+}
+
+fn spans_overlap(a: &[(u32, u32)], b: &[(u32, u32)]) -> bool {
+    let (mut i, mut j) = (0, 0);
+    while i < a.len() && j < b.len() {
+        if a[i].1 < b[j].0 {
+            i += 1;
+        } else if b[j].1 < a[i].0 {
+            j += 1;
+        } else {
+            return true;
+        }
+    }
+    false
+}
+
+impl ReductionApp for VortexDetect {
+    type Obj = VortexObj;
+    type State = VortexState;
+
+    fn name(&self) -> &str {
+        "vortex"
+    }
+
+    fn initial_state(&self) -> VortexState {
+        VortexState::Scan
+    }
+
+    fn new_object(&self, _: &VortexState) -> VortexObj {
+        VortexObj::default()
+    }
+
+    fn local_reduce(
+        &self,
+        _: &VortexState,
+        chunk: &Chunk,
+        obj: &mut VortexObj,
+        meter: &mut WorkMeter,
+    ) {
+        let regions = self.detect_in_chunk(chunk, meter);
+        obj.regions.extend(regions);
+    }
+
+    fn global_finalize(
+        &self,
+        _: &VortexState,
+        merged: VortexObj,
+        meter: &mut WorkMeter,
+    ) -> PassOutcome<VortexState> {
+        PassOutcome::Finished(VortexState::Done(self.combine(merged.regions, meter)))
+    }
+
+    fn state_size(&self, state: &VortexState) -> ObjSize {
+        match state {
+            VortexState::Scan => ObjSize { fixed: 8, data: 0 },
+            VortexState::Done(v) => ObjSize { fixed: 8, data: v.len() as u64 * 40 },
+        }
+    }
+
+    fn caches(&self) -> bool {
+        false
+    }
+}
+
+/// Sequential reference: detect over the whole field as one chunk-less
+/// scan, by synthesizing a single full-height chunk.
+pub fn reference_detect(dataset: &Dataset, app: &VortexDetect) -> Vec<Vortex> {
+    // Reassemble the field from owned rows.
+    let mut rows: Vec<(u64, Vec<f32>)> = Vec::new();
+    for chunk in &dataset.chunks {
+        let span = chunk.span.expect("span");
+        let vals = codec::decode_f32s(&chunk.payload);
+        let first = span.halo_before as usize;
+        for or in 0..span.owned_len() as usize {
+            let sr = first + or;
+            rows.push((
+                span.begin + or as u64,
+                vals[sr * WIDTH * 2..(sr + 1) * WIDTH * 2].to_vec(),
+            ));
+        }
+    }
+    rows.sort_by_key(|(r, _)| *r);
+    let height = rows.len();
+    let mut field = Vec::with_capacity(height * WIDTH * 2);
+    for (_, row) in rows {
+        field.extend(row);
+    }
+    let chunk = Chunk {
+        id: 0,
+        payload: codec::encode_f32s(&field),
+        elements: (height * WIDTH) as u64,
+        logical_bytes: 0,
+        span: Some(Span {
+            begin: 0,
+            end: height as u64,
+            halo_before: 0,
+            halo_after: 0,
+        }),
+    };
+    let mut meter = WorkMeter::new();
+    let regions = app.detect_in_chunk(&chunk, &mut meter);
+    app.combine(regions, &mut meter)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use fg_cluster::{ComputeSite, Configuration, Deployment, RepositorySite, Wan};
+    use fg_middleware::Executor;
+
+    fn deployment(n: usize, c: usize) -> Deployment {
+        Deployment::new(
+            RepositorySite::pentium_repository("repo", 8),
+            ComputeSite::pentium_myrinet("cs", 16),
+            Wan::per_stream(1e6),
+            Configuration::new(n, c),
+        )
+    }
+
+    fn run(ds: &Dataset, n: usize, c: usize) -> Vec<Vortex> {
+        let app = VortexDetect::default();
+        match Executor::new(deployment(n, c)).run(&app, ds).final_state {
+            VortexState::Done(v) => v,
+            VortexState::Scan => panic!("did not finish"),
+        }
+    }
+
+    #[test]
+    fn finds_every_planted_vortex() {
+        let (ds, planted) = generate("vx-count", 4.0, 0.01, 77);
+        let found = run(&ds, 2, 4);
+        assert_eq!(found.len(), planted.len(), "vortex count mismatch");
+        for p in &planted {
+            let nearest = found
+                .iter()
+                .map(|v| ((v.col - p.col as f64).powi(2) + (v.row - p.row as f64).powi(2)).sqrt())
+                .fold(f64::INFINITY, f64::min);
+            assert!(nearest < 2.0, "planted vortex at ({}, {}) not located", p.col, p.row);
+        }
+    }
+
+    #[test]
+    fn signs_match_planted_rotation() {
+        let (ds, planted) = generate("vx-sign", 4.0, 0.01, 78);
+        let found = run(&ds, 1, 1);
+        for p in &planted {
+            let v = found
+                .iter()
+                .min_by(|a, b| {
+                    let da = (a.col - p.col as f64).powi(2) + (a.row - p.row as f64).powi(2);
+                    let db = (b.col - p.col as f64).powi(2) + (b.row - p.row as f64).powi(2);
+                    da.total_cmp(&db)
+                })
+                .unwrap();
+            assert_eq!(v.sign as f32, p.strength.signum());
+        }
+    }
+
+    #[test]
+    fn matches_sequential_reference() {
+        let (ds, _) = generate("vx-ref", 4.0, 0.01, 79);
+        let app = VortexDetect::default();
+        let expect = reference_detect(&ds, &app);
+        let got = run(&ds, 4, 8);
+        assert_eq!(got.len(), expect.len());
+        for (g, e) in got.iter().zip(expect.iter()) {
+            assert_eq!(g.cells, e.cells);
+            assert!((g.strength - e.strength).abs() < 1e-6);
+            assert!((g.col - e.col).abs() < 1e-9);
+            assert!((g.row - e.row).abs() < 1e-9);
+        }
+    }
+
+    #[test]
+    fn cross_chunk_fragments_are_joined_once() {
+        // A vortex straddling a chunk boundary must appear exactly once
+        // regardless of the configuration (fragments live on different
+        // compute nodes for c > 1).
+        let (ds, planted) = generate("vx-join", 40.0, 0.01, 80);
+        let base = run(&ds, 1, 1);
+        for (n, c) in [(1, 2), (2, 8), (8, 16)] {
+            let other = run(&ds, n, c);
+            assert_eq!(other.len(), base.len(), "config {n}-{c} changed vortex count");
+        }
+        assert_eq!(base.len(), planted.len());
+    }
+
+    #[test]
+    fn object_size_grows_with_data() {
+        let (ds, _) = generate("vx-lin", 4.0, 0.01, 81);
+        let app = VortexDetect::default();
+        let mut obj = VortexObj::default();
+        let mut meter = WorkMeter::new();
+        let mut sizes = Vec::new();
+        for chunk in ds.chunks.iter().take(20) {
+            app.local_reduce(&VortexState::Scan, chunk, &mut obj, &mut meter);
+            sizes.push(obj.size().data);
+        }
+        assert!(
+            sizes.last().unwrap() > sizes.first().unwrap(),
+            "vortex object must be the linear (data-proportional) class"
+        );
+    }
+
+    #[test]
+    fn span_compression_builds_intervals() {
+        let mut spans = Vec::new();
+        for c in [1u32, 2, 3, 7, 8, 12] {
+            push_span(&mut spans, c);
+        }
+        assert_eq!(spans, vec![(1, 3), (7, 8), (12, 12)]);
+    }
+
+    #[test]
+    fn span_overlap_detection() {
+        assert!(spans_overlap(&[(1, 3)], &[(3, 5)]));
+        assert!(spans_overlap(&[(1, 10)], &[(4, 5)]));
+        assert!(!spans_overlap(&[(1, 3)], &[(4, 5)]));
+        assert!(!spans_overlap(&[], &[(0, 100)]));
+    }
+
+    #[test]
+    fn quiet_field_detects_nothing() {
+        // Background flow alone stays under the threshold.
+        let mut builder = DatasetBuilder::new("quiet", "cfd-field", 1.0);
+        let rows = 40;
+        let mut field = vec![0.0f32; rows * WIDTH * 2];
+        for r in 0..rows {
+            for c in 0..WIDTH {
+                field[(r * WIDTH + c) * 2] = (r as f32 * 0.02).sin() * 0.8;
+                field[(r * WIDTH + c) * 2 + 1] = (c as f32 * 0.017).sin() * 0.7;
+            }
+        }
+        builder.push_chunk(
+            codec::encode_f32s(&field),
+            (rows * WIDTH) as u64,
+            Some(Span { begin: 0, end: rows as u64, halo_before: 0, halo_after: 0 }),
+        );
+        let ds = builder.build();
+        let app = VortexDetect::default();
+        let mut meter = WorkMeter::new();
+        let regions = app.detect_in_chunk(&ds.chunks[0], &mut meter);
+        assert!(regions.is_empty(), "background flow misdetected: {:?}", regions.len());
+    }
+}

@@ -1,0 +1,35 @@
+//! Per-application local-reduction kernel benchmarks: the real
+//! computational work behind the simulation's metered compute times.
+
+use criterion::{criterion_group, criterion_main, Criterion, Throughput};
+use fg_bench::PaperApp;
+use std::hint::black_box;
+
+/// One small dataset per app; the bench folds every chunk into one
+/// reduction object (what a single compute node does per pass).
+fn bench_kernels(c: &mut Criterion) {
+    let mut group = c.benchmark_group("local-reduce");
+    for app in PaperApp::PAPER_FIVE.iter().chain([PaperApp::Apriori, PaperApp::Ann].iter()) {
+        let dataset = app.generate(&format!("bench-{}", app.name()), 8.0, 0.01, 5);
+        group.throughput(Throughput::Bytes(dataset.physical_bytes()));
+        group.bench_function(app.name(), |b| {
+            b.iter(|| {
+                // Full single-node execution: local reduction over all
+                // chunks plus the (trivial at c=1) global phase.
+                let report = app.execute(
+                    fg_bench::pentium_deployment(1, 1, 40e6),
+                    black_box(&dataset),
+                );
+                black_box(report.total())
+            })
+        });
+    }
+    group.finish();
+}
+
+criterion_group! {
+    name = benches;
+    config = Criterion::default().sample_size(20);
+    targets = bench_kernels
+}
+criterion_main!(benches);

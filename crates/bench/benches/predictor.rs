@@ -1,0 +1,103 @@
+//! Benchmarks of the prediction framework itself: single predictions,
+//! class inference, and full resource-selection sweeps. These are the
+//! operations a grid scheduler would run on-line, so they must be cheap.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use fg_cluster::{ComputeSite, Configuration, Deployment, RepositorySite, Wan};
+use fg_predict::{
+    rank_deployments, AppClasses, ComputeModel, ExecTimePredictor, InterconnectParams, Profile,
+    Target,
+};
+use std::collections::HashMap;
+use std::hint::black_box;
+
+fn profile() -> Profile {
+    Profile {
+        app: "kmeans".into(),
+        data_nodes: 1,
+        compute_nodes: 1,
+        wan_bw: 40e6,
+        dataset_bytes: 1_400_000_000,
+        t_disk: 56.0,
+        t_network: 35.0,
+        t_compute: 1444.0,
+        t_ro: 0.0,
+        t_g: 0.02,
+        max_obj_bytes: 584,
+        passes: 10,
+        repo_machine: "pentium-700".into(),
+        compute_machine: "pentium-700".into(),
+    }
+}
+
+fn bench_predict(c: &mut Criterion) {
+    let predictor = ExecTimePredictor {
+        profile: profile(),
+        classes: AppClasses::CONSTANT_LINEAR_CONSTANT,
+        interconnect: InterconnectParams { bandwidth: 100e6, latency: 0.015 },
+        model: ComputeModel::GlobalReduction,
+    };
+    let target = Target {
+        data_nodes: 8,
+        compute_nodes: 16,
+        wan_bw: 40e6,
+        dataset_bytes: 2_800_000_000,
+    };
+    c.bench_function("predict-single", |b| {
+        b.iter(|| black_box(predictor.predict(black_box(&target))))
+    });
+}
+
+fn bench_inference(c: &mut Criterion) {
+    // A pool of synthetic profiles across sizes and node counts.
+    let profiles: Vec<Profile> = (0..12)
+        .map(|i| {
+            let mut p = profile();
+            p.compute_nodes = 1 << (i % 4);
+            p.dataset_bytes = 350_000_000 * (1 + (i as u64 % 3));
+            p.max_obj_bytes = 584;
+            p.t_g = 0.02 * p.compute_nodes as f64;
+            p
+        })
+        .collect();
+    c.bench_function("infer-classes-12-profiles", |b| {
+        b.iter(|| black_box(AppClasses::infer(black_box(&profiles))))
+    });
+}
+
+fn bench_selection(c: &mut Criterion) {
+    let mut group = c.benchmark_group("resource-selection");
+    for &replicas in &[2usize, 8] {
+        let sites: Vec<(RepositorySite, Wan)> = (0..replicas)
+            .map(|i| {
+                (
+                    RepositorySite::pentium_repository(&format!("repo{i}"), 8),
+                    Wan::per_stream(10e6 * (i + 1) as f64),
+                )
+            })
+            .collect();
+        let compute = vec![ComputeSite::pentium_myrinet("cs", 16)];
+        let deployments =
+            Deployment::enumerate(&sites, &compute, &Configuration::paper_grid());
+        group.bench_with_input(
+            BenchmarkId::new("rank", deployments.len()),
+            &deployments,
+            |b, ds| {
+                let p = profile();
+                b.iter(|| {
+                    black_box(rank_deployments(
+                        &p,
+                        AppClasses::CONSTANT_LINEAR_CONSTANT,
+                        ds,
+                        2_800_000_000,
+                        &HashMap::new(),
+                    ))
+                })
+            },
+        );
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_predict, bench_inference, bench_selection);
+criterion_main!(benches);

@@ -1,0 +1,73 @@
+//! Microbenchmarks of the simulation substrate: event queue, FIFO
+//! servers, and max-min fair-share scheduling.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use fg_sim::{EventQueue, FairShareSim, FifoServer, Flow, ResourceId, ServerPool, SimDuration, SimTime};
+use std::hint::black_box;
+
+fn bench_event_queue(c: &mut Criterion) {
+    let mut group = c.benchmark_group("event-queue");
+    for &n in &[1_000usize, 10_000] {
+        group.bench_with_input(BenchmarkId::new("push-pop", n), &n, |b, &n| {
+            b.iter(|| {
+                let mut q = EventQueue::new();
+                for i in 0..n {
+                    q.push(SimTime::from_nanos(((i * 7919) % n) as u64), i);
+                }
+                let mut sum = 0usize;
+                while let Some((_, v)) = q.pop() {
+                    sum += v;
+                }
+                black_box(sum)
+            })
+        });
+    }
+    group.finish();
+}
+
+fn bench_servers(c: &mut Criterion) {
+    let mut group = c.benchmark_group("servers");
+    group.bench_function("fifo-10k-jobs", |b| {
+        b.iter(|| {
+            let mut s = FifoServer::new();
+            for i in 0..10_000u64 {
+                s.submit(SimTime::from_nanos(i * 3), SimDuration::from_nanos(5));
+            }
+            black_box(s.free_at())
+        })
+    });
+    group.bench_function("pool16-10k-jobs", |b| {
+        b.iter(|| {
+            let mut p = ServerPool::new(16);
+            for i in 0..10_000u64 {
+                p.submit(SimTime::from_nanos(i), SimDuration::from_nanos(100));
+            }
+            black_box(p.all_done_at())
+        })
+    });
+    group.finish();
+}
+
+fn bench_fairshare(c: &mut Criterion) {
+    let mut group = c.benchmark_group("fairshare");
+    for &flows in &[8usize, 64, 256] {
+        group.bench_with_input(BenchmarkId::new("staggered-flows", flows), &flows, |b, &n| {
+            // n flows over 8 uplinks + 8 downlinks, staggered arrivals.
+            let caps: Vec<f64> = vec![100e6; 16];
+            let sim = FairShareSim::new(caps);
+            let flow_list: Vec<Flow> = (0..n)
+                .map(|i| Flow {
+                    arrival: SimTime::from_nanos((i as u64) * 1_000),
+                    demand: 1e6 + (i as f64) * 1e3,
+                    rate_cap: f64::INFINITY,
+                    resources: vec![ResourceId(i % 8), ResourceId(8 + (i * 3) % 8)],
+                })
+                .collect();
+            b.iter(|| black_box(sim.run(&flow_list)))
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_event_queue, bench_servers, bench_fairshare);
+criterion_main!(benches);

@@ -1,0 +1,182 @@
+//! Verify the reproduction's shape claims against regenerated figures.
+//!
+//! Reads `target/figures/*.json` (produced by the `figures` binary) and
+//! asserts the qualitative claims recorded in EXPERIMENTS.md: model
+//! ordering, worst-case locations, error ceilings, ablation contrasts.
+//! Exits non-zero with a list of violations, so the claims can be
+//! re-checked after any recalibration:
+//!
+//! ```text
+//! cargo run -p fg-bench --release --bin figures
+//! cargo run -p fg-bench --release --bin check_figures
+//! ```
+
+use fg_bench::Figure;
+use std::process::ExitCode;
+
+struct Checker {
+    failures: Vec<String>,
+}
+
+impl Checker {
+    fn claim(&mut self, figure: &str, what: &str, ok: bool) {
+        if ok {
+            println!("ok   {figure}: {what}");
+        } else {
+            println!("FAIL {figure}: {what}");
+            self.failures.push(format!("{figure}: {what}"));
+        }
+    }
+
+    fn load(&mut self, id: &str) -> Option<Figure> {
+        let path = format!("target/figures/{id}.json");
+        match std::fs::read_to_string(&path) {
+            Ok(json) => match serde_json::from_str(&json) {
+                Ok(fig) => Some(fig),
+                Err(e) => {
+                    self.claim(id, &format!("parse {path}: {e}"), false);
+                    None
+                }
+            },
+            Err(_) => {
+                self.claim(id, &format!("{path} missing — run the figures binary first"), false);
+                None
+            }
+        }
+    }
+}
+
+/// Mean of a figure column.
+fn mean(fig: &Figure, column: &str) -> f64 {
+    let v = fig.column_values(column);
+    v.iter().sum::<f64>() / v.len() as f64
+}
+
+/// Value at a row label.
+fn at(fig: &Figure, row: &str, column: &str) -> f64 {
+    let idx = fig.columns.iter().position(|c| c == column).expect("column");
+    fig.rows
+        .iter()
+        .find(|(l, _)| l == row)
+        .map(|(_, vs)| vs[idx])
+        .unwrap_or_else(|| panic!("no row {row:?} in {}", fig.id))
+}
+
+fn main() -> ExitCode {
+    let mut ck = Checker { failures: Vec::new() };
+
+    // Figures 2-6: model ordering and worst-case locations.
+    for id in ["fig2", "fig3", "fig4", "fig5", "fig6"] {
+        let Some(fig) = ck.load(id) else { continue };
+        let nc = mean(&fig, "no communication");
+        let rc = mean(&fig, "reduction communication");
+        let gr = mean(&fig, "global reduction");
+        ck.claim(id, "mean error: global <= reduction-comm <= no-comm", gr <= rc * 1.05 && rc <= nc * 1.05);
+        let worst_nc = fig
+            .rows
+            .iter()
+            .max_by(|a, b| a.1[0].total_cmp(&b.1[0]))
+            .map(|(l, _)| l.clone())
+            .unwrap_or_default();
+        ck.claim(id, "no-comm worst case is 8-16", worst_nc == "8-16");
+        ck.claim(id, "global-reduction mean under 2%", gr < 0.02);
+        ck.claim(id, "no-comm under 20% everywhere", fig.max_value() < 0.20);
+    }
+
+    // Figures 7-8: dataset scaling stays tight; fig8's n=8 row spikes.
+    if let Some(fig) = ck.load("fig7") {
+        ck.claim("fig7", "all errors under 2%", fig.max_value() < 0.02);
+    }
+    if let Some(fig) = ck.load("fig8") {
+        let small_rows = fig
+            .rows
+            .iter()
+            .filter(|(l, _)| !l.starts_with('8'))
+            .flat_map(|(_, v)| v.iter())
+            .filter(|v| v.is_finite())
+            .fold(0.0f64, |a, &b| a.max(b));
+        let n8 = at(&fig, "8 data nodes", "16 cn");
+        ck.claim("fig8", "n<=4 rows under 1%", small_rows < 0.01);
+        ck.claim("fig8", "n=8 shows the sub-linear-retrieval bump", n8 > small_rows * 2.0);
+    }
+
+    // Figures 9-10: bandwidth scaling is near-exact.
+    for id in ["fig9", "fig10"] {
+        if let Some(fig) = ck.load(id) {
+            ck.claim(id, "all errors under 2%", fig.max_value() < 0.02);
+        }
+    }
+
+    // Figures 11-13: heterogeneous predictions are the least accurate
+    // but bounded, and the mechanism note is present.
+    for id in ["fig11", "fig12", "fig13"] {
+        if let Some(fig) = ck.load(id) {
+            ck.claim(id, "errors bounded by 12%", fig.max_value() < 0.12);
+            ck.claim(
+                id,
+                "mechanism note records the measured factors",
+                fig.notes.iter().any(|n| n.contains("s_c=")),
+            );
+        }
+    }
+
+    // sc-table: per-app compute factors spread like §5.4's observation.
+    if let Some(fig) = ck.load("sc-table") {
+        let sc = fig.column_values("s_c");
+        let (lo, hi) = (
+            sc.iter().copied().fold(f64::INFINITY, f64::min),
+            sc.iter().copied().fold(0.0f64, f64::max),
+        );
+        ck.claim("sc-table", "kNN is the most cmp-bound (smallest s_c)", at(&fig, "knn", "s_c") <= lo + 1e-12);
+        ck.claim("sc-table", "vortex is the most flop/mem-bound (largest s_c)", at(&fig, "vortex", "s_c") >= hi - 1e-12);
+        ck.claim("sc-table", "factors vary considerably (spread > 0.1)", hi - lo > 0.10);
+    }
+
+    // Ablations: the contrasts that justify the design choices.
+    if let Some(fig) = ck.load("ablate-robj") {
+        let correct = at(&fig, "8-16", "linear (correct)");
+        let wrong = at(&fig, "8-16", "constant (wrong)");
+        ck.claim("ablate-robj", "wrong object class inflates T_ro error >10x", wrong > correct.max(0.005) * 10.0);
+    }
+    if let Some(fig) = ck.load("ablate-tg") {
+        let correct = at(&fig, "8-16", "constant-linear (correct)");
+        let wrong = at(&fig, "8-16", "linear-constant (wrong)");
+        ck.claim("ablate-tg", "wrong T_g class inflates error >3x", wrong > correct * 3.0);
+    }
+    if let Some(fig) = ck.load("ablate-disk") {
+        let capped = at(&fig, "8-16", "capped backplane");
+        let uncapped = at(&fig, "8-16", "uncapped");
+        ck.claim("ablate-disk", "backplane cap explains the n=8 error", capped > uncapped * 3.0);
+    }
+    if let Some(fig) = ck.load("ablate-granularity") {
+        let good = at(&fig, "64 chunks", "8-16").max(at(&fig, "80 chunks", "8-16"));
+        let bad = at(&fig, "67 chunks", "8-16");
+        ck.claim(
+            "ablate-granularity",
+            "awkward chunk counts inflate the 8-16 error >5x",
+            bad > good * 5.0,
+        );
+    }
+    if let Some(fig) = ck.load("ext-cache") {
+        ck.claim("ext-cache", "all cache-plan predictions under 5%", fig.max_value() < 0.05);
+    }
+    if let Some(fig) = ck.load("ext-pipeline") {
+        let ratios = fig.column_values("pipelined / phased");
+        ck.claim(
+            "ext-pipeline",
+            "overlap always saves",
+            ratios.iter().all(|&r| r < 1.0),
+        );
+    }
+
+    if ck.failures.is_empty() {
+        println!("\nall figure claims hold");
+        ExitCode::SUCCESS
+    } else {
+        println!("\n{} claim(s) violated:", ck.failures.len());
+        for f in &ck.failures {
+            println!("  - {f}");
+        }
+        ExitCode::FAILURE
+    }
+}

@@ -1,0 +1,59 @@
+//! Regenerate the paper's evaluation figures.
+//!
+//! ```text
+//! cargo run -p fg-bench --release --bin figures            # everything
+//! cargo run -p fg-bench --release --bin figures -- fig2 fig5
+//! cargo run -p fg-bench --release --bin figures -- --list
+//! cargo run -p fg-bench --release --bin figures -- --bars fig2   # bar charts
+//! ```
+//!
+//! Each figure prints as a text table of relative prediction errors and
+//! is also written to `target/figures/<id>.json`.
+
+use fg_bench::figures::registry;
+use std::io::Write as _;
+use std::time::Instant;
+
+fn main() {
+    let mut args: Vec<String> = std::env::args().skip(1).collect();
+    let bars = if let Some(pos) = args.iter().position(|a| a == "--bars") {
+        args.remove(pos);
+        true
+    } else {
+        false
+    };
+    let registry = registry();
+    if args.iter().any(|a| a == "--list") {
+        for (id, _) in &registry {
+            println!("{id}");
+        }
+        return;
+    }
+    let selected: Vec<&(&str, fn() -> fg_bench::Figure)> = if args.is_empty() {
+        registry.iter().collect()
+    } else {
+        args.iter()
+            .map(|a| {
+                registry
+                    .iter()
+                    .find(|(id, _)| id == a)
+                    .unwrap_or_else(|| panic!("unknown figure {a:?}; try --list"))
+            })
+            .collect()
+    };
+
+    let out_dir = std::path::Path::new("target/figures");
+    std::fs::create_dir_all(out_dir).expect("create target/figures");
+    let mut stdout = std::io::stdout().lock();
+    for (id, gen) in selected {
+        let started = Instant::now();
+        let figure = gen();
+        let elapsed = started.elapsed();
+        let rendered = if bars { figure.render_bars() } else { figure.render() };
+        write!(stdout, "{rendered}").expect("stdout");
+        writeln!(stdout, "  [regenerated in {:.1}s]\n", elapsed.as_secs_f64()).expect("stdout");
+        let path = out_dir.join(format!("{id}.json"));
+        let json = serde_json::to_string_pretty(&figure).expect("serialize figure");
+        std::fs::write(&path, json).unwrap_or_else(|e| panic!("write {path:?}: {e}"));
+    }
+}

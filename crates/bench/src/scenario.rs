@@ -1,0 +1,149 @@
+//! Shared experiment plumbing: canonical deployments, profile capture,
+//! and the profile-predict-measure loop every figure repeats.
+
+use crate::apps::PaperApp;
+use fg_chunks::Dataset;
+use fg_cluster::{ComputeSite, Configuration, Deployment, RepositorySite, Wan};
+use fg_predict::{
+    relative_error, ComputeModel, ExecTimePredictor, InterconnectParams, Prediction, Profile,
+    Target,
+};
+
+/// Dataset scale used by the figure harness: experiments carry the
+/// paper's nominal sizes (130 MB – 1.85 GB) while generating 1/250th of
+/// the bytes; the simulation charges disk, network, and metered compute
+/// at nominal volume, so virtual times correspond to the paper's setting.
+pub const FIGURE_SCALE: f64 = 0.004;
+
+/// Default per-data-node WAN bandwidth for figures 2–8 and 11–13
+/// (bytes/sec): a well-provisioned 2007 site-to-site path.
+pub const DEFAULT_WAN_BW: f64 = 40e6;
+
+/// A deployment on the profile cluster (700 MHz Pentiums, Myrinet).
+pub fn pentium_deployment(n: usize, c: usize, wan_bw: f64) -> Deployment {
+    Deployment::new(
+        RepositorySite::pentium_repository("osu-repository", 8),
+        ComputeSite::pentium_myrinet("osu-pentium", 16),
+        Wan::per_stream(wan_bw),
+        Configuration::new(n, c),
+    )
+}
+
+/// A deployment on the target cluster of §5.4 (2.4 GHz Opterons,
+/// Infiniband).
+pub fn opteron_deployment(n: usize, c: usize, wan_bw: f64) -> Deployment {
+    Deployment::new(
+        RepositorySite::opteron_repository("osu-repository-b", 8),
+        ComputeSite::opteron_infiniband("osu-opteron", 16),
+        Wan::per_stream(wan_bw),
+        Configuration::new(n, c),
+    )
+}
+
+/// Run a profile and return its summary.
+pub fn collect_profile(app: PaperApp, deployment: Deployment, dataset: &Dataset) -> Profile {
+    Profile::from_report(&app.execute(deployment, dataset))
+}
+
+/// One profile-based prediction experiment against one actual run.
+pub struct Comparison {
+    /// The target configuration evaluated.
+    pub config: Configuration,
+    /// Measured execution time (seconds).
+    pub actual: f64,
+    /// Predicted execution time per compute model, in
+    /// [`ComputeModel::ALL`] order.
+    pub predicted: [f64; 3],
+}
+
+impl Comparison {
+    /// Relative error of each model's prediction.
+    pub fn errors(&self) -> [f64; 3] {
+        [
+            relative_error(self.actual, self.predicted[0]),
+            relative_error(self.actual, self.predicted[1]),
+            relative_error(self.actual, self.predicted[2]),
+        ]
+    }
+}
+
+/// Predict `target` from `profile` under every compute model.
+pub fn predict_all_models(
+    profile: &Profile,
+    app: PaperApp,
+    site: &ComputeSite,
+    target: &Target,
+) -> [Prediction; 3] {
+    ComputeModel::ALL.map(|model| {
+        ExecTimePredictor {
+            profile: profile.clone(),
+            classes: app.classes(),
+            interconnect: InterconnectParams::of_site(site),
+            model,
+        }
+        .predict(target)
+    })
+}
+
+/// The core loop of §5.1: profile once, then for every configuration in
+/// `configs` run the application for real and predict it with all three
+/// models.
+pub fn sweep_configurations(
+    app: PaperApp,
+    dataset: &Dataset,
+    profile: &Profile,
+    configs: &[Configuration],
+    wan_bw: f64,
+) -> Vec<Comparison> {
+    use rayon::prelude::*;
+    configs
+        .par_iter()
+        .map(|cfg| {
+            let deployment = pentium_deployment(cfg.data_nodes, cfg.compute_nodes, wan_bw);
+            let site = deployment.compute.clone();
+            let actual = app.execute(deployment, dataset).total().as_secs_f64();
+            let target = Target {
+                data_nodes: cfg.data_nodes,
+                compute_nodes: cfg.compute_nodes,
+                wan_bw,
+                dataset_bytes: dataset.logical_bytes(),
+            };
+            let predicted =
+                predict_all_models(profile, app, &site, &target).map(|p| p.total());
+            Comparison { config: *cfg, actual, predicted }
+        })
+        .collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn comparison_errors_match_definition() {
+        let c = Comparison {
+            config: Configuration::new(1, 1),
+            actual: 10.0,
+            predicted: [9.0, 10.0, 11.0],
+        };
+        let e = c.errors();
+        assert!((e[0] - 0.1).abs() < 1e-12);
+        assert_eq!(e[1], 0.0);
+        assert!((e[2] - 0.1).abs() < 1e-12);
+    }
+
+    #[test]
+    fn sweep_produces_one_comparison_per_config() {
+        let app = PaperApp::KMeans;
+        let ds = app.generate("sweep", 8.0, 0.01, 1);
+        let profile = collect_profile(app, pentium_deployment(1, 1, 1e6), &ds);
+        let configs = [Configuration::new(1, 1), Configuration::new(2, 4)];
+        let out = sweep_configurations(app, &ds, &profile, &configs, 1e6);
+        assert_eq!(out.len(), 2);
+        // Identity configuration: all models close to exact.
+        let identity = &out[0];
+        for e in identity.errors() {
+            assert!(e < 0.02, "identity prediction should be near-exact, got {e}");
+        }
+    }
+}

@@ -1,0 +1,209 @@
+//! Figure results: tabular containers, text rendering, JSON persistence.
+
+use serde::{Deserialize, Serialize};
+use std::fmt::Write as _;
+
+/// One regenerated figure: a labeled table of relative prediction errors
+/// (percent), mirroring a bar group or line series of the paper.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct Figure {
+    /// Identifier ("fig2", "sc-table", "ablate-robj", ...).
+    pub id: String,
+    /// Human-readable title echoing the paper's caption.
+    pub title: String,
+    /// Column headers (after the row-label column).
+    pub columns: Vec<String>,
+    /// Rows: label plus one value per column (`NaN` = not applicable;
+    /// serialized as JSON `null` and restored as `NaN`).
+    #[serde(with = "nan_as_null")]
+    pub rows: Vec<(String, Vec<f64>)>,
+    /// Footnotes (measured context: totals, factors, ...).
+    pub notes: Vec<String>,
+}
+
+impl Figure {
+    /// Render as an aligned text table with percentages.
+    pub fn render(&self) -> String {
+        let mut out = String::new();
+        let _ = writeln!(out, "== {} — {}", self.id, self.title);
+        let label_w = self
+            .rows
+            .iter()
+            .map(|(l, _)| l.len())
+            .chain([9])
+            .max()
+            .unwrap();
+        let col_w = self.columns.iter().map(|c| c.len()).chain([8]).max().unwrap();
+        let _ = write!(out, "{:label_w$}", "");
+        for c in &self.columns {
+            let _ = write!(out, "  {c:>col_w$}");
+        }
+        let _ = writeln!(out);
+        for (label, values) in &self.rows {
+            let _ = write!(out, "{label:label_w$}");
+            for v in values {
+                if v.is_nan() {
+                    let _ = write!(out, "  {:>col_w$}", "-");
+                } else {
+                    let _ = write!(out, "  {:>col_w$}", format!("{:.2}%", v * 100.0));
+                }
+            }
+            let _ = writeln!(out);
+        }
+        for note in &self.notes {
+            let _ = writeln!(out, "  note: {note}");
+        }
+        out
+    }
+
+    /// Render as grouped horizontal ASCII bar charts — the visual shape
+    /// of the paper's figures. Bars are scaled to the table's maximum.
+    pub fn render_bars(&self) -> String {
+        const WIDTH: usize = 46;
+        let max = self.max_value().max(1e-12);
+        let mut out = String::new();
+        let _ = writeln!(out, "== {} — {}", self.id, self.title);
+        let label_w = self
+            .rows
+            .iter()
+            .map(|(l, _)| l.len())
+            .chain(self.columns.iter().map(|c| c.len()))
+            .max()
+            .unwrap_or(8);
+        for (label, values) in &self.rows {
+            let _ = writeln!(out, "{label}");
+            for (col, v) in self.columns.iter().zip(values.iter()) {
+                if v.is_nan() {
+                    continue;
+                }
+                let cells = ((v / max) * WIDTH as f64).round() as usize;
+                let _ = writeln!(
+                    out,
+                    "  {col:>label_w$} |{:<WIDTH$}| {:.2}%",
+                    "#".repeat(cells),
+                    v * 100.0
+                );
+            }
+        }
+        out
+    }
+
+    /// Largest finite value in the table (for assertions on error bounds).
+    pub fn max_value(&self) -> f64 {
+        self.rows
+            .iter()
+            .flat_map(|(_, vs)| vs.iter())
+            .copied()
+            .filter(|v| v.is_finite())
+            .fold(f64::NEG_INFINITY, f64::max)
+    }
+
+    /// All finite values in one named column.
+    pub fn column_values(&self, column: &str) -> Vec<f64> {
+        let idx = self
+            .columns
+            .iter()
+            .position(|c| c == column)
+            .unwrap_or_else(|| panic!("no column {column:?} in figure {}", self.id));
+        self.rows
+            .iter()
+            .map(|(_, vs)| vs[idx])
+            .filter(|v| v.is_finite())
+            .collect()
+    }
+}
+
+/// JSON has no NaN; not-applicable cells round-trip as `null`.
+mod nan_as_null {
+    use serde::{Deserialize, Deserializer, Serialize, Serializer};
+
+    pub fn serialize<S: Serializer>(
+        rows: &[(String, Vec<f64>)],
+        ser: S,
+    ) -> Result<S::Ok, S::Error> {
+        let mapped: Vec<(&String, Vec<Option<f64>>)> = rows
+            .iter()
+            .map(|(l, vs)| {
+                (l, vs.iter().map(|v| if v.is_nan() { None } else { Some(*v) }).collect())
+            })
+            .collect();
+        mapped.serialize(ser)
+    }
+
+    pub fn deserialize<'de, D: Deserializer<'de>>(
+        de: D,
+    ) -> Result<Vec<(String, Vec<f64>)>, D::Error> {
+        let mapped: Vec<(String, Vec<Option<f64>>)> = Vec::deserialize(de)?;
+        Ok(mapped
+            .into_iter()
+            .map(|(l, vs)| (l, vs.into_iter().map(|v| v.unwrap_or(f64::NAN)).collect()))
+            .collect())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn fig() -> Figure {
+        Figure {
+            id: "t".into(),
+            title: "test".into(),
+            columns: vec!["a".into(), "b".into()],
+            rows: vec![
+                ("r1".into(), vec![0.05, 0.10]),
+                ("r2".into(), vec![0.01, f64::NAN]),
+            ],
+            notes: vec!["hello".into()],
+        }
+    }
+
+    #[test]
+    fn render_contains_all_cells() {
+        let s = fig().render();
+        assert!(s.contains("5.00%"));
+        assert!(s.contains("10.00%"));
+        assert!(s.contains("1.00%"));
+        assert!(s.contains(" -"));
+        assert!(s.contains("note: hello"));
+    }
+
+    #[test]
+    fn max_value_ignores_nan() {
+        assert_eq!(fig().max_value(), 0.10);
+    }
+
+    #[test]
+    fn column_extraction() {
+        assert_eq!(fig().column_values("a"), vec![0.05, 0.01]);
+        assert_eq!(fig().column_values("b"), vec![0.10]);
+    }
+
+    #[test]
+    #[should_panic(expected = "no column")]
+    fn missing_column_panics() {
+        fig().column_values("zzz");
+    }
+
+    #[test]
+    fn bar_rendering_scales_to_the_maximum() {
+        let s = fig().render_bars();
+        // The 0.10 cell is the maximum: a full-width bar of 46 '#'.
+        assert!(s.contains(&"#".repeat(46)), "{s}");
+        // The 0.05 cell gets half of that.
+        assert!(s.contains(&format!("|{:<46}| 5.00%", "#".repeat(23))), "{s}");
+        // NaN cells render no bar line.
+        assert_eq!(s.matches('|').count(), 6, "{s}");
+    }
+
+    #[test]
+    fn json_roundtrip_preserves_nan_cells() {
+        let f = fig();
+        let json = serde_json::to_string(&f).expect("serialize");
+        assert!(json.contains("null"), "NaN must serialize as null: {json}");
+        let back: Figure = serde_json::from_str(&json).expect("deserialize");
+        assert_eq!(back.rows[0].1, f.rows[0].1);
+        assert!(back.rows[1].1[1].is_nan());
+        assert_eq!(back.columns, f.columns);
+    }
+}

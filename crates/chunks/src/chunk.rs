@@ -1,0 +1,87 @@
+//! The chunk: FREERIDE-G's unit of storage, transfer, and processing.
+
+use bytes::Bytes;
+use serde::{Deserialize, Serialize};
+
+/// Spatial extent of a chunk along the dataset's partitioning axis, with
+/// halo (overlap) widths.
+///
+/// The vortex and defect applications partition their grids into slabs
+/// with duplicated boundary layers so the detection phase needs no
+/// neighbor communication (§4.4 of the paper: "overlapping data instances
+/// from neighboring partitions"). `begin..end` is the slab the chunk
+/// *owns*; the payload additionally contains `halo_before` layers before
+/// `begin` and `halo_after` layers after `end`.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub struct Span {
+    /// First owned coordinate (inclusive).
+    pub begin: u64,
+    /// One past the last owned coordinate.
+    pub end: u64,
+    /// Duplicated layers preceding `begin` in the payload.
+    pub halo_before: u64,
+    /// Duplicated layers following `end` in the payload.
+    pub halo_after: u64,
+}
+
+impl Span {
+    /// Number of owned coordinates.
+    pub fn owned_len(&self) -> u64 {
+        self.end - self.begin
+    }
+
+    /// Number of coordinates present in the payload (owned + halo).
+    pub fn stored_len(&self) -> u64 {
+        self.halo_before + self.owned_len() + self.halo_after
+    }
+}
+
+/// One chunk of a dataset.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct Chunk {
+    /// Position of the chunk within its dataset (0-based, dense).
+    pub id: u32,
+    /// Encoded element data (see [`crate::codec`]). Cheap to clone.
+    #[serde(skip, default)]
+    pub payload: Bytes,
+    /// Number of *owned* data elements in the chunk (halo excluded).
+    pub elements: u64,
+    /// Bytes this chunk occupies on the wire and on disk at nominal
+    /// (paper) scale. `logical_bytes >= payload.len()` whenever the
+    /// dataset was generated at reduced scale.
+    pub logical_bytes: u64,
+    /// Spatial span for halo-partitioned datasets; `None` for point sets.
+    pub span: Option<Span>,
+}
+
+impl Chunk {
+    /// Physical payload size in bytes.
+    pub fn physical_bytes(&self) -> usize {
+        self.payload.len()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn span_lengths() {
+        let s = Span { begin: 10, end: 20, halo_before: 1, halo_after: 2 };
+        assert_eq!(s.owned_len(), 10);
+        assert_eq!(s.stored_len(), 13);
+    }
+
+    #[test]
+    fn chunk_reports_physical_size() {
+        let c = Chunk {
+            id: 0,
+            payload: Bytes::from_static(&[0u8; 16]),
+            elements: 4,
+            logical_bytes: 1600,
+            span: None,
+        };
+        assert_eq!(c.physical_bytes(), 16);
+        assert!(c.logical_bytes > c.physical_bytes() as u64);
+    }
+}

@@ -1,0 +1,100 @@
+//! Little-endian element codecs for chunk payloads.
+//!
+//! Chunks travel as opaque byte strings (as they would on the wire in the
+//! real middleware); applications encode their element streams on
+//! generation and decode once per pass. Everything is plain safe Rust —
+//! no transmutes — so payloads need no alignment guarantees.
+
+use bytes::{BufMut, Bytes, BytesMut};
+
+/// Encode a slice of `f32` values, little-endian.
+pub fn encode_f32s(values: &[f32]) -> Bytes {
+    let mut buf = BytesMut::with_capacity(values.len() * 4);
+    for v in values {
+        buf.put_f32_le(*v);
+    }
+    buf.freeze()
+}
+
+/// Decode a payload produced by [`encode_f32s`]. Panics if the length is
+/// not a multiple of four (a corrupt chunk is a logic error here, not an
+/// I/O condition).
+pub fn decode_f32s(payload: &Bytes) -> Vec<f32> {
+    assert!(
+        payload.len() % 4 == 0,
+        "f32 payload length {} not a multiple of 4",
+        payload.len()
+    );
+    payload
+        .chunks_exact(4)
+        .map(|b| f32::from_le_bytes([b[0], b[1], b[2], b[3]]))
+        .collect()
+}
+
+/// Encode a slice of `u32` values, little-endian.
+pub fn encode_u32s(values: &[u32]) -> Bytes {
+    let mut buf = BytesMut::with_capacity(values.len() * 4);
+    for v in values {
+        buf.put_u32_le(*v);
+    }
+    buf.freeze()
+}
+
+/// Decode a payload produced by [`encode_u32s`].
+pub fn decode_u32s(payload: &Bytes) -> Vec<u32> {
+    assert!(
+        payload.len() % 4 == 0,
+        "u32 payload length {} not a multiple of 4",
+        payload.len()
+    );
+    payload
+        .chunks_exact(4)
+        .map(|b| u32::from_le_bytes([b[0], b[1], b[2], b[3]]))
+        .collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use proptest::prelude::*;
+
+    #[test]
+    fn f32_roundtrip_simple() {
+        let vals = vec![0.0f32, -1.5, 3.25, f32::MAX];
+        assert_eq!(decode_f32s(&encode_f32s(&vals)), vals);
+    }
+
+    #[test]
+    fn u32_roundtrip_simple() {
+        let vals = vec![0u32, 1, 0xdead_beef, u32::MAX];
+        assert_eq!(decode_u32s(&encode_u32s(&vals)), vals);
+    }
+
+    #[test]
+    fn empty_payloads_are_fine() {
+        assert!(decode_f32s(&encode_f32s(&[])).is_empty());
+        assert!(decode_u32s(&encode_u32s(&[])).is_empty());
+    }
+
+    #[test]
+    #[should_panic(expected = "not a multiple of 4")]
+    fn truncated_payload_panics() {
+        decode_f32s(&Bytes::from_static(&[1, 2, 3]));
+    }
+
+    proptest! {
+        #[test]
+        fn f32_roundtrip(vals in proptest::collection::vec(any::<f32>(), 0..256)) {
+            let back = decode_f32s(&encode_f32s(&vals));
+            prop_assert_eq!(back.len(), vals.len());
+            for (a, b) in back.iter().zip(vals.iter()) {
+                prop_assert!(a.to_bits() == b.to_bits()); // NaN-exact
+            }
+        }
+
+        #[test]
+        fn u32_roundtrip(vals in proptest::collection::vec(any::<u32>(), 0..256)) {
+            prop_assert_eq!(decode_u32s(&encode_u32s(&vals)), vals);
+        }
+    }
+}

@@ -1,0 +1,104 @@
+//! Chunk → compute-node destination assignment.
+//!
+//! This is the data server's "data distribution" role: before any bytes
+//! move, every chunk is assigned the compute node that will process it.
+//! Each data node streams to its own contiguous band of compute nodes
+//! (so a data node talks to `~c/n` destinations, never all `c`),
+//! round-robining its chunks within the band.
+
+/// Compute the destination compute node for every chunk.
+///
+/// `placement[d]` lists the chunks held by data node `d` (from
+/// [`crate::partition`]); `compute_nodes` is `c >= len(placement)`.
+/// Returns `dest[chunk_id] = compute node`.
+pub fn assign_destinations(placement: &[Vec<usize>], compute_nodes: usize) -> Vec<usize> {
+    let n = placement.len();
+    assert!(n >= 1, "need at least one data node");
+    assert!(
+        compute_nodes >= n,
+        "need compute nodes >= data nodes ({compute_nodes} < {n})"
+    );
+    let num_chunks: usize = placement.iter().map(|v| v.len()).sum();
+    let mut dest = vec![usize::MAX; num_chunks];
+    for (d, chunks) in placement.iter().enumerate() {
+        // Data node d's band of compute nodes.
+        let lo = d * compute_nodes / n;
+        let hi = (d + 1) * compute_nodes / n;
+        let band = hi - lo;
+        for (j, &k) in chunks.iter().enumerate() {
+            dest[k] = lo + j % band;
+        }
+    }
+    assert!(
+        dest.iter().all(|&d| d != usize::MAX),
+        "placement did not cover all chunks 0..{num_chunks}"
+    );
+    dest
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::partition::contiguous;
+    use proptest::prelude::*;
+
+    #[test]
+    fn one_to_one_maps_bandwise() {
+        // 2 data nodes, 4 compute nodes: node 0 feeds {0,1}, node 1 feeds {2,3}.
+        let placement = contiguous(8, 2);
+        let dest = assign_destinations(&placement, 4);
+        assert_eq!(dest, vec![0, 1, 0, 1, 2, 3, 2, 3]);
+    }
+
+    #[test]
+    fn equal_counts_gives_identity_bands() {
+        let placement = contiguous(6, 3);
+        let dest = assign_destinations(&placement, 3);
+        assert_eq!(dest, vec![0, 0, 1, 1, 2, 2]);
+    }
+
+    #[test]
+    fn single_data_node_feeds_all() {
+        let placement = contiguous(6, 1);
+        let dest = assign_destinations(&placement, 3);
+        assert_eq!(dest, vec![0, 1, 2, 0, 1, 2]);
+    }
+
+    #[test]
+    #[should_panic(expected = "compute nodes >= data nodes")]
+    fn fewer_compute_nodes_rejected() {
+        assign_destinations(&contiguous(4, 4), 2);
+    }
+
+    proptest! {
+        /// Every chunk gets a valid destination; each data node only sends
+        /// within its band; and when the counts divide evenly, compute
+        /// load is balanced to within one chunk.
+        #[test]
+        fn destinations_are_valid_and_balanced(
+            m in 1usize..300,
+            n_pow in 0u32..4,
+            c_pow in 0u32..5,
+        ) {
+            let n = 1usize << n_pow;
+            let c = 1usize << c_pow.max(n_pow); // ensure c >= n
+            let placement = contiguous(m, n);
+            let dest = assign_destinations(&placement, c);
+            prop_assert_eq!(dest.len(), m);
+            for (d, chunks) in placement.iter().enumerate() {
+                let lo = d * c / n;
+                let hi = (d + 1) * c / n;
+                for &k in chunks {
+                    prop_assert!(dest[k] >= lo && dest[k] < hi,
+                        "chunk {} of data node {} escaped band [{},{})", k, d, lo, hi);
+                }
+            }
+            // Global balance: destination counts differ by at most n
+            // (each band is balanced to within one chunk per data node).
+            let mut counts = vec![0usize; c];
+            for &d in &dest { counts[d] += 1; }
+            let (min, max) = (counts.iter().min().unwrap(), counts.iter().max().unwrap());
+            prop_assert!(max - min <= n, "imbalance {:?}", counts);
+        }
+    }
+}

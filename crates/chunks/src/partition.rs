@@ -1,0 +1,84 @@
+//! Chunk → data-node placement.
+//!
+//! The repository divides a dataset's chunks across its `n` on-line data
+//! nodes. Contiguous placement (ADR-style, preserving spatial locality)
+//! is the default; round-robin is provided for comparison and tests.
+
+/// Contiguous placement: node `i` holds chunks
+/// `[i*m/n, (i+1)*m/n)` — balanced to within one chunk.
+pub fn contiguous(num_chunks: usize, data_nodes: usize) -> Vec<Vec<usize>> {
+    assert!(data_nodes >= 1);
+    (0..data_nodes)
+        .map(|i| {
+            let lo = i * num_chunks / data_nodes;
+            let hi = (i + 1) * num_chunks / data_nodes;
+            (lo..hi).collect()
+        })
+        .collect()
+}
+
+/// Round-robin placement: chunk `k` lives on node `k % n`.
+pub fn round_robin(num_chunks: usize, data_nodes: usize) -> Vec<Vec<usize>> {
+    assert!(data_nodes >= 1);
+    let mut out = vec![Vec::new(); data_nodes];
+    for k in 0..num_chunks {
+        out[k % data_nodes].push(k);
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use proptest::prelude::*;
+
+    #[test]
+    fn contiguous_is_contiguous_and_balanced() {
+        let p = contiguous(10, 4);
+        assert_eq!(p, vec![vec![0, 1], vec![2, 3, 4], vec![5, 6], vec![7, 8, 9]]);
+    }
+
+    #[test]
+    fn round_robin_interleaves() {
+        let p = round_robin(5, 2);
+        assert_eq!(p, vec![vec![0, 2, 4], vec![1, 3]]);
+    }
+
+    #[test]
+    fn single_node_gets_everything() {
+        assert_eq!(contiguous(3, 1), vec![vec![0, 1, 2]]);
+        assert_eq!(round_robin(3, 1), vec![vec![0, 1, 2]]);
+    }
+
+    #[test]
+    fn more_nodes_than_chunks_leaves_some_empty() {
+        let p = contiguous(2, 4);
+        let total: usize = p.iter().map(|v| v.len()).sum();
+        assert_eq!(total, 2);
+    }
+
+    proptest! {
+        /// Both placements form a partition: every chunk appears exactly
+        /// once, and load is balanced to within one chunk.
+        #[test]
+        fn placements_are_balanced_partitions(
+            m in 0usize..500,
+            n in 1usize..17,
+            rr in proptest::bool::ANY,
+        ) {
+            let p = if rr { round_robin(m, n) } else { contiguous(m, n) };
+            prop_assert_eq!(p.len(), n);
+            let mut seen = vec![false; m];
+            for node in &p {
+                for &k in node {
+                    prop_assert!(!seen[k], "chunk {} placed twice", k);
+                    seen[k] = true;
+                }
+            }
+            prop_assert!(seen.iter().all(|&s| s));
+            let lens: Vec<usize> = p.iter().map(|v| v.len()).collect();
+            let (min, max) = (lens.iter().min().unwrap(), lens.iter().max().unwrap());
+            prop_assert!(max - min <= 1, "imbalance: {:?}", lens);
+        }
+    }
+}

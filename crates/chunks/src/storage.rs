@@ -1,0 +1,209 @@
+//! On-disk dataset persistence.
+//!
+//! The serde representation of a [`Dataset`] deliberately skips chunk
+//! payloads (reports and catalogs shouldn't drag gigabytes of data into
+//! JSON). This module is the complement: a simple length-prefixed binary
+//! container that stores a complete dataset — metadata *and* payloads —
+//! so generated repositories can be written once and reused across
+//! experiment runs.
+//!
+//! Format (all integers little-endian):
+//!
+//! ```text
+//! magic "FGDS"  u32 version  u32 id_len  id  u32 kind_len  kind  f64 scale
+//! u32 num_chunks
+//! per chunk: u64 elements  u64 logical_bytes
+//!            u8 has_span [u64 begin  u64 end  u64 halo_before  u64 halo_after]
+//!            u64 payload_len  payload
+//! ```
+
+use crate::chunk::Span;
+use crate::dataset::{Dataset, DatasetBuilder};
+use bytes::Bytes;
+use std::io::{self, BufReader, BufWriter, Read, Write};
+use std::path::Path;
+
+const MAGIC: &[u8; 4] = b"FGDS";
+const VERSION: u32 = 1;
+
+/// Write a dataset (with payloads) to `path`.
+pub fn save(dataset: &Dataset, path: &Path) -> io::Result<()> {
+    let file = std::fs::File::create(path)?;
+    let mut w = BufWriter::new(file);
+    w.write_all(MAGIC)?;
+    w.write_all(&VERSION.to_le_bytes())?;
+    write_str(&mut w, &dataset.id)?;
+    write_str(&mut w, &dataset.kind)?;
+    w.write_all(&dataset.scale.to_le_bytes())?;
+    w.write_all(&(dataset.chunks.len() as u32).to_le_bytes())?;
+    for chunk in &dataset.chunks {
+        w.write_all(&chunk.elements.to_le_bytes())?;
+        w.write_all(&chunk.logical_bytes.to_le_bytes())?;
+        match chunk.span {
+            Some(span) => {
+                w.write_all(&[1u8])?;
+                for v in [span.begin, span.end, span.halo_before, span.halo_after] {
+                    w.write_all(&v.to_le_bytes())?;
+                }
+            }
+            None => w.write_all(&[0u8])?,
+        }
+        w.write_all(&(chunk.payload.len() as u64).to_le_bytes())?;
+        w.write_all(&chunk.payload)?;
+    }
+    w.flush()
+}
+
+/// Read a dataset written by [`save`].
+pub fn load(path: &Path) -> io::Result<Dataset> {
+    let file = std::fs::File::open(path)?;
+    let mut r = BufReader::new(file);
+    let mut magic = [0u8; 4];
+    r.read_exact(&mut magic)?;
+    if &magic != MAGIC {
+        return Err(bad("not a FGDS dataset file"));
+    }
+    let version = read_u32(&mut r)?;
+    if version != VERSION {
+        return Err(bad(&format!("unsupported FGDS version {version}")));
+    }
+    let id = read_str(&mut r)?;
+    let kind = read_str(&mut r)?;
+    let scale = f64::from_le_bytes(read_array(&mut r)?);
+    if !(scale > 0.0 && scale <= 1.0) {
+        return Err(bad(&format!("corrupt scale {scale}")));
+    }
+    let num_chunks = read_u32(&mut r)? as usize;
+    if num_chunks == 0 {
+        return Err(bad("dataset has no chunks"));
+    }
+    let mut builder = DatasetBuilder::new(&id, &kind, scale);
+    for _ in 0..num_chunks {
+        let elements = u64::from_le_bytes(read_array(&mut r)?);
+        let logical = u64::from_le_bytes(read_array(&mut r)?);
+        let mut flag = [0u8; 1];
+        r.read_exact(&mut flag)?;
+        let span = match flag[0] {
+            0 => None,
+            1 => Some(Span {
+                begin: u64::from_le_bytes(read_array(&mut r)?),
+                end: u64::from_le_bytes(read_array(&mut r)?),
+                halo_before: u64::from_le_bytes(read_array(&mut r)?),
+                halo_after: u64::from_le_bytes(read_array(&mut r)?),
+            }),
+            other => return Err(bad(&format!("corrupt span flag {other}"))),
+        };
+        let len = u64::from_le_bytes(read_array(&mut r)?);
+        if len > 1 << 40 {
+            return Err(bad(&format!("implausible payload length {len}")));
+        }
+        let mut payload = vec![0u8; len as usize];
+        r.read_exact(&mut payload)?;
+        builder.push_chunk(Bytes::from(payload), elements, span);
+        // push_chunk recomputes logical size from scale; verify it agrees
+        // with the stored value (detects container/scale mismatches).
+        let rebuilt = builder_last_logical(&builder);
+        if rebuilt.abs_diff(logical) > 1 {
+            return Err(bad(&format!(
+                "logical size mismatch: stored {logical}, rebuilt {rebuilt}"
+            )));
+        }
+    }
+    Ok(builder.build())
+}
+
+fn builder_last_logical(b: &DatasetBuilder) -> u64 {
+    b.peek_last_logical().expect("chunk just pushed")
+}
+
+fn write_str(w: &mut impl Write, s: &str) -> io::Result<()> {
+    w.write_all(&(s.len() as u32).to_le_bytes())?;
+    w.write_all(s.as_bytes())
+}
+
+fn read_str(r: &mut impl Read) -> io::Result<String> {
+    let len = read_u32(r)? as usize;
+    if len > 1 << 20 {
+        return Err(bad("implausible string length"));
+    }
+    let mut buf = vec![0u8; len];
+    r.read_exact(&mut buf)?;
+    String::from_utf8(buf).map_err(|e| bad(&format!("bad utf-8: {e}")))
+}
+
+fn read_u32(r: &mut impl Read) -> io::Result<u32> {
+    Ok(u32::from_le_bytes(read_array(r)?))
+}
+
+fn read_array<const N: usize>(r: &mut impl Read) -> io::Result<[u8; N]> {
+    let mut buf = [0u8; N];
+    r.read_exact(&mut buf)?;
+    Ok(buf)
+}
+
+fn bad(msg: &str) -> io::Error {
+    io::Error::new(io::ErrorKind::InvalidData, msg)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::codec::encode_f32s;
+
+    fn sample() -> Dataset {
+        let mut b = DatasetBuilder::new("persist-me", "test-kind", 0.01);
+        b.push_chunk(encode_f32s(&[1.0, 2.0, 3.0]), 3, None);
+        b.push_chunk(
+            encode_f32s(&[4.0; 64]),
+            32,
+            Some(Span { begin: 0, end: 4, halo_before: 0, halo_after: 1 }),
+        );
+        b.build()
+    }
+
+    #[test]
+    fn roundtrip_preserves_everything() {
+        let dir = std::env::temp_dir().join("fgds-test-roundtrip");
+        std::fs::create_dir_all(&dir).unwrap();
+        let path = dir.join("sample.fgds");
+        let ds = sample();
+        save(&ds, &path).unwrap();
+        let back = load(&path).unwrap();
+        assert_eq!(back.id, ds.id);
+        assert_eq!(back.kind, ds.kind);
+        assert_eq!(back.scale, ds.scale);
+        assert_eq!(back.num_chunks(), ds.num_chunks());
+        for (a, b) in ds.chunks.iter().zip(back.chunks.iter()) {
+            assert_eq!(a.payload, b.payload);
+            assert_eq!(a.elements, b.elements);
+            assert_eq!(a.logical_bytes, b.logical_bytes);
+            assert_eq!(a.span, b.span);
+        }
+        std::fs::remove_file(&path).unwrap();
+    }
+
+    #[test]
+    fn rejects_wrong_magic() {
+        let dir = std::env::temp_dir().join("fgds-test-magic");
+        std::fs::create_dir_all(&dir).unwrap();
+        let path = dir.join("junk.fgds");
+        std::fs::write(&path, b"NOPE but long enough to read").unwrap();
+        let err = load(&path).unwrap_err();
+        assert!(err.to_string().contains("not a FGDS"));
+        std::fs::remove_file(&path).unwrap();
+    }
+
+    #[test]
+    fn rejects_truncated_file() {
+        let dir = std::env::temp_dir().join("fgds-test-trunc");
+        std::fs::create_dir_all(&dir).unwrap();
+        let path = dir.join("trunc.fgds");
+        let full = dir.join("full.fgds");
+        save(&sample(), &full).unwrap();
+        let bytes = std::fs::read(&full).unwrap();
+        std::fs::write(&path, &bytes[..bytes.len() / 2]).unwrap();
+        assert!(load(&path).is_err());
+        std::fs::remove_file(&path).unwrap();
+        std::fs::remove_file(&full).unwrap();
+    }
+}

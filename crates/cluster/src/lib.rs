@@ -1,0 +1,29 @@
+//! # fg-cluster — grid resource models
+//!
+//! The paper's testbed was two physical clusters (700 MHz Pentium III
+//! machines on Myrinet; dual 2.4 GHz Opteron 250 machines on Infiniband)
+//! plus a wide-area path between a data repository and a compute site.
+//! This crate models those resources parametrically:
+//!
+//! * [`machine`] — per-machine capability: operation-class throughputs
+//!   (floating point / memory / compare-and-branch), disk bandwidth and
+//!   seek, and NIC bandwidth. Heterogeneity across clusters emerges from
+//!   different per-class throughputs, which is why per-application compute
+//!   scaling factors differ (§5.4 of the paper).
+//! * [`site`] — repository sites (data nodes + shared storage backplane),
+//!   compute sites (compute nodes + interconnect + middleware overheads),
+//!   and the WAN between them.
+//! * [`config`] — parallel configurations `(n data nodes, c compute
+//!   nodes)` with the middleware's `c >= n` rule, and full deployments
+//!   (replica site + compute site + WAN + configuration) that the resource
+//!   selection framework enumerates.
+
+#![warn(missing_docs)]
+
+pub mod config;
+pub mod machine;
+pub mod site;
+
+pub use config::{CacheSite, Configuration, Deployment};
+pub use machine::{MachineSpec, OpClass, OpCounts};
+pub use site::{ComputeSite, MiddlewareCosts, RepositorySite, Wan};

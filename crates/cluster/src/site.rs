@@ -1,0 +1,216 @@
+//! Sites and the wide-area path between them.
+
+use crate::machine::MachineSpec;
+use fg_sim::SimDuration;
+use serde::{Deserialize, Serialize};
+
+/// A data repository site: up to `max_nodes` identical data-hosting
+/// machines behind a shared storage backplane.
+///
+/// The backplane is what makes data retrieval scale *sub-linearly* past a
+/// few nodes (observed in the paper for molecular defect detection: linear
+/// speedup at 2 and 4 data nodes, sub-linear beyond) — each node reads its
+/// local disk at `machine.disk_bw`, but the aggregate across all
+/// concurrently-reading nodes is capped at `backplane_bw`.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct RepositorySite {
+    /// Site name (used to identify replicas in reports).
+    pub name: String,
+    /// The machine type of every data node at the site.
+    pub machine: MachineSpec,
+    /// Upper bound on usable data nodes.
+    pub max_nodes: usize,
+    /// Aggregate storage-backplane read bandwidth, bytes/sec.
+    pub backplane_bw: f64,
+}
+
+impl RepositorySite {
+    /// A repository built from Pentium-class nodes whose backplane
+    /// sustains about seven and a half concurrent full-rate disk streams
+    /// (mild sub-linear retrieval scaling at eight nodes, as the paper
+    /// observes for the defect application).
+    pub fn pentium_repository(name: &str, max_nodes: usize) -> RepositorySite {
+        let machine = MachineSpec::pentium_700();
+        RepositorySite {
+            name: name.into(),
+            backplane_bw: machine.disk_bw * 7.5,
+            machine,
+            max_nodes,
+        }
+    }
+
+    /// A repository built from Opteron-class nodes (same backplane
+    /// provisioning rule).
+    pub fn opteron_repository(name: &str, max_nodes: usize) -> RepositorySite {
+        let machine = MachineSpec::opteron_2400();
+        RepositorySite {
+            name: name.into(),
+            backplane_bw: machine.disk_bw * 7.5,
+            machine,
+            max_nodes,
+        }
+    }
+}
+
+/// Fixed per-operation middleware overheads.
+///
+/// These model the client-server bookkeeping of a 2007-era TCP/XDR grid
+/// middleware: message handshakes, (de)serialization, and per-chunk
+/// dispatch. They are what the paper's *no communication* compute model
+/// ignores and its *reduction communication* / *global reduction* models
+/// progressively capture.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct MiddlewareCosts {
+    /// Per-chunk handling on a compute node (receive, enqueue, hand to the
+    /// local reduction), charged to compute time.
+    pub chunk_dispatch: SimDuration,
+    /// Per-reduction-object handling at the master during the global
+    /// reduction phase (receive buffer, deserialize, merge bookkeeping),
+    /// charged to `T_g`.
+    pub obj_handling: SimDuration,
+    /// Per-message middleware latency for reduction-object communication
+    /// (the `l` of `T_ro = w*r + l`): connection setup, marshalling, and
+    /// acknowledgement of one object transfer. Charged to `T_ro`.
+    pub gather_latency: SimDuration,
+    /// Per-hop latency of the state broadcast tree; broadcasts push
+    /// pre-serialized state without the per-object unmarshalling of the
+    /// gather path, so this is much smaller than `gather_latency`.
+    pub bcast_latency: SimDuration,
+    /// Per-chunk overhead of writing to / reading from the local cache on
+    /// multi-pass applications, charged to disk time.
+    pub cache_chunk_overhead: SimDuration,
+}
+
+impl Default for MiddlewareCosts {
+    fn default() -> Self {
+        MiddlewareCosts {
+            chunk_dispatch: SimDuration::from_micros(900),
+            obj_handling: SimDuration::from_micros(500),
+            gather_latency: SimDuration::from_millis(15),
+            bcast_latency: SimDuration::from_millis(1),
+            cache_chunk_overhead: SimDuration::from_micros(400),
+        }
+    }
+}
+
+/// A compute site: up to `max_nodes` identical machines on a local
+/// interconnect, running the FREERIDE-G compute server.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct ComputeSite {
+    /// Site name.
+    pub name: String,
+    /// The machine type of every compute node.
+    pub machine: MachineSpec,
+    /// Upper bound on usable compute nodes.
+    pub max_nodes: usize,
+    /// Interconnect bandwidth for reduction-object communication,
+    /// bytes/sec (the `1/w` of `T_ro = w*r + l`).
+    pub interconnect_bw: f64,
+    /// Scratch storage available for the chunk cache on each compute
+    /// node, bytes. Multi-pass applications whose per-node share exceeds
+    /// this cannot cache locally and fall back to a non-local caching
+    /// site (§2.1: "if sufficient storage is not available at the site
+    /// where computations are performed, data may be cached at a
+    /// non-local site") or to re-fetching from the origin repository.
+    pub node_storage_bytes: u64,
+    /// Middleware overhead constants at this site.
+    pub costs: MiddlewareCosts,
+}
+
+impl ComputeSite {
+    /// The paper's profile cluster: 700 MHz Pentiums on Myrinet LANai 7.0.
+    pub fn pentium_myrinet(name: &str, max_nodes: usize) -> ComputeSite {
+        ComputeSite {
+            name: name.into(),
+            machine: MachineSpec::pentium_700(),
+            max_nodes,
+            interconnect_bw: 100e6,
+            node_storage_bytes: 64_000_000_000, // 64 GB scratch per node
+            costs: MiddlewareCosts::default(),
+        }
+    }
+
+    /// The paper's target cluster: 2.4 GHz Opteron 250s on 1 Gb Infiniband.
+    /// Middleware overheads shrink with the faster CPU (they are mostly
+    /// host processing, not wire time).
+    pub fn opteron_infiniband(name: &str, max_nodes: usize) -> ComputeSite {
+        ComputeSite {
+            name: name.into(),
+            machine: MachineSpec::opteron_2400(),
+            max_nodes,
+            interconnect_bw: 110e6,
+            node_storage_bytes: 64_000_000_000,
+            costs: MiddlewareCosts {
+                chunk_dispatch: SimDuration::from_micros(350),
+                obj_handling: SimDuration::from_micros(180),
+                gather_latency: SimDuration::from_micros(5400),
+                bcast_latency: SimDuration::from_micros(400),
+                cache_chunk_overhead: SimDuration::from_micros(150),
+            },
+        }
+    }
+}
+
+/// The wide-area path between a repository and a compute site.
+///
+/// `stream_bw` is the per-stream achievable bandwidth `b` of the paper's
+/// model (their experiments throttled each data-communication stream
+/// synthetically, which is why network time scales with both `b` and the
+/// number of data nodes). `aggregate_cap`, when set, additionally caps the
+/// *sum* over all concurrent streams — that violates the model's
+/// assumptions and is used in ablation experiments only.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct Wan {
+    /// Per-stream achievable bandwidth, bytes/sec (the model's `b`).
+    pub stream_bw: f64,
+    /// Per-chunk transfer latency (connection + message overhead).
+    pub latency: SimDuration,
+    /// Optional aggregate capacity across all streams, bytes/sec.
+    pub aggregate_cap: Option<f64>,
+}
+
+impl Wan {
+    /// A WAN path with the given per-stream bandwidth and a 200 us
+    /// per-chunk protocol latency, no aggregate cap.
+    pub fn per_stream(bw: f64) -> Wan {
+        Wan {
+            stream_bw: bw,
+            latency: SimDuration::from_micros(200),
+            aggregate_cap: None,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn backplane_allows_about_seven_streams() {
+        let r = RepositorySite::pentium_repository("osu", 8);
+        assert!((r.backplane_bw / r.machine.disk_bw - 7.5).abs() < 1e-12);
+    }
+
+    #[test]
+    fn default_costs_are_modest_but_nonzero() {
+        let c = MiddlewareCosts::default();
+        assert!(!c.obj_handling.is_zero());
+        assert!(!c.gather_latency.is_zero());
+        assert!(c.chunk_dispatch < c.gather_latency);
+    }
+
+    #[test]
+    fn opteron_site_has_cheaper_overheads() {
+        let a = ComputeSite::pentium_myrinet("a", 16);
+        let b = ComputeSite::opteron_infiniband("b", 16);
+        assert!(b.costs.obj_handling < a.costs.obj_handling);
+        assert!(b.costs.gather_latency < a.costs.gather_latency);
+    }
+
+    #[test]
+    fn wan_constructor_sets_per_stream_bandwidth() {
+        let w = Wan::per_stream(1e6);
+        assert_eq!(w.stream_bw, 1e6);
+        assert!(w.aggregate_cap.is_none());
+    }
+}

@@ -1,0 +1,208 @@
+//! Estimating the achievable WAN bandwidth `b̂`.
+//!
+//! The network predictor needs the bandwidth available to the *next*
+//! data-movement task. §3.2 of the paper: "in recent years, many efforts
+//! have focused on determining the effective bandwidth available for a
+//! particular data movement task [Dinda, Qiao, Vazhkudai & Schopf] — we
+//! can directly use this work to determine `b̂`." This module supplies
+//! that ingredient: time-series estimators over observed transfer
+//! bandwidths, plus a synthetic shared-WAN trace generator to evaluate
+//! them (we have no wide-area testbed, same as the paper).
+
+use fg_sim::rng::stream_rng;
+use rand::Rng;
+use serde::{Deserialize, Serialize};
+
+/// An on-line bandwidth estimator: feed observations, ask for the next
+/// value.
+pub trait BandwidthEstimator {
+    /// Record one observed transfer bandwidth (bytes/sec).
+    fn observe(&mut self, bw: f64);
+    /// Estimate the bandwidth of the next transfer. Panics if called
+    /// before any observation.
+    fn estimate(&self) -> f64;
+    /// Estimator name (for reports).
+    fn name(&self) -> &'static str;
+}
+
+/// Predicts the most recent observation (the naive baseline).
+#[derive(Debug, Clone, Default, Serialize, Deserialize)]
+pub struct LastValue {
+    last: Option<f64>,
+}
+
+impl BandwidthEstimator for LastValue {
+    fn observe(&mut self, bw: f64) {
+        self.last = Some(bw);
+    }
+    fn estimate(&self) -> f64 {
+        self.last.expect("no observations yet")
+    }
+    fn name(&self) -> &'static str {
+        "last-value"
+    }
+}
+
+/// Sliding-window mean.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct MovingAverage {
+    window: usize,
+    values: std::collections::VecDeque<f64>,
+}
+
+impl MovingAverage {
+    /// A mean over the last `window >= 1` observations.
+    pub fn new(window: usize) -> MovingAverage {
+        assert!(window >= 1);
+        MovingAverage { window, values: Default::default() }
+    }
+}
+
+impl BandwidthEstimator for MovingAverage {
+    fn observe(&mut self, bw: f64) {
+        self.values.push_back(bw);
+        if self.values.len() > self.window {
+            self.values.pop_front();
+        }
+    }
+    fn estimate(&self) -> f64 {
+        assert!(!self.values.is_empty(), "no observations yet");
+        self.values.iter().sum::<f64>() / self.values.len() as f64
+    }
+    fn name(&self) -> &'static str {
+        "moving-average"
+    }
+}
+
+/// Exponentially weighted moving average (the workhorse of the NWS-era
+/// forecasters).
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct Ewma {
+    alpha: f64,
+    value: Option<f64>,
+}
+
+impl Ewma {
+    /// Smoothing factor `0 < alpha <= 1` (weight of the newest sample).
+    pub fn new(alpha: f64) -> Ewma {
+        assert!(alpha > 0.0 && alpha <= 1.0);
+        Ewma { alpha, value: None }
+    }
+}
+
+impl BandwidthEstimator for Ewma {
+    fn observe(&mut self, bw: f64) {
+        self.value = Some(match self.value {
+            None => bw,
+            Some(v) => self.alpha * bw + (1.0 - self.alpha) * v,
+        });
+    }
+    fn estimate(&self) -> f64 {
+        self.value.expect("no observations yet")
+    }
+    fn name(&self) -> &'static str {
+        "ewma"
+    }
+}
+
+/// A synthetic shared-WAN bandwidth trace: a mean level with AR(1)
+/// cross-traffic noise and a slow periodic (diurnal-like) swing —
+/// the statistical shape wide-area studies report.
+pub fn synthetic_trace(mean_bw: f64, samples: usize, seed: u64) -> Vec<f64> {
+    assert!(mean_bw > 0.0 && samples > 0);
+    let mut rng = stream_rng(seed, "wan-trace");
+    let mut ar = 0.0f64;
+    (0..samples)
+        .map(|i| {
+            ar = 0.8 * ar + rng.gen_range(-0.12..0.12);
+            let diurnal = 0.15 * (i as f64 * std::f64::consts::TAU / 48.0).sin();
+            (mean_bw * (1.0 + ar + diurnal)).max(mean_bw * 0.05)
+        })
+        .collect()
+}
+
+/// Mean relative estimation error of an estimator over a trace
+/// (one-step-ahead, after a warm-up observation).
+pub fn evaluate(estimator: &mut dyn BandwidthEstimator, trace: &[f64]) -> f64 {
+    assert!(trace.len() >= 2);
+    let mut total = 0.0;
+    let mut count = 0usize;
+    estimator.observe(trace[0]);
+    for &actual in &trace[1..] {
+        let predicted = estimator.estimate();
+        total += (predicted - actual).abs() / actual;
+        count += 1;
+        estimator.observe(actual);
+    }
+    total / count as f64
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn last_value_echoes() {
+        let mut e = LastValue::default();
+        e.observe(10.0);
+        assert_eq!(e.estimate(), 10.0);
+        e.observe(20.0);
+        assert_eq!(e.estimate(), 20.0);
+    }
+
+    #[test]
+    fn moving_average_windows() {
+        let mut e = MovingAverage::new(3);
+        for v in [1.0, 2.0, 3.0, 4.0] {
+            e.observe(v);
+        }
+        assert!((e.estimate() - 3.0).abs() < 1e-12); // mean of 2, 3, 4
+    }
+
+    #[test]
+    fn ewma_smooths() {
+        let mut e = Ewma::new(0.5);
+        e.observe(10.0);
+        e.observe(20.0);
+        assert!((e.estimate() - 15.0).abs() < 1e-12);
+    }
+
+    #[test]
+    #[should_panic(expected = "no observations")]
+    fn estimating_before_observing_panics() {
+        LastValue::default().estimate();
+    }
+
+    #[test]
+    fn trace_stays_positive_and_near_mean() {
+        let trace = synthetic_trace(40e6, 500, 7);
+        assert_eq!(trace.len(), 500);
+        assert!(trace.iter().all(|&b| b > 0.0));
+        let mean = trace.iter().sum::<f64>() / trace.len() as f64;
+        assert!((mean / 40e6 - 1.0).abs() < 0.25, "trace mean drifted: {mean}");
+    }
+
+    #[test]
+    fn trace_is_seeded_and_deterministic() {
+        assert_eq!(synthetic_trace(1e6, 50, 1), synthetic_trace(1e6, 50, 1));
+        assert_ne!(synthetic_trace(1e6, 50, 1), synthetic_trace(1e6, 50, 2));
+    }
+
+    #[test]
+    fn smoothing_beats_nothing_smart_on_noisy_traces() {
+        // On an AR + periodic trace, EWMA and the moving average should
+        // not be worse than predicting the global picture blindly; and
+        // every estimator should land within a sane error band.
+        let trace = synthetic_trace(40e6, 400, 11);
+        let e_last = evaluate(&mut LastValue::default(), &trace);
+        let e_ma = evaluate(&mut MovingAverage::new(8), &trace);
+        let e_ewma = evaluate(&mut Ewma::new(0.4), &trace);
+        for (name, e) in [("last", e_last), ("ma", e_ma), ("ewma", e_ewma)] {
+            assert!(e < 0.25, "{name} estimator error too large: {e}");
+        }
+        // The AR(1) component makes the last value informative, but the
+        // smoothed estimators must be competitive (within 1.5x).
+        assert!(e_ewma < e_last * 1.5);
+        assert!(e_ma < e_last * 1.5);
+    }
+}

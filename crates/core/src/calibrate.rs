@@ -1,0 +1,144 @@
+//! Experimentally determining the interconnect parameters.
+//!
+//! §3.3.1: "`w` and `l` are experimentally determined bandwidth and
+//! latency for the target processing configuration". Rather than reading
+//! them off the site description, this module measures them the way an
+//! operator would: time reduction-object transfers of several sizes and
+//! fit `T = l + w * r` by ordinary least squares. The fit also serves as
+//! a sanity check that gather timings really are affine in the object
+//! size (the model's assumption), via the reported R².
+
+use crate::model::InterconnectParams;
+use serde::{Deserialize, Serialize};
+
+/// One gather-timing observation: object size (bytes) and transfer time
+/// (seconds).
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct GatherSample {
+    /// Reduction-object size, bytes.
+    pub bytes: f64,
+    /// Measured per-object transfer time, seconds.
+    pub seconds: f64,
+}
+
+/// The fitted affine model `T = latency + bytes / bandwidth`, with fit
+/// quality.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct InterconnectFit {
+    /// The fitted parameters.
+    pub params: InterconnectParams,
+    /// Coefficient of determination of the fit (1 = perfectly affine).
+    pub r_squared: f64,
+}
+
+/// Least-squares fit of `seconds = l + w * bytes`. Needs at least two
+/// distinct object sizes; panics otherwise (an experiment bug, not a
+/// runtime condition).
+pub fn fit_interconnect(samples: &[GatherSample]) -> InterconnectFit {
+    assert!(samples.len() >= 2, "need at least two gather samples");
+    let n = samples.len() as f64;
+    let mean_x = samples.iter().map(|s| s.bytes).sum::<f64>() / n;
+    let mean_y = samples.iter().map(|s| s.seconds).sum::<f64>() / n;
+    let sxx: f64 = samples.iter().map(|s| (s.bytes - mean_x).powi(2)).sum();
+    assert!(
+        sxx > 0.0,
+        "gather samples must span at least two distinct object sizes"
+    );
+    let sxy: f64 = samples
+        .iter()
+        .map(|s| (s.bytes - mean_x) * (s.seconds - mean_y))
+        .sum();
+    let w = sxy / sxx; // seconds per byte
+    let l = mean_y - w * mean_x;
+    let ss_tot: f64 = samples.iter().map(|s| (s.seconds - mean_y).powi(2)).sum();
+    let ss_res: f64 = samples
+        .iter()
+        .map(|s| (s.seconds - (l + w * s.bytes)).powi(2))
+        .sum();
+    let r_squared = if ss_tot > 0.0 { 1.0 - ss_res / ss_tot } else { 1.0 };
+    assert!(w > 0.0, "fitted a non-positive wire time per byte: {w}");
+    InterconnectFit {
+        params: InterconnectParams { bandwidth: 1.0 / w, latency: l.max(0.0) },
+        r_squared,
+    }
+}
+
+/// Calibrate a compute site by timing synthetic gathers on the simulated
+/// interconnect — the measurement campaign §3.3.1 presupposes. Object
+/// sizes sweep from 1 KB to ~16 MB in powers of four.
+pub fn calibrate_site(site: &fg_cluster::ComputeSite) -> InterconnectFit {
+    let samples: Vec<GatherSample> = (0..8)
+        .map(|i| {
+            let bytes = 1_024u64 << (2 * i);
+            let t = fg_middleware::comm::gather_time(site, &[bytes]);
+            GatherSample { bytes: bytes as f64, seconds: t.as_secs_f64() }
+        })
+        .collect();
+    fit_interconnect(&samples)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use fg_cluster::ComputeSite;
+
+    #[test]
+    fn exact_affine_data_recovers_parameters() {
+        // T = 0.01 + bytes / 1e8
+        let samples: Vec<GatherSample> = [1e3, 1e5, 1e6, 1e7]
+            .iter()
+            .map(|&b| GatherSample { bytes: b, seconds: 0.01 + b / 1e8 })
+            .collect();
+        let fit = fit_interconnect(&samples);
+        assert!((fit.params.latency - 0.01).abs() < 1e-9);
+        assert!((fit.params.bandwidth - 1e8).abs() / 1e8 < 1e-9);
+        assert!(fit.r_squared > 0.999999);
+    }
+
+    #[test]
+    fn noisy_data_still_fits_closely() {
+        let samples: Vec<GatherSample> = (1..20)
+            .map(|i| {
+                let b = i as f64 * 1e5;
+                let noise = if i % 2 == 0 { 1.001 } else { 0.999 };
+                GatherSample { bytes: b, seconds: (0.005 + b / 5e7) * noise }
+            })
+            .collect();
+        let fit = fit_interconnect(&samples);
+        assert!((fit.params.latency - 0.005).abs() < 5e-4);
+        assert!((fit.params.bandwidth - 5e7).abs() / 5e7 < 0.02);
+        assert!(fit.r_squared > 0.999);
+    }
+
+    #[test]
+    fn calibration_recovers_the_site_parameters() {
+        let site = ComputeSite::pentium_myrinet("cal", 16);
+        let fit = calibrate_site(&site);
+        // The simulated gather is exactly affine, so the fit must recover
+        // the site's configured parameters to high precision.
+        assert!(
+            (fit.params.bandwidth - site.interconnect_bw).abs() / site.interconnect_bw < 1e-6,
+            "bandwidth {} vs {}",
+            fit.params.bandwidth,
+            site.interconnect_bw
+        );
+        let l = site.costs.gather_latency.as_secs_f64();
+        assert!((fit.params.latency - l).abs() < 1e-6);
+        assert!(fit.r_squared > 0.999999);
+    }
+
+    #[test]
+    #[should_panic(expected = "two distinct object sizes")]
+    fn identical_sizes_rejected() {
+        fit_interconnect(&[
+            GatherSample { bytes: 10.0, seconds: 1.0 },
+            GatherSample { bytes: 10.0, seconds: 2.0 },
+        ]);
+    }
+
+    #[test]
+    #[should_panic(expected = "at least two gather samples")]
+    fn single_sample_rejected() {
+        fit_interconnect(&[GatherSample { bytes: 10.0, seconds: 1.0 }]);
+    }
+}

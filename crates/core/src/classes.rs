@@ -1,0 +1,215 @@
+//! Reduction-object size and global-reduction time classes (§3.3).
+//!
+//! "Our experience with reduction computations shows that almost all
+//! applications fall into one of the two classes" — for the object size
+//! and, independently, for the global reduction time. The class can be
+//! supplied by the application writer or inferred by comparing two or
+//! more profile runs.
+//!
+//! Semantics (refined from the paper, which models the aggregate):
+//! classes describe the **per-node** reduction object. A *constant*
+//! object (k-means' centroid accumulators, kNN's k-best lists) depends
+//! only on application parameters. A *linear* object (EM's diagnostics,
+//! vortex/defect feature lists) is proportional to the node's data share
+//! `s / c`. The aggregate the master receives therefore grows linearly
+//! in the dataset for the linear class and linearly in the node count for
+//! the constant class — both gathers cost `(c-1) * (l + w * rho)`.
+
+use crate::profile::Profile;
+use serde::{Deserialize, Serialize};
+
+/// How the per-node reduction-object size scales.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub enum RObjSizeClass {
+    /// Independent of dataset size and node count.
+    Constant,
+    /// Proportional to the node's data share `s / c`.
+    Linear,
+}
+
+/// How the global reduction time scales.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub enum GlobalReduceClass {
+    /// `T_g` scales linearly with the number of processing nodes and is
+    /// independent of dataset size (k-means, kNN, apriori).
+    LinearConstant,
+    /// `T_g` is independent of the node count and linear in the dataset
+    /// size (EM, vortex, defect).
+    ConstantLinear,
+}
+
+/// The pair of classes describing one application.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub struct AppClasses {
+    /// Reduction-object size class.
+    pub obj: RObjSizeClass,
+    /// Global-reduction time class.
+    pub global: GlobalReduceClass,
+}
+
+impl AppClasses {
+    /// The classification the paper uses for k-means and kNN search.
+    pub const CONSTANT_LINEAR_CONSTANT: AppClasses = AppClasses {
+        obj: RObjSizeClass::Constant,
+        global: GlobalReduceClass::LinearConstant,
+    };
+
+    /// The classification the paper uses for vortex detection, molecular
+    /// defect detection, and EM clustering.
+    pub const LINEAR_CONSTANT_LINEAR: AppClasses = AppClasses {
+        obj: RObjSizeClass::Linear,
+        global: GlobalReduceClass::ConstantLinear,
+    };
+
+    /// The documented classification for each built-in application.
+    pub fn for_app(app: &str) -> AppClasses {
+        match app {
+            "kmeans" | "knn" | "apriori" | "ann" => AppClasses::CONSTANT_LINEAR_CONSTANT,
+            "em" | "vortex" | "defect" => AppClasses::LINEAR_CONSTANT_LINEAR,
+            other => panic!("unknown application {other:?}: supply classes explicitly"),
+        }
+    }
+
+    /// Infer both classes "by analyzing multiple profile runs": for every
+    /// informative profile pair, compare the observed scaling of the
+    /// object size (and of `T_g`) against each class's predicted scaling
+    /// and vote for the closer one (in log space). Returns `None` when no
+    /// pair distinguishes the classes (e.g. all profiles share one
+    /// configuration and dataset size).
+    pub fn infer(profiles: &[Profile]) -> Option<AppClasses> {
+        let mut obj_votes = (0usize, 0usize); // (constant, linear)
+        let mut g_votes = (0usize, 0usize); // (linear-constant, constant-linear)
+        for (i, a) in profiles.iter().enumerate() {
+            for b in profiles.iter().skip(i + 1) {
+                let s_ratio = b.dataset_bytes as f64 / a.dataset_bytes as f64;
+                let c_ratio = b.compute_nodes as f64 / a.compute_nodes as f64;
+
+                // Object size: constant predicts 1, linear predicts s/c.
+                let lin_pred = s_ratio / c_ratio;
+                if a.max_obj_bytes > 0 && b.max_obj_bytes > 0 && distinct(1.0, lin_pred) {
+                    let observed = b.max_obj_bytes as f64 / a.max_obj_bytes as f64;
+                    if log_dist(observed, 1.0) <= log_dist(observed, lin_pred) {
+                        obj_votes.0 += 1;
+                    } else {
+                        obj_votes.1 += 1;
+                    }
+                }
+
+                // Global reduction: linear-constant predicts c, constant-
+                // linear predicts s.
+                if a.t_g > 0.0 && b.t_g > 0.0 && distinct(c_ratio, s_ratio) {
+                    let observed = b.t_g / a.t_g;
+                    if log_dist(observed, c_ratio) <= log_dist(observed, s_ratio) {
+                        g_votes.0 += 1;
+                    } else {
+                        g_votes.1 += 1;
+                    }
+                }
+            }
+        }
+        if obj_votes == (0, 0) || g_votes == (0, 0) {
+            return None;
+        }
+        Some(AppClasses {
+            obj: if obj_votes.0 >= obj_votes.1 {
+                RObjSizeClass::Constant
+            } else {
+                RObjSizeClass::Linear
+            },
+            global: if g_votes.0 >= g_votes.1 {
+                GlobalReduceClass::LinearConstant
+            } else {
+                GlobalReduceClass::ConstantLinear
+            },
+        })
+    }
+}
+
+fn log_dist(a: f64, b: f64) -> f64 {
+    (a.ln() - b.ln()).abs()
+}
+
+/// Are two predicted ratios far enough apart to discriminate?
+fn distinct(a: f64, b: f64) -> bool {
+    log_dist(a, b) > 0.2
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn profile(c: usize, s: u64, obj: u64, t_g: f64) -> Profile {
+        Profile {
+            app: "t".into(),
+            data_nodes: 1,
+            compute_nodes: c,
+            wan_bw: 1e6,
+            dataset_bytes: s,
+            t_disk: 1.0,
+            t_network: 1.0,
+            t_compute: 10.0,
+            t_ro: 0.1,
+            t_g: t_g,
+            max_obj_bytes: obj,
+            passes: 1,
+            repo_machine: "m".into(),
+            compute_machine: "m".into(),
+        }
+    }
+
+    #[test]
+    fn documented_classes() {
+        assert_eq!(AppClasses::for_app("kmeans"), AppClasses::CONSTANT_LINEAR_CONSTANT);
+        assert_eq!(AppClasses::for_app("vortex"), AppClasses::LINEAR_CONSTANT_LINEAR);
+        assert_eq!(AppClasses::for_app("em").obj, RObjSizeClass::Linear);
+    }
+
+    #[test]
+    #[should_panic(expected = "unknown application")]
+    fn unknown_app_panics() {
+        AppClasses::for_app("mystery");
+    }
+
+    #[test]
+    fn infers_constant_linear_constant() {
+        // Object size stays fixed while s and c vary; t_g tracks c.
+        let profiles = vec![
+            profile(1, 1_000, 256, 0.5),
+            profile(4, 1_000, 256, 2.0),
+            profile(4, 4_000, 256, 2.0),
+        ];
+        let got = AppClasses::infer(&profiles).unwrap();
+        assert_eq!(got, AppClasses::CONSTANT_LINEAR_CONSTANT);
+    }
+
+    #[test]
+    fn infers_linear_constant_linear() {
+        // Object size tracks s/c; t_g tracks s.
+        let profiles = vec![
+            profile(1, 1_000, 1_000, 1.0),
+            profile(4, 1_000, 250, 1.0),
+            profile(1, 4_000, 4_000, 4.0),
+        ];
+        let got = AppClasses::infer(&profiles).unwrap();
+        assert_eq!(got, AppClasses::LINEAR_CONSTANT_LINEAR);
+    }
+
+    #[test]
+    fn identical_profiles_are_uninformative() {
+        let profiles = vec![profile(2, 1_000, 64, 1.0), profile(2, 1_000, 64, 1.0)];
+        assert_eq!(AppClasses::infer(&profiles), None);
+    }
+
+    #[test]
+    fn single_profile_is_uninformative() {
+        assert_eq!(AppClasses::infer(&[profile(1, 1_000, 64, 1.0)]), None);
+    }
+
+    #[test]
+    fn equal_s_and_c_scaling_cannot_separate_tg() {
+        // s and c scale by the same factor: t_g votes are skipped, and
+        // with no other pair the inference must decline to answer.
+        let profiles = vec![profile(2, 2_000, 64, 1.0), profile(4, 4_000, 64, 2.0)];
+        assert_eq!(AppClasses::infer(&profiles), None);
+    }
+}

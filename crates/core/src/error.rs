@@ -1,0 +1,31 @@
+//! The evaluation metric of §5:
+//! `E = |T_exact - T_predicted| / T_exact`.
+
+/// Relative prediction error. Panics on a non-positive exact time — a
+/// measurement of zero means the experiment itself is broken.
+pub fn relative_error(exact: f64, predicted: f64) -> f64 {
+    assert!(exact > 0.0, "exact execution time must be positive, got {exact}");
+    (exact - predicted).abs() / exact
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn exact_prediction_is_zero_error() {
+        assert_eq!(relative_error(10.0, 10.0), 0.0);
+    }
+
+    #[test]
+    fn error_is_symmetric_in_direction() {
+        assert!((relative_error(10.0, 12.0) - 0.2).abs() < 1e-12);
+        assert!((relative_error(10.0, 8.0) - 0.2).abs() < 1e-12);
+    }
+
+    #[test]
+    #[should_panic(expected = "must be positive")]
+    fn zero_exact_rejected() {
+        relative_error(0.0, 1.0);
+    }
+}

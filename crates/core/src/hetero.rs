@@ -1,0 +1,134 @@
+//! Modeling across heterogeneous clusters (§3.4).
+//!
+//! To predict on cluster B from a profile taken on cluster A, a small set
+//! of representative applications is run on *identical configurations*
+//! (same node counts, same dataset) on both clusters; the per-component
+//! time ratios, averaged over the applications, become the scaling
+//! factors `s_d`, `s_n`, `s_c`. A prediction for B is then the prediction
+//! for A with each component scaled:
+//!
+//! `T̂_B = s_d * T̂_disk,A + s_n * T̂_net,A + s_c * T̂_comp,A`
+
+use crate::model::Prediction;
+use crate::profile::Profile;
+use serde::{Deserialize, Serialize};
+
+/// Component-wise scaling factors between two clusters.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct ScalingFactors {
+    /// Data retrieval factor `s_d`.
+    pub disk: f64,
+    /// Data communication factor `s_n`.
+    pub network: f64,
+    /// Data processing factor `s_c`.
+    pub compute: f64,
+}
+
+impl ScalingFactors {
+    /// The identity (same cluster).
+    pub const IDENTITY: ScalingFactors =
+        ScalingFactors { disk: 1.0, network: 1.0, compute: 1.0 };
+
+    /// Measure factors from representative application runs: `pairs[i]`
+    /// holds the profiles of application `i` on cluster A and on cluster
+    /// B, on identical configurations.
+    ///
+    /// `s_d = mean_i(T_disk,i,B / T_disk,i,A)` and likewise for the other
+    /// components (§3.4's averaging over three representative
+    /// applications).
+    pub fn measure(pairs: &[(Profile, Profile)]) -> ScalingFactors {
+        assert!(!pairs.is_empty(), "need at least one representative application");
+        for (a, b) in pairs {
+            assert_eq!(
+                (a.data_nodes, a.compute_nodes, a.dataset_bytes),
+                (b.data_nodes, b.compute_nodes, b.dataset_bytes),
+                "scaling factors require identical configurations on both clusters \
+                 (app {} vs {})",
+                a.app,
+                b.app
+            );
+        }
+        let n = pairs.len() as f64;
+        ScalingFactors {
+            disk: pairs.iter().map(|(a, b)| b.t_disk / a.t_disk).sum::<f64>() / n,
+            network: pairs.iter().map(|(a, b)| b.t_network / a.t_network).sum::<f64>() / n,
+            compute: pairs.iter().map(|(a, b)| b.t_compute / a.t_compute).sum::<f64>() / n,
+        }
+    }
+
+    /// Apply the factors to a prediction made for cluster A.
+    pub fn apply(&self, a: &Prediction) -> Prediction {
+        Prediction {
+            t_disk: self.disk * a.t_disk,
+            t_network: self.network * a.t_network,
+            t_compute: self.compute * a.t_compute,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn profile(app: &str, td: f64, tn: f64, tc: f64) -> Profile {
+        Profile {
+            app: app.into(),
+            data_nodes: 4,
+            compute_nodes: 4,
+            wan_bw: 1e6,
+            dataset_bytes: 1_000,
+            t_disk: td,
+            t_network: tn,
+            t_compute: tc,
+            t_ro: 0.0,
+            t_g: 0.0,
+            max_obj_bytes: 10,
+            passes: 1,
+            repo_machine: "a".into(),
+            compute_machine: "a".into(),
+        }
+    }
+
+    #[test]
+    fn factors_are_mean_component_ratios() {
+        let pairs = vec![
+            (profile("x", 10.0, 4.0, 100.0), profile("x", 5.0, 2.0, 30.0)),
+            (profile("y", 8.0, 4.0, 50.0), profile("y", 2.0, 2.0, 20.0)),
+        ];
+        let f = ScalingFactors::measure(&pairs);
+        assert!((f.disk - (0.5 + 0.25) / 2.0).abs() < 1e-12);
+        assert!((f.network - 0.5).abs() < 1e-12);
+        assert!((f.compute - (0.3 + 0.4) / 2.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn apply_scales_each_component() {
+        let f = ScalingFactors { disk: 0.5, network: 0.25, compute: 0.3 };
+        let p = Prediction { t_disk: 10.0, t_network: 4.0, t_compute: 100.0 };
+        let b = f.apply(&p);
+        assert_eq!(b.t_disk, 5.0);
+        assert_eq!(b.t_network, 1.0);
+        assert!((b.t_compute - 30.0).abs() < 1e-12);
+        assert!((b.total() - 36.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn identity_changes_nothing() {
+        let p = Prediction { t_disk: 1.0, t_network: 2.0, t_compute: 3.0 };
+        assert_eq!(ScalingFactors::IDENTITY.apply(&p), p);
+    }
+
+    #[test]
+    #[should_panic(expected = "identical configurations")]
+    fn mismatched_configurations_rejected() {
+        let mut b = profile("x", 1.0, 1.0, 1.0);
+        b.compute_nodes = 8;
+        ScalingFactors::measure(&[(profile("x", 1.0, 1.0, 1.0), b)]);
+    }
+
+    #[test]
+    #[should_panic(expected = "at least one representative")]
+    fn empty_pairs_rejected() {
+        ScalingFactors::measure(&[]);
+    }
+}

@@ -1,0 +1,113 @@
+//! Profile summary information (§3.1).
+//!
+//! "To fit this model, predictions have to be based on a profile, which
+//! is collected by executing the application on one dataset and one
+//! execution configuration." The summary comprises the configuration
+//! `(n, c, b)`, the dataset size `s`, the breakdown `(t_d, t_n, t_c)`,
+//! the maximum reduction-object size, the reduction-object communication
+//! time, and the global reduction time.
+
+use fg_middleware::ExecutionReport;
+use serde::{Deserialize, Serialize};
+
+/// Everything the prediction framework keeps from a profile run.
+/// Times are in seconds (the model is real-valued arithmetic).
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct Profile {
+    /// Application name.
+    pub app: String,
+    /// Storage nodes used, `n`.
+    pub data_nodes: usize,
+    /// Compute nodes used, `c`.
+    pub compute_nodes: usize,
+    /// Per-data-node WAN bandwidth, `b` (bytes/sec).
+    pub wan_bw: f64,
+    /// Dataset size, `s` (logical bytes).
+    pub dataset_bytes: u64,
+    /// Data retrieval component, `t_d`.
+    pub t_disk: f64,
+    /// Network communication component, `t_n`.
+    pub t_network: f64,
+    /// Processing component, `t_c` (inclusive of `t_ro` and `t_g`).
+    pub t_compute: f64,
+    /// Reduction-object communication time within `t_c`.
+    pub t_ro: f64,
+    /// Global reduction time within `t_c`.
+    pub t_g: f64,
+    /// Maximum per-node reduction-object size (logical bytes).
+    pub max_obj_bytes: u64,
+    /// Number of passes the application made over the data.
+    pub passes: usize,
+    /// Machine type of the repository nodes.
+    pub repo_machine: String,
+    /// Machine type of the compute nodes.
+    pub compute_machine: String,
+}
+
+impl Profile {
+    /// Extract a profile from a middleware execution report.
+    pub fn from_report(report: &ExecutionReport) -> Profile {
+        Profile {
+            app: report.app.clone(),
+            data_nodes: report.data_nodes,
+            compute_nodes: report.compute_nodes,
+            wan_bw: report.wan_bw,
+            dataset_bytes: report.dataset_bytes,
+            t_disk: report.t_disk().as_secs_f64(),
+            t_network: report.t_network().as_secs_f64(),
+            t_compute: report.t_compute().as_secs_f64(),
+            t_ro: report.t_ro().as_secs_f64(),
+            t_g: report.t_g().as_secs_f64(),
+            max_obj_bytes: report.max_obj_bytes(),
+            passes: report.num_passes(),
+            repo_machine: report.repo_machine.clone(),
+            compute_machine: report.compute_machine.clone(),
+        }
+    }
+
+    /// Total profile execution time.
+    pub fn total(&self) -> f64 {
+        self.t_disk + self.t_network + self.t_compute
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use fg_middleware::PassReport;
+    use fg_sim::SimDuration;
+
+    #[test]
+    fn from_report_copies_breakdown() {
+        let report = ExecutionReport {
+            app: "kmeans".into(),
+            dataset: "d".into(),
+            dataset_bytes: 1_000_000,
+            data_nodes: 2,
+            compute_nodes: 4,
+            wan_bw: 5e5,
+            repo_machine: "p".into(),
+            compute_machine: "q".into(),
+            cache_mode: fg_middleware::report::CacheMode::Local,
+            passes: vec![PassReport {
+                retrieval: SimDuration::from_secs(10),
+                network: SimDuration::from_secs(4),
+                cache_disk: SimDuration::ZERO,
+                cache_network: SimDuration::ZERO,
+                local_compute: SimDuration::from_secs(30),
+                t_ro: SimDuration::from_secs(1),
+                t_g: SimDuration::from_secs(2),
+                max_obj_bytes: 512,
+            }],
+        };
+        let p = Profile::from_report(&report);
+        assert_eq!(p.t_disk, 10.0);
+        assert_eq!(p.t_network, 4.0);
+        assert_eq!(p.t_compute, 33.0); // local + ro + g
+        assert_eq!(p.t_ro, 1.0);
+        assert_eq!(p.t_g, 2.0);
+        assert_eq!(p.max_obj_bytes, 512);
+        assert_eq!(p.total(), 47.0);
+        assert_eq!(p.passes, 1);
+    }
+}

@@ -1,0 +1,210 @@
+//! Resource and replica selection (§3's allocation problem).
+//!
+//! "We are given a dataset, which is replicated at `r` sites. We have
+//! also identified `c` different computing configurations ... Our goal is
+//! to choose a replica and computing configuration pair where the data
+//! processing can be performed with the minimum cost." The selector
+//! predicts every candidate deployment's execution time and ranks them.
+
+use crate::cache::{predict_with_plan, CachePlan};
+use crate::classes::AppClasses;
+use crate::hetero::ScalingFactors;
+use crate::model::{ComputeModel, ExecTimePredictor, InterconnectParams, Prediction, Target};
+use crate::profile::Profile;
+use fg_cluster::Deployment;
+use std::collections::HashMap;
+
+/// One evaluated deployment alternative.
+#[derive(Debug, Clone)]
+pub struct Candidate {
+    /// The deployment.
+    pub deployment: Deployment,
+    /// Its predicted execution-time breakdown.
+    pub predicted: Prediction,
+}
+
+impl Candidate {
+    /// Predicted total cost.
+    pub fn cost(&self) -> f64 {
+        self.predicted.total()
+    }
+}
+
+/// Predict every candidate deployment and return them ranked cheapest
+/// first (ties broken by deployment label, deterministically).
+///
+/// `factors` maps a compute-machine type name to the scaling factors
+/// from the profile cluster to that machine type; deployments whose
+/// machine matches the profile's need no entry (identity is assumed).
+/// A deployment on an unknown machine type panics — predicting across
+/// hardware without measured factors is exactly what §3.4 says not to do.
+pub fn rank_deployments(
+    profile: &Profile,
+    classes: AppClasses,
+    deployments: &[Deployment],
+    dataset_bytes: u64,
+    factors: &HashMap<String, ScalingFactors>,
+) -> Vec<Candidate> {
+    let mut out: Vec<Candidate> = deployments
+        .iter()
+        .map(|d| {
+            let target = Target {
+                data_nodes: d.config.data_nodes,
+                compute_nodes: d.config.compute_nodes,
+                wan_bw: d.wan.stream_bw,
+                dataset_bytes,
+            };
+            let predictor = ExecTimePredictor {
+                profile: profile.clone(),
+                classes,
+                interconnect: InterconnectParams::of_site(&d.compute),
+                model: ComputeModel::GlobalReduction,
+            };
+            // Storage-aware: deployments that cannot cache locally are
+            // costed under their non-local-cache or refetch plan.
+            let plan = CachePlan::for_deployment(d, dataset_bytes, profile.passes);
+            let base = predict_with_plan(&predictor, &target, &plan, d.compute.machine.disk_bw);
+            let machine = &d.compute.machine.name;
+            let predicted = if *machine == profile.compute_machine {
+                base
+            } else {
+                let f = factors.get(machine).unwrap_or_else(|| {
+                    panic!(
+                        "no scaling factors for machine type {machine:?} \
+                         (profile cluster is {:?})",
+                        profile.compute_machine
+                    )
+                });
+                f.apply(&base)
+            };
+            Candidate { deployment: d.clone(), predicted }
+        })
+        .collect();
+    out.sort_by(|a, b| {
+        a.cost()
+            .total_cmp(&b.cost())
+            .then_with(|| a.deployment.label().cmp(&b.deployment.label()))
+    });
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use fg_cluster::{ComputeSite, Configuration, RepositorySite, Wan};
+
+    fn profile() -> Profile {
+        Profile {
+            app: "kmeans".into(),
+            data_nodes: 1,
+            compute_nodes: 1,
+            wan_bw: 1e6,
+            dataset_bytes: 1_000_000,
+            t_disk: 40.0,
+            t_network: 20.0,
+            t_compute: 100.0,
+            t_ro: 0.0,
+            t_g: 0.5,
+            max_obj_bytes: 512,
+            passes: 1,
+            repo_machine: "pentium-700".into(),
+            compute_machine: "pentium-700".into(),
+        }
+    }
+
+    fn deployments() -> Vec<Deployment> {
+        let repo = RepositorySite::pentium_repository("osu", 8);
+        let site = ComputeSite::pentium_myrinet("cs", 16);
+        let wan = Wan::per_stream(1e6);
+        [(1, 1), (2, 4), (8, 16)]
+            .iter()
+            .map(|&(n, c)| {
+                Deployment::new(repo.clone(), site.clone(), wan.clone(), Configuration::new(n, c))
+            })
+            .collect()
+    }
+
+    #[test]
+    fn bigger_configurations_win_for_scalable_work() {
+        let ranked = rank_deployments(
+            &profile(),
+            AppClasses::CONSTANT_LINEAR_CONSTANT,
+            &deployments(),
+            1_000_000,
+            &HashMap::new(),
+        );
+        assert_eq!(ranked.len(), 3);
+        assert_eq!(ranked[0].deployment.config.label(), "8-16");
+        assert_eq!(ranked[2].deployment.config.label(), "1-1");
+        assert!(ranked[0].cost() <= ranked[1].cost());
+        assert!(ranked[1].cost() <= ranked[2].cost());
+    }
+
+    #[test]
+    fn slow_wan_replica_loses_to_fast_one() {
+        let repo_near = RepositorySite::pentium_repository("near", 8);
+        let repo_far = RepositorySite::pentium_repository("far", 8);
+        let site = ComputeSite::pentium_myrinet("cs", 16);
+        let cfg = Configuration::new(2, 4);
+        let ds = vec![
+            Deployment::new(repo_far, site.clone(), Wan::per_stream(1e5), cfg),
+            Deployment::new(repo_near, site, Wan::per_stream(1e6), cfg),
+        ];
+        let ranked = rank_deployments(
+            &profile(),
+            AppClasses::CONSTANT_LINEAR_CONSTANT,
+            &ds,
+            1_000_000,
+            &HashMap::new(),
+        );
+        assert_eq!(ranked[0].deployment.repository.name, "near");
+    }
+
+    #[test]
+    fn cross_cluster_candidates_use_factors() {
+        let repo = RepositorySite::pentium_repository("osu", 8);
+        let fast_site = ComputeSite::opteron_infiniband("fast", 16);
+        let slow_site = ComputeSite::pentium_myrinet("slow", 16);
+        let cfg = Configuration::new(1, 1);
+        let wan = Wan::per_stream(1e6);
+        let ds = vec![
+            Deployment::new(repo.clone(), slow_site, wan.clone(), cfg),
+            Deployment::new(repo, fast_site, wan, cfg),
+        ];
+        let mut factors = HashMap::new();
+        factors.insert(
+            "opteron-2400".to_string(),
+            ScalingFactors { disk: 0.4, network: 1.0, compute: 0.3 },
+        );
+        let ranked = rank_deployments(
+            &profile(),
+            AppClasses::CONSTANT_LINEAR_CONSTANT,
+            &ds,
+            1_000_000,
+            &factors,
+        );
+        assert_eq!(ranked[0].deployment.compute.name, "fast");
+        // 0.4*40 + 1.0*20 + 0.3*~100.5
+        assert!((ranked[0].cost() - (16.0 + 20.0 + 0.3 * 100.5)).abs() < 0.5);
+    }
+
+    #[test]
+    #[should_panic(expected = "no scaling factors")]
+    fn unknown_machine_without_factors_panics() {
+        let repo = RepositorySite::pentium_repository("osu", 8);
+        let site = ComputeSite::opteron_infiniband("fast", 16);
+        let ds = vec![Deployment::new(
+            repo,
+            site,
+            Wan::per_stream(1e6),
+            Configuration::new(1, 1),
+        )];
+        rank_deployments(
+            &profile(),
+            AppClasses::CONSTANT_LINEAR_CONSTANT,
+            &ds,
+            1_000_000,
+            &HashMap::new(),
+        );
+    }
+}

@@ -1,0 +1,121 @@
+//! The FREERIDE-G programming interface.
+//!
+//! The middleware supports applications whose processing structure is a
+//! *generalized reduction*: elements are folded into a reduction object
+//! with associative and commutative updates, per-node objects are merged,
+//! and a global step extracts the next iteration's state. Users provide
+//! exactly those pieces (§2.2 of the paper: "Users explicitly provide
+//! reduction object and the local and global reduction functions").
+
+use crate::meter::WorkMeter;
+use fg_chunks::Chunk;
+
+/// Serialized size of a reduction object or broadcast state, split into a
+/// fixed part and a data-proportional part. The data part is inflated by
+/// `1/scale` when running on reduced-scale datasets, mirroring
+/// [`crate::meter::WorkMeter`]'s treatment of compute work.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub struct ObjSize {
+    /// Bytes independent of dataset volume (parameter-sized payloads).
+    pub fixed: u64,
+    /// Bytes proportional to dataset volume (feature lists, catalogs).
+    pub data: u64,
+}
+
+impl ObjSize {
+    /// Logical wire size after inflating the data-proportional part.
+    pub fn logical(&self, inflation: f64) -> u64 {
+        self.fixed + (self.data as f64 * inflation).round() as u64
+    }
+}
+
+/// A reduction object: the accumulator of a generalized reduction.
+pub trait ReductionObject: Clone + Send + 'static {
+    /// Merge another node's object into this one. Updates must be
+    /// associative and commutative up to floating-point rounding; the
+    /// middleware merges in node order, deterministically. Work is
+    /// metered like any other computation.
+    fn merge(&mut self, other: &Self, meter: &mut WorkMeter);
+
+    /// Serialized size, for the reduction-object communication phase.
+    fn size(&self) -> ObjSize;
+}
+
+/// What the master decides after a pass's global reduction.
+pub enum PassOutcome<S> {
+    /// Broadcast this state and run another pass over the data.
+    NextPass(S),
+    /// The computation is complete; this is the final state.
+    Finished(S),
+}
+
+/// A FREERIDE-G application.
+///
+/// `State` is whatever the master broadcasts between passes (initial
+/// centroids, Gaussian parameters, the defect catalog, ...); `Obj` is the
+/// reduction object. The executor drives the pass loop.
+pub trait ReductionApp: Sync {
+    /// The reduction object type.
+    type Obj: ReductionObject;
+    /// The per-pass broadcast state.
+    type State: Clone + Send + Sync + 'static;
+
+    /// Application name (appears in profiles and reports).
+    fn name(&self) -> &str;
+
+    /// State broadcast before the first pass.
+    fn initial_state(&self) -> Self::State;
+
+    /// A fresh (identity) reduction object for one node and pass.
+    fn new_object(&self, state: &Self::State) -> Self::Obj;
+
+    /// Fold one chunk into the node-local object. This runs for real —
+    /// the chunk payload is decoded and processed — and must meter its
+    /// work on `meter`.
+    fn local_reduce(
+        &self,
+        state: &Self::State,
+        chunk: &Chunk,
+        obj: &mut Self::Obj,
+        meter: &mut WorkMeter,
+    );
+
+    /// Runs at the master after all per-node objects are merged: extract
+    /// application knowledge, decide whether another pass is needed, and
+    /// produce the state to broadcast.
+    fn global_finalize(
+        &self,
+        state: &Self::State,
+        merged: Self::Obj,
+        meter: &mut WorkMeter,
+    ) -> PassOutcome<Self::State>;
+
+    /// Serialized size of a broadcast state.
+    fn state_size(&self, state: &Self::State) -> ObjSize;
+
+    /// Whether the middleware should cache chunks on compute nodes during
+    /// the first pass (worth it only for multi-pass applications).
+    fn caches(&self) -> bool;
+
+    /// Safety bound on passes; exceeding it is treated as a logic error.
+    fn max_passes(&self) -> usize {
+        256
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn logical_size_inflates_data_part_only() {
+        let s = ObjSize { fixed: 100, data: 50 };
+        assert_eq!(s.logical(1.0), 150);
+        assert_eq!(s.logical(10.0), 600);
+    }
+
+    #[test]
+    fn zero_size_stays_zero() {
+        assert_eq!(ObjSize::default().logical(100.0), 0);
+    }
+}

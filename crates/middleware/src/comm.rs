@@ -1,0 +1,277 @@
+//! Data movement: WAN chunk transfers, reduction-object gather, and
+//! state broadcast.
+
+use fg_cluster::{ComputeSite, MachineSpec, Wan};
+use fg_sim::{FairShareSim, Flow, ResourceId, SimDuration, SimTime};
+
+/// One sender→receiver aggregate transfer within a pass.
+#[derive(Debug, Clone, Copy)]
+pub struct TransferFlow {
+    /// Sending data node.
+    pub data_node: usize,
+    /// Receiving compute node.
+    pub compute_node: usize,
+    /// Logical bytes moved.
+    pub bytes: u64,
+    /// Number of chunks (each pays the WAN per-chunk latency, serially
+    /// within the stream).
+    pub chunks: usize,
+}
+
+/// Virtual time to move all chunks of a pass from the repository to the
+/// compute nodes.
+///
+/// Resource model: each data node's WAN uplink sustains
+/// `min(nic, wan.stream_bw)` — the paper's per-path achievable bandwidth
+/// `b`; each compute node's NIC caps its downlink; an optional aggregate
+/// WAN cap (ablation only) throttles the sum of all streams. Flows from
+/// one sender to its several receivers share that sender's uplink
+/// max-min fairly.
+pub fn transfer_makespan(
+    wan: &Wan,
+    sender: &MachineSpec,
+    receiver: &MachineSpec,
+    data_nodes: usize,
+    compute_nodes: usize,
+    flows: &[TransferFlow],
+) -> SimDuration {
+    let live: Vec<&TransferFlow> = flows.iter().filter(|f| f.bytes > 0).collect();
+    if live.is_empty() {
+        return SimDuration::ZERO;
+    }
+    // Resources: [0, n) uplinks, [n, n+c) downlinks, optional aggregate.
+    let uplink_bw = sender.nic_bw.min(wan.stream_bw);
+    let mut capacities = Vec::with_capacity(data_nodes + compute_nodes + 1);
+    capacities.extend(std::iter::repeat(uplink_bw).take(data_nodes));
+    capacities.extend(std::iter::repeat(receiver.nic_bw).take(compute_nodes));
+    let agg = wan.aggregate_cap.map(|cap| {
+        capacities.push(cap);
+        ResourceId(capacities.len() - 1)
+    });
+    let sim = FairShareSim::new(capacities);
+    let sim_flows: Vec<Flow> = live
+        .iter()
+        .map(|f| {
+            assert!(f.data_node < data_nodes && f.compute_node < compute_nodes);
+            let mut resources = vec![
+                ResourceId(f.data_node),
+                ResourceId(data_nodes + f.compute_node),
+            ];
+            if let Some(a) = agg {
+                resources.push(a);
+            }
+            Flow {
+                arrival: SimTime::ZERO,
+                demand: f.bytes as f64,
+                rate_cap: f64::INFINITY,
+                resources,
+            }
+        })
+        .collect();
+    let outcomes = sim.run(&sim_flows);
+    live.iter()
+        .zip(outcomes.iter())
+        .map(|(f, o)| {
+            o.finish.saturating_since(SimTime::ZERO) + wan.latency * f.chunks as u64
+        })
+        .max()
+        .unwrap_or(SimDuration::ZERO)
+}
+
+/// Virtual time for the reduction-object communication phase (`T_ro`):
+/// every non-master node ships its object to the master, serialized at
+/// the master's NIC — `sum_i (l + r_i * w)` with `l` the middleware
+/// gather latency and `1/w` the interconnect bandwidth. The paper models
+/// this phase as "a serialized component of the parallel processing
+/// time".
+pub fn gather_time(site: &ComputeSite, non_master_obj_bytes: &[u64]) -> SimDuration {
+    non_master_obj_bytes
+        .iter()
+        .map(|&bytes| {
+            site.costs.gather_latency
+                + SimDuration::from_secs_f64(bytes as f64 / site.interconnect_bw)
+        })
+        .sum()
+}
+
+/// Virtual time to broadcast the next pass's state from the master to all
+/// `c` nodes: a binomial tree of depth `ceil(log2 c)`, each round costing
+/// one broadcast-hop latency plus the wire time of the state.
+pub fn broadcast_time(site: &ComputeSite, state_bytes: u64, compute_nodes: usize) -> SimDuration {
+    if compute_nodes <= 1 {
+        return SimDuration::ZERO;
+    }
+    let rounds = usize::BITS - (compute_nodes - 1).leading_zeros(); // ceil(log2 c)
+    let per_round = site.costs.bcast_latency
+        + SimDuration::from_secs_f64(state_bytes as f64 / site.interconnect_bw);
+    per_round * rounds as u64
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use fg_cluster::MiddlewareCosts;
+
+    fn machine(nic: f64) -> MachineSpec {
+        MachineSpec {
+            nic_bw: nic,
+            ..MachineSpec::pentium_700()
+        }
+    }
+
+    fn wan(bw: f64, latency_ms: u64) -> Wan {
+        Wan {
+            stream_bw: bw,
+            latency: SimDuration::from_millis(latency_ms),
+            aggregate_cap: None,
+        }
+    }
+
+    fn site(bw: f64, lat_ms: u64) -> ComputeSite {
+        ComputeSite {
+            name: "cs".into(),
+            machine: MachineSpec::pentium_700(),
+            max_nodes: 16,
+            interconnect_bw: bw,
+            node_storage_bytes: u64::MAX,
+            costs: MiddlewareCosts {
+                gather_latency: SimDuration::from_millis(lat_ms),
+                bcast_latency: SimDuration::from_millis(lat_ms),
+                ..MiddlewareCosts::default()
+            },
+        }
+    }
+
+    #[test]
+    fn single_stream_runs_at_wan_bandwidth() {
+        let t = transfer_makespan(
+            &wan(100.0, 0),
+            &machine(1e9),
+            &machine(1e9),
+            1,
+            1,
+            &[TransferFlow { data_node: 0, compute_node: 0, bytes: 1000, chunks: 1 }],
+        );
+        assert!((t.as_secs_f64() - 10.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn chunk_latency_adds_serially() {
+        let t = transfer_makespan(
+            &wan(100.0, 2),
+            &machine(1e9),
+            &machine(1e9),
+            1,
+            1,
+            &[TransferFlow { data_node: 0, compute_node: 0, bytes: 1000, chunks: 5 }],
+        );
+        assert!((t.as_secs_f64() - 10.010).abs() < 1e-9);
+    }
+
+    #[test]
+    fn sender_uplink_is_shared_among_its_receivers() {
+        // One data node feeding two compute nodes: each stream gets b/2,
+        // so the phase takes the same time as one stream with all bytes.
+        let one = transfer_makespan(
+            &wan(100.0, 0),
+            &machine(1e9),
+            &machine(1e9),
+            1,
+            1,
+            &[TransferFlow { data_node: 0, compute_node: 0, bytes: 1000, chunks: 1 }],
+        );
+        let two = transfer_makespan(
+            &wan(100.0, 0),
+            &machine(1e9),
+            &machine(1e9),
+            1,
+            2,
+            &[
+                TransferFlow { data_node: 0, compute_node: 0, bytes: 500, chunks: 1 },
+                TransferFlow { data_node: 0, compute_node: 1, bytes: 500, chunks: 1 },
+            ],
+        );
+        assert_eq!(one, two);
+    }
+
+    #[test]
+    fn independent_senders_scale_linearly() {
+        // Two data nodes, two compute nodes, disjoint streams: half the
+        // bytes per stream, half the time.
+        let t = transfer_makespan(
+            &wan(100.0, 0),
+            &machine(1e9),
+            &machine(1e9),
+            2,
+            2,
+            &[
+                TransferFlow { data_node: 0, compute_node: 0, bytes: 500, chunks: 1 },
+                TransferFlow { data_node: 1, compute_node: 1, bytes: 500, chunks: 1 },
+            ],
+        );
+        assert!((t.as_secs_f64() - 5.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn aggregate_cap_throttles_total() {
+        let mut w = wan(100.0, 0);
+        w.aggregate_cap = Some(100.0);
+        let t = transfer_makespan(
+            &w,
+            &machine(1e9),
+            &machine(1e9),
+            2,
+            2,
+            &[
+                TransferFlow { data_node: 0, compute_node: 0, bytes: 500, chunks: 1 },
+                TransferFlow { data_node: 1, compute_node: 1, bytes: 500, chunks: 1 },
+            ],
+        );
+        assert!((t.as_secs_f64() - 10.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn slow_nic_binds_before_wan() {
+        let t = transfer_makespan(
+            &wan(1000.0, 0),
+            &machine(50.0),
+            &machine(1e9),
+            1,
+            1,
+            &[TransferFlow { data_node: 0, compute_node: 0, bytes: 1000, chunks: 1 }],
+        );
+        assert!((t.as_secs_f64() - 20.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn empty_transfer_is_zero() {
+        assert_eq!(
+            transfer_makespan(&wan(100.0, 1), &machine(1.0), &machine(1.0), 1, 1, &[]),
+            SimDuration::ZERO
+        );
+    }
+
+    #[test]
+    fn gather_is_serialized_sum() {
+        let s = site(100.0, 10);
+        let t = gather_time(&s, &[500, 500, 1000]);
+        // 3 * 10ms + (500+500+1000)/100 = 0.03 + 20
+        assert!((t.as_secs_f64() - 20.03).abs() < 1e-9);
+    }
+
+    #[test]
+    fn gather_of_nothing_is_zero() {
+        assert_eq!(gather_time(&site(100.0, 10), &[]), SimDuration::ZERO);
+    }
+
+    #[test]
+    fn broadcast_is_logarithmic() {
+        let s = site(100.0, 10);
+        assert_eq!(broadcast_time(&s, 0, 1), SimDuration::ZERO);
+        let b2 = broadcast_time(&s, 100, 2); // 1 round
+        let b16 = broadcast_time(&s, 100, 16); // 4 rounds
+        assert_eq!(b16, b2 * 4);
+        let b9 = broadcast_time(&s, 100, 9); // ceil(log2 9) = 4
+        assert_eq!(b9, b16);
+    }
+}

@@ -1,0 +1,347 @@
+//! The compute server: real execution of local reductions (including the
+//! shared-memory path within SMP nodes), plus compute-side cache costs.
+//!
+//! Each simulated compute node folds its chunks into its reduction object
+//! by actually running the application kernel. On an SMP node the chunks
+//! are split round-robin across the node's cores, each core folds into a
+//! replicated sub-object, and the sub-objects are combined node-locally —
+//! FREERIDE's shared-memory reduction strategy, behind the same API.
+//! Distinct nodes (and cores) are independent, so they execute on real
+//! threads (rayon); within a worker, chunks are processed in assignment
+//! order, keeping results and meters deterministic regardless of thread
+//! scheduling.
+
+use crate::api::{ReductionApp, ReductionObject};
+use crate::meter::WorkMeter;
+use fg_chunks::Dataset;
+use fg_cluster::{MachineSpec, MiddlewareCosts};
+use fg_sim::SimDuration;
+use rayon::prelude::*;
+
+/// Output of one node's local reduction for one pass.
+pub struct NodeResult<O> {
+    /// The node's (already node-locally combined) reduction object.
+    pub obj: O,
+    /// Metered kernel work of each active core, in core order.
+    pub core_meters: Vec<WorkMeter>,
+    /// Metered work of the intra-node sub-object combination.
+    pub smp_merge: WorkMeter,
+    /// Chunks processed by the node.
+    pub chunks: usize,
+    /// Logical bytes of those chunks.
+    pub bytes: u64,
+}
+
+/// Run the local reduction of every compute node (in parallel, for real).
+///
+/// `node_chunks[p]` lists the chunk indices assigned to node `p`, in
+/// processing order; `cores` is the node machine's processor count.
+pub fn run_local_reductions<A: ReductionApp>(
+    app: &A,
+    state: &A::State,
+    dataset: &Dataset,
+    node_chunks: &[Vec<usize>],
+    cores: usize,
+) -> Vec<NodeResult<A::Obj>> {
+    assert!(cores >= 1, "a compute node has at least one core");
+    node_chunks
+        .par_iter()
+        .map(|chunks| {
+            // Split this node's chunks round-robin across its cores.
+            let active = cores.min(chunks.len()).max(1);
+            let per_core: Vec<Vec<usize>> = (0..active)
+                .map(|w| chunks.iter().skip(w).step_by(active).copied().collect())
+                .collect();
+            let mut core_results: Vec<(A::Obj, WorkMeter)> = per_core
+                .par_iter()
+                .map(|core_chunks| {
+                    let mut obj = app.new_object(state);
+                    let mut meter = WorkMeter::new();
+                    for &k in core_chunks {
+                        app.local_reduce(state, &dataset.chunks[k], &mut obj, &mut meter);
+                    }
+                    (obj, meter)
+                })
+                .collect();
+            // Combine the replicated sub-objects node-locally (real,
+            // metered work; runs on one core after the folds complete).
+            let mut smp_merge = WorkMeter::new();
+            let mut iter = core_results.drain(..);
+            let (mut obj, first_meter) = iter.next().expect("at least one core");
+            let mut core_meters = vec![first_meter];
+            for (sub, meter) in iter {
+                obj.merge(&sub, &mut smp_merge);
+                core_meters.push(meter);
+            }
+            let bytes = chunks.iter().map(|&k| dataset.chunks[k].logical_bytes).sum();
+            NodeResult { obj, core_meters, smp_merge, chunks: chunks.len(), bytes }
+        })
+        .collect()
+}
+
+/// Virtual time for a node to write its chunks into the local cache
+/// (first pass of a caching application): streamed at local disk
+/// bandwidth plus a fixed per-chunk middleware overhead.
+pub fn cache_write_time(
+    machine: &MachineSpec,
+    costs: &MiddlewareCosts,
+    bytes: u64,
+    chunks: usize,
+) -> SimDuration {
+    cache_io_time(machine, costs, bytes, chunks)
+}
+
+/// Virtual time for a node to re-read its chunks from the local cache
+/// (subsequent passes). Same cost model as the write path.
+pub fn cache_read_time(
+    machine: &MachineSpec,
+    costs: &MiddlewareCosts,
+    bytes: u64,
+    chunks: usize,
+) -> SimDuration {
+    cache_io_time(machine, costs, bytes, chunks)
+}
+
+fn cache_io_time(
+    machine: &MachineSpec,
+    costs: &MiddlewareCosts,
+    bytes: u64,
+    chunks: usize,
+) -> SimDuration {
+    if bytes == 0 {
+        return SimDuration::ZERO;
+    }
+    SimDuration::from_secs_f64(bytes as f64 / machine.disk_bw)
+        + (machine.disk_seek + costs.cache_chunk_overhead) * chunks as u64
+}
+
+/// A node's total processing time for one pass: the slowest core's
+/// metered kernel work (under shared-memory-bus contention), the
+/// intra-node sub-object combination, per-chunk dispatch overhead, and
+/// any cache traffic. Cache reads and writes are charged here (to
+/// compute time, not disk time) because they are compute-node-local
+/// pipeline stages that scale with `1/c`, matching the prediction
+/// model's treatment of `t_c`; repository-side retrieval is what the
+/// model's `t_d` covers.
+pub fn node_compute_time<O: ReductionObject>(
+    result: &NodeResult<O>,
+    machine: &MachineSpec,
+    costs: &MiddlewareCosts,
+    inflation: f64,
+    cache: CacheTraffic,
+) -> SimDuration {
+    let active = result.core_meters.len();
+    let kernel = result
+        .core_meters
+        .iter()
+        .map(|m| m.time_on_cores(machine, inflation, active))
+        .max()
+        .unwrap_or(SimDuration::ZERO);
+    let merge = result.smp_merge.time_on(machine, inflation);
+    let dispatch = costs.chunk_dispatch * result.chunks as u64;
+    let cache_time = match cache {
+        CacheTraffic::None => SimDuration::ZERO,
+        CacheTraffic::Write => cache_write_time(machine, costs, result.bytes, result.chunks),
+        CacheTraffic::Read => cache_read_time(machine, costs, result.bytes, result.chunks),
+    };
+    kernel + merge + dispatch + cache_time
+}
+
+/// Which direction (if any) the cache moves during a pass.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum CacheTraffic {
+    /// Non-caching application or single pass: no cache traffic.
+    None,
+    /// First pass of a caching application: chunks written as processed.
+    Write,
+    /// Later pass of a caching application: chunks read from local disk.
+    Read,
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::api::{ObjSize, PassOutcome};
+    use fg_chunks::{codec, DatasetBuilder};
+
+    /// Toy app: sums all f32 elements; one flop metered per element.
+    struct SumApp;
+
+    #[derive(Clone)]
+    struct SumObj(f64);
+
+    impl ReductionObject for SumObj {
+        fn merge(&mut self, other: &Self, meter: &mut WorkMeter) {
+            self.0 += other.0;
+            meter.fixed_flops(1);
+        }
+        fn size(&self) -> ObjSize {
+            ObjSize { fixed: 8, data: 0 }
+        }
+    }
+
+    impl ReductionApp for SumApp {
+        type Obj = SumObj;
+        type State = ();
+        fn name(&self) -> &str {
+            "sum"
+        }
+        fn initial_state(&self) -> () {}
+        fn new_object(&self, _: &()) -> SumObj {
+            SumObj(0.0)
+        }
+        fn local_reduce(&self, _: &(), chunk: &fg_chunks::Chunk, obj: &mut SumObj, meter: &mut WorkMeter) {
+            let vals = codec::decode_f32s(&chunk.payload);
+            for v in &vals {
+                obj.0 += *v as f64;
+            }
+            meter.data_flops(vals.len() as u64);
+            meter.data_mem(vals.len() as u64);
+        }
+        fn global_finalize(&self, _: &(), merged: SumObj, _: &mut WorkMeter) -> PassOutcome<()> {
+            let _ = merged;
+            PassOutcome::Finished(())
+        }
+        fn state_size(&self, _: &()) -> ObjSize {
+            ObjSize::default()
+        }
+        fn caches(&self) -> bool {
+            false
+        }
+    }
+
+    fn dataset() -> Dataset {
+        let mut b = DatasetBuilder::new("d", "t", 1.0);
+        for i in 0..4 {
+            let vals: Vec<f32> = (0..10).map(|j| (i * 10 + j) as f32).collect();
+            b.push_chunk(codec::encode_f32s(&vals), 10, None);
+        }
+        b.build()
+    }
+
+    #[test]
+    fn local_reductions_cover_all_chunks() {
+        let ds = dataset();
+        let results = run_local_reductions(&SumApp, &(), &ds, &[vec![0, 1], vec![2, 3]], 1);
+        assert_eq!(results.len(), 2);
+        let total: f64 = results.iter().map(|r| r.obj.0).sum();
+        assert_eq!(total, (0..40).sum::<i32>() as f64);
+        assert_eq!(results[0].core_meters.len(), 1);
+        assert_eq!(results[0].core_meters[0].data_counts().flop, 20);
+        assert_eq!(results[0].chunks, 2);
+    }
+
+    #[test]
+    fn smp_split_preserves_the_answer() {
+        let ds = dataset();
+        let single = run_local_reductions(&SumApp, &(), &ds, &[vec![0, 1, 2, 3]], 1);
+        let dual = run_local_reductions(&SumApp, &(), &ds, &[vec![0, 1, 2, 3]], 2);
+        assert_eq!(single[0].obj.0, dual[0].obj.0);
+        assert_eq!(dual[0].core_meters.len(), 2);
+        // Two cores split the metered kernel work...
+        let total_flops: u64 = dual[0]
+            .core_meters
+            .iter()
+            .map(|m| m.data_counts().flop)
+            .sum();
+        assert_eq!(total_flops, single[0].core_meters[0].data_counts().flop);
+        // ...and the node pays a real intra-node merge.
+        assert!(dual[0].smp_merge.fixed_counts().flop > 0);
+        assert!(single[0].smp_merge.fixed_counts().total() == 0);
+    }
+
+    #[test]
+    fn more_cores_than_chunks_leaves_cores_idle() {
+        let ds = dataset();
+        let results = run_local_reductions(&SumApp, &(), &ds, &[vec![0]], 8);
+        assert_eq!(results[0].core_meters.len(), 1, "one chunk cannot use 8 cores");
+    }
+
+    #[test]
+    fn idle_node_produces_identity_object() {
+        let ds = dataset();
+        let results = run_local_reductions(&SumApp, &(), &ds, &[vec![0, 1, 2, 3], vec![]], 2);
+        assert_eq!(results[1].obj.0, 0.0);
+        assert_eq!(results[1].bytes, 0);
+    }
+
+    #[test]
+    fn parallel_matches_sequential() {
+        let ds = dataset();
+        let par = run_local_reductions(&SumApp, &(), &ds, &[vec![0], vec![1], vec![2], vec![3]], 2);
+        let seq = run_local_reductions(&SumApp, &(), &ds, &[vec![0, 1, 2, 3]], 1);
+        let par_total: f64 = par.iter().map(|r| r.obj.0).sum();
+        assert_eq!(par_total, seq[0].obj.0);
+    }
+
+    #[test]
+    fn cache_time_includes_seeks_and_overhead() {
+        let m = MachineSpec {
+            disk_bw: 100.0,
+            disk_seek: SimDuration::from_millis(1),
+            ..MachineSpec::pentium_700()
+        };
+        let costs = MiddlewareCosts {
+            cache_chunk_overhead: SimDuration::from_millis(1),
+            ..MiddlewareCosts::default()
+        };
+        let t = cache_read_time(&m, &costs, 1000, 5);
+        assert!((t.as_secs_f64() - (10.0 + 0.010)).abs() < 1e-9);
+        assert_eq!(cache_read_time(&m, &costs, 0, 0), SimDuration::ZERO);
+    }
+
+    #[test]
+    fn node_compute_time_adds_components() {
+        let ds = dataset();
+        let results = run_local_reductions(&SumApp, &(), &ds, &[vec![0, 1]], 1);
+        let m = MachineSpec {
+            flop_per_sec: 10.0,
+            mem_per_sec: 1e12,
+            disk_bw: 100.0,
+            disk_seek: SimDuration::ZERO,
+            ..MachineSpec::pentium_700()
+        };
+        let costs = MiddlewareCosts {
+            chunk_dispatch: SimDuration::from_secs(1),
+            cache_chunk_overhead: SimDuration::ZERO,
+            ..MiddlewareCosts::default()
+        };
+        // kernel: 20 flops / 10 = 2 s (mem negligible); dispatch: 2 chunks * 1 s.
+        let t_none = node_compute_time(&results[0], &m, &costs, 1.0, CacheTraffic::None);
+        assert!((t_none.as_secs_f64() - 4.0).abs() < 1e-6);
+        // + cache write of 80 bytes at 100 B/s
+        let t_write = node_compute_time(&results[0], &m, &costs, 1.0, CacheTraffic::Write);
+        assert!((t_write.as_secs_f64() - 4.8).abs() < 1e-6);
+        // inflation doubles the kernel time only.
+        let t_infl = node_compute_time(&results[0], &m, &costs, 2.0, CacheTraffic::None);
+        assert!((t_infl.as_secs_f64() - 6.0).abs() < 1e-6);
+    }
+
+    #[test]
+    fn smp_speedup_is_real_but_sublinear_for_mem_heavy_work() {
+        let ds = dataset();
+        let m = MachineSpec {
+            cores: 2,
+            flop_per_sec: 1e12,
+            mem_per_sec: 100.0, // memory-bound
+            disk_bw: 1e12,
+            disk_seek: SimDuration::ZERO,
+            ..MachineSpec::pentium_700()
+        };
+        let costs = MiddlewareCosts {
+            chunk_dispatch: SimDuration::ZERO,
+            cache_chunk_overhead: SimDuration::ZERO,
+            ..MiddlewareCosts::default()
+        };
+        let single = run_local_reductions(&SumApp, &(), &ds, &[vec![0, 1, 2, 3]], 1);
+        let dual = run_local_reductions(&SumApp, &(), &ds, &[vec![0, 1, 2, 3]], 2);
+        let t1 = node_compute_time(&single[0], &m, &costs, 1.0, CacheTraffic::None);
+        let t2 = node_compute_time(&dual[0], &m, &costs, 1.0, CacheTraffic::None);
+        let speedup = t1.as_secs_f64() / t2.as_secs_f64();
+        assert!(speedup > 1.2, "two cores should help: {speedup}");
+        assert!(
+            speedup < 1.7,
+            "memory-bound work must not scale linearly: {speedup}"
+        );
+    }
+}

@@ -1,0 +1,482 @@
+//! The executor: drives an application over a deployment, pass by pass.
+
+use crate::api::{PassOutcome, ReductionApp, ReductionObject};
+use crate::comm::{self, TransferFlow};
+use crate::computeserver::{self, CacheTraffic};
+use crate::dataserver;
+use crate::meter::WorkMeter;
+use crate::report::{CacheMode, ExecutionReport, PassReport};
+use fg_chunks::{distribution, partition, Dataset};
+use fg_cluster::Deployment;
+use fg_sim::SimDuration;
+
+/// Outcome of a full execution: the measured report plus the
+/// application's final state.
+pub struct RunResult<S> {
+    /// Measured time breakdown.
+    pub report: ExecutionReport,
+    /// The application's final state (clusters found, features detected,
+    /// ...).
+    pub final_state: S,
+}
+
+/// Executes FREERIDE-G applications on a deployment.
+pub struct Executor {
+    deployment: Deployment,
+}
+
+impl Executor {
+    /// An executor for the given deployment.
+    pub fn new(deployment: Deployment) -> Executor {
+        Executor { deployment }
+    }
+
+    /// The deployment this executor runs on.
+    pub fn deployment(&self) -> &Deployment {
+        &self.deployment
+    }
+
+    /// Run `app` over `dataset` to completion.
+    ///
+    /// The dataset must have at least as many chunks as there are data
+    /// nodes, so every data node holds data (a configuration that leaves
+    /// repository nodes empty is a resource-selection bug, not a
+    /// middleware condition).
+    pub fn run<A: ReductionApp>(&self, app: &A, dataset: &Dataset) -> RunResult<A::State> {
+        let d = &self.deployment;
+        let n = d.config.data_nodes;
+        let c = d.config.compute_nodes;
+        assert!(
+            dataset.num_chunks() >= n,
+            "dataset {} has {} chunks but the configuration uses {} data nodes",
+            dataset.id,
+            dataset.num_chunks(),
+            n
+        );
+        let inflation = dataset.work_inflation();
+
+        // Static plan: chunk -> data node, chunk -> compute node.
+        let placement = partition::contiguous(dataset.num_chunks(), n);
+        let dest = distribution::assign_destinations(&placement, c);
+
+        // Per-data-node retrieval shares.
+        let mut dn_bytes = vec![0u64; n];
+        let mut dn_chunks = vec![0usize; n];
+        for (dn, chunks) in placement.iter().enumerate() {
+            for &k in chunks {
+                dn_bytes[dn] += dataset.chunks[k].logical_bytes;
+                dn_chunks[dn] += 1;
+            }
+        }
+
+        // Per-(data node, compute node) transfer flows.
+        let mut flow_map = std::collections::BTreeMap::<(usize, usize), (u64, usize)>::new();
+        for (dn, chunks) in placement.iter().enumerate() {
+            for &k in chunks {
+                let entry = flow_map.entry((dn, dest[k])).or_insert((0, 0));
+                entry.0 += dataset.chunks[k].logical_bytes;
+                entry.1 += 1;
+            }
+        }
+        let flows: Vec<TransferFlow> = flow_map
+            .into_iter()
+            .map(|((dn, cn), (bytes, chunks))| TransferFlow {
+                data_node: dn,
+                compute_node: cn,
+                bytes,
+                chunks,
+            })
+            .collect();
+
+        // Per-compute-node chunk lists, in chunk order.
+        let mut node_chunks: Vec<Vec<usize>> = vec![Vec::new(); c];
+        for (k, &cn) in dest.iter().enumerate() {
+            node_chunks[cn].push(k);
+        }
+
+        // Per-compute-node volumes (for cache planning and cache-site
+        // traffic).
+        let node_bytes: Vec<u64> = node_chunks
+            .iter()
+            .map(|list| list.iter().map(|&k| dataset.chunks[k].logical_bytes).sum())
+            .collect();
+        let node_chunk_counts: Vec<usize> = node_chunks.iter().map(Vec::len).collect();
+
+        let site = &d.compute;
+        let machine = &site.machine;
+
+        // Decide how chunks persist between passes: locally if every
+        // node's share fits its scratch storage, at the non-local caching
+        // site if one is attached, else by re-fetching from the origin.
+        let max_node_bytes = node_bytes.iter().copied().max().unwrap_or(0);
+        let cache_mode = if !app.caches() {
+            CacheMode::SinglePass
+        } else if max_node_bytes <= site.node_storage_bytes {
+            CacheMode::Local
+        } else if d.cache.is_some() {
+            CacheMode::NonLocal
+        } else {
+            CacheMode::Refetch
+        };
+
+        // Cache-site traffic plan (compute node <-> cache node, banded).
+        let cache_plan = d.cache.as_ref().map(|cs| {
+            let eff_nodes = cs.nodes.min(c);
+            let flows: Vec<TransferFlow> = (0..c)
+                .filter(|&p| node_bytes[p] > 0)
+                .map(|p| TransferFlow {
+                    // `data_node` is the cache-site side of the stream.
+                    data_node: p * eff_nodes / c,
+                    compute_node: p,
+                    bytes: node_bytes[p],
+                    chunks: node_chunk_counts[p],
+                })
+                .collect();
+            let mut per_node_bytes = vec![0u64; eff_nodes];
+            let mut per_node_chunks = vec![0usize; eff_nodes];
+            for f in &flows {
+                per_node_bytes[f.data_node] += f.bytes;
+                per_node_chunks[f.data_node] += f.chunks;
+            }
+            (cs, eff_nodes, flows, per_node_bytes, per_node_chunks)
+        });
+
+        let mut state = app.initial_state();
+        let mut passes: Vec<PassReport> = Vec::new();
+
+        loop {
+            assert!(
+                passes.len() < app.max_passes(),
+                "application {} exceeded its pass bound of {}",
+                app.name(),
+                app.max_passes()
+            );
+            let pass_idx = passes.len();
+            // Caching runs fetch from the origin once; single-pass and
+            // storage-starved (Refetch) runs fetch every pass (the paper:
+            // "if caching was performed on the initial iteration, each
+            // subsequent pass retrieves data chunks from local disk").
+            let remote = pass_idx == 0
+                || matches!(cache_mode, CacheMode::SinglePass | CacheMode::Refetch);
+
+            // Phase 1: origin repository retrieval.
+            let retrieval = if remote {
+                dataserver::retrieval_makespan(&d.repository, &dn_bytes, &dn_chunks)
+            } else {
+                SimDuration::ZERO
+            };
+
+            // Phase 2: origin WAN transfer.
+            let network = if remote {
+                comm::transfer_makespan(&d.wan, &d.repository.machine, machine, n, c, &flows)
+            } else {
+                SimDuration::ZERO
+            };
+
+            // Non-local cache traffic: write-through on the first pass,
+            // reads on later passes.
+            let (cache_disk, cache_network) = if cache_mode == CacheMode::NonLocal {
+                let (cs, eff_nodes, cache_flows, pnb, pnc) =
+                    cache_plan.as_ref().expect("NonLocal implies a cache site");
+                let disk = dataserver::retrieval_makespan(&cs.site, pnb, pnc);
+                let net = if pass_idx == 0 {
+                    // Compute nodes stream to the cache site.
+                    comm::transfer_makespan(&cs.wan, machine, &cs.site.machine, c, *eff_nodes,
+                        &cache_flows.iter().map(|f| TransferFlow {
+                            data_node: f.compute_node,
+                            compute_node: f.data_node,
+                            bytes: f.bytes,
+                            chunks: f.chunks,
+                        }).collect::<Vec<_>>())
+                } else {
+                    // The cache site streams back to the compute nodes.
+                    comm::transfer_makespan(
+                        &cs.wan,
+                        &cs.site.machine,
+                        machine,
+                        *eff_nodes,
+                        c,
+                        cache_flows,
+                    )
+                };
+                (disk, net)
+            } else {
+                (SimDuration::ZERO, SimDuration::ZERO)
+            };
+
+            // Phase 3: local reductions (real execution; SMP nodes fold
+            // on all cores and combine node-locally).
+            let results = computeserver::run_local_reductions(
+                app,
+                &state,
+                dataset,
+                &node_chunks,
+                machine.cores,
+            );
+            let cache = if cache_mode != CacheMode::Local {
+                CacheTraffic::None
+            } else if pass_idx == 0 {
+                CacheTraffic::Write
+            } else {
+                CacheTraffic::Read
+            };
+            let local_compute = results
+                .iter()
+                .map(|r| computeserver::node_compute_time(r, machine, &site.costs, inflation, cache))
+                .max()
+                .unwrap_or(SimDuration::ZERO);
+
+            // Phase 4: reduction-object communication (serialized gather).
+            let obj_bytes: Vec<u64> = results
+                .iter()
+                .map(|r| r.obj.size().logical(inflation))
+                .collect();
+            let t_ro = comm::gather_time(site, &obj_bytes[1..]);
+            let max_obj_bytes = obj_bytes.iter().copied().max().unwrap_or(0);
+
+            // Phase 5: global reduction at the master (node 0): handle
+            // every object (the master's own included), merge, finalize,
+            // broadcast the next state.
+            let mut results = results;
+            let mut master_meter = WorkMeter::new();
+            let mut iter = results.drain(..);
+            let mut merged = iter.next().expect("at least one compute node").obj;
+            for r in iter {
+                merged.merge(&r.obj, &mut master_meter);
+            }
+            let outcome = app.global_finalize(&state, merged, &mut master_meter);
+            let (next_state, finished) = match outcome {
+                PassOutcome::NextPass(s) => (s, false),
+                PassOutcome::Finished(s) => (s, true),
+            };
+            let broadcast = if finished {
+                SimDuration::ZERO
+            } else {
+                comm::broadcast_time(
+                    site,
+                    app.state_size(&next_state).logical(inflation),
+                    c,
+                )
+            };
+            let t_g = site.costs.obj_handling * c as u64
+                + master_meter.time_on(machine, inflation)
+                + broadcast;
+
+            passes.push(PassReport {
+                retrieval,
+                network,
+                cache_disk,
+                cache_network,
+                local_compute,
+                t_ro,
+                t_g,
+                max_obj_bytes,
+            });
+            state = next_state;
+            if finished {
+                break;
+            }
+        }
+
+        let report = ExecutionReport {
+            app: app.name().to_string(),
+            dataset: dataset.id.clone(),
+            dataset_bytes: dataset.logical_bytes(),
+            data_nodes: n,
+            compute_nodes: c,
+            wan_bw: d.wan.stream_bw,
+            repo_machine: d.repository.machine.name.clone(),
+            compute_machine: machine.name.clone(),
+            cache_mode,
+            passes,
+        };
+        RunResult { report, final_state: state }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::api::ObjSize;
+    use fg_chunks::{codec, DatasetBuilder};
+    use fg_cluster::{ComputeSite, Configuration, RepositorySite, Wan};
+
+    /// Two-pass app: pass 1 sums elements, pass 2 counts elements above
+    /// the mean. Exercises caching, state broadcast, and merge.
+    struct TwoPass;
+
+    #[derive(Clone)]
+    struct Acc {
+        sum: f64,
+        count: u64,
+    }
+
+    impl ReductionObject for Acc {
+        fn merge(&mut self, other: &Self, meter: &mut WorkMeter) {
+            self.sum += other.sum;
+            self.count += other.count;
+            meter.fixed_flops(2);
+        }
+        fn size(&self) -> ObjSize {
+            ObjSize { fixed: 16, data: 0 }
+        }
+    }
+
+    #[derive(Clone)]
+    enum Phase {
+        ComputeMean,
+        CountAbove(f64),
+        Done(u64),
+    }
+
+    impl ReductionApp for TwoPass {
+        type Obj = Acc;
+        type State = Phase;
+        fn name(&self) -> &str {
+            "two-pass"
+        }
+        fn initial_state(&self) -> Phase {
+            Phase::ComputeMean
+        }
+        fn new_object(&self, _: &Phase) -> Acc {
+            Acc { sum: 0.0, count: 0 }
+        }
+        fn local_reduce(&self, state: &Phase, chunk: &fg_chunks::Chunk, obj: &mut Acc, meter: &mut WorkMeter) {
+            let vals = codec::decode_f32s(&chunk.payload);
+            match state {
+                Phase::ComputeMean => {
+                    for v in &vals {
+                        obj.sum += *v as f64;
+                        obj.count += 1;
+                    }
+                }
+                Phase::CountAbove(mean) => {
+                    for v in &vals {
+                        if (*v as f64) > *mean {
+                            obj.count += 1;
+                        }
+                    }
+                }
+                Phase::Done(_) => unreachable!("no pass after Done"),
+            }
+            meter.data_flops(vals.len() as u64);
+        }
+        fn global_finalize(&self, state: &Phase, merged: Acc, _: &mut WorkMeter) -> PassOutcome<Phase> {
+            match state {
+                Phase::ComputeMean => {
+                    PassOutcome::NextPass(Phase::CountAbove(merged.sum / merged.count as f64))
+                }
+                Phase::CountAbove(_) => PassOutcome::Finished(Phase::Done(merged.count)),
+                Phase::Done(_) => unreachable!(),
+            }
+        }
+        fn state_size(&self, _: &Phase) -> ObjSize {
+            ObjSize { fixed: 8, data: 0 }
+        }
+        fn caches(&self) -> bool {
+            true
+        }
+    }
+
+    fn dataset(chunks: usize, per_chunk: usize) -> Dataset {
+        let mut b = DatasetBuilder::new("d", "t", 1.0);
+        let mut x = 0u32;
+        for _ in 0..chunks {
+            let vals: Vec<f32> = (0..per_chunk)
+                .map(|_| {
+                    x += 1;
+                    x as f32
+                })
+                .collect();
+            b.push_chunk(codec::encode_f32s(&vals), per_chunk as u64, None);
+        }
+        b.build()
+    }
+
+    fn deployment(n: usize, c: usize) -> Deployment {
+        Deployment::new(
+            RepositorySite::pentium_repository("repo", 8),
+            ComputeSite::pentium_myrinet("cs", 16),
+            Wan::per_stream(1e6),
+            Configuration::new(n, c),
+        )
+    }
+
+    #[test]
+    fn two_pass_app_gets_right_answer_on_any_configuration() {
+        let ds = dataset(8, 100); // values 1..=800, mean 400.5 -> 400 above
+        for (n, c) in [(1, 1), (2, 4), (4, 8), (8, 16)] {
+            let result = Executor::new(deployment(n, c)).run(&TwoPass, &ds);
+            match result.final_state {
+                Phase::Done(count) => assert_eq!(count, 400, "config {n}-{c}"),
+                _ => panic!("did not finish"),
+            }
+            assert_eq!(result.report.num_passes(), 2);
+        }
+    }
+
+    #[test]
+    fn caching_suppresses_second_pass_io() {
+        let ds = dataset(8, 100);
+        let r = Executor::new(deployment(2, 2)).run(&TwoPass, &ds).report;
+        assert!(!r.passes[0].retrieval.is_zero());
+        assert!(!r.passes[0].network.is_zero());
+        assert!(r.passes[1].retrieval.is_zero());
+        assert!(r.passes[1].network.is_zero());
+    }
+
+    #[test]
+    fn single_node_has_no_gather_cost() {
+        let ds = dataset(4, 10);
+        let r = Executor::new(deployment(1, 1)).run(&TwoPass, &ds).report;
+        assert!(r.t_ro().is_zero());
+        // But t_g is nonzero: the master still handles its own object.
+        assert!(!r.t_g().is_zero());
+    }
+
+    #[test]
+    fn gather_cost_grows_with_compute_nodes() {
+        let ds = dataset(16, 10);
+        let r2 = Executor::new(deployment(1, 2)).run(&TwoPass, &ds).report;
+        let r8 = Executor::new(deployment(1, 8)).run(&TwoPass, &ds).report;
+        assert!(r8.t_ro() > r2.t_ro());
+        assert!(r8.t_g() > r2.t_g());
+    }
+
+    #[test]
+    fn more_data_nodes_speed_up_retrieval() {
+        let ds = dataset(16, 1000);
+        let r1 = Executor::new(deployment(1, 4)).run(&TwoPass, &ds).report;
+        let r4 = Executor::new(deployment(4, 4)).run(&TwoPass, &ds).report;
+        assert!(r4.t_disk() < r1.t_disk());
+        assert!(r4.t_network() < r1.t_network());
+    }
+
+    #[test]
+    fn report_identifies_the_run() {
+        let ds = dataset(4, 10);
+        let r = Executor::new(deployment(2, 4)).run(&TwoPass, &ds).report;
+        assert_eq!(r.app, "two-pass");
+        assert_eq!(r.data_nodes, 2);
+        assert_eq!(r.compute_nodes, 4);
+        assert_eq!(r.dataset_bytes, ds.logical_bytes());
+        assert_eq!(r.repo_machine, "pentium-700");
+    }
+
+    #[test]
+    #[should_panic(expected = "chunks but the configuration")]
+    fn too_few_chunks_rejected() {
+        let ds = dataset(2, 10);
+        Executor::new(deployment(4, 4)).run(&TwoPass, &ds);
+    }
+
+    #[test]
+    fn deterministic_across_runs() {
+        let ds = dataset(8, 50);
+        let a = Executor::new(deployment(2, 8)).run(&TwoPass, &ds).report;
+        let b = Executor::new(deployment(2, 8)).run(&TwoPass, &ds).report;
+        assert_eq!(a.total(), b.total());
+        assert_eq!(a.t_ro(), b.t_ro());
+        assert_eq!(a.t_g(), b.t_g());
+    }
+}

@@ -1,0 +1,151 @@
+//! Text timelines of execution reports.
+//!
+//! Renders the phase structure of a run as a proportional text Gantt
+//! chart — the quickest way to see where a configuration's time goes
+//! and why the prediction model treats components the way it does.
+
+use crate::report::ExecutionReport;
+use fg_sim::SimDuration;
+use std::fmt::Write as _;
+
+/// Width of the bar area in characters.
+const BAR_WIDTH: usize = 60;
+
+/// Phase kinds shown in the timeline, with their bar glyphs.
+const PHASES: [(&str, char); 6] = [
+    ("retrieval", 'D'),
+    ("network", 'N'),
+    ("cache i/o", 'K'),
+    ("compute", 'C'),
+    ("gather", 'R'),
+    ("global", 'G'),
+];
+
+/// Render the report as a per-pass Gantt chart plus a component summary.
+pub fn render(report: &ExecutionReport) -> String {
+    let total = report.total().as_secs_f64().max(1e-12);
+    let mut out = String::new();
+    let _ = writeln!(
+        out,
+        "{} on {}-{} ({} x {}): {:.2}s total, {:?} caching",
+        report.app,
+        report.data_nodes,
+        report.compute_nodes,
+        report.compute_machine,
+        report.repo_machine,
+        total,
+        report.cache_mode,
+    );
+    for (i, pass) in report.passes.iter().enumerate() {
+        let spans = [
+            pass.retrieval,
+            pass.network,
+            pass.cache_disk + pass.cache_network,
+            pass.local_compute,
+            pass.t_ro,
+            pass.t_g,
+        ];
+        let mut bar = String::new();
+        for (dur, (_, glyph)) in spans.iter().zip(PHASES.iter()) {
+            let cells =
+                (dur.as_secs_f64() / total * BAR_WIDTH as f64).round() as usize;
+            for _ in 0..cells {
+                bar.push(*glyph);
+            }
+        }
+        let _ = writeln!(out, "pass {i:>3} |{bar:<BAR_WIDTH$}| {:.2}s", pass.total().as_secs_f64());
+    }
+    let components: [(&str, SimDuration); 5] = [
+        ("T_disk", report.t_disk()),
+        ("T_network", report.t_network()),
+        ("T_compute", report.t_compute()),
+        ("  of which T_ro", report.t_ro()),
+        ("  of which T_g", report.t_g()),
+    ];
+    for (name, dur) in components {
+        let _ = writeln!(
+            out,
+            "{name:>16}: {:>10.2}s ({:>5.1}%)",
+            dur.as_secs_f64(),
+            dur.as_secs_f64() / total * 100.0
+        );
+    }
+    let _ = writeln!(
+        out,
+        "legend: {}",
+        PHASES.map(|(name, g)| format!("{g}={name}")).join("  ")
+    );
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::report::{CacheMode, PassReport};
+
+    fn report() -> ExecutionReport {
+        ExecutionReport {
+            app: "kmeans".into(),
+            dataset: "d".into(),
+            dataset_bytes: 1000,
+            data_nodes: 2,
+            compute_nodes: 4,
+            wan_bw: 1e6,
+            repo_machine: "pentium-700".into(),
+            compute_machine: "pentium-700".into(),
+            cache_mode: CacheMode::Local,
+            passes: vec![
+                PassReport {
+                    retrieval: SimDuration::from_secs(10),
+                    network: SimDuration::from_secs(10),
+                    cache_disk: SimDuration::ZERO,
+                    cache_network: SimDuration::ZERO,
+                    local_compute: SimDuration::from_secs(30),
+                    t_ro: SimDuration::from_secs(5),
+                    t_g: SimDuration::from_secs(5),
+                    max_obj_bytes: 8,
+                },
+                PassReport {
+                    retrieval: SimDuration::ZERO,
+                    network: SimDuration::ZERO,
+                    cache_disk: SimDuration::ZERO,
+                    cache_network: SimDuration::ZERO,
+                    local_compute: SimDuration::from_secs(35),
+                    t_ro: SimDuration::from_secs(2),
+                    t_g: SimDuration::from_secs(3),
+                    max_obj_bytes: 8,
+                },
+            ],
+        }
+    }
+
+    #[test]
+    fn renders_all_passes_and_components() {
+        let s = render(&report());
+        assert!(s.contains("pass   0"));
+        assert!(s.contains("pass   1"));
+        assert!(s.contains("T_disk"));
+        assert!(s.contains("T_network"));
+        assert!(s.contains("of which T_ro"));
+        assert!(s.contains("legend:"));
+    }
+
+    #[test]
+    fn bar_lengths_are_proportional() {
+        let s = render(&report());
+        let pass0 = s.lines().find(|l| l.starts_with("pass   0")).unwrap();
+        // 30s compute of 100s total over 60 cells = 18 'C' glyphs.
+        let c_count = pass0.chars().filter(|&c| c == 'C').count();
+        assert_eq!(c_count, 18, "line: {pass0}");
+        let d_count = pass0.chars().filter(|&c| c == 'D').count();
+        assert_eq!(d_count, 6);
+    }
+
+    #[test]
+    fn zero_phases_render_no_glyphs() {
+        let s = render(&report());
+        let pass1 = s.lines().find(|l| l.starts_with("pass   1")).unwrap();
+        assert_eq!(pass1.chars().filter(|&c| c == 'D').count(), 0);
+        assert_eq!(pass1.chars().filter(|&c| c == 'N').count(), 0);
+    }
+}

@@ -1,0 +1,203 @@
+//! Property tests of the middleware executor over randomized datasets,
+//! configurations, and hardware parameters: correctness of the fold,
+//! additivity of the breakdown, caching semantics, and sane scaling.
+
+use fg_chunks::{codec, Dataset, DatasetBuilder};
+use fg_cluster::{ComputeSite, Configuration, Deployment, RepositorySite, Wan};
+use fg_middleware::{
+    CacheMode, Executor, ObjSize, PassOutcome, ReductionApp, ReductionObject, WorkMeter,
+};
+use proptest::prelude::*;
+
+/// Sums elements and counts them over a configurable number of passes —
+/// the minimal generalized reduction with an exactly checkable answer.
+struct CountSum {
+    passes: usize,
+}
+
+#[derive(Clone)]
+struct Acc {
+    sum: f64,
+    count: u64,
+}
+
+impl ReductionObject for Acc {
+    fn merge(&mut self, other: &Self, meter: &mut WorkMeter) {
+        self.sum += other.sum;
+        self.count += other.count;
+        meter.fixed_flops(2);
+    }
+    fn size(&self) -> ObjSize {
+        ObjSize { fixed: 16, data: 0 }
+    }
+}
+
+impl ReductionApp for CountSum {
+    type Obj = Acc;
+    type State = (usize, f64, u64);
+    fn name(&self) -> &str {
+        "count-sum"
+    }
+    fn initial_state(&self) -> Self::State {
+        (0, 0.0, 0)
+    }
+    fn new_object(&self, _: &Self::State) -> Acc {
+        Acc { sum: 0.0, count: 0 }
+    }
+    fn local_reduce(
+        &self,
+        _: &Self::State,
+        chunk: &fg_chunks::Chunk,
+        obj: &mut Acc,
+        meter: &mut WorkMeter,
+    ) {
+        let vals = codec::decode_f32s(&chunk.payload);
+        for v in &vals {
+            obj.sum += *v as f64;
+            obj.count += 1;
+        }
+        meter.data_flops(vals.len() as u64 * 3);
+        meter.data_mem(vals.len() as u64);
+    }
+    fn global_finalize(
+        &self,
+        state: &Self::State,
+        merged: Acc,
+        _: &mut WorkMeter,
+    ) -> PassOutcome<Self::State> {
+        let next = (state.0 + 1, merged.sum, merged.count);
+        if next.0 >= self.passes {
+            PassOutcome::Finished(next)
+        } else {
+            PassOutcome::NextPass(next)
+        }
+    }
+    fn state_size(&self, _: &Self::State) -> ObjSize {
+        ObjSize { fixed: 24, data: 0 }
+    }
+    fn caches(&self) -> bool {
+        self.passes > 1
+    }
+}
+
+fn dataset_from(chunks: &[Vec<u16>]) -> Dataset {
+    let mut b = DatasetBuilder::new("prop", "t", 1.0);
+    for vals in chunks {
+        let floats: Vec<f32> = vals.iter().map(|&v| v as f32).collect();
+        b.push_chunk(codec::encode_f32s(&floats), floats.len() as u64, None);
+    }
+    b.build()
+}
+
+fn deployment(n: usize, c: usize, bw: f64) -> Deployment {
+    Deployment::new(
+        RepositorySite::pentium_repository("repo", 8),
+        ComputeSite::pentium_myrinet("cs", 16),
+        Wan::per_stream(bw),
+        Configuration::new(n, c),
+    )
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(48))]
+
+    /// Whatever the configuration, pass count, or chunking, the fold
+    /// computes the exact sum and count of all elements.
+    #[test]
+    fn fold_is_exact_under_any_configuration(
+        chunks in proptest::collection::vec(
+            proptest::collection::vec(0u16..1000, 1..60), 8..40),
+        n_pow in 0u32..4,
+        c_extra_pow in 0u32..3,
+        passes in 1usize..4,
+    ) {
+        let n = 1usize << n_pow;
+        let c = (n << c_extra_pow).min(16);
+        prop_assume!(chunks.len() >= n);
+        let ds = dataset_from(&chunks);
+        let expect_sum: f64 = chunks.iter().flatten().map(|&v| v as f64).sum();
+        let expect_count: u64 = chunks.iter().map(|v| v.len() as u64).sum();
+        let app = CountSum { passes };
+        let run = Executor::new(deployment(n, c, 10e6)).run(&app, &ds);
+        prop_assert_eq!(run.final_state.2, expect_count);
+        prop_assert!((run.final_state.1 - expect_sum).abs() < 1e-6);
+        prop_assert_eq!(run.report.num_passes(), passes);
+    }
+
+    /// The reported total is exactly the sum of the three components,
+    /// and t_ro + t_g never exceeds t_compute.
+    #[test]
+    fn breakdown_is_additive(
+        chunks in proptest::collection::vec(
+            proptest::collection::vec(0u16..100, 1..30), 8..24),
+        c in 1usize..9,
+        passes in 1usize..4,
+    ) {
+        let ds = dataset_from(&chunks);
+        let app = CountSum { passes };
+        let report = Executor::new(deployment(1, c, 10e6)).run(&app, &ds).report;
+        prop_assert_eq!(report.total(), report.t_disk() + report.t_network() + report.t_compute());
+        prop_assert!(report.t_ro() + report.t_g() <= report.t_compute());
+    }
+
+    /// Multi-pass runs with room to cache fetch from the origin exactly
+    /// once; refetch runs touch it every pass. Either way the answer and
+    /// the compute component are identical.
+    #[test]
+    fn caching_is_an_io_decision_only(
+        chunks in proptest::collection::vec(
+            proptest::collection::vec(0u16..100, 4..30), 8..24),
+        passes in 2usize..4,
+    ) {
+        let ds = dataset_from(&chunks);
+        let app = CountSum { passes };
+        let cached = Executor::new(deployment(2, 4, 10e6)).run(&app, &ds);
+        let mut starved_dep = deployment(2, 4, 10e6);
+        starved_dep.compute.node_storage_bytes = 0;
+        let starved = Executor::new(starved_dep).run(&app, &ds);
+        prop_assert_eq!(cached.report.cache_mode, CacheMode::Local);
+        prop_assert_eq!(starved.report.cache_mode, CacheMode::Refetch);
+        prop_assert_eq!(cached.final_state.2, starved.final_state.2);
+        prop_assert!(starved.report.t_disk() >= cached.report.t_disk());
+        prop_assert!(starved.report.t_network() >= cached.report.t_network());
+    }
+
+    /// Raising the WAN bandwidth never increases network time, and
+    /// leaves retrieval untouched.
+    #[test]
+    fn bandwidth_monotonicity(
+        chunks in proptest::collection::vec(
+            proptest::collection::vec(0u16..100, 4..30), 8..24),
+        bw_lo_mb in 1u32..20,
+        bw_hi_extra in 1u32..20,
+    ) {
+        let ds = dataset_from(&chunks);
+        let app = CountSum { passes: 1 };
+        let lo = (bw_lo_mb as f64) * 1e6;
+        let hi = lo + (bw_hi_extra as f64) * 1e6;
+        let slow = Executor::new(deployment(2, 4, lo)).run(&app, &ds).report;
+        let fast = Executor::new(deployment(2, 4, hi)).run(&app, &ds).report;
+        prop_assert!(fast.t_network() <= slow.t_network());
+        prop_assert_eq!(fast.t_disk(), slow.t_disk());
+        prop_assert_eq!(fast.t_compute(), slow.t_compute());
+    }
+
+    /// More data nodes never slow retrieval; more compute nodes never
+    /// slow the local-compute makespan.
+    #[test]
+    fn node_scaling_monotonicity(
+        chunks in proptest::collection::vec(
+            proptest::collection::vec(0u16..100, 4..30), 16..48),
+    ) {
+        let ds = dataset_from(&chunks);
+        let app = CountSum { passes: 1 };
+        let mut prev_disk = None;
+        for n in [1usize, 2, 4, 8] {
+            let r = Executor::new(deployment(n, 8, 10e6)).run(&app, &ds).report;
+            if let Some(prev) = prev_disk {
+                prop_assert!(r.t_disk() <= prev);
+            }
+            prev_disk = Some(r.t_disk());
+        }
+    }
+}

@@ -1,0 +1,156 @@
+//! A minimal event-driven simulation loop.
+//!
+//! The engine owns the clock and the future-event list; a handler closure
+//! reacts to each event and may schedule more. Most of the FREERIDE-G
+//! execution model is *phase-structured* and uses the analytic components
+//! ([`crate::server`], [`crate::fairshare`]) directly, but the engine is the
+//! general escape hatch (and is what the fair-share simulator is built on
+//! conceptually: advance to next event, update state, repeat).
+
+use crate::event::EventQueue;
+use crate::time::SimTime;
+
+/// An event-driven simulation driver.
+pub struct Engine<E> {
+    now: SimTime,
+    queue: EventQueue<E>,
+    processed: u64,
+}
+
+impl<E> Default for Engine<E> {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+impl<E> Engine<E> {
+    /// A fresh engine with the clock at zero.
+    pub fn new() -> Self {
+        Engine {
+            now: SimTime::ZERO,
+            queue: EventQueue::new(),
+            processed: 0,
+        }
+    }
+
+    /// Current virtual time.
+    pub fn now(&self) -> SimTime {
+        self.now
+    }
+
+    /// Total number of events handled so far.
+    pub fn processed(&self) -> u64 {
+        self.processed
+    }
+
+    /// Schedule an event at an absolute instant. Panics if `at` is in the
+    /// simulated past — discrete-event simulations must never rewind.
+    pub fn schedule_at(&mut self, at: SimTime, event: E) {
+        assert!(
+            at >= self.now,
+            "cannot schedule into the past: now={}, at={}",
+            self.now,
+            at
+        );
+        self.queue.push(at, event);
+    }
+
+    /// Schedule an event `after` the current instant.
+    pub fn schedule_after(&mut self, after: crate::time::SimDuration, event: E) {
+        let at = self.now + after;
+        self.queue.push(at, event);
+    }
+
+    /// Run until the event list drains. The handler receives the engine so
+    /// it can schedule follow-up events and read the clock.
+    pub fn run(&mut self, mut handler: impl FnMut(&mut Engine<E>, E)) {
+        while let Some((at, event)) = self.queue.pop() {
+            debug_assert!(at >= self.now, "event queue returned a past event");
+            self.now = at;
+            self.processed += 1;
+            handler(self, event);
+        }
+    }
+
+    /// Run until the event list drains or the clock passes `deadline`;
+    /// returns `true` if the queue drained.
+    pub fn run_until(&mut self, deadline: SimTime, mut handler: impl FnMut(&mut Engine<E>, E)) -> bool {
+        loop {
+            match self.queue.peek_time() {
+                None => return true,
+                Some(t) if t > deadline => return false,
+                Some(_) => {
+                    let (at, event) = self.queue.pop().expect("peeked event vanished");
+                    self.now = at;
+                    self.processed += 1;
+                    handler(self, event);
+                }
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::time::SimDuration;
+
+    #[derive(Debug, PartialEq)]
+    enum Ev {
+        Tick(u32),
+    }
+
+    #[test]
+    fn clock_advances_with_events() {
+        let mut eng = Engine::new();
+        eng.schedule_at(SimTime::from_nanos(100), Ev::Tick(1));
+        eng.schedule_at(SimTime::from_nanos(50), Ev::Tick(0));
+        let mut seen = Vec::new();
+        eng.run(|e, ev| {
+            seen.push((e.now().as_nanos(), ev));
+        });
+        assert_eq!(seen, vec![(50, Ev::Tick(0)), (100, Ev::Tick(1))]);
+        assert_eq!(eng.processed(), 2);
+    }
+
+    #[test]
+    fn handler_can_cascade_events() {
+        let mut eng = Engine::new();
+        eng.schedule_at(SimTime::ZERO, 0u32);
+        let mut count = 0;
+        eng.run(|e, n| {
+            count += 1;
+            if n < 9 {
+                e.schedule_after(SimDuration::from_nanos(10), n + 1);
+            }
+        });
+        assert_eq!(count, 10);
+        assert_eq!(eng.now(), SimTime::from_nanos(90));
+    }
+
+    #[test]
+    fn run_until_stops_at_deadline() {
+        let mut eng = Engine::new();
+        for i in 0..10u64 {
+            eng.schedule_at(SimTime::from_nanos(i * 100), i);
+        }
+        let mut seen = 0;
+        let drained = eng.run_until(SimTime::from_nanos(450), |_, _| seen += 1);
+        assert!(!drained);
+        assert_eq!(seen, 5);
+        // The remaining events are still there and can be drained later.
+        let drained = eng.run_until(SimTime::MAX, |_, _| seen += 1);
+        assert!(drained);
+        assert_eq!(seen, 10);
+    }
+
+    #[test]
+    #[should_panic(expected = "cannot schedule into the past")]
+    fn scheduling_into_past_panics() {
+        let mut eng = Engine::new();
+        eng.schedule_at(SimTime::from_nanos(100), ());
+        eng.run(|e, ()| {
+            e.schedule_at(SimTime::from_nanos(50), ());
+        });
+    }
+}

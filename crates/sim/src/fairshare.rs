@@ -1,0 +1,502 @@
+//! Max-min fair sharing of capacitated resources among flows.
+//!
+//! The data-movement phases of the middleware (repository disk backplane,
+//! data-node NICs, the wide-area link, compute-node NICs) are modeled as a
+//! set of capacitated resources. Each *flow* (e.g. "all chunks data node 2
+//! sends to compute node 5 this pass") has a byte demand, an optional
+//! per-flow rate cap, and traverses a set of resources. Bandwidth is
+//! allocated by **max-min fairness with progressive filling**: all active
+//! flows' rates rise together until a flow hits its cap or a resource
+//! saturates, at which point the constrained flows freeze and the rest
+//! continue — the standard fluid model of TCP-fair sharing.
+//!
+//! The simulation is event-driven in the fluid sense: rates only change at
+//! flow arrivals and completions, so the schedule advances from event to
+//! event, draining demand at the current rates.
+
+use crate::time::SimTime;
+
+/// Identifies a capacitated resource within one [`FairShareSim`].
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub struct ResourceId(pub usize);
+
+/// A flow to be scheduled.
+#[derive(Debug, Clone)]
+pub struct Flow {
+    /// When the flow becomes eligible to transmit.
+    pub arrival: SimTime,
+    /// Bytes (or work units) to move; must be positive and finite.
+    pub demand: f64,
+    /// Per-flow rate ceiling (bytes/sec); `f64::INFINITY` for "no cap".
+    pub rate_cap: f64,
+    /// Resources the flow consumes capacity on.
+    pub resources: Vec<ResourceId>,
+}
+
+/// When a flow started and finished.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct FlowOutcome {
+    /// Equal to the flow's arrival (flows start transmitting immediately,
+    /// possibly at a low rate).
+    pub start: SimTime,
+    /// When the last byte drained.
+    pub finish: SimTime,
+}
+
+/// A one-shot max-min fair-share scheduling problem.
+///
+/// ```
+/// use fg_sim::{FairShareSim, Flow, ResourceId, SimTime};
+///
+/// // Two flows share a 100 B/s link; one is capped at 20 B/s, so the
+/// // other gets the remaining 80 (max-min fairness).
+/// let sim = FairShareSim::new(vec![100.0]);
+/// let out = sim.run(&[
+///     Flow { arrival: SimTime::ZERO, demand: 200.0, rate_cap: 20.0,
+///            resources: vec![ResourceId(0)] },
+///     Flow { arrival: SimTime::ZERO, demand: 800.0, rate_cap: f64::INFINITY,
+///            resources: vec![ResourceId(0)] },
+/// ]);
+/// assert!((out[0].finish.as_secs_f64() - 10.0).abs() < 1e-9);
+/// assert!((out[1].finish.as_secs_f64() - 10.0).abs() < 1e-9);
+/// ```
+pub struct FairShareSim {
+    capacities: Vec<f64>,
+}
+
+impl FairShareSim {
+    /// Create a simulator over resources with the given capacities
+    /// (bytes/sec); each must be positive and finite.
+    pub fn new(capacities: Vec<f64>) -> Self {
+        assert!(
+            capacities.iter().all(|&c| c.is_finite() && c > 0.0),
+            "resource capacities must be positive and finite: {capacities:?}"
+        );
+        FairShareSim { capacities }
+    }
+
+    /// Number of resources.
+    pub fn resources(&self) -> usize {
+        self.capacities.len()
+    }
+
+    /// Compute the instantaneous max-min fair rates for the given active
+    /// flows (identified by index into `flows`). Progressive filling:
+    /// all rates rise uniformly; a flow freezes when it hits its own cap or
+    /// when one of its resources saturates.
+    fn fair_rates(&self, flows: &[Flow], active: &[usize]) -> Vec<f64> {
+        let mut rates = vec![0.0f64; active.len()];
+        let mut frozen = vec![false; active.len()];
+        let mut remaining_cap = self.capacities.clone();
+        // Count of unfrozen flows using each resource.
+        let mut users = vec![0usize; self.capacities.len()];
+        for (&fi, _) in active.iter().zip(rates.iter()) {
+            for r in &flows[fi].resources {
+                users[r.0] += 1;
+            }
+        }
+        let mut unfrozen = active.len();
+        while unfrozen > 0 {
+            // Largest uniform rate increment before a constraint binds.
+            let mut delta = f64::INFINITY;
+            for (r, (&cap, &n)) in remaining_cap.iter().zip(users.iter()).enumerate() {
+                let _ = r;
+                if n > 0 {
+                    delta = delta.min(cap / n as f64);
+                }
+            }
+            for (ai, &fi) in active.iter().enumerate() {
+                if !frozen[ai] {
+                    delta = delta.min(flows[fi].rate_cap - rates[ai]);
+                }
+            }
+            assert!(
+                delta.is_finite() && delta >= 0.0,
+                "progressive filling produced a bad increment: {delta}"
+            );
+            // Apply the increment and charge the resources.
+            for (ai, &fi) in active.iter().enumerate() {
+                if !frozen[ai] {
+                    rates[ai] += delta;
+                    for r in &flows[fi].resources {
+                        remaining_cap[r.0] -= delta;
+                    }
+                }
+            }
+            // Freeze flows that hit their cap or sit on a saturated resource.
+            let eps = 1e-9;
+            for (ai, &fi) in active.iter().enumerate() {
+                if frozen[ai] {
+                    continue;
+                }
+                let capped = rates[ai] >= flows[fi].rate_cap - eps * flows[fi].rate_cap.max(1.0);
+                let saturated = flows[fi]
+                    .resources
+                    .iter()
+                    .any(|r| remaining_cap[r.0] <= eps * self.capacities[r.0]);
+                if capped || saturated {
+                    frozen[ai] = true;
+                    unfrozen -= 1;
+                    for r in &flows[fi].resources {
+                        users[r.0] -= 1;
+                    }
+                }
+            }
+        }
+        rates
+    }
+
+    /// Run the fluid schedule to completion and return per-flow outcomes
+    /// (indexed like `flows`).
+    pub fn run(&self, flows: &[Flow]) -> Vec<FlowOutcome> {
+        for f in flows {
+            assert!(
+                f.demand.is_finite() && f.demand > 0.0,
+                "flow demand must be positive and finite: {}",
+                f.demand
+            );
+            assert!(f.rate_cap > 0.0, "flow rate cap must be positive");
+            for r in &f.resources {
+                assert!(r.0 < self.capacities.len(), "unknown resource {:?}", r);
+            }
+        }
+        let n = flows.len();
+        let mut remaining: Vec<f64> = flows.iter().map(|f| f.demand).collect();
+        let mut outcome: Vec<FlowOutcome> = flows
+            .iter()
+            .map(|f| FlowOutcome {
+                start: f.arrival,
+                finish: SimTime::MAX,
+            })
+            .collect();
+        // Arrival order: by time, index as tie-break (deterministic).
+        let mut arrivals: Vec<usize> = (0..n).collect();
+        arrivals.sort_by_key(|&i| (flows[i].arrival, i));
+        let mut next_arrival = 0usize;
+        let mut active: Vec<usize> = Vec::new();
+        let mut now = 0.0f64; // seconds, fluid clock
+
+        while next_arrival < n || !active.is_empty() {
+            // Admit flows that have arrived by `now`.
+            while next_arrival < n
+                && flows[arrivals[next_arrival]].arrival.as_secs_f64() <= now + 1e-15
+            {
+                active.push(arrivals[next_arrival]);
+                next_arrival += 1;
+            }
+            if active.is_empty() {
+                // Jump to the next arrival.
+                now = flows[arrivals[next_arrival]].arrival.as_secs_f64();
+                continue;
+            }
+            let rates = self.fair_rates(flows, &active);
+            // Horizon: the earliest of (next arrival, earliest completion).
+            let mut horizon = f64::INFINITY;
+            if next_arrival < n {
+                horizon = flows[arrivals[next_arrival]].arrival.as_secs_f64() - now;
+            }
+            for (ai, &fi) in active.iter().enumerate() {
+                let _ = fi;
+                if rates[ai] > 0.0 {
+                    horizon = horizon.min(remaining[active[ai]] / rates[ai]);
+                }
+            }
+            assert!(
+                horizon.is_finite() && horizon >= 0.0,
+                "fluid schedule stalled: some active flow has zero rate and \
+                 no arrival is pending (now={now}, active={active:?})"
+            );
+            // Drain demand over the horizon.
+            now += horizon;
+            let mut still_active = Vec::with_capacity(active.len());
+            for (ai, &fi) in active.iter().enumerate() {
+                remaining[fi] -= rates[ai] * horizon;
+                let done = remaining[fi] <= 1e-9 * flows[fi].demand;
+                if done {
+                    outcome[fi].finish = SimTime::from_secs_f64(now);
+                } else {
+                    still_active.push(fi);
+                }
+            }
+            active = still_active;
+        }
+        outcome
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use proptest::prelude::*;
+
+    const INF: f64 = f64::INFINITY;
+
+    fn flow(arrival_s: f64, demand: f64, cap: f64, res: &[usize]) -> Flow {
+        Flow {
+            arrival: SimTime::from_secs_f64(arrival_s),
+            demand,
+            rate_cap: cap,
+            resources: res.iter().map(|&r| ResourceId(r)).collect(),
+        }
+    }
+
+    fn secs(t: SimTime) -> f64 {
+        t.as_secs_f64()
+    }
+
+    #[test]
+    fn single_flow_runs_at_capacity() {
+        let sim = FairShareSim::new(vec![100.0]);
+        let out = sim.run(&[flow(0.0, 500.0, INF, &[0])]);
+        assert!((secs(out[0].finish) - 5.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn single_flow_respects_own_cap() {
+        let sim = FairShareSim::new(vec![100.0]);
+        let out = sim.run(&[flow(0.0, 500.0, 50.0, &[0])]);
+        assert!((secs(out[0].finish) - 10.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn two_equal_flows_split_the_link() {
+        let sim = FairShareSim::new(vec![100.0]);
+        let out = sim.run(&[flow(0.0, 500.0, INF, &[0]), flow(0.0, 500.0, INF, &[0])]);
+        // Each gets 50 B/s: both finish at t=10.
+        for o in &out {
+            assert!((secs(o.finish) - 10.0).abs() < 1e-9);
+        }
+    }
+
+    #[test]
+    fn max_min_gives_leftover_to_uncapped_flow() {
+        let sim = FairShareSim::new(vec![100.0]);
+        // Flow 0 capped at 20: flow 1 gets the remaining 80.
+        let out = sim.run(&[
+            flow(0.0, 200.0, 20.0, &[0]),
+            flow(0.0, 800.0, INF, &[0]),
+        ]);
+        assert!((secs(out[0].finish) - 10.0).abs() < 1e-9);
+        assert!((secs(out[1].finish) - 10.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn completion_releases_bandwidth() {
+        let sim = FairShareSim::new(vec![100.0]);
+        // Both start at 50 B/s; flow 0 finishes at t=1 (demand 50);
+        // flow 1 has 450 left and then runs alone at 100 B/s: t=5.5.
+        let out = sim.run(&[
+            flow(0.0, 50.0, INF, &[0]),
+            flow(0.0, 500.0, INF, &[0]),
+        ]);
+        assert!((secs(out[0].finish) - 1.0).abs() < 1e-9);
+        assert!((secs(out[1].finish) - 5.5).abs() < 1e-9);
+    }
+
+    #[test]
+    fn late_arrival_shares_from_its_arrival() {
+        let sim = FairShareSim::new(vec![100.0]);
+        // Flow 0 alone until t=2 (200 done), then both at 50 B/s.
+        let out = sim.run(&[
+            flow(0.0, 400.0, INF, &[0]),
+            flow(2.0, 100.0, INF, &[0]),
+        ]);
+        // Flow 0: 200 left at t=2 at 50 B/s => finishes t=6... but flow 1
+        // finishes first: 100 at 50 B/s => t=4, then flow 0 alone at 100:
+        // at t=4 flow 0 has 100 left => t=5.
+        assert!((secs(out[1].finish) - 4.0).abs() < 1e-9);
+        assert!((secs(out[0].finish) - 5.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn two_resource_path_takes_the_tighter_bottleneck() {
+        let sim = FairShareSim::new(vec![100.0, 30.0]);
+        let out = sim.run(&[flow(0.0, 300.0, INF, &[0, 1])]);
+        assert!((secs(out[0].finish) - 10.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn disjoint_flows_do_not_interfere() {
+        let sim = FairShareSim::new(vec![100.0, 100.0]);
+        let out = sim.run(&[
+            flow(0.0, 100.0, INF, &[0]),
+            flow(0.0, 100.0, INF, &[1]),
+        ]);
+        for o in &out {
+            assert!((secs(o.finish) - 1.0).abs() < 1e-9);
+        }
+    }
+
+    #[test]
+    fn shared_wan_with_private_nics() {
+        // Two senders, each with a private 100 B/s NIC, sharing a 120 B/s
+        // WAN: max-min gives each 60.
+        let sim = FairShareSim::new(vec![100.0, 100.0, 120.0]);
+        let out = sim.run(&[
+            flow(0.0, 600.0, INF, &[0, 2]),
+            flow(0.0, 600.0, INF, &[1, 2]),
+        ]);
+        for o in &out {
+            assert!((secs(o.finish) - 10.0).abs() < 1e-9);
+        }
+    }
+
+    #[test]
+    fn asymmetric_demands_on_shared_wan() {
+        // Same WAN, but sender 0 has a 40 B/s NIC: it gets 40, sender 1
+        // gets the remaining 80 (capped by its own 100 NIC).
+        let sim = FairShareSim::new(vec![40.0, 100.0, 120.0]);
+        let out = sim.run(&[
+            flow(0.0, 400.0, INF, &[0, 2]),
+            flow(0.0, 800.0, INF, &[1, 2]),
+        ]);
+        assert!((secs(out[0].finish) - 10.0).abs() < 1e-9);
+        assert!((secs(out[1].finish) - 10.0).abs() < 1e-9);
+    }
+
+    #[test]
+    #[should_panic(expected = "positive and finite")]
+    fn zero_capacity_rejected() {
+        let _ = FairShareSim::new(vec![0.0]);
+    }
+
+    #[test]
+    #[should_panic(expected = "demand must be positive")]
+    fn zero_demand_rejected() {
+        let sim = FairShareSim::new(vec![1.0]);
+        sim.run(&[flow(0.0, 0.0, INF, &[0])]);
+    }
+
+    /// Brute-force fluid reference: time-step the same model in tiny
+    /// increments and compare completion times.
+    fn brute_force(capacities: &[f64], flows: &[Flow], dt: f64) -> Vec<f64> {
+        let sim = FairShareSim::new(capacities.to_vec());
+        let mut remaining: Vec<f64> = flows.iter().map(|f| f.demand).collect();
+        let mut finish = vec![f64::NAN; flows.len()];
+        let mut now = 0.0;
+        let max_t = 1e5;
+        while now < max_t && finish.iter().any(|f| f.is_nan()) {
+            let active: Vec<usize> = (0..flows.len())
+                .filter(|&i| finish[i].is_nan() && flows[i].arrival.as_secs_f64() <= now)
+                .collect();
+            if active.is_empty() {
+                now += dt;
+                continue;
+            }
+            let rates = sim.fair_rates(flows, &active);
+            for (ai, &fi) in active.iter().enumerate() {
+                remaining[fi] -= rates[ai] * dt;
+                if remaining[fi] <= 0.0 {
+                    finish[fi] = now + dt;
+                }
+            }
+            now += dt;
+        }
+        finish
+    }
+
+    proptest! {
+        #![proptest_config(ProptestConfig::with_cases(64))]
+
+        /// Event-driven schedule matches a brute-force time-stepped run of
+        /// the same fluid model (within step-size tolerance).
+        #[test]
+        fn matches_brute_force(
+            caps in proptest::collection::vec(10.0f64..200.0, 1..4),
+            specs in proptest::collection::vec(
+                (0.0f64..5.0, 10.0f64..300.0, 0usize..4), 1..6),
+        ) {
+            let nres = caps.len();
+            let flows: Vec<Flow> = specs
+                .iter()
+                .map(|&(arr, dem, seed)| {
+                    let r = seed % nres;
+                    flow(arr, dem, INF, &[r])
+                })
+                .collect();
+            let sim = FairShareSim::new(caps.clone());
+            let fast = sim.run(&flows);
+            let slow = brute_force(&caps, &flows, 0.002);
+            for (o, s) in fast.iter().zip(slow.iter()) {
+                prop_assert!(
+                    (secs(o.finish) - s).abs() < 0.05,
+                    "event-driven {} vs brute {}", secs(o.finish), s
+                );
+            }
+        }
+
+        /// Multi-resource paths: the event-driven schedule matches the
+        /// brute-force reference when flows traverse two resources.
+        #[test]
+        fn matches_brute_force_on_paths(
+            caps in proptest::collection::vec(10.0f64..200.0, 2..5),
+            specs in proptest::collection::vec(
+                (0.0f64..5.0, 10.0f64..300.0, 0usize..6, 1usize..6), 1..6),
+        ) {
+            let nres = caps.len();
+            let flows: Vec<Flow> = specs
+                .iter()
+                .map(|&(arr, dem, a, b)| {
+                    let r1 = a % nres;
+                    let r2 = (a + b) % nres;
+                    let mut f = flow(arr, dem, INF, &[r1]);
+                    if r2 != r1 {
+                        f.resources.push(ResourceId(r2));
+                    }
+                    f
+                })
+                .collect();
+            let sim = FairShareSim::new(caps.clone());
+            let fast = sim.run(&flows);
+            let slow = brute_force(&caps, &flows, 0.002);
+            for (o, s) in fast.iter().zip(slow.iter()) {
+                prop_assert!(
+                    (secs(o.finish) - s).abs() < 0.05,
+                    "event-driven {} vs brute {}", secs(o.finish), s
+                );
+            }
+        }
+
+        /// No flow finishes before its physically minimal time, and every
+        /// resource's aggregate throughput constraint holds in aggregate.
+        #[test]
+        fn physical_lower_bounds_hold(
+            caps in proptest::collection::vec(10.0f64..200.0, 1..4),
+            specs in proptest::collection::vec(
+                (0.0f64..5.0, 10.0f64..300.0, 0usize..4, 10.0f64..500.0), 1..8),
+        ) {
+            let nres = caps.len();
+            let flows: Vec<Flow> = specs
+                .iter()
+                .map(|&(arr, dem, seed, cap)| flow(arr, dem, cap, &[seed % nres]))
+                .collect();
+            let sim = FairShareSim::new(caps.clone());
+            let out = sim.run(&flows);
+            for (f, o) in flows.iter().zip(out.iter()) {
+                let min_rate_cap = f.rate_cap.min(
+                    f.resources.iter().map(|r| caps[r.0]).fold(INF, f64::min));
+                let min_time = f.demand / min_rate_cap;
+                prop_assert!(
+                    secs(o.finish) + 1e-6 >= f.arrival.as_secs_f64() + min_time,
+                    "flow finished impossibly fast"
+                );
+            }
+            // Aggregate per-resource: total bytes through r can't exceed
+            // cap_r * (makespan - earliest arrival touching r).
+            for r in 0..nres {
+                let touching: Vec<usize> = (0..flows.len())
+                    .filter(|&i| flows[i].resources.contains(&ResourceId(r)))
+                    .collect();
+                if touching.is_empty() { continue; }
+                let bytes: f64 = touching.iter().map(|&i| flows[i].demand).sum();
+                let first = touching.iter()
+                    .map(|&i| flows[i].arrival.as_secs_f64())
+                    .fold(INF, f64::min);
+                let last = touching.iter()
+                    .map(|&i| secs(out[i].finish))
+                    .fold(0.0, f64::max);
+                prop_assert!(bytes <= caps[r] * (last - first) * (1.0 + 1e-6) + 1e-6);
+            }
+        }
+    }
+}

@@ -1,0 +1,178 @@
+//! Writing your own FREERIDE-G application: a word-length histogram over
+//! a remote corpus, expressed as a generalized reduction.
+//!
+//! Demonstrates the full user surface of the middleware API — a
+//! reduction object with `merge`, the local and global reduction
+//! functions, work metering, and caching — and that the prediction
+//! framework works on the new application unchanged (classes inferred
+//! from two profile runs rather than supplied).
+//!
+//! ```text
+//! cargo run --release --example custom_app
+//! ```
+
+use freeride_g::chunks::{codec, Dataset, DatasetBuilder};
+use freeride_g::cluster::{ComputeSite, Configuration, Deployment, RepositorySite, Wan};
+use freeride_g::middleware::{
+    Executor, ObjSize, PassOutcome, ReductionApp, ReductionObject, WorkMeter,
+};
+use freeride_g::predict::{
+    relative_error, AppClasses, ComputeModel, ExecTimePredictor, InterconnectParams, Profile,
+    Target,
+};
+use freeride_g::sim::rng::stream_rng;
+use rand::Rng;
+
+const MAX_LEN: usize = 32;
+
+/// The reduction object: counts of word lengths 1..=MAX_LEN.
+#[derive(Clone)]
+struct Histogram {
+    counts: [u64; MAX_LEN],
+}
+
+impl ReductionObject for Histogram {
+    fn merge(&mut self, other: &Self, meter: &mut WorkMeter) {
+        for (a, b) in self.counts.iter_mut().zip(other.counts.iter()) {
+            *a += b;
+        }
+        meter.fixed_flops(MAX_LEN as u64);
+    }
+
+    fn size(&self) -> ObjSize {
+        // Fixed-size object: the histogram does not grow with the corpus.
+        ObjSize { fixed: (MAX_LEN * 8) as u64, data: 0 }
+    }
+}
+
+/// The application: one scan, then report the histogram.
+struct WordLengths;
+
+impl ReductionApp for WordLengths {
+    type Obj = Histogram;
+    type State = Option<[u64; MAX_LEN]>;
+
+    fn name(&self) -> &str {
+        "word-lengths"
+    }
+
+    fn initial_state(&self) -> Self::State {
+        None
+    }
+
+    fn new_object(&self, _: &Self::State) -> Histogram {
+        Histogram { counts: [0; MAX_LEN] }
+    }
+
+    fn local_reduce(
+        &self,
+        _: &Self::State,
+        chunk: &freeride_g::chunks::Chunk,
+        obj: &mut Histogram,
+        meter: &mut WorkMeter,
+    ) {
+        // Each u32 is a word length (a real system would tokenize text;
+        // the reduction structure is identical).
+        let words = codec::decode_u32s(&chunk.payload);
+        for &w in &words {
+            let bucket = (w as usize).clamp(1, MAX_LEN) - 1;
+            obj.counts[bucket] += 1;
+        }
+        meter.data_mem(words.len() as u64);
+        meter.data_cmp(words.len() as u64);
+    }
+
+    fn global_finalize(
+        &self,
+        _: &Self::State,
+        merged: Histogram,
+        meter: &mut WorkMeter,
+    ) -> PassOutcome<Self::State> {
+        meter.fixed_mem(MAX_LEN as u64);
+        PassOutcome::Finished(Some(merged.counts))
+    }
+
+    fn state_size(&self, _: &Self::State) -> ObjSize {
+        ObjSize { fixed: (MAX_LEN * 8) as u64, data: 0 }
+    }
+
+    fn caches(&self) -> bool {
+        false
+    }
+}
+
+fn corpus(id: &str, nominal_mb: f64, scale: f64, seed: u64) -> Dataset {
+    let total = (nominal_mb * 1e6 * scale / 4.0) as u64;
+    let mut rng = stream_rng(seed, "corpus");
+    let mut builder = DatasetBuilder::new(id, "corpus", scale);
+    let per_chunk = (500_000.0 * scale) as u64;
+    let mut left = total;
+    while left > 0 {
+        let n = per_chunk.min(left);
+        let words: Vec<u32> = (0..n)
+            .map(|_| {
+                // Zipf-flavored word lengths around 5.
+                let base: u32 = rng.gen_range(1..8);
+                let tail: u32 = if rng.gen_bool(0.1) { rng.gen_range(8..24) } else { 0 };
+                base + tail
+            })
+            .collect();
+        builder.push_chunk(codec::encode_u32s(&words), n, None);
+        left -= n;
+    }
+    builder.build()
+}
+
+fn deployment(n: usize, c: usize) -> Deployment {
+    Deployment::new(
+        RepositorySite::pentium_repository("repo", 8),
+        ComputeSite::pentium_myrinet("cluster", 16),
+        Wan::per_stream(40e6),
+        Configuration::new(n, c),
+    )
+}
+
+fn main() {
+    let small = corpus("corpus-200", 200.0, 0.01, 3);
+    let large = corpus("corpus-800", 800.0, 0.01, 4);
+
+    // Run the custom app.
+    let run = Executor::new(deployment(2, 4)).run(&WordLengths, &small);
+    let histogram = run.final_state.expect("finished");
+    let total: u64 = histogram.iter().sum();
+    println!("histogram over {total} words; mode length = {}", {
+        histogram.iter().enumerate().max_by_key(|(_, c)| **c).unwrap().0 + 1
+    });
+
+    // Infer the classes from profile runs instead of declaring them.
+    // The runs must vary the node count and the dataset size
+    // *independently*, or neither class can be discriminated.
+    let p1 = Profile::from_report(&Executor::new(deployment(1, 1)).run(&WordLengths, &small).report);
+    let p2 = Profile::from_report(&Executor::new(deployment(1, 4)).run(&WordLengths, &small).report);
+    let p3 = Profile::from_report(&Executor::new(deployment(1, 1)).run(&WordLengths, &large).report);
+    let classes = AppClasses::infer(&[p1.clone(), p2, p3]).expect("profiles are informative");
+    println!("inferred classes: {classes:?}");
+    assert_eq!(classes, AppClasses::CONSTANT_LINEAR_CONSTANT);
+
+    // And predict a bigger deployment.
+    let predictor = ExecTimePredictor {
+        profile: p1,
+        classes,
+        interconnect: InterconnectParams::of_site(&deployment(1, 1).compute),
+        model: ComputeModel::GlobalReduction,
+    };
+    let target = Target {
+        data_nodes: 4,
+        compute_nodes: 16,
+        wan_bw: 40e6,
+        dataset_bytes: small.logical_bytes(),
+    };
+    let predicted = predictor.predict(&target);
+    let actual = Executor::new(deployment(4, 16)).run(&WordLengths, &small).report;
+    println!(
+        "4-16 predicted {:.2}s, actual {:.2}s, error {:.2}%",
+        predicted.total(),
+        actual.total().as_secs_f64(),
+        relative_error(actual.total().as_secs_f64(), predicted.total()) * 100.0
+    );
+}

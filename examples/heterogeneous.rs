@@ -1,0 +1,107 @@
+//! Cross-cluster prediction (§3.4 / §5.4 of the paper): profile on the
+//! Pentium/Myrinet cluster, measure component scaling factors with three
+//! representative applications, and predict the Opteron/Infiniband
+//! cluster — without ever profiling the target application there.
+//!
+//! ```text
+//! cargo run --release --example heterogeneous
+//! ```
+
+use freeride_g::apps::{em, kmeans, knn, vortex};
+use freeride_g::cluster::{ComputeSite, Configuration, Deployment, RepositorySite, Wan};
+use freeride_g::middleware::Executor;
+use freeride_g::predict::{
+    relative_error, AppClasses, ComputeModel, ExecTimePredictor, InterconnectParams, Profile,
+    ScalingFactors, Target,
+};
+
+const WAN_BW: f64 = 40e6;
+const SCALE: f64 = 0.01;
+
+fn pentium(n: usize, c: usize) -> Deployment {
+    Deployment::new(
+        RepositorySite::pentium_repository("repo-a", 8),
+        ComputeSite::pentium_myrinet("cluster-a", 16),
+        Wan::per_stream(WAN_BW),
+        Configuration::new(n, c),
+    )
+}
+
+fn opteron(n: usize, c: usize) -> Deployment {
+    Deployment::new(
+        RepositorySite::opteron_repository("repo-b", 8),
+        ComputeSite::opteron_infiniband("cluster-b", 16),
+        Wan::per_stream(WAN_BW),
+        Configuration::new(n, c),
+    )
+}
+
+fn main() {
+    // Representative applications measure the factors: each runs on an
+    // identical 4-4 configuration on both clusters.
+    let cfg = Configuration::new(4, 4);
+    let mut pairs = Vec::new();
+    println!("measuring component scaling factors (4-4, 130 MB each):");
+    {
+        let ds = kmeans::generate("rep-km", 130.0, SCALE, 17, 8);
+        let a = Profile::from_report(&Executor::new(pentium(4, 4)).run(&kmeans::KMeans::paper(7), &ds).report);
+        let b = Profile::from_report(&Executor::new(opteron(4, 4)).run(&kmeans::KMeans::paper(7), &ds).report);
+        println!("  kmeans: s_c = {:.3}", b.t_compute / a.t_compute);
+        pairs.push((a, b));
+    }
+    {
+        let ds = knn::generate("rep-knn", 130.0, SCALE, 17);
+        let app = knn::Knn::paper(7);
+        let a = Profile::from_report(&Executor::new(pentium(4, 4)).run(&app, &ds).report);
+        let b = Profile::from_report(&Executor::new(opteron(4, 4)).run(&app, &ds).report);
+        println!("  knn:    s_c = {:.3}", b.t_compute / a.t_compute);
+        pairs.push((a, b));
+    }
+    {
+        let (ds, _) = vortex::generate("rep-vx", 130.0, SCALE, 17);
+        let app = vortex::VortexDetect::default();
+        let a = Profile::from_report(&Executor::new(pentium(4, 4)).run(&app, &ds).report);
+        let b = Profile::from_report(&Executor::new(opteron(4, 4)).run(&app, &ds).report);
+        println!("  vortex: s_c = {:.3}", b.t_compute / a.t_compute);
+        pairs.push((a, b));
+    }
+    let factors = ScalingFactors::measure(&pairs);
+    println!(
+        "averaged factors: s_d={:.3} s_n={:.3} s_c={:.3}",
+        factors.disk, factors.network, factors.compute
+    );
+    let _ = cfg;
+
+    // Now predict EM — which was not among the representatives — on the
+    // Opteron cluster from a Pentium profile.
+    let dataset = em::generate("em-700", 700.0, SCALE, 21, 4);
+    let app = em::Em::paper(21);
+    let profile =
+        Profile::from_report(&Executor::new(pentium(8, 8)).run(&app, &dataset).report);
+    let predictor = ExecTimePredictor {
+        profile,
+        classes: AppClasses::for_app("em"),
+        interconnect: InterconnectParams::of_site(&pentium(1, 1).compute),
+        model: ComputeModel::GlobalReduction,
+    };
+
+    println!("\nEM on the Opteron cluster, predicted from a Pentium 8-8 profile:");
+    for (n, c) in [(1usize, 1usize), (2, 4), (4, 8), (8, 16)] {
+        let target = Target {
+            data_nodes: n,
+            compute_nodes: c,
+            wan_bw: WAN_BW,
+            dataset_bytes: dataset.logical_bytes(),
+        };
+        let on_a = predictor.predict(&target);
+        let on_b = factors.apply(&on_a);
+        let actual = Executor::new(opteron(n, c)).run(&app, &dataset).report;
+        println!(
+            "  {:>4}: predicted {:7.1}s  actual {:7.1}s  error {:5.2}%",
+            format!("{n}-{c}"),
+            on_b.total(),
+            actual.total().as_secs_f64(),
+            relative_error(actual.total().as_secs_f64(), on_b.total()) * 100.0
+        );
+    }
+}

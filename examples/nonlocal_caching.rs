@@ -1,0 +1,93 @@
+//! Non-local caching (the §2.1 resource-selection goal the paper
+//! deferred): when compute nodes lack scratch storage for a multi-pass
+//! application, the middleware stages chunks at a caching site — "a
+//! location from which it can be accessed at a lower cost than the
+//! original repository" — and the selection framework picks that site.
+//!
+//! Also demonstrates the execution-timeline rendering.
+//!
+//! ```text
+//! cargo run --release --example nonlocal_caching
+//! ```
+
+use freeride_g::apps::em;
+use freeride_g::cluster::{
+    CacheSite, ComputeSite, Configuration, Deployment, RepositorySite, Wan,
+};
+use freeride_g::middleware::{timeline, Executor};
+use freeride_g::predict::{rank_deployments, AppClasses, Profile};
+use std::collections::HashMap;
+
+fn deployment(storage: u64, cache: Option<CacheSite>) -> Deployment {
+    let mut site = ComputeSite::pentium_myrinet("campus", 16);
+    site.node_storage_bytes = storage;
+    let mut d = Deployment::new(
+        // The origin repository is far away: a thin WAN.
+        RepositorySite::pentium_repository("origin", 8),
+        site,
+        Wan::per_stream(8e6),
+        Configuration::new(4, 8),
+    );
+    d.cache = cache;
+    d
+}
+
+fn main() {
+    let dataset = em::generate("sensor-sweep", 700.0, 0.01, 13, 4);
+    let app = em::Em::paper(13);
+
+    // A nearby storage site with a fat pipe can serve as the cache.
+    let nearby = CacheSite::new(
+        RepositorySite::pentium_repository("nearby-storage", 8),
+        4,
+        Wan::per_stream(50e6),
+    );
+
+    // Profile under ordinary local caching.
+    let profile_run = Executor::new(deployment(u64::MAX, None)).run(&app, &dataset);
+    let profile = Profile::from_report(&profile_run.report);
+    println!("=== profile run (plentiful scratch storage: local caching)");
+    println!("{}", timeline::render(&profile_run.report));
+
+    // Storage-starved candidates: refetch vs non-local cache.
+    let candidates = vec![
+        deployment(1_000_000, None),                 // must refetch
+        deployment(1_000_000, Some(nearby.clone())), // can stage nearby
+    ];
+    let ranked = rank_deployments(
+        &profile,
+        AppClasses::for_app("em"),
+        &candidates,
+        dataset.logical_bytes(),
+        &HashMap::new(),
+    );
+    println!("=== storage-starved candidates, ranked by predicted cost");
+    for cand in &ranked {
+        let cache_desc = cand
+            .deployment
+            .cache
+            .as_ref()
+            .map(|c| format!("cache at {}", c.site.name))
+            .unwrap_or_else(|| "re-fetch from origin".into());
+        println!(
+            "  {:24} predicted {:8.1}s  ({cache_desc})",
+            cand.deployment.label(),
+            cand.cost()
+        );
+    }
+
+    // Run the winner and the loser for real.
+    println!("\n=== actual executions");
+    for cand in &ranked {
+        let report = Executor::new(cand.deployment.clone()).run(&app, &dataset).report;
+        println!(
+            "  {:?} caching: actual {:8.1}s (predicted {:8.1}s)",
+            report.cache_mode,
+            report.total().as_secs_f64(),
+            cand.cost()
+        );
+    }
+    let best = Executor::new(ranked[0].deployment.clone()).run(&app, &dataset).report;
+    println!("\n=== timeline of the selected deployment");
+    println!("{}", timeline::render(&best));
+}

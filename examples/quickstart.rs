@@ -1,0 +1,76 @@
+//! Quickstart: run a data-mining application on a simulated grid
+//! deployment, collect its profile, and predict another configuration.
+//!
+//! ```text
+//! cargo run --release --example quickstart
+//! ```
+
+use freeride_g::apps::kmeans;
+use freeride_g::cluster::{ComputeSite, Configuration, Deployment, RepositorySite, Wan};
+use freeride_g::middleware::Executor;
+use freeride_g::predict::{
+    relative_error, AppClasses, ComputeModel, ExecTimePredictor, InterconnectParams, Profile,
+    Target,
+};
+
+fn deployment(n: usize, c: usize) -> Deployment {
+    Deployment::new(
+        RepositorySite::pentium_repository("repository", 8),
+        ComputeSite::pentium_myrinet("cluster", 16),
+        Wan::per_stream(40e6), // 40 MB/s per data-node stream
+        Configuration::new(n, c),
+    )
+}
+
+fn main() {
+    // A "1.4 GB" clustered dataset, generated at 1/100 physical scale:
+    // disk, network, and metered compute are charged at nominal volume.
+    let dataset = kmeans::generate("quickstart-points", 1400.0, 0.01, 42, 8);
+    println!(
+        "dataset: {} chunks, {} points, {:.0} MB logical",
+        dataset.num_chunks(),
+        dataset.elements(),
+        dataset.logical_bytes() as f64 / 1e6
+    );
+
+    // Profile run: one data node, one compute node.
+    let app = kmeans::KMeans::paper(7);
+    let profile_run = Executor::new(deployment(1, 1)).run(&app, &dataset);
+    let profile = Profile::from_report(&profile_run.report);
+    println!(
+        "profile 1-1: T_disk={:.1}s T_network={:.1}s T_compute={:.1}s (total {:.1}s)",
+        profile.t_disk,
+        profile.t_network,
+        profile.t_compute,
+        profile.total()
+    );
+    println!(
+        "k-means found {} centroids, final SSE {:.3e}",
+        profile_run.final_state.centroids.len(),
+        profile_run.final_state.sse
+    );
+
+    // Predict an 8-data-node, 16-compute-node deployment...
+    let predictor = ExecTimePredictor {
+        profile,
+        classes: AppClasses::for_app("kmeans"),
+        interconnect: InterconnectParams::of_site(&deployment(1, 1).compute),
+        model: ComputeModel::GlobalReduction,
+    };
+    let target = Target {
+        data_nodes: 8,
+        compute_nodes: 16,
+        wan_bw: 40e6,
+        dataset_bytes: dataset.logical_bytes(),
+    };
+    let predicted = predictor.predict(&target);
+
+    // ...and check it against an actual run.
+    let actual = Executor::new(deployment(8, 16)).run(&app, &dataset).report;
+    println!(
+        "8-16 predicted {:.1}s, actual {:.1}s, relative error {:.2}%",
+        predicted.total(),
+        actual.total().as_secs_f64(),
+        relative_error(actual.total().as_secs_f64(), predicted.total()) * 100.0
+    );
+}

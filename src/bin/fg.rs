@@ -1,0 +1,328 @@
+//! `fg` — command-line front end for the FREERIDE-G reproduction.
+//!
+//! ```text
+//! fg apps                                   list applications
+//! fg run    --app em --mb 700 --config 4-8  execute and show the timeline
+//! fg profile --app em --mb 700 [--json P]   collect a 1-1 profile
+//! fg predict --app em --mb 700 --config 8-16 [--bw MBps]
+//!                                           profile at 1-1, predict the
+//!                                           target, verify with a real run
+//! fg select --app em --mb 700               rank the paper grid
+//! ```
+//!
+//! All sizes are nominal megabytes (the paper's labels); data is
+//! generated at 1/100 scale. The simulated testbed is the paper's
+//! Pentium/Myrinet cluster.
+
+use freeride_g::cluster::{ComputeSite, Configuration, Deployment, RepositorySite, Wan};
+use freeride_g::middleware::{timeline, ExecutionReport};
+use freeride_g::predict::{
+    rank_deployments, relative_error, AppClasses, ComputeModel, ExecTimePredictor,
+    InterconnectParams, Profile, Target,
+};
+use std::collections::HashMap;
+use std::process::ExitCode;
+
+const SCALE: f64 = 0.01;
+const DEFAULT_BW_MBPS: f64 = 40.0;
+const APPS: [&str; 7] = ["kmeans", "em", "knn", "vortex", "defect", "apriori", "ann"];
+
+fn main() -> ExitCode {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let Some(command) = args.first() else {
+        eprintln!("{USAGE}");
+        return ExitCode::FAILURE;
+    };
+    let opts = match Options::parse(&args[1..]) {
+        Ok(o) => o,
+        Err(e) => {
+            eprintln!("error: {e}\n\n{USAGE}");
+            return ExitCode::FAILURE;
+        }
+    };
+    match command.as_str() {
+        "apps" => {
+            for app in APPS {
+                let c = AppClasses::for_app(app);
+                println!("{app:<8} {:?} object, {:?} global reduction", c.obj, c.global);
+            }
+            ExitCode::SUCCESS
+        }
+        "run" => cmd_run(&opts),
+        "profile" => cmd_profile(&opts),
+        "predict" => cmd_predict(&opts),
+        "select" => cmd_select(&opts),
+        other => {
+            eprintln!("error: unknown command {other:?}\n\n{USAGE}");
+            ExitCode::FAILURE
+        }
+    }
+}
+
+const USAGE: &str = "usage:
+  fg apps
+  fg run     --app <name> --mb <nominal-MB> --config <n-c> [--bw <MB/s>]
+  fg profile --app <name> --mb <nominal-MB> [--json <path>] [--bw <MB/s>]
+  fg predict --app <name> --mb <nominal-MB> --config <n-c> [--bw <MB/s>]
+  fg select  --app <name> --mb <nominal-MB> [--bw <MB/s>]";
+
+struct Options {
+    app: Option<String>,
+    mb: f64,
+    config: Option<Configuration>,
+    bw: f64,
+    json: Option<String>,
+}
+
+impl Options {
+    fn parse(args: &[String]) -> Result<Options, String> {
+        let mut opts = Options {
+            app: None,
+            mb: 200.0,
+            config: None,
+            bw: DEFAULT_BW_MBPS * 1e6,
+            json: None,
+        };
+        let mut it = args.iter();
+        while let Some(flag) = it.next() {
+            let mut value = || {
+                it.next()
+                    .map(String::as_str)
+                    .ok_or_else(|| format!("flag {flag} needs a value"))
+            };
+            match flag.as_str() {
+                "--app" => opts.app = Some(value()?.to_string()),
+                "--mb" => {
+                    opts.mb = value()?
+                        .parse()
+                        .map_err(|e| format!("bad --mb: {e}"))?;
+                    if opts.mb <= 0.0 {
+                        return Err("--mb must be positive".into());
+                    }
+                }
+                "--config" => {
+                    let v = value()?.to_string();
+                    let (n, c) = v
+                        .split_once('-')
+                        .ok_or_else(|| format!("bad --config {v:?}, expected n-c"))?;
+                    let n: usize = n.parse().map_err(|e| format!("bad --config: {e}"))?;
+                    let c: usize = c.parse().map_err(|e| format!("bad --config: {e}"))?;
+                    opts.config = Some(Configuration::new(n, c));
+                }
+                "--bw" => {
+                    let mbps: f64 = value()?
+                        .parse()
+                        .map_err(|e| format!("bad --bw: {e}"))?;
+                    if mbps <= 0.0 {
+                        return Err("--bw must be positive".into());
+                    }
+                    opts.bw = mbps * 1e6;
+                }
+                "--json" => opts.json = Some(value()?.to_string()),
+                other => return Err(format!("unknown flag {other:?}")),
+            }
+        }
+        Ok(opts)
+    }
+
+    fn app(&self) -> Result<&str, String> {
+        let app = self.app.as_deref().ok_or("missing --app")?;
+        if APPS.contains(&app) {
+            Ok(app)
+        } else {
+            Err(format!("unknown app {app:?}; see `fg apps`"))
+        }
+    }
+}
+
+fn deployment(cfg: Configuration, bw: f64) -> Deployment {
+    Deployment::new(
+        RepositorySite::pentium_repository("repository", 8),
+        ComputeSite::pentium_myrinet("cluster", 16),
+        Wan::per_stream(bw),
+        cfg,
+    )
+}
+
+/// Generate a dataset and execute on a configuration, via the harness's
+/// uniform app driver.
+fn execute(app: &str, mb: f64, cfg: Configuration, bw: f64, seed: u64) -> ExecutionReport {
+    // The harness crate owns the uniform PaperApp driver, but the CLI
+    // lives in the facade crate; drive each app directly.
+    use freeride_g::apps::*;
+    use freeride_g::middleware::Executor;
+    let exec = Executor::new(deployment(cfg, bw));
+    let id = format!("cli-{app}-{mb}");
+    match app {
+        "kmeans" => {
+            let ds = kmeans::generate(&id, mb, SCALE, seed, 8);
+            exec.run(&kmeans::KMeans::paper(7), &ds).report
+        }
+        "em" => {
+            let ds = em::generate(&id, mb, SCALE, seed, 4);
+            exec.run(&em::Em::paper(7), &ds).report
+        }
+        "knn" => {
+            let ds = knn::generate(&id, mb, SCALE, seed);
+            exec.run(&knn::Knn::paper(7), &ds).report
+        }
+        "vortex" => {
+            let ds = vortex::generate(&id, mb, SCALE, seed).0;
+            exec.run(&vortex::VortexDetect::default(), &ds).report
+        }
+        "defect" => {
+            let ds = defect::generate(&id, mb, SCALE, seed).0;
+            let app = defect::DefectDetect::for_dataset(&ds);
+            exec.run(&app, &ds).report
+        }
+        "apriori" => {
+            let ds = apriori::generate(&id, mb, SCALE, seed, &[[2, 17, 40], [5, 23, 51]]);
+            exec.run(&apriori::Apriori::standard(), &ds).report
+        }
+        "ann" => {
+            let ds = ann::generate(&id, mb, SCALE, seed);
+            exec.run(&ann::AnnTrain::paper(7), &ds).report
+        }
+        other => unreachable!("validated app {other}"),
+    }
+}
+
+fn dataset_bytes(app: &str, mb: f64, seed: u64) -> u64 {
+    use freeride_g::apps::*;
+    let id = format!("cli-{app}-{mb}");
+    match app {
+        "kmeans" => kmeans::generate(&id, mb, SCALE, seed, 8).logical_bytes(),
+        "em" => em::generate(&id, mb, SCALE, seed, 4).logical_bytes(),
+        "knn" => knn::generate(&id, mb, SCALE, seed).logical_bytes(),
+        "vortex" => vortex::generate(&id, mb, SCALE, seed).0.logical_bytes(),
+        "defect" => defect::generate(&id, mb, SCALE, seed).0.logical_bytes(),
+        "apriori" => {
+            apriori::generate(&id, mb, SCALE, seed, &[[2, 17, 40], [5, 23, 51]]).logical_bytes()
+        }
+        "ann" => ann::generate(&id, mb, SCALE, seed).logical_bytes(),
+        other => unreachable!("validated app {other}"),
+    }
+}
+
+fn cmd_run(opts: &Options) -> ExitCode {
+    let (Ok(app), Some(cfg)) = (opts.app(), opts.config) else {
+        eprintln!("run needs --app and --config\n\n{USAGE}");
+        return ExitCode::FAILURE;
+    };
+    let report = execute(app, opts.mb, cfg, opts.bw, 42);
+    print!("{}", timeline::render(&report));
+    ExitCode::SUCCESS
+}
+
+fn cmd_profile(opts: &Options) -> ExitCode {
+    let Ok(app) = opts.app() else {
+        eprintln!("profile needs --app\n\n{USAGE}");
+        return ExitCode::FAILURE;
+    };
+    let report = execute(app, opts.mb, Configuration::new(1, 1), opts.bw, 42);
+    let profile = Profile::from_report(&report);
+    println!(
+        "profile {app} 1-1 @ {:.0} MB: t_d={:.2}s t_n={:.2}s t_c={:.2}s \
+         (t_ro={:.3}s t_g={:.3}s), rho={} B, {} passes",
+        opts.mb,
+        profile.t_disk,
+        profile.t_network,
+        profile.t_compute,
+        profile.t_ro,
+        profile.t_g,
+        profile.max_obj_bytes,
+        profile.passes
+    );
+    if let Some(path) = &opts.json {
+        let json = serde_json::to_string_pretty(&profile).expect("serialize profile");
+        if let Err(e) = std::fs::write(path, json) {
+            eprintln!("error: cannot write {path}: {e}");
+            return ExitCode::FAILURE;
+        }
+        println!("profile written to {path}");
+    }
+    ExitCode::SUCCESS
+}
+
+fn cmd_predict(opts: &Options) -> ExitCode {
+    let (Ok(app), Some(cfg)) = (opts.app(), opts.config) else {
+        eprintln!("predict needs --app and --config\n\n{USAGE}");
+        return ExitCode::FAILURE;
+    };
+    let profile = Profile::from_report(&execute(
+        app,
+        opts.mb,
+        Configuration::new(1, 1),
+        opts.bw,
+        42,
+    ));
+    let predictor = ExecTimePredictor {
+        profile,
+        classes: AppClasses::for_app(app),
+        interconnect: InterconnectParams::of_site(
+            &deployment(Configuration::new(1, 1), opts.bw).compute,
+        ),
+        model: ComputeModel::GlobalReduction,
+    };
+    let target = Target {
+        data_nodes: cfg.data_nodes,
+        compute_nodes: cfg.compute_nodes,
+        wan_bw: opts.bw,
+        dataset_bytes: dataset_bytes(app, opts.mb, 42),
+    };
+    let predicted = predictor.predict(&target);
+    println!(
+        "predicted {}: T_disk={:.2}s T_network={:.2}s T_compute={:.2}s total={:.2}s",
+        cfg.label(),
+        predicted.t_disk,
+        predicted.t_network,
+        predicted.t_compute,
+        predicted.total()
+    );
+    let actual = execute(app, opts.mb, cfg, opts.bw, 42);
+    println!(
+        "actual    {}: total={:.2}s  (error {:.2}%)",
+        cfg.label(),
+        actual.total().as_secs_f64(),
+        relative_error(actual.total().as_secs_f64(), predicted.total()) * 100.0
+    );
+    ExitCode::SUCCESS
+}
+
+fn cmd_select(opts: &Options) -> ExitCode {
+    let Ok(app) = opts.app() else {
+        eprintln!("select needs --app\n\n{USAGE}");
+        return ExitCode::FAILURE;
+    };
+    let profile = Profile::from_report(&execute(
+        app,
+        opts.mb,
+        Configuration::new(1, 1),
+        opts.bw,
+        42,
+    ));
+    let deployments: Vec<Deployment> = Configuration::paper_grid()
+        .into_iter()
+        .map(|cfg| deployment(cfg, opts.bw))
+        .collect();
+    let ranked = rank_deployments(
+        &profile,
+        AppClasses::for_app(app),
+        &deployments,
+        dataset_bytes(app, opts.mb, 42),
+        &HashMap::new(),
+    );
+    println!("deployments ranked by predicted cost ({app} @ {:.0} MB):", opts.mb);
+    for (i, cand) in ranked.iter().enumerate() {
+        println!(
+            "  {:>2}. {:<6} {:>10.1}s  (disk {:>7.1}s net {:>7.1}s compute {:>8.1}s)",
+            i + 1,
+            cand.deployment.config.label(),
+            cand.cost(),
+            cand.predicted.t_disk,
+            cand.predicted.t_network,
+            cand.predicted.t_compute
+        );
+    }
+    ExitCode::SUCCESS
+}

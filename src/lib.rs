@@ -1,0 +1,18 @@
+//! # freeride-g — facade crate
+//!
+//! Re-exports the whole FREERIDE-G reproduction behind one dependency:
+//! the simulation substrate, the grid resource models, the chunked data
+//! repository, the middleware runtime, the five applications, and the
+//! performance prediction framework (the paper's contribution).
+//!
+//! See the `examples/` directory for end-to-end usage and `DESIGN.md`
+//! for the system inventory.
+
+#![warn(missing_docs)]
+
+pub use fg_apps as apps;
+pub use fg_chunks as chunks;
+pub use fg_cluster as cluster;
+pub use fg_middleware as middleware;
+pub use fg_predict as predict;
+pub use fg_sim as sim;

@@ -1,0 +1,247 @@
+//! Edge cases across the application suite: degenerate parameters,
+//! deterministic boundary-crossing features, and saturation conditions.
+
+use freeride_g::apps::{ann, apriori, defect, em, kmeans, knn, vortex};
+use freeride_g::chunks::{codec, Dataset, DatasetBuilder, Span};
+use freeride_g::cluster::{ComputeSite, Configuration, Deployment, RepositorySite, Wan};
+use freeride_g::middleware::{Executor, WorkMeter};
+
+const SCALE: f64 = 0.01;
+
+fn deployment(n: usize, c: usize) -> Deployment {
+    Deployment::new(
+        RepositorySite::pentium_repository("repo", 8),
+        ComputeSite::pentium_myrinet("cs", 16),
+        Wan::per_stream(40e6),
+        Configuration::new(n, c),
+    )
+}
+
+#[test]
+fn kmeans_with_one_cluster_finds_the_mean() {
+    let ds = kmeans::generate("edge-km1", 2.0, SCALE, 5, 1);
+    let app = kmeans::KMeans { k: 1, passes: 4, seed: 5 };
+    let run = Executor::new(deployment(1, 2)).run(&app, &ds);
+    // The single centroid is the global mean of the data: recompute.
+    let mut sums = [0.0f64; kmeans::DIM];
+    let mut count = 0u64;
+    for chunk in &ds.chunks {
+        for p in codec::decode_f32s(&chunk.payload).chunks_exact(kmeans::DIM) {
+            for d in 0..kmeans::DIM {
+                sums[d] += p[d] as f64;
+            }
+            count += 1;
+        }
+    }
+    for d in 0..kmeans::DIM {
+        let mean = (sums[d] / count as f64) as f32;
+        assert!(
+            (run.final_state.centroids[0][d] - mean).abs() < 1e-2,
+            "k=1 centroid should be the data mean"
+        );
+    }
+}
+
+#[test]
+fn em_variance_floor_prevents_collapse() {
+    // All points identical: variances would collapse to zero without the
+    // floor; the run must finish with finite, positive variances.
+    let mut b = DatasetBuilder::new("edge-em-degenerate", "em-points", 1.0);
+    let point = [7.0f32, 7.0, 7.0, 7.0];
+    for _ in 0..16 {
+        let vals: Vec<f32> = point.iter().copied().cycle().take(4 * 50).collect();
+        b.push_chunk(codec::encode_f32s(&vals), 50, None);
+    }
+    let ds = b.build();
+    let app = em::Em { k: 2, iterations: 4, seed: 3 };
+    let run = Executor::new(deployment(1, 2)).run(&app, &ds);
+    for c in 0..2 {
+        for d in 0..em::DIM {
+            let v = run.final_state.vars[c][d];
+            assert!(v.is_finite() && v > 0.0, "variance collapsed: {v}");
+        }
+    }
+    assert!(run.final_state.loglik.is_finite());
+}
+
+#[test]
+fn knn_with_k_exceeding_dataset_returns_everything() {
+    let mut b = DatasetBuilder::new("edge-knn-small", "knn-points", 1.0);
+    // 8 labeled samples in two chunks.
+    for half in 0..2 {
+        let mut vals = Vec::new();
+        for i in 0..4 {
+            for d in 0..knn::DIM {
+                vals.push((half * 4 + i) as f32 + d as f32 * 0.1);
+            }
+            vals.push((i % 2) as f32);
+        }
+        b.push_chunk(codec::encode_f32s(&vals), 4, None);
+    }
+    let ds = b.build();
+    let app = knn::Knn { k: 50, queries: vec![[0.0; knn::DIM]] };
+    let run = Executor::new(deployment(1, 2)).run(&app, &ds);
+    match run.final_state {
+        knn::KnnState::Done { neighbors, .. } => {
+            assert_eq!(neighbors[0].len(), 8, "k > dataset returns every sample");
+        }
+        _ => panic!("did not finish"),
+    }
+}
+
+/// Build a two-slab vector field with a single synthetic vortex centered
+/// exactly on the slab boundary, and check it is joined into one feature.
+#[test]
+fn vortex_centered_on_chunk_boundary_counts_once() {
+    const W: usize = vortex::WIDTH;
+    let rows = 40usize;
+    let boundary = 20usize;
+    let (cx, cy, r0, s) = (W as f32 / 2.0, boundary as f32, 4.0f32, 3.0f32);
+    let mut field = vec![0.0f32; rows * W * 2];
+    for r in 0..rows {
+        for c in 0..W {
+            let (dy, dx) = (r as f32 - cy, c as f32 - cx);
+            let f = s * (-(dx * dx + dy * dy) / (r0 * r0)).exp() / r0;
+            field[(r * W + c) * 2] = -dy * f;
+            field[(r * W + c) * 2 + 1] = dx * f;
+        }
+    }
+    let mut b = DatasetBuilder::new("edge-vx-boundary", "cfd-field", 1.0);
+    // Slab 1: rows [0, 20) with one halo row after.
+    b.push_chunk(
+        codec::encode_f32s(&field[..(boundary + 1) * W * 2]),
+        (boundary * W) as u64,
+        Some(Span { begin: 0, end: boundary as u64, halo_before: 0, halo_after: 1 }),
+    );
+    // Slab 2: rows [20, 40) with one halo row before.
+    b.push_chunk(
+        codec::encode_f32s(&field[(boundary - 1) * W * 2..]),
+        ((rows - boundary) * W) as u64,
+        Some(Span {
+            begin: boundary as u64,
+            end: rows as u64,
+            halo_before: 1,
+            halo_after: 0,
+        }),
+    );
+    let ds = b.build();
+    let app = vortex::VortexDetect::default();
+    for (n, c) in [(1usize, 1usize), (2, 2)] {
+        let run = Executor::new(deployment(n, c)).run(&app, &ds);
+        match &run.final_state {
+            vortex::VortexState::Done(found) => {
+                assert_eq!(found.len(), 1, "boundary vortex split at {n}-{c}");
+                assert!((found[0].row - cy as f64).abs() < 1.0);
+                assert!((found[0].col - cx as f64).abs() < 1.0);
+            }
+            _ => panic!("did not finish"),
+        }
+    }
+}
+
+/// Plant a vacancy exactly on a z-slab boundary and check the fragments
+/// from the two chunks are joined into one six-atom defect.
+#[test]
+fn defect_on_slab_boundary_counts_once() {
+    const L: usize = defect::LATTICE_XY;
+    let layers = 16usize;
+    let hole = [8i32, 8, 8]; // z = 8 is a 4-layer slab boundary
+    let mut layer_atoms: Vec<Vec<f32>> = vec![Vec::new(); layers];
+    for z in 0..layers as i32 {
+        for x in 0..L as i32 {
+            for y in 0..L as i32 {
+                if [x, y, z] == hole {
+                    continue;
+                }
+                layer_atoms[z as usize].extend_from_slice(&[x as f32, y as f32, z as f32, 0.0]);
+            }
+        }
+    }
+    let mut b = DatasetBuilder::new("edge-df-boundary", "si-lattice", 1.0);
+    let mut z0 = 0usize;
+    while z0 < layers {
+        let z1 = (z0 + 4).min(layers);
+        let (hb, ha) = (usize::from(z0 > 0), usize::from(z1 < layers));
+        let mut payload = Vec::new();
+        let mut owned = 0u64;
+        for z in (z0 - hb)..(z1 + ha) {
+            payload.extend_from_slice(&layer_atoms[z]);
+            if z >= z0 && z < z1 {
+                owned += (layer_atoms[z].len() / 4) as u64;
+            }
+        }
+        b.push_chunk(
+            codec::encode_f32s(&payload),
+            owned,
+            Some(Span {
+                begin: z0 as u64,
+                end: z1 as u64,
+                halo_before: hb as u64,
+                halo_after: ha as u64,
+            }),
+        );
+        z0 = z1;
+    }
+    let ds = b.build();
+    let app = defect::DefectDetect::for_dataset(&ds);
+    for (n, c) in [(1usize, 1usize), (2, 4)] {
+        let run = Executor::new(deployment(n, c)).run(&app, &ds);
+        match &run.final_state {
+            defect::DefectState::Done { defects, classes, catalog } => {
+                assert_eq!(defects.len(), 1, "boundary vacancy split at {n}-{c}");
+                assert_eq!(defects[0].atoms, 6, "vacancy ring must have six atoms");
+                assert_eq!(classes[0], 0, "should match the canonical vacancy class");
+                assert_eq!(catalog.len(), 3);
+            }
+            _ => panic!("did not finish"),
+        }
+    }
+}
+
+#[test]
+fn apriori_at_full_support_finds_nothing_but_universal_items() {
+    let ds = apriori::generate("edge-ap-full", 1.0, SCALE, 4, &[]);
+    let app = apriori::Apriori { min_support: 1.0, max_size: 3 };
+    let run = Executor::new(deployment(1, 1)).run(&app, &ds);
+    // No item appears in every transaction of a uniform-noise dataset.
+    assert!(run.final_state.frequent.is_empty());
+    // The run must still terminate promptly (no candidates after pass 1).
+    assert_eq!(run.report.num_passes(), 1);
+}
+
+#[test]
+fn ann_handles_single_chunk_single_node() {
+    let mut b = DatasetBuilder::new("edge-ann-tiny", "ann-points", 1.0);
+    let mut vals = Vec::new();
+    for i in 0..32 {
+        for _ in 0..ann::DIM {
+            vals.push((i % 3) as f32 * 0.3 + 0.1);
+        }
+        vals.push((i % 3) as f32);
+    }
+    b.push_chunk(codec::encode_f32s(&vals), 32, None);
+    let ds = b.build();
+    let app = ann::AnnTrain { epochs: 3, learning_rate: 0.3, seed: 2 };
+    let run = Executor::new(deployment(1, 1)).run(&app, &ds);
+    assert_eq!(run.final_state.epoch, 3);
+    assert!(run.final_state.loss.is_finite());
+}
+
+/// Meters must be monotone: folding more chunks never reduces counts.
+#[test]
+fn work_meters_accumulate_monotonically() {
+    let ds: Dataset = kmeans::generate("edge-meter", 2.0, SCALE, 6, 4);
+    let app = kmeans::KMeans { k: 4, passes: 1, seed: 6 };
+    let state = freeride_g::middleware::ReductionApp::initial_state(&app);
+    let mut obj = freeride_g::middleware::ReductionApp::new_object(&app, &state);
+    let mut meter = WorkMeter::new();
+    let mut prev = 0u64;
+    for chunk in ds.chunks.iter().take(8) {
+        freeride_g::middleware::ReductionApp::local_reduce(
+            &app, &state, chunk, &mut obj, &mut meter,
+        );
+        let now = meter.data_counts().total();
+        assert!(now > prev, "meter must strictly grow with data");
+        prev = now;
+    }
+}

@@ -1,0 +1,85 @@
+//! Class inference (§3.3) recovers the documented class pair for every
+//! application from real profile runs — the "analyzing multiple profile
+//! runs" alternative to user-supplied classes.
+
+use freeride_g::apps::{apriori, defect, em, kmeans, knn, vortex};
+use freeride_g::chunks::Dataset;
+use freeride_g::cluster::{ComputeSite, Configuration, Deployment, RepositorySite, Wan};
+use freeride_g::middleware::{Executor, ReductionApp};
+use freeride_g::predict::{AppClasses, Profile};
+
+const SCALE: f64 = 0.002;
+
+fn deployment(n: usize, c: usize) -> Deployment {
+    Deployment::new(
+        RepositorySite::pentium_repository("repo", 8),
+        ComputeSite::pentium_myrinet("cs", 16),
+        Wan::per_stream(40e6),
+        Configuration::new(n, c),
+    )
+}
+
+/// Profile on (1-1 small), (1-8 small), (1-1 large): node count and
+/// dataset size vary independently, so both classes are identifiable.
+fn infer<A: ReductionApp>(app: &A, small: &Dataset, large: &Dataset) -> AppClasses {
+    let p1 = Profile::from_report(&Executor::new(deployment(1, 1)).run(app, small).report);
+    let p2 = Profile::from_report(&Executor::new(deployment(1, 8)).run(app, small).report);
+    let p3 = Profile::from_report(&Executor::new(deployment(1, 1)).run(app, large).report);
+    AppClasses::infer(&[p1, p2, p3]).expect("independent s/c variation is informative")
+}
+
+#[test]
+fn kmeans_inference_matches_documentation() {
+    let small = kmeans::generate("ci-km-s", 100.0, SCALE, 1, 4);
+    let large = kmeans::generate("ci-km-l", 400.0, SCALE, 2, 4);
+    let got = infer(&kmeans::KMeans::paper(1), &small, &large);
+    assert_eq!(got, AppClasses::for_app("kmeans"));
+}
+
+#[test]
+fn knn_inference_matches_documentation() {
+    let small = knn::generate("ci-knn-s", 100.0, SCALE, 1);
+    let large = knn::generate("ci-knn-l", 400.0, SCALE, 2);
+    let got = infer(&knn::Knn::paper(1), &small, &large);
+    assert_eq!(got, AppClasses::for_app("knn"));
+}
+
+#[test]
+fn em_inference_matches_documentation() {
+    let small = em::generate("ci-em-s", 100.0, SCALE, 1, 3);
+    let large = em::generate("ci-em-l", 400.0, SCALE, 2, 3);
+    let got = infer(&em::Em::paper(1), &small, &large);
+    assert_eq!(got, AppClasses::for_app("em"));
+}
+
+#[test]
+fn vortex_inference_matches_documentation() {
+    let (small, _) = vortex::generate("ci-vx-s", 100.0, SCALE * 4.0, 1);
+    let (large, _) = vortex::generate("ci-vx-l", 400.0, SCALE * 4.0, 2);
+    let got = infer(&vortex::VortexDetect::default(), &small, &large);
+    assert_eq!(got, AppClasses::for_app("vortex"));
+}
+
+#[test]
+fn defect_inference_matches_documentation() {
+    let (small, _) = defect::generate("ci-df-s", 100.0, SCALE * 4.0, 1);
+    let (large, _) = defect::generate("ci-df-l", 400.0, SCALE * 4.0, 2);
+    // The two datasets have different layer counts; the app instance is
+    // dataset-specific, so build per dataset but infer across profiles.
+    let a1 = defect::DefectDetect::for_dataset(&small);
+    let a2 = defect::DefectDetect::for_dataset(&large);
+    let p1 = Profile::from_report(&Executor::new(deployment(1, 1)).run(&a1, &small).report);
+    let p2 = Profile::from_report(&Executor::new(deployment(1, 8)).run(&a1, &small).report);
+    let p3 = Profile::from_report(&Executor::new(deployment(1, 1)).run(&a2, &large).report);
+    let got = AppClasses::infer(&[p1, p2, p3]).expect("informative");
+    assert_eq!(got, AppClasses::for_app("defect"));
+}
+
+#[test]
+fn apriori_inference_matches_documentation() {
+    let patterns = [[2u32, 17, 40]];
+    let small = apriori::generate("ci-ap-s", 100.0, SCALE, 1, &patterns);
+    let large = apriori::generate("ci-ap-l", 400.0, SCALE, 2, &patterns);
+    let got = infer(&apriori::Apriori::standard(), &small, &large);
+    assert_eq!(got, AppClasses::for_app("apriori"));
+}

@@ -1,0 +1,154 @@
+//! Cross-crate middleware invariants: breakdown additivity, caching
+//! semantics, reduction-object monotonicity, and determinism.
+
+use freeride_g::apps::{apriori, em, kmeans, knn, vortex};
+use freeride_g::cluster::{ComputeSite, Configuration, Deployment, RepositorySite, Wan};
+use freeride_g::middleware::{ExecutionReport, Executor};
+use freeride_g::sim::SimDuration;
+
+const SCALE: f64 = 0.004;
+
+fn deployment(n: usize, c: usize) -> Deployment {
+    Deployment::new(
+        RepositorySite::pentium_repository("repo", 8),
+        ComputeSite::pentium_myrinet("cs", 16),
+        Wan::per_stream(40e6),
+        Configuration::new(n, c),
+    )
+}
+
+fn reports() -> Vec<ExecutionReport> {
+    let mut out = Vec::new();
+    let km = kmeans::generate("mi-km", 100.0, SCALE, 1, 4);
+    out.push(Executor::new(deployment(2, 4)).run(&kmeans::KMeans::paper(1), &km).report);
+    let emd = em::generate("mi-em", 100.0, SCALE, 1, 3);
+    out.push(Executor::new(deployment(2, 4)).run(&em::Em::paper(1), &emd).report);
+    let knnd = knn::generate("mi-knn", 100.0, SCALE, 1);
+    out.push(Executor::new(deployment(2, 4)).run(&knn::Knn::paper(1), &knnd).report);
+    let (vx, _) = vortex::generate("mi-vx", 100.0, SCALE * 4.0, 1);
+    out.push(Executor::new(deployment(2, 4)).run(&vortex::VortexDetect::default(), &vx).report);
+    let ap = apriori::generate("mi-ap", 50.0, SCALE, 1, &[[2, 17, 40]]);
+    out.push(Executor::new(deployment(2, 4)).run(&apriori::Apriori::standard(), &ap).report);
+    out
+}
+
+#[test]
+fn total_is_exactly_the_component_sum() {
+    for report in reports() {
+        assert_eq!(
+            report.total(),
+            report.t_disk() + report.t_network() + report.t_compute(),
+            "{}: T_exec must equal T_disk + T_network + T_compute",
+            report.app
+        );
+        assert!(report.t_ro() + report.t_g() <= report.t_compute());
+    }
+}
+
+#[test]
+fn every_component_is_positive_on_multi_node_runs() {
+    for report in reports() {
+        assert!(!report.t_disk().is_zero(), "{}: no retrieval time", report.app);
+        assert!(!report.t_network().is_zero(), "{}: no network time", report.app);
+        assert!(!report.t_compute().is_zero(), "{}: no compute time", report.app);
+        assert!(!report.t_ro().is_zero(), "{}: no gather time at c=4", report.app);
+        assert!(!report.t_g().is_zero(), "{}: no global reduction time", report.app);
+        assert!(report.max_obj_bytes() > 0, "{}: empty reduction object", report.app);
+    }
+}
+
+#[test]
+fn caching_applications_fetch_remotely_exactly_once() {
+    for report in reports() {
+        let remote_passes = report
+            .passes
+            .iter()
+            .filter(|p| !p.retrieval.is_zero() || !p.network.is_zero())
+            .count();
+        match report.app.as_str() {
+            // Multi-pass, caching: only the first pass touches the WAN.
+            "kmeans" | "em" | "apriori" => {
+                assert_eq!(remote_passes, 1, "{}: cache not honored", report.app)
+            }
+            // Single pass.
+            "knn" | "vortex" => assert_eq!(report.num_passes(), 1),
+            other => panic!("unexpected app {other}"),
+        }
+    }
+}
+
+#[test]
+fn wan_bandwidth_only_moves_network_time() {
+    let ds = kmeans::generate("mi-bw", 100.0, SCALE, 2, 4);
+    let app = kmeans::KMeans::paper(2);
+    let fast = Executor::new(deployment(2, 4)).run(&app, &ds).report;
+    let slow = Executor::new(Deployment::new(
+        RepositorySite::pentium_repository("repo", 8),
+        ComputeSite::pentium_myrinet("cs", 16),
+        Wan::per_stream(4e6),
+        Configuration::new(2, 4),
+    ))
+    .run(&app, &ds)
+    .report;
+    assert_eq!(fast.t_disk(), slow.t_disk());
+    assert_eq!(fast.t_compute(), slow.t_compute());
+    assert!(slow.t_network() > fast.t_network() * 9);
+}
+
+#[test]
+fn network_time_scales_inversely_with_bandwidth() {
+    // The b-linearity assumption behind T_network's (b/b_hat) factor.
+    let ds = kmeans::generate("mi-blin", 100.0, SCALE, 3, 4);
+    let app = kmeans::KMeans::paper(3);
+    let t = |bw: f64| {
+        Executor::new(Deployment::new(
+            RepositorySite::pentium_repository("repo", 8),
+            ComputeSite::pentium_myrinet("cs", 16),
+            Wan::per_stream(bw),
+            Configuration::new(1, 2),
+        ))
+        .run(&app, &ds)
+        .report
+        .t_network()
+        .as_secs_f64()
+    };
+    let (t1, t2) = (t(10e6), t(5e6));
+    let ratio = t2 / t1;
+    assert!(
+        (ratio - 2.0).abs() < 0.05,
+        "halving b should double network time: ratio {ratio}"
+    );
+}
+
+#[test]
+fn virtual_times_are_bit_deterministic() {
+    let ds = em::generate("mi-det", 100.0, SCALE, 4, 3);
+    let app = em::Em::paper(4);
+    let a = Executor::new(deployment(4, 8)).run(&app, &ds).report;
+    let b = Executor::new(deployment(4, 8)).run(&app, &ds).report;
+    assert_eq!(a.total(), b.total());
+    for (pa, pb) in a.passes.iter().zip(b.passes.iter()) {
+        assert_eq!(pa.retrieval, pb.retrieval);
+        assert_eq!(pa.network, pb.network);
+        assert_eq!(pa.local_compute, pb.local_compute);
+        assert_eq!(pa.t_ro, pb.t_ro);
+        assert_eq!(pa.t_g, pb.t_g);
+        assert_eq!(pa.max_obj_bytes, pb.max_obj_bytes);
+    }
+}
+
+#[test]
+fn more_compute_nodes_never_slow_processing() {
+    let ds = kmeans::generate("mi-mono", 100.0, SCALE, 5, 4);
+    let app = kmeans::KMeans::paper(5);
+    let mut prev = SimDuration::from_secs(1_000_000_000); // effectively infinite
+    for c in [1usize, 2, 4, 8, 16] {
+        let r = Executor::new(deployment(1, c)).run(&app, &ds).report;
+        let local: SimDuration = r.passes.iter().map(|p| p.local_compute).sum();
+        assert!(
+            local <= prev,
+            "local compute makespan should not grow with more nodes (c={c})"
+        );
+        prev = local;
+    }
+}

@@ -1,0 +1,147 @@
+//! The central qualitative claims of §5.1, checked as statistics over
+//! the whole configuration grid rather than single points:
+//!
+//! 1. Model fidelity pays: mean error of *global reduction* ≤ mean error
+//!    of *reduction communication* ≤ mean error of *no communication*.
+//! 2. The no-communication model's worst configurations are the
+//!    large-compute-count ones (its error grows with `c`), because
+//!    `T_ro`/`T_g` do not shrink with more nodes.
+//! 3. Even the no-communication model is decent when scaling factors
+//!    are small (the paper's first takeaway).
+
+use freeride_g::apps::{defect, em, kmeans};
+use freeride_g::chunks::Dataset;
+use freeride_g::cluster::{ComputeSite, Configuration, Deployment, RepositorySite, Wan};
+use freeride_g::middleware::{Executor, ReductionApp};
+use freeride_g::predict::{
+    relative_error, AppClasses, ComputeModel, ExecTimePredictor, InterconnectParams, Profile,
+    Target,
+};
+
+const SCALE: f64 = 0.004;
+const WAN: f64 = 40e6;
+
+fn deployment(n: usize, c: usize) -> Deployment {
+    Deployment::new(
+        RepositorySite::pentium_repository("repo", 8),
+        ComputeSite::pentium_myrinet("cs", 16),
+        Wan::per_stream(WAN),
+        Configuration::new(n, c),
+    )
+}
+
+/// Per-model mean errors over the paper grid, plus each configuration's
+/// no-communication error.
+fn grid_errors<A: ReductionApp>(
+    app: &A,
+    dataset: &Dataset,
+) -> (Vec<(Configuration, [f64; 3])>, [f64; 3]) {
+    let profile = Profile::from_report(
+        &Executor::new(deployment(1, 1)).run(app, dataset).report,
+    );
+    let site = deployment(1, 1).compute;
+    let mut rows = Vec::new();
+    let mut sums = [0.0f64; 3];
+    for cfg in Configuration::paper_grid() {
+        let actual = Executor::new(deployment(cfg.data_nodes, cfg.compute_nodes))
+            .run(app, dataset)
+            .report
+            .total()
+            .as_secs_f64();
+        let target = Target {
+            data_nodes: cfg.data_nodes,
+            compute_nodes: cfg.compute_nodes,
+            wan_bw: WAN,
+            dataset_bytes: dataset.logical_bytes(),
+        };
+        let mut errs = [0.0f64; 3];
+        for (i, model) in ComputeModel::ALL.iter().enumerate() {
+            let predicted = ExecTimePredictor {
+                profile: profile.clone(),
+                classes: AppClasses::for_app(&profile.app),
+                interconnect: InterconnectParams::of_site(&site),
+                model: *model,
+            }
+            .predict(&target);
+            errs[i] = relative_error(actual, predicted.total());
+            sums[i] += errs[i];
+        }
+        rows.push((cfg, errs));
+    }
+    let n = rows.len() as f64;
+    (rows, [sums[0] / n, sums[1] / n, sums[2] / n])
+}
+
+#[test]
+fn model_fidelity_ordering_holds_on_average() {
+    for (name, rows_means) in [
+        ("kmeans", {
+            let ds = kmeans::generate("mo-km", 350.0, SCALE, 3, 8);
+            grid_errors(&kmeans::KMeans::paper(3), &ds)
+        }),
+        ("em", {
+            let ds = em::generate("mo-em", 350.0, SCALE, 3, 4);
+            grid_errors(&em::Em::paper(3), &ds)
+        }),
+        ("defect", {
+            let (ds, _) = defect::generate("mo-df", 130.0, SCALE, 3);
+            let app = defect::DefectDetect::for_dataset(&ds);
+            grid_errors(&app, &ds)
+        }),
+    ] {
+        let (_, means) = rows_means;
+        assert!(
+            means[2] <= means[1] * 1.05 && means[1] <= means[0] * 1.05,
+            "{name}: model fidelity ordering violated: means {means:?}"
+        );
+        assert!(
+            means[2] < 0.02,
+            "{name}: global-reduction model should average under 2%, got {:.3}",
+            means[2]
+        );
+    }
+}
+
+#[test]
+fn no_comm_error_grows_with_compute_nodes() {
+    let ds = em::generate("mo-grow", 350.0, SCALE, 4, 4);
+    let (rows, _) = grid_errors(&em::Em::paper(4), &ds);
+    // Fix n = 1 and walk c upward: the no-comm error is monotone in c
+    // (within a small tolerance at the tiny end).
+    let series: Vec<f64> = rows
+        .iter()
+        .filter(|(cfg, _)| cfg.data_nodes == 1)
+        .map(|(_, errs)| errs[0])
+        .collect();
+    assert!(series.len() >= 4);
+    for w in series.windows(2) {
+        assert!(
+            w[1] >= w[0] - 1e-3,
+            "no-comm error should grow with compute nodes: {series:?}"
+        );
+    }
+    // And the worst no-comm configuration overall uses 16 compute nodes.
+    let worst = rows
+        .iter()
+        .max_by(|a, b| a.1[0].total_cmp(&b.1[0]))
+        .expect("non-empty");
+    assert_eq!(worst.0.compute_nodes, 16, "worst case should be a 16-node config");
+}
+
+#[test]
+fn no_comm_is_decent_at_small_scaling_factors() {
+    // "even without modeling communication and global reduction, our
+    // models work quite well if the scaling factors ... are small".
+    let ds = kmeans::generate("mo-small", 350.0, SCALE, 5, 8);
+    let (rows, _) = grid_errors(&kmeans::KMeans::paper(5), &ds);
+    for (cfg, errs) in rows {
+        if cfg.data_nodes <= 2 && cfg.compute_nodes <= 4 {
+            assert!(
+                errs[0] < 0.02,
+                "no-comm error at small config {} should be tiny, got {:.4}",
+                cfg.label(),
+                errs[0]
+            );
+        }
+    }
+}

@@ -1,0 +1,190 @@
+//! End-to-end tests of the non-local caching extension (§2.1's deferred
+//! resource-selection goal): middleware behavior, prediction accuracy,
+//! and cache-site selection.
+
+use freeride_g::apps::em;
+use freeride_g::cluster::{
+    CacheSite, ComputeSite, Configuration, Deployment, RepositorySite, Wan,
+};
+use freeride_g::middleware::{CacheMode, Executor};
+use freeride_g::predict::{
+    predict_with_plan, rank_deployments, relative_error, AppClasses, CachePlan, ComputeModel,
+    ExecTimePredictor, InterconnectParams, Profile, Target,
+};
+use std::collections::HashMap;
+
+const SCALE: f64 = 0.004;
+const WAN: f64 = 40e6;
+
+fn deployment(n: usize, c: usize, storage: u64, cache: Option<CacheSite>) -> Deployment {
+    let mut site = ComputeSite::pentium_myrinet("cs", 16);
+    site.node_storage_bytes = storage;
+    let mut d = Deployment::new(
+        RepositorySite::pentium_repository("origin", 8),
+        site,
+        Wan::per_stream(WAN),
+        Configuration::new(n, c),
+    );
+    d.cache = cache;
+    d
+}
+
+fn cache_site(nodes: usize, bw: f64) -> CacheSite {
+    CacheSite::new(
+        RepositorySite::pentium_repository("cache-site", 8),
+        nodes,
+        Wan::per_stream(bw),
+    )
+}
+
+#[test]
+fn starved_nodes_fall_back_to_the_cache_site() {
+    let ds = em::generate("nlc-mode", 200.0, SCALE, 1, 3);
+    let app = em::Em { k: 3, iterations: 3, seed: 1 };
+    // Plenty of room: local caching.
+    let local = Executor::new(deployment(2, 4, u64::MAX, None)).run(&app, &ds).report;
+    assert_eq!(local.cache_mode, CacheMode::Local);
+    assert_eq!(local.t_disk_cache().as_nanos(), 0);
+
+    // No room, cache site attached: non-local caching.
+    let nonlocal = Executor::new(deployment(2, 4, 1, Some(cache_site(4, 60e6))))
+        .run(&app, &ds)
+        .report;
+    assert_eq!(nonlocal.cache_mode, CacheMode::NonLocal);
+    assert!(nonlocal.t_disk_cache().as_nanos() > 0);
+    assert!(nonlocal.t_network_cache().as_nanos() > 0);
+    // Origin is touched exactly once.
+    let origin_passes = nonlocal
+        .passes
+        .iter()
+        .filter(|p| !p.retrieval.is_zero())
+        .count();
+    assert_eq!(origin_passes, 1);
+    // Cache site is touched every pass (write-through + reads).
+    assert!(nonlocal.passes.iter().all(|p| !p.cache_disk.is_zero()));
+
+    // No room, no cache site: refetch from origin each pass.
+    let refetch = Executor::new(deployment(2, 4, 1, None)).run(&app, &ds).report;
+    assert_eq!(refetch.cache_mode, CacheMode::Refetch);
+    assert!(refetch.passes.iter().all(|p| !p.retrieval.is_zero()));
+    assert!(refetch.t_disk().as_secs_f64() > local.t_disk().as_secs_f64() * 3.0);
+}
+
+#[test]
+fn computation_result_is_identical_across_cache_modes() {
+    let ds = em::generate("nlc-same", 200.0, SCALE, 2, 3);
+    let app = em::Em { k: 3, iterations: 2, seed: 2 };
+    let a = Executor::new(deployment(2, 4, u64::MAX, None)).run(&app, &ds);
+    let b = Executor::new(deployment(2, 4, 1, Some(cache_site(2, 60e6)))).run(&app, &ds);
+    let c = Executor::new(deployment(2, 4, 1, None)).run(&app, &ds);
+    for k in 0..3 {
+        for d in 0..em::DIM {
+            assert_eq!(a.final_state.means[k][d], b.final_state.means[k][d]);
+            assert_eq!(a.final_state.means[k][d], c.final_state.means[k][d]);
+        }
+    }
+}
+
+#[test]
+fn nonlocal_prediction_tracks_actual_execution() {
+    let ds = em::generate("nlc-pred", 350.0, SCALE, 3, 4);
+    let app = em::Em::paper(3);
+    // Profile under ordinary local caching at 1-1.
+    let profile_run = Executor::new(deployment(1, 1, u64::MAX, None)).run(&app, &ds);
+    let profile = Profile::from_report(&profile_run.report);
+    let predictor = ExecTimePredictor {
+        profile,
+        classes: AppClasses::for_app("em"),
+        interconnect: InterconnectParams::of_site(&deployment(1, 1, u64::MAX, None).compute),
+        model: ComputeModel::GlobalReduction,
+    };
+    for (n, c, cache_nodes, cache_bw) in [(2usize, 4usize, 2usize, 60e6), (4, 8, 4, 30e6)] {
+        let dep = deployment(n, c, 1, Some(cache_site(cache_nodes, cache_bw)));
+        let actual = Executor::new(dep.clone()).run(&app, &ds).report;
+        assert_eq!(actual.cache_mode, CacheMode::NonLocal);
+        let target = Target {
+            data_nodes: n,
+            compute_nodes: c,
+            wan_bw: WAN,
+            dataset_bytes: ds.logical_bytes(),
+        };
+        let plan = CachePlan::for_deployment(&dep, ds.logical_bytes(), actual.num_passes());
+        let predicted =
+            predict_with_plan(&predictor, &target, &plan, dep.compute.machine.disk_bw);
+        let err = relative_error(actual.total().as_secs_f64(), predicted.total());
+        assert!(
+            err < 0.08,
+            "non-local cache prediction off by {:.1}% at {n}-{c} (actual {:.1}s predicted {:.1}s)",
+            err * 100.0,
+            actual.total().as_secs_f64(),
+            predicted.total()
+        );
+    }
+}
+
+#[test]
+fn refetch_prediction_tracks_actual_execution() {
+    let ds = em::generate("nlc-refetch", 350.0, SCALE, 4, 4);
+    let app = em::Em::paper(4);
+    let profile_run = Executor::new(deployment(1, 1, u64::MAX, None)).run(&app, &ds);
+    let profile = Profile::from_report(&profile_run.report);
+    let predictor = ExecTimePredictor {
+        profile,
+        classes: AppClasses::for_app("em"),
+        interconnect: InterconnectParams::of_site(&deployment(1, 1, u64::MAX, None).compute),
+        model: ComputeModel::GlobalReduction,
+    };
+    let dep = deployment(2, 4, 1, None);
+    let actual = Executor::new(dep.clone()).run(&app, &ds).report;
+    assert_eq!(actual.cache_mode, CacheMode::Refetch);
+    let target = Target {
+        data_nodes: 2,
+        compute_nodes: 4,
+        wan_bw: WAN,
+        dataset_bytes: ds.logical_bytes(),
+    };
+    let predicted = predict_with_plan(
+        &predictor,
+        &target,
+        &CachePlan::Refetch,
+        dep.compute.machine.disk_bw,
+    );
+    let err = relative_error(actual.total().as_secs_f64(), predicted.total());
+    assert!(err < 0.08, "refetch prediction off by {:.1}%", err * 100.0);
+}
+
+#[test]
+fn selector_prefers_a_good_cache_site_over_refetching() {
+    let ds = em::generate("nlc-select", 350.0, SCALE, 5, 4);
+    let app = em::Em::paper(5);
+    let profile = Profile::from_report(
+        &Executor::new(deployment(1, 1, u64::MAX, None)).run(&app, &ds).report,
+    );
+    let candidates = vec![
+        deployment(2, 4, 1, None),                          // refetch
+        deployment(2, 4, 1, Some(cache_site(4, 60e6))),     // good cache
+        deployment(2, 4, 1, Some(cache_site(1, 2e6))),      // awful cache
+    ];
+    let ranked = rank_deployments(
+        &profile,
+        AppClasses::for_app("em"),
+        &candidates,
+        ds.logical_bytes(),
+        &HashMap::new(),
+    );
+    assert!(ranked[0].deployment.cache.as_ref().map(|c| c.wan.stream_bw) == Some(60e6));
+    // And the ranking agrees with actual executions.
+    let actuals: Vec<f64> = ranked
+        .iter()
+        .map(|cand| {
+            Executor::new(cand.deployment.clone())
+                .run(&app, &ds)
+                .report
+                .total()
+                .as_secs_f64()
+        })
+        .collect();
+    for w in actuals.windows(2) {
+        assert!(w[0] <= w[1] * 1.01, "ranking disagrees with reality: {actuals:?}");
+    }
+}

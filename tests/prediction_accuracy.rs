@@ -1,0 +1,101 @@
+//! End-to-end accuracy: profile at 1-1, predict every paper
+//! configuration, compare against actual simulated executions — the
+//! experiment structure of §5.1, with coarse error bounds as assertions.
+
+use freeride_g::apps::{ann, apriori, defect, em, kmeans, knn, vortex};
+use freeride_g::cluster::{ComputeSite, Configuration, Deployment, RepositorySite, Wan};
+use freeride_g::middleware::{Executor, ReductionApp};
+use freeride_g::predict::{
+    relative_error, AppClasses, ComputeModel, ExecTimePredictor, InterconnectParams, Profile,
+    Target,
+};
+
+const SCALE: f64 = 0.004;
+
+fn deployment(n: usize, c: usize) -> Deployment {
+    Deployment::new(
+        RepositorySite::pentium_repository("repo", 8),
+        ComputeSite::pentium_myrinet("cs", 16),
+        Wan::per_stream(2e6),
+        Configuration::new(n, c),
+    )
+}
+
+/// Profile on 1-1, predict all paper configurations with the global
+/// reduction model, and assert every error stays under `bound`.
+fn check_app<A: ReductionApp>(app: &A, dataset: &freeride_g::chunks::Dataset, bound: f64) {
+    let profile_run = Executor::new(deployment(1, 1)).run(app, dataset);
+    let profile = Profile::from_report(&profile_run.report);
+    let classes = AppClasses::for_app(app.name());
+    let predictor = ExecTimePredictor {
+        profile,
+        classes,
+        interconnect: InterconnectParams::of_site(&deployment(1, 1).compute),
+        model: ComputeModel::GlobalReduction,
+    };
+    for cfg in Configuration::paper_grid() {
+        let d = deployment(cfg.data_nodes, cfg.compute_nodes);
+        let actual = Executor::new(d).run(app, dataset).report;
+        let target = Target {
+            data_nodes: cfg.data_nodes,
+            compute_nodes: cfg.compute_nodes,
+            wan_bw: 2e6,
+            dataset_bytes: dataset.logical_bytes(),
+        };
+        let predicted = predictor.predict(&target);
+        let err = relative_error(actual.total().as_secs_f64(), predicted.total());
+        assert!(
+            err < bound,
+            "{}: config {} error {:.2}% exceeds {:.0}% (actual {:.2}s predicted {:.2}s)",
+            app.name(),
+            cfg.label(),
+            err * 100.0,
+            bound * 100.0,
+            actual.total().as_secs_f64(),
+            predicted.total()
+        );
+    }
+}
+
+#[test]
+fn kmeans_prediction_tracks_simulation() {
+    let ds = kmeans::generate("acc-km", 140.0, SCALE, 1, 8);
+    check_app(&kmeans::KMeans::paper(1), &ds, 0.05);
+}
+
+#[test]
+fn em_prediction_tracks_simulation() {
+    let ds = em::generate("acc-em", 140.0, SCALE, 2, 4);
+    check_app(&em::Em::paper(2), &ds, 0.05);
+}
+
+#[test]
+fn knn_prediction_tracks_simulation() {
+    let ds = knn::generate("acc-knn", 140.0, SCALE, 3);
+    check_app(&knn::Knn::paper(3), &ds, 0.05);
+}
+
+#[test]
+fn vortex_prediction_tracks_simulation() {
+    let (ds, _) = vortex::generate("acc-vx", 71.0, SCALE * 4.0, 4);
+    check_app(&vortex::VortexDetect::default(), &ds, 0.05);
+}
+
+#[test]
+fn defect_prediction_tracks_simulation() {
+    let (ds, _) = defect::generate("acc-df", 130.0, SCALE, 5);
+    let app = defect::DefectDetect::for_dataset(&ds);
+    check_app(&app, &ds, 0.05);
+}
+
+#[test]
+fn apriori_prediction_tracks_simulation() {
+    let ds = apriori::generate("acc-ap", 140.0, SCALE, 6, &[[2, 17, 40], [5, 23, 51]]);
+    check_app(&apriori::Apriori::standard(), &ds, 0.05);
+}
+
+#[test]
+fn ann_prediction_tracks_simulation() {
+    let ds = ann::generate("acc-ann", 140.0, SCALE, 7);
+    check_app(&ann::AnnTrain::paper(7), &ds, 0.05);
+}

@@ -1,0 +1,137 @@
+//! End-to-end resource selection (§3): the framework's ranking agrees
+//! with actual execution, replica choice responds to WAN bandwidth, and
+//! cross-cluster candidates are handled through scaling factors.
+
+use freeride_g::apps::kmeans;
+use freeride_g::cluster::{ComputeSite, Configuration, Deployment, RepositorySite, Wan};
+use freeride_g::middleware::Executor;
+use freeride_g::predict::{rank_deployments, AppClasses, Profile, ScalingFactors};
+use std::collections::HashMap;
+
+const SCALE: f64 = 0.004;
+
+fn base_deployment(n: usize, c: usize, bw: f64) -> Deployment {
+    Deployment::new(
+        RepositorySite::pentium_repository("repo", 8),
+        ComputeSite::pentium_myrinet("cs", 16),
+        Wan::per_stream(bw),
+        Configuration::new(n, c),
+    )
+}
+
+#[test]
+fn ranking_agrees_with_actual_execution_order() {
+    let dataset = kmeans::generate("sel-order", 200.0, SCALE, 5, 8);
+    let app = kmeans::KMeans::paper(5);
+    let profile = Profile::from_report(
+        &Executor::new(base_deployment(1, 1, 40e6)).run(&app, &dataset).report,
+    );
+    let deployments: Vec<Deployment> = [(1, 1), (1, 4), (2, 8), (4, 16), (8, 16)]
+        .iter()
+        .map(|&(n, c)| base_deployment(n, c, 40e6))
+        .collect();
+    let ranked = rank_deployments(
+        &profile,
+        AppClasses::for_app("kmeans"),
+        &deployments,
+        dataset.logical_bytes(),
+        &HashMap::new(),
+    );
+    // Execute every candidate and check the predicted order matches the
+    // actual order exactly (the configurations are well separated).
+    let actuals: Vec<f64> = ranked
+        .iter()
+        .map(|cand| {
+            Executor::new(cand.deployment.clone())
+                .run(&app, &dataset)
+                .report
+                .total()
+                .as_secs_f64()
+        })
+        .collect();
+    for w in actuals.windows(2) {
+        assert!(
+            w[0] <= w[1] * 1.001,
+            "predicted ranking disagrees with actual execution: {actuals:?}"
+        );
+    }
+}
+
+#[test]
+fn replica_choice_follows_wan_bandwidth() {
+    let dataset = kmeans::generate("sel-replica", 200.0, SCALE, 6, 8);
+    let app = kmeans::KMeans::paper(6);
+    let profile = Profile::from_report(
+        &Executor::new(base_deployment(1, 1, 40e6)).run(&app, &dataset).report,
+    );
+    // Same configuration, two replicas: one behind a starved WAN.
+    let fast = Deployment::new(
+        RepositorySite::pentium_repository("fast-repo", 8),
+        ComputeSite::pentium_myrinet("cs", 16),
+        Wan::per_stream(40e6),
+        Configuration::new(4, 8),
+    );
+    let slow = Deployment::new(
+        RepositorySite::pentium_repository("slow-repo", 8),
+        ComputeSite::pentium_myrinet("cs", 16),
+        Wan::per_stream(1e6),
+        Configuration::new(4, 8),
+    );
+    let ranked = rank_deployments(
+        &profile,
+        AppClasses::for_app("kmeans"),
+        &[slow.clone(), fast.clone()],
+        dataset.logical_bytes(),
+        &HashMap::new(),
+    );
+    assert_eq!(ranked[0].deployment.repository.name, "fast-repo");
+    // And reality agrees.
+    let fast_actual = Executor::new(fast).run(&app, &dataset).report.total();
+    let slow_actual = Executor::new(slow).run(&app, &dataset).report.total();
+    assert!(fast_actual < slow_actual);
+}
+
+#[test]
+fn cross_cluster_candidate_wins_with_measured_factors() {
+    let dataset = kmeans::generate("sel-hetero", 200.0, SCALE, 7, 8);
+    let app = kmeans::KMeans::paper(7);
+    let profile = Profile::from_report(
+        &Executor::new(base_deployment(1, 1, 40e6)).run(&app, &dataset).report,
+    );
+    // Measure factors with the target application itself (sufficient for
+    // the test; the figures use disjoint representatives).
+    let opteron_dep = |n, c| {
+        Deployment::new(
+            RepositorySite::opteron_repository("repo-b", 8),
+            ComputeSite::opteron_infiniband("cs-b", 16),
+            Wan::per_stream(40e6),
+            Configuration::new(n, c),
+        )
+    };
+    let a44 = Profile::from_report(
+        &Executor::new(base_deployment(4, 4, 40e6)).run(&app, &dataset).report,
+    );
+    let b44 =
+        Profile::from_report(&Executor::new(opteron_dep(4, 4)).run(&app, &dataset).report);
+    let factors = ScalingFactors::measure(&[(a44, b44)]);
+    assert!(factors.compute < 0.5, "Opteron should be much faster");
+
+    let mut map = HashMap::new();
+    map.insert("opteron-2400".to_string(), factors);
+    let candidates = vec![base_deployment(4, 8, 40e6), opteron_dep(4, 8)];
+    let ranked = rank_deployments(
+        &profile,
+        AppClasses::for_app("kmeans"),
+        &candidates,
+        dataset.logical_bytes(),
+        &map,
+    );
+    assert_eq!(ranked[0].deployment.compute.name, "cs-b", "faster cluster should win");
+    // Reality check.
+    let b_actual = Executor::new(opteron_dep(4, 8)).run(&app, &dataset).report.total();
+    let a_actual = Executor::new(base_deployment(4, 8, 40e6))
+        .run(&app, &dataset)
+        .report
+        .total();
+    assert!(b_actual < a_actual);
+}

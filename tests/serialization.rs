@@ -1,0 +1,68 @@
+//! Serde round-trips of the publicly persisted types: profiles (written
+//! by `fg profile --json`), execution reports, and figure tables.
+
+use freeride_g::apps::kmeans;
+use freeride_g::cluster::{ComputeSite, Configuration, Deployment, RepositorySite, Wan};
+use freeride_g::middleware::Executor;
+use freeride_g::predict::{Prediction, Profile, ScalingFactors, Target};
+
+fn deployment(n: usize, c: usize) -> Deployment {
+    Deployment::new(
+        RepositorySite::pentium_repository("repo", 8),
+        ComputeSite::pentium_myrinet("cs", 16),
+        Wan::per_stream(40e6),
+        Configuration::new(n, c),
+    )
+}
+
+#[test]
+fn profile_roundtrips_through_json() {
+    let ds = kmeans::generate("ser-km", 50.0, 0.004, 1, 4);
+    let app = kmeans::KMeans { k: 4, passes: 3, seed: 1 };
+    let report = Executor::new(deployment(2, 4)).run(&app, &ds).report;
+    let profile = Profile::from_report(&report);
+    let json = serde_json::to_string(&profile).expect("serialize");
+    let back: Profile = serde_json::from_str(&json).expect("deserialize");
+    assert_eq!(profile, back);
+}
+
+#[test]
+fn execution_report_roundtrips_preserving_breakdown() {
+    let ds = kmeans::generate("ser-rep", 50.0, 0.004, 2, 4);
+    let app = kmeans::KMeans { k: 4, passes: 2, seed: 2 };
+    let report = Executor::new(deployment(1, 2)).run(&app, &ds).report;
+    let json = serde_json::to_string(&report).expect("serialize");
+    let back: freeride_g::middleware::ExecutionReport =
+        serde_json::from_str(&json).expect("deserialize");
+    assert_eq!(report.total(), back.total());
+    assert_eq!(report.t_disk(), back.t_disk());
+    assert_eq!(report.t_ro(), back.t_ro());
+    assert_eq!(report.num_passes(), back.num_passes());
+    assert_eq!(report.cache_mode, back.cache_mode);
+}
+
+#[test]
+fn deployment_roundtrips_with_cache_site() {
+    let mut d = deployment(2, 4);
+    d.cache = Some(freeride_g::cluster::CacheSite::new(
+        RepositorySite::pentium_repository("cache", 4),
+        2,
+        Wan::per_stream(50e6),
+    ));
+    let json = serde_json::to_string(&d).expect("serialize");
+    let back: Deployment = serde_json::from_str(&json).expect("deserialize");
+    assert_eq!(d, back);
+}
+
+#[test]
+fn model_value_types_roundtrip() {
+    let t = Target { data_nodes: 4, compute_nodes: 8, wan_bw: 1e6, dataset_bytes: 42 };
+    let p = Prediction { t_disk: 1.5, t_network: 2.5, t_compute: 3.5 };
+    let f = ScalingFactors { disk: 0.3, network: 1.0, compute: 0.25 };
+    let tt: Target = serde_json::from_str(&serde_json::to_string(&t).unwrap()).unwrap();
+    let pp: Prediction = serde_json::from_str(&serde_json::to_string(&p).unwrap()).unwrap();
+    let ff: ScalingFactors = serde_json::from_str(&serde_json::to_string(&f).unwrap()).unwrap();
+    assert_eq!(t, tt);
+    assert_eq!(p, pp);
+    assert_eq!(f, ff);
+}

@@ -1,0 +1,105 @@
+//! Shared-memory (SMP) execution within compute nodes: correctness,
+//! speedup bounds, and interaction with the heterogeneous experiments.
+
+use freeride_g::apps::{em, kmeans, vortex};
+use freeride_g::cluster::{ComputeSite, Configuration, Deployment, MachineSpec, RepositorySite, Wan};
+use freeride_g::middleware::Executor;
+use freeride_g::sim::SimDuration;
+
+const SCALE: f64 = 0.004;
+
+fn deployment_with_cores(cores: usize, n: usize, c: usize) -> Deployment {
+    let mut site = ComputeSite::pentium_myrinet("cs", 16);
+    site.machine.cores = cores;
+    Deployment::new(
+        RepositorySite::pentium_repository("repo", 8),
+        site,
+        Wan::per_stream(40e6),
+        Configuration::new(n, c),
+    )
+}
+
+#[test]
+fn smp_nodes_compute_the_same_answer() {
+    let ds = kmeans::generate("smp-ans", 200.0, SCALE, 1, 4);
+    let app = kmeans::KMeans { k: 4, passes: 5, seed: 1 };
+    let uni = Executor::new(deployment_with_cores(1, 2, 4)).run(&app, &ds);
+    let smp = Executor::new(deployment_with_cores(4, 2, 4)).run(&app, &ds);
+    for (a, b) in uni
+        .final_state
+        .centroids
+        .iter()
+        .zip(smp.final_state.centroids.iter())
+    {
+        for d in 0..kmeans::DIM {
+            assert!((a[d] - b[d]).abs() < 1e-2, "SMP changed the clustering result");
+        }
+    }
+}
+
+#[test]
+fn smp_speedup_is_positive_and_sublinear() {
+    let ds = em::generate("smp-speed", 350.0, SCALE, 2, 4);
+    let app = em::Em { k: 4, iterations: 3, seed: 2 };
+    let local = |cores: usize| -> SimDuration {
+        let r = Executor::new(deployment_with_cores(cores, 2, 4)).run(&app, &ds).report;
+        r.passes.iter().map(|p| p.local_compute).sum()
+    };
+    let t1 = local(1);
+    let t2 = local(2);
+    let t4 = local(4);
+    let s2 = t1.as_secs_f64() / t2.as_secs_f64();
+    let s4 = t1.as_secs_f64() / t4.as_secs_f64();
+    assert!(s2 > 1.3, "two cores should speed the fold up meaningfully: {s2}");
+    assert!(s2 < 2.0, "two-core speedup cannot be super-linear: {s2}");
+    assert!(s4 > s2, "four cores beat two: {s4} vs {s2}");
+    assert!(s4 < 4.0, "memory-bus contention keeps speedup sub-linear: {s4}");
+}
+
+#[test]
+fn smp_does_not_change_io_components() {
+    let ds = kmeans::generate("smp-io", 200.0, SCALE, 3, 4);
+    let app = kmeans::KMeans { k: 4, passes: 3, seed: 3 };
+    let uni = Executor::new(deployment_with_cores(1, 2, 4)).run(&app, &ds).report;
+    let smp = Executor::new(deployment_with_cores(2, 2, 4)).run(&app, &ds).report;
+    assert_eq!(uni.t_disk(), smp.t_disk());
+    assert_eq!(uni.t_network(), smp.t_network());
+    assert!(smp.t_compute() < uni.t_compute());
+}
+
+#[test]
+fn default_opteron_nodes_are_dual_processor() {
+    // §5.4: "dual processor 2.4GHz Opteron 250 machines" — the preset
+    // must model both processors.
+    assert_eq!(MachineSpec::opteron_2400().cores, 2);
+    assert_eq!(MachineSpec::pentium_700().cores, 1);
+}
+
+#[test]
+fn flop_bound_work_scales_better_than_mem_bound_on_smp() {
+    // Vortex is flop-heavy; EM's kernel has a larger memory share.
+    // Two cores therefore help vortex at least as much as EM.
+    let (vds, _) = vortex::generate("smp-vx", 200.0, SCALE * 4.0, 4);
+    let eds = em::generate("smp-em", 200.0, SCALE, 4, 4);
+    let vx = vortex::VortexDetect::default();
+    let emapp = em::Em { k: 4, iterations: 1, seed: 4 };
+    let speedup = |cores: usize, run: &dyn Fn(Deployment) -> SimDuration| {
+        let t1 = run(deployment_with_cores(1, 1, 2));
+        let tc = run(deployment_with_cores(cores, 1, 2));
+        t1.as_secs_f64() / tc.as_secs_f64()
+    };
+    let vx_run = |d: Deployment| -> SimDuration {
+        let r = Executor::new(d).run(&vx, &vds).report;
+        r.passes.iter().map(|p| p.local_compute).sum()
+    };
+    let em_run = |d: Deployment| -> SimDuration {
+        let r = Executor::new(d).run(&emapp, &eds).report;
+        r.passes.iter().map(|p| p.local_compute).sum()
+    };
+    let s_vx = speedup(2, &vx_run);
+    let s_em = speedup(2, &em_run);
+    assert!(
+        s_vx >= s_em - 0.05,
+        "flop-bound vortex should scale at least as well as EM: {s_vx} vs {s_em}"
+    );
+}
