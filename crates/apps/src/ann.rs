@@ -37,9 +37,8 @@ pub const NUM_WEIGHTS: usize = (DIM + 1) * HIDDEN + (HIDDEN + 1) * CLASSES;
 pub fn generate(id: &str, nominal_mb: f64, scale: f64, seed: u64) -> Dataset {
     let total = physical_elements(nominal_mb, scale, BYTES_PER_POINT);
     let mut rng = stream_rng(seed, "ann-data");
-    let centers: Vec<[f32; DIM]> = (0..CLASSES)
-        .map(|_| std::array::from_fn(|_| rng.gen_range(0.15..0.85)))
-        .collect();
+    let centers: Vec<[f32; DIM]> =
+        (0..CLASSES).map(|_| std::array::from_fn(|_| rng.gen_range(0.15..0.85))).collect();
     let per_chunk = (CHUNK_BYTES as f64 * scale / BYTES_PER_POINT as f64).max(1.0) as u64;
     let mut builder = DatasetBuilder::new(id, "ann-points", scale);
     for count in chunk_sizes(total, per_chunk, 16) {
@@ -174,7 +173,13 @@ impl ReductionApp for AnnTrain {
         GradObj { grad: vec![0.0; NUM_WEIGHTS], loss: 0.0, samples: 0 }
     }
 
-    fn local_reduce(&self, state: &AnnState, chunk: &Chunk, obj: &mut GradObj, meter: &mut WorkMeter) {
+    fn local_reduce(
+        &self,
+        state: &AnnState,
+        chunk: &Chunk,
+        obj: &mut GradObj,
+        meter: &mut WorkMeter,
+    ) {
         let vals = codec::decode_f32s(&chunk.payload);
         let samples = vals.chunks_exact(DIM + 1);
         let n = samples.len() as u64;
@@ -197,7 +202,8 @@ impl ReductionApp for AnnTrain {
                     obj.grad[(DIM + 1) * HIDDEN + h * CLASSES + o] += dlogit[o] * hv;
                     dhidden[h] += dlogit[o] * w.w2(h, o) as f64;
                 }
-                obj.grad[(DIM + 1) * HIDDEN + HIDDEN * CLASSES + o] += dlogit[o]; // bias
+                obj.grad[(DIM + 1) * HIDDEN + HIDDEN * CLASSES + o] += dlogit[o];
+                // bias
             }
             // Layer 1 gradients (through tanh').
             for h in 0..HIDDEN {
@@ -214,7 +220,12 @@ impl ReductionApp for AnnTrain {
         meter.data_cmp(n * CLASSES as u64);
     }
 
-    fn global_finalize(&self, state: &AnnState, merged: GradObj, meter: &mut WorkMeter) -> PassOutcome<AnnState> {
+    fn global_finalize(
+        &self,
+        state: &AnnState,
+        merged: GradObj,
+        meter: &mut WorkMeter,
+    ) -> PassOutcome<AnnState> {
         let n = merged.samples.max(1) as f64;
         let mut weights = state.weights.clone();
         for (w, g) in weights.0.iter_mut().zip(merged.grad.iter()) {
@@ -287,9 +298,8 @@ mod tests {
         let run = Executor::new(deployment(2, 4)).run(&app, &ds);
         // Evaluate on the planted centers themselves.
         let mut rng = stream_rng(seed, "ann-data");
-        let centers: Vec<[f32; DIM]> = (0..CLASSES)
-            .map(|_| std::array::from_fn(|_| rng.gen_range(0.15..0.85)))
-            .collect();
+        let centers: Vec<[f32; DIM]> =
+            (0..CLASSES).map(|_| std::array::from_fn(|_| rng.gen_range(0.15..0.85))).collect();
         let correct = centers
             .iter()
             .enumerate()

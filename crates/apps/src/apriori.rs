@@ -297,12 +297,7 @@ mod tests {
         let app = Apriori::standard();
         let run = Executor::new(deployment(4, 8)).run(&app, &ds);
         for (set, support) in &run.final_state.frequent {
-            assert_eq!(
-                *support,
-                reference_support(&ds, set),
-                "support mismatch for {:?}",
-                set
-            );
+            assert_eq!(*support, reference_support(&ds, set), "support mismatch for {:?}", set);
         }
     }
 

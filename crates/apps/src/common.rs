@@ -30,12 +30,7 @@ pub fn physical_elements(nominal_mb: f64, scale: f64, bytes_per_element: usize) 
 pub fn chunk_sizes(total: u64, per_chunk: u64, granule: usize) -> Vec<u64> {
     assert!(total > 0 && per_chunk > 0 && granule >= 1);
     let by_size = total.div_ceil(per_chunk) as usize;
-    let num = by_size
-        .div_ceil(granule)
-        .max(1)
-        .saturating_mul(granule)
-        .min(total as usize)
-        .max(1);
+    let num = by_size.div_ceil(granule).max(1).saturating_mul(granule).min(total as usize).max(1);
     (0..num as u64)
         .map(|i| {
             let lo = i * total / num as u64;

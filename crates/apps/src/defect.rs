@@ -69,15 +69,11 @@ pub struct PlantedDefect {
 /// Generate a silicon lattice with planted defects. Returns the dataset
 /// and the ground truth.
 pub fn generate(id: &str, nominal_mb: f64, scale: f64, seed: u64) -> (Dataset, Vec<PlantedDefect>) {
-    let target_atoms =
-        crate::common::physical_elements(nominal_mb, scale, BYTES_PER_ATOM) as usize;
+    let target_atoms = crate::common::physical_elements(nominal_mb, scale, BYTES_PER_ATOM) as usize;
     // Round the layer count so the chunk count is a multiple of 16 (see
     // `common::chunk_sizes` for the balance rationale).
     let slab = LAYERS_PER_CHUNK * 16;
-    let layers = (target_atoms / (LATTICE_XY * LATTICE_XY))
-        .max(slab)
-        .div_ceil(slab)
-        * slab;
+    let layers = (target_atoms / (LATTICE_XY * LATTICE_XY)).max(slab).div_ceil(slab) * slab;
     let mut rng = stream_rng(seed, "defect-data");
 
     // Plant defects on a coarse grid so no two interact (>= 6 sites apart,
@@ -97,22 +93,14 @@ pub fn generate(id: &str, nominal_mb: f64, scale: f64, seed: u64) -> (Dataset, V
             continue;
         }
         used.insert(cell);
-        planted.push(PlantedDefect {
-            kind: kinds[planted.len() % kinds.len()],
-            site: [sx, sy, sz],
-        });
+        planted
+            .push(PlantedDefect { kind: kinds[planted.len() % kinds.len()], site: [sx, sy, sz] });
     }
 
-    let vacancies: std::collections::BTreeSet<[i32; 3]> = planted
-        .iter()
-        .filter(|p| p.kind == DefectKind::Vacancy)
-        .map(|p| p.site)
-        .collect();
-    let substitutions: std::collections::BTreeSet<[i32; 3]> = planted
-        .iter()
-        .filter(|p| p.kind == DefectKind::Substitution)
-        .map(|p| p.site)
-        .collect();
+    let vacancies: std::collections::BTreeSet<[i32; 3]> =
+        planted.iter().filter(|p| p.kind == DefectKind::Vacancy).map(|p| p.site).collect();
+    let substitutions: std::collections::BTreeSet<[i32; 3]> =
+        planted.iter().filter(|p| p.kind == DefectKind::Substitution).map(|p| p.site).collect();
 
     // Emit atoms layer by layer, then slice into halo-overlapped slabs.
     let mut layer_atoms: Vec<Vec<f32>> = vec![Vec::new(); layers];
@@ -208,18 +196,11 @@ impl Signature {
         }
         let rs: Vec<f32> = atoms
             .iter()
-            .map(|a| {
-                ((a[0] - c[0]).powi(2) + (a[1] - c[1]).powi(2) + (a[2] - c[2]).powi(2)).sqrt()
-            })
+            .map(|a| ((a[0] - c[0]).powi(2) + (a[1] - c[1]).powi(2) + (a[2] - c[2]).powi(2)).sqrt())
             .collect();
         let mean = rs.iter().sum::<f32>() / n;
         let var = rs.iter().map(|r| (r - mean).powi(2)).sum::<f32>() / n;
-        Signature {
-            mean_r: mean,
-            std_r: var.sqrt(),
-            atoms: n,
-            foreign: foreign / n,
-        }
+        Signature { mean_r: mean, std_r: var.sqrt(), atoms: n, foreign: foreign / n }
     }
 
     /// Shape distance used for catalog matching.
@@ -409,10 +390,7 @@ impl DefectDetect {
     pub fn detect_in_chunk(&self, chunk: &Chunk, meter: &mut WorkMeter) -> Vec<Fragment> {
         let span = chunk.span.expect("lattice chunks carry spans");
         let vals = codec::decode_f32s(&chunk.payload);
-        let atoms: Vec<[f32; 4]> = vals
-            .chunks_exact(4)
-            .map(|a| [a[0], a[1], a[2], a[3]])
-            .collect();
+        let atoms: Vec<[f32; 4]> = vals.chunks_exact(4).map(|a| [a[0], a[1], a[2], a[3]]).collect();
         let l = LATTICE_XY as i32;
         let z_lo = span.begin as i64 - span.halo_before as i64;
         let z_hi = span.end as i64 + span.halo_after as i64;
@@ -514,8 +492,7 @@ impl DefectDetect {
             for j in (i + 1)..m {
                 let a = &atoms[abnormal[i] as usize];
                 let b = &atoms[abnormal[j] as usize];
-                let d2 =
-                    (a[0] - b[0]).powi(2) + (a[1] - b[1]).powi(2) + (a[2] - b[2]).powi(2);
+                let d2 = (a[0] - b[0]).powi(2) + (a[1] - b[1]).powi(2) + (a[2] - b[2]).powi(2);
                 if d2 < CLUSTER_CUTOFF * CLUSTER_CUTOFF {
                     let (ra, rb) = (find(&mut parent, i as u32), find(&mut parent, j as u32));
                     parent[ra as usize] = rb;
@@ -682,13 +659,13 @@ impl ReductionApp for DefectDetect {
                     let mut best: Option<(f32, Match)> = None;
                     for (ci, t) in catalog.iter().enumerate() {
                         let d = defect.signature.distance(t);
-                        if best.map_or(true, |(bd, _)| d < bd) {
+                        if best.is_none_or(|(bd, _)| d < bd) {
                             best = Some((d, Match::Catalog(ci as u32)));
                         }
                     }
                     for (ti, t) in o.new_templates.iter().enumerate() {
                         let d = defect.signature.distance(t);
-                        if best.map_or(true, |(bd, _)| d < bd) {
+                        if best.is_none_or(|(bd, _)| d < bd) {
                             best = Some((d, Match::Novel(ti as u32)));
                         }
                     }
@@ -768,14 +745,12 @@ impl ReductionApp for DefectDetect {
     fn state_size(&self, state: &DefectState) -> ObjSize {
         match state {
             DefectState::Detect => ObjSize { fixed: 8, data: 0 },
-            DefectState::Categorize { defects, catalog } => ObjSize {
-                fixed: 16 + catalog.len() as u64 * 16,
-                data: defects.len() as u64 * 32,
-            },
-            DefectState::Done { defects, catalog, .. } => ObjSize {
-                fixed: 16 + catalog.len() as u64 * 16,
-                data: defects.len() as u64 * 36,
-            },
+            DefectState::Categorize { defects, catalog } => {
+                ObjSize { fixed: 16 + catalog.len() as u64 * 16, data: defects.len() as u64 * 32 }
+            }
+            DefectState::Done { defects, catalog, .. } => {
+                ObjSize { fixed: 16 + catalog.len() as u64 * 16, data: defects.len() as u64 * 36 }
+            }
         }
     }
 
@@ -816,12 +791,7 @@ mod tests {
             let target = [p.site[0] as f32, p.site[1] as f32, p.site[2] as f32];
             let nearest = defects
                 .iter()
-                .map(|d| {
-                    (0..3)
-                        .map(|i| (d.centroid[i] - target[i]).powi(2))
-                        .sum::<f32>()
-                        .sqrt()
-                })
+                .map(|d| (0..3).map(|i| (d.centroid[i] - target[i]).powi(2)).sum::<f32>().sqrt())
                 .fold(f32::INFINITY, f32::min);
             assert!(nearest < 1.5, "planted {:?} at {:?} not located", p.kind, p.site);
         }
@@ -924,10 +894,7 @@ mod tests {
                 if i == j {
                     assert!(d < 1e-6);
                 } else {
-                    assert!(
-                        d > MATCH_THRESHOLD,
-                        "templates {i} and {j} too close: {d}"
-                    );
+                    assert!(d > MATCH_THRESHOLD, "templates {i} and {j} too close: {d}");
                 }
             }
         }

@@ -38,9 +38,8 @@ const VAR_FLOOR: f64 = 1e-3;
 pub fn generate(id: &str, nominal_mb: f64, scale: f64, seed: u64, k_true: usize) -> Dataset {
     let total = physical_elements(nominal_mb, scale, BYTES_PER_POINT);
     let mut rng = stream_rng(seed, "em-data");
-    let centers: Vec<[f32; DIM]> = (0..k_true)
-        .map(|_| std::array::from_fn(|_| rng.gen_range(10.0..90.0)))
-        .collect();
+    let centers: Vec<[f32; DIM]> =
+        (0..k_true).map(|_| std::array::from_fn(|_| rng.gen_range(10.0..90.0))).collect();
     let sigmas: Vec<f32> = (0..k_true).map(|_| rng.gen_range(1.5..4.0)).collect();
     let per_chunk = (CHUNK_BYTES as f64 * scale / BYTES_PER_POINT as f64).max(1.0) as u64;
     let mut builder = DatasetBuilder::new(id, "em-points", scale);
@@ -180,8 +179,7 @@ impl Em {
             .zip(state.vars.iter())
             .map(|(w, var)| {
                 let logdet: f64 = var.iter().map(|v| v.ln()).sum();
-                w.max(1e-300).ln()
-                    - 0.5 * (logdet + DIM as f64 * (2.0 * std::f64::consts::PI).ln())
+                w.max(1e-300).ln() - 0.5 * (logdet + DIM as f64 * (2.0 * std::f64::consts::PI).ln())
             })
             .collect()
     }
@@ -293,7 +291,8 @@ impl ReductionApp for Em {
                 let total: f64 = merged.n.iter().sum();
                 for c in 0..self.k {
                     if merged.n[c] > 1e-12 {
-                        next.new_means[c] = std::array::from_fn(|d| merged.sums[c][d] / merged.n[c]);
+                        next.new_means[c] =
+                            std::array::from_fn(|d| merged.sums[c][d] / merged.n[c]);
                     } else {
                         next.new_means[c] = state.means[c];
                     }
@@ -307,8 +306,9 @@ impl ReductionApp for Em {
             EmPhase::Maximization => {
                 for c in 0..self.k {
                     if state.n_k[c] > 1e-12 {
-                        next.vars[c] =
-                            std::array::from_fn(|d| (merged.sums[c][d] / state.n_k[c]).max(VAR_FLOOR));
+                        next.vars[c] = std::array::from_fn(|d| {
+                            (merged.sums[c][d] / state.n_k[c]).max(VAR_FLOOR)
+                        });
                     }
                 }
                 next.means = state.new_means.clone();
@@ -325,10 +325,7 @@ impl ReductionApp for Em {
     }
 
     fn state_size(&self, _: &EmState) -> ObjSize {
-        ObjSize {
-            fixed: (self.k * (8 * DIM * 2 + 16) + 32) as u64,
-            data: 0,
-        }
+        ObjSize { fixed: (self.k * (8 * DIM * 2 + 16) + 32) as u64, data: 0 }
     }
 
     fn caches(&self) -> bool {
@@ -400,10 +397,7 @@ mod tests {
     }
 
     fn all_points(ds: &Dataset) -> Vec<f32> {
-        ds.chunks
-            .iter()
-            .flat_map(|c| codec::decode_f32s(&c.payload))
-            .collect()
+        ds.chunks.iter().flat_map(|c| codec::decode_f32s(&c.payload)).collect()
     }
 
     #[test]
@@ -454,18 +448,12 @@ mod tests {
         let app = Em { k: 2, iterations: 25, seed: 5 };
         let run = Executor::new(deployment(1, 2)).run(&app, &ds);
         let mut rng = stream_rng(seed, "em-data");
-        let planted: Vec<[f32; DIM]> = (0..2)
-            .map(|_| std::array::from_fn(|_| rng.gen_range(10.0..90.0)))
-            .collect();
+        let planted: Vec<[f32; DIM]> =
+            (0..2).map(|_| std::array::from_fn(|_| rng.gen_range(10.0..90.0))).collect();
         for m in &run.final_state.means {
             let nearest = planted
                 .iter()
-                .map(|p| {
-                    (0..DIM)
-                        .map(|d| (m[d] - p[d] as f64).powi(2))
-                        .sum::<f64>()
-                        .sqrt()
-                })
+                .map(|p| (0..DIM).map(|d| (m[d] - p[d] as f64).powi(2)).sum::<f64>().sqrt())
                 .fold(f64::INFINITY, f64::min);
             assert!(nearest < 5.0, "fitted mean {:?} far from planted centers", m);
         }
@@ -492,9 +480,7 @@ mod tests {
         let wide = Executor::new(deployment(8, 16)).run(&app, &ds);
         for c in 0..app.k {
             for d in 0..DIM {
-                assert!(
-                    (base.final_state.means[c][d] - wide.final_state.means[c][d]).abs() < 1e-6
-                );
+                assert!((base.final_state.means[c][d] - wide.final_state.means[c][d]).abs() < 1e-6);
             }
         }
     }

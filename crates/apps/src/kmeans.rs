@@ -26,9 +26,8 @@ const CHUNK_BYTES: u64 = 2_000_000;
 pub fn generate(id: &str, nominal_mb: f64, scale: f64, seed: u64, k_true: usize) -> Dataset {
     let total = physical_elements(nominal_mb, scale, BYTES_PER_POINT);
     let mut rng = stream_rng(seed, "kmeans-data");
-    let centers: Vec<[f32; DIM]> = (0..k_true)
-        .map(|_| std::array::from_fn(|_| rng.gen_range(10.0..90.0)))
-        .collect();
+    let centers: Vec<[f32; DIM]> =
+        (0..k_true).map(|_| std::array::from_fn(|_| rng.gen_range(10.0..90.0))).collect();
     let per_chunk = (CHUNK_BYTES as f64 * scale / BYTES_PER_POINT as f64).max(1.0) as u64;
     let mut builder = DatasetBuilder::new(id, "kmeans-points", scale);
     for count in chunk_sizes(total, per_chunk, 16) {
@@ -43,8 +42,9 @@ pub fn generate(id: &str, nominal_mb: f64, scale: f64, seed: u64, k_true: usize)
                 for d in 0..DIM {
                     // Sum of three uniforms: cheap approximately-normal
                     // jitter with sigma ~= 2.9.
-                    let jitter: f32 =
-                        rng.gen_range(-5.0f32..5.0) + rng.gen_range(-5.0f32..5.0) + rng.gen_range(-5.0f32..5.0);
+                    let jitter: f32 = rng.gen_range(-5.0f32..5.0)
+                        + rng.gen_range(-5.0f32..5.0)
+                        + rng.gen_range(-5.0f32..5.0);
                     vals.push(c[d] + jitter * 0.58);
                 }
             }
@@ -90,10 +90,7 @@ impl ReductionObject for KMeansObj {
     }
 
     fn size(&self) -> ObjSize {
-        ObjSize {
-            fixed: (self.sums.len() * (DIM * 8 + 8) + 8) as u64,
-            data: 0,
-        }
+        ObjSize { fixed: (self.sums.len() * (DIM * 8 + 8) + 8) as u64, data: 0 }
     }
 }
 
@@ -138,11 +135,7 @@ impl ReductionApp for KMeans {
     }
 
     fn new_object(&self, _: &KMeansState) -> KMeansObj {
-        KMeansObj {
-            sums: vec![[0.0; DIM]; self.k],
-            counts: vec![0; self.k],
-            sse: 0.0,
-        }
+        KMeansObj { sums: vec![[0.0; DIM]; self.k], counts: vec![0; self.k], sse: 0.0 }
     }
 
     fn local_reduce(
@@ -198,11 +191,7 @@ impl ReductionApp for KMeans {
             })
             .collect();
         meter.fixed_flops((self.k * DIM) as u64);
-        let next = KMeansState {
-            centroids,
-            pass: state.pass + 1,
-            sse: merged.sse,
-        };
+        let next = KMeansState { centroids, pass: state.pass + 1, sse: merged.sse };
         if next.pass >= self.passes {
             PassOutcome::Finished(next)
         } else {
@@ -211,10 +200,7 @@ impl ReductionApp for KMeans {
     }
 
     fn state_size(&self, _: &KMeansState) -> ObjSize {
-        ObjSize {
-            fixed: (self.k * DIM * 4 + 16) as u64,
-            data: 0,
-        }
+        ObjSize { fixed: (self.k * DIM * 4 + 16) as u64, data: 0 }
     }
 
     fn caches(&self) -> bool {
@@ -277,10 +263,7 @@ mod tests {
     }
 
     fn all_points(ds: &Dataset) -> Vec<f32> {
-        ds.chunks
-            .iter()
-            .flat_map(|c| codec::decode_f32s(&c.payload))
-            .collect()
+        ds.chunks.iter().flat_map(|c| codec::decode_f32s(&c.payload)).collect()
     }
 
     #[test]
@@ -319,12 +302,7 @@ mod tests {
         let base = Executor::new(deployment(1, 1)).run(&app, &ds);
         for (n, c) in [(2, 2), (4, 8), (8, 16)] {
             let run = Executor::new(deployment(n, c)).run(&app, &ds);
-            for (a, b) in run
-                .final_state
-                .centroids
-                .iter()
-                .zip(base.final_state.centroids.iter())
-            {
+            for (a, b) in run.final_state.centroids.iter().zip(base.final_state.centroids.iter()) {
                 for d in 0..DIM {
                     assert!((a[d] - b[d]).abs() < 1e-2, "config {n}-{c}");
                 }
@@ -348,14 +326,11 @@ mod tests {
         // Every fitted centroid should sit near one of the planted blobs:
         // regenerate the centers the generator used.
         let mut rng = stream_rng(99, "kmeans-data");
-        let planted: Vec<[f32; DIM]> = (0..3)
-            .map(|_| std::array::from_fn(|_| rng.gen_range(10.0..90.0)))
-            .collect();
+        let planted: Vec<[f32; DIM]> =
+            (0..3).map(|_| std::array::from_fn(|_| rng.gen_range(10.0..90.0))).collect();
         for c in &run.final_state.centroids {
-            let nearest = planted
-                .iter()
-                .map(|p| dist_sq(c, p).sqrt())
-                .fold(f32::INFINITY, f32::min);
+            let nearest =
+                planted.iter().map(|p| dist_sq(c, p).sqrt()).fold(f32::INFINITY, f32::min);
             assert!(nearest < 12.0, "centroid {:?} far from any planted center", c);
         }
     }

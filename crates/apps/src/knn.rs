@@ -30,9 +30,8 @@ pub const NUM_CLASSES: usize = 4;
 pub fn generate(id: &str, nominal_mb: f64, scale: f64, seed: u64) -> Dataset {
     let total = physical_elements(nominal_mb, scale, BYTES_PER_POINT);
     let mut rng = stream_rng(seed, "knn-data");
-    let centers: Vec<[f32; DIM]> = (0..NUM_CLASSES)
-        .map(|_| std::array::from_fn(|_| rng.gen_range(15.0..85.0)))
-        .collect();
+    let centers: Vec<[f32; DIM]> =
+        (0..NUM_CLASSES).map(|_| std::array::from_fn(|_| rng.gen_range(15.0..85.0))).collect();
     let per_chunk = (CHUNK_BYTES as f64 * scale / BYTES_PER_POINT as f64).max(1.0) as u64;
     let mut builder = DatasetBuilder::new(id, "knn-points", scale);
     for count in chunk_sizes(total, per_chunk, 16) {
@@ -81,9 +80,7 @@ impl BestList {
                 return;
             }
         }
-        let pos = self
-            .items
-            .partition_point(|x| (x.dist_sq, x.label) < (n.dist_sq, n.label));
+        let pos = self.items.partition_point(|x| (x.dist_sq, x.label) < (n.dist_sq, n.label));
         self.items.insert(pos, n);
         self.items.truncate(self.k);
     }
@@ -109,10 +106,7 @@ impl ReductionObject for KnnObj {
     }
 
     fn size(&self) -> ObjSize {
-        ObjSize {
-            fixed: self.lists.iter().map(|l| (l.k * 8 + 8) as u64).sum(),
-            data: 0,
-        }
+        ObjSize { fixed: self.lists.iter().map(|l| (l.k * 8 + 8) as u64).sum(), data: 0 }
     }
 }
 
@@ -132,9 +126,7 @@ impl Knn {
         let mut rng = stream_rng(seed, "knn-queries");
         Knn {
             k: 16,
-            queries: (0..64)
-                .map(|_| std::array::from_fn(|_| rng.gen_range(10.0..90.0)))
-                .collect(),
+            queries: (0..64).map(|_| std::array::from_fn(|_| rng.gen_range(10.0..90.0))).collect(),
         }
     }
 }
@@ -166,9 +158,7 @@ impl ReductionApp for Knn {
     }
 
     fn new_object(&self, _: &KnnState) -> KnnObj {
-        KnnObj {
-            lists: (0..self.queries.len()).map(|_| BestList::new(self.k)).collect(),
-        }
+        KnnObj { lists: (0..self.queries.len()).map(|_| BestList::new(self.k)).collect() }
     }
 
     fn local_reduce(&self, _: &KnnState, chunk: &Chunk, obj: &mut KnnObj, meter: &mut WorkMeter) {
@@ -218,10 +208,7 @@ impl ReductionApp for Knn {
     }
 
     fn state_size(&self, _: &KnnState) -> ObjSize {
-        ObjSize {
-            fixed: (self.queries.len() * 4) as u64,
-            data: 0,
-        }
+        ObjSize { fixed: (self.queries.len() * 4) as u64, data: 0 }
     }
 
     fn caches(&self) -> bool {
@@ -236,10 +223,7 @@ pub fn reference_knn(samples: &[f32], queries: &[[f32; DIM]], k: usize) -> Vec<V
         .map(|q| {
             let mut all: Vec<Neighbor> = samples
                 .chunks_exact(DIM + 1)
-                .map(|s| Neighbor {
-                    dist_sq: dist_sq(&s[..DIM], q),
-                    label: s[DIM] as u32,
-                })
+                .map(|s| Neighbor { dist_sq: dist_sq(&s[..DIM], q), label: s[DIM] as u32 })
                 .collect();
             all.sort_by(|a, b| (a.dist_sq, a.label).partial_cmp(&(b.dist_sq, b.label)).unwrap());
             all.truncate(k);
@@ -264,10 +248,7 @@ mod tests {
     }
 
     fn all_samples(ds: &Dataset) -> Vec<f32> {
-        ds.chunks
-            .iter()
-            .flat_map(|c| codec::decode_f32s(&c.payload))
-            .collect()
+        ds.chunks.iter().flat_map(|c| codec::decode_f32s(&c.payload)).collect()
     }
 
     #[test]
@@ -309,9 +290,8 @@ mod tests {
         let ds = generate("knn-acc", 2.0, 0.01, seed);
         // Build queries exactly at the planted centers.
         let mut rng = stream_rng(seed, "knn-data");
-        let centers: Vec<[f32; DIM]> = (0..NUM_CLASSES)
-            .map(|_| std::array::from_fn(|_| rng.gen_range(15.0..85.0)))
-            .collect();
+        let centers: Vec<[f32; DIM]> =
+            (0..NUM_CLASSES).map(|_| std::array::from_fn(|_| rng.gen_range(15.0..85.0))).collect();
         let app = Knn { k: 9, queries: centers.clone() };
         let run = Executor::new(deployment(1, 2)).run(&app, &ds);
         match run.final_state {
@@ -336,9 +316,8 @@ mod tests {
 
     #[test]
     fn best_list_merge_is_order_independent() {
-        let ns: Vec<Neighbor> = (0..20)
-            .map(|i| Neighbor { dist_sq: ((i * 7) % 13) as f32, label: i })
-            .collect();
+        let ns: Vec<Neighbor> =
+            (0..20).map(|i| Neighbor { dist_sq: ((i * 7) % 13) as f32, label: i }).collect();
         let build = |order: &[usize]| {
             let mut l = BestList::new(5);
             for &i in order {

@@ -22,6 +22,9 @@
 //! configuration.
 
 #![warn(missing_docs)]
+// The kernels walk several fixed-DIM arrays in lockstep; plain index
+// loops keep that math readable where zipped iterators would not.
+#![allow(clippy::needless_range_loop)]
 
 pub mod ann;
 pub mod apriori;

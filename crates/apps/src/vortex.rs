@@ -51,8 +51,7 @@ pub struct PlantedVortex {
 /// Generate a vector field with planted vortices. Returns the dataset and
 /// the ground truth.
 pub fn generate(id: &str, nominal_mb: f64, scale: f64, seed: u64) -> (Dataset, Vec<PlantedVortex>) {
-    let total_cells =
-        crate::common::physical_elements(nominal_mb, scale, BYTES_PER_CELL) as usize;
+    let total_cells = crate::common::physical_elements(nominal_mb, scale, BYTES_PER_CELL) as usize;
     // Round the height so the chunk count is a multiple of 16: per-node
     // chunk counts then divide evenly on every paper configuration (see
     // `common::chunk_sizes` for why this matters for balance).
@@ -214,10 +213,7 @@ pub struct VortexDetect {
 
 impl Default for VortexDetect {
     fn default() -> Self {
-        VortexDetect {
-            threshold: VORTICITY_THRESHOLD,
-            min_cells: MIN_REGION_CELLS,
-        }
+        VortexDetect { threshold: VORTICITY_THRESHOLD, min_cells: MIN_REGION_CELLS }
     }
 }
 
@@ -400,7 +396,8 @@ impl VortexDetect {
                 v
             })
             .collect();
-        let sort_ops = (out.len() as u64 + 1) * (64 - (out.len() as u64 + 1).leading_zeros() as u64);
+        let sort_ops =
+            (out.len() as u64 + 1) * (64 - (out.len() as u64 + 1).leading_zeros() as u64);
         meter.data_cmp(sort_ops * 4);
         out.sort_by(|a, b| b.strength.total_cmp(&a.strength));
         out
@@ -507,12 +504,7 @@ pub fn reference_detect(dataset: &Dataset, app: &VortexDetect) -> Vec<Vortex> {
         payload: codec::encode_f32s(&field),
         elements: (height * WIDTH) as u64,
         logical_bytes: 0,
-        span: Some(Span {
-            begin: 0,
-            end: height as u64,
-            halo_before: 0,
-            halo_after: 0,
-        }),
+        span: Some(Span { begin: 0, end: height as u64, halo_before: 0, halo_after: 0 }),
     };
     let mut meter = WorkMeter::new();
     let regions = app.detect_in_chunk(&chunk, &mut meter);

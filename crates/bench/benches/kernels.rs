@@ -16,10 +16,8 @@ fn bench_kernels(c: &mut Criterion) {
             b.iter(|| {
                 // Full single-node execution: local reduction over all
                 // chunks plus the (trivial at c=1) global phase.
-                let report = app.execute(
-                    fg_bench::pentium_deployment(1, 1, 40e6),
-                    black_box(&dataset),
-                );
+                let report =
+                    app.execute(fg_bench::pentium_deployment(1, 1, 40e6), black_box(&dataset));
                 black_box(report.total())
             })
         });

@@ -37,12 +37,8 @@ fn bench_predict(c: &mut Criterion) {
         interconnect: InterconnectParams { bandwidth: 100e6, latency: 0.015 },
         model: ComputeModel::GlobalReduction,
     };
-    let target = Target {
-        data_nodes: 8,
-        compute_nodes: 16,
-        wan_bw: 40e6,
-        dataset_bytes: 2_800_000_000,
-    };
+    let target =
+        Target { data_nodes: 8, compute_nodes: 16, wan_bw: 40e6, dataset_bytes: 2_800_000_000 };
     c.bench_function("predict-single", |b| {
         b.iter(|| black_box(predictor.predict(black_box(&target))))
     });
@@ -77,8 +73,7 @@ fn bench_selection(c: &mut Criterion) {
             })
             .collect();
         let compute = vec![ComputeSite::pentium_myrinet("cs", 16)];
-        let deployments =
-            Deployment::enumerate(&sites, &compute, &Configuration::paper_grid());
+        let deployments = Deployment::enumerate(&sites, &compute, &Configuration::paper_grid());
         group.bench_with_input(
             BenchmarkId::new("rank", deployments.len()),
             &deployments,

@@ -2,7 +2,9 @@
 //! servers, and max-min fair-share scheduling.
 
 use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
-use fg_sim::{EventQueue, FairShareSim, FifoServer, Flow, ResourceId, ServerPool, SimDuration, SimTime};
+use fg_sim::{
+    EventQueue, FairShareSim, FifoServer, Flow, ResourceId, ServerPool, SimDuration, SimTime,
+};
 use std::hint::black_box;
 
 fn bench_event_queue(c: &mut Criterion) {

@@ -6,8 +6,9 @@
 
 use fg_chunks::Dataset;
 use fg_cluster::Deployment;
-use fg_middleware::{ExecutionReport, Executor};
+use fg_middleware::{ExecutionReport, Executor, FaultOptions};
 use fg_predict::AppClasses;
+use fg_sim::FaultSchedule;
 
 /// The applications of the paper's evaluation (plus apriori, the
 /// extension).
@@ -34,13 +35,8 @@ const APRIORI_PATTERNS: [[u32; 3]; 2] = [[2, 17, 40], [5, 23, 51]];
 
 impl PaperApp {
     /// The five applications evaluated in the paper, in figure order.
-    pub const PAPER_FIVE: [PaperApp; 5] = [
-        PaperApp::KMeans,
-        PaperApp::Vortex,
-        PaperApp::Defect,
-        PaperApp::Em,
-        PaperApp::Knn,
-    ];
+    pub const PAPER_FIVE: [PaperApp; 5] =
+        [PaperApp::KMeans, PaperApp::Vortex, PaperApp::Defect, PaperApp::Em, PaperApp::Knn];
 
     /// Application name (matches `ReductionApp::name`).
     pub fn name(&self) -> &'static str {
@@ -107,6 +103,74 @@ impl PaperApp {
             PaperApp::Ann => exec.run(&fg_apps::ann::AnnTrain::paper(7), dataset).report,
         }
     }
+
+    /// Execute under an injected fault `schedule` (recovery tuned by
+    /// `options`), returning the measured report. Same applications and
+    /// fixed parameters as [`PaperApp::execute`], so an empty schedule
+    /// reproduces it bit for bit.
+    pub fn execute_with_faults(
+        &self,
+        deployment: Deployment,
+        dataset: &Dataset,
+        schedule: &FaultSchedule,
+        options: &FaultOptions,
+    ) -> ExecutionReport {
+        let exec = Executor::new(deployment);
+        match self {
+            PaperApp::KMeans => {
+                exec.run_with_faults(
+                    &fg_apps::kmeans::KMeans::paper(7),
+                    dataset,
+                    schedule,
+                    options,
+                    None,
+                )
+                .report
+            }
+            PaperApp::Em => {
+                exec.run_with_faults(&fg_apps::em::Em::paper(7), dataset, schedule, options, None)
+                    .report
+            }
+            PaperApp::Knn => {
+                exec.run_with_faults(&fg_apps::knn::Knn::paper(7), dataset, schedule, options, None)
+                    .report
+            }
+            PaperApp::Vortex => {
+                exec.run_with_faults(
+                    &fg_apps::vortex::VortexDetect::default(),
+                    dataset,
+                    schedule,
+                    options,
+                    None,
+                )
+                .report
+            }
+            PaperApp::Defect => {
+                let app = fg_apps::defect::DefectDetect::for_dataset(dataset);
+                exec.run_with_faults(&app, dataset, schedule, options, None).report
+            }
+            PaperApp::Apriori => {
+                exec.run_with_faults(
+                    &fg_apps::apriori::Apriori::standard(),
+                    dataset,
+                    schedule,
+                    options,
+                    None,
+                )
+                .report
+            }
+            PaperApp::Ann => {
+                exec.run_with_faults(
+                    &fg_apps::ann::AnnTrain::paper(7),
+                    dataset,
+                    schedule,
+                    options,
+                    None,
+                )
+                .report
+            }
+        }
+    }
 }
 
 #[cfg(test)]
@@ -116,10 +180,7 @@ mod tests {
 
     #[test]
     fn names_roundtrip() {
-        for app in PaperApp::PAPER_FIVE
-            .iter()
-            .chain([PaperApp::Apriori, PaperApp::Ann].iter())
-        {
+        for app in PaperApp::PAPER_FIVE.iter().chain([PaperApp::Apriori, PaperApp::Ann].iter()) {
             assert_eq!(PaperApp::parse(app.name()), Some(*app));
         }
         assert_eq!(PaperApp::parse("nope"), None);

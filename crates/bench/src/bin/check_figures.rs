@@ -71,7 +71,11 @@ fn main() -> ExitCode {
         let nc = mean(&fig, "no communication");
         let rc = mean(&fig, "reduction communication");
         let gr = mean(&fig, "global reduction");
-        ck.claim(id, "mean error: global <= reduction-comm <= no-comm", gr <= rc * 1.05 && rc <= nc * 1.05);
+        ck.claim(
+            id,
+            "mean error: global <= reduction-comm <= no-comm",
+            gr <= rc * 1.05 && rc <= nc * 1.05,
+        );
         let worst_nc = fig
             .rows
             .iter()
@@ -127,8 +131,16 @@ fn main() -> ExitCode {
             sc.iter().copied().fold(f64::INFINITY, f64::min),
             sc.iter().copied().fold(0.0f64, f64::max),
         );
-        ck.claim("sc-table", "kNN is the most cmp-bound (smallest s_c)", at(&fig, "knn", "s_c") <= lo + 1e-12);
-        ck.claim("sc-table", "vortex is the most flop/mem-bound (largest s_c)", at(&fig, "vortex", "s_c") >= hi - 1e-12);
+        ck.claim(
+            "sc-table",
+            "kNN is the most cmp-bound (smallest s_c)",
+            at(&fig, "knn", "s_c") <= lo + 1e-12,
+        );
+        ck.claim(
+            "sc-table",
+            "vortex is the most flop/mem-bound (largest s_c)",
+            at(&fig, "vortex", "s_c") >= hi - 1e-12,
+        );
         ck.claim("sc-table", "factors vary considerably (spread > 0.1)", hi - lo > 0.10);
     }
 
@@ -136,7 +148,11 @@ fn main() -> ExitCode {
     if let Some(fig) = ck.load("ablate-robj") {
         let correct = at(&fig, "8-16", "linear (correct)");
         let wrong = at(&fig, "8-16", "constant (wrong)");
-        ck.claim("ablate-robj", "wrong object class inflates T_ro error >10x", wrong > correct.max(0.005) * 10.0);
+        ck.claim(
+            "ablate-robj",
+            "wrong object class inflates T_ro error >10x",
+            wrong > correct.max(0.005) * 10.0,
+        );
     }
     if let Some(fig) = ck.load("ablate-tg") {
         let correct = at(&fig, "8-16", "constant-linear (correct)");
@@ -162,10 +178,29 @@ fn main() -> ExitCode {
     }
     if let Some(fig) = ck.load("ext-pipeline") {
         let ratios = fig.column_values("pipelined / phased");
+        ck.claim("ext-pipeline", "overlap always saves", ratios.iter().all(|&r| r < 1.0));
+    }
+
+    if let Some(fig) = ck.load("ext-faults") {
         ck.claim(
-            "ext-pipeline",
-            "overlap always saves",
-            ratios.iter().all(|&r| r < 1.0),
+            "ext-faults",
+            "fault-free model error under 1%",
+            at(&fig, "fault-free", "model error") < 0.01,
+        );
+        // The fault-free prediction misses the measured time by almost
+        // exactly the recovery share: the residual on the non-recovery
+        // components stays small.
+        let errs = fig.column_values("model error");
+        let shares = fig.column_values("recovery share");
+        ck.claim(
+            "ext-faults",
+            "model error under faults tracks the recovery share (within 10 points)",
+            errs.iter().zip(&shares).skip(1).all(|(e, s)| (e - s).abs() < 0.10),
+        );
+        ck.claim(
+            "ext-faults",
+            "every fault schedule costs time",
+            fig.column_values("overhead vs fault-free").iter().skip(1).all(|&o| o > 0.0),
         );
     }
 

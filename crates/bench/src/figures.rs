@@ -12,10 +12,12 @@ use crate::scenario::{
 };
 use crate::table::Figure;
 use fg_cluster::Configuration;
+use fg_middleware::FaultOptions;
 use fg_predict::{
-    relative_error, ComputeModel, GlobalReduceClass, InterconnectParams, Profile,
-    RObjSizeClass, ScalingFactors, Target,
+    relative_error, ComputeModel, GlobalReduceClass, InterconnectParams, Profile, RObjSizeClass,
+    ScalingFactors, Target,
 };
+use fg_sim::FaultSchedule;
 use rayon::prelude::*;
 
 /// Figures 2–6: prediction errors of the three compute models over the
@@ -23,13 +25,8 @@ use rayon::prelude::*;
 pub fn model_error_figure(id: &str, app: PaperApp, nominal_mb: f64) -> Figure {
     let dataset = app.generate(&format!("{id}-data"), nominal_mb, FIGURE_SCALE, 42);
     let profile = collect_profile(app, pentium_deployment(1, 1, DEFAULT_WAN_BW), &dataset);
-    let comparisons = sweep_configurations(
-        app,
-        &dataset,
-        &profile,
-        &Configuration::paper_grid(),
-        DEFAULT_WAN_BW,
-    );
+    let comparisons =
+        sweep_configurations(app, &dataset, &profile, &Configuration::paper_grid(), DEFAULT_WAN_BW);
     Figure {
         id: id.into(),
         title: format!(
@@ -38,10 +35,7 @@ pub fn model_error_figure(id: &str, app: PaperApp, nominal_mb: f64) -> Figure {
             nominal_mb
         ),
         columns: ComputeModel::ALL.iter().map(|m| m.label().to_string()).collect(),
-        rows: comparisons
-            .iter()
-            .map(|c| (c.config.label(), c.errors().to_vec()))
-            .collect(),
+        rows: comparisons.iter().map(|c| (c.config.label(), c.errors().to_vec())).collect(),
         notes: vec![format!(
             "profile: t_d={:.1}s t_n={:.1}s t_c={:.1}s (t_ro={:.2}s t_g={:.2}s), {} passes",
             profile.t_disk,
@@ -63,13 +57,7 @@ fn node_grid(errors: impl Fn(Configuration) -> f64 + Sync) -> Vec<(String, Vec<f
         .map(|&n| {
             let row: Vec<f64> = compute_counts
                 .par_iter()
-                .map(|&c| {
-                    if c < n {
-                        f64::NAN
-                    } else {
-                        errors(Configuration::new(n, c))
-                    }
-                })
+                .map(|&c| if c < n { f64::NAN } else { errors(Configuration::new(n, c)) })
                 .collect();
             (format!("{n} data nodes"), row)
         })
@@ -81,22 +69,14 @@ const COMPUTE_COLUMNS: [&str; 5] = ["1 cn", "2 cn", "4 cn", "8 cn", "16 cn"];
 /// Figures 7–8: dataset-size scaling. Profile at 1-1 on a small dataset;
 /// predict a larger dataset on every configuration with the global
 /// reduction model.
-pub fn dataset_scaling_figure(
-    id: &str,
-    app: PaperApp,
-    profile_mb: f64,
-    target_mb: f64,
-) -> Figure {
+pub fn dataset_scaling_figure(id: &str, app: PaperApp, profile_mb: f64, target_mb: f64) -> Figure {
     let small = app.generate(&format!("{id}-small"), profile_mb, FIGURE_SCALE, 42);
     let large = app.generate(&format!("{id}-large"), target_mb, FIGURE_SCALE, 43);
     let profile = collect_profile(app, pentium_deployment(1, 1, DEFAULT_WAN_BW), &small);
     let site = pentium_deployment(1, 1, DEFAULT_WAN_BW).compute;
     let rows = node_grid(|cfg| {
         let actual = app
-            .execute(
-                pentium_deployment(cfg.data_nodes, cfg.compute_nodes, DEFAULT_WAN_BW),
-                &large,
-            )
+            .execute(pentium_deployment(cfg.data_nodes, cfg.compute_nodes, DEFAULT_WAN_BW), &large)
             .total()
             .as_secs_f64();
         let target = Target {
@@ -139,10 +119,7 @@ pub fn bandwidth_figure(
     let site = pentium_deployment(1, 1, b_profile).compute;
     let rows = node_grid(|cfg| {
         let actual = app
-            .execute(
-                pentium_deployment(cfg.data_nodes, cfg.compute_nodes, b_target),
-                &dataset,
-            )
+            .execute(pentium_deployment(cfg.data_nodes, cfg.compute_nodes, b_target), &dataset)
             .total()
             .as_secs_f64();
         let target = Target {
@@ -270,8 +247,7 @@ pub fn sc_table() -> Figure {
     let avg_c = rows.iter().map(|(_, v)| v[2]).sum::<f64>() / rows.len() as f64;
     Figure {
         id: "sc-table".into(),
-        title: "Component scaling factors Pentium -> Opteron per application (4-4, 130 MB)"
-            .into(),
+        title: "Component scaling factors Pentium -> Opteron per application (4-4, 130 MB)".into(),
         columns: vec!["s_d".into(), "s_n".into(), "s_c".into()],
         rows,
         notes: vec![format!("mean compute factor s_c = {avg_c:.3}")],
@@ -353,16 +329,14 @@ pub fn ablate_tg_class() -> Figure {
                 wan_bw: DEFAULT_WAN_BW,
                 dataset_bytes: large.logical_bytes(),
             };
-            let errs: Vec<f64> = [
-                GlobalReduceClass::ConstantLinear,
-                GlobalReduceClass::LinearConstant,
-            ]
-            .iter()
-            .map(|&global| {
-                let predicted = fg_predict::model::predict_t_g(&profile, &target, global);
-                relative_error(actual_t_g, predicted)
-            })
-            .collect();
+            let errs: Vec<f64> =
+                [GlobalReduceClass::ConstantLinear, GlobalReduceClass::LinearConstant]
+                    .iter()
+                    .map(|&global| {
+                        let predicted = fg_predict::model::predict_t_g(&profile, &target, global);
+                        relative_error(actual_t_g, predicted)
+                    })
+                    .collect();
             (cfg.label(), errs)
         })
         .collect();
@@ -406,8 +380,7 @@ pub fn ablate_disk_cap() -> Figure {
                         wan_bw: DEFAULT_WAN_BW,
                         dataset_bytes: dataset.logical_bytes(),
                     };
-                    let predicted =
-                        predict_all_models(&profile, app, &site, &target)[2].total();
+                    let predicted = predict_all_models(&profile, app, &site, &target)[2].total();
                     relative_error(actual, predicted)
                 })
                 .collect();
@@ -441,11 +414,8 @@ pub fn ext_cache_plans() -> Figure {
         interconnect: InterconnectParams::of_site(&profile_dep.compute),
         model: ComputeModel::GlobalReduction,
     };
-    let cache_site = CacheSite::new(
-        RepositorySite::pentium_repository("nearby", 8),
-        4,
-        Wan::per_stream(60e6),
-    );
+    let cache_site =
+        CacheSite::new(RepositorySite::pentium_repository("nearby", 8), 4, Wan::per_stream(60e6));
     let variants: Vec<(&str, u64, Option<CacheSite>)> = vec![
         ("local cache", u64::MAX, None),
         ("non-local cache", 1, Some(cache_site)),
@@ -468,10 +438,8 @@ pub fn ext_cache_plans() -> Figure {
             let plan = CachePlan::for_deployment(&dep, dataset.logical_bytes(), profile.passes);
             let predicted =
                 predict_with_plan(&predictor, &target, &plan, dep.compute.machine.disk_bw);
-            notes.push(format!(
-                "{label}: actual {actual:.1}s, predicted {:.1}s",
-                predicted.total()
-            ));
+            notes
+                .push(format!("{label}: actual {actual:.1}s, predicted {:.1}s", predicted.total()));
             (label.to_string(), vec![relative_error(actual, predicted.total())])
         })
         .collect();
@@ -518,8 +486,7 @@ pub fn ablate_granularity() -> Figure {
                         wan_bw: DEFAULT_WAN_BW,
                         dataset_bytes: ds.logical_bytes(),
                     };
-                    let predicted =
-                        predict_all_models(&profile, app, &site, &target)[2].total();
+                    let predicted = predict_all_models(&profile, app, &site, &target)[2].total();
                     relative_error(actual, predicted)
                 })
                 .collect();
@@ -566,10 +533,7 @@ pub fn ext_pipeline() -> Figure {
                 dataset_bytes: dataset.logical_bytes(),
             };
             let predicted = predict_all_models(&profile, app, &site, &target)[2].total();
-            (
-                cfg.label(),
-                vec![piped / phased, relative_error(piped, predicted)],
-            )
+            (cfg.label(), vec![piped / phased, relative_error(piped, predicted)])
         })
         .collect();
     Figure {
@@ -581,6 +545,84 @@ pub fn ext_pipeline() -> Figure {
             "the additive model is exact for the phased runtime; its error vs the              pipelined runtime is the cost of the phase-structure assumption"
                 .into(),
         ],
+    }
+}
+
+/// Extension: prediction error and recovery overhead under fault
+/// injection.
+///
+/// The paper's model predicts fault-free executions. This experiment
+/// measures how far reality drifts from that prediction when faults are
+/// injected: profile at 1-1, predict the 4-8 configuration with the
+/// global-reduction model, then run 4-8 under seeded random fault
+/// schedules (data-node crashes, WAN degradation windows, stragglers)
+/// and report, per schedule, the measured total, the model's relative
+/// error against it, and the recovery-time overhead. The fault-free row
+/// is the control: its error is the model's intrinsic error, and the
+/// gap between the rows is what fault-aware prediction would need to
+/// close.
+pub fn ext_faults() -> Figure {
+    let app = PaperApp::KMeans;
+    let (n, c) = (4usize, 8usize);
+    let dataset = app.generate("ext-faults-data", 130.0, FIGURE_SCALE, 42);
+    let profile = collect_profile(app, pentium_deployment(1, 1, DEFAULT_WAN_BW), &dataset);
+    let deployment = pentium_deployment(n, c, DEFAULT_WAN_BW);
+    let site = deployment.compute.clone();
+    let target = Target {
+        data_nodes: n,
+        compute_nodes: c,
+        wan_bw: DEFAULT_WAN_BW,
+        dataset_bytes: dataset.logical_bytes(),
+    };
+    // ComputeModel::ALL order; [2] is the global-reduction model, the
+    // paper's most faithful one.
+    let predicted = predict_all_models(&profile, app, &site, &target)[2].total();
+    let options = FaultOptions::default();
+
+    let baseline = app.execute(deployment.clone(), &dataset);
+    let horizon = baseline.total();
+    let fault_free_total = baseline.total().as_secs_f64();
+    let mut rows: Vec<(String, Vec<f64>)> = Vec::new();
+    let mut notes: Vec<String> = Vec::new();
+    rows.push(("fault-free".into(), vec![relative_error(fault_free_total, predicted), 0.0, 0.0]));
+    notes.push(format!(
+        "fault-free: measured {fault_free_total:.2}s, predicted {predicted:.2}s \
+         (global-reduction model)"
+    ));
+    for seed in 1..=6u64 {
+        let schedule = FaultSchedule::random(seed, n, c, horizon);
+        let report = app.execute_with_faults(deployment.clone(), &dataset, &schedule, &options);
+        let total = report.total().as_secs_f64();
+        let recovery = report.t_recovery().as_secs_f64();
+        rows.push((
+            format!("fault seed {seed}"),
+            vec![
+                relative_error(total, predicted),
+                recovery / total,
+                total / fault_free_total - 1.0,
+            ],
+        ));
+        notes.push(format!(
+            "seed {seed}: measured {total:.2}s ({recovery:.2}s recovery), \
+             {} crash(es), {} degradation window(s), {} straggler(s)",
+            schedule.crashes.len(),
+            schedule.degradations.len(),
+            schedule.stragglers.len(),
+        ));
+    }
+    Figure {
+        id: "ext-faults".into(),
+        title: format!(
+            "Fault injection: prediction error and recovery overhead, {} on {n}-{c}",
+            app.name()
+        ),
+        columns: vec![
+            "model error".into(),
+            "recovery share".into(),
+            "overhead vs fault-free".into(),
+        ],
+        rows,
+        notes,
     }
 }
 
@@ -664,5 +706,6 @@ pub fn registry() -> Vec<(&'static str, fn() -> Figure)> {
         ("ablate-granularity", ablate_granularity),
         ("ext-cache", ext_cache_plans),
         ("ext-pipeline", ext_pipeline),
+        ("ext-faults", ext_faults),
     ]
 }

@@ -108,8 +108,7 @@ pub fn sweep_configurations(
                 wan_bw,
                 dataset_bytes: dataset.logical_bytes(),
             };
-            let predicted =
-                predict_all_models(profile, app, &site, &target).map(|p| p.total());
+            let predicted = predict_all_models(profile, app, &site, &target).map(|p| p.total());
             Comparison { config: *cfg, actual, predicted }
         })
         .collect()

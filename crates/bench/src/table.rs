@@ -26,13 +26,7 @@ impl Figure {
     pub fn render(&self) -> String {
         let mut out = String::new();
         let _ = writeln!(out, "== {} — {}", self.id, self.title);
-        let label_w = self
-            .rows
-            .iter()
-            .map(|(l, _)| l.len())
-            .chain([9])
-            .max()
-            .unwrap();
+        let label_w = self.rows.iter().map(|(l, _)| l.len()).chain([9]).max().unwrap();
         let col_w = self.columns.iter().map(|c| c.len()).chain([8]).max().unwrap();
         let _ = write!(out, "{:label_w$}", "");
         for c in &self.columns {
@@ -105,35 +99,26 @@ impl Figure {
             .iter()
             .position(|c| c == column)
             .unwrap_or_else(|| panic!("no column {column:?} in figure {}", self.id));
-        self.rows
-            .iter()
-            .map(|(_, vs)| vs[idx])
-            .filter(|v| v.is_finite())
-            .collect()
+        self.rows.iter().map(|(_, vs)| vs[idx]).filter(|v| v.is_finite()).collect()
     }
 }
 
 /// JSON has no NaN; not-applicable cells round-trip as `null`.
 mod nan_as_null {
-    use serde::{Deserialize, Deserializer, Serialize, Serializer};
+    use serde::{Deserialize, Error, Serialize, Value};
 
-    pub fn serialize<S: Serializer>(
-        rows: &[(String, Vec<f64>)],
-        ser: S,
-    ) -> Result<S::Ok, S::Error> {
+    pub fn to_value(rows: &Vec<(String, Vec<f64>)>) -> Value {
         let mapped: Vec<(&String, Vec<Option<f64>>)> = rows
             .iter()
             .map(|(l, vs)| {
                 (l, vs.iter().map(|v| if v.is_nan() { None } else { Some(*v) }).collect())
             })
             .collect();
-        mapped.serialize(ser)
+        mapped.to_value()
     }
 
-    pub fn deserialize<'de, D: Deserializer<'de>>(
-        de: D,
-    ) -> Result<Vec<(String, Vec<f64>)>, D::Error> {
-        let mapped: Vec<(String, Vec<Option<f64>>)> = Vec::deserialize(de)?;
+    pub fn from_value(value: &Value) -> Result<Vec<(String, Vec<f64>)>, Error> {
+        let mapped: Vec<(String, Vec<Option<f64>>)> = Deserialize::from_value(value)?;
         Ok(mapped
             .into_iter()
             .map(|(l, vs)| (l, vs.into_iter().map(|v| v.unwrap_or(f64::NAN)).collect()))
@@ -150,10 +135,7 @@ mod tests {
             id: "t".into(),
             title: "test".into(),
             columns: vec!["a".into(), "b".into()],
-            rows: vec![
-                ("r1".into(), vec![0.05, 0.10]),
-                ("r2".into(), vec![0.01, f64::NAN]),
-            ],
+            rows: vec![("r1".into(), vec![0.05, 0.10]), ("r2".into(), vec![0.01, f64::NAN])],
             notes: vec!["hello".into()],
         }
     }

@@ -21,14 +21,11 @@ pub fn encode_f32s(values: &[f32]) -> Bytes {
 /// I/O condition).
 pub fn decode_f32s(payload: &Bytes) -> Vec<f32> {
     assert!(
-        payload.len() % 4 == 0,
+        payload.len().is_multiple_of(4),
         "f32 payload length {} not a multiple of 4",
         payload.len()
     );
-    payload
-        .chunks_exact(4)
-        .map(|b| f32::from_le_bytes([b[0], b[1], b[2], b[3]]))
-        .collect()
+    payload.chunks_exact(4).map(|b| f32::from_le_bytes([b[0], b[1], b[2], b[3]])).collect()
 }
 
 /// Encode a slice of `u32` values, little-endian.
@@ -43,14 +40,11 @@ pub fn encode_u32s(values: &[u32]) -> Bytes {
 /// Decode a payload produced by [`encode_u32s`].
 pub fn decode_u32s(payload: &Bytes) -> Vec<u32> {
     assert!(
-        payload.len() % 4 == 0,
+        payload.len().is_multiple_of(4),
         "u32 payload length {} not a multiple of 4",
         payload.len()
     );
-    payload
-        .chunks_exact(4)
-        .map(|b| u32::from_le_bytes([b[0], b[1], b[2], b[3]]))
-        .collect()
+    payload.chunks_exact(4).map(|b| u32::from_le_bytes([b[0], b[1], b[2], b[3]])).collect()
 }
 
 #[cfg(test)]

@@ -102,16 +102,8 @@ impl DatasetBuilder {
     /// Start a dataset with the given identifier, kind, and scale
     /// (`0 < scale <= 1`).
     pub fn new(id: &str, kind: &str, scale: f64) -> DatasetBuilder {
-        assert!(
-            scale > 0.0 && scale <= 1.0,
-            "dataset scale must be in (0, 1], got {scale}"
-        );
-        DatasetBuilder {
-            id: id.into(),
-            kind: kind.into(),
-            scale,
-            chunks: Vec::new(),
-        }
+        assert!(scale > 0.0 && scale <= 1.0, "dataset scale must be in (0, 1], got {scale}");
+        DatasetBuilder { id: id.into(), kind: kind.into(), scale, chunks: Vec::new() }
     }
 
     /// Append a chunk. `elements` counts owned elements only; the chunk's
@@ -119,13 +111,7 @@ impl DatasetBuilder {
     pub fn push_chunk(&mut self, payload: Bytes, elements: u64, span: Option<Span>) -> &mut Self {
         let id = u32::try_from(self.chunks.len()).expect("too many chunks");
         let logical = (payload.len() as f64 / self.scale).round() as u64;
-        self.chunks.push(Chunk {
-            id,
-            payload,
-            elements,
-            logical_bytes: logical,
-            span,
-        });
+        self.chunks.push(Chunk { id, payload, elements, logical_bytes: logical, span });
         self
     }
 
@@ -139,12 +125,7 @@ impl DatasetBuilder {
     /// dataset cannot be partitioned across data nodes.
     pub fn build(self) -> Dataset {
         assert!(!self.chunks.is_empty(), "dataset {} has no chunks", self.id);
-        Dataset {
-            id: self.id,
-            kind: self.kind,
-            scale: self.scale,
-            chunks: self.chunks,
-        }
+        Dataset { id: self.id, kind: self.kind, scale: self.scale, chunks: self.chunks }
     }
 }
 

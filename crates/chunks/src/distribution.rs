@@ -14,10 +14,7 @@
 pub fn assign_destinations(placement: &[Vec<usize>], compute_nodes: usize) -> Vec<usize> {
     let n = placement.len();
     assert!(n >= 1, "need at least one data node");
-    assert!(
-        compute_nodes >= n,
-        "need compute nodes >= data nodes ({compute_nodes} < {n})"
-    );
+    assert!(compute_nodes >= n, "need compute nodes >= data nodes ({compute_nodes} < {n})");
     let num_chunks: usize = placement.iter().map(|v| v.len()).sum();
     let mut dest = vec![usize::MAX; num_chunks];
     for (d, chunks) in placement.iter().enumerate() {

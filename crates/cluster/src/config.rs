@@ -86,8 +86,12 @@ pub struct CacheSite {
 impl CacheSite {
     /// Build, checking the node count against the site.
     pub fn new(site: RepositorySite, nodes: usize, wan: Wan) -> CacheSite {
-        assert!(nodes >= 1 && nodes <= site.max_nodes,
-            "cache site {} has {} nodes, asked for {nodes}", site.name, site.max_nodes);
+        assert!(
+            nodes >= 1 && nodes <= site.max_nodes,
+            "cache site {} has {} nodes, asked for {nodes}",
+            site.name,
+            site.max_nodes
+        );
         CacheSite { site, nodes, wan }
     }
 }
@@ -137,12 +141,7 @@ impl Deployment {
             for site in compute_sites {
                 for cfg in configs {
                     if cfg.data_nodes <= repo.max_nodes && cfg.compute_nodes <= site.max_nodes {
-                        out.push(Deployment::new(
-                            repo.clone(),
-                            site.clone(),
-                            wan.clone(),
-                            *cfg,
-                        ));
+                        out.push(Deployment::new(repo.clone(), site.clone(), wan.clone(), *cfg));
                     }
                 }
             }
@@ -152,12 +151,7 @@ impl Deployment {
 
     /// Short label for tables: `site/replica n-c`.
     pub fn label(&self) -> String {
-        format!(
-            "{}@{} {}",
-            self.compute.name,
-            self.repository.name,
-            self.config.label()
-        )
+        format!("{}@{} {}", self.compute.name, self.repository.name, self.config.label())
     }
 }
 
@@ -195,11 +189,8 @@ mod tests {
             Configuration::new(4, 4),
             Configuration::new(8, 8), // needs 8 compute nodes: never feasible
         ];
-        let deployments = Deployment::enumerate(
-            &[(repo_small, wan.clone()), (repo_big, wan)],
-            &[site],
-            &configs,
-        );
+        let deployments =
+            Deployment::enumerate(&[(repo_small, wan.clone()), (repo_big, wan)], &[site], &configs);
         let labels: Vec<String> = deployments.iter().map(|d| d.label()).collect();
         assert_eq!(labels, vec!["cs@small 1-1", "cs@big 1-1", "cs@big 4-4"]);
     }

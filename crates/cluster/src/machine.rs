@@ -59,11 +59,7 @@ impl OpCounts {
 impl Add for OpCounts {
     type Output = OpCounts;
     fn add(self, rhs: OpCounts) -> OpCounts {
-        OpCounts {
-            flop: self.flop + rhs.flop,
-            mem: self.mem + rhs.mem,
-            cmp: self.cmp + rhs.cmp,
-        }
+        OpCounts { flop: self.flop + rhs.flop, mem: self.mem + rhs.mem, cmp: self.cmp + rhs.cmp }
     }
 }
 
@@ -216,9 +212,8 @@ mod tests {
         let b = MachineSpec::opteron_2400();
         let cmp_heavy = OpCounts { flop: 10, mem: 10, cmp: 1000 };
         let flop_heavy = OpCounts { flop: 1000, mem: 10, cmp: 10 };
-        let ratio = |ops: &OpCounts| {
-            b.compute_time(ops).as_secs_f64() / a.compute_time(ops).as_secs_f64()
-        };
+        let ratio =
+            |ops: &OpCounts| b.compute_time(ops).as_secs_f64() / a.compute_time(ops).as_secs_f64();
         assert!(ratio(&cmp_heavy) < ratio(&flop_heavy));
     }
 }

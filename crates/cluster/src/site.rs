@@ -173,11 +173,7 @@ impl Wan {
     /// A WAN path with the given per-stream bandwidth and a 200 us
     /// per-chunk protocol latency, no aggregate cap.
     pub fn per_stream(bw: f64) -> Wan {
-        Wan {
-            stream_bw: bw,
-            latency: SimDuration::from_micros(200),
-            aggregate_cap: None,
-        }
+        Wan { stream_bw: bw, latency: SimDuration::from_micros(200), aggregate_cap: None }
     }
 }
 

@@ -143,21 +143,14 @@ mod tests {
     }
 
     fn cache_site() -> CacheSite {
-        CacheSite::new(
-            RepositorySite::pentium_repository("cache", 8),
-            4,
-            Wan::per_stream(60e6),
-        )
+        CacheSite::new(RepositorySite::pentium_repository("cache", 8), 4, Wan::per_stream(60e6))
     }
 
     #[test]
     fn plan_decision_rules() {
         // Fits: 1 GB over 4 nodes = 250 MB/node.
         let fits = deployment(300_000_000, None);
-        assert_eq!(
-            CachePlan::for_deployment(&fits, 1_000_000_000, 10),
-            CachePlan::Local
-        );
+        assert_eq!(CachePlan::for_deployment(&fits, 1_000_000_000, 10), CachePlan::Local);
         // Too big, cache site attached.
         let starved = deployment(100_000_000, Some(cache_site()));
         assert!(matches!(
@@ -166,15 +159,9 @@ mod tests {
         ));
         // Too big, no cache site.
         let refetch = deployment(100_000_000, None);
-        assert_eq!(
-            CachePlan::for_deployment(&refetch, 1_000_000_000, 10),
-            CachePlan::Refetch
-        );
+        assert_eq!(CachePlan::for_deployment(&refetch, 1_000_000_000, 10), CachePlan::Refetch);
         // Single pass never needs storage.
-        assert_eq!(
-            CachePlan::for_deployment(&refetch, 1_000_000_000, 1),
-            CachePlan::Local
-        );
+        assert_eq!(CachePlan::for_deployment(&refetch, 1_000_000_000, 1), CachePlan::Local);
     }
 
     #[test]
@@ -191,24 +178,16 @@ mod tests {
     #[test]
     fn local_plan_is_the_base_prediction() {
         let p = predictor();
-        let t = Target {
-            data_nodes: 2,
-            compute_nodes: 4,
-            wan_bw: 40e6,
-            dataset_bytes: 1_000_000_000,
-        };
+        let t =
+            Target { data_nodes: 2, compute_nodes: 4, wan_bw: 40e6, dataset_bytes: 1_000_000_000 };
         assert_eq!(predict_with_plan(&p, &t, &CachePlan::Local, 25e6), p.predict(&t));
     }
 
     #[test]
     fn nonlocal_plan_adds_cache_site_terms() {
         let p = predictor();
-        let t = Target {
-            data_nodes: 2,
-            compute_nodes: 4,
-            wan_bw: 40e6,
-            dataset_bytes: 1_000_000_000,
-        };
+        let t =
+            Target { data_nodes: 2, compute_nodes: 4, wan_bw: 40e6, dataset_bytes: 1_000_000_000 };
         let plan = CachePlan::NonLocal { nodes: 4, wan_bw: 50e6, disk_bw: 25e6 };
         let base = p.predict(&t);
         let with = predict_with_plan(&p, &t, &plan, 25e6);
@@ -223,12 +202,8 @@ mod tests {
     #[test]
     fn refetch_plan_multiplies_origin_io() {
         let p = predictor();
-        let t = Target {
-            data_nodes: 2,
-            compute_nodes: 4,
-            wan_bw: 40e6,
-            dataset_bytes: 1_000_000_000,
-        };
+        let t =
+            Target { data_nodes: 2, compute_nodes: 4, wan_bw: 40e6, dataset_bytes: 1_000_000_000 };
         let base = p.predict(&t);
         let with = predict_with_plan(&p, &t, &CachePlan::Refetch, 25e6);
         assert!((with.t_disk - base.t_disk * 10.0).abs() < 1e-9);
@@ -239,12 +214,8 @@ mod tests {
     #[test]
     fn a_good_cache_site_beats_refetching() {
         let p = predictor();
-        let t = Target {
-            data_nodes: 2,
-            compute_nodes: 4,
-            wan_bw: 40e6,
-            dataset_bytes: 1_000_000_000,
-        };
+        let t =
+            Target { data_nodes: 2, compute_nodes: 4, wan_bw: 40e6, dataset_bytes: 1_000_000_000 };
         let plan = CachePlan::NonLocal { nodes: 4, wan_bw: 50e6, disk_bw: 25e6 };
         let cached = predict_with_plan(&p, &t, &plan, 25e6);
         let refetch = predict_with_plan(&p, &t, &CachePlan::Refetch, 25e6);

@@ -40,21 +40,12 @@ pub fn fit_interconnect(samples: &[GatherSample]) -> InterconnectFit {
     let mean_x = samples.iter().map(|s| s.bytes).sum::<f64>() / n;
     let mean_y = samples.iter().map(|s| s.seconds).sum::<f64>() / n;
     let sxx: f64 = samples.iter().map(|s| (s.bytes - mean_x).powi(2)).sum();
-    assert!(
-        sxx > 0.0,
-        "gather samples must span at least two distinct object sizes"
-    );
-    let sxy: f64 = samples
-        .iter()
-        .map(|s| (s.bytes - mean_x) * (s.seconds - mean_y))
-        .sum();
+    assert!(sxx > 0.0, "gather samples must span at least two distinct object sizes");
+    let sxy: f64 = samples.iter().map(|s| (s.bytes - mean_x) * (s.seconds - mean_y)).sum();
     let w = sxy / sxx; // seconds per byte
     let l = mean_y - w * mean_x;
     let ss_tot: f64 = samples.iter().map(|s| (s.seconds - mean_y).powi(2)).sum();
-    let ss_res: f64 = samples
-        .iter()
-        .map(|s| (s.seconds - (l + w * s.bytes)).powi(2))
-        .sum();
+    let ss_res: f64 = samples.iter().map(|s| (s.seconds - (l + w * s.bytes)).powi(2)).sum();
     let r_squared = if ss_tot > 0.0 { 1.0 - ss_res / ss_tot } else { 1.0 };
     assert!(w > 0.0, "fitted a non-positive wire time per byte: {w}");
     InterconnectFit {

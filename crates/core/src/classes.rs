@@ -49,17 +49,13 @@ pub struct AppClasses {
 
 impl AppClasses {
     /// The classification the paper uses for k-means and kNN search.
-    pub const CONSTANT_LINEAR_CONSTANT: AppClasses = AppClasses {
-        obj: RObjSizeClass::Constant,
-        global: GlobalReduceClass::LinearConstant,
-    };
+    pub const CONSTANT_LINEAR_CONSTANT: AppClasses =
+        AppClasses { obj: RObjSizeClass::Constant, global: GlobalReduceClass::LinearConstant };
 
     /// The classification the paper uses for vortex detection, molecular
     /// defect detection, and EM clustering.
-    pub const LINEAR_CONSTANT_LINEAR: AppClasses = AppClasses {
-        obj: RObjSizeClass::Linear,
-        global: GlobalReduceClass::ConstantLinear,
-    };
+    pub const LINEAR_CONSTANT_LINEAR: AppClasses =
+        AppClasses { obj: RObjSizeClass::Linear, global: GlobalReduceClass::ConstantLinear };
 
     /// The documented classification for each built-in application.
     pub fn for_app(app: &str) -> AppClasses {

@@ -26,8 +26,7 @@ pub struct ScalingFactors {
 
 impl ScalingFactors {
     /// The identity (same cluster).
-    pub const IDENTITY: ScalingFactors =
-        ScalingFactors { disk: 1.0, network: 1.0, compute: 1.0 };
+    pub const IDENTITY: ScalingFactors = ScalingFactors { disk: 1.0, network: 1.0, compute: 1.0 };
 
     /// Measure factors from representative application runs: `pairs[i]`
     /// holds the profiles of application `i` on cluster A and on cluster

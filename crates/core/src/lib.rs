@@ -22,6 +22,8 @@
 //!   §2.1 goal the paper deferred, implemented as an extension).
 //! * [`bandwidth`] — on-line estimators of the achievable WAN bandwidth
 //!   `b̂` (the §3.2 ingredient the paper imports from related work).
+//! * [`reselect`] — mid-run replica re-selection: re-ranks candidates
+//!   and migrates when observed bandwidth deviates from nominal.
 //! * [`calibrate`] — least-squares measurement of the interconnect
 //!   parameters `w` and `l` ("experimentally determined", §3.3.1).
 //! * [`error`] — the relative-error metric of §5.
@@ -36,6 +38,7 @@ pub mod error;
 pub mod hetero;
 pub mod model;
 pub mod profile;
+pub mod reselect;
 pub mod selection;
 
 pub use cache::{predict_with_plan, CachePlan};
@@ -44,4 +47,5 @@ pub use error::relative_error;
 pub use hetero::ScalingFactors;
 pub use model::{ComputeModel, ExecTimePredictor, InterconnectParams, Prediction, Target};
 pub use profile::Profile;
+pub use reselect::ReselectionController;
 pub use selection::{rank_deployments, Candidate};

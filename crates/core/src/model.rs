@@ -18,7 +18,72 @@ pub struct Target {
     pub dataset_bytes: u64,
 }
 
+/// Why a [`Target`] cannot be predicted for.
+///
+/// The scaling models divide by every one of the target's components, so
+/// a zero anywhere produces infinities, NaNs, or (for `compute_nodes`)
+/// an integer underflow in the gather model rather than an obviously
+/// wrong number.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum TargetError {
+    /// `data_nodes == 0`: the disk and network models divide by `n̂`.
+    NoDataNodes,
+    /// `compute_nodes == 0`: the compute model divides by `ĉ` and the
+    /// gather model counts `ĉ - 1` senders.
+    NoComputeNodes,
+    /// `wan_bw` is zero, negative, or non-finite: the network model
+    /// divides by `b̂`.
+    InvalidBandwidth,
+    /// `dataset_bytes == 0`: every size ratio collapses and downstream
+    /// consumers divide by `ŝ`.
+    EmptyDataset,
+}
+
+impl std::fmt::Display for TargetError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            TargetError::NoDataNodes => write!(f, "target has no data nodes"),
+            TargetError::NoComputeNodes => write!(f, "target has no compute nodes"),
+            TargetError::InvalidBandwidth => {
+                write!(f, "target WAN bandwidth must be finite and positive")
+            }
+            TargetError::EmptyDataset => write!(f, "target dataset is empty"),
+        }
+    }
+}
+
+impl std::error::Error for TargetError {}
+
 impl Target {
+    /// Validated constructor: every component must be non-degenerate.
+    pub fn new(
+        data_nodes: usize,
+        compute_nodes: usize,
+        wan_bw: f64,
+        dataset_bytes: u64,
+    ) -> Result<Target, TargetError> {
+        let t = Target { data_nodes, compute_nodes, wan_bw, dataset_bytes };
+        t.validate()?;
+        Ok(t)
+    }
+
+    /// Check every component for degeneracy.
+    pub fn validate(&self) -> Result<(), TargetError> {
+        if self.data_nodes == 0 {
+            return Err(TargetError::NoDataNodes);
+        }
+        if self.compute_nodes == 0 {
+            return Err(TargetError::NoComputeNodes);
+        }
+        if !self.wan_bw.is_finite() || self.wan_bw <= 0.0 {
+            return Err(TargetError::InvalidBandwidth);
+        }
+        if self.dataset_bytes == 0 {
+            return Err(TargetError::EmptyDataset);
+        }
+        Ok(())
+    }
+
     /// The target that reproduces the profile configuration itself.
     pub fn of_profile(p: &Profile) -> Target {
         Target {
@@ -126,14 +191,12 @@ pub fn predict_obj_bytes(p: &Profile, t: &Target, class: RObjSizeClass) -> f64 {
 
 /// Predicted reduction-object communication time: a serialized gather of
 /// `ĉ - 1` objects, each costing `l + w * ρ̂`, once per pass.
-pub fn predict_t_ro(
-    p: &Profile,
-    t: &Target,
-    class: RObjSizeClass,
-    ic: &InterconnectParams,
-) -> f64 {
+pub fn predict_t_ro(p: &Profile, t: &Target, class: RObjSizeClass, ic: &InterconnectParams) -> f64 {
     let rho = predict_obj_bytes(p, t, class);
-    let senders = (t.compute_nodes - 1) as f64;
+    // `saturating_sub`: a degenerate ĉ = 0 target must not underflow to
+    // 2^64 - 1 senders (callers validate, but this model is also used
+    // directly).
+    let senders = t.compute_nodes.saturating_sub(1) as f64;
     p.passes as f64 * senders * (ic.latency + rho / ic.bandwidth)
 }
 
@@ -219,8 +282,23 @@ pub struct ExecTimePredictor {
 
 impl ExecTimePredictor {
     /// Predict the execution-time breakdown for a target configuration.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the target is degenerate (see [`Target::validate`]);
+    /// use [`ExecTimePredictor::try_predict`] to handle that as an error.
     pub fn predict(&self, target: &Target) -> Prediction {
-        Prediction {
+        match self.try_predict(target) {
+            Ok(p) => p,
+            Err(e) => panic!("cannot predict for degenerate target: {e}"),
+        }
+    }
+
+    /// Fallible prediction: rejects degenerate targets instead of
+    /// returning infinities or NaNs.
+    pub fn try_predict(&self, target: &Target) -> Result<Prediction, TargetError> {
+        target.validate()?;
+        Ok(Prediction {
             t_disk: predict_disk(&self.profile, target),
             t_network: predict_network(&self.profile, target),
             t_compute: predict_compute(
@@ -230,7 +308,7 @@ impl ExecTimePredictor {
                 self.classes,
                 &self.interconnect,
             ),
-        }
+        })
     }
 }
 
@@ -333,6 +411,59 @@ mod tests {
         let gr = predict_compute(&p, &t, ComputeModel::GlobalReduction, classes, &ic());
         assert!(nc < rc, "{nc} vs {rc}");
         assert!(rc < gr, "{rc} vs {gr}");
+    }
+
+    #[test]
+    fn target_validation_rejects_every_degenerate_component() {
+        assert_eq!(Target::new(0, 4, 1e6, 1), Err(TargetError::NoDataNodes));
+        assert_eq!(Target::new(2, 0, 1e6, 1), Err(TargetError::NoComputeNodes));
+        assert_eq!(Target::new(2, 4, 0.0, 1), Err(TargetError::InvalidBandwidth));
+        assert_eq!(Target::new(2, 4, -1e6, 1), Err(TargetError::InvalidBandwidth));
+        assert_eq!(Target::new(2, 4, f64::NAN, 1), Err(TargetError::InvalidBandwidth));
+        assert_eq!(Target::new(2, 4, f64::INFINITY, 1), Err(TargetError::InvalidBandwidth));
+        assert_eq!(Target::new(2, 4, 1e6, 0), Err(TargetError::EmptyDataset));
+        assert!(Target::new(2, 4, 1e6, 1).is_ok());
+    }
+
+    #[test]
+    fn t_ro_does_not_underflow_on_zero_compute_nodes() {
+        // Regression: `compute_nodes - 1` underflowed to usize::MAX and
+        // predicted ~1.8e19 senders.
+        let p = profile();
+        let t = Target { data_nodes: 1, compute_nodes: 0, wan_bw: 1e6, dataset_bytes: 1_000_000 };
+        assert_eq!(predict_t_ro(&p, &t, RObjSizeClass::Constant, &ic()), 0.0);
+    }
+
+    #[test]
+    fn try_predict_rejects_degenerate_targets() {
+        let predictor = ExecTimePredictor {
+            profile: profile(),
+            classes: AppClasses::CONSTANT_LINEAR_CONSTANT,
+            interconnect: ic(),
+            model: ComputeModel::GlobalReduction,
+        };
+        let bad = Target { data_nodes: 0, compute_nodes: 4, wan_bw: 1e6, dataset_bytes: 1 };
+        assert_eq!(predictor.try_predict(&bad), Err(TargetError::NoDataNodes));
+        let good = Target::of_profile(&predictor.profile);
+        let p = predictor.try_predict(&good).expect("valid target");
+        assert!(p.total().is_finite());
+    }
+
+    #[test]
+    #[should_panic(expected = "degenerate target")]
+    fn predict_panics_loudly_instead_of_returning_infinity() {
+        let predictor = ExecTimePredictor {
+            profile: profile(),
+            classes: AppClasses::CONSTANT_LINEAR_CONSTANT,
+            interconnect: ic(),
+            model: ComputeModel::GlobalReduction,
+        };
+        predictor.predict(&Target {
+            data_nodes: 2,
+            compute_nodes: 4,
+            wan_bw: 0.0,
+            dataset_bytes: 1_000_000,
+        });
     }
 
     #[test]

@@ -98,6 +98,7 @@ mod tests {
                 t_ro: SimDuration::from_secs(1),
                 t_g: SimDuration::from_secs(2),
                 max_obj_bytes: 512,
+                ..PassReport::default()
             }],
         };
         let p = Profile::from_report(&report);

@@ -38,6 +38,9 @@ impl Candidate {
 /// machine matches the profile's need no entry (identity is assumed).
 /// A deployment on an unknown machine type panics — predicting across
 /// hardware without measured factors is exactly what §3.4 says not to do.
+/// A deployment whose configuration yields a degenerate [`Target`] (zero
+/// nodes, non-positive bandwidth, empty dataset) also panics: its cost
+/// would be infinite or NaN and the ranking meaningless.
 pub fn rank_deployments(
     profile: &Profile,
     classes: AppClasses,
@@ -48,12 +51,13 @@ pub fn rank_deployments(
     let mut out: Vec<Candidate> = deployments
         .iter()
         .map(|d| {
-            let target = Target {
-                data_nodes: d.config.data_nodes,
-                compute_nodes: d.config.compute_nodes,
-                wan_bw: d.wan.stream_bw,
+            let target = Target::new(
+                d.config.data_nodes,
+                d.config.compute_nodes,
+                d.wan.stream_bw,
                 dataset_bytes,
-            };
+            )
+            .unwrap_or_else(|e| panic!("deployment {:?} is not predictable: {e}", d.label()));
             let predictor = ExecTimePredictor {
                 profile: profile.clone(),
                 classes,
@@ -81,9 +85,7 @@ pub fn rank_deployments(
         })
         .collect();
     out.sort_by(|a, b| {
-        a.cost()
-            .total_cmp(&b.cost())
-            .then_with(|| a.deployment.label().cmp(&b.deployment.label()))
+        a.cost().total_cmp(&b.cost()).then_with(|| a.deployment.label().cmp(&b.deployment.label()))
     });
     out
 }
@@ -189,16 +191,25 @@ mod tests {
     }
 
     #[test]
+    #[should_panic(expected = "not predictable")]
+    fn degenerate_deployment_is_rejected_not_ranked() {
+        // Regression: a zero-byte dataset used to flow straight into the
+        // scaling models and rank every candidate at NaN cost.
+        rank_deployments(
+            &profile(),
+            AppClasses::CONSTANT_LINEAR_CONSTANT,
+            &deployments(),
+            0,
+            &HashMap::new(),
+        );
+    }
+
+    #[test]
     #[should_panic(expected = "no scaling factors")]
     fn unknown_machine_without_factors_panics() {
         let repo = RepositorySite::pentium_repository("osu", 8);
         let site = ComputeSite::opteron_infiniband("fast", 16);
-        let ds = vec![Deployment::new(
-            repo,
-            site,
-            Wan::per_stream(1e6),
-            Configuration::new(1, 1),
-        )];
+        let ds = vec![Deployment::new(repo, site, Wan::per_stream(1e6), Configuration::new(1, 1))];
         rank_deployments(
             &profile(),
             AppClasses::CONSTANT_LINEAR_CONSTANT,

@@ -42,8 +42,8 @@ pub fn transfer_makespan(
     // Resources: [0, n) uplinks, [n, n+c) downlinks, optional aggregate.
     let uplink_bw = sender.nic_bw.min(wan.stream_bw);
     let mut capacities = Vec::with_capacity(data_nodes + compute_nodes + 1);
-    capacities.extend(std::iter::repeat(uplink_bw).take(data_nodes));
-    capacities.extend(std::iter::repeat(receiver.nic_bw).take(compute_nodes));
+    capacities.extend(std::iter::repeat_n(uplink_bw, data_nodes));
+    capacities.extend(std::iter::repeat_n(receiver.nic_bw, compute_nodes));
     let agg = wan.aggregate_cap.map(|cap| {
         capacities.push(cap);
         ResourceId(capacities.len() - 1)
@@ -53,10 +53,8 @@ pub fn transfer_makespan(
         .iter()
         .map(|f| {
             assert!(f.data_node < data_nodes && f.compute_node < compute_nodes);
-            let mut resources = vec![
-                ResourceId(f.data_node),
-                ResourceId(data_nodes + f.compute_node),
-            ];
+            let mut resources =
+                vec![ResourceId(f.data_node), ResourceId(data_nodes + f.compute_node)];
             if let Some(a) = agg {
                 resources.push(a);
             }
@@ -71,9 +69,7 @@ pub fn transfer_makespan(
     let outcomes = sim.run(&sim_flows);
     live.iter()
         .zip(outcomes.iter())
-        .map(|(f, o)| {
-            o.finish.saturating_since(SimTime::ZERO) + wan.latency * f.chunks as u64
-        })
+        .map(|(f, o)| o.finish.saturating_since(SimTime::ZERO) + wan.latency * f.chunks as u64)
         .max()
         .unwrap_or(SimDuration::ZERO)
 }
@@ -113,18 +109,11 @@ mod tests {
     use fg_cluster::MiddlewareCosts;
 
     fn machine(nic: f64) -> MachineSpec {
-        MachineSpec {
-            nic_bw: nic,
-            ..MachineSpec::pentium_700()
-        }
+        MachineSpec { nic_bw: nic, ..MachineSpec::pentium_700() }
     }
 
     fn wan(bw: f64, latency_ms: u64) -> Wan {
-        Wan {
-            stream_bw: bw,
-            latency: SimDuration::from_millis(latency_ms),
-            aggregate_cap: None,
-        }
+        Wan { stream_bw: bw, latency: SimDuration::from_millis(latency_ms), aggregate_cap: None }
     }
 
     fn site(bw: f64, lat_ms: u64) -> ComputeSite {

@@ -190,7 +190,13 @@ mod tests {
         fn new_object(&self, _: &()) -> SumObj {
             SumObj(0.0)
         }
-        fn local_reduce(&self, _: &(), chunk: &fg_chunks::Chunk, obj: &mut SumObj, meter: &mut WorkMeter) {
+        fn local_reduce(
+            &self,
+            _: &(),
+            chunk: &fg_chunks::Chunk,
+            obj: &mut SumObj,
+            meter: &mut WorkMeter,
+        ) {
             let vals = codec::decode_f32s(&chunk.payload);
             for v in &vals {
                 obj.0 += *v as f64;
@@ -239,11 +245,7 @@ mod tests {
         assert_eq!(single[0].obj.0, dual[0].obj.0);
         assert_eq!(dual[0].core_meters.len(), 2);
         // Two cores split the metered kernel work...
-        let total_flops: u64 = dual[0]
-            .core_meters
-            .iter()
-            .map(|m| m.data_counts().flop)
-            .sum();
+        let total_flops: u64 = dual[0].core_meters.iter().map(|m| m.data_counts().flop).sum();
         assert_eq!(total_flops, single[0].core_meters[0].data_counts().flop);
         // ...and the node pays a real intra-node merge.
         assert!(dual[0].smp_merge.fixed_counts().flop > 0);
@@ -339,9 +341,6 @@ mod tests {
         let t2 = node_compute_time(&dual[0], &m, &costs, 1.0, CacheTraffic::None);
         let speedup = t1.as_secs_f64() / t2.as_secs_f64();
         assert!(speedup > 1.2, "two cores should help: {speedup}");
-        assert!(
-            speedup < 1.7,
-            "memory-bound work must not scale linearly: {speedup}"
-        );
+        assert!(speedup < 1.7, "memory-bound work must not scale linearly: {speedup}");
     }
 }

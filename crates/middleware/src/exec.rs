@@ -1,14 +1,47 @@
-//! The executor: drives an application over a deployment, pass by pass.
+//! The executor: drives an application over a deployment, pass by pass,
+//! optionally under an injected fault schedule.
+//!
+//! # Fault model
+//!
+//! [`Executor::run_with_faults`] threads an [`fg_sim::FaultSchedule`]
+//! through the phase structure:
+//!
+//! * **Data-node crashes** are detected during remote retrieval: fetches
+//!   against a dead node time out per the [`RetryPolicy`], the detection
+//!   delay is charged once per detection round (`fault_detection`), and
+//!   the dead node's chunks are rebalanced contiguously over the
+//!   surviving replica holders for this and later remote passes.
+//! * **WAN degradation windows** scale the per-stream (and aggregate)
+//!   bandwidth of the origin transfer by the window factor in force when
+//!   the transfer starts.
+//! * **Straggler compute nodes** stretch their local-reduction time by
+//!   their slowdown factor. When a straggler's projected time exceeds
+//!   [`FaultOptions::straggler_threshold`] times the slowest healthy
+//!   node, the middleware completes in degraded mode: the master
+//!   re-executes the straggler's chunks at spec speed after the healthy
+//!   makespan (`straggler_recovery`). Object contents are unchanged, so
+//!   the final reduction state equals the fault-free state.
+//! * A [`PassController`] observes each pass and may **migrate** the run
+//!   to a different replica (same compute site and node count); the
+//!   switch costs [`FaultOptions::migration_overhead`] and redirects all
+//!   later remote fetches.
+//!
+//! Chunk-to-compute-node assignment never changes under faults — only
+//! the fetch side does — so every chunk is folded on the same node in
+//! the same order as the fault-free run and the final state is
+//! bit-identical by construction. With an empty schedule and no
+//! controller, every fault branch is skipped and the report itself is
+//! bit-identical to [`Executor::run`].
 
 use crate::api::{PassOutcome, ReductionApp, ReductionObject};
 use crate::comm::{self, TransferFlow};
 use crate::computeserver::{self, CacheTraffic};
-use crate::dataserver;
+use crate::dataserver::{self, RetryPolicy};
 use crate::meter::WorkMeter;
 use crate::report::{CacheMode, ExecutionReport, PassReport};
 use fg_chunks::{distribution, partition, Dataset};
 use fg_cluster::Deployment;
-use fg_sim::SimDuration;
+use fg_sim::{FaultSchedule, SimDuration, SimTime};
 
 /// Outcome of a full execution: the measured report plus the
 /// application's final state.
@@ -18,6 +51,143 @@ pub struct RunResult<S> {
     /// The application's final state (clusters found, features detected,
     /// ...).
     pub final_state: S,
+}
+
+/// Recovery tuning for fault-injected runs.
+#[derive(Debug, Clone)]
+pub struct FaultOptions {
+    /// Per-chunk fetch timeout and retry policy (crash detection).
+    pub retry: RetryPolicy,
+    /// A straggler whose projected local-reduction time exceeds this
+    /// multiple of the slowest healthy node is abandoned and its chunks
+    /// re-executed at the master (`>= 1`).
+    pub straggler_threshold: f64,
+    /// Virtual-time cost of switching to a different replica.
+    pub migration_overhead: SimDuration,
+}
+
+impl Default for FaultOptions {
+    fn default() -> FaultOptions {
+        FaultOptions {
+            retry: RetryPolicy::default(),
+            straggler_threshold: 3.0,
+            migration_overhead: SimDuration::from_millis(500),
+        }
+    }
+}
+
+/// What a [`PassController`] sees after each pass.
+#[derive(Debug, Clone)]
+pub struct PassObservation {
+    /// Index of the pass that just completed.
+    pub pass_idx: usize,
+    /// Virtual time when the pass's phases completed (before any
+    /// migration overhead).
+    pub elapsed: SimTime,
+    /// Whether this pass fetched chunks over the WAN.
+    pub remote: bool,
+    /// Effective per-stream WAN bandwidth observed this pass
+    /// (bytes/sec); `None` on cached passes, which see no WAN traffic.
+    pub observed_wan_bw: Option<f64>,
+    /// Whether the application finished on this pass.
+    pub finished: bool,
+}
+
+/// A controller's verdict after observing a pass.
+#[derive(Debug, Clone)]
+pub enum PassAction {
+    /// Keep the current replica.
+    Continue,
+    /// Switch subsequent remote fetches to this deployment (its compute
+    /// site and node count must match the running one). Boxed: the rare
+    /// migration verdict should not size every `Continue`.
+    Migrate(Box<Deployment>),
+}
+
+/// Observes each pass of a fault-injected run and may migrate it to a
+/// different replica — the hook `fg-predict` uses for mid-run
+/// re-selection.
+pub trait PassController {
+    /// Called after every pass, including the last (where a migration
+    /// request is ignored).
+    fn after_pass(&mut self, obs: &PassObservation, current: &Deployment) -> PassAction;
+}
+
+/// The remote-fetch side of a pass: what each data node serves and the
+/// resulting per-(data node, compute node) flows.
+struct FetchPlan {
+    dn_bytes: Vec<u64>,
+    dn_chunks: Vec<usize>,
+    flows: Vec<TransferFlow>,
+}
+
+/// Assign every chunk a serving data node (contiguous over the `n - dead`
+/// survivors), honoring the fixed chunk-to-compute-node map `dest`.
+fn fetch_plan(dataset: &Dataset, n: usize, dest: &[usize], dead: &[usize]) -> FetchPlan {
+    let alive: Vec<usize> = (0..n).filter(|i| !dead.contains(i)).collect();
+    assert!(
+        !alive.is_empty(),
+        "every data node of the serving replica has crashed; no survivor holds the data"
+    );
+    let placement = partition::contiguous(dataset.num_chunks(), alive.len());
+    let mut dn_bytes = vec![0u64; n];
+    let mut dn_chunks = vec![0usize; n];
+    let mut flow_map = std::collections::BTreeMap::<(usize, usize), (u64, usize)>::new();
+    for (ai, chunks) in placement.iter().enumerate() {
+        let dn = alive[ai];
+        for &k in chunks {
+            dn_bytes[dn] += dataset.chunks[k].logical_bytes;
+            dn_chunks[dn] += 1;
+            let entry = flow_map.entry((dn, dest[k])).or_insert((0, 0));
+            entry.0 += dataset.chunks[k].logical_bytes;
+            entry.1 += 1;
+        }
+    }
+    let flows: Vec<TransferFlow> = flow_map
+        .into_iter()
+        .map(|((dn, cn), (bytes, chunks))| TransferFlow {
+            data_node: dn,
+            compute_node: cn,
+            bytes,
+            chunks,
+        })
+        .collect();
+    FetchPlan { dn_bytes, dn_chunks, flows }
+}
+
+/// Local-reduction makespan under stragglers, plus the degraded-mode
+/// recovery time. A straggler whose stretched time would exceed
+/// `threshold` times the slowest healthy node is abandoned; the master
+/// re-executes its chunks at spec speed after the healthy nodes finish
+/// (serially, one abandoned node after another). If every node
+/// straggles there is no healthy baseline and nothing is abandoned.
+fn straggler_makespan(
+    base: &[SimDuration],
+    schedule: &FaultSchedule,
+    threshold: f64,
+) -> (SimDuration, SimDuration) {
+    let slow: Vec<f64> = (0..base.len()).map(|i| schedule.slowdown(i)).collect();
+    let healthy_max = base.iter().zip(&slow).filter(|&(_, &s)| s == 1.0).map(|(t, _)| *t).max();
+    match healthy_max {
+        None => (
+            base.iter().zip(&slow).map(|(t, &s)| t.mul_f64(s)).max().unwrap_or(SimDuration::ZERO),
+            SimDuration::ZERO,
+        ),
+        Some(hmax) => {
+            let deadline = hmax.mul_f64(threshold);
+            let mut makespan = SimDuration::ZERO;
+            let mut recovery = SimDuration::ZERO;
+            for (t, &s) in base.iter().zip(&slow) {
+                let scaled = if s == 1.0 { *t } else { t.mul_f64(s) };
+                if s > 1.0 && !hmax.is_zero() && scaled > deadline {
+                    recovery += *t;
+                } else {
+                    makespan = makespan.max(scaled);
+                }
+            }
+            (makespan, recovery)
+        }
+    }
 }
 
 /// Executes FREERIDE-G applications on a deployment.
@@ -43,6 +213,23 @@ impl Executor {
     /// repository nodes empty is a resource-selection bug, not a
     /// middleware condition).
     pub fn run<A: ReductionApp>(&self, app: &A, dataset: &Dataset) -> RunResult<A::State> {
+        self.run_with_faults(app, dataset, &FaultSchedule::none(), &FaultOptions::default(), None)
+    }
+
+    /// Run `app` over `dataset` under an injected fault `schedule`,
+    /// recovering per `options`, with an optional mid-run re-selection
+    /// `controller` (see the module docs for the fault model).
+    ///
+    /// With an empty schedule and no controller this is exactly
+    /// [`Executor::run`]: same report, bit for bit, same final state.
+    pub fn run_with_faults<A: ReductionApp>(
+        &self,
+        app: &A,
+        dataset: &Dataset,
+        schedule: &FaultSchedule,
+        options: &FaultOptions,
+        mut controller: Option<&mut dyn PassController>,
+    ) -> RunResult<A::State> {
         let d = &self.deployment;
         let n = d.config.data_nodes;
         let c = d.config.compute_nodes;
@@ -53,40 +240,26 @@ impl Executor {
             dataset.num_chunks(),
             n
         );
+        assert!(
+            options.straggler_threshold >= 1.0,
+            "straggler threshold below 1 would abandon healthy nodes"
+        );
         let inflation = dataset.work_inflation();
 
-        // Static plan: chunk -> data node, chunk -> compute node.
+        // Static plan: chunk -> data node, chunk -> compute node. The
+        // chunk-to-compute-node map `dest` is fixed for the whole run
+        // (faults only move the fetch side), so local reductions — and
+        // hence the final state — never depend on the schedule.
         let placement = partition::contiguous(dataset.num_chunks(), n);
         let dest = distribution::assign_destinations(&placement, c);
 
-        // Per-data-node retrieval shares.
-        let mut dn_bytes = vec![0u64; n];
-        let mut dn_chunks = vec![0usize; n];
-        for (dn, chunks) in placement.iter().enumerate() {
-            for &k in chunks {
-                dn_bytes[dn] += dataset.chunks[k].logical_bytes;
-                dn_chunks[dn] += 1;
-            }
-        }
-
-        // Per-(data node, compute node) transfer flows.
-        let mut flow_map = std::collections::BTreeMap::<(usize, usize), (u64, usize)>::new();
-        for (dn, chunks) in placement.iter().enumerate() {
-            for &k in chunks {
-                let entry = flow_map.entry((dn, dest[k])).or_insert((0, 0));
-                entry.0 += dataset.chunks[k].logical_bytes;
-                entry.1 += 1;
-            }
-        }
-        let flows: Vec<TransferFlow> = flow_map
-            .into_iter()
-            .map(|((dn, cn), (bytes, chunks))| TransferFlow {
-                data_node: dn,
-                compute_node: cn,
-                bytes,
-                chunks,
-            })
-            .collect();
+        // The replica currently serving remote fetches; migration
+        // replaces it. Compute-side phases always use `d`.
+        let mut current: Deployment = d.clone();
+        let mut plan = fetch_plan(dataset, n, &dest, &[]);
+        // Data nodes already detected dead (crash indices follow node
+        // positions, so they persist across migration).
+        let mut known_dead: Vec<usize> = Vec::new();
 
         // Per-compute-node chunk lists, in chunk order.
         let mut node_chunks: Vec<Vec<usize>> = vec![Vec::new(); c];
@@ -143,6 +316,10 @@ impl Executor {
 
         let mut state = app.initial_state();
         let mut passes: Vec<PassReport> = Vec::new();
+        // Virtual clock: faults materialize against the accumulated pass
+        // time, so a crash at t=0 hits the first fetch and one past the
+        // horizon never fires.
+        let mut now = SimTime::ZERO;
 
         loop {
             assert!(
@@ -156,19 +333,66 @@ impl Executor {
             // storage-starved (Refetch) runs fetch every pass (the paper:
             // "if caching was performed on the initial iteration, each
             // subsequent pass retrieves data chunks from local disk").
-            let remote = pass_idx == 0
-                || matches!(cache_mode, CacheMode::SinglePass | CacheMode::Refetch);
+            let remote =
+                pass_idx == 0 || matches!(cache_mode, CacheMode::SinglePass | CacheMode::Refetch);
+
+            // Phase 0 (faults only): crash detection. Fetches against
+            // nodes that died by now time out and exhaust their retries;
+            // the timeouts run concurrently, so one detection delay
+            // covers the round. Orphaned chunks are rebalanced over the
+            // survivors before retrieval begins.
+            let mut fault_detection = SimDuration::ZERO;
+            if remote && !schedule.crashes.is_empty() {
+                let n_cur = current.config.data_nodes;
+                let dead_now: Vec<usize> =
+                    schedule.crashed_nodes(now).into_iter().filter(|&i| i < n_cur).collect();
+                if dead_now.iter().any(|i| !known_dead.contains(i)) {
+                    fault_detection = options.retry.detection_delay();
+                    known_dead = dead_now;
+                    plan = fetch_plan(dataset, n_cur, &dest, &known_dead);
+                }
+            }
 
             // Phase 1: origin repository retrieval.
             let retrieval = if remote {
-                dataserver::retrieval_makespan(&d.repository, &dn_bytes, &dn_chunks)
+                dataserver::retrieval_makespan(&current.repository, &plan.dn_bytes, &plan.dn_chunks)
             } else {
                 SimDuration::ZERO
             };
 
-            // Phase 2: origin WAN transfer.
+            // Phase 2: origin WAN transfer, at whatever bandwidth the
+            // degradation windows leave when the transfer starts.
+            let net_factor = if remote {
+                schedule.bandwidth_factor(now + fault_detection + retrieval)
+            } else {
+                1.0
+            };
             let network = if remote {
-                comm::transfer_makespan(&d.wan, &d.repository.machine, machine, n, c, &flows)
+                let n_cur = current.config.data_nodes;
+                if net_factor == 1.0 {
+                    comm::transfer_makespan(
+                        &current.wan,
+                        &current.repository.machine,
+                        machine,
+                        n_cur,
+                        c,
+                        &plan.flows,
+                    )
+                } else {
+                    let mut wan = current.wan.clone();
+                    wan.stream_bw *= net_factor;
+                    if let Some(cap) = wan.aggregate_cap.as_mut() {
+                        *cap *= net_factor;
+                    }
+                    comm::transfer_makespan(
+                        &wan,
+                        &current.repository.machine,
+                        machine,
+                        n_cur,
+                        c,
+                        &plan.flows,
+                    )
+                }
             } else {
                 SimDuration::ZERO
             };
@@ -181,13 +405,22 @@ impl Executor {
                 let disk = dataserver::retrieval_makespan(&cs.site, pnb, pnc);
                 let net = if pass_idx == 0 {
                     // Compute nodes stream to the cache site.
-                    comm::transfer_makespan(&cs.wan, machine, &cs.site.machine, c, *eff_nodes,
-                        &cache_flows.iter().map(|f| TransferFlow {
-                            data_node: f.compute_node,
-                            compute_node: f.data_node,
-                            bytes: f.bytes,
-                            chunks: f.chunks,
-                        }).collect::<Vec<_>>())
+                    comm::transfer_makespan(
+                        &cs.wan,
+                        machine,
+                        &cs.site.machine,
+                        c,
+                        *eff_nodes,
+                        &cache_flows
+                            .iter()
+                            .map(|f| TransferFlow {
+                                data_node: f.compute_node,
+                                compute_node: f.data_node,
+                                bytes: f.bytes,
+                                chunks: f.chunks,
+                            })
+                            .collect::<Vec<_>>(),
+                    )
                 } else {
                     // The cache site streams back to the compute nodes.
                     comm::transfer_makespan(
@@ -220,17 +453,21 @@ impl Executor {
             } else {
                 CacheTraffic::Read
             };
-            let local_compute = results
+            let base_times: Vec<SimDuration> = results
                 .iter()
-                .map(|r| computeserver::node_compute_time(r, machine, &site.costs, inflation, cache))
-                .max()
-                .unwrap_or(SimDuration::ZERO);
+                .map(|r| {
+                    computeserver::node_compute_time(r, machine, &site.costs, inflation, cache)
+                })
+                .collect();
+            let (local_compute, straggler_recovery) = if schedule.stragglers.is_empty() {
+                (base_times.iter().copied().max().unwrap_or(SimDuration::ZERO), SimDuration::ZERO)
+            } else {
+                straggler_makespan(&base_times, schedule, options.straggler_threshold)
+            };
 
             // Phase 4: reduction-object communication (serialized gather).
-            let obj_bytes: Vec<u64> = results
-                .iter()
-                .map(|r| r.obj.size().logical(inflation))
-                .collect();
+            let obj_bytes: Vec<u64> =
+                results.iter().map(|r| r.obj.size().logical(inflation)).collect();
             let t_ro = comm::gather_time(site, &obj_bytes[1..]);
             let max_obj_bytes = obj_bytes.iter().copied().max().unwrap_or(0);
 
@@ -252,15 +489,64 @@ impl Executor {
             let broadcast = if finished {
                 SimDuration::ZERO
             } else {
-                comm::broadcast_time(
-                    site,
-                    app.state_size(&next_state).logical(inflation),
-                    c,
-                )
+                comm::broadcast_time(site, app.state_size(&next_state).logical(inflation), c)
             };
             let t_g = site.costs.obj_handling * c as u64
                 + master_meter.time_on(machine, inflation)
                 + broadcast;
+
+            // The controller sees the pass and may migrate the fetch
+            // side to another replica for subsequent remote passes.
+            let mut migration = SimDuration::ZERO;
+            let phases_done = now
+                + fault_detection
+                + retrieval
+                + network
+                + cache_disk
+                + cache_network
+                + local_compute
+                + t_ro
+                + t_g;
+            if let Some(ctrl) = controller.as_deref_mut() {
+                let obs = PassObservation {
+                    pass_idx,
+                    elapsed: phases_done,
+                    remote,
+                    observed_wan_bw: if remote {
+                        Some(current.wan.stream_bw * net_factor)
+                    } else {
+                        None
+                    },
+                    finished,
+                };
+                match ctrl.after_pass(&obs, &current) {
+                    PassAction::Continue => {}
+                    PassAction::Migrate(new_d) => {
+                        if !finished {
+                            assert_eq!(
+                                new_d.config.compute_nodes, c,
+                                "migration cannot change the compute-node count"
+                            );
+                            assert_eq!(
+                                new_d.compute.machine.name, d.compute.machine.name,
+                                "migration is a replica switch; the compute site stays"
+                            );
+                            migration = options.migration_overhead;
+                            current = *new_d;
+                            plan = fetch_plan(
+                                dataset,
+                                current.config.data_nodes,
+                                &dest,
+                                &known_dead
+                                    .iter()
+                                    .copied()
+                                    .filter(|&i| i < current.config.data_nodes)
+                                    .collect::<Vec<_>>(),
+                            );
+                        }
+                    }
+                }
+            }
 
             passes.push(PassReport {
                 retrieval,
@@ -271,7 +557,11 @@ impl Executor {
                 t_ro,
                 t_g,
                 max_obj_bytes,
+                fault_detection,
+                straggler_recovery,
+                migration,
             });
+            now = phases_done + migration + straggler_recovery;
             state = next_state;
             if finished {
                 break;
@@ -341,7 +631,13 @@ mod tests {
         fn new_object(&self, _: &Phase) -> Acc {
             Acc { sum: 0.0, count: 0 }
         }
-        fn local_reduce(&self, state: &Phase, chunk: &fg_chunks::Chunk, obj: &mut Acc, meter: &mut WorkMeter) {
+        fn local_reduce(
+            &self,
+            state: &Phase,
+            chunk: &fg_chunks::Chunk,
+            obj: &mut Acc,
+            meter: &mut WorkMeter,
+        ) {
             let vals = codec::decode_f32s(&chunk.payload);
             match state {
                 Phase::ComputeMean => {
@@ -361,7 +657,12 @@ mod tests {
             }
             meter.data_flops(vals.len() as u64);
         }
-        fn global_finalize(&self, state: &Phase, merged: Acc, _: &mut WorkMeter) -> PassOutcome<Phase> {
+        fn global_finalize(
+            &self,
+            state: &Phase,
+            merged: Acc,
+            _: &mut WorkMeter,
+        ) -> PassOutcome<Phase> {
             match state {
                 Phase::ComputeMean => {
                     PassOutcome::NextPass(Phase::CountAbove(merged.sum / merged.count as f64))
@@ -478,5 +779,175 @@ mod tests {
         assert_eq!(a.total(), b.total());
         assert_eq!(a.t_ro(), b.t_ro());
         assert_eq!(a.t_g(), b.t_g());
+    }
+
+    fn final_count(state: &Phase) -> u64 {
+        match state {
+            Phase::Done(count) => *count,
+            _ => panic!("did not finish"),
+        }
+    }
+
+    use fg_sim::{FaultSchedule, SimTime};
+
+    #[test]
+    fn empty_schedule_is_bit_identical_to_run() {
+        let ds = dataset(8, 100);
+        let ex = Executor::new(deployment(2, 4));
+        let plain = ex.run(&TwoPass, &ds);
+        let faulty = ex.run_with_faults(
+            &TwoPass,
+            &ds,
+            &FaultSchedule::none(),
+            &FaultOptions::default(),
+            None,
+        );
+        assert_eq!(plain.report, faulty.report);
+        assert_eq!(final_count(&plain.final_state), final_count(&faulty.final_state));
+        assert_eq!(faulty.report.t_recovery(), SimDuration::ZERO);
+    }
+
+    #[test]
+    fn crash_charges_detection_and_reroutes_to_survivors() {
+        let ds = dataset(8, 100);
+        let ex = Executor::new(deployment(4, 4));
+        let plain = ex.run(&TwoPass, &ds);
+        let opts = FaultOptions::default();
+        let s = FaultSchedule::none().crash(1, SimTime::ZERO).crash(3, SimTime::ZERO);
+        let faulty = ex.run_with_faults(&TwoPass, &ds, &s, &opts, None);
+        // Both crashes are found in one concurrent detection round.
+        assert_eq!(faulty.report.passes[0].fault_detection, opts.retry.detection_delay());
+        // Cached second pass touches no data nodes: nothing to detect.
+        assert_eq!(faulty.report.passes[1].fault_detection, SimDuration::ZERO);
+        // Two survivors serve what four nodes did: retrieval slows down.
+        assert!(faulty.report.passes[0].retrieval > plain.report.passes[0].retrieval);
+        assert!(faulty.report.total() > plain.report.total());
+        // The answer is unaffected.
+        assert_eq!(final_count(&faulty.final_state), final_count(&plain.final_state));
+    }
+
+    #[test]
+    #[should_panic(expected = "no survivor holds the data")]
+    fn losing_every_data_node_is_fatal() {
+        let ds = dataset(8, 10);
+        let s = FaultSchedule::none().crash(0, SimTime::ZERO).crash(1, SimTime::ZERO);
+        Executor::new(deployment(2, 2)).run_with_faults(
+            &TwoPass,
+            &ds,
+            &s,
+            &FaultOptions::default(),
+            None,
+        );
+    }
+
+    #[test]
+    fn crash_after_the_only_remote_pass_changes_nothing() {
+        // Local caching fetches remotely on pass 0 only; a node dying
+        // one instant later is never even detected.
+        let ds = dataset(8, 100);
+        let ex = Executor::new(deployment(2, 4));
+        let plain = ex.run(&TwoPass, &ds);
+        let s = FaultSchedule::none().crash(1, SimTime::from_nanos(1));
+        let faulty = ex.run_with_faults(&TwoPass, &ds, &s, &FaultOptions::default(), None);
+        assert_eq!(plain.report, faulty.report);
+    }
+
+    #[test]
+    fn degradation_window_slows_the_transfer() {
+        let ds = dataset(8, 100);
+        let ex = Executor::new(deployment(2, 4));
+        let plain = ex.run(&TwoPass, &ds);
+        let s = FaultSchedule::none().degrade(SimTime::ZERO, SimTime::MAX, 0.5);
+        let faulty = ex.run_with_faults(&TwoPass, &ds, &s, &FaultOptions::default(), None);
+        assert!(faulty.report.passes[0].network > plain.report.passes[0].network);
+        assert_eq!(faulty.report.passes[0].retrieval, plain.report.passes[0].retrieval);
+        assert_eq!(final_count(&faulty.final_state), final_count(&plain.final_state));
+    }
+
+    #[test]
+    fn mild_straggler_stretches_compute_within_threshold() {
+        let ds = dataset(8, 100);
+        let ex = Executor::new(deployment(2, 4));
+        let plain = ex.run(&TwoPass, &ds);
+        let s = FaultSchedule::none().straggler(2, 1.5);
+        let faulty = ex.run_with_faults(&TwoPass, &ds, &s, &FaultOptions::default(), None);
+        assert!(faulty.report.passes[0].local_compute >= plain.report.passes[0].local_compute);
+        assert_eq!(faulty.report.t_straggler_recovery(), SimDuration::ZERO);
+        assert_eq!(final_count(&faulty.final_state), final_count(&plain.final_state));
+    }
+
+    #[test]
+    fn extreme_straggler_is_abandoned_and_reexecuted() {
+        let ds = dataset(8, 100);
+        let ex = Executor::new(deployment(2, 4));
+        let plain = ex.run(&TwoPass, &ds);
+        let s = FaultSchedule::none().straggler(2, 100.0);
+        let faulty = ex.run_with_faults(&TwoPass, &ds, &s, &FaultOptions::default(), None);
+        // Degraded-mode completion: the healthy nodes bound the phase,
+        // and the master re-runs the abandoned share afterwards.
+        assert!(!faulty.report.t_straggler_recovery().is_zero());
+        assert!(faulty.report.passes[0].local_compute <= plain.report.passes[0].local_compute);
+        assert_eq!(final_count(&faulty.final_state), final_count(&plain.final_state));
+    }
+
+    /// Migrates to a fixed replica after the first pass, once.
+    struct MigrateOnce {
+        target: Option<Deployment>,
+        observed: Vec<Option<f64>>,
+    }
+
+    impl PassController for MigrateOnce {
+        fn after_pass(&mut self, obs: &PassObservation, _: &Deployment) -> PassAction {
+            self.observed.push(obs.observed_wan_bw);
+            match self.target.take() {
+                Some(d) if !obs.finished => PassAction::Migrate(Box::new(d)),
+                _ => PassAction::Continue,
+            }
+        }
+    }
+
+    fn refetch_deployment(n: usize, c: usize, wan_bw: f64) -> Deployment {
+        let mut site = ComputeSite::pentium_myrinet("cs", 16);
+        site.node_storage_bytes = 0; // forces CacheMode::Refetch
+        Deployment::new(
+            RepositorySite::pentium_repository("repo", 8),
+            site,
+            Wan::per_stream(wan_bw),
+            Configuration::new(n, c),
+        )
+    }
+
+    #[test]
+    fn controller_migration_redirects_later_passes() {
+        let ds = dataset(8, 100);
+        let slow = refetch_deployment(2, 4, 1e5);
+        let fast = refetch_deployment(2, 4, 1e6);
+        let mut ctrl = MigrateOnce { target: Some(fast), observed: Vec::new() };
+        let opts = FaultOptions::default();
+        let r = Executor::new(slow)
+            .run_with_faults(&TwoPass, &ds, &FaultSchedule::none(), &opts, Some(&mut ctrl))
+            .report;
+        assert_eq!(r.passes[0].migration, opts.migration_overhead);
+        assert_eq!(r.passes[1].migration, SimDuration::ZERO);
+        // Refetch mode keeps every pass remote; the new replica's faster
+        // WAN shows up immediately.
+        assert!(r.passes[1].network < r.passes[0].network);
+        // The controller observed the per-stream bandwidth of each pass.
+        assert_eq!(ctrl.observed, vec![Some(1e5), Some(1e6)]);
+    }
+
+    #[test]
+    #[should_panic(expected = "cannot change the compute-node count")]
+    fn migration_to_different_compute_count_is_rejected() {
+        let ds = dataset(8, 10);
+        let mut ctrl =
+            MigrateOnce { target: Some(refetch_deployment(2, 8, 1e6)), observed: Vec::new() };
+        Executor::new(refetch_deployment(2, 4, 1e5)).run_with_faults(
+            &TwoPass,
+            &ds,
+            &FaultSchedule::none(),
+            &FaultOptions::default(),
+            Some(&mut ctrl),
+        );
     }
 }

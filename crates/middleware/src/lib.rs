@@ -41,7 +41,8 @@ pub mod report;
 pub mod timeline;
 
 pub use api::{ObjSize, PassOutcome, ReductionApp, ReductionObject};
-pub use exec::Executor;
-pub use pipeline::{run_pipelined, PipelinedRun};
+pub use dataserver::RetryPolicy;
+pub use exec::{Executor, FaultOptions, PassAction, PassController, PassObservation};
 pub use meter::WorkMeter;
+pub use pipeline::{run_pipelined, PipelinedRun};
 pub use report::{CacheMode, ExecutionReport, PassReport};

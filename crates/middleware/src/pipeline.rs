@@ -114,9 +114,7 @@ pub fn run_pipelined<A: ReductionApp>(
                 for &k in chunks {
                     let mut meter = WorkMeter::new();
                     app.local_reduce(&state, &dataset.chunks[k], &mut obj, &mut meter);
-                    chunk_times.push(
-                        meter.time_on(machine, inflation) + site.costs.chunk_dispatch,
-                    );
+                    chunk_times.push(meter.time_on(machine, inflation) + site.costs.chunk_dispatch);
                 }
                 NodeOutcome { obj, chunk_times }
             })
@@ -155,9 +153,7 @@ pub fn run_pipelined<A: ReductionApp>(
                 SimTime::ZERO
                     + (machine.disk_seek
                         + site.costs.cache_chunk_overhead
-                        + SimDuration::from_secs_f64(
-                            chunk.logical_bytes as f64 / machine.disk_bw,
-                        ))
+                        + SimDuration::from_secs_f64(chunk.logical_bytes as f64 / machine.disk_bw))
                         * (chunk_pos[k] as u64 + 1)
             };
             let mut service = outcomes[cn].chunk_times[chunk_pos[k]];
@@ -174,10 +170,8 @@ pub fn run_pipelined<A: ReductionApp>(
 
         // Gather: serialized at the master, each object sent when its
         // node finishes; the master receives them FIFO.
-        let obj_sizes: Vec<u64> = outcomes
-            .iter()
-            .map(|o| o.obj.size().logical(inflation))
-            .collect();
+        let obj_sizes: Vec<u64> =
+            outcomes.iter().map(|o| o.obj.size().logical(inflation)).collect();
         let mut gather = FifoServer::new();
         // Master's own object is ready at node_done[0].
         let mut order: Vec<usize> = (1..c).collect();
@@ -360,10 +354,7 @@ mod tests {
             .t_disk()
             .max(phased.t_network())
             .max(phased.passes.iter().map(|p| p.local_compute).sum());
-        assert!(
-            piped >= floor,
-            "pipelined ({piped}) beat the slowest stage ({floor})"
-        );
+        assert!(piped >= floor, "pipelined ({piped}) beat the slowest stage ({floor})");
     }
 
     #[test]

@@ -11,7 +11,12 @@ use fg_sim::SimDuration;
 use serde::{Deserialize, Serialize};
 
 /// Per-pass timing detail.
-#[derive(Debug, Clone, Serialize, Deserialize)]
+///
+/// The three recovery components (`fault_detection`,
+/// `straggler_recovery`, `migration`) are zero on fault-free runs, so a
+/// report from [`crate::Executor::run`] is bit-identical to one from
+/// `run_with_faults` under an empty schedule.
+#[derive(Debug, Clone, Default, PartialEq, Serialize, Deserialize)]
 pub struct PassReport {
     /// Origin-repository retrieval makespan (zero on cached passes).
     pub retrieval: SimDuration,
@@ -33,6 +38,17 @@ pub struct PassReport {
     pub t_g: SimDuration,
     /// Largest per-node reduction object this pass, logical bytes.
     pub max_obj_bytes: u64,
+    /// Time spent discovering dead data nodes (fetch timeouts plus
+    /// retry backoff); zero when nothing crashed.
+    #[serde(default)]
+    pub fault_detection: SimDuration,
+    /// Time the master spent re-executing chunks abandoned by straggler
+    /// compute nodes (degraded-mode completion).
+    #[serde(default)]
+    pub straggler_recovery: SimDuration,
+    /// Overhead of switching to a different replica mid-run.
+    #[serde(default)]
+    pub migration: SimDuration,
 }
 
 impl PassReport {
@@ -45,6 +61,13 @@ impl PassReport {
             + self.local_compute
             + self.t_ro
             + self.t_g
+            + self.recovery()
+    }
+
+    /// Recovery time of the pass (fault detection + straggler re-execution
+    /// + migration overhead).
+    pub fn recovery(&self) -> SimDuration {
+        self.fault_detection + self.straggler_recovery + self.migration
     }
 }
 
@@ -64,7 +87,7 @@ pub enum CacheMode {
 }
 
 /// The full result of one execution.
-#[derive(Debug, Clone, Serialize, Deserialize)]
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
 pub struct ExecutionReport {
     /// Application name.
     pub app: String,
@@ -114,10 +137,7 @@ impl ExecutionReport {
     /// Processing component `t_c`, inclusive of `t_ro` and `t_g` (the
     /// paper subtracts them back out when fitting the scalable part).
     pub fn t_compute(&self) -> SimDuration {
-        self.passes
-            .iter()
-            .map(|p| p.local_compute + p.t_ro + p.t_g)
-            .sum()
+        self.passes.iter().map(|p| p.local_compute + p.t_ro + p.t_g).sum()
     }
 
     /// Total reduction-object communication time.
@@ -130,10 +150,32 @@ impl ExecutionReport {
         self.passes.iter().map(|p| p.t_g).sum()
     }
 
+    /// Total recovery time `t_r`: fault detection, straggler
+    /// re-execution, and migration overhead over all passes. Zero on
+    /// fault-free runs.
+    pub fn t_recovery(&self) -> SimDuration {
+        self.passes.iter().map(|p| p.recovery()).sum()
+    }
+
+    /// The fault-detection share of the recovery component.
+    pub fn t_fault_detection(&self) -> SimDuration {
+        self.passes.iter().map(|p| p.fault_detection).sum()
+    }
+
+    /// The straggler re-execution share of the recovery component.
+    pub fn t_straggler_recovery(&self) -> SimDuration {
+        self.passes.iter().map(|p| p.straggler_recovery).sum()
+    }
+
+    /// The migration-overhead share of the recovery component.
+    pub fn t_migration(&self) -> SimDuration {
+        self.passes.iter().map(|p| p.migration).sum()
+    }
+
     /// End-to-end execution time: `T_exec = T_disk + T_network +
-    /// T_compute`.
+    /// T_compute` plus, under fault injection, the recovery time `t_r`.
     pub fn total(&self) -> SimDuration {
-        self.t_disk() + self.t_network() + self.t_compute()
+        self.t_disk() + self.t_network() + self.t_compute() + self.t_recovery()
     }
 
     /// Maximum per-node reduction-object size over all passes (logical
@@ -162,6 +204,7 @@ mod tests {
             t_ro: SimDuration::from_secs(ro),
             t_g: SimDuration::from_secs(g),
             max_obj_bytes: obj,
+            ..PassReport::default()
         }
     }
 
@@ -196,7 +239,22 @@ mod tests {
     #[test]
     fn total_is_sum_of_components() {
         let r = report();
+        assert_eq!(r.t_recovery(), SimDuration::ZERO);
         assert_eq!(r.total(), r.t_disk() + r.t_network() + r.t_compute());
+    }
+
+    #[test]
+    fn recovery_components_count_toward_total() {
+        let mut r = report();
+        r.passes[0].fault_detection = SimDuration::from_secs(2);
+        r.passes[0].straggler_recovery = SimDuration::from_secs(5);
+        r.passes[1].migration = SimDuration::from_secs(1);
+        assert_eq!(r.t_fault_detection(), SimDuration::from_secs(2));
+        assert_eq!(r.t_straggler_recovery(), SimDuration::from_secs(5));
+        assert_eq!(r.t_migration(), SimDuration::from_secs(1));
+        assert_eq!(r.t_recovery(), SimDuration::from_secs(8));
+        assert_eq!(r.total(), r.t_disk() + r.t_network() + r.t_compute() + r.t_recovery());
+        assert_eq!(r.passes[0].recovery(), SimDuration::from_secs(7));
     }
 
     #[test]

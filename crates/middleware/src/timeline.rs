@@ -12,13 +12,14 @@ use std::fmt::Write as _;
 const BAR_WIDTH: usize = 60;
 
 /// Phase kinds shown in the timeline, with their bar glyphs.
-const PHASES: [(&str, char); 6] = [
+const PHASES: [(&str, char); 7] = [
     ("retrieval", 'D'),
     ("network", 'N'),
     ("cache i/o", 'K'),
     ("compute", 'C'),
     ("gather", 'R'),
     ("global", 'G'),
+    ("recovery", 'F'),
 ];
 
 /// Render the report as a per-pass Gantt chart plus a component summary.
@@ -44,23 +45,24 @@ pub fn render(report: &ExecutionReport) -> String {
             pass.local_compute,
             pass.t_ro,
             pass.t_g,
+            pass.recovery(),
         ];
         let mut bar = String::new();
         for (dur, (_, glyph)) in spans.iter().zip(PHASES.iter()) {
-            let cells =
-                (dur.as_secs_f64() / total * BAR_WIDTH as f64).round() as usize;
+            let cells = (dur.as_secs_f64() / total * BAR_WIDTH as f64).round() as usize;
             for _ in 0..cells {
                 bar.push(*glyph);
             }
         }
         let _ = writeln!(out, "pass {i:>3} |{bar:<BAR_WIDTH$}| {:.2}s", pass.total().as_secs_f64());
     }
-    let components: [(&str, SimDuration); 5] = [
+    let components: [(&str, SimDuration); 6] = [
         ("T_disk", report.t_disk()),
         ("T_network", report.t_network()),
         ("T_compute", report.t_compute()),
         ("  of which T_ro", report.t_ro()),
         ("  of which T_g", report.t_g()),
+        ("T_recovery", report.t_recovery()),
     ];
     for (name, dur) in components {
         let _ = writeln!(
@@ -70,11 +72,7 @@ pub fn render(report: &ExecutionReport) -> String {
             dur.as_secs_f64() / total * 100.0
         );
     }
-    let _ = writeln!(
-        out,
-        "legend: {}",
-        PHASES.map(|(name, g)| format!("{g}={name}")).join("  ")
-    );
+    let _ = writeln!(out, "legend: {}", PHASES.map(|(name, g)| format!("{g}={name}")).join("  "));
     out
 }
 
@@ -104,6 +102,7 @@ mod tests {
                     t_ro: SimDuration::from_secs(5),
                     t_g: SimDuration::from_secs(5),
                     max_obj_bytes: 8,
+                    ..PassReport::default()
                 },
                 PassReport {
                     retrieval: SimDuration::ZERO,
@@ -114,6 +113,7 @@ mod tests {
                     t_ro: SimDuration::from_secs(2),
                     t_g: SimDuration::from_secs(3),
                     max_obj_bytes: 8,
+                    ..PassReport::default()
                 },
             ],
         }
@@ -147,5 +147,20 @@ mod tests {
         let pass1 = s.lines().find(|l| l.starts_with("pass   1")).unwrap();
         assert_eq!(pass1.chars().filter(|&c| c == 'D').count(), 0);
         assert_eq!(pass1.chars().filter(|&c| c == 'N').count(), 0);
+        // Fault-free runs show no recovery glyphs at all.
+        assert_eq!(s.chars().filter(|&c| c == 'F').count(), 1); // legend only
+    }
+
+    #[test]
+    fn recovery_time_renders_its_own_phase() {
+        let mut r = report();
+        // 20s of a 120s total over 60 cells = 10 'F' glyphs.
+        r.passes[0].fault_detection = SimDuration::from_secs(12);
+        r.passes[0].straggler_recovery = SimDuration::from_secs(8);
+        let s = render(&r);
+        let pass0 = s.lines().find(|l| l.starts_with("pass   0")).unwrap();
+        assert_eq!(pass0.chars().filter(|&c| c == 'F').count(), 10, "line: {pass0}");
+        assert!(s.contains("T_recovery"));
+        assert!(s.contains("F=recovery"));
     }
 }

@@ -26,11 +26,7 @@ impl<E> Default for Engine<E> {
 impl<E> Engine<E> {
     /// A fresh engine with the clock at zero.
     pub fn new() -> Self {
-        Engine {
-            now: SimTime::ZERO,
-            queue: EventQueue::new(),
-            processed: 0,
-        }
+        Engine { now: SimTime::ZERO, queue: EventQueue::new(), processed: 0 }
     }
 
     /// Current virtual time.
@@ -46,12 +42,7 @@ impl<E> Engine<E> {
     /// Schedule an event at an absolute instant. Panics if `at` is in the
     /// simulated past — discrete-event simulations must never rewind.
     pub fn schedule_at(&mut self, at: SimTime, event: E) {
-        assert!(
-            at >= self.now,
-            "cannot schedule into the past: now={}, at={}",
-            self.now,
-            at
-        );
+        assert!(at >= self.now, "cannot schedule into the past: now={}, at={}", self.now, at);
         self.queue.push(at, event);
     }
 
@@ -74,7 +65,11 @@ impl<E> Engine<E> {
 
     /// Run until the event list drains or the clock passes `deadline`;
     /// returns `true` if the queue drained.
-    pub fn run_until(&mut self, deadline: SimTime, mut handler: impl FnMut(&mut Engine<E>, E)) -> bool {
+    pub fn run_until(
+        &mut self,
+        deadline: SimTime,
+        mut handler: impl FnMut(&mut Engine<E>, E),
+    ) -> bool {
         loop {
             match self.queue.peek_time() {
                 None => return true,

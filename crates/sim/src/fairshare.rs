@@ -162,13 +162,8 @@ impl FairShareSim {
         }
         let n = flows.len();
         let mut remaining: Vec<f64> = flows.iter().map(|f| f.demand).collect();
-        let mut outcome: Vec<FlowOutcome> = flows
-            .iter()
-            .map(|f| FlowOutcome {
-                start: f.arrival,
-                finish: SimTime::MAX,
-            })
-            .collect();
+        let mut outcome: Vec<FlowOutcome> =
+            flows.iter().map(|f| FlowOutcome { start: f.arrival, finish: SimTime::MAX }).collect();
         // Arrival order: by time, index as tie-break (deterministic).
         let mut arrivals: Vec<usize> = (0..n).collect();
         arrivals.sort_by_key(|&i| (flows[i].arrival, i));
@@ -272,10 +267,7 @@ mod tests {
     fn max_min_gives_leftover_to_uncapped_flow() {
         let sim = FairShareSim::new(vec![100.0]);
         // Flow 0 capped at 20: flow 1 gets the remaining 80.
-        let out = sim.run(&[
-            flow(0.0, 200.0, 20.0, &[0]),
-            flow(0.0, 800.0, INF, &[0]),
-        ]);
+        let out = sim.run(&[flow(0.0, 200.0, 20.0, &[0]), flow(0.0, 800.0, INF, &[0])]);
         assert!((secs(out[0].finish) - 10.0).abs() < 1e-9);
         assert!((secs(out[1].finish) - 10.0).abs() < 1e-9);
     }
@@ -285,10 +277,7 @@ mod tests {
         let sim = FairShareSim::new(vec![100.0]);
         // Both start at 50 B/s; flow 0 finishes at t=1 (demand 50);
         // flow 1 has 450 left and then runs alone at 100 B/s: t=5.5.
-        let out = sim.run(&[
-            flow(0.0, 50.0, INF, &[0]),
-            flow(0.0, 500.0, INF, &[0]),
-        ]);
+        let out = sim.run(&[flow(0.0, 50.0, INF, &[0]), flow(0.0, 500.0, INF, &[0])]);
         assert!((secs(out[0].finish) - 1.0).abs() < 1e-9);
         assert!((secs(out[1].finish) - 5.5).abs() < 1e-9);
     }
@@ -297,10 +286,7 @@ mod tests {
     fn late_arrival_shares_from_its_arrival() {
         let sim = FairShareSim::new(vec![100.0]);
         // Flow 0 alone until t=2 (200 done), then both at 50 B/s.
-        let out = sim.run(&[
-            flow(0.0, 400.0, INF, &[0]),
-            flow(2.0, 100.0, INF, &[0]),
-        ]);
+        let out = sim.run(&[flow(0.0, 400.0, INF, &[0]), flow(2.0, 100.0, INF, &[0])]);
         // Flow 0: 200 left at t=2 at 50 B/s => finishes t=6... but flow 1
         // finishes first: 100 at 50 B/s => t=4, then flow 0 alone at 100:
         // at t=4 flow 0 has 100 left => t=5.
@@ -318,10 +304,7 @@ mod tests {
     #[test]
     fn disjoint_flows_do_not_interfere() {
         let sim = FairShareSim::new(vec![100.0, 100.0]);
-        let out = sim.run(&[
-            flow(0.0, 100.0, INF, &[0]),
-            flow(0.0, 100.0, INF, &[1]),
-        ]);
+        let out = sim.run(&[flow(0.0, 100.0, INF, &[0]), flow(0.0, 100.0, INF, &[1])]);
         for o in &out {
             assert!((secs(o.finish) - 1.0).abs() < 1e-9);
         }
@@ -332,10 +315,7 @@ mod tests {
         // Two senders, each with a private 100 B/s NIC, sharing a 120 B/s
         // WAN: max-min gives each 60.
         let sim = FairShareSim::new(vec![100.0, 100.0, 120.0]);
-        let out = sim.run(&[
-            flow(0.0, 600.0, INF, &[0, 2]),
-            flow(0.0, 600.0, INF, &[1, 2]),
-        ]);
+        let out = sim.run(&[flow(0.0, 600.0, INF, &[0, 2]), flow(0.0, 600.0, INF, &[1, 2])]);
         for o in &out {
             assert!((secs(o.finish) - 10.0).abs() < 1e-9);
         }
@@ -346,10 +326,7 @@ mod tests {
         // Same WAN, but sender 0 has a 40 B/s NIC: it gets 40, sender 1
         // gets the remaining 80 (capped by its own 100 NIC).
         let sim = FairShareSim::new(vec![40.0, 100.0, 120.0]);
-        let out = sim.run(&[
-            flow(0.0, 400.0, INF, &[0, 2]),
-            flow(0.0, 800.0, INF, &[1, 2]),
-        ]);
+        let out = sim.run(&[flow(0.0, 400.0, INF, &[0, 2]), flow(0.0, 800.0, INF, &[1, 2])]);
         assert!((secs(out[0].finish) - 10.0).abs() < 1e-9);
         assert!((secs(out[1].finish) - 10.0).abs() < 1e-9);
     }

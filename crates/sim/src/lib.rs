@@ -14,6 +14,8 @@
 //!   resources (NICs, WAN links, repository backplanes), the core of the
 //!   data-movement model.
 //! * [`rng`] — seeded RNG helpers so every experiment is reproducible.
+//! * [`fault`] — seeded fault schedules (data-node crashes, WAN
+//!   degradation windows, straggler nodes) injected into runs as data.
 //!
 //! Nothing in this crate knows about grids or data mining; it is a
 //! general-purpose substrate with its own invariants and tests.
@@ -23,6 +25,7 @@
 pub mod engine;
 pub mod event;
 pub mod fairshare;
+pub mod fault;
 pub mod rng;
 pub mod server;
 pub mod time;
@@ -30,5 +33,6 @@ pub mod time;
 pub use engine::Engine;
 pub use event::EventQueue;
 pub use fairshare::{FairShareSim, Flow, FlowOutcome, ResourceId};
+pub use fault::{CrashFault, DegradationWindow, FaultEvent, FaultSchedule, StragglerFault};
 pub use server::{FifoServer, Interval, ServerPool};
 pub use time::{SimDuration, SimTime};

@@ -28,22 +28,28 @@ mod tests {
 
     #[test]
     fn same_seed_same_stream() {
-        let a: Vec<u32> = stream_rng(7, "x").sample_iter(rand::distributions::Standard).take(8).collect();
-        let b: Vec<u32> = stream_rng(7, "x").sample_iter(rand::distributions::Standard).take(8).collect();
+        let a: Vec<u32> =
+            stream_rng(7, "x").sample_iter(rand::distributions::Standard).take(8).collect();
+        let b: Vec<u32> =
+            stream_rng(7, "x").sample_iter(rand::distributions::Standard).take(8).collect();
         assert_eq!(a, b);
     }
 
     #[test]
     fn different_labels_differ() {
-        let a: Vec<u32> = stream_rng(7, "x").sample_iter(rand::distributions::Standard).take(8).collect();
-        let b: Vec<u32> = stream_rng(7, "y").sample_iter(rand::distributions::Standard).take(8).collect();
+        let a: Vec<u32> =
+            stream_rng(7, "x").sample_iter(rand::distributions::Standard).take(8).collect();
+        let b: Vec<u32> =
+            stream_rng(7, "y").sample_iter(rand::distributions::Standard).take(8).collect();
         assert_ne!(a, b);
     }
 
     #[test]
     fn different_seeds_differ() {
-        let a: Vec<u32> = stream_rng(7, "x").sample_iter(rand::distributions::Standard).take(8).collect();
-        let b: Vec<u32> = stream_rng(8, "x").sample_iter(rand::distributions::Standard).take(8).collect();
+        let a: Vec<u32> =
+            stream_rng(7, "x").sample_iter(rand::distributions::Standard).take(8).collect();
+        let b: Vec<u32> =
+            stream_rng(8, "x").sample_iter(rand::distributions::Standard).take(8).collect();
         assert_ne!(a, b);
     }
 }

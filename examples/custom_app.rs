@@ -147,9 +147,12 @@ fn main() {
     // Infer the classes from profile runs instead of declaring them.
     // The runs must vary the node count and the dataset size
     // *independently*, or neither class can be discriminated.
-    let p1 = Profile::from_report(&Executor::new(deployment(1, 1)).run(&WordLengths, &small).report);
-    let p2 = Profile::from_report(&Executor::new(deployment(1, 4)).run(&WordLengths, &small).report);
-    let p3 = Profile::from_report(&Executor::new(deployment(1, 1)).run(&WordLengths, &large).report);
+    let p1 =
+        Profile::from_report(&Executor::new(deployment(1, 1)).run(&WordLengths, &small).report);
+    let p2 =
+        Profile::from_report(&Executor::new(deployment(1, 4)).run(&WordLengths, &small).report);
+    let p3 =
+        Profile::from_report(&Executor::new(deployment(1, 1)).run(&WordLengths, &large).report);
     let classes = AppClasses::infer(&[p1.clone(), p2, p3]).expect("profiles are informative");
     println!("inferred classes: {classes:?}");
     assert_eq!(classes, AppClasses::CONSTANT_LINEAR_CONSTANT);

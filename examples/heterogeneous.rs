@@ -44,8 +44,12 @@ fn main() {
     println!("measuring component scaling factors (4-4, 130 MB each):");
     {
         let ds = kmeans::generate("rep-km", 130.0, SCALE, 17, 8);
-        let a = Profile::from_report(&Executor::new(pentium(4, 4)).run(&kmeans::KMeans::paper(7), &ds).report);
-        let b = Profile::from_report(&Executor::new(opteron(4, 4)).run(&kmeans::KMeans::paper(7), &ds).report);
+        let a = Profile::from_report(
+            &Executor::new(pentium(4, 4)).run(&kmeans::KMeans::paper(7), &ds).report,
+        );
+        let b = Profile::from_report(
+            &Executor::new(opteron(4, 4)).run(&kmeans::KMeans::paper(7), &ds).report,
+        );
         println!("  kmeans: s_c = {:.3}", b.t_compute / a.t_compute);
         pairs.push((a, b));
     }
@@ -76,8 +80,7 @@ fn main() {
     // Opteron cluster from a Pentium profile.
     let dataset = em::generate("em-700", 700.0, SCALE, 21, 4);
     let app = em::Em::paper(21);
-    let profile =
-        Profile::from_report(&Executor::new(pentium(8, 8)).run(&app, &dataset).report);
+    let profile = Profile::from_report(&Executor::new(pentium(8, 8)).run(&app, &dataset).report);
     let predictor = ExecTimePredictor {
         profile,
         classes: AppClasses::for_app("em"),

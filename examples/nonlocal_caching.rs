@@ -11,9 +11,7 @@
 //! ```
 
 use freeride_g::apps::em;
-use freeride_g::cluster::{
-    CacheSite, ComputeSite, Configuration, Deployment, RepositorySite, Wan,
-};
+use freeride_g::cluster::{CacheSite, ComputeSite, Configuration, Deployment, RepositorySite, Wan};
 use freeride_g::middleware::{timeline, Executor};
 use freeride_g::predict::{rank_deployments, AppClasses, Profile};
 use std::collections::HashMap;
@@ -69,11 +67,7 @@ fn main() {
             .as_ref()
             .map(|c| format!("cache at {}", c.site.name))
             .unwrap_or_else(|| "re-fetch from origin".into());
-        println!(
-            "  {:24} predicted {:8.1}s  ({cache_desc})",
-            cand.deployment.label(),
-            cand.cost()
-        );
+        println!("  {:24} predicted {:8.1}s  ({cache_desc})", cand.deployment.label(), cand.cost());
     }
 
     // Run the winner and the loser for real.

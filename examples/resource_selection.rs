@@ -26,10 +26,7 @@ fn main() {
     let mut catalog = ReplicaCatalog::new();
     catalog.register("survey-1400", "near-repo");
     catalog.register("survey-1400", "far-repo");
-    println!(
-        "replicas of survey-1400: {:?}",
-        catalog.replicas("survey-1400")
-    );
+    println!("replicas of survey-1400: {:?}", catalog.replicas("survey-1400"));
 
     // The near replica has a fat pipe but only 2 data nodes; the far
     // replica has 8 data nodes behind a thinner WAN.
@@ -38,7 +35,7 @@ fn main() {
     let site = ComputeSite::pentium_myrinet("campus-cluster", 16);
 
     let configs: Vec<Configuration> = Configuration::paper_grid();
-    let deployments = Deployment::enumerate(&[near, far], &[site.clone()], &configs);
+    let deployments = Deployment::enumerate(&[near, far], std::slice::from_ref(&site), &configs);
     println!("{} feasible deployments enumerated", deployments.len());
 
     // One profile run on a minimal deployment.
@@ -48,9 +45,8 @@ fn main() {
         Wan::per_stream(60e6),
         Configuration::new(1, 1),
     );
-    let profile = Profile::from_report(
-        &Executor::new(profile_dep.clone()).run(&app, &dataset).report,
-    );
+    let profile =
+        Profile::from_report(&Executor::new(profile_dep.clone()).run(&app, &dataset).report);
 
     let ranked = rank_deployments(
         &profile,

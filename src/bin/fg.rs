@@ -76,26 +76,17 @@ struct Options {
 
 impl Options {
     fn parse(args: &[String]) -> Result<Options, String> {
-        let mut opts = Options {
-            app: None,
-            mb: 200.0,
-            config: None,
-            bw: DEFAULT_BW_MBPS * 1e6,
-            json: None,
-        };
+        let mut opts =
+            Options { app: None, mb: 200.0, config: None, bw: DEFAULT_BW_MBPS * 1e6, json: None };
         let mut it = args.iter();
         while let Some(flag) = it.next() {
             let mut value = || {
-                it.next()
-                    .map(String::as_str)
-                    .ok_or_else(|| format!("flag {flag} needs a value"))
+                it.next().map(String::as_str).ok_or_else(|| format!("flag {flag} needs a value"))
             };
             match flag.as_str() {
                 "--app" => opts.app = Some(value()?.to_string()),
                 "--mb" => {
-                    opts.mb = value()?
-                        .parse()
-                        .map_err(|e| format!("bad --mb: {e}"))?;
+                    opts.mb = value()?.parse().map_err(|e| format!("bad --mb: {e}"))?;
                     if opts.mb <= 0.0 {
                         return Err("--mb must be positive".into());
                     }
@@ -110,9 +101,7 @@ impl Options {
                     opts.config = Some(Configuration::new(n, c));
                 }
                 "--bw" => {
-                    let mbps: f64 = value()?
-                        .parse()
-                        .map_err(|e| format!("bad --bw: {e}"))?;
+                    let mbps: f64 = value()?.parse().map_err(|e| format!("bad --bw: {e}"))?;
                     if mbps <= 0.0 {
                         return Err("--bw must be positive".into());
                     }
@@ -249,13 +238,8 @@ fn cmd_predict(opts: &Options) -> ExitCode {
         eprintln!("predict needs --app and --config\n\n{USAGE}");
         return ExitCode::FAILURE;
     };
-    let profile = Profile::from_report(&execute(
-        app,
-        opts.mb,
-        Configuration::new(1, 1),
-        opts.bw,
-        42,
-    ));
+    let profile =
+        Profile::from_report(&execute(app, opts.mb, Configuration::new(1, 1), opts.bw, 42));
     let predictor = ExecTimePredictor {
         profile,
         classes: AppClasses::for_app(app),
@@ -294,17 +278,10 @@ fn cmd_select(opts: &Options) -> ExitCode {
         eprintln!("select needs --app\n\n{USAGE}");
         return ExitCode::FAILURE;
     };
-    let profile = Profile::from_report(&execute(
-        app,
-        opts.mb,
-        Configuration::new(1, 1),
-        opts.bw,
-        42,
-    ));
-    let deployments: Vec<Deployment> = Configuration::paper_grid()
-        .into_iter()
-        .map(|cfg| deployment(cfg, opts.bw))
-        .collect();
+    let profile =
+        Profile::from_report(&execute(app, opts.mb, Configuration::new(1, 1), opts.bw, 42));
+    let deployments: Vec<Deployment> =
+        Configuration::paper_grid().into_iter().map(|cfg| deployment(cfg, opts.bw)).collect();
     let ranked = rank_deployments(
         &profile,
         AppClasses::for_app(app),

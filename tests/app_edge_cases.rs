@@ -1,6 +1,9 @@
 //! Edge cases across the application suite: degenerate parameters,
 //! deterministic boundary-crossing features, and saturation conditions.
 
+// Reference recomputations mirror the kernels' index-loop style.
+#![allow(clippy::needless_range_loop)]
+
 use freeride_g::apps::{ann, apriori, defect, em, kmeans, knn, vortex};
 use freeride_g::chunks::{codec, Dataset, DatasetBuilder, Span};
 use freeride_g::cluster::{ComputeSite, Configuration, Deployment, RepositorySite, Wan};
@@ -117,12 +120,7 @@ fn vortex_centered_on_chunk_boundary_counts_once() {
     b.push_chunk(
         codec::encode_f32s(&field[(boundary - 1) * W * 2..]),
         ((rows - boundary) * W) as u64,
-        Some(Span {
-            begin: boundary as u64,
-            end: rows as u64,
-            halo_before: 1,
-            halo_after: 0,
-        }),
+        Some(Span { begin: boundary as u64, end: rows as u64, halo_before: 1, halo_after: 0 }),
     );
     let ds = b.build();
     let app = vortex::VortexDetect::default();

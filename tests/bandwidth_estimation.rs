@@ -30,9 +30,8 @@ fn forecasted_bandwidth_predicts_network_time() {
     let app = knn::Knn::paper(9);
     // Profile at the trace's long-run level.
     let mean_bw = 20e6;
-    let profile = Profile::from_report(
-        &Executor::new(deployment(1, 2, mean_bw)).run(&app, &ds).report,
-    );
+    let profile =
+        Profile::from_report(&Executor::new(deployment(1, 2, mean_bw)).run(&app, &ds).report);
     let trace = synthetic_trace(mean_bw, 40, 3);
     let mut estimator = Ewma::new(0.4);
     let mut errors = Vec::new();
@@ -60,11 +59,8 @@ fn forecasted_bandwidth_predicts_network_time() {
     let oracle_err = {
         let b = trace[5];
         let predicted = profile.t_network * (profile.wan_bw / b);
-        let actual = Executor::new(deployment(1, 2, b))
-            .run(&app, &ds)
-            .report
-            .t_network()
-            .as_secs_f64();
+        let actual =
+            Executor::new(deployment(1, 2, b)).run(&app, &ds).report.t_network().as_secs_f64();
         relative_error(actual, predicted)
     };
     assert!(oracle_err < 0.01, "oracle bandwidth should be near-exact: {oracle_err}");

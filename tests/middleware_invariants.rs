@@ -60,11 +60,8 @@ fn every_component_is_positive_on_multi_node_runs() {
 #[test]
 fn caching_applications_fetch_remotely_exactly_once() {
     for report in reports() {
-        let remote_passes = report
-            .passes
-            .iter()
-            .filter(|p| !p.retrieval.is_zero() || !p.network.is_zero())
-            .count();
+        let remote_passes =
+            report.passes.iter().filter(|p| !p.retrieval.is_zero() || !p.network.is_zero()).count();
         match report.app.as_str() {
             // Multi-pass, caching: only the first pass touches the WAN.
             "kmeans" | "em" | "apriori" => {
@@ -114,10 +111,7 @@ fn network_time_scales_inversely_with_bandwidth() {
     };
     let (t1, t2) = (t(10e6), t(5e6));
     let ratio = t2 / t1;
-    assert!(
-        (ratio - 2.0).abs() < 0.05,
-        "halving b should double network time: ratio {ratio}"
-    );
+    assert!((ratio - 2.0).abs() < 0.05, "halving b should double network time: ratio {ratio}");
 }
 
 #[test]
@@ -145,10 +139,7 @@ fn more_compute_nodes_never_slow_processing() {
     for c in [1usize, 2, 4, 8, 16] {
         let r = Executor::new(deployment(1, c)).run(&app, &ds).report;
         let local: SimDuration = r.passes.iter().map(|p| p.local_compute).sum();
-        assert!(
-            local <= prev,
-            "local compute makespan should not grow with more nodes (c={c})"
-        );
+        assert!(local <= prev, "local compute makespan should not grow with more nodes (c={c})");
         prev = local;
     }
 }

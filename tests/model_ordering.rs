@@ -36,9 +36,7 @@ fn grid_errors<A: ReductionApp>(
     app: &A,
     dataset: &Dataset,
 ) -> (Vec<(Configuration, [f64; 3])>, [f64; 3]) {
-    let profile = Profile::from_report(
-        &Executor::new(deployment(1, 1)).run(app, dataset).report,
-    );
+    let profile = Profile::from_report(&Executor::new(deployment(1, 1)).run(app, dataset).report);
     let site = deployment(1, 1).compute;
     let mut rows = Vec::new();
     let mut sums = [0.0f64; 3];
@@ -108,23 +106,14 @@ fn no_comm_error_grows_with_compute_nodes() {
     let (rows, _) = grid_errors(&em::Em::paper(4), &ds);
     // Fix n = 1 and walk c upward: the no-comm error is monotone in c
     // (within a small tolerance at the tiny end).
-    let series: Vec<f64> = rows
-        .iter()
-        .filter(|(cfg, _)| cfg.data_nodes == 1)
-        .map(|(_, errs)| errs[0])
-        .collect();
+    let series: Vec<f64> =
+        rows.iter().filter(|(cfg, _)| cfg.data_nodes == 1).map(|(_, errs)| errs[0]).collect();
     assert!(series.len() >= 4);
     for w in series.windows(2) {
-        assert!(
-            w[1] >= w[0] - 1e-3,
-            "no-comm error should grow with compute nodes: {series:?}"
-        );
+        assert!(w[1] >= w[0] - 1e-3, "no-comm error should grow with compute nodes: {series:?}");
     }
     // And the worst no-comm configuration overall uses 16 compute nodes.
-    let worst = rows
-        .iter()
-        .max_by(|a, b| a.1[0].total_cmp(&b.1[0]))
-        .expect("non-empty");
+    let worst = rows.iter().max_by(|a, b| a.1[0].total_cmp(&b.1[0])).expect("non-empty");
     assert_eq!(worst.0.compute_nodes, 16, "worst case should be a 16-node config");
 }
 

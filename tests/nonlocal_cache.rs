@@ -3,9 +3,7 @@
 //! and cache-site selection.
 
 use freeride_g::apps::em;
-use freeride_g::cluster::{
-    CacheSite, ComputeSite, Configuration, Deployment, RepositorySite, Wan,
-};
+use freeride_g::cluster::{CacheSite, ComputeSite, Configuration, Deployment, RepositorySite, Wan};
 use freeride_g::middleware::{CacheMode, Executor};
 use freeride_g::predict::{
     predict_with_plan, rank_deployments, relative_error, AppClasses, CachePlan, ComputeModel,
@@ -30,11 +28,7 @@ fn deployment(n: usize, c: usize, storage: u64, cache: Option<CacheSite>) -> Dep
 }
 
 fn cache_site(nodes: usize, bw: f64) -> CacheSite {
-    CacheSite::new(
-        RepositorySite::pentium_repository("cache-site", 8),
-        nodes,
-        Wan::per_stream(bw),
-    )
+    CacheSite::new(RepositorySite::pentium_repository("cache-site", 8), nodes, Wan::per_stream(bw))
 }
 
 #[test]
@@ -47,18 +41,13 @@ fn starved_nodes_fall_back_to_the_cache_site() {
     assert_eq!(local.t_disk_cache().as_nanos(), 0);
 
     // No room, cache site attached: non-local caching.
-    let nonlocal = Executor::new(deployment(2, 4, 1, Some(cache_site(4, 60e6))))
-        .run(&app, &ds)
-        .report;
+    let nonlocal =
+        Executor::new(deployment(2, 4, 1, Some(cache_site(4, 60e6)))).run(&app, &ds).report;
     assert_eq!(nonlocal.cache_mode, CacheMode::NonLocal);
     assert!(nonlocal.t_disk_cache().as_nanos() > 0);
     assert!(nonlocal.t_network_cache().as_nanos() > 0);
     // Origin is touched exactly once.
-    let origin_passes = nonlocal
-        .passes
-        .iter()
-        .filter(|p| !p.retrieval.is_zero())
-        .count();
+    let origin_passes = nonlocal.passes.iter().filter(|p| !p.retrieval.is_zero()).count();
     assert_eq!(origin_passes, 1);
     // Cache site is touched every pass (write-through + reads).
     assert!(nonlocal.passes.iter().all(|p| !p.cache_disk.is_zero()));
@@ -109,8 +98,7 @@ fn nonlocal_prediction_tracks_actual_execution() {
             dataset_bytes: ds.logical_bytes(),
         };
         let plan = CachePlan::for_deployment(&dep, ds.logical_bytes(), actual.num_passes());
-        let predicted =
-            predict_with_plan(&predictor, &target, &plan, dep.compute.machine.disk_bw);
+        let predicted = predict_with_plan(&predictor, &target, &plan, dep.compute.machine.disk_bw);
         let err = relative_error(actual.total().as_secs_f64(), predicted.total());
         assert!(
             err < 0.08,
@@ -137,18 +125,10 @@ fn refetch_prediction_tracks_actual_execution() {
     let dep = deployment(2, 4, 1, None);
     let actual = Executor::new(dep.clone()).run(&app, &ds).report;
     assert_eq!(actual.cache_mode, CacheMode::Refetch);
-    let target = Target {
-        data_nodes: 2,
-        compute_nodes: 4,
-        wan_bw: WAN,
-        dataset_bytes: ds.logical_bytes(),
-    };
-    let predicted = predict_with_plan(
-        &predictor,
-        &target,
-        &CachePlan::Refetch,
-        dep.compute.machine.disk_bw,
-    );
+    let target =
+        Target { data_nodes: 2, compute_nodes: 4, wan_bw: WAN, dataset_bytes: ds.logical_bytes() };
+    let predicted =
+        predict_with_plan(&predictor, &target, &CachePlan::Refetch, dep.compute.machine.disk_bw);
     let err = relative_error(actual.total().as_secs_f64(), predicted.total());
     assert!(err < 0.08, "refetch prediction off by {:.1}%", err * 100.0);
 }
@@ -161,9 +141,9 @@ fn selector_prefers_a_good_cache_site_over_refetching() {
         &Executor::new(deployment(1, 1, u64::MAX, None)).run(&app, &ds).report,
     );
     let candidates = vec![
-        deployment(2, 4, 1, None),                          // refetch
-        deployment(2, 4, 1, Some(cache_site(4, 60e6))),     // good cache
-        deployment(2, 4, 1, Some(cache_site(1, 2e6))),      // awful cache
+        deployment(2, 4, 1, None),                      // refetch
+        deployment(2, 4, 1, Some(cache_site(4, 60e6))), // good cache
+        deployment(2, 4, 1, Some(cache_site(1, 2e6))),  // awful cache
     ];
     let ranked = rank_deployments(
         &profile,
@@ -177,11 +157,7 @@ fn selector_prefers_a_good_cache_site_over_refetching() {
     let actuals: Vec<f64> = ranked
         .iter()
         .map(|cand| {
-            Executor::new(cand.deployment.clone())
-                .run(&app, &ds)
-                .report
-                .total()
-                .as_secs_f64()
+            Executor::new(cand.deployment.clone()).run(&app, &ds).report.total().as_secs_f64()
         })
         .collect();
     for w in actuals.windows(2) {

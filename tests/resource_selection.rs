@@ -42,11 +42,7 @@ fn ranking_agrees_with_actual_execution_order() {
     let actuals: Vec<f64> = ranked
         .iter()
         .map(|cand| {
-            Executor::new(cand.deployment.clone())
-                .run(&app, &dataset)
-                .report
-                .total()
-                .as_secs_f64()
+            Executor::new(cand.deployment.clone()).run(&app, &dataset).report.total().as_secs_f64()
         })
         .collect();
     for w in actuals.windows(2) {
@@ -111,8 +107,7 @@ fn cross_cluster_candidate_wins_with_measured_factors() {
     let a44 = Profile::from_report(
         &Executor::new(base_deployment(4, 4, 40e6)).run(&app, &dataset).report,
     );
-    let b44 =
-        Profile::from_report(&Executor::new(opteron_dep(4, 4)).run(&app, &dataset).report);
+    let b44 = Profile::from_report(&Executor::new(opteron_dep(4, 4)).run(&app, &dataset).report);
     let factors = ScalingFactors::measure(&[(a44, b44)]);
     assert!(factors.compute < 0.5, "Opteron should be much faster");
 
@@ -129,9 +124,6 @@ fn cross_cluster_candidate_wins_with_measured_factors() {
     assert_eq!(ranked[0].deployment.compute.name, "cs-b", "faster cluster should win");
     // Reality check.
     let b_actual = Executor::new(opteron_dep(4, 8)).run(&app, &dataset).report.total();
-    let a_actual = Executor::new(base_deployment(4, 8, 40e6))
-        .run(&app, &dataset)
-        .report
-        .total();
+    let a_actual = Executor::new(base_deployment(4, 8, 40e6)).run(&app, &dataset).report.total();
     assert!(b_actual < a_actual);
 }

@@ -2,7 +2,9 @@
 //! speedup bounds, and interaction with the heterogeneous experiments.
 
 use freeride_g::apps::{em, kmeans, vortex};
-use freeride_g::cluster::{ComputeSite, Configuration, Deployment, MachineSpec, RepositorySite, Wan};
+use freeride_g::cluster::{
+    ComputeSite, Configuration, Deployment, MachineSpec, RepositorySite, Wan,
+};
 use freeride_g::middleware::Executor;
 use freeride_g::sim::SimDuration;
 
@@ -25,12 +27,7 @@ fn smp_nodes_compute_the_same_answer() {
     let app = kmeans::KMeans { k: 4, passes: 5, seed: 1 };
     let uni = Executor::new(deployment_with_cores(1, 2, 4)).run(&app, &ds);
     let smp = Executor::new(deployment_with_cores(4, 2, 4)).run(&app, &ds);
-    for (a, b) in uni
-        .final_state
-        .centroids
-        .iter()
-        .zip(smp.final_state.centroids.iter())
-    {
+    for (a, b) in uni.final_state.centroids.iter().zip(smp.final_state.centroids.iter()) {
         for d in 0..kmeans::DIM {
             assert!((a[d] - b[d]).abs() < 1e-2, "SMP changed the clustering result");
         }

@@ -1,0 +1,161 @@
+//! Offline stand-in for `bytes`.
+//!
+//! Provides [`Bytes`] (a cheaply cloneable, immutable byte buffer backed
+//! by an `Arc`), [`BytesMut`] (a growable builder that freezes into
+//! `Bytes`), and the [`BufMut`] little-endian writer methods the chunk
+//! codecs use. No slicing/splitting — the workspace never splits
+//! buffers.
+
+use std::ops::{Deref, DerefMut};
+use std::sync::Arc;
+
+/// A cheaply cloneable, immutable contiguous byte buffer.
+#[derive(Clone, Default, PartialEq, Eq, Hash)]
+pub struct Bytes {
+    data: Arc<Vec<u8>>,
+}
+
+impl Bytes {
+    /// An empty buffer.
+    pub fn new() -> Bytes {
+        Bytes::default()
+    }
+
+    /// Wrap a static byte slice (copies; the upstream zero-copy trick is
+    /// irrelevant at these sizes).
+    pub fn from_static(bytes: &'static [u8]) -> Bytes {
+        Bytes { data: Arc::new(bytes.to_vec()) }
+    }
+
+    /// Copy a slice into a new buffer.
+    pub fn copy_from_slice(bytes: &[u8]) -> Bytes {
+        Bytes { data: Arc::new(bytes.to_vec()) }
+    }
+}
+
+impl From<Vec<u8>> for Bytes {
+    fn from(v: Vec<u8>) -> Bytes {
+        Bytes { data: Arc::new(v) }
+    }
+}
+
+impl From<&[u8]> for Bytes {
+    fn from(v: &[u8]) -> Bytes {
+        Bytes::copy_from_slice(v)
+    }
+}
+
+impl Deref for Bytes {
+    type Target = [u8];
+
+    fn deref(&self) -> &[u8] {
+        &self.data
+    }
+}
+
+impl AsRef<[u8]> for Bytes {
+    fn as_ref(&self) -> &[u8] {
+        &self.data
+    }
+}
+
+impl std::fmt::Debug for Bytes {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "Bytes(len={})", self.data.len())
+    }
+}
+
+/// A growable byte buffer that freezes into [`Bytes`].
+#[derive(Debug, Clone, Default)]
+pub struct BytesMut {
+    data: Vec<u8>,
+}
+
+impl BytesMut {
+    pub fn new() -> BytesMut {
+        BytesMut::default()
+    }
+
+    pub fn with_capacity(cap: usize) -> BytesMut {
+        BytesMut { data: Vec::with_capacity(cap) }
+    }
+
+    /// Convert into an immutable buffer without copying.
+    pub fn freeze(self) -> Bytes {
+        Bytes { data: Arc::new(self.data) }
+    }
+}
+
+impl Deref for BytesMut {
+    type Target = [u8];
+
+    fn deref(&self) -> &[u8] {
+        &self.data
+    }
+}
+
+impl DerefMut for BytesMut {
+    fn deref_mut(&mut self) -> &mut [u8] {
+        &mut self.data
+    }
+}
+
+/// Little-endian append operations.
+pub trait BufMut {
+    fn put_slice(&mut self, src: &[u8]);
+
+    fn put_u8(&mut self, v: u8) {
+        self.put_slice(&[v]);
+    }
+
+    fn put_u32_le(&mut self, v: u32) {
+        self.put_slice(&v.to_le_bytes());
+    }
+
+    fn put_u64_le(&mut self, v: u64) {
+        self.put_slice(&v.to_le_bytes());
+    }
+
+    fn put_f32_le(&mut self, v: f32) {
+        self.put_slice(&v.to_le_bytes());
+    }
+
+    fn put_f64_le(&mut self, v: f64) {
+        self.put_slice(&v.to_le_bytes());
+    }
+}
+
+impl BufMut for BytesMut {
+    fn put_slice(&mut self, src: &[u8]) {
+        self.data.extend_from_slice(src);
+    }
+}
+
+impl BufMut for Vec<u8> {
+    fn put_slice(&mut self, src: &[u8]) {
+        self.extend_from_slice(src);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn build_and_freeze() {
+        let mut b = BytesMut::with_capacity(8);
+        b.put_f32_le(1.5);
+        b.put_u32_le(0xdead_beef);
+        let frozen = b.freeze();
+        assert_eq!(frozen.len(), 8);
+        assert_eq!(&frozen[0..4], &1.5f32.to_le_bytes());
+    }
+
+    #[test]
+    fn clones_share_storage() {
+        let a = Bytes::from(vec![1, 2, 3]);
+        let b = a.clone();
+        assert_eq!(&*a, &*b);
+        assert_eq!(a, b);
+    }
+}

@@ -1,0 +1,85 @@
+//! Offline stand-in for `rayon`.
+//!
+//! The registry is unreachable in this build environment, so `par_iter()`
+//! here returns an ordinary sequential `std::slice::Iter`. Every adapter
+//! the workspace chains afterwards (`map`, `collect`, `max`, ...) is then
+//! just the std `Iterator` machinery. Sequential execution is also the
+//! conservative choice for this codebase: the simulator's results must be
+//! bit-identical across runs, and the real work per item is tiny.
+
+pub mod prelude {
+    /// `par_iter()` on slices and `Vec`s, sequential edition.
+    pub trait IntoParallelRefIterator<'data> {
+        type Item: 'data;
+        type Iter: Iterator<Item = Self::Item>;
+
+        fn par_iter(&'data self) -> Self::Iter;
+    }
+
+    impl<'data, T: Sync + 'data> IntoParallelRefIterator<'data> for [T] {
+        type Item = &'data T;
+        type Iter = std::slice::Iter<'data, T>;
+
+        fn par_iter(&'data self) -> Self::Iter {
+            self.iter()
+        }
+    }
+
+    impl<'data, T: Sync + 'data> IntoParallelRefIterator<'data> for Vec<T> {
+        type Item = &'data T;
+        type Iter = std::slice::Iter<'data, T>;
+
+        fn par_iter(&'data self) -> Self::Iter {
+            self.iter()
+        }
+    }
+
+    /// `into_par_iter()`, sequential edition.
+    pub trait IntoParallelIterator {
+        type Item;
+        type Iter: Iterator<Item = Self::Item>;
+
+        fn into_par_iter(self) -> Self::Iter;
+    }
+
+    impl<T: Send> IntoParallelIterator for Vec<T> {
+        type Item = T;
+        type Iter = std::vec::IntoIter<T>;
+
+        fn into_par_iter(self) -> Self::Iter {
+            self.into_iter()
+        }
+    }
+
+    impl IntoParallelIterator for std::ops::Range<usize> {
+        type Item = usize;
+        type Iter = std::ops::Range<usize>;
+
+        fn into_par_iter(self) -> Self::Iter {
+            self
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::prelude::*;
+
+    #[test]
+    fn par_iter_behaves_like_iter() {
+        let v = vec![1u64, 2, 3];
+        let doubled: Vec<u64> = v.par_iter().map(|x| x * 2).collect();
+        assert_eq!(doubled, vec![2, 4, 6]);
+        let total: u64 = v.par_iter().sum();
+        assert_eq!(total, 6);
+    }
+
+    #[test]
+    fn into_par_iter_consumes() {
+        let v = vec![1u64, 2, 3];
+        let collected: Vec<u64> = v.into_par_iter().collect();
+        assert_eq!(collected, vec![1, 2, 3]);
+        let r: Vec<usize> = (0..4).into_par_iter().collect();
+        assert_eq!(r, vec![0, 1, 2, 3]);
+    }
+}

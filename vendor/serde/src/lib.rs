@@ -1,0 +1,372 @@
+//! Offline stand-in for `serde`.
+//!
+//! The registry is unreachable in this build environment, so the
+//! workspace vendors the minimal surface it actually uses. Instead of
+//! serde's visitor architecture, this crate models serialization as a
+//! conversion to and from a JSON-like [`Value`] tree:
+//!
+//! - [`Serialize`]: `fn to_value(&self) -> Value`
+//! - [`Deserialize`]: `fn from_value(&Value) -> Result<Self, Error>`
+//!
+//! The derive macros (re-exported from the vendored `serde_derive`)
+//! generate these impls for plain structs and enums, honoring
+//! `#[serde(skip)]`, `#[serde(default)]`, and `#[serde(with = "mod")]`.
+//! The vendored `serde_json` renders and parses `Value` as JSON text.
+
+pub use serde_derive::{Deserialize, Serialize};
+
+use std::collections::{BTreeMap, HashMap, VecDeque};
+use std::fmt;
+
+/// A JSON-like value tree: the serialization data model.
+///
+/// Integers keep their signedness so `u64` round-trips exactly (floats
+/// would lose precision past 2^53). Object fields keep insertion order.
+#[derive(Debug, Clone, PartialEq)]
+pub enum Value {
+    Null,
+    Bool(bool),
+    Int(i64),
+    UInt(u64),
+    Float(f64),
+    Str(String),
+    Array(Vec<Value>),
+    Object(Vec<(String, Value)>),
+}
+
+impl Value {
+    pub fn as_object(&self) -> Option<&[(String, Value)]> {
+        match self {
+            Value::Object(o) => Some(o),
+            _ => None,
+        }
+    }
+
+    pub fn as_array(&self) -> Option<&[Value]> {
+        match self {
+            Value::Array(a) => Some(a),
+            _ => None,
+        }
+    }
+
+    pub fn as_str(&self) -> Option<&str> {
+        match self {
+            Value::Str(s) => Some(s),
+            _ => None,
+        }
+    }
+
+    /// Numeric coercion across the three number variants.
+    pub fn as_f64(&self) -> Option<f64> {
+        match self {
+            Value::Int(i) => Some(*i as f64),
+            Value::UInt(u) => Some(*u as f64),
+            Value::Float(f) => Some(*f),
+            _ => None,
+        }
+    }
+
+    pub fn as_u64(&self) -> Option<u64> {
+        match self {
+            Value::UInt(u) => Some(*u),
+            Value::Int(i) if *i >= 0 => Some(*i as u64),
+            _ => None,
+        }
+    }
+
+    pub fn as_i64(&self) -> Option<i64> {
+        match self {
+            Value::Int(i) => Some(*i),
+            Value::UInt(u) if *u <= i64::MAX as u64 => Some(*u as i64),
+            _ => None,
+        }
+    }
+
+    pub fn as_bool(&self) -> Option<bool> {
+        match self {
+            Value::Bool(b) => Some(*b),
+            _ => None,
+        }
+    }
+
+    /// Object field lookup by key.
+    pub fn get(&self, key: &str) -> Option<&Value> {
+        self.as_object().and_then(|o| get_field(o, key))
+    }
+}
+
+/// Field lookup on an object's entry list (used by generated code).
+pub fn get_field<'a>(obj: &'a [(String, Value)], key: &str) -> Option<&'a Value> {
+    obj.iter().find(|(k, _)| k == key).map(|(_, v)| v)
+}
+
+/// Serialization/deserialization error: a plain message.
+#[derive(Debug, Clone)]
+pub struct Error {
+    msg: String,
+}
+
+impl Error {
+    pub fn custom(msg: impl fmt::Display) -> Error {
+        Error { msg: msg.to_string() }
+    }
+}
+
+impl fmt::Display for Error {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(&self.msg)
+    }
+}
+
+impl std::error::Error for Error {}
+
+/// Convert a value into the serialization data model.
+pub trait Serialize {
+    fn to_value(&self) -> Value;
+}
+
+/// Reconstruct a value from the serialization data model.
+pub trait Deserialize: Sized {
+    fn from_value(v: &Value) -> Result<Self, Error>;
+}
+
+// ---- primitive impls -------------------------------------------------
+
+macro_rules! impl_unsigned {
+    ($($t:ty),*) => {$(
+        impl Serialize for $t {
+            fn to_value(&self) -> Value {
+                Value::UInt(*self as u64)
+            }
+        }
+        impl Deserialize for $t {
+            fn from_value(v: &Value) -> Result<Self, Error> {
+                let u = v.as_u64().ok_or_else(|| {
+                    Error::custom(concat!("expected unsigned integer for ", stringify!($t)))
+                })?;
+                <$t>::try_from(u).map_err(|_| {
+                    Error::custom(concat!("integer out of range for ", stringify!($t)))
+                })
+            }
+        }
+    )*};
+}
+impl_unsigned!(u8, u16, u32, u64, usize);
+
+macro_rules! impl_signed {
+    ($($t:ty),*) => {$(
+        impl Serialize for $t {
+            fn to_value(&self) -> Value {
+                Value::Int(*self as i64)
+            }
+        }
+        impl Deserialize for $t {
+            fn from_value(v: &Value) -> Result<Self, Error> {
+                let i = v.as_i64().ok_or_else(|| {
+                    Error::custom(concat!("expected integer for ", stringify!($t)))
+                })?;
+                <$t>::try_from(i).map_err(|_| {
+                    Error::custom(concat!("integer out of range for ", stringify!($t)))
+                })
+            }
+        }
+    )*};
+}
+impl_signed!(i8, i16, i32, i64, isize);
+
+impl Serialize for f64 {
+    fn to_value(&self) -> Value {
+        Value::Float(*self)
+    }
+}
+impl Deserialize for f64 {
+    fn from_value(v: &Value) -> Result<Self, Error> {
+        v.as_f64().ok_or_else(|| Error::custom("expected number for f64"))
+    }
+}
+
+impl Serialize for f32 {
+    fn to_value(&self) -> Value {
+        Value::Float(*self as f64)
+    }
+}
+impl Deserialize for f32 {
+    fn from_value(v: &Value) -> Result<Self, Error> {
+        Ok(v.as_f64().ok_or_else(|| Error::custom("expected number for f32"))? as f32)
+    }
+}
+
+impl Serialize for bool {
+    fn to_value(&self) -> Value {
+        Value::Bool(*self)
+    }
+}
+impl Deserialize for bool {
+    fn from_value(v: &Value) -> Result<Self, Error> {
+        v.as_bool().ok_or_else(|| Error::custom("expected bool"))
+    }
+}
+
+impl Serialize for String {
+    fn to_value(&self) -> Value {
+        Value::Str(self.clone())
+    }
+}
+impl Deserialize for String {
+    fn from_value(v: &Value) -> Result<Self, Error> {
+        v.as_str().map(str::to_string).ok_or_else(|| Error::custom("expected string"))
+    }
+}
+
+impl Serialize for str {
+    fn to_value(&self) -> Value {
+        Value::Str(self.to_string())
+    }
+}
+
+impl<T: Serialize + ?Sized> Serialize for &T {
+    fn to_value(&self) -> Value {
+        (**self).to_value()
+    }
+}
+
+impl<T: Serialize> Serialize for Option<T> {
+    fn to_value(&self) -> Value {
+        match self {
+            None => Value::Null,
+            Some(x) => x.to_value(),
+        }
+    }
+}
+impl<T: Deserialize> Deserialize for Option<T> {
+    fn from_value(v: &Value) -> Result<Self, Error> {
+        match v {
+            Value::Null => Ok(None),
+            other => Ok(Some(T::from_value(other)?)),
+        }
+    }
+}
+
+impl<T: Serialize> Serialize for Vec<T> {
+    fn to_value(&self) -> Value {
+        Value::Array(self.iter().map(Serialize::to_value).collect())
+    }
+}
+impl<T: Deserialize> Deserialize for Vec<T> {
+    fn from_value(v: &Value) -> Result<Self, Error> {
+        v.as_array()
+            .ok_or_else(|| Error::custom("expected array"))?
+            .iter()
+            .map(T::from_value)
+            .collect()
+    }
+}
+
+impl<T: Serialize> Serialize for [T] {
+    fn to_value(&self) -> Value {
+        Value::Array(self.iter().map(Serialize::to_value).collect())
+    }
+}
+
+impl<T: Serialize> Serialize for VecDeque<T> {
+    fn to_value(&self) -> Value {
+        Value::Array(self.iter().map(Serialize::to_value).collect())
+    }
+}
+impl<T: Deserialize> Deserialize for VecDeque<T> {
+    fn from_value(v: &Value) -> Result<Self, Error> {
+        v.as_array()
+            .ok_or_else(|| Error::custom("expected array"))?
+            .iter()
+            .map(T::from_value)
+            .collect()
+    }
+}
+
+impl<V: Serialize> Serialize for BTreeMap<String, V> {
+    fn to_value(&self) -> Value {
+        Value::Object(self.iter().map(|(k, v)| (k.clone(), v.to_value())).collect())
+    }
+}
+impl<V: Deserialize> Deserialize for BTreeMap<String, V> {
+    fn from_value(v: &Value) -> Result<Self, Error> {
+        v.as_object()
+            .ok_or_else(|| Error::custom("expected object"))?
+            .iter()
+            .map(|(k, x)| Ok((k.clone(), V::from_value(x)?)))
+            .collect()
+    }
+}
+
+impl<V: Serialize> Serialize for HashMap<String, V> {
+    fn to_value(&self) -> Value {
+        // Sort for deterministic output regardless of hash order.
+        let mut entries: Vec<(String, Value)> =
+            self.iter().map(|(k, v)| (k.clone(), v.to_value())).collect();
+        entries.sort_by(|a, b| a.0.cmp(&b.0));
+        Value::Object(entries)
+    }
+}
+impl<V: Deserialize> Deserialize for HashMap<String, V> {
+    fn from_value(v: &Value) -> Result<Self, Error> {
+        v.as_object()
+            .ok_or_else(|| Error::custom("expected object"))?
+            .iter()
+            .map(|(k, x)| Ok((k.clone(), V::from_value(x)?)))
+            .collect()
+    }
+}
+
+macro_rules! impl_tuple {
+    ($(($($name:ident : $idx:tt),+))*) => {$(
+        impl<$($name: Serialize),+> Serialize for ($($name,)+) {
+            fn to_value(&self) -> Value {
+                Value::Array(vec![$(self.$idx.to_value()),+])
+            }
+        }
+        impl<$($name: Deserialize),+> Deserialize for ($($name,)+) {
+            fn from_value(v: &Value) -> Result<Self, Error> {
+                let arr = v.as_array().ok_or_else(|| Error::custom("expected array for tuple"))?;
+                let expected = [$( $idx ),+].len();
+                if arr.len() != expected {
+                    return Err(Error::custom("wrong tuple arity"));
+                }
+                Ok(($($name::from_value(&arr[$idx])?,)+))
+            }
+        }
+    )*};
+}
+impl_tuple! {
+    (A: 0)
+    (A: 0, B: 1)
+    (A: 0, B: 1, C: 2)
+    (A: 0, B: 1, C: 2, D: 3)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn u64_roundtrips_exactly() {
+        let v = u64::MAX.to_value();
+        assert_eq!(u64::from_value(&v).unwrap(), u64::MAX);
+    }
+
+    #[test]
+    fn option_null_roundtrip() {
+        assert_eq!(Option::<f64>::from_value(&Value::Null).unwrap(), None);
+        assert_eq!(None::<f64>.to_value(), Value::Null);
+    }
+
+    #[test]
+    fn map_order_is_deterministic() {
+        let mut m = HashMap::new();
+        m.insert("b".to_string(), 1u64);
+        m.insert("a".to_string(), 2u64);
+        match m.to_value() {
+            Value::Object(o) => assert_eq!(o[0].0, "a"),
+            _ => panic!("expected object"),
+        }
+    }
+}

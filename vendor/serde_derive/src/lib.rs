@@ -1,0 +1,517 @@
+//! Offline stand-in for `serde_derive`.
+//!
+//! The real crates.io registry is unreachable in this build environment,
+//! so the workspace vendors a minimal serde whose data model is a JSON
+//! value tree (see `vendor/serde`). This proc-macro derives that crate's
+//! `Serialize`/`Deserialize` traits for plain structs and enums without
+//! pulling in `syn`/`quote`: the item is parsed directly from the token
+//! stream.
+//!
+//! Supported shapes (everything this workspace uses):
+//! - named-field structs
+//! - tuple structs (newtypes serialize transparently, wider tuples as
+//!   arrays)
+//! - unit structs
+//! - enums with unit, tuple, and struct variants (externally tagged,
+//!   like real serde)
+//!
+//! Supported field attributes: `#[serde(skip)]`, `#[serde(default)]`,
+//! `#[serde(with = "module")]` where the module provides
+//! `to_value(&T) -> serde::Value` and
+//! `from_value(&serde::Value) -> Result<T, serde::Error>`.
+//!
+//! Generics are intentionally unsupported; the derive panics with a
+//! clear message rather than emitting wrong code.
+
+use proc_macro::{Delimiter, TokenStream, TokenTree};
+
+struct Field {
+    name: String,
+    skip: bool,
+    default: bool,
+    with: Option<String>,
+}
+
+enum VariantFields {
+    Unit,
+    Named(Vec<String>),
+    Tuple(usize),
+}
+
+struct Variant {
+    name: String,
+    fields: VariantFields,
+}
+
+enum Kind {
+    Struct(Vec<Field>),
+    Tuple(usize),
+    Unit,
+    Enum(Vec<Variant>),
+}
+
+struct Input {
+    name: String,
+    kind: Kind,
+}
+
+/// Serde attributes found on one field: (skip, default, with).
+#[derive(Default)]
+struct FieldAttrs {
+    skip: bool,
+    default: bool,
+    with: Option<String>,
+}
+
+fn parse_serde_attr(group_tokens: &[TokenTree], attrs: &mut FieldAttrs) {
+    // Tokens inside `#[...]`: expect `serde ( ... )`.
+    let mut it = group_tokens.iter();
+    match it.next() {
+        Some(TokenTree::Ident(id)) if id.to_string() == "serde" => {}
+        _ => return, // some other attribute (doc comment, cfg, ...)
+    }
+    let inner = match it.next() {
+        Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Parenthesis => {
+            g.stream().into_iter().collect::<Vec<_>>()
+        }
+        _ => return,
+    };
+    let mut j = 0;
+    while j < inner.len() {
+        match &inner[j] {
+            TokenTree::Ident(id) => {
+                let word = id.to_string();
+                match word.as_str() {
+                    "skip" => attrs.skip = true,
+                    "default" => attrs.default = true,
+                    "with" => {
+                        // with = "path"
+                        if let (Some(TokenTree::Punct(eq)), Some(TokenTree::Literal(lit))) =
+                            (inner.get(j + 1), inner.get(j + 2))
+                        {
+                            if eq.as_char() == '=' {
+                                let s = lit.to_string();
+                                attrs.with = Some(s.trim_matches('"').to_string());
+                                j += 2;
+                            }
+                        }
+                    }
+                    other => panic!("vendored serde_derive: unsupported serde attribute `{other}`"),
+                }
+            }
+            TokenTree::Punct(_) => {}
+            t => panic!("vendored serde_derive: unexpected token in serde attribute: {t}"),
+        }
+        j += 1;
+    }
+}
+
+/// Consume leading attributes starting at `i`; returns (next index,
+/// collected serde attrs).
+fn skip_attrs(tokens: &[TokenTree], mut i: usize) -> (usize, FieldAttrs) {
+    let mut attrs = FieldAttrs::default();
+    while i < tokens.len() {
+        match &tokens[i] {
+            TokenTree::Punct(p) if p.as_char() == '#' => {
+                if let Some(TokenTree::Group(g)) = tokens.get(i + 1) {
+                    let inner: Vec<TokenTree> = g.stream().into_iter().collect();
+                    parse_serde_attr(&inner, &mut attrs);
+                    i += 2;
+                } else {
+                    break;
+                }
+            }
+            _ => break,
+        }
+    }
+    (i, attrs)
+}
+
+/// Consume an optional visibility (`pub`, `pub(crate)`, ...) at `i`.
+fn skip_vis(tokens: &[TokenTree], mut i: usize) -> usize {
+    if let Some(TokenTree::Ident(id)) = tokens.get(i) {
+        if id.to_string() == "pub" {
+            i += 1;
+            if let Some(TokenTree::Group(g)) = tokens.get(i) {
+                if g.delimiter() == Delimiter::Parenthesis {
+                    i += 1;
+                }
+            }
+        }
+    }
+    i
+}
+
+/// Count top-level comma-separated items in a token list, tracking
+/// angle-bracket depth so `Foo<A, B>` counts as one item.
+fn count_top_level_items(tokens: &[TokenTree]) -> usize {
+    if tokens.is_empty() {
+        return 0;
+    }
+    let mut depth = 0i32;
+    let mut items = 1;
+    let mut saw_any = false;
+    for t in tokens {
+        match t {
+            TokenTree::Punct(p) if p.as_char() == '<' => depth += 1,
+            TokenTree::Punct(p) if p.as_char() == '>' => depth -= 1,
+            TokenTree::Punct(p) if p.as_char() == ',' && depth == 0 => items += 1,
+            _ => saw_any = true,
+        }
+    }
+    // A trailing comma opens a phantom item.
+    if let Some(TokenTree::Punct(p)) = tokens.last() {
+        if p.as_char() == ',' {
+            items -= 1;
+        }
+    }
+    if !saw_any {
+        0
+    } else {
+        items
+    }
+}
+
+/// Parse the fields of a named-field group `{ ... }`.
+fn parse_named_fields(group: &proc_macro::Group) -> Vec<Field> {
+    let tokens: Vec<TokenTree> = group.stream().into_iter().collect();
+    let mut fields = Vec::new();
+    let mut i = 0;
+    while i < tokens.len() {
+        let (ni, attrs) = skip_attrs(&tokens, i);
+        i = skip_vis(&tokens, ni);
+        let name = match tokens.get(i) {
+            Some(TokenTree::Ident(id)) => id.to_string(),
+            None => break,
+            Some(t) => panic!("vendored serde_derive: expected field name, got {t}"),
+        };
+        i += 1;
+        match tokens.get(i) {
+            Some(TokenTree::Punct(p)) if p.as_char() == ':' => i += 1,
+            t => panic!("vendored serde_derive: expected `:` after field `{name}`, got {t:?}"),
+        }
+        // Skip the type: everything until a comma at angle depth 0.
+        let mut depth = 0i32;
+        while i < tokens.len() {
+            match &tokens[i] {
+                TokenTree::Punct(p) if p.as_char() == '<' => depth += 1,
+                TokenTree::Punct(p) if p.as_char() == '>' => depth -= 1,
+                TokenTree::Punct(p) if p.as_char() == ',' && depth == 0 => {
+                    i += 1;
+                    break;
+                }
+                _ => {}
+            }
+            i += 1;
+        }
+        fields.push(Field { name, skip: attrs.skip, default: attrs.default, with: attrs.with });
+    }
+    fields
+}
+
+fn parse_enum_variants(group: &proc_macro::Group) -> Vec<Variant> {
+    let tokens: Vec<TokenTree> = group.stream().into_iter().collect();
+    let mut variants = Vec::new();
+    let mut i = 0;
+    while i < tokens.len() {
+        let (ni, _attrs) = skip_attrs(&tokens, i);
+        i = ni;
+        let name = match tokens.get(i) {
+            Some(TokenTree::Ident(id)) => id.to_string(),
+            None => break,
+            Some(t) => panic!("vendored serde_derive: expected variant name, got {t}"),
+        };
+        i += 1;
+        let fields = match tokens.get(i) {
+            Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Brace => {
+                i += 1;
+                VariantFields::Named(parse_named_fields(g).into_iter().map(|f| f.name).collect())
+            }
+            Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Parenthesis => {
+                i += 1;
+                let inner: Vec<TokenTree> = g.stream().into_iter().collect();
+                VariantFields::Tuple(count_top_level_items(&inner))
+            }
+            _ => VariantFields::Unit,
+        };
+        // Skip to past the next top-level comma (also skips `= expr`
+        // discriminants if any appear).
+        while i < tokens.len() {
+            if let TokenTree::Punct(p) = &tokens[i] {
+                if p.as_char() == ',' {
+                    i += 1;
+                    break;
+                }
+            }
+            i += 1;
+        }
+        variants.push(Variant { name, fields });
+    }
+    variants
+}
+
+fn parse_input(input: TokenStream) -> Input {
+    let tokens: Vec<TokenTree> = input.into_iter().collect();
+    let mut i = 0;
+    // Outer attributes and visibility.
+    let (ni, _) = skip_attrs(&tokens, i);
+    i = skip_vis(&tokens, ni);
+    let kind_word = match tokens.get(i) {
+        Some(TokenTree::Ident(id)) => id.to_string(),
+        t => panic!("vendored serde_derive: expected `struct` or `enum`, got {t:?}"),
+    };
+    i += 1;
+    let name = match tokens.get(i) {
+        Some(TokenTree::Ident(id)) => id.to_string(),
+        t => panic!("vendored serde_derive: expected type name, got {t:?}"),
+    };
+    i += 1;
+    if let Some(TokenTree::Punct(p)) = tokens.get(i) {
+        if p.as_char() == '<' {
+            panic!(
+                "vendored serde_derive: generic type `{name}` is not supported; \
+                 write manual impls"
+            );
+        }
+    }
+    let kind = match kind_word.as_str() {
+        "struct" => match tokens.get(i) {
+            Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Brace => {
+                Kind::Struct(parse_named_fields(g))
+            }
+            Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Parenthesis => {
+                let inner: Vec<TokenTree> = g.stream().into_iter().collect();
+                Kind::Tuple(count_top_level_items(&inner))
+            }
+            Some(TokenTree::Punct(p)) if p.as_char() == ';' => Kind::Unit,
+            t => panic!("vendored serde_derive: malformed struct body: {t:?}"),
+        },
+        "enum" => match tokens.get(i) {
+            Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Brace => {
+                Kind::Enum(parse_enum_variants(g))
+            }
+            t => panic!("vendored serde_derive: malformed enum body: {t:?}"),
+        },
+        other => panic!("vendored serde_derive: cannot derive for `{other}` items"),
+    };
+    Input { name, kind }
+}
+
+#[proc_macro_derive(Serialize, attributes(serde))]
+pub fn derive_serialize(input: TokenStream) -> TokenStream {
+    let input = parse_input(input);
+    let name = &input.name;
+    let body = match &input.kind {
+        Kind::Struct(fields) => {
+            let mut pushes = String::new();
+            for f in fields {
+                if f.skip {
+                    continue;
+                }
+                let expr = match &f.with {
+                    Some(path) => format!("{path}::to_value(&self.{})", f.name),
+                    None => format!("::serde::Serialize::to_value(&self.{})", f.name),
+                };
+                pushes.push_str(&format!(
+                    "__fields.push((::std::string::String::from(\"{}\"), {expr}));\n",
+                    f.name
+                ));
+            }
+            format!(
+                "let mut __fields: ::std::vec::Vec<(::std::string::String, ::serde::Value)> = \
+                 ::std::vec::Vec::new();\n{pushes}::serde::Value::Object(__fields)"
+            )
+        }
+        Kind::Tuple(1) => "::serde::Serialize::to_value(&self.0)".to_string(),
+        Kind::Tuple(n) => {
+            let items: Vec<String> =
+                (0..*n).map(|k| format!("::serde::Serialize::to_value(&self.{k})")).collect();
+            format!("::serde::Value::Array(vec![{}])", items.join(", "))
+        }
+        Kind::Unit => format!("::serde::Value::Str(::std::string::String::from(\"{name}\"))"),
+        Kind::Enum(variants) => {
+            let mut arms = String::new();
+            for v in variants {
+                let vn = &v.name;
+                match &v.fields {
+                    VariantFields::Unit => arms.push_str(&format!(
+                        "{name}::{vn} => ::serde::Value::Str(::std::string::String::from(\"{vn}\")),\n"
+                    )),
+                    VariantFields::Named(fields) => {
+                        let binds = fields.join(", ");
+                        let pushes: Vec<String> = fields
+                            .iter()
+                            .map(|f| {
+                                format!(
+                                    "(::std::string::String::from(\"{f}\"), \
+                                     ::serde::Serialize::to_value({f}))"
+                                )
+                            })
+                            .collect();
+                        arms.push_str(&format!(
+                            "{name}::{vn} {{ {binds} }} => ::serde::Value::Object(vec![\
+                             (::std::string::String::from(\"{vn}\"), \
+                              ::serde::Value::Object(vec![{}]))]),\n",
+                            pushes.join(", ")
+                        ));
+                    }
+                    VariantFields::Tuple(n) => {
+                        let binds: Vec<String> =
+                            (0..*n).map(|k| format!("__v{k}")).collect();
+                        let inner = if *n == 1 {
+                            "::serde::Serialize::to_value(__v0)".to_string()
+                        } else {
+                            let items: Vec<String> = binds
+                                .iter()
+                                .map(|b| format!("::serde::Serialize::to_value({b})"))
+                                .collect();
+                            format!("::serde::Value::Array(vec![{}])", items.join(", "))
+                        };
+                        arms.push_str(&format!(
+                            "{name}::{vn}({}) => ::serde::Value::Object(vec![\
+                             (::std::string::String::from(\"{vn}\"), {inner})]),\n",
+                            binds.join(", ")
+                        ));
+                    }
+                }
+            }
+            format!("match self {{\n{arms}}}")
+        }
+    };
+    let out = format!(
+        "impl ::serde::Serialize for {name} {{\n\
+         fn to_value(&self) -> ::serde::Value {{\n{body}\n}}\n}}\n"
+    );
+    out.parse().expect("vendored serde_derive: generated invalid Serialize impl")
+}
+
+#[proc_macro_derive(Deserialize, attributes(serde))]
+pub fn derive_deserialize(input: TokenStream) -> TokenStream {
+    let input = parse_input(input);
+    let name = &input.name;
+    let body = match &input.kind {
+        Kind::Struct(fields) => {
+            let mut inits = String::new();
+            for f in fields {
+                let fname = &f.name;
+                let init = if f.skip {
+                    "::std::default::Default::default()".to_string()
+                } else {
+                    let from = match &f.with {
+                        Some(path) => format!("{path}::from_value(__x)?"),
+                        None => "::serde::Deserialize::from_value(__x)?".to_string(),
+                    };
+                    let missing = if f.default {
+                        "::std::default::Default::default()".to_string()
+                    } else {
+                        format!(
+                            "return ::std::result::Result::Err(::serde::Error::custom(\
+                             \"missing field `{fname}` in {name}\"))"
+                        )
+                    };
+                    format!(
+                        "match ::serde::get_field(__obj, \"{fname}\") {{\n\
+                         ::std::option::Option::Some(__x) => {from},\n\
+                         ::std::option::Option::None => {missing},\n}}"
+                    )
+                };
+                inits.push_str(&format!("{fname}: {init},\n"));
+            }
+            format!(
+                "let __obj = __v.as_object().ok_or_else(|| \
+                 ::serde::Error::custom(\"expected object for {name}\"))?;\n\
+                 ::std::result::Result::Ok({name} {{\n{inits}}})"
+            )
+        }
+        Kind::Tuple(1) => {
+            format!("::std::result::Result::Ok({name}(::serde::Deserialize::from_value(__v)?))")
+        }
+        Kind::Tuple(n) => {
+            let items: Vec<String> = (0..*n)
+                .map(|k| format!("::serde::Deserialize::from_value(&__arr[{k}])?"))
+                .collect();
+            format!(
+                "let __arr = __v.as_array().ok_or_else(|| \
+                 ::serde::Error::custom(\"expected array for {name}\"))?;\n\
+                 if __arr.len() != {n} {{\n\
+                 return ::std::result::Result::Err(::serde::Error::custom(\
+                 \"wrong tuple arity for {name}\"));\n}}\n\
+                 ::std::result::Result::Ok({name}({}))",
+                items.join(", ")
+            )
+        }
+        Kind::Unit => format!("::std::result::Result::Ok({name})"),
+        Kind::Enum(variants) => {
+            let mut unit_arms = String::new();
+            let mut data_arms = String::new();
+            for v in variants {
+                let vn = &v.name;
+                match &v.fields {
+                    VariantFields::Unit => unit_arms.push_str(&format!(
+                        "\"{vn}\" => ::std::result::Result::Ok({name}::{vn}),\n"
+                    )),
+                    VariantFields::Named(fields) => {
+                        let mut inits = String::new();
+                        for f in fields {
+                            inits.push_str(&format!(
+                                "{f}: match ::serde::get_field(__obj, \"{f}\") {{\n\
+                                 ::std::option::Option::Some(__x) => \
+                                 ::serde::Deserialize::from_value(__x)?,\n\
+                                 ::std::option::Option::None => return \
+                                 ::std::result::Result::Err(::serde::Error::custom(\
+                                 \"missing field `{f}` in {name}::{vn}\")),\n}},\n"
+                            ));
+                        }
+                        data_arms.push_str(&format!(
+                            "\"{vn}\" => {{\nlet __obj = __inner.as_object()\
+                             .ok_or_else(|| ::serde::Error::custom(\
+                             \"expected object for {name}::{vn}\"))?;\n\
+                             ::std::result::Result::Ok({name}::{vn} {{\n{inits}}})\n}},\n"
+                        ));
+                    }
+                    VariantFields::Tuple(n) => {
+                        if *n == 1 {
+                            data_arms.push_str(&format!(
+                                "\"{vn}\" => ::std::result::Result::Ok({name}::{vn}(\
+                                 ::serde::Deserialize::from_value(__inner)?)),\n"
+                            ));
+                        } else {
+                            let items: Vec<String> = (0..*n)
+                                .map(|k| format!("::serde::Deserialize::from_value(&__arr[{k}])?"))
+                                .collect();
+                            data_arms.push_str(&format!(
+                                "\"{vn}\" => {{\nlet __arr = __inner.as_array()\
+                                 .ok_or_else(|| ::serde::Error::custom(\
+                                 \"expected array for {name}::{vn}\"))?;\n\
+                                 if __arr.len() != {n} {{\n\
+                                 return ::std::result::Result::Err(::serde::Error::custom(\
+                                 \"wrong arity for {name}::{vn}\"));\n}}\n\
+                                 ::std::result::Result::Ok({name}::{vn}({}))\n}},\n",
+                                items.join(", ")
+                            ));
+                        }
+                    }
+                }
+            }
+            format!(
+                "match __v {{\n\
+                 ::serde::Value::Str(__s) => match __s.as_str() {{\n{unit_arms}\
+                 __other => ::std::result::Result::Err(::serde::Error::custom(\
+                 format!(\"unknown variant `{{__other}}` of {name}\"))),\n}},\n\
+                 ::serde::Value::Object(__o) if __o.len() == 1 => {{\n\
+                 let (__tag, __inner) = &__o[0];\n\
+                 match __tag.as_str() {{\n{data_arms}\
+                 __other => ::std::result::Result::Err(::serde::Error::custom(\
+                 format!(\"unknown variant `{{__other}}` of {name}\"))),\n}}\n}},\n\
+                 _ => ::std::result::Result::Err(::serde::Error::custom(\
+                 \"expected string or single-key object for {name}\")),\n}}"
+            )
+        }
+    };
+    let out = format!(
+        "impl ::serde::Deserialize for {name} {{\n\
+         fn from_value(__v: &::serde::Value) -> \
+         ::std::result::Result<Self, ::serde::Error> {{\n{body}\n}}\n}}\n"
+    );
+    out.parse().expect("vendored serde_derive: generated invalid Deserialize impl")
+}
