@@ -1,0 +1,63 @@
+//! Capture and export a structured trace of one application run.
+//!
+//! ```text
+//! cargo run -p fg-bench --release --example trace_dump            # kmeans
+//! cargo run -p fg-bench --release --example trace_dump -- em
+//! ```
+//!
+//! Runs the named paper application on the golden-trace configuration
+//! (8 MB nominal, 2 data nodes, 4 compute nodes), prints the span tree
+//! and the metrics snapshot, and writes `target/trace/<app>.jsonl`
+//! (canonical record format) plus `target/trace/<app>.chrome.json`
+//! (open in `chrome://tracing` or Perfetto).
+
+use fg_bench::scenario::golden_trace_run;
+use fg_bench::PaperApp;
+use fg_trace::{to_chrome_json, to_jsonl, Span, Trace};
+
+fn print_span(trace: &Trace, span: &Span, depth: usize) {
+    let node = span.node.map(|n| format!(" @{n}")).unwrap_or_default();
+    println!(
+        "{:indent$}{} [{} .. {}] {:.6}s{node}",
+        "",
+        span.kind.label(),
+        span.start,
+        span.end,
+        span.duration().as_secs_f64(),
+        indent = depth * 2,
+    );
+    for child in trace.children(span.id) {
+        print_span(trace, child, depth + 1);
+    }
+}
+
+fn main() {
+    let name = std::env::args().nth(1).unwrap_or_else(|| "kmeans".to_string());
+    let app = PaperApp::parse(&name).unwrap_or_else(|| panic!("unknown application {name:?}"));
+    let (report, trace) = golden_trace_run(app);
+
+    if let Some(root) = trace.root() {
+        print_span(&trace, root, 0);
+    }
+    println!();
+    print!("{}", trace.metrics.render_text());
+    println!();
+    println!(
+        "report: t_disk={:.4}s t_network={:.4}s t_compute={:.4}s (t_ro={:.4}s t_g={:.4}s), {} passes",
+        report.t_disk().as_secs_f64(),
+        report.t_network().as_secs_f64(),
+        report.t_compute().as_secs_f64(),
+        report.t_ro().as_secs_f64(),
+        report.t_g().as_secs_f64(),
+        report.num_passes(),
+    );
+
+    let out_dir = std::path::Path::new("target/trace");
+    std::fs::create_dir_all(out_dir).expect("create target/trace");
+    let jsonl = out_dir.join(format!("{name}.jsonl"));
+    std::fs::write(&jsonl, to_jsonl(&trace)).unwrap_or_else(|e| panic!("write {jsonl:?}: {e}"));
+    let chrome = out_dir.join(format!("{name}.chrome.json"));
+    std::fs::write(&chrome, to_chrome_json(&trace))
+        .unwrap_or_else(|e| panic!("write {chrome:?}: {e}"));
+    println!("wrote {} and {}", jsonl.display(), chrome.display());
+}

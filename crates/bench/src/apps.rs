@@ -9,6 +9,7 @@ use fg_cluster::Deployment;
 use fg_middleware::{ExecutionReport, Executor, FaultOptions};
 use fg_predict::AppClasses;
 use fg_sim::FaultSchedule;
+use fg_trace::Trace;
 
 /// The applications of the paper's evaluation (plus apriori, the
 /// extension).
@@ -104,6 +105,49 @@ impl PaperApp {
         }
     }
 
+    /// Execute with tracing enabled, returning the measured report plus
+    /// the structured trace of the run. The report is bit-identical to
+    /// what [`PaperApp::execute`] returns for the same inputs — tracing
+    /// observes the run, it never perturbs it.
+    pub fn execute_traced(
+        &self,
+        deployment: Deployment,
+        dataset: &Dataset,
+    ) -> (ExecutionReport, Trace) {
+        let exec = Executor::new(deployment);
+        match self {
+            PaperApp::KMeans => {
+                let (r, t) = exec.run_traced(&fg_apps::kmeans::KMeans::paper(7), dataset);
+                (r.report, t)
+            }
+            PaperApp::Em => {
+                let (r, t) = exec.run_traced(&fg_apps::em::Em::paper(7), dataset);
+                (r.report, t)
+            }
+            PaperApp::Knn => {
+                let (r, t) = exec.run_traced(&fg_apps::knn::Knn::paper(7), dataset);
+                (r.report, t)
+            }
+            PaperApp::Vortex => {
+                let (r, t) = exec.run_traced(&fg_apps::vortex::VortexDetect::default(), dataset);
+                (r.report, t)
+            }
+            PaperApp::Defect => {
+                let app = fg_apps::defect::DefectDetect::for_dataset(dataset);
+                let (r, t) = exec.run_traced(&app, dataset);
+                (r.report, t)
+            }
+            PaperApp::Apriori => {
+                let (r, t) = exec.run_traced(&fg_apps::apriori::Apriori::standard(), dataset);
+                (r.report, t)
+            }
+            PaperApp::Ann => {
+                let (r, t) = exec.run_traced(&fg_apps::ann::AnnTrain::paper(7), dataset);
+                (r.report, t)
+            }
+        }
+    }
+
     /// Execute under an injected fault `schedule` (recovery tuned by
     /// `options`), returning the measured report. Same applications and
     /// fixed parameters as [`PaperApp::execute`], so an empty schedule
@@ -168,6 +212,85 @@ impl PaperApp {
                     None,
                 )
                 .report
+            }
+        }
+    }
+
+    /// Traced variant of [`PaperApp::execute_with_faults`]: same
+    /// execution, plus the structured trace (recovery spans included).
+    pub fn execute_with_faults_traced(
+        &self,
+        deployment: Deployment,
+        dataset: &Dataset,
+        schedule: &FaultSchedule,
+        options: &FaultOptions,
+    ) -> (ExecutionReport, Trace) {
+        let exec = Executor::new(deployment);
+        match self {
+            PaperApp::KMeans => {
+                let (r, t) = exec.run_with_faults_traced(
+                    &fg_apps::kmeans::KMeans::paper(7),
+                    dataset,
+                    schedule,
+                    options,
+                    None,
+                );
+                (r.report, t)
+            }
+            PaperApp::Em => {
+                let (r, t) = exec.run_with_faults_traced(
+                    &fg_apps::em::Em::paper(7),
+                    dataset,
+                    schedule,
+                    options,
+                    None,
+                );
+                (r.report, t)
+            }
+            PaperApp::Knn => {
+                let (r, t) = exec.run_with_faults_traced(
+                    &fg_apps::knn::Knn::paper(7),
+                    dataset,
+                    schedule,
+                    options,
+                    None,
+                );
+                (r.report, t)
+            }
+            PaperApp::Vortex => {
+                let (r, t) = exec.run_with_faults_traced(
+                    &fg_apps::vortex::VortexDetect::default(),
+                    dataset,
+                    schedule,
+                    options,
+                    None,
+                );
+                (r.report, t)
+            }
+            PaperApp::Defect => {
+                let app = fg_apps::defect::DefectDetect::for_dataset(dataset);
+                let (r, t) = exec.run_with_faults_traced(&app, dataset, schedule, options, None);
+                (r.report, t)
+            }
+            PaperApp::Apriori => {
+                let (r, t) = exec.run_with_faults_traced(
+                    &fg_apps::apriori::Apriori::standard(),
+                    dataset,
+                    schedule,
+                    options,
+                    None,
+                );
+                (r.report, t)
+            }
+            PaperApp::Ann => {
+                let (r, t) = exec.run_with_faults_traced(
+                    &fg_apps::ann::AnnTrain::paper(7),
+                    dataset,
+                    schedule,
+                    options,
+                    None,
+                );
+                (r.report, t)
             }
         }
     }

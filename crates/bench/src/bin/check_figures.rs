@@ -9,13 +9,18 @@
 //! ```text
 //! cargo run -p fg-bench --release --bin figures
 //! cargo run -p fg-bench --release --bin check_figures
+//! cargo run -p fg-bench --release --bin check_figures -- ext-faults ext-trace
 //! ```
+//!
+//! With figure-id arguments, only the claims of those figures are
+//! checked — the CI path for regenerating a subset.
 
 use fg_bench::Figure;
 use std::process::ExitCode;
 
 struct Checker {
     failures: Vec<String>,
+    filter: Vec<String>,
 }
 
 impl Checker {
@@ -29,6 +34,9 @@ impl Checker {
     }
 
     fn load(&mut self, id: &str) -> Option<Figure> {
+        if !self.filter.is_empty() && !self.filter.iter().any(|f| f == id) {
+            return None;
+        }
         let path = format!("target/figures/{id}.json");
         match std::fs::read_to_string(&path) {
             Ok(json) => match serde_json::from_str(&json) {
@@ -63,7 +71,8 @@ fn at(fig: &Figure, row: &str, column: &str) -> f64 {
 }
 
 fn main() -> ExitCode {
-    let mut ck = Checker { failures: Vec::new() };
+    let filter: Vec<String> = std::env::args().skip(1).collect();
+    let mut ck = Checker { failures: Vec::new(), filter };
 
     // Figures 2-6: model ordering and worst-case locations.
     for id in ["fig2", "fig3", "fig4", "fig5", "fig6"] {
@@ -201,6 +210,24 @@ fn main() -> ExitCode {
             "ext-faults",
             "every fault schedule costs time",
             fig.column_values("overhead vs fault-free").iter().skip(1).all(|&o| o > 0.0),
+        );
+    }
+
+    if let Some(fig) = ck.load("ext-trace") {
+        ck.claim(
+            "ext-trace",
+            "trace reconstructs every report component exactly (0 ns mismatch)",
+            fig.column_values("component mismatch (ns)").iter().all(|&m| m == 0.0),
+        );
+        ck.claim(
+            "ext-trace",
+            "trace-derived profiles equal report-derived profiles",
+            fig.column_values("profile drift").iter().all(|&d| d == 0.0),
+        );
+        ck.claim(
+            "ext-trace",
+            "kmeans tracing overhead under 5% wall-clock",
+            at(&fig, "kmeans", "trace overhead") < 0.05,
         );
     }
 

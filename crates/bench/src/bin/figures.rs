@@ -8,11 +8,32 @@
 //! ```
 //!
 //! Each figure prints as a text table of relative prediction errors and
-//! is also written to `target/figures/<id>.json`.
+//! is also written to `target/figures/<id>.json`. Regenerating the
+//! `ext-trace` figure additionally exports each paper application's
+//! golden-configuration trace to `target/figures/traces/<app>.jsonl`
+//! (the canonical record format) and `<app>.chrome.json` (loadable in
+//! `chrome://tracing` / Perfetto).
 
 use fg_bench::figures::registry;
+use fg_bench::scenario::golden_trace_run;
+use fg_bench::PaperApp;
 use std::io::Write as _;
 use std::time::Instant;
+
+fn export_traces(out_dir: &std::path::Path) {
+    let trace_dir = out_dir.join("traces");
+    std::fs::create_dir_all(&trace_dir).expect("create target/figures/traces");
+    for app in PaperApp::PAPER_FIVE {
+        let (_, trace) = golden_trace_run(app);
+        let jsonl = trace_dir.join(format!("{}.jsonl", app.name()));
+        std::fs::write(&jsonl, fg_trace::to_jsonl(&trace))
+            .unwrap_or_else(|e| panic!("write {jsonl:?}: {e}"));
+        let chrome = trace_dir.join(format!("{}.chrome.json", app.name()));
+        std::fs::write(&chrome, fg_trace::to_chrome_json(&trace))
+            .unwrap_or_else(|e| panic!("write {chrome:?}: {e}"));
+        println!("  trace: {} and {}", jsonl.display(), chrome.display());
+    }
+}
 
 fn main() {
     let mut args: Vec<String> = std::env::args().skip(1).collect();
@@ -29,7 +50,7 @@ fn main() {
         }
         return;
     }
-    let selected: Vec<&(&str, fn() -> fg_bench::Figure)> = if args.is_empty() {
+    let selected: Vec<&fg_bench::FigureEntry> = if args.is_empty() {
         registry.iter().collect()
     } else {
         args.iter()
@@ -55,5 +76,8 @@ fn main() {
         let path = out_dir.join(format!("{id}.json"));
         let json = serde_json::to_string_pretty(&figure).expect("serialize figure");
         std::fs::write(&path, json).unwrap_or_else(|e| panic!("write {path:?}: {e}"));
+        if *id == "ext-trace" {
+            export_traces(out_dir);
+        }
     }
 }

@@ -626,8 +626,92 @@ pub fn ext_faults() -> Figure {
     }
 }
 
+/// Extension: tracing fidelity and overhead.
+///
+/// For each paper application, runs the same execution untraced and
+/// traced, then (a) reconstructs the execution report and the profile
+/// from the trace and reports the worst component mismatch in integer
+/// nanoseconds — the trace retraces the executor's exact arithmetic, so
+/// this must be zero — and (b) reports the host-side wall-clock overhead
+/// of collecting the trace (best-of-`REPEATS` on both sides, so the
+/// ratio is noise-resistant).
+pub fn ext_trace() -> Figure {
+    use fg_middleware::ExecutionReport;
+    use std::time::Instant;
+    const REPEATS: usize = 5;
+    let mut notes = Vec::new();
+    let rows = PaperApp::PAPER_FIVE
+        .iter()
+        .map(|&app| {
+            let dataset =
+                app.generate(&format!("ext-trace-{}", app.name()), 130.0, FIGURE_SCALE, 42);
+            let deployment = pentium_deployment(2, 4, DEFAULT_WAN_BW);
+            let time = |f: &dyn Fn() -> ExecutionReport| {
+                (0..REPEATS)
+                    .map(|_| {
+                        let t0 = Instant::now();
+                        let r = f();
+                        (t0.elapsed().as_secs_f64(), r)
+                    })
+                    .min_by(|a, b| a.0.total_cmp(&b.0))
+                    .expect("at least one repeat")
+            };
+            let (plain_wall, plain) = time(&|| app.execute(deployment.clone(), &dataset));
+            let (traced_wall, traced) =
+                time(&|| app.execute_traced(deployment.clone(), &dataset).0);
+            let (_, trace) = app.execute_traced(deployment.clone(), &dataset);
+            assert_eq!(plain, traced, "tracing must not perturb the execution");
+            let rebuilt = ExecutionReport::from_trace(&trace).expect("report from trace");
+            let components = [
+                (plain.t_disk(), rebuilt.t_disk()),
+                (plain.t_network(), rebuilt.t_network()),
+                (plain.t_compute(), rebuilt.t_compute()),
+                (plain.t_ro(), rebuilt.t_ro()),
+                (plain.t_g(), rebuilt.t_g()),
+                (plain.t_recovery(), rebuilt.t_recovery()),
+            ];
+            let mismatch_ns = components
+                .iter()
+                .map(|(a, b)| a.as_nanos().abs_diff(b.as_nanos()))
+                .max()
+                .unwrap_or(0);
+            let profile_drift = if Profile::from_trace(&trace).expect("profile from trace")
+                == Profile::from_report(&plain)
+            {
+                0.0
+            } else {
+                1.0
+            };
+            let overhead = traced_wall / plain_wall - 1.0;
+            notes.push(format!(
+                "{}: untraced {:.1}ms, traced {:.1}ms ({} spans, {} passes)",
+                app.name(),
+                plain_wall * 1e3,
+                traced_wall * 1e3,
+                trace.spans.len(),
+                plain.num_passes(),
+            ));
+            (app.name().to_string(), vec![mismatch_ns as f64, profile_drift, overhead])
+        })
+        .collect();
+    Figure {
+        id: "ext-trace".into(),
+        title: "Extension: trace fidelity (report/profile reconstruction) and collection overhead, 130 MB datasets on 2-4".into(),
+        columns: vec![
+            "component mismatch (ns)".into(),
+            "profile drift".into(),
+            "trace overhead".into(),
+        ],
+        rows,
+        notes,
+    }
+}
+
+/// A registry entry: figure id plus its generator.
+pub type FigureEntry = (&'static str, fn() -> Figure);
+
 /// The full registry: figure id → generator, in paper order.
-pub fn registry() -> Vec<(&'static str, fn() -> Figure)> {
+pub fn registry() -> Vec<FigureEntry> {
     fn fig2() -> Figure {
         model_error_figure("fig2", PaperApp::KMeans, 1400.0)
     }
@@ -707,5 +791,6 @@ pub fn registry() -> Vec<(&'static str, fn() -> Figure)> {
         ("ext-cache", ext_cache_plans),
         ("ext-pipeline", ext_pipeline),
         ("ext-faults", ext_faults),
+        ("ext-trace", ext_trace),
     ]
 }

@@ -14,5 +14,6 @@ pub mod scenario;
 pub mod table;
 
 pub use apps::PaperApp;
+pub use figures::FigureEntry;
 pub use scenario::{pentium_deployment, FIGURE_SCALE};
 pub use table::Figure;

@@ -45,6 +45,15 @@ pub fn collect_profile(app: PaperApp, deployment: Deployment, dataset: &Dataset)
     Profile::from_report(&app.execute(deployment, dataset))
 }
 
+/// The fixed small run pinned by the golden-trace suite: 8 MB nominal
+/// at 1% scale, seed 3, on a 2-4 Pentium deployment with a 1 MB/s WAN.
+/// Everything is deterministic, so the emitted trace is a stable
+/// regression artifact.
+pub fn golden_trace_run(app: PaperApp) -> (fg_middleware::ExecutionReport, fg_trace::Trace) {
+    let dataset = app.generate(&format!("golden-{}", app.name()), 8.0, 0.01, 3);
+    app.execute_traced(pentium_deployment(2, 4, 1e6), &dataset)
+}
+
 /// One profile-based prediction experiment against one actual run.
 pub struct Comparison {
     /// The target configuration evaluated.

@@ -107,7 +107,7 @@ impl Figure {
 mod nan_as_null {
     use serde::{Deserialize, Error, Serialize, Value};
 
-    pub fn to_value(rows: &Vec<(String, Vec<f64>)>) -> Value {
+    pub fn to_value(rows: &[(String, Vec<f64>)]) -> Value {
         let mapped: Vec<(&String, Vec<Option<f64>>)> = rows
             .iter()
             .map(|(l, vs)| {

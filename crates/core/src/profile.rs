@@ -8,6 +8,7 @@
 //! time, and the global reduction time.
 
 use fg_middleware::ExecutionReport;
+use fg_trace::{SpanKind, Trace};
 use serde::{Deserialize, Serialize};
 
 /// Everything the prediction framework keeps from a profile run.
@@ -63,6 +64,45 @@ impl Profile {
             repo_machine: report.repo_machine.clone(),
             compute_machine: report.compute_machine.clone(),
         }
+    }
+
+    /// Extract a profile directly from an execution trace, so the
+    /// breakdown the predictor consumes is provably the measured span
+    /// record rather than hand-summed report fields.
+    ///
+    /// Component sums are integer-nanosecond [`Trace::component_sum`]s
+    /// converted to seconds once at the end — the same arithmetic as
+    /// [`Profile::from_report`] on the report of the run that emitted
+    /// the trace, so the two profiles are identical bit for bit.
+    pub fn from_trace(trace: &Trace) -> Result<Profile, String> {
+        let meta = trace.meta.as_ref().ok_or("trace has no run meta")?;
+        let passes = trace.passes();
+        if passes.is_empty() {
+            return Err("trace has no pass spans".to_string());
+        }
+        let t_disk =
+            trace.component_sum(SpanKind::Retrieval) + trace.component_sum(SpanKind::CacheDisk);
+        let t_network =
+            trace.component_sum(SpanKind::Network) + trace.component_sum(SpanKind::CacheNetwork);
+        let t_ro = trace.component_sum(SpanKind::Gather);
+        let t_g = trace.component_sum(SpanKind::GlobalReduce);
+        let t_compute = trace.component_sum(SpanKind::Compute) + t_ro + t_g;
+        Ok(Profile {
+            app: meta.app.clone(),
+            data_nodes: meta.data_nodes,
+            compute_nodes: meta.compute_nodes,
+            wan_bw: meta.wan_bw,
+            dataset_bytes: meta.dataset_bytes,
+            t_disk: t_disk.as_secs_f64(),
+            t_network: t_network.as_secs_f64(),
+            t_compute: t_compute.as_secs_f64(),
+            t_ro: t_ro.as_secs_f64(),
+            t_g: t_g.as_secs_f64(),
+            max_obj_bytes: passes.iter().filter_map(|p| p.attr("max_obj_bytes")).max().unwrap_or(0),
+            passes: passes.len(),
+            repo_machine: meta.repo_machine.clone(),
+            compute_machine: meta.compute_machine.clone(),
+        })
     }
 
     /// Total profile execution time.

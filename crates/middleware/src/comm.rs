@@ -35,9 +35,28 @@ pub fn transfer_makespan(
     compute_nodes: usize,
     flows: &[TransferFlow],
 ) -> SimDuration {
+    transfer_times(wan, sender, receiver, data_nodes, compute_nodes, flows)
+        .into_iter()
+        .map(|(_, t)| t)
+        .max()
+        .unwrap_or(SimDuration::ZERO)
+}
+
+/// Per-flow completion times for one pass's WAN transfer: `(flow, time)`
+/// for every flow with bytes to move, under the same resource model as
+/// [`transfer_makespan`] (which is the maximum entry). The per-flow
+/// breakdown feeds trace attribution.
+pub fn transfer_times(
+    wan: &Wan,
+    sender: &MachineSpec,
+    receiver: &MachineSpec,
+    data_nodes: usize,
+    compute_nodes: usize,
+    flows: &[TransferFlow],
+) -> Vec<(TransferFlow, SimDuration)> {
     let live: Vec<&TransferFlow> = flows.iter().filter(|f| f.bytes > 0).collect();
     if live.is_empty() {
-        return SimDuration::ZERO;
+        return Vec::new();
     }
     // Resources: [0, n) uplinks, [n, n+c) downlinks, optional aggregate.
     let uplink_bw = sender.nic_bw.min(wan.stream_bw);
@@ -69,9 +88,10 @@ pub fn transfer_makespan(
     let outcomes = sim.run(&sim_flows);
     live.iter()
         .zip(outcomes.iter())
-        .map(|(f, o)| o.finish.saturating_since(SimTime::ZERO) + wan.latency * f.chunks as u64)
-        .max()
-        .unwrap_or(SimDuration::ZERO)
+        .map(|(f, o)| {
+            (**f, o.finish.saturating_since(SimTime::ZERO) + wan.latency * f.chunks as u64)
+        })
+        .collect()
 }
 
 /// Virtual time for the reduction-object communication phase (`T_ro`):
@@ -81,13 +101,20 @@ pub fn transfer_makespan(
 /// this phase as "a serialized component of the parallel processing
 /// time".
 pub fn gather_time(site: &ComputeSite, non_master_obj_bytes: &[u64]) -> SimDuration {
+    gather_times(site, non_master_obj_bytes).into_iter().sum()
+}
+
+/// Per-sender components of the gather phase, in sender order. The phase
+/// is serialized at the master, so [`gather_time`] is the exact sum of
+/// these (trace `node-send` spans are laid end to end from them).
+pub fn gather_times(site: &ComputeSite, non_master_obj_bytes: &[u64]) -> Vec<SimDuration> {
     non_master_obj_bytes
         .iter()
         .map(|&bytes| {
             site.costs.gather_latency
                 + SimDuration::from_secs_f64(bytes as f64 / site.interconnect_bw)
         })
-        .sum()
+        .collect()
 }
 
 /// Virtual time to broadcast the next pass's state from the master to all

@@ -147,6 +147,19 @@ pub fn node_compute_time<O: ReductionObject>(
     kernel + merge + dispatch + cache_time
 }
 
+/// [`node_compute_time`] for every node of a pass, in node order — the
+/// per-node breakdown behind the compute phase's makespan, used for
+/// trace attribution and straggler planning.
+pub fn node_phase_times<O: ReductionObject>(
+    results: &[NodeResult<O>],
+    machine: &MachineSpec,
+    costs: &MiddlewareCosts,
+    inflation: f64,
+    cache: CacheTraffic,
+) -> Vec<SimDuration> {
+    results.iter().map(|r| node_compute_time(r, machine, costs, inflation, cache)).collect()
+}
+
 /// Which direction (if any) the cache moves during a pass.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
 pub enum CacheTraffic {

@@ -66,20 +66,19 @@ impl RetryPolicy {
     }
 }
 
-/// Virtual time for the repository to read all chunks of one pass.
-///
-/// `per_node_bytes[d]` / `per_node_chunks[d]` describe data node `d`'s
-/// share (logical bytes). Returns the makespan across nodes.
-pub fn retrieval_makespan(
+/// Per-node read times for one pass: `(data node index, time)` for every
+/// node with a nonzero share. The phase makespan is the maximum entry;
+/// the per-node breakdown feeds trace attribution.
+pub fn retrieval_times(
     repo: &RepositorySite,
     per_node_bytes: &[u64],
     per_node_chunks: &[usize],
-) -> SimDuration {
+) -> Vec<(usize, SimDuration)> {
     assert_eq!(per_node_bytes.len(), per_node_chunks.len());
     let reading: Vec<usize> =
         (0..per_node_bytes.len()).filter(|&d| per_node_bytes[d] > 0).collect();
     if reading.is_empty() {
-        return SimDuration::ZERO;
+        return Vec::new();
     }
     let sim = FairShareSim::new(vec![repo.backplane_bw]);
     let flows: Vec<Flow> = reading
@@ -97,8 +96,23 @@ pub fn retrieval_makespan(
         .zip(outcomes.iter())
         .map(|(&d, o)| {
             let seeks = repo.machine.disk_seek * per_node_chunks[d] as u64;
-            o.finish.saturating_since(SimTime::ZERO) + seeks
+            (d, o.finish.saturating_since(SimTime::ZERO) + seeks)
         })
+        .collect()
+}
+
+/// Virtual time for the repository to read all chunks of one pass.
+///
+/// `per_node_bytes[d]` / `per_node_chunks[d]` describe data node `d`'s
+/// share (logical bytes). Returns the makespan across nodes.
+pub fn retrieval_makespan(
+    repo: &RepositorySite,
+    per_node_bytes: &[u64],
+    per_node_chunks: &[usize],
+) -> SimDuration {
+    retrieval_times(repo, per_node_bytes, per_node_chunks)
+        .into_iter()
+        .map(|(_, t)| t)
         .max()
         .unwrap_or(SimDuration::ZERO)
 }

@@ -42,6 +42,7 @@ use crate::report::{CacheMode, ExecutionReport, PassReport};
 use fg_chunks::{distribution, partition, Dataset};
 use fg_cluster::Deployment;
 use fg_sim::{FaultSchedule, SimDuration, SimTime};
+use fg_trace::{NodeRef, SpanKind, Trace, Tracer};
 
 /// Outcome of a full execution: the measured report plus the
 /// application's final state.
@@ -155,37 +156,60 @@ fn fetch_plan(dataset: &Dataset, n: usize, dest: &[usize], dead: &[usize]) -> Fe
     FetchPlan { dn_bytes, dn_chunks, flows }
 }
 
+/// The compute phase's shape under stragglers: the makespan, the
+/// degraded-mode recovery time, and the per-node breakdown behind them
+/// (for trace attribution).
+struct StragglerPlan {
+    /// Local-reduction makespan across the nodes that complete in-phase.
+    makespan: SimDuration,
+    /// Master re-execution time of the abandoned nodes' chunks.
+    recovery: SimDuration,
+    /// Each node's effective (slowdown-stretched) in-phase time; `None`
+    /// for abandoned nodes, which do not contribute to the makespan.
+    node_times: Vec<Option<SimDuration>>,
+    /// Abandoned nodes with their spec-speed re-execution times, in
+    /// node order (the master runs them serially in this order).
+    abandoned: Vec<(usize, SimDuration)>,
+}
+
 /// Local-reduction makespan under stragglers, plus the degraded-mode
 /// recovery time. A straggler whose stretched time would exceed
 /// `threshold` times the slowest healthy node is abandoned; the master
 /// re-executes its chunks at spec speed after the healthy nodes finish
 /// (serially, one abandoned node after another). If every node
 /// straggles there is no healthy baseline and nothing is abandoned.
-fn straggler_makespan(
-    base: &[SimDuration],
-    schedule: &FaultSchedule,
-    threshold: f64,
-) -> (SimDuration, SimDuration) {
+fn straggler_plan(base: &[SimDuration], schedule: &FaultSchedule, threshold: f64) -> StragglerPlan {
     let slow: Vec<f64> = (0..base.len()).map(|i| schedule.slowdown(i)).collect();
     let healthy_max = base.iter().zip(&slow).filter(|&(_, &s)| s == 1.0).map(|(t, _)| *t).max();
     match healthy_max {
-        None => (
-            base.iter().zip(&slow).map(|(t, &s)| t.mul_f64(s)).max().unwrap_or(SimDuration::ZERO),
-            SimDuration::ZERO,
-        ),
+        None => {
+            let node_times: Vec<Option<SimDuration>> =
+                base.iter().zip(&slow).map(|(t, &s)| Some(t.mul_f64(s))).collect();
+            StragglerPlan {
+                makespan: node_times.iter().flatten().copied().max().unwrap_or(SimDuration::ZERO),
+                recovery: SimDuration::ZERO,
+                node_times,
+                abandoned: Vec::new(),
+            }
+        }
         Some(hmax) => {
             let deadline = hmax.mul_f64(threshold);
             let mut makespan = SimDuration::ZERO;
             let mut recovery = SimDuration::ZERO;
-            for (t, &s) in base.iter().zip(&slow) {
+            let mut node_times = Vec::with_capacity(base.len());
+            let mut abandoned = Vec::new();
+            for (i, (t, &s)) in base.iter().zip(&slow).enumerate() {
                 let scaled = if s == 1.0 { *t } else { t.mul_f64(s) };
                 if s > 1.0 && !hmax.is_zero() && scaled > deadline {
                     recovery += *t;
+                    node_times.push(None);
+                    abandoned.push((i, *t));
                 } else {
                     makespan = makespan.max(scaled);
+                    node_times.push(Some(scaled));
                 }
             }
-            (makespan, recovery)
+            StragglerPlan { makespan, recovery, node_times, abandoned }
         }
     }
 }
@@ -216,6 +240,23 @@ impl Executor {
         self.run_with_faults(app, dataset, &FaultSchedule::none(), &FaultOptions::default(), None)
     }
 
+    /// [`Executor::run`], additionally recording a structured trace of
+    /// where the virtual time went. The report is bit-identical to the
+    /// untraced run's; the trace's component sums reproduce it exactly.
+    pub fn run_traced<A: ReductionApp>(
+        &self,
+        app: &A,
+        dataset: &Dataset,
+    ) -> (RunResult<A::State>, Trace) {
+        self.run_with_faults_traced(
+            app,
+            dataset,
+            &FaultSchedule::none(),
+            &FaultOptions::default(),
+            None,
+        )
+    }
+
     /// Run `app` over `dataset` under an injected fault `schedule`,
     /// recovering per `options`, with an optional mid-run re-selection
     /// `controller` (see the module docs for the fault model).
@@ -228,7 +269,35 @@ impl Executor {
         dataset: &Dataset,
         schedule: &FaultSchedule,
         options: &FaultOptions,
+        controller: Option<&mut dyn PassController>,
+    ) -> RunResult<A::State> {
+        self.run_inner(app, dataset, schedule, options, controller, None)
+    }
+
+    /// [`Executor::run_with_faults`] with trace capture; see
+    /// [`Executor::run_traced`].
+    pub fn run_with_faults_traced<A: ReductionApp>(
+        &self,
+        app: &A,
+        dataset: &Dataset,
+        schedule: &FaultSchedule,
+        options: &FaultOptions,
+        controller: Option<&mut dyn PassController>,
+    ) -> (RunResult<A::State>, Trace) {
+        let mut tracer = Tracer::new();
+        let result = self.run_inner(app, dataset, schedule, options, controller, Some(&mut tracer));
+        let meta = result.report.run_meta();
+        (result, tracer.finish(Some(meta)))
+    }
+
+    fn run_inner<A: ReductionApp>(
+        &self,
+        app: &A,
+        dataset: &Dataset,
+        schedule: &FaultSchedule,
+        options: &FaultOptions,
         mut controller: Option<&mut dyn PassController>,
+        mut tracer: Option<&mut Tracer>,
     ) -> RunResult<A::State> {
         let d = &self.deployment;
         let n = d.config.data_nodes;
@@ -320,6 +389,7 @@ impl Executor {
         // time, so a crash at t=0 hits the first fetch and one past the
         // horizon never fires.
         let mut now = SimTime::ZERO;
+        let run_span = tracer.as_deref_mut().map(|tr| tr.begin(SpanKind::Run, None, now));
 
         loop {
             assert!(
@@ -353,12 +423,18 @@ impl Executor {
                 }
             }
 
-            // Phase 1: origin repository retrieval.
-            let retrieval = if remote {
-                dataserver::retrieval_makespan(&current.repository, &plan.dn_bytes, &plan.dn_chunks)
+            // Phase 1: origin repository retrieval. The per-node times
+            // feed trace attribution; the phase is their makespan.
+            let read_times = if remote {
+                dataserver::retrieval_times(&current.repository, &plan.dn_bytes, &plan.dn_chunks)
             } else {
-                SimDuration::ZERO
+                Vec::new()
             };
+            let retrieval = read_times.iter().map(|&(_, t)| t).max().unwrap_or(SimDuration::ZERO);
+            // Snapshot per-node shares before a migrating controller can
+            // swap `plan` out at the end of the pass.
+            let read_stats: Vec<(u64, usize)> =
+                read_times.iter().map(|&(d, _)| (plan.dn_bytes[d], plan.dn_chunks[d])).collect();
 
             // Phase 2: origin WAN transfer, at whatever bandwidth the
             // degradation windows leave when the transfer starts.
@@ -367,10 +443,10 @@ impl Executor {
             } else {
                 1.0
             };
-            let network = if remote {
+            let flow_times = if remote {
                 let n_cur = current.config.data_nodes;
                 if net_factor == 1.0 {
-                    comm::transfer_makespan(
+                    comm::transfer_times(
                         &current.wan,
                         &current.repository.machine,
                         machine,
@@ -384,7 +460,7 @@ impl Executor {
                     if let Some(cap) = wan.aggregate_cap.as_mut() {
                         *cap *= net_factor;
                     }
-                    comm::transfer_makespan(
+                    comm::transfer_times(
                         &wan,
                         &current.repository.machine,
                         machine,
@@ -394,8 +470,9 @@ impl Executor {
                     )
                 }
             } else {
-                SimDuration::ZERO
+                Vec::new()
             };
+            let network = flow_times.iter().map(|&(_, t)| t).max().unwrap_or(SimDuration::ZERO);
 
             // Non-local cache traffic: write-through on the first pass,
             // reads on later passes.
@@ -453,22 +530,27 @@ impl Executor {
             } else {
                 CacheTraffic::Read
             };
-            let base_times: Vec<SimDuration> = results
-                .iter()
-                .map(|r| {
-                    computeserver::node_compute_time(r, machine, &site.costs, inflation, cache)
-                })
-                .collect();
-            let (local_compute, straggler_recovery) = if schedule.stragglers.is_empty() {
-                (base_times.iter().copied().max().unwrap_or(SimDuration::ZERO), SimDuration::ZERO)
-            } else {
-                straggler_makespan(&base_times, schedule, options.straggler_threshold)
-            };
+            let base_times =
+                computeserver::node_phase_times(&results, machine, &site.costs, inflation, cache);
+            let (local_compute, straggler_recovery, node_times, abandoned) =
+                if schedule.stragglers.is_empty() {
+                    (
+                        base_times.iter().copied().max().unwrap_or(SimDuration::ZERO),
+                        SimDuration::ZERO,
+                        base_times.iter().map(|&t| Some(t)).collect::<Vec<_>>(),
+                        Vec::new(),
+                    )
+                } else {
+                    let plan = straggler_plan(&base_times, schedule, options.straggler_threshold);
+                    (plan.makespan, plan.recovery, plan.node_times, plan.abandoned)
+                };
 
-            // Phase 4: reduction-object communication (serialized gather).
+            // Phase 4: reduction-object communication (serialized
+            // gather): t_ro is exactly the sum of the per-sender times.
             let obj_bytes: Vec<u64> =
                 results.iter().map(|r| r.obj.size().logical(inflation)).collect();
-            let t_ro = comm::gather_time(site, &obj_bytes[1..]);
+            let send_times = comm::gather_times(site, &obj_bytes[1..]);
+            let t_ro: SimDuration = send_times.iter().copied().sum();
             let max_obj_bytes = obj_bytes.iter().copied().max().unwrap_or(0);
 
             // Phase 5: global reduction at the master (node 0): handle
@@ -548,6 +630,132 @@ impl Executor {
                 }
             }
 
+            // Record the pass's span tree: one phase span per non-zero
+            // phase, in clock order, with per-node children where the
+            // phase has a breakdown. The cursor retraces exactly the
+            // integer additions of `phases_done`, so span durations
+            // reproduce the report bit for bit.
+            if let Some(tr) = tracer.as_deref_mut() {
+                let pass_span = tr.begin(SpanKind::Pass, None, now);
+                let mut t = now;
+                if !fault_detection.is_zero() {
+                    tr.record(SpanKind::FaultDetection, None, t, t + fault_detection);
+                    t += fault_detection;
+                }
+                if !retrieval.is_zero() {
+                    let s = tr.begin(SpanKind::Retrieval, None, t);
+                    for (&(d, dt), &(bytes, chunks)) in read_times.iter().zip(&read_stats) {
+                        let id = tr.record(SpanKind::NodeRead, Some(NodeRef::data(d)), t, t + dt);
+                        tr.attr(id, "bytes", bytes);
+                        tr.attr(id, "chunks", chunks as u64);
+                    }
+                    tr.end(s, t + retrieval);
+                    t += retrieval;
+                }
+                if !network.is_zero() {
+                    let s = tr.begin(SpanKind::Network, None, t);
+                    for &(f, dt) in &flow_times {
+                        let id = tr.record(
+                            SpanKind::NodeTransfer,
+                            Some(NodeRef::data(f.data_node)),
+                            t,
+                            t + dt,
+                        );
+                        tr.attr(id, "bytes", f.bytes);
+                        tr.attr(id, "chunks", f.chunks as u64);
+                        tr.attr(id, "to_compute", f.compute_node as u64);
+                    }
+                    tr.end(s, t + network);
+                    t += network;
+                }
+                if !cache_disk.is_zero() {
+                    tr.record(SpanKind::CacheDisk, None, t, t + cache_disk);
+                    t += cache_disk;
+                }
+                if !cache_network.is_zero() {
+                    tr.record(SpanKind::CacheNetwork, None, t, t + cache_network);
+                    t += cache_network;
+                }
+                if !local_compute.is_zero() {
+                    let s = tr.begin(SpanKind::Compute, None, t);
+                    for (p, nt) in node_times.iter().enumerate() {
+                        if let Some(dt) = nt {
+                            if !dt.is_zero() {
+                                tr.record(
+                                    SpanKind::NodeCompute,
+                                    Some(NodeRef::compute(p)),
+                                    t,
+                                    t + *dt,
+                                );
+                            }
+                        }
+                    }
+                    tr.end(s, t + local_compute);
+                    t += local_compute;
+                }
+                if !t_ro.is_zero() {
+                    let s = tr.begin(SpanKind::Gather, None, t);
+                    let mut g = t;
+                    for (i, &dt) in send_times.iter().enumerate() {
+                        if !dt.is_zero() {
+                            let id = tr.record(
+                                SpanKind::NodeSend,
+                                Some(NodeRef::compute(i + 1)),
+                                g,
+                                g + dt,
+                            );
+                            tr.attr(id, "obj_bytes", obj_bytes[i + 1]);
+                        }
+                        g += dt;
+                    }
+                    tr.end(s, t + t_ro);
+                    t += t_ro;
+                }
+                if !t_g.is_zero() {
+                    tr.record(SpanKind::GlobalReduce, Some(NodeRef::master()), t, t + t_g);
+                    t += t_g;
+                }
+                if !migration.is_zero() {
+                    tr.record(SpanKind::Migration, None, t, t + migration);
+                    t += migration;
+                }
+                if !straggler_recovery.is_zero() {
+                    let s = tr.begin(SpanKind::StragglerRecovery, None, t);
+                    let mut g = t;
+                    for &(p, dt) in &abandoned {
+                        let id =
+                            tr.record(SpanKind::NodeReexec, Some(NodeRef::master()), g, g + dt);
+                        tr.attr(id, "node", p as u64);
+                        g += dt;
+                    }
+                    tr.end(s, t + straggler_recovery);
+                    t += straggler_recovery;
+                }
+                tr.attr(pass_span, "max_obj_bytes", max_obj_bytes);
+                tr.attr(pass_span, "remote", u64::from(remote));
+                tr.end(pass_span, t);
+
+                tr.metrics.counter("passes").inc();
+                if remote {
+                    let (fb, fc) = flow_times
+                        .iter()
+                        .fold((0u64, 0u64), |(b, k), (f, _)| (b + f.bytes, k + f.chunks as u64));
+                    tr.metrics.counter("bytes_fetched").add(fb);
+                    tr.metrics.counter("chunks_fetched").add(fc);
+                }
+                if !fault_detection.is_zero() {
+                    tr.metrics.counter("fault_detections").inc();
+                    tr.metrics.gauge("dead_data_nodes").set(known_dead.len() as f64);
+                }
+                tr.metrics.counter("stragglers_abandoned").add(abandoned.len() as u64);
+                if !migration.is_zero() {
+                    tr.metrics.counter("migrations").inc();
+                }
+                tr.metrics
+                    .histogram("pass_seconds", &[0.01, 0.1, 1.0, 10.0, 100.0, 1000.0])
+                    .observe(t.saturating_since(now).as_secs_f64());
+            }
+
             passes.push(PassReport {
                 retrieval,
                 network,
@@ -566,6 +774,10 @@ impl Executor {
             if finished {
                 break;
             }
+        }
+
+        if let (Some(tr), Some(id)) = (tracer, run_span) {
+            tr.end(id, now);
         }
 
         let report = ExecutionReport {
@@ -934,6 +1146,115 @@ mod tests {
         assert!(r.passes[1].network < r.passes[0].network);
         // The controller observed the per-stream bandwidth of each pass.
         assert_eq!(ctrl.observed, vec![Some(1e5), Some(1e6)]);
+    }
+
+    #[test]
+    fn traced_run_matches_untraced_bit_for_bit() {
+        let ds = dataset(8, 100);
+        let ex = Executor::new(deployment(2, 4));
+        let plain = ex.run(&TwoPass, &ds);
+        let (traced, trace) = ex.run_traced(&TwoPass, &ds);
+        assert_eq!(plain.report, traced.report);
+        assert_eq!(final_count(&plain.final_state), final_count(&traced.final_state));
+        trace.check_well_formed().expect("trace must be well-formed");
+        assert_eq!(trace.passes().len(), traced.report.num_passes());
+    }
+
+    #[test]
+    fn trace_component_sums_equal_report_components() {
+        let ds = dataset(8, 100);
+        let (result, trace) = Executor::new(deployment(2, 4)).run_traced(&TwoPass, &ds);
+        let r = &result.report;
+        assert_eq!(
+            trace.component_sum(SpanKind::Retrieval) + trace.component_sum(SpanKind::CacheDisk),
+            r.t_disk()
+        );
+        assert_eq!(
+            trace.component_sum(SpanKind::Network) + trace.component_sum(SpanKind::CacheNetwork),
+            r.t_network()
+        );
+        assert_eq!(trace.component_sum(SpanKind::Compute) + r.t_ro() + r.t_g(), r.t_compute());
+        assert_eq!(trace.component_sum(SpanKind::Gather), r.t_ro());
+        assert_eq!(trace.component_sum(SpanKind::GlobalReduce), r.t_g());
+        // The run span covers the whole execution.
+        let root = trace.root().expect("run span");
+        assert_eq!(root.duration(), r.total());
+    }
+
+    #[test]
+    fn report_round_trips_through_its_trace() {
+        let ds = dataset(8, 100);
+        let (result, trace) = Executor::new(deployment(2, 4)).run_traced(&TwoPass, &ds);
+        let rebuilt = crate::ExecutionReport::from_trace(&trace).expect("reconstructable");
+        assert_eq!(rebuilt, result.report);
+    }
+
+    #[test]
+    fn traced_empty_fault_schedule_matches_plain_traced_run() {
+        let ds = dataset(8, 100);
+        let ex = Executor::new(deployment(2, 4));
+        let (_, plain) = ex.run_traced(&TwoPass, &ds);
+        let (_, faulty) = ex.run_with_faults_traced(
+            &TwoPass,
+            &ds,
+            &FaultSchedule::none(),
+            &FaultOptions::default(),
+            None,
+        );
+        assert_eq!(plain.spans, faulty.spans);
+        assert_eq!(plain.meta, faulty.meta);
+    }
+
+    #[test]
+    fn faulted_trace_records_recovery_spans() {
+        let ds = dataset(8, 100);
+        let ex = Executor::new(deployment(4, 4));
+        let s = FaultSchedule::none().crash(1, SimTime::ZERO).straggler(2, 100.0);
+        let (result, trace) =
+            ex.run_with_faults_traced(&TwoPass, &ds, &s, &FaultOptions::default(), None);
+        trace.check_well_formed().expect("faulted trace must be well-formed");
+        let r = &result.report;
+        assert_eq!(trace.component_sum(SpanKind::FaultDetection), r.t_fault_detection());
+        assert_eq!(trace.component_sum(SpanKind::StragglerRecovery), r.t_straggler_recovery());
+        assert!(!r.t_straggler_recovery().is_zero());
+        // The abandoned straggler's re-execution is attributed to the master.
+        let reexec: Vec<_> =
+            trace.spans.iter().filter(|sp| sp.kind == SpanKind::NodeReexec).collect();
+        assert!(!reexec.is_empty());
+        assert_eq!(
+            reexec.iter().map(|sp| sp.duration()).sum::<SimDuration>(),
+            r.t_straggler_recovery()
+        );
+        let rebuilt = crate::ExecutionReport::from_trace(&trace).expect("reconstructable");
+        assert_eq!(rebuilt, *r);
+    }
+
+    #[test]
+    fn traced_migration_records_its_overhead() {
+        let ds = dataset(8, 100);
+        let fast = refetch_deployment(2, 4, 1e6);
+        let mut ctrl = MigrateOnce { target: Some(fast), observed: Vec::new() };
+        let opts = FaultOptions::default();
+        let (result, trace) = Executor::new(refetch_deployment(2, 4, 1e5)).run_with_faults_traced(
+            &TwoPass,
+            &ds,
+            &FaultSchedule::none(),
+            &opts,
+            Some(&mut ctrl),
+        );
+        trace.check_well_formed().expect("migrated trace must be well-formed");
+        assert_eq!(trace.component_sum(SpanKind::Migration), opts.migration_overhead);
+        let rebuilt = crate::ExecutionReport::from_trace(&trace).expect("reconstructable");
+        assert_eq!(rebuilt, result.report);
+    }
+
+    #[test]
+    fn traced_run_collects_metrics() {
+        let ds = dataset(8, 100);
+        let (result, trace) = Executor::new(deployment(2, 4)).run_traced(&TwoPass, &ds);
+        assert_eq!(trace.metrics.counter("passes"), Some(result.report.num_passes() as u64));
+        let fetched = trace.metrics.counter("bytes_fetched").unwrap_or(0);
+        assert_eq!(fetched, ds.logical_bytes(), "pass 0 fetches the whole dataset once");
     }
 
     #[test]

@@ -44,5 +44,5 @@ pub use api::{ObjSize, PassOutcome, ReductionApp, ReductionObject};
 pub use dataserver::RetryPolicy;
 pub use exec::{Executor, FaultOptions, PassAction, PassController, PassObservation};
 pub use meter::WorkMeter;
-pub use pipeline::{run_pipelined, PipelinedRun};
+pub use pipeline::{run_pipelined, run_pipelined_traced, PipelinedRun};
 pub use report::{CacheMode, ExecutionReport, PassReport};

@@ -24,6 +24,7 @@ use crate::report::CacheMode;
 use fg_chunks::{distribution, partition, Dataset};
 use fg_cluster::Deployment;
 use fg_sim::{FifoServer, ServerPool, SimDuration, SimTime};
+use fg_trace::{NodeRef, RunMeta, SpanKind, Trace, Tracer};
 use rayon::prelude::*;
 
 /// Outcome of a pipelined execution.
@@ -43,6 +44,40 @@ pub fn run_pipelined<A: ReductionApp>(
     deployment: &Deployment,
     app: &A,
     dataset: &Dataset,
+) -> PipelinedRun<A::State> {
+    run_pipelined_inner(deployment, app, dataset, None)
+}
+
+/// [`run_pipelined`] with trace capture. Stage overlap has no
+/// phase-makespan structure, so the trace is coarser than the phased
+/// executor's: per-pass spans with per-node compute completion, the
+/// gather window, and the global reduction, on the cumulative clock.
+pub fn run_pipelined_traced<A: ReductionApp>(
+    deployment: &Deployment,
+    app: &A,
+    dataset: &Dataset,
+) -> (PipelinedRun<A::State>, Trace) {
+    let mut tracer = Tracer::new();
+    let run = run_pipelined_inner(deployment, app, dataset, Some(&mut tracer));
+    let meta = RunMeta {
+        app: app.name().to_string(),
+        dataset: dataset.id.clone(),
+        dataset_bytes: dataset.logical_bytes(),
+        data_nodes: deployment.config.data_nodes,
+        compute_nodes: deployment.config.compute_nodes,
+        wan_bw: deployment.wan.stream_bw,
+        repo_machine: deployment.repository.machine.name.clone(),
+        compute_machine: deployment.compute.machine.name.clone(),
+        cache_mode: run.cache_mode.label().to_string(),
+    };
+    (run, tracer.finish(Some(meta)))
+}
+
+fn run_pipelined_inner<A: ReductionApp>(
+    deployment: &Deployment,
+    app: &A,
+    dataset: &Dataset,
+    mut tracer: Option<&mut Tracer>,
 ) -> PipelinedRun<A::State> {
     let d = deployment;
     assert!(
@@ -94,6 +129,7 @@ pub fn run_pipelined<A: ReductionApp>(
     let mut state = app.initial_state();
     let mut pass_totals: Vec<SimDuration> = Vec::new();
     let mut total = SimDuration::ZERO;
+    let run_span = tracer.as_deref_mut().map(|tr| tr.begin(SpanKind::Run, None, SimTime::ZERO));
 
     loop {
         assert!(pass_totals.len() < app.max_passes(), "pass bound exceeded");
@@ -207,12 +243,42 @@ pub fn run_pipelined<A: ReductionApp>(
             + broadcast;
         let pass_total = gather_end.saturating_since(SimTime::ZERO) + t_g;
 
+        // The pass's internal sim runs from its own zero; spans shift it
+        // onto the cumulative clock.
+        if let Some(tr) = tracer.as_deref_mut() {
+            let start = SimTime::ZERO + total;
+            let pass_span = tr.begin(SpanKind::Pass, None, start);
+            for (p, done) in node_done.iter().enumerate() {
+                let dt = done.saturating_since(SimTime::ZERO);
+                if !dt.is_zero() {
+                    tr.record(SpanKind::NodeCompute, Some(NodeRef::compute(p)), start, start + dt);
+                }
+            }
+            if let Some(first_send) = order.iter().map(|&p| node_done[p]).min() {
+                let g0 = start + first_send.saturating_since(SimTime::ZERO);
+                let g1 = start + gather_end.saturating_since(SimTime::ZERO);
+                if g1 > g0 {
+                    tr.record(SpanKind::Gather, None, g0, g1);
+                }
+            }
+            if !t_g.is_zero() {
+                let g1 = start + gather_end.saturating_since(SimTime::ZERO);
+                tr.record(SpanKind::GlobalReduce, Some(NodeRef::master()), g1, g1 + t_g);
+            }
+            tr.end(pass_span, start + pass_total);
+            tr.metrics.counter("passes").inc();
+        }
+
         pass_totals.push(pass_total);
         total += pass_total;
         state = next_state;
         if finished {
             break;
         }
+    }
+
+    if let (Some(tr), Some(id)) = (tracer, run_span) {
+        tr.end(id, SimTime::ZERO + total);
     }
 
     PipelinedRun { total, pass_totals, cache_mode, final_state: state }

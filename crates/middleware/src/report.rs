@@ -8,6 +8,7 @@
 //! reduction-object size.
 
 use fg_sim::SimDuration;
+use fg_trace::{RunMeta, SpanKind, Trace};
 use serde::{Deserialize, Serialize};
 
 /// Per-pass timing detail.
@@ -84,6 +85,29 @@ pub enum CacheMode {
     NonLocal,
     /// No storage anywhere: every pass re-fetches from the origin.
     Refetch,
+}
+
+impl CacheMode {
+    /// Stable name, as carried in a trace's [`RunMeta`].
+    pub fn label(self) -> &'static str {
+        match self {
+            CacheMode::SinglePass => "SinglePass",
+            CacheMode::Local => "Local",
+            CacheMode::NonLocal => "NonLocal",
+            CacheMode::Refetch => "Refetch",
+        }
+    }
+
+    /// Inverse of [`CacheMode::label`].
+    pub fn parse(s: &str) -> Option<CacheMode> {
+        match s {
+            "SinglePass" => Some(CacheMode::SinglePass),
+            "Local" => Some(CacheMode::Local),
+            "NonLocal" => Some(CacheMode::NonLocal),
+            "Refetch" => Some(CacheMode::Refetch),
+            _ => None,
+        }
+    }
 }
 
 /// The full result of one execution.
@@ -187,6 +211,69 @@ impl ExecutionReport {
     /// Number of passes executed.
     pub fn num_passes(&self) -> usize {
         self.passes.len()
+    }
+
+    /// The run header a trace carries, mirroring this report's identity
+    /// fields. [`ExecutionReport::from_trace`] inverts it.
+    pub fn run_meta(&self) -> RunMeta {
+        RunMeta {
+            app: self.app.clone(),
+            dataset: self.dataset.clone(),
+            dataset_bytes: self.dataset_bytes,
+            data_nodes: self.data_nodes,
+            compute_nodes: self.compute_nodes,
+            wan_bw: self.wan_bw,
+            repo_machine: self.repo_machine.clone(),
+            compute_machine: self.compute_machine.clone(),
+            cache_mode: self.cache_mode.label().to_string(),
+        }
+    }
+
+    /// Rebuild a report from a trace recorded by the executor: header
+    /// fields from the run meta, one [`PassReport`] per `Pass` span with
+    /// each phase field taken from the matching phase child's duration
+    /// (absent phase spans were zero). On executor-produced traces this
+    /// is bit-identical to the report of the run that emitted the trace.
+    pub fn from_trace(trace: &Trace) -> Result<ExecutionReport, String> {
+        let meta = trace.meta.as_ref().ok_or("trace has no run meta")?;
+        let cache_mode = CacheMode::parse(&meta.cache_mode)
+            .ok_or_else(|| format!("unknown cache mode {:?}", meta.cache_mode))?;
+        let mut passes = Vec::new();
+        for pass in trace.passes() {
+            let mut pr = PassReport {
+                max_obj_bytes: pass.attr("max_obj_bytes").unwrap_or(0),
+                ..PassReport::default()
+            };
+            for child in trace.children(pass.id) {
+                let d = child.duration();
+                match child.kind {
+                    SpanKind::FaultDetection => pr.fault_detection = d,
+                    SpanKind::Retrieval => pr.retrieval = d,
+                    SpanKind::Network => pr.network = d,
+                    SpanKind::CacheDisk => pr.cache_disk = d,
+                    SpanKind::CacheNetwork => pr.cache_network = d,
+                    SpanKind::Compute => pr.local_compute = d,
+                    SpanKind::Gather => pr.t_ro = d,
+                    SpanKind::GlobalReduce => pr.t_g = d,
+                    SpanKind::Migration => pr.migration = d,
+                    SpanKind::StragglerRecovery => pr.straggler_recovery = d,
+                    other => return Err(format!("unexpected {other:?} span under a pass")),
+                }
+            }
+            passes.push(pr);
+        }
+        Ok(ExecutionReport {
+            app: meta.app.clone(),
+            dataset: meta.dataset.clone(),
+            dataset_bytes: meta.dataset_bytes,
+            data_nodes: meta.data_nodes,
+            compute_nodes: meta.compute_nodes,
+            wan_bw: meta.wan_bw,
+            repo_machine: meta.repo_machine.clone(),
+            compute_machine: meta.compute_machine.clone(),
+            cache_mode,
+            passes,
+        })
     }
 }
 

@@ -47,9 +47,15 @@ pub fn render(report: &ExecutionReport) -> String {
             pass.t_g,
             pass.recovery(),
         ];
+        // Round cumulatively: each phase draws up to its running total's
+        // rounded cell count, so the bar never exceeds BAR_WIDTH no
+        // matter how the per-phase fractions round.
         let mut bar = String::new();
+        let mut acc = 0.0;
         for (dur, (_, glyph)) in spans.iter().zip(PHASES.iter()) {
-            let cells = (dur.as_secs_f64() / total * BAR_WIDTH as f64).round() as usize;
+            acc += dur.as_secs_f64();
+            let target = ((acc / total * BAR_WIDTH as f64).round() as usize).min(BAR_WIDTH);
+            let cells = target.saturating_sub(bar.len());
             for _ in 0..cells {
                 bar.push(*glyph);
             }
@@ -149,6 +155,37 @@ mod tests {
         assert_eq!(pass1.chars().filter(|&c| c == 'N').count(), 0);
         // Fault-free runs show no recovery glyphs at all.
         assert_eq!(s.chars().filter(|&c| c == 'F').count(), 1); // legend only
+    }
+
+    #[test]
+    fn bar_never_exceeds_width_at_adversarial_ratios() {
+        // Seven equal phases: each is 60/7 ~= 8.571 cells, which rounds up
+        // to 9 — independent rounding would emit 63 glyphs into a 60-cell
+        // bar. Cumulative rounding must land on exactly BAR_WIDTH.
+        let r = ExecutionReport {
+            passes: vec![PassReport {
+                retrieval: SimDuration::from_secs(1),
+                network: SimDuration::from_secs(1),
+                cache_disk: SimDuration::from_secs(1),
+                cache_network: SimDuration::ZERO,
+                local_compute: SimDuration::from_secs(1),
+                t_ro: SimDuration::from_secs(1),
+                t_g: SimDuration::from_secs(1),
+                fault_detection: SimDuration::from_secs(1),
+                ..PassReport::default()
+            }],
+            ..report()
+        };
+        let s = render(&r);
+        let pass0 = s.lines().find(|l| l.starts_with("pass   0")).unwrap();
+        let bar = pass0.split('|').nth(1).unwrap();
+        assert_eq!(bar.len(), BAR_WIDTH, "line: {pass0}");
+        assert_eq!(bar.trim_end().len(), BAR_WIDTH, "bar underfilled: {pass0}");
+        // Every phase still appears, within a cell of its fair share.
+        for glyph in ['D', 'N', 'K', 'C', 'R', 'G', 'F'] {
+            let n = bar.chars().filter(|&c| c == glyph).count();
+            assert!((8..=9).contains(&n), "{glyph} drew {n} cells: {pass0}");
+        }
     }
 
     #[test]

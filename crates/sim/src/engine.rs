@@ -10,11 +10,15 @@
 use crate::event::EventQueue;
 use crate::time::SimTime;
 
+/// The hook type accepted by [`Engine::set_observer`].
+pub type Observer<E> = Box<dyn FnMut(SimTime, &E)>;
+
 /// An event-driven simulation driver.
 pub struct Engine<E> {
     now: SimTime,
     queue: EventQueue<E>,
     processed: u64,
+    observer: Option<Observer<E>>,
 }
 
 impl<E> Default for Engine<E> {
@@ -26,7 +30,19 @@ impl<E> Default for Engine<E> {
 impl<E> Engine<E> {
     /// A fresh engine with the clock at zero.
     pub fn new() -> Self {
-        Engine { now: SimTime::ZERO, queue: EventQueue::new(), processed: 0 }
+        Engine { now: SimTime::ZERO, queue: EventQueue::new(), processed: 0, observer: None }
+    }
+
+    /// Install a hook called for every event, just before its handler,
+    /// with the event's instant — the attachment point for tracing and
+    /// metrics collection. Replaces any previous observer.
+    pub fn set_observer(&mut self, observer: impl FnMut(SimTime, &E) + 'static) {
+        self.observer = Some(Box::new(observer));
+    }
+
+    /// Remove the observer installed by [`Engine::set_observer`].
+    pub fn clear_observer(&mut self) {
+        self.observer = None;
     }
 
     /// Current virtual time.
@@ -59,6 +75,9 @@ impl<E> Engine<E> {
             debug_assert!(at >= self.now, "event queue returned a past event");
             self.now = at;
             self.processed += 1;
+            if let Some(obs) = self.observer.as_mut() {
+                obs(at, &event);
+            }
             handler(self, event);
         }
     }
@@ -78,6 +97,9 @@ impl<E> Engine<E> {
                     let (at, event) = self.queue.pop().expect("peeked event vanished");
                     self.now = at;
                     self.processed += 1;
+                    if let Some(obs) = self.observer.as_mut() {
+                        obs(at, &event);
+                    }
                     handler(self, event);
                 }
             }
@@ -137,6 +159,34 @@ mod tests {
         let drained = eng.run_until(SimTime::MAX, |_, _| seen += 1);
         assert!(drained);
         assert_eq!(seen, 10);
+    }
+
+    #[test]
+    fn observer_sees_every_event_before_its_handler() {
+        let mut eng = Engine::new();
+        for i in 0..5u32 {
+            eng.schedule_at(SimTime::from_nanos(i as u64 * 10), Ev::Tick(i));
+        }
+        let seen = std::rc::Rc::new(std::cell::RefCell::new(Vec::new()));
+        let obs_seen = seen.clone();
+        eng.set_observer(move |at, ev: &Ev| {
+            let Ev::Tick(i) = ev;
+            obs_seen.borrow_mut().push((at.as_nanos(), *i, "obs"));
+        });
+        let handler_seen = seen.clone();
+        eng.run(|_, ev| {
+            let Ev::Tick(i) = ev;
+            handler_seen.borrow_mut().push((0, i, "handler"));
+        });
+        let log = seen.borrow();
+        assert_eq!(log.len(), 10);
+        for i in 0..5usize {
+            assert_eq!(log[2 * i].2, "obs");
+            assert_eq!(log[2 * i + 1].2, "handler");
+            assert_eq!(log[2 * i].1, i as u32);
+        }
+        // And it can be removed again.
+        eng.clear_observer();
     }
 
     #[test]

@@ -1,0 +1,304 @@
+//! A small metrics registry: counters, gauges, and fixed-bucket
+//! histograms.
+//!
+//! Handles are cheap clones over shared cells, so a closure (an engine
+//! event hook, say) can own a [`Counter`] while the registry keeps
+//! reporting it. No external dependencies, consistent with the
+//! workspace's vendored-only policy. Snapshots are deterministic:
+//! instruments are reported in name order.
+
+use serde::{Deserialize, Serialize};
+use std::cell::{Cell, RefCell};
+use std::fmt::Write as _;
+use std::rc::Rc;
+
+/// A monotonically increasing integer.
+#[derive(Debug, Clone, Default)]
+pub struct Counter(Rc<Cell<u64>>);
+
+impl Counter {
+    /// Add `by` to the counter.
+    pub fn add(&self, by: u64) {
+        self.0.set(self.0.get() + by);
+    }
+
+    /// Add one.
+    pub fn inc(&self) {
+        self.add(1);
+    }
+
+    /// Current value.
+    pub fn get(&self) -> u64 {
+        self.0.get()
+    }
+}
+
+/// A settable real value.
+#[derive(Debug, Clone, Default)]
+pub struct Gauge(Rc<Cell<f64>>);
+
+impl Gauge {
+    /// Set the gauge.
+    pub fn set(&self, value: f64) {
+        self.0.set(value);
+    }
+
+    /// Current value.
+    pub fn get(&self) -> f64 {
+        self.0.get()
+    }
+}
+
+#[derive(Debug)]
+struct HistogramInner {
+    /// Upper bounds of the finite buckets, strictly increasing; an
+    /// implicit overflow bucket catches everything above the last bound.
+    bounds: Vec<f64>,
+    /// Per-bucket observation counts, `bounds.len() + 1` long.
+    counts: Vec<u64>,
+    sum: f64,
+}
+
+/// A fixed-bucket histogram of real observations.
+#[derive(Debug, Clone)]
+pub struct Histogram(Rc<RefCell<HistogramInner>>);
+
+impl Histogram {
+    fn new(bounds: &[f64]) -> Histogram {
+        assert!(
+            bounds.windows(2).all(|w| w[0] < w[1]),
+            "histogram bounds must be strictly increasing"
+        );
+        Histogram(Rc::new(RefCell::new(HistogramInner {
+            bounds: bounds.to_vec(),
+            counts: vec![0; bounds.len() + 1],
+            sum: 0.0,
+        })))
+    }
+
+    /// Record one observation into its bucket.
+    pub fn observe(&self, value: f64) {
+        let mut inner = self.0.borrow_mut();
+        let idx = inner.bounds.iter().position(|&b| value <= b).unwrap_or(inner.bounds.len());
+        inner.counts[idx] += 1;
+        inner.sum += value;
+    }
+
+    /// Total number of observations.
+    pub fn count(&self) -> u64 {
+        self.0.borrow().counts.iter().sum()
+    }
+
+    /// Sum of all observations.
+    pub fn sum(&self) -> f64 {
+        self.0.borrow().sum
+    }
+}
+
+/// Named instruments, created on first use.
+#[derive(Debug, Default)]
+pub struct MetricsRegistry {
+    counters: RefCell<Vec<(String, Counter)>>,
+    gauges: RefCell<Vec<(String, Gauge)>>,
+    histograms: RefCell<Vec<(String, Histogram)>>,
+}
+
+impl MetricsRegistry {
+    /// An empty registry.
+    pub fn new() -> MetricsRegistry {
+        MetricsRegistry::default()
+    }
+
+    /// The counter named `name`, created at zero on first use.
+    pub fn counter(&self, name: &str) -> Counter {
+        let mut counters = self.counters.borrow_mut();
+        if let Some((_, c)) = counters.iter().find(|(n, _)| n == name) {
+            return c.clone();
+        }
+        let c = Counter::default();
+        counters.push((name.to_string(), c.clone()));
+        c
+    }
+
+    /// The gauge named `name`, created at zero on first use.
+    pub fn gauge(&self, name: &str) -> Gauge {
+        let mut gauges = self.gauges.borrow_mut();
+        if let Some((_, g)) = gauges.iter().find(|(n, _)| n == name) {
+            return g.clone();
+        }
+        let g = Gauge::default();
+        gauges.push((name.to_string(), g.clone()));
+        g
+    }
+
+    /// The histogram named `name`, created with `bounds` on first use
+    /// (later calls return the existing instrument and ignore `bounds`).
+    pub fn histogram(&self, name: &str, bounds: &[f64]) -> Histogram {
+        let mut histograms = self.histograms.borrow_mut();
+        if let Some((_, h)) = histograms.iter().find(|(n, _)| n == name) {
+            return h.clone();
+        }
+        let h = Histogram::new(bounds);
+        histograms.push((name.to_string(), h.clone()));
+        h
+    }
+
+    /// Freeze the current values into a serializable snapshot, sorted by
+    /// instrument name.
+    pub fn snapshot(&self) -> MetricsSnapshot {
+        let mut counters: Vec<(String, u64)> =
+            self.counters.borrow().iter().map(|(n, c)| (n.clone(), c.get())).collect();
+        counters.sort();
+        let mut gauges: Vec<(String, f64)> =
+            self.gauges.borrow().iter().map(|(n, g)| (n.clone(), g.get())).collect();
+        gauges.sort_by(|a, b| a.0.cmp(&b.0));
+        let mut histograms: Vec<HistogramSnapshot> = self
+            .histograms
+            .borrow()
+            .iter()
+            .map(|(n, h)| {
+                let inner = h.0.borrow();
+                HistogramSnapshot {
+                    name: n.clone(),
+                    bounds: inner.bounds.clone(),
+                    counts: inner.counts.clone(),
+                    sum: inner.sum,
+                }
+            })
+            .collect();
+        histograms.sort_by(|a, b| a.name.cmp(&b.name));
+        MetricsSnapshot { counters, gauges, histograms }
+    }
+}
+
+/// One histogram's frozen state.
+#[derive(Debug, Clone, PartialEq, Default, Serialize, Deserialize)]
+pub struct HistogramSnapshot {
+    /// Instrument name.
+    pub name: String,
+    /// Finite bucket upper bounds.
+    pub bounds: Vec<f64>,
+    /// Per-bucket counts (`bounds.len() + 1`, last is overflow).
+    pub counts: Vec<u64>,
+    /// Sum of observations.
+    pub sum: f64,
+}
+
+/// All instrument values at one instant.
+#[derive(Debug, Clone, PartialEq, Default, Serialize, Deserialize)]
+pub struct MetricsSnapshot {
+    /// Counter values, sorted by name.
+    pub counters: Vec<(String, u64)>,
+    /// Gauge values, sorted by name.
+    pub gauges: Vec<(String, f64)>,
+    /// Histogram states, sorted by name.
+    pub histograms: Vec<HistogramSnapshot>,
+}
+
+impl MetricsSnapshot {
+    /// A counter's value, if it was registered.
+    pub fn counter(&self, name: &str) -> Option<u64> {
+        self.counters.iter().find(|(n, _)| n == name).map(|&(_, v)| v)
+    }
+
+    /// A gauge's value, if it was registered.
+    pub fn gauge(&self, name: &str) -> Option<f64> {
+        self.gauges.iter().find(|(n, _)| n == name).map(|&(_, v)| v)
+    }
+
+    /// A histogram's state, if it was registered.
+    pub fn histogram(&self, name: &str) -> Option<&HistogramSnapshot> {
+        self.histograms.iter().find(|h| h.name == name)
+    }
+
+    /// Render as a Prometheus-style text exposition (for logs and the
+    /// `trace_dump` example).
+    pub fn render_text(&self) -> String {
+        let mut out = String::new();
+        for (name, v) in &self.counters {
+            let _ = writeln!(out, "{name} {v}");
+        }
+        for (name, v) in &self.gauges {
+            let _ = writeln!(out, "{name} {v}");
+        }
+        for h in &self.histograms {
+            let mut cumulative = 0u64;
+            for (i, count) in h.counts.iter().enumerate() {
+                cumulative += count;
+                let le = h.bounds.get(i).map_or("+Inf".to_string(), f64::to_string);
+                let _ = writeln!(out, "{}_bucket{{le=\"{le}\"}} {cumulative}", h.name);
+            }
+            let _ = writeln!(out, "{}_sum {}", h.name, h.sum);
+            let _ = writeln!(out, "{}_count {cumulative}", h.name);
+        }
+        out
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn counters_accumulate_through_clones() {
+        let reg = MetricsRegistry::new();
+        let a = reg.counter("passes");
+        let b = reg.counter("passes");
+        a.inc();
+        b.add(2);
+        assert_eq!(reg.counter("passes").get(), 3);
+        assert_eq!(reg.snapshot().counter("passes"), Some(3));
+    }
+
+    #[test]
+    fn gauges_keep_the_last_value() {
+        let reg = MetricsRegistry::new();
+        reg.gauge("nodes").set(4.0);
+        reg.gauge("nodes").set(8.0);
+        assert_eq!(reg.snapshot().gauge("nodes"), Some(8.0));
+        assert_eq!(reg.snapshot().gauge("missing"), None);
+    }
+
+    #[test]
+    fn histogram_buckets_and_overflow() {
+        let reg = MetricsRegistry::new();
+        let h = reg.histogram("pass_seconds", &[1.0, 10.0]);
+        h.observe(0.5);
+        h.observe(5.0);
+        h.observe(50.0);
+        assert_eq!(h.count(), 3);
+        assert_eq!(h.sum(), 55.5);
+        let snap = reg.snapshot();
+        assert_eq!(snap.histogram("pass_seconds").unwrap().counts, vec![1, 1, 1]);
+    }
+
+    #[test]
+    #[should_panic(expected = "strictly increasing")]
+    fn unsorted_bounds_rejected() {
+        let reg = MetricsRegistry::new();
+        reg.histogram("bad", &[2.0, 1.0]);
+    }
+
+    #[test]
+    fn snapshot_is_sorted_by_name() {
+        let reg = MetricsRegistry::new();
+        reg.counter("z").inc();
+        reg.counter("a").inc();
+        let snap = reg.snapshot();
+        assert_eq!(snap.counters[0].0, "a");
+        assert_eq!(snap.counters[1].0, "z");
+    }
+
+    #[test]
+    fn text_rendering_includes_every_instrument() {
+        let reg = MetricsRegistry::new();
+        reg.counter("passes").add(2);
+        reg.gauge("bw").set(1e6);
+        reg.histogram("t", &[1.0]).observe(0.5);
+        let text = reg.snapshot().render_text();
+        assert!(text.contains("passes 2"));
+        assert!(text.contains("bw 1000000"));
+        assert!(text.contains("t_bucket{le=\"1\"} 1"));
+        assert!(text.contains("t_count 1"));
+    }
+}

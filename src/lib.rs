@@ -16,3 +16,4 @@ pub use fg_cluster as cluster;
 pub use fg_middleware as middleware;
 pub use fg_predict as predict;
 pub use fg_sim as sim;
+pub use fg_trace as trace;

@@ -1,0 +1,97 @@
+//! Golden-trace regression suite: one pinned trace per application.
+//!
+//! Each test runs the fixed golden configuration (8 MB nominal at 1%
+//! scale, seed 3, 2 data nodes x 4 compute nodes, 1 MB/s WAN — see
+//! `fg_bench::scenario::golden_trace_run`), serializes the trace to
+//! JSON lines, and compares it byte for byte against the committed
+//! fixture in `tests/golden/`. Any change to the executor's phase
+//! arithmetic, the span structure, or the export format shows up as a
+//! fixture diff.
+//!
+//! To bless a new baseline after an intentional change:
+//!
+//! ```text
+//! FG_BLESS=1 cargo test --test golden_traces
+//! ```
+
+use fg_bench::scenario::golden_trace_run;
+use fg_bench::PaperApp;
+use freeride_g::middleware::ExecutionReport;
+use freeride_g::predict::Profile;
+use freeride_g::trace::{from_jsonl, to_jsonl};
+use std::path::PathBuf;
+
+fn fixture_path(app: PaperApp) -> PathBuf {
+    PathBuf::from(env!("CARGO_MANIFEST_DIR"))
+        .join("tests/golden")
+        .join(format!("{}.trace.jsonl", app.name()))
+}
+
+fn check_golden(app: PaperApp) {
+    let (report, trace) = golden_trace_run(app);
+
+    // The trace must stand on its own before it is worth pinning.
+    trace.check_well_formed().expect("golden trace must be well-formed");
+    let rebuilt = ExecutionReport::from_trace(&trace).expect("report reconstructable from trace");
+    assert_eq!(rebuilt, report, "trace must reproduce the report exactly");
+    assert_eq!(
+        Profile::from_trace(&trace).expect("profile from trace"),
+        Profile::from_report(&report),
+        "trace-derived profile must equal the report-derived one"
+    );
+
+    let rendered = to_jsonl(&trace);
+    let parsed = from_jsonl(&rendered).expect("exported trace must parse back");
+    assert_eq!(parsed, trace, "jsonl export must round-trip");
+
+    let path = fixture_path(app);
+    if std::env::var_os("FG_BLESS").is_some() {
+        std::fs::write(&path, &rendered).unwrap_or_else(|e| panic!("bless {path:?}: {e}"));
+        return;
+    }
+    let pinned = std::fs::read_to_string(&path).unwrap_or_else(|e| {
+        panic!("{path:?}: {e}\nrun `FG_BLESS=1 cargo test --test golden_traces` to create it")
+    });
+    assert_eq!(
+        rendered,
+        pinned,
+        "golden trace for {} drifted; if intentional, re-bless with \
+         `FG_BLESS=1 cargo test --test golden_traces`",
+        app.name()
+    );
+}
+
+#[test]
+fn golden_trace_kmeans() {
+    check_golden(PaperApp::KMeans);
+}
+
+#[test]
+fn golden_trace_em() {
+    check_golden(PaperApp::Em);
+}
+
+#[test]
+fn golden_trace_knn() {
+    check_golden(PaperApp::Knn);
+}
+
+#[test]
+fn golden_trace_vortex() {
+    check_golden(PaperApp::Vortex);
+}
+
+#[test]
+fn golden_trace_defect() {
+    check_golden(PaperApp::Defect);
+}
+
+#[test]
+fn golden_trace_apriori() {
+    check_golden(PaperApp::Apriori);
+}
+
+#[test]
+fn golden_trace_ann() {
+    check_golden(PaperApp::Ann);
+}
