@@ -231,6 +231,69 @@ fn main() -> ExitCode {
         );
     }
 
+    if let Some(fig) = ck.load("ext-sched") {
+        ck.claim(
+            "ext-sched",
+            "no fairness or work-conservation violations in any run",
+            fig.column_values("violations").iter().all(|&v| v == 0.0),
+        );
+        ck.claim(
+            "ext-sched",
+            "only admission control rejects jobs",
+            fig.rows.iter().all(|(label, _)| {
+                label.starts_with("edf-admit") || at(&fig, label, "rejected jobs") == 0.0
+            }),
+        );
+        let slow = |row: &str| at(&fig, row, "mean slowdown");
+        ck.claim(
+            "ext-sched",
+            "light load is near-uncontended (slowdown under 1.5 everywhere)",
+            fig.rows.iter().filter(|(l, _)| l.ends_with("light")).all(|(l, _)| slow(l) < 1.5),
+        );
+        ck.claim(
+            "ext-sched",
+            "load stretches FCFS: heavy slowdown at least 2x light",
+            slow("fcfs heavy") > 2.0 * slow("fcfs light"),
+        );
+        ck.claim(
+            "ext-sched",
+            "heavy-load slowdown ordering: fcfs >= backfill >= spjf",
+            slow("fcfs heavy") >= slow("fcfs-backfill heavy") * 0.95
+                && slow("fcfs-backfill heavy") >= slow("spjf heavy") * 0.95,
+        );
+        ck.claim(
+            "ext-sched",
+            "admission control keeps heavy-load precision at 90%+",
+            at(&fig, "edf-admit heavy", "admission precision") >= 0.90,
+        );
+        ck.claim(
+            "ext-sched",
+            "admission control beats FCFS deadline compliance at heavy load",
+            at(&fig, "edf-admit heavy", "admission precision")
+                > at(&fig, "fcfs heavy", "admission precision"),
+        );
+        ck.claim(
+            "ext-sched",
+            "admission rejects some heavy-load jobs (control is active)",
+            at(&fig, "edf-admit heavy", "rejected jobs") >= 1.0,
+        );
+        // The tolerance band for the predictor-driven completion
+        // estimates: under admission control the submission-time
+        // estimate stays within 35% of the achieved turnaround even at
+        // the heavy preset, and well under the uncontrolled FCFS error.
+        ck.claim(
+            "ext-sched",
+            "edf-admit heavy completion-estimate error within the 35% band",
+            at(&fig, "edf-admit heavy", "completion estimate error") < 0.35,
+        );
+        ck.claim(
+            "ext-sched",
+            "admission estimates beat FCFS estimates at heavy load",
+            at(&fig, "edf-admit heavy", "completion estimate error")
+                < at(&fig, "fcfs heavy", "completion estimate error"),
+        );
+    }
+
     if ck.failures.is_empty() {
         println!("\nall figure claims hold");
         ExitCode::SUCCESS

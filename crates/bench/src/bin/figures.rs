@@ -35,6 +35,21 @@ fn export_traces(out_dir: &std::path::Path) {
     }
 }
 
+fn export_sched_traces(out_dir: &std::path::Path) {
+    let dir = out_dir.join("sched");
+    std::fs::create_dir_all(&dir).expect("create target/figures/sched");
+    for policy in fg_sched::Policy::ALL {
+        let result = fg_bench::figures::sched_run(policy, fg_sched::LoadLevel::Heavy);
+        let jsonl = dir.join(format!("{}.jsonl", policy.name()));
+        std::fs::write(&jsonl, fg_trace::to_jsonl(&result.trace))
+            .unwrap_or_else(|e| panic!("write {jsonl:?}: {e}"));
+        let chrome = dir.join(format!("{}.chrome.json", policy.name()));
+        std::fs::write(&chrome, fg_trace::to_chrome_json(&result.trace))
+            .unwrap_or_else(|e| panic!("write {chrome:?}: {e}"));
+        println!("  sched trace: {} and {}", jsonl.display(), chrome.display());
+    }
+}
+
 fn main() {
     let mut args: Vec<String> = std::env::args().skip(1).collect();
     let bars = if let Some(pos) = args.iter().position(|a| a == "--bars") {
@@ -78,6 +93,9 @@ fn main() {
         std::fs::write(&path, json).unwrap_or_else(|e| panic!("write {path:?}: {e}"));
         if *id == "ext-trace" {
             export_traces(out_dir);
+        }
+        if *id == "ext-sched" {
+            export_sched_traces(out_dir);
         }
     }
 }

@@ -707,6 +707,106 @@ pub fn ext_trace() -> Figure {
     }
 }
 
+/// The seven applications the scheduler's workload mixes over: the
+/// paper five plus the two extension apps.
+pub const SCHED_APPS: [PaperApp; 7] = [
+    PaperApp::KMeans,
+    PaperApp::Em,
+    PaperApp::Knn,
+    PaperApp::Vortex,
+    PaperApp::Defect,
+    PaperApp::Apriori,
+    PaperApp::Ann,
+];
+
+/// Profile every scheduler app on a small 1-1 run and package the
+/// results as `fg-sched` prediction models. The profile WAN bandwidth
+/// matches the demo grid's nominal per-stream bandwidth, so a first
+/// placement on the fast repository sees a bandwidth ratio of one.
+pub fn sched_models() -> Vec<(String, fg_sched::AppModel)> {
+    SCHED_APPS
+        .iter()
+        .map(|&app| {
+            let dataset = app.generate(&format!("ext-sched-{}", app.name()), 8.0, 0.01, 3);
+            let profile = collect_profile(app, pentium_deployment(1, 1, 1e6), &dataset);
+            (app.name().to_string(), fg_sched::AppModel { profile, classes: app.classes() })
+        })
+        .collect()
+}
+
+/// The scheduler run behind one `ext-sched` row.
+pub fn sched_run(
+    policy: fg_sched::Policy,
+    load: fg_sched::LoadLevel,
+) -> fg_sched::sched::SchedResult {
+    let grid = fg_sched::GridSpec::demo(sched_models());
+    let names: Vec<&str> = SCHED_APPS.iter().map(|a| a.name()).collect();
+    let jobs = fg_sched::WorkloadSpec::preset(load, &names, 42).generate();
+    fg_sched::Scheduler::new(grid, policy).run(&jobs)
+}
+
+/// Extension: multi-tenant scheduling over the prediction model.
+///
+/// Runs the three-tenant workload preset (seed 42) at three load levels
+/// under each queueing discipline on the demo grid, with contention on
+/// the shared WAN/ingress links and bandwidth feedback enabled. Per
+/// run, reports the mean slowdown of completed jobs, the admission
+/// precision (fraction of admitted jobs that met their deadline), the
+/// mean relative error of the submission-time completion estimate, the
+/// number of rejected jobs, and the number of invariant violations
+/// (always zero on a healthy scheduler).
+pub fn ext_sched() -> Figure {
+    use fg_sched::{LoadLevel, Policy};
+    let mut rows = Vec::new();
+    let mut notes = Vec::new();
+    for load in LoadLevel::ALL {
+        for policy in Policy::ALL {
+            let r = sched_run(policy, load);
+            let submitted = r.outcomes.len();
+            let admitted: Vec<_> = r.outcomes.iter().filter(|o| o.admitted).collect();
+            let slowdowns: Vec<f64> = admitted.iter().filter_map(|o| o.slowdown()).collect();
+            let mean_slowdown = slowdowns.iter().sum::<f64>() / slowdowns.len().max(1) as f64;
+            let met = admitted.iter().filter(|o| o.met_deadline() == Some(true)).count();
+            let precision = met as f64 / admitted.len().max(1) as f64;
+            let errors: Vec<f64> = admitted.iter().filter_map(|o| o.completion_error()).collect();
+            let mean_error = errors.iter().sum::<f64>() / errors.len().max(1) as f64;
+            let rejected = submitted - admitted.len();
+            rows.push((
+                format!("{} {}", policy.name(), load.name()),
+                vec![
+                    mean_slowdown,
+                    precision,
+                    mean_error,
+                    rejected as f64,
+                    r.violations.len() as f64,
+                ],
+            ));
+            notes.push(format!(
+                "{} {}: {} jobs, {} admitted, makespan {:.0}s, max queue depth {}",
+                policy.name(),
+                load.name(),
+                submitted,
+                admitted.len(),
+                r.makespan,
+                r.trace.metrics.gauge("sched_queue_depth_max").unwrap_or(0.0),
+            ));
+        }
+    }
+    Figure {
+        id: "ext-sched".into(),
+        title: "Extension: multi-tenant scheduling — slowdown, admission precision, and completion-estimate error per policy at three load levels (three-tenant preset, seed 42)".into(),
+        columns: vec![
+            "mean slowdown".into(),
+            "admission precision".into(),
+            "completion estimate error".into(),
+            "rejected jobs".into(),
+            "violations".into(),
+        ],
+        rows,
+        notes,
+    }
+}
+
 /// A registry entry: figure id plus its generator.
 pub type FigureEntry = (&'static str, fn() -> Figure);
 
@@ -792,5 +892,6 @@ pub fn registry() -> Vec<FigureEntry> {
         ("ext-pipeline", ext_pipeline),
         ("ext-faults", ext_faults),
         ("ext-trace", ext_trace),
+        ("ext-sched", ext_sched),
     ]
 }

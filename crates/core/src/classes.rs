@@ -145,7 +145,7 @@ mod tests {
             t_network: 1.0,
             t_compute: 10.0,
             t_ro: 0.1,
-            t_g: t_g,
+            t_g,
             max_obj_bytes: obj,
             passes: 1,
             repo_machine: "m".into(),

@@ -48,4 +48,4 @@ pub use hetero::ScalingFactors;
 pub use model::{ComputeModel, ExecTimePredictor, InterconnectParams, Prediction, Target};
 pub use profile::Profile;
 pub use reselect::ReselectionController;
-pub use selection::{rank_deployments, Candidate};
+pub use selection::{rank_deployments, try_rank_deployments, Candidate, SelectionError};

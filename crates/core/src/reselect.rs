@@ -276,4 +276,56 @@ mod tests {
         let cur = replica("primary", 1e6);
         assert!(matches!(c.after_pass(&obs(1, None), &cur), PassAction::Continue));
     }
+
+    /// Run a controller against a stream of observed bandwidths the way
+    /// a scheduler feeding back load-degraded transfer rates would:
+    /// every observation lands on whichever replica is current, and a
+    /// `Migrate` switches the current replica before the next sample.
+    fn drive(mut c: ReselectionController, samples: &[f64]) -> usize {
+        let mut current = replica("primary", 1e6);
+        for (i, &bw) in samples.iter().enumerate() {
+            if let PassAction::Migrate(d) = c.after_pass(&obs(i, Some(bw)), &current) {
+                current = *d;
+            }
+        }
+        c.migrations()
+    }
+
+    #[test]
+    fn hysteresis_prevents_flapping_between_near_equal_replicas() {
+        // Two replicas whose nominal paths differ by ~10%: under a load
+        // oscillating the observed bandwidth between 0.85 and 0.95 MB/s,
+        // each sample flips which replica predicts cheapest — but only
+        // by a percent or two, squarely inside the noise band.
+        let replicas = vec![replica("primary", 1e6), replica("backup", 9e5)];
+        let samples: Vec<f64> = (0..12).map(|i| if i % 2 == 0 { 8.5e5 } else { 9.5e5 }).collect();
+        // A zero deviation threshold re-ranks on every sample (the
+        // scheduler-feedback regime); with no margin the controller
+        // chases every flip and flaps between the replicas.
+        let eager = ReselectionController::new(
+            profile(),
+            AppClasses::CONSTANT_LINEAR_CONSTANT,
+            replicas.clone(),
+            1_000_000,
+            HashMap::new(),
+            Box::new(LastValue::default()),
+        )
+        .with_thresholds(0.0, 0.0);
+        assert!(
+            drive(eager, &samples) >= 3,
+            "margin-free controller should flap on alternating samples"
+        );
+        // The default 10% improvement margin absorbs the oscillation:
+        // no candidate ever wins by enough to justify moving.
+        let damped = ReselectionController::new(
+            profile(),
+            AppClasses::CONSTANT_LINEAR_CONSTANT,
+            replicas,
+            1_000_000,
+            HashMap::new(),
+            Box::new(LastValue::default()),
+        )
+        .with_thresholds(0.0, 0.10);
+        assert_eq!(drive(damped, &samples), 0, "hysteresis must hold placement steady");
+    }
 }

@@ -9,7 +9,9 @@
 use crate::cache::{predict_with_plan, CachePlan};
 use crate::classes::AppClasses;
 use crate::hetero::ScalingFactors;
-use crate::model::{ComputeModel, ExecTimePredictor, InterconnectParams, Prediction, Target};
+use crate::model::{
+    ComputeModel, ExecTimePredictor, InterconnectParams, Prediction, Target, TargetError,
+};
 use crate::profile::Profile;
 use fg_cluster::Deployment;
 use std::collections::HashMap;
@@ -30,17 +32,107 @@ impl Candidate {
     }
 }
 
+/// Why a deployment could not be ranked.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum SelectionError {
+    /// The deployment's configuration yields a degenerate [`Target`]
+    /// (zero nodes, non-positive bandwidth, empty dataset); its cost
+    /// would be infinite or NaN and the ranking meaningless. The label
+    /// identifies the offending deployment.
+    Unpredictable {
+        /// `Deployment::label()` of the rejected candidate.
+        label: String,
+        /// The underlying target validation failure.
+        cause: TargetError,
+    },
+    /// The deployment's compute machine differs from the profile
+    /// cluster and `factors` has no entry for it — predicting across
+    /// hardware without measured factors is exactly what §3.4 says not
+    /// to do.
+    MissingFactors {
+        /// The unknown compute-machine type.
+        machine: String,
+        /// The profile cluster's machine type.
+        profile_machine: String,
+    },
+}
+
+impl std::fmt::Display for SelectionError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            SelectionError::Unpredictable { label, cause } => {
+                write!(f, "deployment {label:?} is not predictable: {cause}")
+            }
+            SelectionError::MissingFactors { machine, profile_machine } => {
+                write!(
+                    f,
+                    "no scaling factors for machine type {machine:?} \
+                     (profile cluster is {profile_machine:?})"
+                )
+            }
+        }
+    }
+}
+
+impl std::error::Error for SelectionError {}
+
 /// Predict every candidate deployment and return them ranked cheapest
-/// first (ties broken by deployment label, deterministically).
+/// first (ties broken by deployment label, deterministically), or the
+/// first [`SelectionError`] encountered in `deployments` order.
 ///
 /// `factors` maps a compute-machine type name to the scaling factors
 /// from the profile cluster to that machine type; deployments whose
 /// machine matches the profile's need no entry (identity is assumed).
-/// A deployment on an unknown machine type panics — predicting across
-/// hardware without measured factors is exactly what §3.4 says not to do.
-/// A deployment whose configuration yields a degenerate [`Target`] (zero
-/// nodes, non-positive bandwidth, empty dataset) also panics: its cost
-/// would be infinite or NaN and the ranking meaningless.
+/// This is the entry point for callers that enumerate deployments from
+/// external descriptions — a multi-tenant scheduler must skip a
+/// misconfigured site, not crash on it.
+pub fn try_rank_deployments(
+    profile: &Profile,
+    classes: AppClasses,
+    deployments: &[Deployment],
+    dataset_bytes: u64,
+    factors: &HashMap<String, ScalingFactors>,
+) -> Result<Vec<Candidate>, SelectionError> {
+    let mut out = Vec::with_capacity(deployments.len());
+    for d in deployments {
+        let target = Target::new(
+            d.config.data_nodes,
+            d.config.compute_nodes,
+            d.wan.stream_bw,
+            dataset_bytes,
+        )
+        .map_err(|cause| SelectionError::Unpredictable { label: d.label(), cause })?;
+        let predictor = ExecTimePredictor {
+            profile: profile.clone(),
+            classes,
+            interconnect: InterconnectParams::of_site(&d.compute),
+            model: ComputeModel::GlobalReduction,
+        };
+        // Storage-aware: deployments that cannot cache locally are
+        // costed under their non-local-cache or refetch plan.
+        let plan = CachePlan::for_deployment(d, dataset_bytes, profile.passes);
+        let base = predict_with_plan(&predictor, &target, &plan, d.compute.machine.disk_bw);
+        let machine = &d.compute.machine.name;
+        let predicted = if *machine == profile.compute_machine {
+            base
+        } else {
+            let f = factors.get(machine).ok_or_else(|| SelectionError::MissingFactors {
+                machine: machine.clone(),
+                profile_machine: profile.compute_machine.clone(),
+            })?;
+            f.apply(&base)
+        };
+        out.push(Candidate { deployment: d.clone(), predicted });
+    }
+    out.sort_by(|a, b| {
+        a.cost().total_cmp(&b.cost()).then_with(|| a.deployment.label().cmp(&b.deployment.label()))
+    });
+    Ok(out)
+}
+
+/// Like [`try_rank_deployments`], but panics on any [`SelectionError`] —
+/// the original API, for callers whose candidate sets are known-valid by
+/// construction.
 pub fn rank_deployments(
     profile: &Profile,
     classes: AppClasses,
@@ -48,46 +140,8 @@ pub fn rank_deployments(
     dataset_bytes: u64,
     factors: &HashMap<String, ScalingFactors>,
 ) -> Vec<Candidate> {
-    let mut out: Vec<Candidate> = deployments
-        .iter()
-        .map(|d| {
-            let target = Target::new(
-                d.config.data_nodes,
-                d.config.compute_nodes,
-                d.wan.stream_bw,
-                dataset_bytes,
-            )
-            .unwrap_or_else(|e| panic!("deployment {:?} is not predictable: {e}", d.label()));
-            let predictor = ExecTimePredictor {
-                profile: profile.clone(),
-                classes,
-                interconnect: InterconnectParams::of_site(&d.compute),
-                model: ComputeModel::GlobalReduction,
-            };
-            // Storage-aware: deployments that cannot cache locally are
-            // costed under their non-local-cache or refetch plan.
-            let plan = CachePlan::for_deployment(d, dataset_bytes, profile.passes);
-            let base = predict_with_plan(&predictor, &target, &plan, d.compute.machine.disk_bw);
-            let machine = &d.compute.machine.name;
-            let predicted = if *machine == profile.compute_machine {
-                base
-            } else {
-                let f = factors.get(machine).unwrap_or_else(|| {
-                    panic!(
-                        "no scaling factors for machine type {machine:?} \
-                         (profile cluster is {:?})",
-                        profile.compute_machine
-                    )
-                });
-                f.apply(&base)
-            };
-            Candidate { deployment: d.clone(), predicted }
-        })
-        .collect();
-    out.sort_by(|a, b| {
-        a.cost().total_cmp(&b.cost()).then_with(|| a.deployment.label().cmp(&b.deployment.label()))
-    });
-    out
+    try_rank_deployments(profile, classes, deployments, dataset_bytes, factors)
+        .unwrap_or_else(|e| panic!("{e}"))
 }
 
 #[cfg(test)]
@@ -217,5 +271,71 @@ mod tests {
             1_000_000,
             &HashMap::new(),
         );
+    }
+
+    #[test]
+    fn try_rank_reports_degenerate_deployments_instead_of_panicking() {
+        let err = try_rank_deployments(
+            &profile(),
+            AppClasses::CONSTANT_LINEAR_CONSTANT,
+            &deployments(),
+            0,
+            &HashMap::new(),
+        )
+        .unwrap_err();
+        match err {
+            SelectionError::Unpredictable { ref label, cause } => {
+                assert_eq!(label, "cs@osu 1-1");
+                assert_eq!(cause, crate::model::TargetError::EmptyDataset);
+            }
+            other => panic!("expected Unpredictable, got {other:?}"),
+        }
+        assert!(err.to_string().contains("not predictable"));
+    }
+
+    #[test]
+    fn try_rank_reports_missing_factors_instead_of_panicking() {
+        let repo = RepositorySite::pentium_repository("osu", 8);
+        let site = ComputeSite::opteron_infiniband("fast", 16);
+        let ds = vec![Deployment::new(repo, site, Wan::per_stream(1e6), Configuration::new(1, 1))];
+        let err = try_rank_deployments(
+            &profile(),
+            AppClasses::CONSTANT_LINEAR_CONSTANT,
+            &ds,
+            1_000_000,
+            &HashMap::new(),
+        )
+        .unwrap_err();
+        assert_eq!(
+            err,
+            SelectionError::MissingFactors {
+                machine: "opteron-2400".into(),
+                profile_machine: "pentium-700".into(),
+            }
+        );
+    }
+
+    #[test]
+    fn try_rank_matches_the_panicking_wrapper_on_valid_input() {
+        let ranked = rank_deployments(
+            &profile(),
+            AppClasses::CONSTANT_LINEAR_CONSTANT,
+            &deployments(),
+            1_000_000,
+            &HashMap::new(),
+        );
+        let tried = try_rank_deployments(
+            &profile(),
+            AppClasses::CONSTANT_LINEAR_CONSTANT,
+            &deployments(),
+            1_000_000,
+            &HashMap::new(),
+        )
+        .unwrap();
+        assert_eq!(ranked.len(), tried.len());
+        for (a, b) in ranked.iter().zip(tried.iter()) {
+            assert_eq!(a.deployment.label(), b.deployment.label());
+            assert_eq!(a.cost(), b.cost());
+        }
     }
 }

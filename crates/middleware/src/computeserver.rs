@@ -199,7 +199,7 @@ mod tests {
         fn name(&self) -> &str {
             "sum"
         }
-        fn initial_state(&self) -> () {}
+        fn initial_state(&self) {}
         fn new_object(&self, _: &()) -> SumObj {
             SumObj(0.0)
         }

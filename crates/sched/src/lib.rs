@@ -1,0 +1,45 @@
+//! # fg-sched — multi-tenant job scheduling over the prediction model
+//!
+//! The paper's prediction framework exists to drive *resource
+//! selection*, but selection for a single job in an idle grid is the
+//! easy case. Real grid deployments face streams of concurrent jobs
+//! from many tenants competing for repositories, WAN links, and compute
+//! sites, and observed transfer rates degrade under load in ways a
+//! static profile misses. This crate makes the predictor earn its keep
+//! online:
+//!
+//! * [`workload`] — seeded, deterministic job streams: per-tenant
+//!   arrival processes, an app mix over the paper applications,
+//!   log-uniform dataset sizes and deadline-slack distributions, with
+//!   [`LoadLevel`] presets loosely shaped like published grid traces.
+//! * [`grid`] — the static grid description: replicated repositories
+//!   with capacitated WAN uplinks, compute sites with capacitated
+//!   ingress, the configuration menu, and per-app prediction models.
+//! * [`policy`] — pluggable queueing disciplines: FCFS, FCFS with
+//!   backfilling, shortest-predicted-job-first, and deadline EDF with
+//!   predictor-based admission control.
+//! * [`sched`] — the sim-clock event loop. Placement ranks every
+//!   (repository, site, configuration) triple that fits the free node
+//!   slices via `fg-predict`'s fallible ranking; concurrent transfer
+//!   phases are stretched by max-min fair sharing of the capacitated
+//!   links ([`fg_sim::FairShareSim`]'s fluid model); the achieved
+//!   per-stream bandwidth of every completed transfer feeds a per-repo
+//!   [`fg_predict::bandwidth`] estimator so later placements and
+//!   admission decisions use load-corrected predictions. Every job gets
+//!   an [`fg_trace`] span tree and the registry gains queue-depth
+//!   gauges, admission counters, and wait/slowdown histograms.
+//!
+//! Everything is deterministic: the same seed and workload preset
+//! produce a bit-identical schedule, trace, and figure.
+
+#![warn(missing_docs)]
+
+pub mod grid;
+pub mod policy;
+pub mod sched;
+pub mod workload;
+
+pub use grid::{AppModel, GridSpec, RepoSpec, SiteSpec};
+pub use policy::Policy;
+pub use sched::{JobOutcome, PlacementInfo, SchedResult, Scheduler};
+pub use workload::{JobSpec, LoadLevel, TenantSpec, WorkloadSpec};

@@ -1,0 +1,1046 @@
+//! The sim-clock scheduling core.
+//!
+//! A fluid event loop on a seconds clock: job arrivals, phase
+//! transitions, and completions are the only events. Placement ranks
+//! every (repository, site, configuration) triple that fits the free
+//! node slices with `fg-predict`'s fallible ranking — a misconfigured
+//! candidate is skipped, never fatal. Each placed job runs the paper's
+//! three phases in sequence, as the additive model describes them:
+//!
+//! * **disk** — a fixed interval of the predicted `t_d`;
+//! * **network** — a fluid demand of the dataset's bytes at rate cap
+//!   `s / t_n` (so an uncontended transfer takes exactly the predicted
+//!   `t_n`), routed through a max-min fair share
+//!   ([`FairShareSim::instantaneous_rates`]) of the repository uplink
+//!   and site ingress capacities — concurrent transfers stretch;
+//! * **compute** — a fixed interval of the predicted `t_c`.
+//!
+//! Every completed transfer's achieved per-stream bandwidth feeds a
+//! per-repository EWMA estimator (`fg-predict::bandwidth`), and all
+//! later placements and admission estimates substitute the estimate for
+//! that repository's nominal bandwidth — the load-correction feedback
+//! loop.
+//!
+//! Compute slots are shared max-min fairly *across tenants*: a
+//! scheduling pass first serves jobs whose tenant sits under its
+//! water-filled slot quota, and only backfilling policies may then
+//! start jobs beyond quota (and only when no under-quota start is
+//! possible, so fairness never costs work conservation). Violations of
+//! either property are recorded on the result rather than silently
+//! dropped.
+
+use crate::grid::{AppModel, GridSpec};
+use crate::policy::Policy;
+use crate::workload::JobSpec;
+use fg_cluster::{Configuration, Deployment};
+use fg_predict::bandwidth::{BandwidthEstimator, Ewma};
+use fg_predict::{try_rank_deployments, Prediction};
+use fg_sim::{FairShareSim, Flow, ResourceId, SimTime};
+use fg_trace::{SpanKind, Trace, Tracer};
+use serde::Serialize;
+
+/// Clock comparison slop, seconds.
+const TIME_EPS: f64 = 1e-9;
+
+/// Where a job ran.
+#[derive(Debug, Clone, PartialEq, Serialize)]
+pub struct PlacementInfo {
+    /// Repository index in the grid.
+    pub repo: usize,
+    /// Compute-site index in the grid.
+    pub site: usize,
+    /// Repository name.
+    pub repo_name: String,
+    /// Site name.
+    pub site_name: String,
+    /// Configuration label, `n-c`.
+    pub config: String,
+    /// Data nodes held for the job's lifetime.
+    pub data_nodes: usize,
+    /// Compute nodes held for the job's lifetime.
+    pub compute_nodes: usize,
+}
+
+/// Everything that happened to one submitted job.
+#[derive(Debug, Clone, PartialEq, Serialize)]
+pub struct JobOutcome {
+    /// Submission id.
+    pub id: usize,
+    /// Tenant index.
+    pub tenant: usize,
+    /// Application name.
+    pub app: String,
+    /// Arrival instant (seconds).
+    pub arrival: f64,
+    /// Logical dataset size.
+    pub dataset_bytes: u64,
+    /// False when the job was rejected (admission control, unknown app,
+    /// or no feasible placement exists even on an empty grid).
+    pub admitted: bool,
+    /// Why the job was rejected, when it was.
+    pub reject_reason: Option<String>,
+    /// Standalone predicted execution time: best placement on an empty
+    /// grid at nominal bandwidth. The baseline for slowdown and
+    /// deadlines.
+    pub standalone: Option<f64>,
+    /// Deadline instant: arrival plus slack times standalone.
+    pub deadline: Option<f64>,
+    /// Predicted completion instant at submission (backlog estimate
+    /// plus load-corrected execution prediction).
+    pub admission_estimate: Option<f64>,
+    /// Where the job ran.
+    pub placement: Option<PlacementInfo>,
+    /// When the job left the queue and occupied its nodes.
+    pub placed_at: Option<f64>,
+    /// Predicted execution time of the chosen placement, at placement
+    /// time (load-corrected bandwidth).
+    pub predicted: Option<f64>,
+    /// End of the disk phase.
+    pub disk_end: Option<f64>,
+    /// End of the (possibly stretched) network phase.
+    pub network_end: Option<f64>,
+    /// Completion instant.
+    pub finish: Option<f64>,
+}
+
+impl JobOutcome {
+    /// Queue wait: placement minus arrival.
+    pub fn wait(&self) -> Option<f64> {
+        Some(self.placed_at? - self.arrival)
+    }
+
+    /// Turnaround: completion minus arrival.
+    pub fn turnaround(&self) -> Option<f64> {
+        Some(self.finish? - self.arrival)
+    }
+
+    /// Slowdown: turnaround over the standalone prediction (`>= 1` up
+    /// to prediction error; 1 means "as if alone on an idle grid").
+    pub fn slowdown(&self) -> Option<f64> {
+        Some(self.turnaround()? / self.standalone?)
+    }
+
+    /// Did the job complete by its deadline?
+    pub fn met_deadline(&self) -> Option<bool> {
+        Some(self.finish? <= self.deadline? + TIME_EPS)
+    }
+
+    /// Relative error of the submission-time completion estimate,
+    /// normalized by the achieved turnaround.
+    pub fn completion_error(&self) -> Option<f64> {
+        let turnaround = self.turnaround()?;
+        Some((self.finish? - self.admission_estimate?).abs() / turnaround.max(TIME_EPS))
+    }
+}
+
+/// A scheduler run's full result.
+#[derive(Debug)]
+pub struct SchedResult {
+    /// One outcome per submitted job, in submission-id order.
+    pub outcomes: Vec<JobOutcome>,
+    /// The span tree (one `Job` span per job, phase children) plus the
+    /// metrics snapshot (queue depth, admission counters, wait and
+    /// slowdown histograms).
+    pub trace: Trace,
+    /// Last completion instant (0 for an empty workload).
+    pub makespan: f64,
+    /// Fairness or work-conservation invariant violations detected
+    /// during the run (empty on a healthy run).
+    pub violations: Vec<String>,
+}
+
+/// A job waiting in the scheduler queue.
+#[derive(Debug, Clone)]
+pub(crate) struct QueuedJob {
+    /// The submitted job.
+    pub(crate) spec: JobSpec,
+    /// Standalone predicted execution time.
+    pub(crate) standalone: f64,
+    /// Deadline instant, when one applies.
+    pub(crate) deadline: Option<f64>,
+}
+
+#[derive(Debug, Clone, Copy, PartialEq)]
+enum Phase {
+    Disk { until: f64 },
+    Network,
+    Compute { until: f64 },
+}
+
+#[derive(Debug, Clone)]
+struct Running {
+    /// Index into the outcomes vector (== JobSpec id position).
+    slot: usize,
+    tenant: usize,
+    repo: usize,
+    site: usize,
+    config: Configuration,
+    predicted: Prediction,
+    placed_at: f64,
+    phase: Phase,
+    bytes: f64,
+    net_started: f64,
+    net_remaining: f64,
+    net_cap: f64,
+    /// The per-stream WAN bandwidth the placement prediction used;
+    /// the baseline for converting an observed stretch back into an
+    /// equivalent bandwidth sample.
+    placed_bw: f64,
+    disk_end: Option<f64>,
+    network_end: Option<f64>,
+}
+
+#[derive(Debug, Clone)]
+struct Placement {
+    repo: usize,
+    site: usize,
+    cfg: Configuration,
+    predicted: Prediction,
+}
+
+/// The multi-tenant scheduler: a grid, a policy, and an EWMA smoothing
+/// factor for the bandwidth feedback loop.
+pub struct Scheduler {
+    grid: GridSpec,
+    policy: Policy,
+    ewma_alpha: f64,
+}
+
+impl Scheduler {
+    /// A scheduler over `grid` applying `policy`, with the default
+    /// EWMA smoothing factor of 0.3 for observed bandwidths.
+    pub fn new(grid: GridSpec, policy: Policy) -> Scheduler {
+        Scheduler { grid, policy, ewma_alpha: 0.3 }
+    }
+
+    /// Override the bandwidth-feedback smoothing factor.
+    pub fn with_ewma_alpha(mut self, alpha: f64) -> Scheduler {
+        assert!(alpha > 0.0 && alpha <= 1.0);
+        self.ewma_alpha = alpha;
+        self
+    }
+
+    /// The policy this scheduler applies.
+    pub fn policy(&self) -> Policy {
+        self.policy
+    }
+
+    /// Run the event loop over a job stream (need not be sorted) and
+    /// return outcomes, trace, and invariant report. Deterministic: the
+    /// same grid, policy, and jobs produce a bit-identical result.
+    pub fn run(&self, jobs: &[JobSpec]) -> SchedResult {
+        let grid = &self.grid;
+        assert!(
+            !grid.repos.is_empty() && !grid.sites.is_empty() && !grid.configs.is_empty(),
+            "grid must have repositories, sites, and configurations"
+        );
+        let nrepo = grid.repos.len();
+        let ntenant = jobs.iter().map(|j| j.tenant + 1).max().unwrap_or(0);
+        let total_slots = grid.total_compute_slots();
+        let min_slots = grid.min_config_slots();
+
+        // Arrival order (ties by id).
+        let mut order: Vec<usize> = (0..jobs.len()).collect();
+        order.sort_by(|&a, &b| {
+            jobs[a].arrival.total_cmp(&jobs[b].arrival).then(jobs[a].id.cmp(&jobs[b].id))
+        });
+
+        // Shared-link fluid model: one resource per repository uplink,
+        // one per site ingress.
+        let capacities: Vec<f64> = grid
+            .repos
+            .iter()
+            .map(|r| r.wan_capacity)
+            .chain(grid.sites.iter().map(|s| s.ingress_capacity))
+            .collect();
+        let net = FairShareSim::new(capacities);
+
+        let max_data: Vec<usize> = grid.repos.iter().map(|r| r.site.max_nodes).collect();
+        let max_cmp: Vec<usize> = grid.sites.iter().map(|s| s.site.max_nodes).collect();
+        let mut free_data = max_data.clone();
+        let mut free_cmp = max_cmp.clone();
+        let nominal_bw: Vec<f64> = grid.repos.iter().map(|r| r.wan.stream_bw).collect();
+        let mut bw = nominal_bw.clone();
+        let mut estimators: Vec<Ewma> = (0..nrepo).map(|_| Ewma::new(self.ewma_alpha)).collect();
+        let mut used_slots = vec![0usize; ntenant];
+
+        let tracer = Tracer::new();
+        let submitted_c = tracer.metrics.counter("sched_jobs_submitted");
+        let admitted_c = tracer.metrics.counter("sched_jobs_admitted");
+        let rejected_c = tracer.metrics.counter("sched_jobs_rejected");
+        let completed_c = tracer.metrics.counter("sched_jobs_completed");
+        let misses_c = tracer.metrics.counter("sched_deadline_misses");
+        let backfill_c = tracer.metrics.counter("sched_backfill_starts");
+        let depth_g = tracer.metrics.gauge("sched_queue_depth");
+        let depth_max_g = tracer.metrics.gauge("sched_queue_depth_max");
+        let wait_h =
+            tracer.metrics.histogram("sched_wait_seconds", &[1.0, 5.0, 15.0, 60.0, 300.0, 1800.0]);
+        let slow_h = tracer
+            .metrics
+            .histogram("sched_slowdown", &[1.0, 1.25, 1.5, 2.0, 3.0, 5.0, 10.0, 30.0]);
+
+        let mut outcomes: Vec<Option<JobOutcome>> = vec![None; jobs.len()];
+        let slot_of =
+            |id: usize| -> usize { jobs.iter().position(|j| j.id == id).expect("job id present") };
+        let mut queue: Vec<QueuedJob> = Vec::new();
+        let mut running: Vec<Running> = Vec::new();
+        let mut violations: Vec<String> = Vec::new();
+        let mut next = 0usize;
+        let mut now = 0.0f64;
+        let mut makespan = 0.0f64;
+        let mut depth_max = 0usize;
+        let mut iterations = 0usize;
+        let budget = 10_000 + 200 * jobs.len();
+
+        while next < order.len() || !queue.is_empty() || !running.is_empty() {
+            iterations += 1;
+            assert!(iterations <= budget, "scheduler event loop failed to make progress");
+
+            // --- arrivals due at `now` ---
+            while next < order.len() && jobs[order[next]].arrival <= now + TIME_EPS {
+                let spec = &jobs[order[next]];
+                next += 1;
+                submitted_c.inc();
+                let standalone = grid.app(&spec.app).and_then(|m| {
+                    best_placement(
+                        grid,
+                        m,
+                        spec.dataset_bytes,
+                        &max_data,
+                        &max_cmp,
+                        &nominal_bw,
+                        None,
+                    )
+                    .map(|p| p.predicted.total())
+                });
+                let mut outcome = JobOutcome {
+                    id: spec.id,
+                    tenant: spec.tenant,
+                    app: spec.app.clone(),
+                    arrival: spec.arrival,
+                    dataset_bytes: spec.dataset_bytes,
+                    admitted: false,
+                    reject_reason: None,
+                    standalone,
+                    deadline: standalone.map(|s| spec.arrival + spec.deadline_slack * s),
+                    admission_estimate: None,
+                    placement: None,
+                    placed_at: None,
+                    predicted: None,
+                    disk_end: None,
+                    network_end: None,
+                    finish: None,
+                };
+                let Some(standalone) = standalone else {
+                    outcome.reject_reason = Some(if grid.app(&spec.app).is_none() {
+                        format!("unknown app {:?}", spec.app)
+                    } else {
+                        "no feasible placement on an empty grid".to_string()
+                    });
+                    rejected_c.inc();
+                    outcomes[slot_of(spec.id)] = Some(outcome);
+                    continue;
+                };
+                // Submission-time completion estimate: fluid backlog of
+                // predicted slot-seconds over the total slots, plus the
+                // load-corrected execution prediction.
+                let backlog: f64 = running
+                    .iter()
+                    .map(|r| {
+                        (r.placed_at + r.predicted.total() - now).max(0.0)
+                            * r.config.compute_nodes as f64
+                    })
+                    .sum::<f64>()
+                    + queue.iter().map(|q| q.standalone * min_slots as f64).sum::<f64>();
+                let corrected = grid
+                    .app(&spec.app)
+                    .and_then(|m| {
+                        best_placement(grid, m, spec.dataset_bytes, &max_data, &max_cmp, &bw, None)
+                    })
+                    .map(|p| p.predicted.total())
+                    .unwrap_or(standalone);
+                let estimate = now + backlog / total_slots as f64 + corrected;
+                outcome.admission_estimate = Some(estimate);
+                if self.policy.admits() {
+                    let deadline = outcome.deadline.expect("deadline follows standalone");
+                    if estimate > deadline + TIME_EPS {
+                        outcome.reject_reason = Some(format!(
+                            "admission: predicted completion {estimate:.1}s past deadline {deadline:.1}s"
+                        ));
+                        rejected_c.inc();
+                        outcomes[slot_of(spec.id)] = Some(outcome);
+                        continue;
+                    }
+                }
+                outcome.admitted = true;
+                admitted_c.inc();
+                let deadline = outcome.deadline;
+                outcomes[slot_of(spec.id)] = Some(outcome);
+                queue.push(QueuedJob { spec: spec.clone(), standalone, deadline });
+                depth_max = depth_max.max(queue.len());
+                depth_g.set(queue.len() as f64);
+            }
+
+            // --- phase transitions due at `now` ---
+            let mut finished: Vec<usize> = Vec::new();
+            for (ri, r) in running.iter_mut().enumerate() {
+                match r.phase {
+                    Phase::Disk { until } if until <= now + TIME_EPS => {
+                        r.disk_end = Some(now);
+                        if r.predicted.t_network > TIME_EPS && r.bytes > 0.0 {
+                            r.phase = Phase::Network;
+                            r.net_started = now;
+                            r.net_remaining = r.bytes;
+                            r.net_cap = r.bytes / r.predicted.t_network;
+                        } else {
+                            r.network_end = Some(now);
+                            r.phase =
+                                Phase::Compute { until: now + r.predicted.t_compute.max(0.0) };
+                        }
+                    }
+                    Phase::Network if r.net_remaining <= 1e-6 * r.bytes.max(1.0) => {
+                        // Convert the observed stretch into an
+                        // equivalent per-stream WAN bandwidth: the
+                        // model's T̂_network scales as 1/b, so a
+                        // transfer predicted at bandwidth b that took
+                        // `elapsed` instead of `t̂_n` behaved like
+                        // bandwidth `b * t̂_n / elapsed`. Uncontended
+                        // transfers reproduce their prediction exactly
+                        // and leave the estimate unchanged.
+                        let elapsed = now - r.net_started;
+                        if elapsed > TIME_EPS && r.predicted.t_network > TIME_EPS {
+                            let b_eff = r.placed_bw * r.predicted.t_network / elapsed;
+                            estimators[r.repo].observe(b_eff);
+                            bw[r.repo] = estimators[r.repo].estimate();
+                        }
+                        r.network_end = Some(now);
+                        r.phase = Phase::Compute { until: now + r.predicted.t_compute.max(0.0) };
+                    }
+                    Phase::Compute { until } if until <= now + TIME_EPS => {
+                        finished.push(ri);
+                    }
+                    _ => {}
+                }
+            }
+            // Completions: release nodes, finalize outcomes.
+            for &ri in finished.iter().rev() {
+                let r = running.remove(ri);
+                free_data[r.repo] += r.config.data_nodes;
+                free_cmp[r.site] += r.config.compute_nodes;
+                used_slots[r.tenant] -= r.config.compute_nodes;
+                completed_c.inc();
+                makespan = makespan.max(now);
+                let o = outcomes[r.slot].as_mut().expect("placed job has an outcome");
+                o.disk_end = r.disk_end;
+                o.network_end = r.network_end;
+                o.finish = Some(now);
+                if let Some(w) = o.wait() {
+                    wait_h.observe(w);
+                }
+                if let Some(s) = o.slowdown() {
+                    slow_h.observe(s);
+                }
+                if o.met_deadline() == Some(false) {
+                    misses_c.inc();
+                }
+            }
+
+            // --- scheduling pass ---
+            self.schedule_pass(
+                &mut queue,
+                &mut running,
+                &mut free_data,
+                &mut free_cmp,
+                &mut used_slots,
+                &bw,
+                now,
+                total_slots,
+                min_slots,
+                &mut outcomes,
+                &slot_of,
+                &backfill_c,
+                &mut violations,
+            );
+            depth_g.set(queue.len() as f64);
+
+            // --- horizon: next arrival, fixed-phase end, or drain ---
+            let mut horizon = f64::INFINITY;
+            if next < order.len() {
+                horizon = jobs[order[next]].arrival;
+            }
+            for r in &running {
+                match r.phase {
+                    Phase::Disk { until } | Phase::Compute { until } => {
+                        horizon = horizon.min(until)
+                    }
+                    Phase::Network => {}
+                }
+            }
+            let netidx: Vec<usize> = running
+                .iter()
+                .enumerate()
+                .filter(|(_, r)| r.phase == Phase::Network)
+                .map(|(i, _)| i)
+                .collect();
+            let rates: Vec<f64> = if netidx.is_empty() {
+                Vec::new()
+            } else {
+                let flows: Vec<Flow> = netidx
+                    .iter()
+                    .map(|&i| Flow {
+                        arrival: SimTime::ZERO,
+                        demand: running[i].net_remaining.max(1e-9),
+                        rate_cap: running[i].net_cap,
+                        resources: vec![
+                            ResourceId(running[i].repo),
+                            ResourceId(nrepo + running[i].site),
+                        ],
+                    })
+                    .collect();
+                let active: Vec<usize> = (0..flows.len()).collect();
+                net.instantaneous_rates(&flows, &active)
+            };
+            for (k, &i) in netidx.iter().enumerate() {
+                assert!(rates[k] > 0.0, "max-min allocation starved an active transfer");
+                horizon = horizon.min(now + running[i].net_remaining / rates[k]);
+            }
+            if horizon.is_infinite() {
+                // Nothing running and nothing arriving: any queued job
+                // left is permanently stuck — record and stop.
+                for q in &queue {
+                    violations
+                        .push(format!("job {} queued forever: no placement ever fits", q.spec.id));
+                }
+                break;
+            }
+            let dt = (horizon - now).max(0.0);
+            for (k, &i) in netidx.iter().enumerate() {
+                running[i].net_remaining -= rates[k] * dt;
+            }
+            now = horizon;
+        }
+
+        depth_max_g.set(depth_max as f64);
+        depth_g.set(queue.len() as f64);
+        let outcomes: Vec<JobOutcome> =
+            outcomes.into_iter().map(|o| o.expect("every submitted job gets an outcome")).collect();
+        let trace = build_trace(tracer, &outcomes, makespan);
+        SchedResult { outcomes, trace, makespan, violations }
+    }
+
+    /// Start every job the policy and fair shares allow, cheapest
+    /// placement first within the policy order.
+    #[allow(clippy::too_many_arguments)]
+    fn schedule_pass(
+        &self,
+        queue: &mut Vec<QueuedJob>,
+        running: &mut Vec<Running>,
+        free_data: &mut [usize],
+        free_cmp: &mut [usize],
+        used_slots: &mut [usize],
+        bw: &[f64],
+        now: f64,
+        total_slots: usize,
+        min_slots: usize,
+        outcomes: &mut [Option<JobOutcome>],
+        slot_of: &dyn Fn(usize) -> usize,
+        backfill_c: &fg_trace::Counter,
+        violations: &mut Vec<String>,
+    ) {
+        let grid = &self.grid;
+        loop {
+            if queue.is_empty() {
+                return;
+            }
+            // Max-min fair slot quotas over the tenants that want
+            // slots. A queued job demands what it could use when placed
+            // unconstrained — the largest configuration — so a tenant
+            // alone on an idle grid is never capped below the best
+            // placement by its own conservative demand.
+            let ntenant = used_slots.len();
+            let max_slots = grid.max_config_slots();
+            let mut demands = vec![0usize; ntenant];
+            for r in running.iter() {
+                demands[r.tenant] += r.config.compute_nodes;
+            }
+            for q in queue.iter() {
+                demands[q.spec.tenant] += max_slots;
+            }
+            let quota = fair_quota(total_slots, &demands);
+
+            let mut order: Vec<usize> = (0..queue.len()).collect();
+            order.sort_by(|&a, &b| {
+                let (ka, ia) = self.policy.key(&queue[a]);
+                let (kb, ib) = self.policy.key(&queue[b]);
+                ka.total_cmp(&kb).then(ia.cmp(&ib))
+            });
+
+            // Round 1: jobs whose tenant is under quota, capped so the
+            // start cannot push the tenant past its quota.
+            let mut start: Option<(usize, Placement, bool)> = None;
+            for &qi in &order {
+                let q = &queue[qi];
+                let tenant = q.spec.tenant;
+                let headroom = quota[tenant].saturating_sub(used_slots[tenant]);
+                if headroom >= min_slots {
+                    if let Some(model) = grid.app(&q.spec.app) {
+                        if let Some(p) = best_placement(
+                            grid,
+                            model,
+                            q.spec.dataset_bytes,
+                            free_data,
+                            free_cmp,
+                            bw,
+                            Some(headroom),
+                        ) {
+                            start = Some((qi, p, false));
+                            break;
+                        }
+                    }
+                }
+                if self.policy.head_blocking() {
+                    break;
+                }
+            }
+            // Round 2: only when no under-quota start exists may a
+            // backfilling policy start a job past its tenant's quota —
+            // fairness must not cost work conservation.
+            if start.is_none() && !self.policy.head_blocking() {
+                for &qi in &order {
+                    let q = &queue[qi];
+                    if let Some(model) = grid.app(&q.spec.app) {
+                        if let Some(p) = best_placement(
+                            grid,
+                            model,
+                            q.spec.dataset_bytes,
+                            free_data,
+                            free_cmp,
+                            bw,
+                            None,
+                        ) {
+                            start = Some((qi, p, true));
+                            break;
+                        }
+                    }
+                }
+            }
+            let Some((qi, placement, backfilled)) = start else {
+                // Redundant guard for the work-conservation invariant:
+                // with a backfilling policy, no queued job may fit the
+                // free nodes once the pass declares itself done.
+                if !self.policy.head_blocking() {
+                    for q in queue.iter() {
+                        if let Some(model) = grid.app(&q.spec.app) {
+                            if best_placement(
+                                grid,
+                                model,
+                                q.spec.dataset_bytes,
+                                free_data,
+                                free_cmp,
+                                bw,
+                                None,
+                            )
+                            .is_some()
+                            {
+                                violations.push(format!(
+                                    "work conservation: job {} fits free nodes but was not started at t={now:.3}",
+                                    q.spec.id
+                                ));
+                            }
+                        }
+                    }
+                }
+                return;
+            };
+
+            let q = queue.remove(qi);
+            let tenant = q.spec.tenant;
+            if backfilled {
+                backfill_c.inc();
+                if quota[tenant].saturating_sub(used_slots[tenant]) >= min_slots {
+                    violations.push(format!(
+                        "fair share: job {} backfilled past quota although tenant {tenant} had headroom at t={now:.3}",
+                        q.spec.id
+                    ));
+                }
+            } else if used_slots[tenant] + placement.cfg.compute_nodes > quota[tenant] {
+                violations.push(format!(
+                    "fair share: job {} pushed tenant {tenant} past its quota at t={now:.3}",
+                    q.spec.id
+                ));
+            }
+            free_data[placement.repo] -= placement.cfg.data_nodes;
+            free_cmp[placement.site] -= placement.cfg.compute_nodes;
+            used_slots[tenant] += placement.cfg.compute_nodes;
+            let o = outcomes[slot_of(q.spec.id)].as_mut().expect("queued job has an outcome");
+            o.placed_at = Some(now);
+            o.predicted = Some(placement.predicted.total());
+            o.placement = Some(PlacementInfo {
+                repo: placement.repo,
+                site: placement.site,
+                repo_name: grid.repos[placement.repo].site.name.clone(),
+                site_name: grid.sites[placement.site].site.name.clone(),
+                config: placement.cfg.label(),
+                data_nodes: placement.cfg.data_nodes,
+                compute_nodes: placement.cfg.compute_nodes,
+            });
+            running.push(Running {
+                slot: slot_of(q.spec.id),
+                tenant,
+                repo: placement.repo,
+                site: placement.site,
+                config: placement.cfg,
+                predicted: placement.predicted,
+                placed_at: now,
+                phase: Phase::Disk { until: now + placement.predicted.t_disk.max(0.0) },
+                bytes: q.spec.dataset_bytes as f64,
+                net_started: now,
+                net_remaining: 0.0,
+                placed_bw: bw[placement.repo],
+                net_cap: f64::INFINITY,
+                disk_end: None,
+                network_end: None,
+            });
+        }
+    }
+}
+
+/// Cheapest feasible placement by predicted cost (ties: repository,
+/// site, then configuration order — fully deterministic). `quota_cap`
+/// restricts the configuration's compute nodes (fair-share round);
+/// `None` lifts the restriction (standalone predictions, backfill).
+/// Candidates the predictor rejects ([`fg_predict::SelectionError`])
+/// are skipped: a misconfigured site must not crash the scheduler.
+fn best_placement(
+    grid: &GridSpec,
+    model: &AppModel,
+    dataset_bytes: u64,
+    free_data: &[usize],
+    free_cmp: &[usize],
+    bw: &[f64],
+    quota_cap: Option<usize>,
+) -> Option<Placement> {
+    let mut best: Option<Placement> = None;
+    for (ri, repo) in grid.repos.iter().enumerate() {
+        for (si, site) in grid.sites.iter().enumerate() {
+            for cfg in grid.configs.iter() {
+                if cfg.data_nodes > free_data[ri] || cfg.compute_nodes > free_cmp[si] {
+                    continue;
+                }
+                if let Some(cap) = quota_cap {
+                    if cfg.compute_nodes > cap {
+                        continue;
+                    }
+                }
+                let mut wan = repo.wan.clone();
+                wan.stream_bw = bw[ri];
+                let deployment = Deployment::new(repo.site.clone(), site.site.clone(), wan, *cfg);
+                let ranked = match try_rank_deployments(
+                    &model.profile,
+                    model.classes,
+                    std::slice::from_ref(&deployment),
+                    dataset_bytes,
+                    &grid.factors,
+                ) {
+                    Ok(ranked) => ranked,
+                    Err(_) => continue,
+                };
+                let candidate = &ranked[0];
+                let better = match &best {
+                    None => true,
+                    Some(b) => candidate.predicted.total() < b.predicted.total(),
+                };
+                if better {
+                    best = Some(Placement {
+                        repo: ri,
+                        site: si,
+                        cfg: *cfg,
+                        predicted: candidate.predicted,
+                    });
+                }
+            }
+        }
+    }
+    best
+}
+
+/// Integer max-min water-filling: one slot at a time to the tenant with
+/// the smallest allocation still under its demand (ties: lowest index).
+fn fair_quota(total: usize, demands: &[usize]) -> Vec<usize> {
+    let mut alloc = vec![0usize; demands.len()];
+    let mut left = total;
+    while left > 0 {
+        let mut pick: Option<usize> = None;
+        for t in 0..demands.len() {
+            if alloc[t] < demands[t] && pick.is_none_or(|p| alloc[t] < alloc[p]) {
+                pick = Some(t);
+            }
+        }
+        match pick {
+            Some(t) => {
+                alloc[t] += 1;
+                left -= 1;
+            }
+            None => break,
+        }
+    }
+    alloc
+}
+
+/// Post-hoc span tree: one `Run` root, one `Job` span per submission in
+/// arrival order with `JobQueued` and phase children, integer attrs for
+/// the figures and exporters.
+fn build_trace(mut tracer: Tracer, outcomes: &[JobOutcome], makespan: f64) -> Trace {
+    let t = SimTime::from_secs_f64;
+    let end_time = outcomes.iter().map(|o| o.finish.unwrap_or(o.arrival)).fold(makespan, f64::max);
+    let run = tracer.begin(SpanKind::Run, None, SimTime::ZERO);
+    let mut order: Vec<usize> = (0..outcomes.len()).collect();
+    order.sort_by(|&a, &b| {
+        outcomes[a]
+            .arrival
+            .total_cmp(&outcomes[b].arrival)
+            .then(outcomes[a].id.cmp(&outcomes[b].id))
+    });
+    for &i in &order {
+        let o = &outcomes[i];
+        let job = tracer.begin(SpanKind::Job, None, t(o.arrival));
+        tracer.attr(job, "job_id", o.id as u64);
+        tracer.attr(job, "tenant", o.tenant as u64);
+        tracer.attr(job, "dataset_bytes", o.dataset_bytes);
+        tracer.attr(job, "admitted", u64::from(o.admitted));
+        if let Some(s) = o.standalone {
+            tracer.attr(job, "standalone_ms", (s * 1e3).round() as u64);
+        }
+        if let Some(p) = o.predicted {
+            tracer.attr(job, "predicted_ms", (p * 1e3).round() as u64);
+        }
+        if let Some(met) = o.met_deadline() {
+            tracer.attr(job, "met_deadline", u64::from(met));
+        }
+        match (o.placed_at, o.disk_end, o.network_end, o.finish) {
+            (Some(placed), Some(disk), Some(netw), Some(finish)) => {
+                let queued = tracer.record(SpanKind::JobQueued, None, t(o.arrival), t(placed));
+                let _ = queued;
+                tracer.record(SpanKind::Retrieval, None, t(placed), t(disk));
+                if netw > disk {
+                    tracer.record(SpanKind::Network, None, t(disk), t(netw));
+                }
+                tracer.record(SpanKind::Compute, None, t(netw), t(finish));
+                tracer.end(job, t(finish));
+            }
+            _ => {
+                // Rejected (or stuck) jobs: zero-length span at arrival.
+                tracer.end(job, t(o.arrival));
+            }
+        }
+    }
+    tracer.end(run, t(end_time));
+    tracer.finish(None)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::workload::{LoadLevel, WorkloadSpec};
+    use fg_predict::{AppClasses, Profile};
+
+    fn model() -> AppModel {
+        AppModel {
+            profile: Profile {
+                app: "kmeans".into(),
+                data_nodes: 1,
+                compute_nodes: 1,
+                wan_bw: 1e6,
+                dataset_bytes: 1_000_000,
+                t_disk: 40.0,
+                t_network: 20.0,
+                t_compute: 100.0,
+                t_ro: 0.0,
+                t_g: 0.5,
+                max_obj_bytes: 512,
+                passes: 1,
+                repo_machine: "pentium-700".into(),
+                compute_machine: "pentium-700".into(),
+            },
+            classes: AppClasses::CONSTANT_LINEAR_CONSTANT,
+        }
+    }
+
+    fn grid() -> GridSpec {
+        GridSpec::demo(vec![("kmeans".into(), model())])
+    }
+
+    fn job(id: usize, tenant: usize, bytes: u64, arrival: f64) -> JobSpec {
+        JobSpec {
+            id,
+            tenant,
+            app: "kmeans".into(),
+            dataset_bytes: bytes,
+            arrival,
+            deadline_slack: 3.0,
+        }
+    }
+
+    #[test]
+    fn empty_workload_is_a_noop() {
+        let r = Scheduler::new(grid(), Policy::Fcfs).run(&[]);
+        assert!(r.outcomes.is_empty());
+        assert_eq!(r.makespan, 0.0);
+        assert!(r.violations.is_empty());
+        assert_eq!(r.trace.metrics.counter("sched_jobs_submitted"), Some(0));
+        r.trace.check_well_formed().unwrap();
+    }
+
+    #[test]
+    fn a_lone_job_matches_its_prediction_exactly() {
+        let r = Scheduler::new(grid(), Policy::Fcfs).run(&[job(0, 0, 2_000_000, 5.0)]);
+        let o = &r.outcomes[0];
+        assert!(o.admitted);
+        assert_eq!(o.placed_at, Some(5.0));
+        let predicted = o.predicted.unwrap();
+        let finish = o.finish.unwrap();
+        // Uncontended: the capacitated links never bind, so the fluid
+        // network phase reproduces the predicted transfer time and the
+        // job completes at placement + prediction.
+        assert!(
+            (finish - (5.0 + predicted)).abs() < 1e-6 * predicted,
+            "finish {finish} vs predicted end {}",
+            5.0 + predicted
+        );
+        assert_eq!(o.slowdown().map(|s| (s * 1e9).round() / 1e9), Some(1.0));
+        assert!(r.violations.is_empty());
+        r.trace.check_well_formed().unwrap();
+    }
+
+    #[test]
+    fn overlapping_transfers_stretch_each_other() {
+        // Two identical large jobs arriving together: both get placed
+        // (plenty of nodes) and their network phases overlap on the
+        // shared links, so at least one must finish later than its
+        // uncontended prediction.
+        let jobs = [job(0, 0, 60_000_000, 0.0), job(1, 1, 60_000_000, 0.0)];
+        let r = Scheduler::new(grid(), Policy::FcfsBackfill).run(&jobs);
+        let lone = Scheduler::new(grid(), Policy::FcfsBackfill).run(&[job(0, 0, 60_000_000, 0.0)]);
+        let lone_finish = lone.outcomes[0].finish.unwrap();
+        let worst = r.outcomes.iter().map(|o| o.finish.unwrap()).fold(0.0f64, f64::max);
+        assert!(
+            worst > lone_finish + 1.0,
+            "contention should stretch someone: worst {worst}, lone {lone_finish}"
+        );
+        assert!(r.violations.is_empty());
+    }
+
+    #[test]
+    fn contention_feeds_the_bandwidth_estimators() {
+        // Two contended transfers stretch, degrading the repository's
+        // bandwidth estimate. A third job arriving on an *idle* grid
+        // afterwards is placed with a load-corrected prediction that is
+        // strictly worse than the nominal standalone one — the feedback
+        // loop, not queue backlog, accounts for the difference.
+        let jobs = [
+            job(0, 0, 60_000_000, 0.0),
+            job(1, 1, 60_000_000, 0.0),
+            job(2, 2, 20_000_000, 5_000.0),
+        ];
+        let r = Scheduler::new(grid(), Policy::FcfsBackfill).run(&jobs);
+        let pair_done = r.outcomes[0].finish.unwrap().max(r.outcomes[1].finish.unwrap());
+        assert!(pair_done < 5_000.0, "late job must find an idle grid ({pair_done})");
+        let o = &r.outcomes[2];
+        assert!(o.admitted);
+        assert_eq!(o.placed_at, Some(5_000.0));
+        assert!(
+            o.predicted.unwrap() > o.standalone.unwrap() + 1e-9,
+            "corrected prediction {:?} should exceed nominal standalone {:?}",
+            o.predicted,
+            o.standalone
+        );
+    }
+
+    #[test]
+    fn runs_are_deterministic() {
+        let jobs = WorkloadSpec::preset(LoadLevel::Heavy, &["kmeans"], 11).generate();
+        for policy in Policy::ALL {
+            let a = Scheduler::new(grid(), policy).run(&jobs);
+            let b = Scheduler::new(grid(), policy).run(&jobs);
+            assert_eq!(a.outcomes, b.outcomes, "policy {}", policy.name());
+            assert_eq!(fg_trace::to_jsonl(&a.trace), fg_trace::to_jsonl(&b.trace));
+        }
+    }
+
+    #[test]
+    fn every_policy_preserves_the_invariants_under_load() {
+        let jobs = WorkloadSpec::preset(LoadLevel::Heavy, &["kmeans"], 3).generate();
+        for policy in Policy::ALL {
+            let r = Scheduler::new(grid(), policy).run(&jobs);
+            assert!(r.violations.is_empty(), "{}: {:?}", policy.name(), r.violations);
+            r.trace.check_well_formed().unwrap_or_else(|e| panic!("{}: {e}", policy.name()));
+            assert_eq!(r.outcomes.len(), jobs.len());
+            for o in &r.outcomes {
+                if o.admitted {
+                    let finish = o.finish.expect("admitted jobs complete");
+                    assert!(finish >= o.arrival);
+                    assert!(o.placed_at.unwrap() >= o.arrival - 1e-9);
+                } else {
+                    assert!(o.reject_reason.is_some());
+                    assert!(o.finish.is_none());
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn admission_control_rejects_hopeless_jobs() {
+        // Saturate the grid, then submit a job with a tight deadline:
+        // EDF admission must turn it away while FCFS would queue it.
+        let mut jobs: Vec<JobSpec> = (0..12).map(|i| job(i, i % 3, 80_000_000, 0.0)).collect();
+        let mut tight = job(12, 0, 80_000_000, 1.0);
+        tight.deadline_slack = 1.01;
+        jobs.push(tight);
+        let edf = Scheduler::new(grid(), Policy::EdfAdmit).run(&jobs);
+        let o = &edf.outcomes[12];
+        assert!(!o.admitted, "tight job should be rejected: {:?}", o.reject_reason);
+        assert!(o.reject_reason.as_deref().unwrap().starts_with("admission"));
+        let fcfs = Scheduler::new(grid(), Policy::Fcfs).run(&jobs);
+        assert!(fcfs.outcomes[12].admitted);
+        assert_eq!(edf.trace.metrics.counter("sched_jobs_rejected"), Some(1));
+    }
+
+    #[test]
+    fn unknown_apps_are_rejected_not_fatal() {
+        let mut j = job(0, 0, 1_000_000, 0.0);
+        j.app = "mystery".into();
+        let r = Scheduler::new(grid(), Policy::Fcfs).run(&[j]);
+        assert!(!r.outcomes[0].admitted);
+        assert!(r.outcomes[0].reject_reason.as_deref().unwrap().contains("unknown app"));
+    }
+
+    #[test]
+    fn fair_quota_water_fills() {
+        assert_eq!(fair_quota(10, &[4, 4, 4]), vec![4, 3, 3]);
+        assert_eq!(fair_quota(10, &[2, 8, 8]), vec![2, 4, 4]);
+        assert_eq!(fair_quota(24, &[2, 2, 2]), vec![2, 2, 2]);
+        assert_eq!(fair_quota(0, &[5]), vec![0]);
+        assert_eq!(fair_quota(5, &[]), Vec::<usize>::new());
+    }
+
+    #[test]
+    fn tenants_share_slots_max_min_fairly() {
+        // One greedy tenant floods the queue; a second tenant's lone job
+        // must not wait behind the entire flood under a backfilling
+        // policy with fair shares.
+        let mut jobs: Vec<JobSpec> = (0..10).map(|i| job(i, 0, 40_000_000, 0.0)).collect();
+        jobs.push(job(10, 1, 10_000_000, 1.0));
+        let r = Scheduler::new(grid(), Policy::FcfsBackfill).run(&jobs);
+        let small = &r.outcomes[10];
+        assert!(small.admitted);
+        let flood_last_start =
+            r.outcomes[..10].iter().filter_map(|o| o.placed_at).fold(0.0f64, f64::max);
+        assert!(
+            small.placed_at.unwrap() < flood_last_start,
+            "tenant 1 should start before the flood fully drains ({} vs {})",
+            small.placed_at.unwrap(),
+            flood_last_start
+        );
+        assert!(r.violations.is_empty(), "{:?}", r.violations);
+    }
+}

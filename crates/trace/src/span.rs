@@ -105,6 +105,11 @@ pub enum SpanKind {
     /// The master re-running one abandoned node's chunks (child of
     /// `StragglerRecovery`).
     NodeReexec,
+    /// One scheduled job's lifetime, submission to completion (child of
+    /// `Run` in a scheduler trace; parents `JobQueued` and phase spans).
+    Job,
+    /// Time a job spent queued before placement (child of `Job`).
+    JobQueued,
 }
 
 impl SpanKind {
@@ -148,6 +153,8 @@ impl SpanKind {
             SpanKind::NodeCompute => "node-compute",
             SpanKind::NodeSend => "node-send",
             SpanKind::NodeReexec => "node-reexec",
+            SpanKind::Job => "job",
+            SpanKind::JobQueued => "job-queued",
         }
     }
 }

@@ -15,5 +15,6 @@ pub use fg_chunks as chunks;
 pub use fg_cluster as cluster;
 pub use fg_middleware as middleware;
 pub use fg_predict as predict;
+pub use fg_sched as sched;
 pub use fg_sim as sim;
 pub use fg_trace as trace;

@@ -6,6 +6,8 @@
 //! codecs use. No slicing/splitting — the workspace never splits
 //! buffers.
 
+#![allow(clippy::all)]
+
 use std::ops::{Deref, DerefMut};
 use std::sync::Arc;
 

@@ -6,6 +6,8 @@
 //! printed. Good enough to smoke-test the benches and eyeball relative
 //! cost; not a substitute for real measurement.
 
+#![allow(clippy::all)]
+
 use std::fmt::Display;
 use std::time::{Duration, Instant};
 

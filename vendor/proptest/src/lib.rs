@@ -13,6 +13,8 @@
 //! - `any::<f32>()`/`any::<f64>()` sample uniform bit patterns, so NaN
 //!   and infinities do occur (good for codec round-trip tests).
 
+#![allow(clippy::all)]
+
 use rand::rngs::StdRng;
 use rand::{RngCore, SeedableRng};
 

@@ -11,6 +11,8 @@
 //! determinism for a fixed seed, which this implementation guarantees
 //! across platforms.
 
+#![allow(clippy::all)]
+
 use std::ops::Range;
 
 /// Low-level source of randomness.

@@ -7,6 +7,8 @@
 //! conservative choice for this codebase: the simulator's results must be
 //! bit-identical across runs, and the real work per item is tiny.
 
+#![allow(clippy::all)]
+
 pub mod prelude {
     /// `par_iter()` on slices and `Vec`s, sequential edition.
     pub trait IntoParallelRefIterator<'data> {

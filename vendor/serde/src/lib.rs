@@ -13,6 +13,8 @@
 //! `#[serde(skip)]`, `#[serde(default)]`, and `#[serde(with = "mod")]`.
 //! The vendored `serde_json` renders and parses `Value` as JSON text.
 
+#![allow(clippy::all)]
+
 pub use serde_derive::{Deserialize, Serialize};
 
 use std::collections::{BTreeMap, HashMap, VecDeque};

@@ -23,6 +23,8 @@
 //! Generics are intentionally unsupported; the derive panics with a
 //! clear message rather than emitting wrong code.
 
+#![allow(clippy::all)]
+
 use proc_macro::{Delimiter, TokenStream, TokenTree};
 
 struct Field {

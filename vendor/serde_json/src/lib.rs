@@ -6,6 +6,8 @@
 //! as `null`, as real serde_json's lossy modes do); `u64`/`i64` are kept
 //! integral end to end.
 
+#![allow(clippy::all)]
+
 pub use serde::Error;
 use serde::{Deserialize, Serialize, Value};
 use std::fmt::Write as _;
