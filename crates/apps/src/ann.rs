@@ -17,6 +17,7 @@ use fg_chunks::{codec, Chunk, Dataset, DatasetBuilder};
 use fg_middleware::{ObjSize, PassOutcome, ReductionApp, ReductionObject, WorkMeter};
 use fg_sim::rng::stream_rng;
 use rand::Rng;
+use serde::{Deserialize, Serialize};
 
 /// Input dimensionality.
 pub const DIM: usize = 4;
@@ -58,7 +59,7 @@ pub fn generate(id: &str, nominal_mb: f64, scale: f64, seed: u64) -> Dataset {
 
 /// Flat network parameters: `w1 (DIM+1 x HIDDEN)` then
 /// `w2 (HIDDEN+1 x CLASSES)`, biases in the `+1` rows.
-#[derive(Debug, Clone)]
+#[derive(Debug, Clone, Serialize, Deserialize)]
 pub struct Weights(pub Vec<f32>);
 
 impl Weights {
@@ -102,7 +103,7 @@ fn forward(w: &Weights, x: &[f32]) -> ([f64; HIDDEN], [f64; CLASSES]) {
 }
 
 /// Per-pass gradient accumulator (plus loss and sample count).
-#[derive(Debug, Clone)]
+#[derive(Debug, Clone, Serialize, Deserialize)]
 pub struct GradObj {
     grad: Vec<f64>,
     loss: f64,
@@ -125,7 +126,7 @@ impl ReductionObject for GradObj {
 }
 
 /// Broadcast state: current weights, epoch counter, last loss.
-#[derive(Debug, Clone)]
+#[derive(Debug, Clone, Serialize, Deserialize)]
 pub struct AnnState {
     /// Current network parameters.
     pub weights: Weights,

@@ -20,6 +20,7 @@ use fg_chunks::{codec, Chunk, Dataset, DatasetBuilder};
 use fg_middleware::{ObjSize, PassOutcome, ReductionApp, ReductionObject, WorkMeter};
 use fg_sim::rng::stream_rng;
 use rand::Rng;
+use serde::{Deserialize, Serialize};
 
 /// Item alphabet size.
 pub const NUM_ITEMS: u32 = 64;
@@ -66,7 +67,7 @@ pub fn generate(
 }
 
 /// Candidate support counts for one pass.
-#[derive(Debug, Clone)]
+#[derive(Debug, Clone, Serialize, Deserialize)]
 pub struct AprioriObj {
     counts: Vec<u64>,
     transactions: u64,
@@ -88,7 +89,7 @@ impl ReductionObject for AprioriObj {
 
 /// The broadcast state: current candidates and the frequent sets found so
 /// far.
-#[derive(Debug, Clone)]
+#[derive(Debug, Clone, Serialize, Deserialize)]
 pub struct AprioriState {
     /// Candidates counted in the next pass (sorted item lists).
     pub candidates: Vec<Vec<u32>>,

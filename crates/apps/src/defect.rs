@@ -24,6 +24,7 @@ use fg_chunks::{codec, Chunk, Dataset, DatasetBuilder, Span};
 use fg_middleware::{ObjSize, PassOutcome, ReductionApp, ReductionObject, WorkMeter};
 use fg_sim::rng::stream_rng;
 use rand::Rng;
+use serde::{Deserialize, Serialize};
 
 /// Lattice extent in x and y (sites); z grows with dataset size. Kept
 /// small so even modest datasets span many z-layers and therefore many
@@ -165,7 +166,7 @@ pub fn generate(id: &str, nominal_mb: f64, scale: f64, seed: u64) -> (Dataset, V
 /// Shape signature: mean and spread of atom distances from the centroid,
 /// atom count, and foreign-species fraction. Robust to positional noise,
 /// separable across the planted defect types.
-#[derive(Debug, Clone, Copy, PartialEq)]
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
 pub struct Signature {
     /// Mean distance from centroid.
     pub mean_r: f32,
@@ -240,7 +241,7 @@ impl Signature {
 }
 
 /// A defect fragment detected within one chunk.
-#[derive(Debug, Clone)]
+#[derive(Debug, Clone, Serialize, Deserialize)]
 pub struct Fragment {
     /// Atom records (x, y, z, species).
     pub atoms: Vec<[f32; 4]>,
@@ -255,7 +256,7 @@ pub struct Fragment {
 }
 
 /// A joined defect with its shape signature.
-#[derive(Debug, Clone)]
+#[derive(Debug, Clone, Serialize, Deserialize)]
 pub struct Defect {
     /// Centroid position.
     pub centroid: [f32; 3],
@@ -266,14 +267,14 @@ pub struct Defect {
 }
 
 /// Reduction object for the detection pass.
-#[derive(Debug, Clone, Default)]
+#[derive(Debug, Clone, Default, Serialize, Deserialize)]
 pub struct DetectObj {
     /// Fragments found so far.
     pub fragments: Vec<Fragment>,
 }
 
 /// Class assignment of one defect during categorization.
-#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
 pub enum Match {
     /// Matched an existing catalog class.
     Catalog(u32),
@@ -282,7 +283,7 @@ pub enum Match {
 }
 
 /// Reduction object for the categorization pass.
-#[derive(Debug, Clone, Default)]
+#[derive(Debug, Clone, Default, Serialize, Deserialize)]
 pub struct CategorizeObj {
     /// (defect index, match) pairs.
     pub assignments: Vec<(u32, Match)>,
@@ -291,7 +292,7 @@ pub struct CategorizeObj {
 }
 
 /// The reduction object across both passes.
-#[derive(Debug, Clone)]
+#[derive(Debug, Clone, Serialize, Deserialize)]
 pub enum DefectObj {
     /// Detection-pass accumulator.
     Detect(DetectObj),
@@ -345,7 +346,7 @@ impl ReductionObject for DefectObj {
 }
 
 /// The broadcast state across the two passes.
-#[derive(Debug, Clone)]
+#[derive(Debug, Clone, Serialize, Deserialize)]
 pub enum DefectState {
     /// Pass 0: detect.
     Detect,

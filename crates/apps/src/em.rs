@@ -22,6 +22,7 @@ use fg_chunks::{codec, Chunk, Dataset, DatasetBuilder};
 use fg_middleware::{ObjSize, PassOutcome, ReductionApp, ReductionObject, WorkMeter};
 use fg_sim::rng::stream_rng;
 use rand::Rng;
+use serde::{Deserialize, Serialize};
 
 /// Feature dimensionality.
 pub const DIM: usize = 4;
@@ -58,7 +59,7 @@ pub fn generate(id: &str, nominal_mb: f64, scale: f64, seed: u64, k_true: usize)
 }
 
 /// Which half of an EM iteration the next pass performs.
-#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
 pub enum EmPhase {
     /// Expectation: accumulate `N_k`, `Σ γ x`, log-likelihood.
     Expectation,
@@ -68,7 +69,7 @@ pub enum EmPhase {
 
 /// The broadcast state: current mixture parameters plus the staging area
 /// between the E and M halves of an iteration.
-#[derive(Debug, Clone)]
+#[derive(Debug, Clone, Serialize, Deserialize)]
 pub struct EmState {
     /// Component means used for responsibilities (μ_old).
     pub means: Vec<[f64; DIM]>,
@@ -94,7 +95,7 @@ pub struct EmState {
 
 /// Sufficient-statistics accumulator (shared by both passes) plus the
 /// dataset-proportional diagnostic buffer.
-#[derive(Debug, Clone)]
+#[derive(Debug, Clone, Serialize, Deserialize)]
 pub struct EmObj {
     n: Vec<f64>,
     sums: Vec<[f64; DIM]>,

@@ -13,6 +13,7 @@ use fg_chunks::{codec, Chunk, Dataset, DatasetBuilder};
 use fg_middleware::{ObjSize, PassOutcome, ReductionApp, ReductionObject, WorkMeter};
 use fg_sim::rng::stream_rng;
 use rand::Rng;
+use serde::{Deserialize, Serialize};
 
 /// Dimensionality of the point space.
 pub const DIM: usize = 8;
@@ -55,7 +56,7 @@ pub fn generate(id: &str, nominal_mb: f64, scale: f64, seed: u64, k_true: usize)
 }
 
 /// The broadcast state: current centers and the pass counter.
-#[derive(Debug, Clone)]
+#[derive(Debug, Clone, Serialize, Deserialize)]
 pub struct KMeansState {
     /// Current cluster centers.
     pub centroids: Vec<[f32; DIM]>,
@@ -67,7 +68,7 @@ pub struct KMeansState {
 }
 
 /// Per-node accumulator: per-cluster coordinate sums and counts.
-#[derive(Debug, Clone)]
+#[derive(Debug, Clone, Serialize, Deserialize)]
 pub struct KMeansObj {
     sums: Vec<[f64; DIM]>,
     counts: Vec<u64>,

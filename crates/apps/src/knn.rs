@@ -14,6 +14,7 @@ use fg_chunks::{codec, Chunk, Dataset, DatasetBuilder};
 use fg_middleware::{ObjSize, PassOutcome, ReductionApp, ReductionObject, WorkMeter};
 use fg_sim::rng::stream_rng;
 use rand::Rng;
+use serde::{Deserialize, Serialize};
 
 /// Feature dimensionality.
 pub const DIM: usize = 4;
@@ -50,7 +51,7 @@ pub fn generate(id: &str, nominal_mb: f64, scale: f64, seed: u64) -> Dataset {
 }
 
 /// A neighbor candidate: squared distance and label.
-#[derive(Debug, Clone, Copy, PartialEq)]
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
 pub struct Neighbor {
     /// Squared distance to the query.
     pub dist_sq: f32,
@@ -60,7 +61,7 @@ pub struct Neighbor {
 
 /// Per-query bounded best-list (kept sorted ascending by distance;
 /// ties broken by label so merges are order-independent).
-#[derive(Debug, Clone)]
+#[derive(Debug, Clone, Serialize, Deserialize)]
 struct BestList {
     k: usize,
     items: Vec<Neighbor>,
@@ -87,7 +88,7 @@ impl BestList {
 }
 
 /// The reduction object: one k-best list per query.
-#[derive(Debug, Clone)]
+#[derive(Debug, Clone, Serialize, Deserialize)]
 pub struct KnnObj {
     lists: Vec<BestList>,
 }
@@ -132,7 +133,7 @@ impl Knn {
 }
 
 /// Final classification result.
-#[derive(Debug, Clone)]
+#[derive(Debug, Clone, Serialize, Deserialize)]
 pub enum KnnState {
     /// Still searching (the only pass).
     Searching,

@@ -23,6 +23,7 @@ use fg_chunks::{codec, Chunk, Dataset, DatasetBuilder, Span};
 use fg_middleware::{ObjSize, PassOutcome, ReductionApp, ReductionObject, WorkMeter};
 use fg_sim::rng::stream_rng;
 use rand::Rng;
+use serde::{Deserialize, Serialize};
 
 /// Grid width (columns); the field's height follows from the dataset size.
 pub const WIDTH: usize = 256;
@@ -134,7 +135,7 @@ pub fn generate(id: &str, nominal_mb: f64, scale: f64, seed: u64) -> (Dataset, V
 }
 
 /// A connected vorticity fragment found within one chunk.
-#[derive(Debug, Clone)]
+#[derive(Debug, Clone, Serialize, Deserialize)]
 pub struct Region {
     /// Candidate cells in the fragment.
     pub cells: u64,
@@ -157,7 +158,7 @@ pub struct Region {
 }
 
 /// A detected vortex after global combination.
-#[derive(Debug, Clone)]
+#[derive(Debug, Clone, Serialize, Deserialize)]
 pub struct Vortex {
     /// Total candidate cells.
     pub cells: u64,
@@ -172,7 +173,7 @@ pub struct Vortex {
 }
 
 /// Reduction object: fragments detected so far.
-#[derive(Debug, Clone, Default)]
+#[derive(Debug, Clone, Default, Serialize, Deserialize)]
 pub struct VortexObj {
     /// Per-chunk fragments, concatenated.
     pub regions: Vec<Region>,
@@ -195,7 +196,7 @@ impl ReductionObject for VortexObj {
 }
 
 /// Application state: scanning, then done.
-#[derive(Debug, Clone)]
+#[derive(Debug, Clone, Serialize, Deserialize)]
 pub enum VortexState {
     /// The single detection pass.
     Scan,

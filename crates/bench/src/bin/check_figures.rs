@@ -294,6 +294,31 @@ fn main() -> ExitCode {
         );
     }
 
+    if let Some(fig) = ck.load("ext-migrate") {
+        ck.claim(
+            "ext-migrate",
+            "migration beats stay-put under sustained degradation at every load",
+            fig.rows
+                .iter()
+                .all(|(l, _)| at(&fig, l, "migrate slowdown") < at(&fig, l, "stay slowdown")),
+        );
+        ck.claim(
+            "ext-migrate",
+            "degradation actually triggers migrations at every load",
+            fig.column_values("migrations").iter().all(|&m| m >= 1.0),
+        );
+        ck.claim(
+            "ext-migrate",
+            "migration never triggers under stable bandwidth (hysteresis)",
+            fig.column_values("stable migrations").iter().all(|&m| m == 0.0),
+        );
+        ck.claim(
+            "ext-migrate",
+            "token-bucket quota violations are exactly zero",
+            fig.column_values("quota violations").iter().all(|&v| v == 0.0),
+        );
+    }
+
     if ck.failures.is_empty() {
         println!("\nall figure claims hold");
         ExitCode::SUCCESS

@@ -807,6 +807,93 @@ pub fn ext_sched() -> Figure {
     }
 }
 
+/// The scheduler run behind one `ext-migrate` cell: the three-tenant
+/// workload preset (seed 42) under FCFS-backfill with per-tenant
+/// token-bucket quotas armed (generously, so the violation counter is
+/// live but admission is unaffected), preemption enabled, and
+/// optionally mid-run migration and a sustained collapse of the fast
+/// repository's transfer paths.
+pub fn migrate_run(
+    policy: fg_sched::Policy,
+    load: fg_sched::LoadLevel,
+    migrate: bool,
+    degrade: bool,
+) -> fg_sched::sched::SchedResult {
+    let grid = fg_sched::GridSpec::demo(sched_models());
+    let names: Vec<&str> = SCHED_APPS.iter().map(|a| a.name()).collect();
+    let jobs = fg_sched::WorkloadSpec::preset(load, &names, 42).generate();
+    let quotas = vec![fg_sched::TenantQuota { capacity: 1000.0, refill_per_sec: 1.0 }; 3];
+    let mut sched = fg_sched::Scheduler::new(grid, policy).with_quotas(quotas).with_preemption(2.0);
+    if migrate {
+        sched = sched.with_migration(fg_sched::MigrationConfig::default());
+    }
+    if degrade {
+        sched = sched.with_degradation(fg_sched::Degradation { repo: 0, start: 0.0, factor: 0.1 });
+    }
+    sched.run(&jobs)
+}
+
+/// Extension: preemptive migration under bandwidth degradation.
+///
+/// At each load level, compares a migration-enabled run against a
+/// stay-put run while the fast repository's transfer paths run at 10%
+/// of nominal, plus a migration-enabled run under stable bandwidth as
+/// the hysteresis control. Token-bucket quotas are armed in every run;
+/// the violation counter must stay at zero.
+pub fn ext_migrate() -> Figure {
+    use fg_sched::{LoadLevel, Policy};
+    let mut rows = Vec::new();
+    let mut notes = Vec::new();
+    for load in LoadLevel::ALL {
+        let moved = migrate_run(Policy::FcfsBackfill, load, true, true);
+        let stayed = migrate_run(Policy::FcfsBackfill, load, false, true);
+        let stable = migrate_run(Policy::FcfsBackfill, load, true, false);
+        let mean_slowdown = |r: &fg_sched::sched::SchedResult| {
+            let s: Vec<f64> = r.outcomes.iter().filter_map(|o| o.slowdown()).collect();
+            s.iter().sum::<f64>() / s.len().max(1) as f64
+        };
+        let quota_violations = [&moved, &stayed, &stable]
+            .iter()
+            .map(|r| r.trace.metrics.counter("sched_quota_violations").unwrap_or(0))
+            .sum::<u64>();
+        rows.push((
+            load.name().to_string(),
+            vec![
+                mean_slowdown(&moved),
+                mean_slowdown(&stayed),
+                moved.trace.metrics.counter("sched_migrations").unwrap_or(0) as f64,
+                stable.trace.metrics.counter("sched_migrations").unwrap_or(0) as f64,
+                quota_violations as f64,
+            ],
+        ));
+        notes.push(format!(
+            "{}: makespan migrate {:.0}s vs stay {:.0}s vs stable {:.0}s; \
+             {} preemptions in the migrating run; violations {}/{}/{}",
+            load.name(),
+            moved.makespan,
+            stayed.makespan,
+            stable.makespan,
+            moved.trace.metrics.counter("sched_preemptions").unwrap_or(0),
+            moved.violations.len(),
+            stayed.violations.len(),
+            stable.violations.len(),
+        ));
+    }
+    Figure {
+        id: "ext-migrate".into(),
+        title: "Extension: preemptive migration — migrate vs stay-put mean slowdown under a sustained 10x degradation of the fast repository, with the stable-bandwidth hysteresis control (three-tenant preset, seed 42)".into(),
+        columns: vec![
+            "migrate slowdown".into(),
+            "stay slowdown".into(),
+            "migrations".into(),
+            "stable migrations".into(),
+            "quota violations".into(),
+        ],
+        rows,
+        notes,
+    }
+}
+
 /// A registry entry: figure id plus its generator.
 pub type FigureEntry = (&'static str, fn() -> Figure);
 
@@ -893,5 +980,6 @@ pub fn registry() -> Vec<FigureEntry> {
         ("ext-faults", ext_faults),
         ("ext-trace", ext_trace),
         ("ext-sched", ext_sched),
+        ("ext-migrate", ext_migrate),
     ]
 }

@@ -24,6 +24,8 @@
 //!   `b̂` (the §3.2 ingredient the paper imports from related work).
 //! * [`reselect`] — mid-run replica re-selection: re-ranks candidates
 //!   and migrates when observed bandwidth deviates from nominal.
+//! * [`migrate`] — the migration cost/benefit model: prices a
+//!   checkpoint move (`T̂_migrate`) and gates re-selection verdicts.
 //! * [`calibrate`] — least-squares measurement of the interconnect
 //!   parameters `w` and `l` ("experimentally determined", §3.3.1).
 //! * [`error`] — the relative-error metric of §5.
@@ -36,6 +38,7 @@ pub mod calibrate;
 pub mod classes;
 pub mod error;
 pub mod hetero;
+pub mod migrate;
 pub mod model;
 pub mod profile;
 pub mod reselect;
@@ -45,6 +48,9 @@ pub use cache::{predict_with_plan, CachePlan};
 pub use classes::{AppClasses, GlobalReduceClass, RObjSizeClass};
 pub use error::relative_error;
 pub use hetero::ScalingFactors;
+pub use migrate::{
+    decide_migration, migration_cost, MigrationCost, MigrationDecision, MigrationPolicy,
+};
 pub use model::{ComputeModel, ExecTimePredictor, InterconnectParams, Prediction, Target};
 pub use profile::Profile;
 pub use reselect::ReselectionController;

@@ -79,6 +79,142 @@ pub fn run_local_reductions<A: ReductionApp>(
         .collect()
 }
 
+/// One node's state after folding a *segment* of its chunk assignment:
+/// the per-core partial objects (not yet combined node-locally) plus the
+/// kernel meters and traffic of this segment only.
+pub struct SegmentResult<O> {
+    /// Per-core partial reduction objects, in core order.
+    pub core_objs: Vec<O>,
+    /// Metered kernel work of each core *for this segment*.
+    pub core_meters: Vec<WorkMeter>,
+    /// Chunks of this node inside the segment.
+    pub chunks: usize,
+    /// Logical bytes of those chunks.
+    pub bytes: u64,
+}
+
+/// Run the local reduction of every compute node restricted to chunks
+/// with global ids in `lo..hi`, optionally continuing from previously
+/// checkpointed per-core objects.
+///
+/// The round-robin core split is computed from the node's *full* chunk
+/// assignment and then filtered to the segment, so each core folds
+/// exactly the same chunk sequence as an unsplit
+/// [`run_local_reductions`] — a full-range segment followed by
+/// [`combine_segment`] is bit-identical to the unsplit path, and so is
+/// any prefix segment resumed with its suffix. That is the invariant the
+/// checkpoint/resume machinery rests on.
+#[allow(clippy::too_many_arguments)]
+pub fn run_segment_reductions<A: ReductionApp>(
+    app: &A,
+    state: &A::State,
+    dataset: &Dataset,
+    node_chunks: &[Vec<usize>],
+    cores: usize,
+    lo: usize,
+    hi: usize,
+    initial: Option<Vec<Vec<A::Obj>>>,
+) -> Vec<SegmentResult<A::Obj>> {
+    assert!(cores >= 1, "a compute node has at least one core");
+    let initial: Vec<Option<Vec<A::Obj>>> = match initial {
+        Some(objs) => {
+            assert_eq!(objs.len(), node_chunks.len(), "one object set per node");
+            objs.into_iter().map(Some).collect()
+        }
+        None => node_chunks.iter().map(|_| None).collect(),
+    };
+    node_chunks
+        .par_iter()
+        .zip(initial.into_par_iter())
+        .map(|(chunks, init)| {
+            let active = cores.min(chunks.len()).max(1);
+            let per_core: Vec<Vec<usize>> = (0..active)
+                .map(|w| {
+                    chunks
+                        .iter()
+                        .skip(w)
+                        .step_by(active)
+                        .copied()
+                        .filter(|&k| k >= lo && k < hi)
+                        .collect()
+                })
+                .collect();
+            let init_objs: Vec<Option<A::Obj>> = match init {
+                Some(objs) => {
+                    assert_eq!(objs.len(), active, "one partial object per active core");
+                    objs.into_iter().map(Some).collect()
+                }
+                None => (0..active).map(|_| None).collect(),
+            };
+            let results: Vec<(A::Obj, WorkMeter)> = per_core
+                .par_iter()
+                .zip(init_objs.into_par_iter())
+                .map(|(core_chunks, init)| {
+                    let mut obj = init.unwrap_or_else(|| app.new_object(state));
+                    let mut meter = WorkMeter::new();
+                    for &k in core_chunks {
+                        app.local_reduce(state, &dataset.chunks[k], &mut obj, &mut meter);
+                    }
+                    (obj, meter)
+                })
+                .collect();
+            let (core_objs, core_meters): (Vec<_>, Vec<_>) = results.into_iter().unzip();
+            let in_segment = |&k: &usize| k >= lo && k < hi;
+            let bytes = chunks
+                .iter()
+                .filter(|k| in_segment(k))
+                .map(|&k| dataset.chunks[k].logical_bytes)
+                .sum();
+            SegmentResult {
+                core_objs,
+                core_meters,
+                chunks: chunks.iter().filter(|k| in_segment(k)).count(),
+                bytes,
+            }
+        })
+        .collect()
+}
+
+/// Combine one node's per-core partial objects node-locally, exactly as
+/// [`run_local_reductions`] does at the end of a pass: merge in core
+/// order into core 0's object, metering the merge work.
+pub fn combine_segment<O: ReductionObject>(mut core_objs: Vec<O>) -> (O, WorkMeter) {
+    let mut smp_merge = WorkMeter::new();
+    let mut iter = core_objs.drain(..);
+    let mut obj = iter.next().expect("at least one core");
+    for sub in iter {
+        obj.merge(&sub, &mut smp_merge);
+    }
+    (obj, smp_merge)
+}
+
+/// A node's processing time for one *segment* of a pass: the slowest
+/// core's metered kernel work, per-chunk dispatch, and cache traffic for
+/// the segment's chunks. The intra-node combination is not included —
+/// it happens once, when the pass completes (see [`combine_segment`]).
+pub fn segment_compute_time<O>(
+    seg: &SegmentResult<O>,
+    machine: &MachineSpec,
+    costs: &MiddlewareCosts,
+    inflation: f64,
+    cache: CacheTraffic,
+) -> SimDuration {
+    let active = seg.core_meters.len();
+    let kernel = seg
+        .core_meters
+        .iter()
+        .map(|m| m.time_on_cores(machine, inflation, active))
+        .max()
+        .unwrap_or(SimDuration::ZERO);
+    let dispatch = costs.chunk_dispatch * seg.chunks as u64;
+    let cache_time = match cache {
+        CacheTraffic::None => SimDuration::ZERO,
+        CacheTraffic::Write => cache_write_time(machine, costs, seg.bytes, seg.chunks),
+        CacheTraffic::Read => cache_read_time(machine, costs, seg.bytes, seg.chunks),
+    };
+    kernel + dispatch + cache_time
+}
+
 /// Virtual time for a node to write its chunks into the local cache
 /// (first pass of a caching application): streamed at local disk
 /// bandwidth plus a fixed per-chunk middleware overhead.
@@ -287,6 +423,54 @@ mod tests {
         let seq = run_local_reductions(&SumApp, &(), &ds, &[vec![0, 1, 2, 3]], 1);
         let par_total: f64 = par.iter().map(|r| r.obj.0).sum();
         assert_eq!(par_total, seq[0].obj.0);
+    }
+
+    #[test]
+    fn full_range_segment_matches_unsplit_reduction() {
+        let ds = dataset();
+        let node_chunks = vec![vec![0, 1, 2], vec![3]];
+        let unsplit = run_local_reductions(&SumApp, &(), &ds, &node_chunks, 2);
+        let segs = run_segment_reductions(&SumApp, &(), &ds, &node_chunks, 2, 0, 4, None);
+        for (u, s) in unsplit.iter().zip(segs) {
+            let (obj, _) = combine_segment(s.core_objs);
+            assert_eq!(obj.0.to_bits(), u.obj.0.to_bits());
+            assert_eq!(s.chunks, u.chunks);
+            assert_eq!(s.bytes, u.bytes);
+        }
+    }
+
+    #[test]
+    fn split_segments_resume_bit_identically_at_every_boundary() {
+        let ds = dataset();
+        let node_chunks = vec![vec![0, 2], vec![1, 3]];
+        let unsplit = run_local_reductions(&SumApp, &(), &ds, &node_chunks, 2);
+        for cut in 0..=4 {
+            let prefix = run_segment_reductions(&SumApp, &(), &ds, &node_chunks, 2, 0, cut, None);
+            let carried: Vec<Vec<SumObj>> = prefix.into_iter().map(|s| s.core_objs).collect();
+            let suffix =
+                run_segment_reductions(&SumApp, &(), &ds, &node_chunks, 2, cut, 4, Some(carried));
+            for (u, s) in unsplit.iter().zip(suffix) {
+                let (obj, _) = combine_segment(s.core_objs);
+                assert_eq!(obj.0.to_bits(), u.obj.0.to_bits(), "cut at {cut}");
+            }
+        }
+    }
+
+    #[test]
+    fn segment_counts_cover_only_the_range() {
+        let ds = dataset();
+        let segs = run_segment_reductions(&SumApp, &(), &ds, &[vec![0, 1, 2, 3]], 1, 1, 3, None);
+        assert_eq!(segs[0].chunks, 2);
+        let full: f64 = codecs_sum(&ds, &[1, 2]);
+        assert_eq!(segs[0].core_objs[0].0, full);
+    }
+
+    fn codecs_sum(ds: &Dataset, chunks: &[usize]) -> f64 {
+        chunks
+            .iter()
+            .flat_map(|&k| codec::decode_f32s(&ds.chunks[k].payload))
+            .map(|v| v as f64)
+            .sum()
     }
 
     #[test]

@@ -34,6 +34,7 @@
 //! bit-identical to [`Executor::run`].
 
 use crate::api::{PassOutcome, ReductionApp, ReductionObject};
+use crate::checkpoint::{Checkpoint, ResumableOutcome, StopPoint};
 use crate::comm::{self, TransferFlow};
 use crate::computeserver::{self, CacheTraffic};
 use crate::dataserver::{self, RetryPolicy};
@@ -125,6 +126,21 @@ struct FetchPlan {
 /// Assign every chunk a serving data node (contiguous over the `n - dead`
 /// survivors), honoring the fixed chunk-to-compute-node map `dest`.
 fn fetch_plan(dataset: &Dataset, n: usize, dest: &[usize], dead: &[usize]) -> FetchPlan {
+    fetch_plan_range(dataset, n, dest, dead, 0, dataset.num_chunks())
+}
+
+/// [`fetch_plan`] restricted to the chunks with global id in `[lo, hi)`:
+/// the placement still spans the whole dataset (chunk-to-data-node
+/// assignment is static), but only the segment's chunks contribute
+/// bytes and flows. Resumable runs fetch each pass in such segments.
+fn fetch_plan_range(
+    dataset: &Dataset,
+    n: usize,
+    dest: &[usize],
+    dead: &[usize],
+    lo: usize,
+    hi: usize,
+) -> FetchPlan {
     let alive: Vec<usize> = (0..n).filter(|i| !dead.contains(i)).collect();
     assert!(
         !alive.is_empty(),
@@ -137,6 +153,9 @@ fn fetch_plan(dataset: &Dataset, n: usize, dest: &[usize], dead: &[usize]) -> Fe
     for (ai, chunks) in placement.iter().enumerate() {
         let dn = alive[ai];
         for &k in chunks {
+            if k < lo || k >= hi {
+                continue;
+            }
             dn_bytes[dn] += dataset.chunks[k].logical_bytes;
             dn_chunks[dn] += 1;
             let entry = flow_map.entry((dn, dest[k])).or_insert((0, 0));
@@ -288,6 +307,392 @@ impl Executor {
         let result = self.run_inner(app, dataset, schedule, options, controller, Some(&mut tracer));
         let meta = result.report.run_meta();
         (result, tracer.finish(Some(meta)))
+    }
+
+    /// Run `app` until `stop` is reached, suspending into a
+    /// [`Checkpoint`] there — or to completion if the application
+    /// finishes first.
+    ///
+    /// The stop point is a chunk boundary: chunks with global id below
+    /// `stop.cursor` are folded in pass `stop.pass` before the snapshot
+    /// is taken. Resuming the checkpoint (on this or another replica of
+    /// the same dataset, via [`Executor::resume_from`]) yields a final
+    /// state bit-identical to the uninterrupted
+    /// [`Executor::run_with_faults`]: the chunk-to-compute-node map, the
+    /// per-core fold interleave, and every merge order are preserved
+    /// across the split.
+    ///
+    /// Checkpointed runs do not support non-local cache sites.
+    pub fn run_resumable<A: ReductionApp>(
+        &self,
+        app: &A,
+        dataset: &Dataset,
+        schedule: &FaultSchedule,
+        options: &FaultOptions,
+        stop: StopPoint,
+    ) -> ResumableOutcome<A::State, A::Obj> {
+        assert!(
+            stop.cursor <= dataset.num_chunks(),
+            "stop cursor {} exceeds the dataset's {} chunks",
+            stop.cursor,
+            dataset.num_chunks()
+        );
+        self.run_segmented(app, dataset, schedule, options, None, Some(stop))
+    }
+
+    /// Continue a suspended run from its [`Checkpoint`] to completion.
+    ///
+    /// The executor's deployment may serve a *different replica* of the
+    /// same dataset — that is a migration, charged
+    /// [`FaultOptions::migration_overhead`] in the resumed pass — but
+    /// the compute site and node count must match the checkpoint's.
+    pub fn resume_from<A: ReductionApp>(
+        &self,
+        app: &A,
+        dataset: &Dataset,
+        checkpoint: Checkpoint<A::State, A::Obj>,
+        schedule: &FaultSchedule,
+        options: &FaultOptions,
+    ) -> RunResult<A::State> {
+        match self.run_segmented(app, dataset, schedule, options, Some(checkpoint), None) {
+            ResumableOutcome::Finished(result) => result,
+            ResumableOutcome::Suspended(_) => unreachable!("resume has no stop point"),
+        }
+    }
+
+    /// The segmented pass loop behind [`Executor::run_resumable`] and
+    /// [`Executor::resume_from`]: each pass runs as one or two chunk
+    /// segments (`[0, cursor)` then `[cursor, num_chunks)` around a
+    /// split), with per-core partial objects carried across the split so
+    /// fold and merge orders match the unsplit run exactly.
+    fn run_segmented<A: ReductionApp>(
+        &self,
+        app: &A,
+        dataset: &Dataset,
+        schedule: &FaultSchedule,
+        options: &FaultOptions,
+        start: Option<Checkpoint<A::State, A::Obj>>,
+        stop: Option<StopPoint>,
+    ) -> ResumableOutcome<A::State, A::Obj> {
+        let d = &self.deployment;
+        let n = d.config.data_nodes;
+        let c = d.config.compute_nodes;
+        let num_chunks = dataset.num_chunks();
+        assert!(
+            num_chunks >= n,
+            "dataset {} has {} chunks but the configuration uses {} data nodes",
+            dataset.id,
+            num_chunks,
+            n
+        );
+        assert!(
+            options.straggler_threshold >= 1.0,
+            "straggler threshold below 1 would abandon healthy nodes"
+        );
+        assert!(d.cache.is_none(), "checkpointed runs do not support non-local cache sites");
+        let inflation = dataset.work_inflation();
+        let site = &d.compute;
+        let machine = &site.machine;
+
+        // Unpack the checkpoint (validating it against this executor) or
+        // start fresh. `n0` is the data-node count that fixed the
+        // chunk-to-compute-node map; migration may change the fetch-side
+        // count `n` but never `n0`.
+        let resumed = start.is_some();
+        let (n0, start_pass, start_cursor, mut state, mut passes, stored_mode, migrated) =
+            match &start {
+                Some(ck) => {
+                    assert_eq!(ck.app, app.name(), "checkpoint was taken by a different app");
+                    assert_eq!(
+                        ck.dataset, dataset.id,
+                        "checkpoint was taken over a different dataset"
+                    );
+                    assert_eq!(ck.num_chunks, num_chunks, "checkpoint chunk count mismatch");
+                    assert_eq!(ck.compute_nodes, c, "resume cannot change the compute-node count");
+                    assert_eq!(
+                        ck.compute_machine, machine.name,
+                        "resume is a replica switch; the compute site stays"
+                    );
+                    assert!(ck.cursor <= num_chunks, "checkpoint cursor out of range");
+                    assert_eq!(
+                        ck.partials.len(),
+                        c,
+                        "checkpoint has one partial-object set per compute node"
+                    );
+                    let migrated = ck.repository != d.repository.name;
+                    (
+                        ck.data_nodes,
+                        ck.pass_idx,
+                        ck.cursor,
+                        ck.state.clone(),
+                        ck.completed.clone(),
+                        Some(ck.cache_mode),
+                        migrated,
+                    )
+                }
+                None => (n, 0, 0, app.initial_state(), Vec::new(), None, false),
+            };
+        assert!(
+            num_chunks >= n0,
+            "checkpoint's original configuration used {n0} data nodes over {num_chunks} chunks"
+        );
+        let (mut carried, mut pending_prefix, mut now) = match start {
+            Some(ck) => (Some(ck.partials), Some(ck.prefix), ck.elapsed),
+            None => (None, None, SimTime::ZERO),
+        };
+
+        // Static plan, identical to the original run's: chunk -> data
+        // node over `n0`, chunk -> compute node.
+        let placement = partition::contiguous(num_chunks, n0);
+        let dest = distribution::assign_destinations(&placement, c);
+        let mut node_chunks: Vec<Vec<usize>> = vec![Vec::new(); c];
+        for (k, &cn) in dest.iter().enumerate() {
+            node_chunks[cn].push(k);
+        }
+        let node_bytes: Vec<u64> = node_chunks
+            .iter()
+            .map(|list| list.iter().map(|&k| dataset.chunks[k].logical_bytes).sum())
+            .collect();
+        let max_node_bytes = node_bytes.iter().copied().max().unwrap_or(0);
+        let cache_mode = match stored_mode {
+            // The cache-mode decision is sticky across a resume: the
+            // compute-local cache survives the replica switch.
+            Some(m) => m,
+            None if !app.caches() => CacheMode::SinglePass,
+            None if max_node_bytes <= site.node_storage_bytes => CacheMode::Local,
+            None => CacheMode::Refetch,
+        };
+
+        // A resume on a different replica pays the restart overhead in
+        // its first pass.
+        let mut migration_due =
+            if resumed && migrated { options.migration_overhead } else { SimDuration::ZERO };
+        let mut known_dead: Vec<usize> = Vec::new();
+        let mut pass_idx = start_pass;
+
+        loop {
+            assert!(
+                pass_idx < app.max_passes(),
+                "application {} exceeded its pass bound of {}",
+                app.name(),
+                app.max_passes()
+            );
+            let remote =
+                pass_idx == 0 || matches!(cache_mode, CacheMode::SinglePass | CacheMode::Refetch);
+            let lo = if pass_idx == start_pass { start_cursor } else { 0 };
+            let stop_here = stop.is_some_and(|sp| sp.pass == pass_idx);
+            let hi = if stop_here { stop.expect("checked").cursor } else { num_chunks };
+            assert!(lo <= hi, "stop point precedes the resume cursor");
+
+            // Crash detection, charged once per new dead set, as in the
+            // unsplit run.
+            let mut fault_detection = SimDuration::ZERO;
+            let seg_remote = remote && hi > lo;
+            if seg_remote && !schedule.crashes.is_empty() {
+                let dead_now: Vec<usize> =
+                    schedule.crashed_nodes(now).into_iter().filter(|&i| i < n).collect();
+                if dead_now.iter().any(|i| !known_dead.contains(i)) {
+                    fault_detection = options.retry.detection_delay();
+                    known_dead = dead_now;
+                }
+            }
+
+            // Phases 1-2 over the segment's chunks only: retrieval at the
+            // serving replica, then the origin WAN transfer under
+            // whatever degradation is in force.
+            let (retrieval, network) = if seg_remote {
+                let plan = fetch_plan_range(dataset, n, &dest, &known_dead, lo, hi);
+                let read_times =
+                    dataserver::retrieval_times(&d.repository, &plan.dn_bytes, &plan.dn_chunks);
+                let retrieval =
+                    read_times.iter().map(|&(_, t)| t).max().unwrap_or(SimDuration::ZERO);
+                let net_factor = schedule.bandwidth_factor(now + fault_detection + retrieval);
+                let flow_times = if net_factor == 1.0 {
+                    comm::transfer_times(&d.wan, &d.repository.machine, machine, n, c, &plan.flows)
+                } else {
+                    let mut wan = d.wan.clone();
+                    wan.stream_bw *= net_factor;
+                    if let Some(cap) = wan.aggregate_cap.as_mut() {
+                        *cap *= net_factor;
+                    }
+                    comm::transfer_times(&wan, &d.repository.machine, machine, n, c, &plan.flows)
+                };
+                let network = flow_times.iter().map(|&(_, t)| t).max().unwrap_or(SimDuration::ZERO);
+                (retrieval, network)
+            } else {
+                (SimDuration::ZERO, SimDuration::ZERO)
+            };
+
+            // Phase 3 over the segment: per-core folds, seeded with the
+            // carried partials when resuming mid-pass.
+            let cache = if cache_mode != CacheMode::Local {
+                CacheTraffic::None
+            } else if pass_idx == 0 {
+                CacheTraffic::Write
+            } else {
+                CacheTraffic::Read
+            };
+            let init = if pass_idx == start_pass { carried.take() } else { None };
+            let segs = computeserver::run_segment_reductions(
+                app,
+                &state,
+                dataset,
+                &node_chunks,
+                machine.cores,
+                lo,
+                hi,
+                init,
+            );
+            let seg_times: Vec<SimDuration> = segs
+                .iter()
+                .map(|s| {
+                    computeserver::segment_compute_time(s, machine, &site.costs, inflation, cache)
+                })
+                .collect();
+
+            if stop_here {
+                // Suspend: per-core partials stay unmerged so the resume
+                // replays the exact merge tree.
+                let (local_compute, straggler_recovery) = if schedule.stragglers.is_empty() {
+                    (
+                        seg_times.iter().copied().max().unwrap_or(SimDuration::ZERO),
+                        SimDuration::ZERO,
+                    )
+                } else {
+                    let plan = straggler_plan(&seg_times, schedule, options.straggler_threshold);
+                    (plan.makespan, plan.recovery)
+                };
+                let prefix = PassReport {
+                    retrieval,
+                    network,
+                    cache_disk: SimDuration::ZERO,
+                    cache_network: SimDuration::ZERO,
+                    local_compute,
+                    t_ro: SimDuration::ZERO,
+                    t_g: SimDuration::ZERO,
+                    max_obj_bytes: 0,
+                    fault_detection,
+                    straggler_recovery,
+                    migration: SimDuration::ZERO,
+                };
+                let elapsed = now
+                    + fault_detection
+                    + retrieval
+                    + network
+                    + local_compute
+                    + straggler_recovery;
+                return ResumableOutcome::Suspended(Checkpoint {
+                    app: app.name().to_string(),
+                    dataset: dataset.id.clone(),
+                    num_chunks,
+                    data_nodes: n0,
+                    compute_nodes: c,
+                    repository: d.repository.name.clone(),
+                    compute_machine: machine.name.clone(),
+                    cache_mode,
+                    pass_idx,
+                    cursor: hi,
+                    state,
+                    partials: segs.into_iter().map(|s| s.core_objs).collect(),
+                    elapsed,
+                    completed: passes,
+                    prefix,
+                });
+            }
+
+            // The pass completes here: node-local combination, then the
+            // usual gather and global reduction.
+            let mut objs = Vec::with_capacity(c);
+            let mut node_times = Vec::with_capacity(c);
+            for (seg_t, seg) in seg_times.iter().zip(segs) {
+                let (obj, smp_merge) = computeserver::combine_segment(seg.core_objs);
+                node_times.push(*seg_t + smp_merge.time_on(machine, inflation));
+                objs.push(obj);
+            }
+            let (local_compute, straggler_recovery) = if schedule.stragglers.is_empty() {
+                (node_times.iter().copied().max().unwrap_or(SimDuration::ZERO), SimDuration::ZERO)
+            } else {
+                let plan = straggler_plan(&node_times, schedule, options.straggler_threshold);
+                (plan.makespan, plan.recovery)
+            };
+
+            let obj_bytes: Vec<u64> = objs.iter().map(|o| o.size().logical(inflation)).collect();
+            let send_times = comm::gather_times(site, &obj_bytes[1..]);
+            let t_ro: SimDuration = send_times.iter().copied().sum();
+            let max_obj_bytes = obj_bytes.iter().copied().max().unwrap_or(0);
+
+            let mut master_meter = WorkMeter::new();
+            let mut iter = objs.into_iter();
+            let mut merged = iter.next().expect("at least one compute node");
+            for o in iter {
+                merged.merge(&o, &mut master_meter);
+            }
+            let outcome = app.global_finalize(&state, merged, &mut master_meter);
+            let (next_state, finished) = match outcome {
+                PassOutcome::NextPass(s) => (s, false),
+                PassOutcome::Finished(s) => (s, true),
+            };
+            let broadcast = if finished {
+                SimDuration::ZERO
+            } else {
+                comm::broadcast_time(site, app.state_size(&next_state).logical(inflation), c)
+            };
+            let t_g = site.costs.obj_handling * c as u64
+                + master_meter.time_on(machine, inflation)
+                + broadcast;
+
+            let migration = std::mem::replace(&mut migration_due, SimDuration::ZERO);
+            let mut report = PassReport {
+                retrieval,
+                network,
+                cache_disk: SimDuration::ZERO,
+                cache_network: SimDuration::ZERO,
+                local_compute,
+                t_ro,
+                t_g,
+                max_obj_bytes,
+                fault_detection,
+                straggler_recovery,
+                migration,
+            };
+            // A resumed split pass folds the checkpointed prefix's phase
+            // components into its report, so the run has one report per
+            // logical pass.
+            if let Some(prefix) = pending_prefix.take() {
+                report.retrieval += prefix.retrieval;
+                report.network += prefix.network;
+                report.local_compute += prefix.local_compute;
+                report.fault_detection += prefix.fault_detection;
+                report.straggler_recovery += prefix.straggler_recovery;
+            }
+            now = now
+                + fault_detection
+                + retrieval
+                + network
+                + local_compute
+                + t_ro
+                + t_g
+                + migration
+                + straggler_recovery;
+            passes.push(report);
+            state = next_state;
+            if finished {
+                let report = ExecutionReport {
+                    app: app.name().to_string(),
+                    dataset: dataset.id.clone(),
+                    dataset_bytes: dataset.logical_bytes(),
+                    data_nodes: n,
+                    compute_nodes: c,
+                    wan_bw: d.wan.stream_bw,
+                    repo_machine: d.repository.machine.name.clone(),
+                    compute_machine: machine.name.clone(),
+                    cache_mode,
+                    passes,
+                };
+                return ResumableOutcome::Finished(RunResult { report, final_state: state });
+            }
+            pass_idx += 1;
+        }
     }
 
     fn run_inner<A: ReductionApp>(
@@ -802,12 +1207,13 @@ mod tests {
     use crate::api::ObjSize;
     use fg_chunks::{codec, DatasetBuilder};
     use fg_cluster::{ComputeSite, Configuration, RepositorySite, Wan};
+    use serde::{Deserialize, Serialize};
 
     /// Two-pass app: pass 1 sums elements, pass 2 counts elements above
     /// the mean. Exercises caching, state broadcast, and merge.
     struct TwoPass;
 
-    #[derive(Clone)]
+    #[derive(Clone, Serialize, Deserialize)]
     struct Acc {
         sum: f64,
         count: u64,
@@ -824,7 +1230,7 @@ mod tests {
         }
     }
 
-    #[derive(Clone)]
+    #[derive(Clone, Serialize, Deserialize)]
     enum Phase {
         ComputeMean,
         CountAbove(f64),
@@ -1269,6 +1675,148 @@ mod tests {
             &FaultSchedule::none(),
             &FaultOptions::default(),
             Some(&mut ctrl),
+        );
+    }
+
+    /// [`refetch_deployment`] pointed at a different replica of the same
+    /// dataset (resuming here is a migration).
+    fn refetch_replica(n: usize, c: usize, wan_bw: f64) -> Deployment {
+        let mut site = ComputeSite::pentium_myrinet("cs", 16);
+        site.node_storage_bytes = 0;
+        Deployment::new(
+            RepositorySite::pentium_repository("repo-b", 8),
+            site,
+            Wan::per_stream(wan_bw),
+            Configuration::new(n, c),
+        )
+    }
+
+    #[test]
+    fn resumable_split_is_bit_identical_at_every_boundary() {
+        let ds = dataset(8, 100);
+        let ex = Executor::new(deployment(2, 4));
+        let opts = FaultOptions::default();
+        let sched = FaultSchedule::none();
+        let unsplit = ex.run(&TwoPass, &ds);
+        for pass in 0..2 {
+            for cursor in 0..=ds.num_chunks() {
+                let ck = ex
+                    .run_resumable(&TwoPass, &ds, &sched, &opts, StopPoint { pass, cursor })
+                    .expect_suspended("two-pass app suspends inside either pass");
+                assert_eq!(ck.pass_idx, pass);
+                assert_eq!(ck.cursor, cursor);
+                let resumed = ex.resume_from(&TwoPass, &ds, ck, &sched, &opts);
+                assert_eq!(
+                    final_count(&resumed.final_state),
+                    final_count(&unsplit.final_state),
+                    "split at pass {pass} chunk {cursor}"
+                );
+                assert_eq!(resumed.report.num_passes(), unsplit.report.num_passes());
+                // Resuming on the same replica is not a migration.
+                assert_eq!(resumed.report.passes[pass].migration, SimDuration::ZERO);
+            }
+        }
+    }
+
+    #[test]
+    fn unreached_stop_point_finishes_with_the_unsplit_report() {
+        let ds = dataset(8, 100);
+        let ex = Executor::new(deployment(2, 4));
+        let unsplit = ex.run(&TwoPass, &ds);
+        let outcome = ex.run_resumable(
+            &TwoPass,
+            &ds,
+            &FaultSchedule::none(),
+            &FaultOptions::default(),
+            StopPoint { pass: 7, cursor: 0 },
+        );
+        match outcome {
+            ResumableOutcome::Finished(r) => {
+                assert_eq!(r.report, unsplit.report);
+                assert_eq!(final_count(&r.final_state), final_count(&unsplit.final_state));
+            }
+            ResumableOutcome::Suspended(_) => panic!("two passes never reach pass 7"),
+        }
+    }
+
+    #[test]
+    fn resume_on_another_replica_charges_the_migration_overhead() {
+        let ds = dataset(8, 100);
+        let opts = FaultOptions::default();
+        let sched = FaultSchedule::none();
+        let home = Executor::new(refetch_deployment(2, 4, 1e5));
+        let unsplit = home.run(&TwoPass, &ds);
+        let ck = home
+            .run_resumable(&TwoPass, &ds, &sched, &opts, StopPoint { pass: 1, cursor: 3 })
+            .expect_suspended("stops mid second pass");
+        // A faster replica serves the remaining fraction after the
+        // switch; the answer is unchanged and the overhead is charged to
+        // the resumed pass.
+        let away = Executor::new(refetch_replica(2, 4, 1e6));
+        let resumed = away.resume_from(&TwoPass, &ds, ck, &sched, &opts);
+        assert_eq!(final_count(&resumed.final_state), final_count(&unsplit.final_state));
+        assert_eq!(resumed.report.passes[1].migration, opts.migration_overhead);
+    }
+
+    #[test]
+    fn resumable_split_under_faults_matches_the_uninterrupted_run() {
+        let ds = dataset(8, 100);
+        let ex = Executor::new(deployment(4, 4));
+        let opts = FaultOptions::default();
+        let sched = FaultSchedule::none()
+            .crash(1, SimTime::ZERO)
+            .degrade(SimTime::ZERO, SimTime::MAX, 0.5)
+            .straggler(2, 100.0);
+        let unsplit = ex.run_with_faults(&TwoPass, &ds, &sched, &opts, None);
+        for (pass, cursor) in [(0, 1), (0, 5), (1, 4), (1, 8)] {
+            let ck = ex
+                .run_resumable(&TwoPass, &ds, &sched, &opts, StopPoint { pass, cursor })
+                .expect_suspended("stops inside the run");
+            let resumed = ex.resume_from(&TwoPass, &ds, ck, &sched, &opts);
+            assert_eq!(
+                final_count(&resumed.final_state),
+                final_count(&unsplit.final_state),
+                "split at pass {pass} chunk {cursor} under faults"
+            );
+        }
+    }
+
+    #[test]
+    fn checkpoint_resumes_after_a_serialization_roundtrip() {
+        let ds = dataset(8, 100);
+        let ex = Executor::new(deployment(2, 4));
+        let opts = FaultOptions::default();
+        let sched = FaultSchedule::none();
+        let unsplit = ex.run(&TwoPass, &ds);
+        let ck = ex
+            .run_resumable(&TwoPass, &ds, &sched, &opts, StopPoint { pass: 1, cursor: 5 })
+            .expect_suspended("stops mid second pass");
+        let value = ck.to_value();
+        let back: Checkpoint<Phase, Acc> =
+            Deserialize::from_value(&value).expect("checkpoint round-trips");
+        let resumed = ex.resume_from(&TwoPass, &ds, back, &sched, &opts);
+        assert_eq!(final_count(&resumed.final_state), final_count(&unsplit.final_state));
+    }
+
+    #[test]
+    #[should_panic(expected = "resume cannot change the compute-node count")]
+    fn resume_with_a_different_compute_count_is_rejected() {
+        let ds = dataset(8, 100);
+        let ck = Executor::new(deployment(2, 4))
+            .run_resumable(
+                &TwoPass,
+                &ds,
+                &FaultSchedule::none(),
+                &FaultOptions::default(),
+                StopPoint { pass: 0, cursor: 4 },
+            )
+            .expect_suspended("stops mid first pass");
+        Executor::new(deployment(2, 8)).resume_from(
+            &TwoPass,
+            &ds,
+            ck,
+            &FaultSchedule::none(),
+            &FaultOptions::default(),
         );
     }
 }

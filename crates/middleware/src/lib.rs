@@ -31,6 +31,7 @@
 #![warn(missing_docs)]
 
 pub mod api;
+pub mod checkpoint;
 pub mod comm;
 pub mod computeserver;
 pub mod dataserver;
@@ -41,6 +42,7 @@ pub mod report;
 pub mod timeline;
 
 pub use api::{ObjSize, PassOutcome, ReductionApp, ReductionObject};
+pub use checkpoint::{Checkpoint, ResumableOutcome, StopPoint};
 pub use dataserver::RetryPolicy;
 pub use exec::{Executor, FaultOptions, PassAction, PassController, PassObservation};
 pub use meter::WorkMeter;

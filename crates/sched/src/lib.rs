@@ -28,6 +28,10 @@
 //!   admission decisions use load-corrected predictions. Every job gets
 //!   an [`fg_trace`] span tree and the registry gains queue-depth
 //!   gauges, admission counters, and wait/slowdown histograms.
+//!   Opt-in extensions (all default-off): deadline-driven preemption
+//!   with checkpoint/resume, mid-run replica migration gated by
+//!   `fg-predict`'s cost/benefit model, per-tenant token-bucket
+//!   submission quotas, and WAN-degradation injection for experiments.
 //!
 //! Everything is deterministic: the same seed and workload preset
 //! produce a bit-identical schedule, trace, and figure.
@@ -41,5 +45,8 @@ pub mod workload;
 
 pub use grid::{AppModel, GridSpec, RepoSpec, SiteSpec};
 pub use policy::Policy;
-pub use sched::{JobOutcome, PlacementInfo, SchedResult, Scheduler};
+pub use sched::{
+    Degradation, JobOutcome, MigrationConfig, MigrationEvent, PlacementInfo, PreemptionEvent,
+    SchedResult, Scheduler, TenantQuota,
+};
 pub use workload::{JobSpec, LoadLevel, TenantSpec, WorkloadSpec};

@@ -34,13 +34,90 @@ use crate::policy::Policy;
 use crate::workload::JobSpec;
 use fg_cluster::{Configuration, Deployment};
 use fg_predict::bandwidth::{BandwidthEstimator, Ewma};
-use fg_predict::{try_rank_deployments, Prediction};
+use fg_predict::{decide_migration, try_rank_deployments, InterconnectParams, Prediction};
 use fg_sim::{FairShareSim, Flow, ResourceId, SimTime};
 use fg_trace::{SpanKind, Trace, Tracer};
 use serde::Serialize;
 
 /// Clock comparison slop, seconds.
 const TIME_EPS: f64 = 1e-9;
+
+/// A per-tenant token-bucket admission quota: each submission spends one
+/// token; the bucket refills continuously up to `capacity`. A tenant
+/// with no tokens left has its jobs rejected at arrival — they never
+/// occupy the grid. `capacity == 0` starves the tenant entirely.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize)]
+pub struct TenantQuota {
+    /// Maximum tokens the bucket holds.
+    pub capacity: f64,
+    /// Tokens regained per second.
+    pub refill_per_sec: f64,
+}
+
+/// One preemption of a running job: evicted at `preempted_at`, back on
+/// the grid at `resumed_at` (`None` if the run ended first).
+#[derive(Debug, Clone, PartialEq, Serialize)]
+pub struct PreemptionEvent {
+    /// When the job was checkpointed and evicted.
+    pub preempted_at: f64,
+    /// When it re-occupied its nodes.
+    pub resumed_at: Option<f64>,
+}
+
+/// A mid-run replica migration: the job's remaining transfer switched
+/// repositories over `[at, until]`.
+#[derive(Debug, Clone, PartialEq, Serialize)]
+pub struct MigrationEvent {
+    /// When the checkpoint was taken and the switch began.
+    pub at: f64,
+    /// When the transfer resumed on the new replica.
+    pub until: f64,
+    /// Repository the job was fetching from.
+    pub from_repo: String,
+    /// Repository it fetches from afterwards.
+    pub to_repo: String,
+}
+
+/// Tuning for mid-run migration (see [`Scheduler::with_migration`]).
+/// The thresholds mirror `fg-predict`'s `ReselectionController`
+/// hysteresis: a transfer must *achieve* less than `1 - deviation` of
+/// its uncontended rate before the cost model even runs, and the move
+/// must beat staying by `margin` after paying `T̂_migrate`.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct MigrationConfig {
+    /// Relative shortfall of the bytes a transfer actually moved
+    /// versus the fluid model's contention-adjusted expectation that
+    /// triggers the cost/benefit check. Fair-share stretching from
+    /// modeled link contention is part of the expectation, so a run
+    /// with stable bandwidth never trips the trigger.
+    pub deviation: f64,
+    /// Relative improvement the move must clear (hysteresis).
+    pub margin: f64,
+    /// Checkpoint-and-switch pause charged to the migrating job,
+    /// seconds.
+    pub overhead_secs: f64,
+    /// Ignore transfers younger than this: one fluid step is not a
+    /// bandwidth sample.
+    pub min_elapsed_secs: f64,
+}
+
+impl Default for MigrationConfig {
+    fn default() -> MigrationConfig {
+        MigrationConfig { deviation: 0.25, margin: 0.10, overhead_secs: 0.5, min_elapsed_secs: 1.0 }
+    }
+}
+
+/// A sustained WAN degradation injected on one repository's paths from
+/// `start` onwards (transfer rate caps scale by `factor`).
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct Degradation {
+    /// Repository index in the grid.
+    pub repo: usize,
+    /// Onset instant, seconds.
+    pub start: f64,
+    /// Bandwidth multiplier in `(0, 1]`.
+    pub factor: f64,
+}
 
 /// Where a job ran.
 #[derive(Debug, Clone, PartialEq, Serialize)]
@@ -101,6 +178,11 @@ pub struct JobOutcome {
     pub network_end: Option<f64>,
     /// Completion instant.
     pub finish: Option<f64>,
+    /// Times the job was checkpointed off the grid for a
+    /// tighter-deadline arrival (empty unless preemption is enabled).
+    pub preemptions: Vec<PreemptionEvent>,
+    /// The mid-run replica migration, when one happened.
+    pub migration: Option<MigrationEvent>,
 }
 
 impl JobOutcome {
@@ -116,8 +198,10 @@ impl JobOutcome {
 
     /// Slowdown: turnaround over the standalone prediction (`>= 1` up
     /// to prediction error; 1 means "as if alone on an idle grid").
+    /// A degenerate zero-duration standalone (empty dataset, free
+    /// compute) is clamped so the ratio stays finite.
     pub fn slowdown(&self) -> Option<f64> {
-        Some(self.turnaround()? / self.standalone?)
+        Some(self.turnaround()? / self.standalone?.max(TIME_EPS))
     }
 
     /// Did the job complete by its deadline?
@@ -162,9 +246,18 @@ pub(crate) struct QueuedJob {
 
 #[derive(Debug, Clone, Copy, PartialEq)]
 enum Phase {
-    Disk { until: f64 },
+    Disk {
+        until: f64,
+    },
     Network,
-    Compute { until: f64 },
+    /// Checkpoint-and-switch pause of a mid-run migration; the transfer
+    /// resumes (on the new repository) when `until` passes.
+    Migrating {
+        until: f64,
+    },
+    Compute {
+        until: f64,
+    },
 }
 
 #[derive(Debug, Clone)]
@@ -188,6 +281,33 @@ struct Running {
     placed_bw: f64,
     disk_end: Option<f64>,
     network_end: Option<f64>,
+    /// Bytes the fluid model expected this transfer to have moved
+    /// under fair-share contention with *undegraded* rate caps — the
+    /// migration trigger's baseline (accumulated only when migration
+    /// is enabled).
+    net_expected: f64,
+    /// Deadline instant, for preemption ordering.
+    deadline: Option<f64>,
+    /// Reduction-object bytes a checkpoint of this job would move.
+    max_obj_bytes: u64,
+    /// Suppress the bandwidth-feedback sample: a preempted or migrated
+    /// transfer's elapsed time is not a clean observation.
+    no_feedback: bool,
+}
+
+/// What was left of a preempted job's current phase.
+#[derive(Debug, Clone, Copy)]
+enum RemainingPhase {
+    Disk(f64),
+    Network(f64),
+    Compute(f64),
+}
+
+/// A checkpointed job waiting to re-occupy its nodes.
+#[derive(Debug, Clone)]
+struct Suspended {
+    job: Running,
+    remaining: RemainingPhase,
 }
 
 #[derive(Debug, Clone)]
@@ -198,19 +318,47 @@ struct Placement {
     predicted: Prediction,
 }
 
+/// How a job got its nodes in a scheduling pass.
+#[derive(Debug, Clone, Copy, PartialEq)]
+enum StartKind {
+    /// Round 1: the tenant was under its fair-share quota.
+    UnderQuota,
+    /// Round 2: past quota, but the nodes were otherwise idle.
+    Backfill,
+    /// The start was enabled by checkpointing a looser-deadline job
+    /// off its nodes; deadline urgency overrides fair shares.
+    Preempt,
+}
+
 /// The multi-tenant scheduler: a grid, a policy, and an EWMA smoothing
-/// factor for the bandwidth feedback loop.
+/// factor for the bandwidth feedback loop. Preemption, mid-run
+/// migration, token-bucket quotas, and bandwidth-degradation injection
+/// are all off unless enabled through the builder methods, and a
+/// default-configured scheduler behaves bit-identically to earlier
+/// releases.
 pub struct Scheduler {
     grid: GridSpec,
     policy: Policy,
     ewma_alpha: f64,
+    quotas: Option<Vec<TenantQuota>>,
+    preemption: Option<f64>,
+    migration: Option<MigrationConfig>,
+    degradations: Vec<Degradation>,
 }
 
 impl Scheduler {
     /// A scheduler over `grid` applying `policy`, with the default
     /// EWMA smoothing factor of 0.3 for observed bandwidths.
     pub fn new(grid: GridSpec, policy: Policy) -> Scheduler {
-        Scheduler { grid, policy, ewma_alpha: 0.3 }
+        Scheduler {
+            grid,
+            policy,
+            ewma_alpha: 0.3,
+            quotas: None,
+            preemption: None,
+            migration: None,
+            degradations: Vec::new(),
+        }
     }
 
     /// Override the bandwidth-feedback smoothing factor.
@@ -220,9 +368,65 @@ impl Scheduler {
         self
     }
 
+    /// Cap each tenant's submission rate with a token bucket, indexed
+    /// by tenant id (tenants past the end are unlimited). A job whose
+    /// bucket is empty is rejected at arrival with a `quota:` reason
+    /// and never occupies the grid.
+    pub fn with_quotas(mut self, quotas: Vec<TenantQuota>) -> Scheduler {
+        for q in &quotas {
+            assert!(q.capacity >= 0.0 && q.refill_per_sec >= 0.0, "quota terms must be >= 0");
+        }
+        self.quotas = Some(quotas);
+        self
+    }
+
+    /// Allow a queued job with a tighter deadline to checkpoint a
+    /// running job with a looser one off its nodes. The victim resumes
+    /// where it stopped once nodes free up, paying `overhead_secs` to
+    /// restore its reduction-object checkpoint.
+    pub fn with_preemption(mut self, overhead_secs: f64) -> Scheduler {
+        assert!(overhead_secs >= 0.0, "preemption overhead must be >= 0");
+        self.preemption = Some(overhead_secs);
+        self
+    }
+
+    /// Let running jobs switch repositories mid-transfer when the
+    /// achieved bandwidth collapses and `fg-predict`'s migration
+    /// cost/benefit model favors the move.
+    pub fn with_migration(mut self, config: MigrationConfig) -> Scheduler {
+        assert!(
+            config.deviation >= 0.0 && config.margin >= 0.0 && config.overhead_secs >= 0.0,
+            "migration thresholds must be >= 0"
+        );
+        self.migration = Some(config);
+        self
+    }
+
+    /// Inject a sustained WAN degradation on one repository's transfer
+    /// paths (for experiments; real degradations come from contention).
+    pub fn with_degradation(mut self, degradation: Degradation) -> Scheduler {
+        assert!(degradation.repo < self.grid.repos.len(), "degraded repo must exist");
+        assert!(
+            degradation.factor > 0.0 && degradation.factor <= 1.0,
+            "degradation factor must be in (0, 1]"
+        );
+        self.degradations.push(degradation);
+        self
+    }
+
     /// The policy this scheduler applies.
     pub fn policy(&self) -> Policy {
         self.policy
+    }
+
+    /// The rate multiplier degradations impose on `repo`'s transfers
+    /// at instant `now` (1.0 when none applies).
+    fn degrade_factor(&self, repo: usize, now: f64) -> f64 {
+        self.degradations
+            .iter()
+            .filter(|d| d.repo == repo && now >= d.start - TIME_EPS)
+            .map(|d| d.factor)
+            .fold(1.0, f64::min)
     }
 
     /// Run the event loop over a job stream (need not be sorted) and
@@ -263,6 +467,10 @@ impl Scheduler {
         let mut bw = nominal_bw.clone();
         let mut estimators: Vec<Ewma> = (0..nrepo).map(|_| Ewma::new(self.ewma_alpha)).collect();
         let mut used_slots = vec![0usize; ntenant];
+        // Token buckets start full; refill lazily at each arrival.
+        let mut buckets: Vec<(TenantQuota, f64, f64)> =
+            self.quotas.as_deref().unwrap_or(&[]).iter().map(|&q| (q, q.capacity, 0.0)).collect();
+        let mut suspended: Vec<Suspended> = Vec::new();
 
         let tracer = Tracer::new();
         let submitted_c = tracer.metrics.counter("sched_jobs_submitted");
@@ -278,6 +486,17 @@ impl Scheduler {
         let slow_h = tracer
             .metrics
             .histogram("sched_slowdown", &[1.0, 1.25, 1.5, 2.0, 3.0, 5.0, 10.0, 30.0]);
+        // Feature counters exist only when the feature is on, so a
+        // default-configured run's metrics snapshot (and its golden
+        // traces) are unchanged.
+        let quota_rej_c =
+            self.quotas.as_ref().map(|_| tracer.metrics.counter("sched_quota_rejections"));
+        let quota_vio_c =
+            self.quotas.as_ref().map(|_| tracer.metrics.counter("sched_quota_violations"));
+        let preempt_c = self.preemption.map(|_| tracer.metrics.counter("sched_preemptions"));
+        let migrate_c = self.migration.map(|_| tracer.metrics.counter("sched_migrations"));
+        let ckpt_c = (self.preemption.is_some() || self.migration.is_some())
+            .then(|| tracer.metrics.counter("sched_checkpoints"));
 
         let mut outcomes: Vec<Option<JobOutcome>> = vec![None; jobs.len()];
         let slot_of =
@@ -292,7 +511,11 @@ impl Scheduler {
         let mut iterations = 0usize;
         let budget = 10_000 + 200 * jobs.len();
 
-        while next < order.len() || !queue.is_empty() || !running.is_empty() {
+        while next < order.len()
+            || !queue.is_empty()
+            || !running.is_empty()
+            || !suspended.is_empty()
+        {
             iterations += 1;
             assert!(iterations <= budget, "scheduler event loop failed to make progress");
 
@@ -330,7 +553,35 @@ impl Scheduler {
                     disk_end: None,
                     network_end: None,
                     finish: None,
+                    preemptions: Vec::new(),
+                    migration: None,
                 };
+                // Token-bucket gate: refill lazily, spend one token per
+                // submission, reject (never queue) on an empty bucket.
+                if let Some((q, tokens, last)) = buckets.get_mut(spec.tenant) {
+                    *tokens = (*tokens + q.refill_per_sec * (now - *last)).min(q.capacity);
+                    *last = now;
+                    if *tokens + TIME_EPS < 1.0 {
+                        outcome.reject_reason = Some(format!(
+                            "quota: tenant {} bucket has {:.2} tokens, a submission needs 1",
+                            spec.tenant, *tokens
+                        ));
+                        rejected_c.inc();
+                        if let Some(c) = &quota_rej_c {
+                            c.inc();
+                        }
+                        outcomes[slot_of(spec.id)] = Some(outcome);
+                        continue;
+                    }
+                    *tokens -= 1.0;
+                    if *tokens < -TIME_EPS {
+                        // Structurally unreachable: the gate above
+                        // rejects before the bucket can go negative.
+                        if let Some(c) = &quota_vio_c {
+                            c.inc();
+                        }
+                    }
+                }
                 let Some(standalone) = standalone else {
                     outcome.reject_reason = Some(if grid.app(&spec.app).is_none() {
                         format!("unknown app {:?}", spec.app)
@@ -408,13 +659,17 @@ impl Scheduler {
                         // transfers reproduce their prediction exactly
                         // and leave the estimate unchanged.
                         let elapsed = now - r.net_started;
-                        if elapsed > TIME_EPS && r.predicted.t_network > TIME_EPS {
+                        if !r.no_feedback && elapsed > TIME_EPS && r.predicted.t_network > TIME_EPS
+                        {
                             let b_eff = r.placed_bw * r.predicted.t_network / elapsed;
                             estimators[r.repo].observe(b_eff);
                             bw[r.repo] = estimators[r.repo].estimate();
                         }
                         r.network_end = Some(now);
                         r.phase = Phase::Compute { until: now + r.predicted.t_compute.max(0.0) };
+                    }
+                    Phase::Migrating { until } if until <= now + TIME_EPS => {
+                        r.phase = Phase::Network;
                     }
                     Phase::Compute { until } if until <= now + TIME_EPS => {
                         finished.push(ri);
@@ -445,10 +700,112 @@ impl Scheduler {
                 }
             }
 
+            // --- mid-run migration: a transfer achieving well under
+            // its uncontended rate checkpoints its reduction object and
+            // switches replicas when `fg-predict`'s cost/benefit model
+            // favors the move (at most once per job) ---
+            if let Some(mc) = self.migration {
+                for r in running.iter_mut() {
+                    if r.phase != Phase::Network {
+                        continue;
+                    }
+                    let o = outcomes[r.slot].as_ref().expect("placed job has an outcome");
+                    if o.migration.is_some() {
+                        continue;
+                    }
+                    let elapsed = now - r.net_started;
+                    if elapsed < mc.min_elapsed_secs {
+                        continue;
+                    }
+                    let moved = r.bytes - r.net_remaining;
+                    if moved <= TIME_EPS || r.net_remaining <= 1e-6 * r.bytes.max(1.0) {
+                        continue;
+                    }
+                    let achieved = moved / elapsed;
+                    if r.net_expected <= TIME_EPS || moved >= (1.0 - mc.deviation) * r.net_expected
+                    {
+                        continue;
+                    }
+                    let Some(model) = grid.app(&o.app) else { continue };
+                    let dataset_bytes = o.dataset_bytes;
+                    // Best alternative repository with free data nodes,
+                    // priced at its current bandwidth estimate.
+                    let mut best: Option<(usize, Prediction)> = None;
+                    for (ci, repo) in grid.repos.iter().enumerate() {
+                        if ci == r.repo || free_data[ci] < r.config.data_nodes {
+                            continue;
+                        }
+                        let mut wan = repo.wan.clone();
+                        wan.stream_bw = bw[ci];
+                        let deployment = Deployment::new(
+                            repo.site.clone(),
+                            grid.sites[r.site].site.clone(),
+                            wan,
+                            r.config,
+                        );
+                        let Ok(ranked) = try_rank_deployments(
+                            &model.profile,
+                            model.classes,
+                            std::slice::from_ref(&deployment),
+                            dataset_bytes,
+                            &grid.factors,
+                        ) else {
+                            continue;
+                        };
+                        let pred = ranked[0].predicted;
+                        if best.as_ref().is_none_or(|(_, b)| pred.total() < b.total()) {
+                            best = Some((ci, pred));
+                        }
+                    }
+                    let Some((to, pred)) = best else { continue };
+                    // Remaining fraction of the transfer; the unstarted
+                    // compute scales by the same f on both sides so the
+                    // comparison hinges on the network remainder plus
+                    // the checkpoint move and restart retrieval.
+                    let f_rem = (r.net_remaining / r.bytes.max(1.0)).clamp(0.0, 1.0);
+                    let stay = r.net_remaining / achieved + f_rem * r.predicted.t_compute.max(0.0);
+                    let link = InterconnectParams::of_site(&grid.sites[r.site].site);
+                    let decision = decide_migration(stay, &pred, f_rem, r.max_obj_bytes, &link);
+                    if !decision.worthwhile(mc.margin) {
+                        continue;
+                    }
+                    // Commit: swap repositories, pause for the
+                    // checkpoint move, then resume the remaining bytes
+                    // at the candidate's uncontended rate.
+                    free_data[r.repo] += r.config.data_nodes;
+                    free_data[to] -= r.config.data_nodes;
+                    let from_repo = grid.repos[r.repo].site.name.clone();
+                    let to_repo = grid.repos[to].site.name.clone();
+                    r.repo = to;
+                    r.placed_bw = bw[to];
+                    r.net_cap = if pred.t_network > TIME_EPS {
+                        r.bytes / pred.t_network
+                    } else {
+                        f64::INFINITY
+                    };
+                    r.no_feedback = true;
+                    r.phase = Phase::Migrating { until: now + mc.overhead_secs };
+                    let o = outcomes[r.slot].as_mut().expect("placed job has an outcome");
+                    o.migration = Some(MigrationEvent {
+                        at: now,
+                        until: now + mc.overhead_secs,
+                        from_repo,
+                        to_repo,
+                    });
+                    if let Some(c) = &migrate_c {
+                        c.inc();
+                    }
+                    if let Some(c) = &ckpt_c {
+                        c.inc();
+                    }
+                }
+            }
+
             // --- scheduling pass ---
             self.schedule_pass(
                 &mut queue,
                 &mut running,
+                &mut suspended,
                 &mut free_data,
                 &mut free_cmp,
                 &mut used_slots,
@@ -459,6 +816,8 @@ impl Scheduler {
                 &mut outcomes,
                 &slot_of,
                 &backfill_c,
+                &preempt_c,
+                &ckpt_c,
                 &mut violations,
             );
             depth_g.set(queue.len() as f64);
@@ -470,10 +829,30 @@ impl Scheduler {
             }
             for r in &running {
                 match r.phase {
-                    Phase::Disk { until } | Phase::Compute { until } => {
-                        horizon = horizon.min(until)
-                    }
+                    Phase::Disk { until }
+                    | Phase::Migrating { until }
+                    | Phase::Compute { until } => horizon = horizon.min(until),
                     Phase::Network => {}
+                }
+            }
+            // A degradation onset changes the fluid rates, so the step
+            // must not integrate across it.
+            for d in &self.degradations {
+                if d.start > now + TIME_EPS {
+                    horizon = horizon.min(d.start);
+                }
+            }
+            // With migration on, wake periodically while an eligible
+            // transfer is in flight: the trigger compares achieved
+            // against expected bandwidth, and nothing else schedules an
+            // event between a transfer's start and its completion.
+            if let Some(mc) = self.migration {
+                let eligible = running.iter().any(|r| {
+                    r.phase == Phase::Network
+                        && outcomes[r.slot].as_ref().is_some_and(|o| o.migration.is_none())
+                });
+                if eligible {
+                    horizon = horizon.min(now + mc.min_elapsed_secs.max(TIME_EPS));
                 }
             }
             let netidx: Vec<usize> = running
@@ -490,7 +869,7 @@ impl Scheduler {
                     .map(|&i| Flow {
                         arrival: SimTime::ZERO,
                         demand: running[i].net_remaining.max(1e-9),
-                        rate_cap: running[i].net_cap,
+                        rate_cap: running[i].net_cap * self.degrade_factor(running[i].repo, now),
                         resources: vec![
                             ResourceId(running[i].repo),
                             ResourceId(nrepo + running[i].site),
@@ -505,15 +884,44 @@ impl Scheduler {
                 horizon = horizon.min(now + running[i].net_remaining / rates[k]);
             }
             if horizon.is_infinite() {
-                // Nothing running and nothing arriving: any queued job
-                // left is permanently stuck — record and stop.
+                // Nothing running and nothing arriving: any queued or
+                // suspended job left is permanently stuck — record and
+                // stop.
                 for q in &queue {
                     violations
                         .push(format!("job {} queued forever: no placement ever fits", q.spec.id));
                 }
+                for s in &suspended {
+                    violations.push(format!(
+                        "job {} suspended forever: its nodes never freed",
+                        jobs[s.job.slot].id
+                    ));
+                }
                 break;
             }
             let dt = (horizon - now).max(0.0);
+            // The migration trigger's baseline: what each transfer
+            // would have moved this step under the same fair-share
+            // contention with undegraded rate caps.
+            if self.migration.is_some() && !netidx.is_empty() && dt > 0.0 {
+                let exp_flows: Vec<Flow> = netidx
+                    .iter()
+                    .map(|&i| Flow {
+                        arrival: SimTime::ZERO,
+                        demand: running[i].net_remaining.max(1e-9),
+                        rate_cap: running[i].net_cap,
+                        resources: vec![
+                            ResourceId(running[i].repo),
+                            ResourceId(nrepo + running[i].site),
+                        ],
+                    })
+                    .collect();
+                let active: Vec<usize> = (0..exp_flows.len()).collect();
+                let exp_rates = net.instantaneous_rates(&exp_flows, &active);
+                for (k, &i) in netidx.iter().enumerate() {
+                    running[i].net_expected += exp_rates[k] * dt;
+                }
+            }
             for (k, &i) in netidx.iter().enumerate() {
                 running[i].net_remaining -= rates[k] * dt;
             }
@@ -529,12 +937,15 @@ impl Scheduler {
     }
 
     /// Start every job the policy and fair shares allow, cheapest
-    /// placement first within the policy order.
+    /// placement first within the policy order. Checkpointed jobs
+    /// resume first; with preemption enabled, a head-of-queue job with
+    /// a tighter deadline may evict a looser-deadline running job.
     #[allow(clippy::too_many_arguments)]
     fn schedule_pass(
         &self,
         queue: &mut Vec<QueuedJob>,
         running: &mut Vec<Running>,
+        suspended: &mut Vec<Suspended>,
         free_data: &mut [usize],
         free_cmp: &mut [usize],
         used_slots: &mut [usize],
@@ -545,10 +956,46 @@ impl Scheduler {
         outcomes: &mut [Option<JobOutcome>],
         slot_of: &dyn Fn(usize) -> usize,
         backfill_c: &fg_trace::Counter,
+        preempt_c: &Option<fg_trace::Counter>,
+        ckpt_c: &Option<fg_trace::Counter>,
         violations: &mut Vec<String>,
     ) {
         let grid = &self.grid;
         loop {
+            // Resume checkpointed jobs first: they already hold an
+            // admission, so their nodes have priority over new starts.
+            // The restore pause is charged up front.
+            let mut si = 0;
+            while si < suspended.len() {
+                let fits = suspended[si].job.config.data_nodes <= free_data[suspended[si].job.repo]
+                    && suspended[si].job.config.compute_nodes <= free_cmp[suspended[si].job.site];
+                if !fits {
+                    si += 1;
+                    continue;
+                }
+                let Suspended { mut job, remaining } = suspended.remove(si);
+                let overhead = self.preemption.unwrap_or(0.0);
+                free_data[job.repo] -= job.config.data_nodes;
+                free_cmp[job.site] -= job.config.compute_nodes;
+                used_slots[job.tenant] += job.config.compute_nodes;
+                job.no_feedback = true;
+                job.phase = match remaining {
+                    RemainingPhase::Disk(rem) => Phase::Disk { until: now + overhead + rem },
+                    RemainingPhase::Network(remb) => {
+                        // Restore pause, then the transfer continues
+                        // with its remaining bytes.
+                        job.net_remaining = remb;
+                        Phase::Migrating { until: now + overhead }
+                    }
+                    RemainingPhase::Compute(rem) => Phase::Compute { until: now + overhead + rem },
+                };
+                let o = outcomes[job.slot].as_mut().expect("suspended job has an outcome");
+                o.preemptions
+                    .last_mut()
+                    .expect("suspended job recorded its preemption")
+                    .resumed_at = Some(now);
+                running.push(job);
+            }
             if queue.is_empty() {
                 return;
             }
@@ -556,12 +1003,16 @@ impl Scheduler {
             // slots. A queued job demands what it could use when placed
             // unconstrained — the largest configuration — so a tenant
             // alone on an idle grid is never capped below the best
-            // placement by its own conservative demand.
+            // placement by its own conservative demand. A suspended job
+            // still demands the slots it will re-occupy.
             let ntenant = used_slots.len();
             let max_slots = grid.max_config_slots();
             let mut demands = vec![0usize; ntenant];
             for r in running.iter() {
                 demands[r.tenant] += r.config.compute_nodes;
+            }
+            for s in suspended.iter() {
+                demands[s.job.tenant] += s.job.config.compute_nodes;
             }
             for q in queue.iter() {
                 demands[q.spec.tenant] += max_slots;
@@ -577,7 +1028,7 @@ impl Scheduler {
 
             // Round 1: jobs whose tenant is under quota, capped so the
             // start cannot push the tenant past its quota.
-            let mut start: Option<(usize, Placement, bool)> = None;
+            let mut start: Option<(usize, Placement, StartKind)> = None;
             for &qi in &order {
                 let q = &queue[qi];
                 let tenant = q.spec.tenant;
@@ -593,7 +1044,7 @@ impl Scheduler {
                             bw,
                             Some(headroom),
                         ) {
-                            start = Some((qi, p, false));
+                            start = Some((qi, p, StartKind::UnderQuota));
                             break;
                         }
                     }
@@ -618,13 +1069,68 @@ impl Scheduler {
                             bw,
                             None,
                         ) {
-                            start = Some((qi, p, true));
+                            start = Some((qi, p, StartKind::Backfill));
                             break;
                         }
                     }
                 }
             }
-            let Some((qi, placement, backfilled)) = start else {
+            // Preemption: when nothing can start, the head job by
+            // policy order may evict a running job with a strictly
+            // looser deadline. The victim (loosest deadline first) is
+            // checkpointed off its nodes and the head job starts on
+            // them in the same pass — deadline urgency overrides the
+            // fair-share quota, so the start is exempt from the
+            // fairness checks below.
+            if start.is_none() && self.preemption.is_some() && !queue.is_empty() {
+                let hq = &queue[order[0]];
+                if let (Some(qd), Some(model)) = (hq.deadline, grid.app(&hq.spec.app)) {
+                    let mut victims: Vec<usize> = (0..running.len())
+                        .filter(|&i| running[i].deadline.is_some_and(|d| d > qd + TIME_EPS))
+                        .collect();
+                    victims.sort_by(|&a, &b| {
+                        let (da, db) = (running[a].deadline.unwrap(), running[b].deadline.unwrap());
+                        db.total_cmp(&da).then(running[a].slot.cmp(&running[b].slot))
+                    });
+                    for vi in victims {
+                        let v = &running[vi];
+                        let mut fd = free_data.to_vec();
+                        let mut fc = free_cmp.to_vec();
+                        fd[v.repo] += v.config.data_nodes;
+                        fc[v.site] += v.config.compute_nodes;
+                        let Some(p) =
+                            best_placement(grid, model, hq.spec.dataset_bytes, &fd, &fc, bw, None)
+                        else {
+                            continue;
+                        };
+                        let v = running.remove(vi);
+                        free_data[v.repo] += v.config.data_nodes;
+                        free_cmp[v.site] += v.config.compute_nodes;
+                        used_slots[v.tenant] -= v.config.compute_nodes;
+                        let remaining = match v.phase {
+                            Phase::Disk { until } => RemainingPhase::Disk((until - now).max(0.0)),
+                            Phase::Network | Phase::Migrating { .. } => {
+                                RemainingPhase::Network(v.net_remaining)
+                            }
+                            Phase::Compute { until } => {
+                                RemainingPhase::Compute((until - now).max(0.0))
+                            }
+                        };
+                        let o = outcomes[v.slot].as_mut().expect("placed job has an outcome");
+                        o.preemptions.push(PreemptionEvent { preempted_at: now, resumed_at: None });
+                        if let Some(c) = preempt_c {
+                            c.inc();
+                        }
+                        if let Some(c) = ckpt_c {
+                            c.inc();
+                        }
+                        suspended.push(Suspended { job: v, remaining });
+                        start = Some((order[0], p, StartKind::Preempt));
+                        break;
+                    }
+                }
+            }
+            let Some((qi, placement, kind)) = start else {
                 // Redundant guard for the work-conservation invariant:
                 // with a backfilling policy, no queued job may fit the
                 // free nodes once the pass declares itself done.
@@ -655,19 +1161,25 @@ impl Scheduler {
 
             let q = queue.remove(qi);
             let tenant = q.spec.tenant;
-            if backfilled {
-                backfill_c.inc();
-                if quota[tenant].saturating_sub(used_slots[tenant]) >= min_slots {
+            match kind {
+                StartKind::Backfill => {
+                    backfill_c.inc();
+                    if quota[tenant].saturating_sub(used_slots[tenant]) >= min_slots {
+                        violations.push(format!(
+                            "fair share: job {} backfilled past quota although tenant {tenant} had headroom at t={now:.3}",
+                            q.spec.id
+                        ));
+                    }
+                }
+                StartKind::UnderQuota
+                    if used_slots[tenant] + placement.cfg.compute_nodes > quota[tenant] =>
+                {
                     violations.push(format!(
-                        "fair share: job {} backfilled past quota although tenant {tenant} had headroom at t={now:.3}",
+                        "fair share: job {} pushed tenant {tenant} past its quota at t={now:.3}",
                         q.spec.id
                     ));
                 }
-            } else if used_slots[tenant] + placement.cfg.compute_nodes > quota[tenant] {
-                violations.push(format!(
-                    "fair share: job {} pushed tenant {tenant} past its quota at t={now:.3}",
-                    q.spec.id
-                ));
+                StartKind::UnderQuota | StartKind::Preempt => {}
             }
             free_data[placement.repo] -= placement.cfg.data_nodes;
             free_cmp[placement.site] -= placement.cfg.compute_nodes;
@@ -700,6 +1212,10 @@ impl Scheduler {
                 net_cap: f64::INFINITY,
                 disk_end: None,
                 network_end: None,
+                net_expected: 0.0,
+                deadline: q.deadline,
+                max_obj_bytes: grid.app(&q.spec.app).map(|m| m.profile.max_obj_bytes).unwrap_or(0),
+                no_feedback: false,
             });
         }
     }
@@ -826,6 +1342,18 @@ fn build_trace(mut tracer: Tracer, outcomes: &[JobOutcome], makespan: f64) -> Tr
                     tracer.record(SpanKind::Network, None, t(disk), t(netw));
                 }
                 tracer.record(SpanKind::Compute, None, t(netw), t(finish));
+                // Disruption history: a zero-length `Checkpoint` marker
+                // at each eviction or migration instant, plus the
+                // off-grid / switching window it opened.
+                for p in &o.preemptions {
+                    let at = t(p.preempted_at);
+                    tracer.record(SpanKind::Checkpoint, None, at, at);
+                    tracer.record(SpanKind::Preempted, None, at, t(p.resumed_at.unwrap_or(finish)));
+                }
+                if let Some(m) = &o.migration {
+                    tracer.record(SpanKind::Checkpoint, None, t(m.at), t(m.at));
+                    tracer.record(SpanKind::Migrate, None, t(m.at), t(m.until));
+                }
                 tracer.end(job, t(finish));
             }
             _ => {
@@ -1042,5 +1570,186 @@ mod tests {
             flood_last_start
         );
         assert!(r.violations.is_empty(), "{:?}", r.violations);
+    }
+
+    #[test]
+    fn slowdown_stays_finite_for_zero_duration_jobs() {
+        // A degenerate prediction (empty dataset, free compute) must
+        // not poison the slowdown histogram with NaN or infinity.
+        let mut o = JobOutcome {
+            id: 0,
+            tenant: 0,
+            app: "kmeans".into(),
+            arrival: 10.0,
+            dataset_bytes: 0,
+            admitted: true,
+            reject_reason: None,
+            standalone: Some(0.0),
+            deadline: Some(10.0),
+            admission_estimate: Some(10.0),
+            placement: None,
+            placed_at: Some(10.0),
+            predicted: Some(0.0),
+            disk_end: Some(10.0),
+            network_end: Some(10.0),
+            finish: Some(10.0),
+            preemptions: Vec::new(),
+            migration: None,
+        };
+        assert_eq!(o.turnaround(), Some(0.0));
+        assert!(o.slowdown().unwrap().is_finite());
+        assert!(o.completion_error().unwrap().is_finite());
+        // Nonzero turnaround over a zero standalone: huge but finite.
+        o.finish = Some(15.0);
+        assert!(o.slowdown().unwrap().is_finite());
+        assert!(o.slowdown().unwrap() > 1.0);
+    }
+
+    #[test]
+    fn token_bucket_rejects_past_capacity_and_refills() {
+        let quotas = vec![TenantQuota { capacity: 1.0, refill_per_sec: 0.5 }];
+        let jobs =
+            [job(0, 0, 1_000_000, 0.0), job(1, 0, 1_000_000, 1.0), job(2, 0, 1_000_000, 4.0)];
+        let r = Scheduler::new(grid(), Policy::FcfsBackfill).with_quotas(quotas).run(&jobs);
+        assert!(r.outcomes[0].admitted, "first job spends the initial token");
+        assert!(!r.outcomes[1].admitted, "bucket only refilled to 0.5 by t=1");
+        assert!(r.outcomes[1].reject_reason.as_deref().unwrap().starts_with("quota"));
+        assert!(r.outcomes[2].admitted, "bucket refilled past 1 token by t=4");
+        assert_eq!(r.trace.metrics.counter("sched_quota_rejections"), Some(1));
+        assert_eq!(r.trace.metrics.counter("sched_quota_violations"), Some(0));
+        assert!(r.violations.is_empty(), "{:?}", r.violations);
+    }
+
+    #[test]
+    fn zero_quota_tenant_starves_without_harming_others() {
+        // Tenant 0 has a zero-capacity bucket: every submission is
+        // rejected at arrival and never occupies the grid, so tenant
+        // 1's outcomes are bit-identical to a run where tenant 0 never
+        // submitted at all.
+        let quotas = vec![TenantQuota { capacity: 0.0, refill_per_sec: 0.0 }];
+        let mut jobs: Vec<JobSpec> = (0..4).map(|i| job(i, 0, 30_000_000, i as f64)).collect();
+        jobs.push(job(4, 1, 20_000_000, 0.5));
+        jobs.push(job(5, 1, 10_000_000, 2.5));
+        let r = Scheduler::new(grid(), Policy::FcfsBackfill).with_quotas(quotas.clone()).run(&jobs);
+        for o in &r.outcomes[..4] {
+            assert!(!o.admitted);
+            assert!(o.reject_reason.as_deref().unwrap().starts_with("quota"));
+            assert!(o.placed_at.is_none(), "a quota-rejected job must never occupy the grid");
+        }
+        let alone = Scheduler::new(grid(), Policy::FcfsBackfill)
+            .with_quotas(quotas)
+            .run(&[job(4, 1, 20_000_000, 0.5), job(5, 1, 10_000_000, 2.5)]);
+        for (a, b) in r.outcomes[4..].iter().zip(alone.outcomes.iter()) {
+            assert_eq!(a.finish, b.finish, "starved tenant must not perturb others");
+            assert_eq!(a.placed_at, b.placed_at);
+        }
+        assert_eq!(r.trace.metrics.counter("sched_quota_violations"), Some(0));
+    }
+
+    #[test]
+    fn degradation_stretches_transfers() {
+        let clean = Scheduler::new(grid(), Policy::Fcfs).run(&[job(0, 0, 8_000_000, 0.0)]);
+        let degraded = Scheduler::new(grid(), Policy::Fcfs)
+            .with_degradation(Degradation { repo: 0, start: 0.0, factor: 0.25 })
+            .with_degradation(Degradation { repo: 1, start: 0.0, factor: 0.25 })
+            .run(&[job(0, 0, 8_000_000, 0.0)]);
+        let (cf, df) = (clean.outcomes[0].finish.unwrap(), degraded.outcomes[0].finish.unwrap());
+        assert!(df > cf + 1.0, "degraded transfer should finish later: {df} vs {cf}");
+        assert!(degraded.violations.is_empty(), "{:?}", degraded.violations);
+        degraded.trace.check_well_formed().unwrap();
+    }
+
+    #[test]
+    fn migration_escapes_a_degraded_repository() {
+        // The fast repository's paths collapse to 5% of nominal before
+        // the lone job's transfer begins. With migration enabled the
+        // job checkpoints and switches to the slow replica; the run
+        // beats the stay-put one and records the event.
+        let spec = [job(0, 0, 8_000_000, 0.0)];
+        let collapse = Degradation { repo: 0, start: 0.0, factor: 0.05 };
+        let stay = Scheduler::new(grid(), Policy::Fcfs).with_degradation(collapse).run(&spec);
+        let moved = Scheduler::new(grid(), Policy::Fcfs)
+            .with_degradation(collapse)
+            .with_migration(MigrationConfig::default())
+            .run(&spec);
+        let m = moved.outcomes[0].migration.as_ref().expect("collapse should trigger migration");
+        assert_eq!(m.from_repo, "repo-a");
+        assert_eq!(m.to_repo, "repo-b");
+        assert!(m.until > m.at);
+        let (sf, mf) = (stay.outcomes[0].finish.unwrap(), moved.outcomes[0].finish.unwrap());
+        assert!(mf < sf, "migrating should beat staying put: {mf} vs {sf}");
+        assert_eq!(moved.trace.metrics.counter("sched_migrations"), Some(1));
+        assert_eq!(moved.trace.metrics.counter("sched_checkpoints"), Some(1));
+        assert!(moved.violations.is_empty(), "{:?}", moved.violations);
+        moved.trace.check_well_formed().unwrap();
+        // The trace records the checkpoint marker and the switch window.
+        let kinds: Vec<SpanKind> = moved.trace.spans.iter().map(|s| s.kind).collect();
+        assert!(kinds.contains(&SpanKind::Checkpoint));
+        assert!(kinds.contains(&SpanKind::Migrate));
+    }
+
+    #[test]
+    fn stable_bandwidth_never_migrates() {
+        // Hysteresis: an uncontended transfer achieves its predicted
+        // rate exactly, so the deviation trigger must never fire.
+        let jobs = [job(0, 0, 8_000_000, 0.0), job(1, 1, 4_000_000, 200.0)];
+        let r = Scheduler::new(grid(), Policy::Fcfs)
+            .with_migration(MigrationConfig::default())
+            .run(&jobs);
+        assert_eq!(r.trace.metrics.counter("sched_migrations"), Some(0));
+        assert!(r.outcomes.iter().all(|o| o.migration.is_none()));
+        assert!(r.violations.is_empty(), "{:?}", r.violations);
+    }
+
+    #[test]
+    fn preemption_lets_a_tight_deadline_jump_the_queue() {
+        // A one-slot grid: the long loose-deadline job holds the only
+        // node when a tight job arrives. With preemption on, the long
+        // job is checkpointed off, the tight one runs, and the victim
+        // resumes where it stopped (plus the restore overhead).
+        let mut g = grid();
+        g.sites.truncate(1);
+        g.sites[0].site.max_nodes = 1;
+        g.configs = vec![Configuration::new(1, 1)];
+        let mut tight = job(1, 1, 1_000_000, 10.0);
+        tight.deadline_slack = 1.5;
+        let jobs = [job(0, 0, 20_000_000, 0.0), tight];
+        let base = Scheduler::new(g.clone(), Policy::Fcfs).run(&jobs);
+        let r = Scheduler::new(g, Policy::Fcfs).with_preemption(5.0).run(&jobs);
+        let victim = &r.outcomes[0];
+        assert_eq!(victim.preemptions.len(), 1, "long job should be preempted once");
+        let p = &victim.preemptions[0];
+        assert_eq!(p.preempted_at, 10.0);
+        let resumed = p.resumed_at.expect("victim resumes after the tight job");
+        assert!(resumed > 10.0);
+        assert!(
+            r.outcomes[1].finish.unwrap() < base.outcomes[1].finish.unwrap(),
+            "the tight job should finish earlier than without preemption"
+        );
+        assert!(
+            victim.finish.unwrap() > base.outcomes[0].finish.unwrap(),
+            "the victim pays for being preempted"
+        );
+        assert!(r.outcomes[1].met_deadline().unwrap());
+        assert_eq!(r.trace.metrics.counter("sched_preemptions"), Some(1));
+        assert!(r.violations.is_empty(), "{:?}", r.violations);
+        r.trace.check_well_formed().unwrap();
+        let kinds: Vec<SpanKind> = r.trace.spans.iter().map(|s| s.kind).collect();
+        assert!(kinds.contains(&SpanKind::Preempted));
+        assert!(kinds.contains(&SpanKind::Checkpoint));
+    }
+
+    #[test]
+    fn default_configuration_is_unchanged_by_the_new_features() {
+        // The extended scheduler with everything off must reproduce the
+        // plain scheduler bit-for-bit, counters included.
+        let jobs = WorkloadSpec::preset(LoadLevel::Medium, &["kmeans"], 7).generate();
+        let a = Scheduler::new(grid(), Policy::EdfAdmit).run(&jobs);
+        let b = Scheduler::new(grid(), Policy::EdfAdmit).run(&jobs);
+        assert_eq!(a.outcomes, b.outcomes);
+        assert_eq!(a.trace.metrics.counter("sched_quota_rejections"), None);
+        assert_eq!(a.trace.metrics.counter("sched_migrations"), None);
+        assert_eq!(a.trace.metrics.counter("sched_preemptions"), None);
+        assert!(a.outcomes.iter().all(|o| o.preemptions.is_empty() && o.migration.is_none()));
     }
 }

@@ -110,6 +110,15 @@ pub enum SpanKind {
     Job,
     /// Time a job spent queued before placement (child of `Job`).
     JobQueued,
+    /// A running job evicted from the grid, waiting to resume (child of
+    /// `Job` in a scheduler trace).
+    Preempted,
+    /// Snapshot of a job's reduction state taken before a preemption or
+    /// a migration (child of `Job`; zero-length marker).
+    Checkpoint,
+    /// A running job moving its remaining work to another replica
+    /// (child of `Job`; covers the checkpoint-transfer-restart window).
+    Migrate,
 }
 
 impl SpanKind {
@@ -155,6 +164,9 @@ impl SpanKind {
             SpanKind::NodeReexec => "node-reexec",
             SpanKind::Job => "job",
             SpanKind::JobQueued => "job-queued",
+            SpanKind::Preempted => "preempted",
+            SpanKind::Checkpoint => "checkpoint",
+            SpanKind::Migrate => "migrate",
         }
     }
 }

@@ -1,0 +1,71 @@
+#!/usr/bin/env bash
+# Line coverage for the scheduler and middleware crates, with a ratchet.
+#
+# Built directly on rustc's `-C instrument-coverage` plus the llvm-tools
+# component — no external cargo plugins. The workspace test suite runs
+# instrumented, the per-process .profraw files are merged, and llvm-cov
+# reports line coverage scoped to crates/sched and crates/middleware.
+# Each crate's percentage is compared against the floor recorded in
+# scripts/coverage-baseline.txt: raise the floor when coverage rises,
+# so it can never silently regress.
+#
+# Requires llvm-profdata/llvm-cov matching the active toolchain:
+#   rustup component add llvm-tools
+set -euo pipefail
+cd "$(dirname "$0")/.."
+
+sysroot="$(rustc --print sysroot)"
+tooldir="$(ls -d "$sysroot"/lib/rustlib/*/bin 2>/dev/null | head -1 || true)"
+profdata=""
+cov=""
+for cand in "$tooldir/llvm-profdata" llvm-profdata; do
+    if command -v "$cand" >/dev/null 2>&1; then profdata="$cand"; break; fi
+done
+for cand in "$tooldir/llvm-cov" llvm-cov; do
+    if command -v "$cand" >/dev/null 2>&1; then cov="$cand"; break; fi
+done
+if [ -z "$profdata" ] || [ -z "$cov" ]; then
+    echo "error: llvm-profdata / llvm-cov not found." >&2
+    echo "       install them with: rustup component add llvm-tools" >&2
+    exit 2
+fi
+command -v jq >/dev/null 2>&1 || { echo "error: jq is required" >&2; exit 2; }
+
+# Instrumented builds get their own target dir so they never collide
+# with regular build artifacts.
+export CARGO_TARGET_DIR=target/coverage
+export RUSTFLAGS="-C instrument-coverage"
+profdir="$CARGO_TARGET_DIR/profraw"
+rm -rf "$profdir"
+mkdir -p "$profdir"
+export LLVM_PROFILE_FILE="$PWD/$profdir/fg-%p-%m.profraw"
+
+cargo test --workspace --tests -q
+
+merged="$CARGO_TARGET_DIR/fg.profdata"
+"$profdata" merge -sparse "$profdir"/*.profraw -o "$merged"
+
+# Every test executable contributes symbols to the report.
+objects=()
+while IFS= read -r bin; do
+    objects+=(--object "$bin")
+done < <(cargo test --workspace --tests --no-run --message-format=json 2>/dev/null |
+    jq -r 'select(.executable != null) | .executable' | sort -u)
+
+line_coverage() { # <crate source dir>
+    "$cov" export "${objects[@]}" --instr-profile="$merged" --summary-only \
+        --ignore-filename-regex='vendor/|/rustc/|\.cargo/' "$PWD/$1" |
+        jq -r '.data[0].totals.lines.percent'
+}
+
+status=0
+while read -r crate floor; do
+    [ -n "$crate" ] || continue
+    pct="$(line_coverage "$crate/src")"
+    printf 'coverage: %-20s %6.2f%% (floor %s%%)\n' "$crate" "$pct" "$floor"
+    if awk -v p="$pct" -v f="$floor" 'BEGIN { exit !(p < f) }'; then
+        echo "error: $crate line coverage $pct% fell below the ratchet floor $floor%" >&2
+        status=1
+    fi
+done < scripts/coverage-baseline.txt
+exit $status

@@ -14,11 +14,18 @@
 //! FG_BLESS=1 cargo test --test golden_traces
 //! ```
 
+//! Scheduler migration traces are pinned the same way: one fixture per
+//! policy for the migration-enabled, degraded medium-load run
+//! (`migrate-<policy>.trace.jsonl`), covering the `Preempted`,
+//! `Checkpoint`, and `Migrate` span kinds.
+
+use fg_bench::figures::migrate_run;
 use fg_bench::scenario::golden_trace_run;
 use fg_bench::PaperApp;
 use freeride_g::middleware::ExecutionReport;
 use freeride_g::predict::Profile;
-use freeride_g::trace::{from_jsonl, to_jsonl};
+use freeride_g::sched::{LoadLevel, Policy};
+use freeride_g::trace::{from_jsonl, to_jsonl, SpanKind};
 use std::path::PathBuf;
 
 fn fixture_path(app: PaperApp) -> PathBuf {
@@ -59,6 +66,72 @@ fn check_golden(app: PaperApp) {
          `FG_BLESS=1 cargo test --test golden_traces`",
         app.name()
     );
+}
+
+/// Pin one migration-enabled scheduler trace per policy: the medium
+/// preset with repository 0 degraded from t=0, quotas, preemption, and
+/// migration all on. Returns the span kinds the trace exercised so the
+/// coverage test below can check the union.
+fn check_migration_golden(policy: Policy) -> Vec<SpanKind> {
+    let r = migrate_run(policy, LoadLevel::Medium, true, true);
+    r.trace.check_well_formed().expect("migration trace must be well-formed");
+    assert!(r.violations.is_empty(), "{policy:?}: {:?}", r.violations);
+
+    let rendered = to_jsonl(&r.trace);
+    let parsed = from_jsonl(&rendered).expect("exported trace must parse back");
+    assert_eq!(parsed, r.trace, "jsonl export must round-trip");
+
+    let path = PathBuf::from(env!("CARGO_MANIFEST_DIR"))
+        .join("tests/golden")
+        .join(format!("migrate-{}.trace.jsonl", policy.name()));
+    if std::env::var_os("FG_BLESS").is_some() {
+        std::fs::write(&path, &rendered).unwrap_or_else(|e| panic!("bless {path:?}: {e}"));
+    } else {
+        let pinned = std::fs::read_to_string(&path).unwrap_or_else(|e| {
+            panic!("{path:?}: {e}\nrun `FG_BLESS=1 cargo test --test golden_traces` to create it")
+        });
+        assert_eq!(
+            rendered,
+            pinned,
+            "migration trace for {} drifted; if intentional, re-bless with \
+             `FG_BLESS=1 cargo test --test golden_traces`",
+            policy.name()
+        );
+    }
+    r.trace.spans.iter().map(|s| s.kind).collect()
+}
+
+#[test]
+fn golden_migration_trace_fcfs() {
+    let kinds = check_migration_golden(Policy::Fcfs);
+    assert!(kinds.contains(&SpanKind::Checkpoint) && kinds.contains(&SpanKind::Migrate));
+}
+
+#[test]
+fn golden_migration_trace_fcfs_backfill() {
+    let kinds = check_migration_golden(Policy::FcfsBackfill);
+    assert!(kinds.contains(&SpanKind::Checkpoint) && kinds.contains(&SpanKind::Migrate));
+}
+
+#[test]
+fn golden_migration_trace_spjf() {
+    let kinds = check_migration_golden(Policy::Spjf);
+    assert!(kinds.contains(&SpanKind::Checkpoint) && kinds.contains(&SpanKind::Migrate));
+}
+
+#[test]
+fn golden_migration_trace_edf_admit() {
+    let kinds = check_migration_golden(Policy::EdfAdmit);
+    assert!(kinds.contains(&SpanKind::Checkpoint) && kinds.contains(&SpanKind::Migrate));
+}
+
+#[test]
+fn golden_migration_traces_cover_the_new_span_kinds() {
+    let kinds: Vec<SpanKind> =
+        Policy::ALL.iter().flat_map(|&p| check_migration_golden(p)).collect();
+    for kind in [SpanKind::Preempted, SpanKind::Checkpoint, SpanKind::Migrate] {
+        assert!(kinds.contains(&kind), "pinned migration traces must exercise {kind:?}");
+    }
 }
 
 #[test]

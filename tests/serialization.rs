@@ -1,10 +1,15 @@
 //! Serde round-trips of the publicly persisted types: profiles (written
-//! by `fg profile --json`), execution reports, and figure tables.
+//! by `fg profile --json`), execution reports, figure tables, and the
+//! checkpoint wire format that migration ships between deployments.
 
-use freeride_g::apps::kmeans;
+use fg_bench::PaperApp;
+use freeride_g::apps::{ann, apriori, defect, em, kmeans, knn, vortex};
+use freeride_g::chunks::Dataset;
 use freeride_g::cluster::{ComputeSite, Configuration, Deployment, RepositorySite, Wan};
-use freeride_g::middleware::Executor;
+use freeride_g::middleware::{Checkpoint, Executor, FaultOptions, ReductionApp, StopPoint};
 use freeride_g::predict::{Prediction, Profile, ScalingFactors, Target};
+use freeride_g::sim::FaultSchedule;
+use serde::{Deserialize, Serialize, Value};
 
 fn deployment(n: usize, c: usize) -> Deployment {
     Deployment::new(
@@ -52,6 +57,124 @@ fn deployment_roundtrips_with_cache_site() {
     let json = serde_json::to_string(&d).expect("serialize");
     let back: Deployment = serde_json::from_str(&json).expect("deserialize");
     assert_eq!(d, back);
+}
+
+/// Suspend a run mid-first-pass and push the checkpoint through its
+/// wire format: decoding must be lossless (re-serialization is a
+/// fixpoint) and the decoded checkpoint must still resume to the
+/// uninterrupted run's final state.
+fn checkpoint_roundtrip<A>(app: &A, ds: &Dataset)
+where
+    A: ReductionApp,
+    A::State: Serialize + Deserialize,
+    A::Obj: Serialize + Deserialize,
+{
+    let ex = Executor::new(deployment(2, 4));
+    let (sched, opts) = (FaultSchedule::none(), FaultOptions::default());
+    let stop = StopPoint { pass: 0, cursor: ds.num_chunks() / 2 };
+    let ck = ex
+        .run_resumable(app, ds, &sched, &opts, stop)
+        .expect_suspended("every app runs at least one full pass");
+
+    let wire = ck.to_value();
+    let back: Checkpoint<A::State, A::Obj> =
+        Deserialize::from_value(&wire).unwrap_or_else(|e| panic!("{}: decode: {e}", app.name()));
+    assert_eq!(back.to_value(), wire, "{}: re-serialization must be a fixpoint", app.name());
+    assert_eq!(back.app, app.name());
+    assert_eq!(back.pass_idx, stop.pass);
+    assert_eq!(back.cursor, stop.cursor);
+    assert_eq!(back.num_chunks, ds.num_chunks());
+    assert_eq!(back.partials.len(), 4, "one partial-object vector per compute node");
+
+    let unsplit = ex.run(app, ds);
+    let resumed = ex.resume_from(app, ds, back, &sched, &opts);
+    assert_eq!(
+        resumed.final_state.to_value(),
+        unsplit.final_state.to_value(),
+        "{}: a decoded checkpoint must resume to the unsplit answer",
+        app.name()
+    );
+}
+
+#[test]
+fn checkpoints_roundtrip_for_all_seven_apps() {
+    let gen = |app: PaperApp| app.generate(&format!("ser-ck-{}", app.name()), 6.0, 0.01, 37);
+    checkpoint_roundtrip(&kmeans::KMeans::paper(7), &gen(PaperApp::KMeans));
+    checkpoint_roundtrip(&em::Em::paper(7), &gen(PaperApp::Em));
+    checkpoint_roundtrip(&knn::Knn::paper(7), &gen(PaperApp::Knn));
+    checkpoint_roundtrip(&vortex::VortexDetect::default(), &gen(PaperApp::Vortex));
+    let defect_ds = gen(PaperApp::Defect);
+    checkpoint_roundtrip(&defect::DefectDetect::for_dataset(&defect_ds), &defect_ds);
+    checkpoint_roundtrip(&apriori::Apriori::standard(), &gen(PaperApp::Apriori));
+    checkpoint_roundtrip(&ann::AnnTrain::paper(7), &gen(PaperApp::Ann));
+}
+
+fn kmeans_checkpoint() -> (Dataset, Value) {
+    let ds = kmeans::generate("ser-ck-corrupt", 50.0, 0.004, 5, 4);
+    let app = kmeans::KMeans { k: 4, passes: 3, seed: 5 };
+    let ck = Executor::new(deployment(2, 4))
+        .run_resumable(
+            &app,
+            &ds,
+            &FaultSchedule::none(),
+            &FaultOptions::default(),
+            StopPoint { pass: 1, cursor: 3 },
+        )
+        .expect_suspended("three passes reach pass 1");
+    let wire = ck.to_value();
+    (ds, wire)
+}
+
+type KmCheckpoint = Checkpoint<kmeans::KMeansState, kmeans::KMeansObj>;
+
+#[test]
+fn truncated_checkpoint_is_rejected() {
+    let (_, wire) = kmeans_checkpoint();
+    let Value::Object(fields) = wire else { panic!("checkpoint serializes as an object") };
+    // A checkpoint cut off mid-write loses its trailing fields; every
+    // truncation point must fail decoding with the missing field named.
+    for keep in 0..fields.len() {
+        let cut = Value::Object(fields[..keep].to_vec());
+        let err = <KmCheckpoint as Deserialize>::from_value(&cut)
+            .err()
+            .unwrap_or_else(|| panic!("truncation at {keep} fields must be rejected"));
+        assert!(
+            err.to_string().contains(&fields[keep].0),
+            "error should name the first missing field `{}`: {err}",
+            fields[keep].0
+        );
+    }
+}
+
+#[test]
+fn corrupt_checkpoint_fields_are_rejected() {
+    let (_, wire) = kmeans_checkpoint();
+    let Value::Object(fields) = wire else { panic!("checkpoint serializes as an object") };
+    for victim in ["cursor", "state", "partials", "elapsed"] {
+        let mut bad = fields.clone();
+        bad.iter_mut().find(|(k, _)| k == victim).expect("field exists").1 =
+            Value::Str("garbage".into());
+        assert!(
+            <KmCheckpoint as Deserialize>::from_value(&Value::Object(bad)).is_err(),
+            "type-corrupted `{victim}` must be rejected"
+        );
+    }
+}
+
+#[test]
+#[should_panic(expected = "checkpoint cursor out of range")]
+fn out_of_range_checkpoint_cursor_is_rejected_at_resume() {
+    let (ds, wire) = kmeans_checkpoint();
+    let mut ck: KmCheckpoint = Deserialize::from_value(&wire).expect("intact wire decodes");
+    ck.cursor = ds.num_chunks() + 7;
+    let app = kmeans::KMeans { k: 4, passes: 3, seed: 5 };
+    Executor::new(deployment(2, 4)).resume_from(
+        &app,
+        &ds,
+        ck,
+        &FaultSchedule::none(),
+        &FaultOptions::default(),
+    );
 }
 
 #[test]

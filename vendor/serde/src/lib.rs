@@ -176,25 +176,52 @@ macro_rules! impl_signed {
 }
 impl_signed!(i8, i16, i32, i64, isize);
 
+// Non-finite floats have no JSON representation (the vendored
+// serde_json renders them as `null`), so they are encoded as sentinel
+// strings at the data-model layer. Finite values are untouched.
+fn float_to_value(f: f64) -> Value {
+    if f.is_finite() {
+        Value::Float(f)
+    } else if f.is_nan() {
+        Value::Str("nan".to_string())
+    } else if f > 0.0 {
+        Value::Str("inf".to_string())
+    } else {
+        Value::Str("-inf".to_string())
+    }
+}
+
+fn float_from_value(v: &Value) -> Result<f64, Error> {
+    match v {
+        Value::Str(s) => match s.as_str() {
+            "nan" => Ok(f64::NAN),
+            "inf" => Ok(f64::INFINITY),
+            "-inf" => Ok(f64::NEG_INFINITY),
+            _ => Err(Error::custom("expected number or non-finite sentinel")),
+        },
+        other => other.as_f64().ok_or_else(|| Error::custom("expected number")),
+    }
+}
+
 impl Serialize for f64 {
     fn to_value(&self) -> Value {
-        Value::Float(*self)
+        float_to_value(*self)
     }
 }
 impl Deserialize for f64 {
     fn from_value(v: &Value) -> Result<Self, Error> {
-        v.as_f64().ok_or_else(|| Error::custom("expected number for f64"))
+        float_from_value(v)
     }
 }
 
 impl Serialize for f32 {
     fn to_value(&self) -> Value {
-        Value::Float(*self as f64)
+        float_to_value(*self as f64)
     }
 }
 impl Deserialize for f32 {
     fn from_value(v: &Value) -> Result<Self, Error> {
-        Ok(v.as_f64().ok_or_else(|| Error::custom("expected number for f32"))? as f32)
+        Ok(float_from_value(v)? as f32)
     }
 }
 
@@ -267,6 +294,22 @@ impl<T: Deserialize> Deserialize for Vec<T> {
 impl<T: Serialize> Serialize for [T] {
     fn to_value(&self) -> Value {
         Value::Array(self.iter().map(Serialize::to_value).collect())
+    }
+}
+
+impl<T: Serialize, const N: usize> Serialize for [T; N] {
+    fn to_value(&self) -> Value {
+        Value::Array(self.iter().map(Serialize::to_value).collect())
+    }
+}
+impl<T: Deserialize, const N: usize> Deserialize for [T; N] {
+    fn from_value(v: &Value) -> Result<Self, Error> {
+        let arr = v.as_array().ok_or_else(|| Error::custom("expected array"))?;
+        if arr.len() != N {
+            return Err(Error::custom("wrong array length"));
+        }
+        let items: Vec<T> = arr.iter().map(T::from_value).collect::<Result<_, _>>()?;
+        items.try_into().map_err(|_| Error::custom("wrong array length"))
     }
 }
 
@@ -359,6 +402,25 @@ mod tests {
     fn option_null_roundtrip() {
         assert_eq!(Option::<f64>::from_value(&Value::Null).unwrap(), None);
         assert_eq!(None::<f64>.to_value(), Value::Null);
+    }
+
+    #[test]
+    fn fixed_arrays_roundtrip() {
+        let a = [1.5f32, -2.0, 0.0];
+        let v = a.to_value();
+        assert_eq!(<[f32; 3]>::from_value(&v).unwrap(), a);
+        assert!(<[f32; 4]>::from_value(&v).is_err());
+    }
+
+    #[test]
+    fn non_finite_floats_roundtrip_as_sentinels() {
+        assert_eq!(f64::INFINITY.to_value(), Value::Str("inf".into()));
+        assert_eq!(f64::NEG_INFINITY.to_value(), Value::Str("-inf".into()));
+        assert_eq!(f64::from_value(&Value::Str("inf".into())).unwrap(), f64::INFINITY);
+        assert_eq!(f64::from_value(&Value::Str("-inf".into())).unwrap(), f64::NEG_INFINITY);
+        assert!(f64::from_value(&f64::NAN.to_value()).unwrap().is_nan());
+        assert_eq!(f32::from_value(&f32::INFINITY.to_value()).unwrap(), f32::INFINITY);
+        assert!(f64::from_value(&Value::Str("fast".into())).is_err());
     }
 
     #[test]

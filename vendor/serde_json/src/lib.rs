@@ -371,9 +371,16 @@ mod tests {
     }
 
     #[test]
-    fn nonfinite_floats_render_null() {
-        assert_eq!(to_string(&f64::NAN).unwrap(), "null");
-        assert_eq!(to_string(&f64::INFINITY).unwrap(), "null");
+    fn nonfinite_floats_render_as_sentinel_strings() {
+        // serde's data model maps non-finite floats to sentinel strings
+        // so they survive the JSON text format (bare `NaN` is invalid
+        // JSON, and `null` would lose the value entirely).
+        assert_eq!(to_string(&f64::NAN).unwrap(), "\"nan\"");
+        assert_eq!(to_string(&f64::INFINITY).unwrap(), "\"inf\"");
+        assert_eq!(to_string(&f64::NEG_INFINITY).unwrap(), "\"-inf\"");
+        assert!(from_str::<f64>("\"nan\"").unwrap().is_nan());
+        assert_eq!(from_str::<f64>("\"inf\"").unwrap(), f64::INFINITY);
+        assert_eq!(from_str::<f64>("\"-inf\"").unwrap(), f64::NEG_INFINITY);
     }
 
     #[test]
