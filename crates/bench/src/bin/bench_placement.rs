@@ -1,0 +1,216 @@
+//! Placement benchmark trajectory: measures the cached placement
+//! engine's query throughput and the end-to-end scheduler simulation
+//! rate, then writes `BENCH_placement.json` for the ratchet
+//! (`scripts/bench_ratchet.sh`) to compare against the committed
+//! baseline.
+//!
+//! ```text
+//! cargo run -p fg-bench --release --bin bench_placement            # full
+//! cargo run -p fg-bench --release --bin bench_placement -- --quick
+//! cargo run -p fg-bench --release --bin bench_placement -- --out target/BENCH_placement.json
+//! ```
+//!
+//! Full mode also simulates the heavy-preset 10⁶-job trace (the
+//! acceptance target: it must finish in seconds, not minutes). Quick
+//! mode, used by CI, keeps the same entry names for the small trace so
+//! the ratchet can compare like against like.
+
+use fg_bench::figures::sched_models;
+use fg_sched::{
+    naive_best_placement, FreeSlices, GridSpec, LoadLevel, PlacementEngine, Policy, Scheduler,
+    WorkloadSpec,
+};
+use serde::Serialize;
+use std::hint::black_box;
+use std::time::Instant;
+
+/// One measured benchmark entry.
+#[derive(Serialize)]
+struct Entry {
+    /// Stable name the ratchet keys on.
+    name: String,
+    /// Entry type: `placement-throughput` or `sim-rate`.
+    kind: &'static str,
+    /// Work items processed (placement queries, or simulated jobs).
+    items: u64,
+    /// Wall-clock seconds for the measured run.
+    elapsed_secs: f64,
+    /// Items per second — the ratcheted metric.
+    per_sec: f64,
+    /// For placement entries (`null` otherwise): the naive exhaustive
+    /// scan's rate over the same query stream, and the speedup.
+    naive_per_sec: Option<f64>,
+    speedup: Option<f64>,
+    /// For sim entries (`null` otherwise): jobs admitted and makespan.
+    completed: Option<u64>,
+    makespan: Option<f64>,
+}
+
+#[derive(Serialize)]
+struct Report {
+    schema: u32,
+    mode: &'static str,
+    entries: Vec<Entry>,
+}
+
+/// Dataset sizes cycled through by the query stream, in bytes.
+const SIZES: [u64; 4] = [200 << 20, 800 << 20, 3200 << 20, 12_800 << 20];
+
+/// Deterministic (app, bytes, bandwidth-vector) query stream with a
+/// periodic per-repo bandwidth nudge, mirroring the EWMA feedback that
+/// invalidates cached rankings during a real run.
+fn query_stream(grid: &GridSpec, queries: usize) -> Vec<(usize, u64, Vec<f64>)> {
+    let nominal: Vec<f64> = grid.repos.iter().map(|r| r.wan.stream_bw).collect();
+    let mut bw = nominal.clone();
+    let mut out = Vec::with_capacity(queries);
+    for q in 0..queries {
+        if q % 64 == 63 {
+            let r = (q / 64) % bw.len();
+            bw[r] = nominal[r] * (0.6 + 0.05 * ((q / 64 % 8) as f64));
+        }
+        out.push((q % grid.apps.len(), SIZES[q % SIZES.len()], bw.clone()));
+    }
+    out
+}
+
+/// Best-of-N repetitions: wall-clock noise only ever slows a run down,
+/// so the fastest repetition is the most reproducible estimate and
+/// keeps the ratchet comparison stable across machines and runs.
+fn best_of<F: FnMut() -> f64>(reps: usize, mut run: F) -> f64 {
+    (0..reps).map(|_| run()).fold(f64::INFINITY, f64::min)
+}
+
+fn placement_throughput(grid: &GridSpec, queries: usize, naive_queries: usize) -> Entry {
+    let free = FreeSlices::new(
+        grid.repos.iter().map(|r| r.site.max_nodes).collect(),
+        grid.sites.iter().map(|s| s.site.max_nodes).collect(),
+    );
+
+    let stream = query_stream(grid, queries);
+    let mut engine = PlacementEngine::new(grid);
+    // Warm the cache so the steady-state rate is what gets ratcheted.
+    for (app_idx, bytes, bw) in stream.iter().take(64) {
+        black_box(engine.best_placement(grid, &grid.apps[*app_idx].0, *bytes, &free, bw, None));
+    }
+    let elapsed = best_of(3, || {
+        let start = Instant::now();
+        for (app_idx, bytes, bw) in &stream {
+            black_box(engine.best_placement(grid, &grid.apps[*app_idx].0, *bytes, &free, bw, None));
+        }
+        start.elapsed().as_secs_f64()
+    });
+
+    let naive_stream = query_stream(grid, naive_queries);
+    let naive_elapsed = best_of(3, || {
+        let naive_start = Instant::now();
+        for (app_idx, bytes, bw) in &naive_stream {
+            let model = &grid.apps[*app_idx].1;
+            black_box(naive_best_placement(grid, model, *bytes, free.data(), free.cmp(), bw, None));
+        }
+        naive_start.elapsed().as_secs_f64()
+    });
+
+    let per_sec = queries as f64 / elapsed;
+    let naive_per_sec = naive_queries as f64 / naive_elapsed;
+    let stats = engine.stats();
+    eprintln!(
+        "placement-throughput: {queries} queries in {elapsed:.3}s ({per_sec:.0}/s, \
+         naive {naive_per_sec:.0}/s, {} rebuilds / {} queries cached)",
+        stats.rebuilds, stats.queries,
+    );
+    Entry {
+        name: "placement-throughput".into(),
+        kind: "placement-throughput",
+        items: queries as u64,
+        elapsed_secs: elapsed,
+        per_sec,
+        naive_per_sec: Some(naive_per_sec),
+        speedup: Some(per_sec / naive_per_sec),
+        completed: None,
+        makespan: None,
+    }
+}
+
+fn sim_rate(name: &str, tenants: usize, jobs_per_tenant: usize, reps: usize) -> Entry {
+    let grid = GridSpec::demo(sched_models());
+    let names: Vec<&str> = grid.apps.iter().map(|(n, _)| n.as_str()).collect();
+    let jobs = WorkloadSpec::preset_scaled(LoadLevel::Heavy, &names, 42, tenants, jobs_per_tenant)
+        .generate();
+    let sched = Scheduler::new(grid, Policy::FcfsBackfill);
+    let mut result = None;
+    let elapsed = best_of(reps, || {
+        let start = Instant::now();
+        result = Some(sched.run(&jobs));
+        start.elapsed().as_secs_f64()
+    });
+    let result = result.expect("at least one repetition ran");
+    let completed = result.outcomes.iter().filter(|o| o.admitted).count() as u64;
+    assert!(result.violations.is_empty(), "invariant violations: {:?}", result.violations);
+    let per_sec = jobs.len() as f64 / elapsed;
+    eprintln!(
+        "{name}: {} jobs in {elapsed:.3}s ({per_sec:.0} jobs/s, {completed} admitted, \
+         makespan {:.0}s)",
+        jobs.len(),
+        result.makespan,
+    );
+    Entry {
+        name: name.into(),
+        kind: "sim-rate",
+        items: jobs.len() as u64,
+        elapsed_secs: elapsed,
+        per_sec,
+        naive_per_sec: None,
+        speedup: None,
+        completed: Some(completed),
+        makespan: Some(result.makespan),
+    }
+}
+
+fn main() {
+    let mut quick = false;
+    let mut out = String::from("BENCH_placement.json");
+    let mut probe: Option<(usize, usize)> = None;
+    let mut args = std::env::args().skip(1);
+    while let Some(arg) = args.next() {
+        match arg.as_str() {
+            "--quick" => quick = true,
+            "--out" => out = args.next().expect("--out requires a path"),
+            "--sim" => {
+                let t = args.next().and_then(|s| s.parse().ok()).expect("--sim TENANTS JOBS");
+                let j = args.next().and_then(|s| s.parse().ok()).expect("--sim TENANTS JOBS");
+                probe = Some((t, j));
+            }
+            other => {
+                eprintln!(
+                    "usage: bench_placement [--quick] [--out PATH] [--sim TENANTS JOBS] \
+                     (got {other:?})"
+                );
+                std::process::exit(2);
+            }
+        }
+    }
+
+    // A one-off sim probe: time a single custom-sized trace and exit
+    // without touching the report file.
+    if let Some((tenants, jobs)) = probe {
+        sim_rate(&format!("sim-rate-{tenants}x{jobs}"), tenants, jobs, 1);
+        return;
+    }
+
+    // Quick and full mode share the placement and 10k-sim workloads so
+    // the ratchet compares like against like; full mode only adds the
+    // million-job acceptance trace (the expensive part).
+    let grid = GridSpec::demo(sched_models());
+    let mut entries =
+        vec![placement_throughput(&grid, 200_000, 4_000), sim_rate("sim-rate-10k", 40, 250, 3)];
+    if !quick {
+        // The acceptance target: a heavy-preset million-job trace,
+        // simulated end to end in seconds.
+        entries.push(sim_rate("sim-rate-1m", 100, 10_000, 1));
+    }
+
+    let report = Report { schema: 1, mode: if quick { "quick" } else { "full" }, entries };
+    let json = serde_json::to_string_pretty(&report).expect("serialize report");
+    std::fs::write(&out, json + "\n").expect("write report");
+    eprintln!("wrote {out}");
+}

@@ -153,6 +153,53 @@ impl Deployment {
     pub fn label(&self) -> String {
         format!("{}@{} {}", self.compute.name, self.repository.name, self.config.label())
     }
+
+    /// A borrowed view of this deployment (see [`DeploymentRef`]).
+    pub fn as_ref(&self) -> DeploymentRef<'_> {
+        DeploymentRef {
+            repository: &self.repository,
+            compute: &self.compute,
+            stream_bw: self.wan.stream_bw,
+            config: self.config,
+            cache: self.cache.as_ref(),
+        }
+    }
+}
+
+/// A borrowed view of a candidate deployment: everything the prediction
+/// model reads, without owning the sites.
+///
+/// [`Deployment`] owns its `RepositorySite`/`ComputeSite` (each holding
+/// heap-allocated names and machine specs), so enumerating one per
+/// `(replica, site, configuration)` triple clones strings on every
+/// candidate. Hot paths that score thousands of candidates per decision
+/// — a scheduler placing a job, a mid-run re-selection sweep — build a
+/// `DeploymentRef` on the stack instead and allocate nothing.
+///
+/// The WAN path collapses to the one number prediction consumes, the
+/// per-stream bandwidth, so callers substituting a live bandwidth
+/// estimate for the nominal value just pass a different `stream_bw`.
+#[derive(Debug, Clone, Copy)]
+pub struct DeploymentRef<'a> {
+    /// The repository hosting the chosen dataset replica.
+    pub repository: &'a RepositorySite,
+    /// The compute site.
+    pub compute: &'a ComputeSite,
+    /// Per-stream WAN bandwidth on the repository→site path, bytes/sec
+    /// (the model's `b̂`; nominal or a live estimate).
+    pub stream_bw: f64,
+    /// Node counts on each side.
+    pub config: Configuration,
+    /// Optional non-local caching site.
+    pub cache: Option<&'a CacheSite>,
+}
+
+impl DeploymentRef<'_> {
+    /// Short label for tables and errors, matching
+    /// [`Deployment::label`]: `site@replica n-c`.
+    pub fn label(&self) -> String {
+        format!("{}@{} {}", self.compute.name, self.repository.name, self.config.label())
+    }
 }
 
 #[cfg(test)]

@@ -24,6 +24,6 @@ pub mod config;
 pub mod machine;
 pub mod site;
 
-pub use config::{CacheSite, Configuration, Deployment};
+pub use config::{CacheSite, Configuration, Deployment, DeploymentRef};
 pub use machine::{MachineSpec, OpClass, OpCounts};
 pub use site::{ComputeSite, MiddlewareCosts, RepositorySite, Wan};

@@ -11,8 +11,12 @@
 //! known volumes over known bandwidths, layered on a profile collected
 //! under ordinary local caching.
 
-use crate::model::{ExecTimePredictor, Prediction, Target};
-use fg_cluster::Deployment;
+use crate::classes::AppClasses;
+use crate::model::{
+    predict_compute, predict_disk, predict_network, ComputeModel, ExecTimePredictor,
+    InterconnectParams, Prediction, Target,
+};
+use fg_cluster::{CacheSite, ComputeSite, Deployment};
 use serde::{Deserialize, Serialize};
 
 /// How a deployment will keep chunks between passes.
@@ -39,16 +43,34 @@ impl CachePlan {
     /// `dataset_bytes` and an application making `passes` passes —
     /// the same decision rule the middleware executor applies.
     pub fn for_deployment(deployment: &Deployment, dataset_bytes: u64, passes: usize) -> CachePlan {
+        CachePlan::for_candidate(
+            &deployment.compute,
+            deployment.cache.as_ref(),
+            deployment.config.compute_nodes,
+            dataset_bytes,
+            passes,
+        )
+    }
+
+    /// The same decision from borrowed parts — what a hot selection loop
+    /// holding a [`fg_cluster::DeploymentRef`] calls, with no owned
+    /// `Deployment` in sight.
+    pub fn for_candidate(
+        compute: &ComputeSite,
+        cache: Option<&CacheSite>,
+        compute_nodes: usize,
+        dataset_bytes: u64,
+        passes: usize,
+    ) -> CachePlan {
         if passes <= 1 {
             return CachePlan::Local; // nothing to keep
         }
-        let c = deployment.config.compute_nodes;
-        let per_node = dataset_bytes.div_ceil(c as u64);
-        if per_node <= deployment.compute.node_storage_bytes {
+        let per_node = dataset_bytes.div_ceil(compute_nodes as u64);
+        if per_node <= compute.node_storage_bytes {
             CachePlan::Local
-        } else if let Some(cs) = &deployment.cache {
+        } else if let Some(cs) = cache {
             CachePlan::NonLocal {
-                nodes: cs.nodes.min(c),
+                nodes: cs.nodes.min(compute_nodes),
                 wan_bw: cs.wan.stream_bw,
                 disk_bw: cs.site.machine.disk_bw,
             }
@@ -74,8 +96,41 @@ pub fn predict_with_plan(
     plan: &CachePlan,
     compute_disk_bw: f64,
 ) -> Prediction {
-    let base = predictor.predict(target);
-    let passes = predictor.profile.passes as f64;
+    predict_plan_components(
+        &predictor.profile,
+        predictor.classes,
+        &predictor.interconnect,
+        predictor.model,
+        target,
+        plan,
+        compute_disk_bw,
+    )
+}
+
+/// The borrowed core of [`predict_with_plan`]: the identical arithmetic
+/// over a borrowed profile, so a caller scoring thousands of candidates
+/// never clones a [`Profile`] (and its heap-allocated names) to build a
+/// throwaway [`ExecTimePredictor`]. Panics on a degenerate target, like
+/// the predictor it stands in for.
+#[allow(clippy::too_many_arguments)]
+pub fn predict_plan_components(
+    profile: &crate::profile::Profile,
+    classes: AppClasses,
+    interconnect: &InterconnectParams,
+    model: ComputeModel,
+    target: &Target,
+    plan: &CachePlan,
+    compute_disk_bw: f64,
+) -> Prediction {
+    if let Err(e) = target.validate() {
+        panic!("cannot predict for degenerate target: {e}");
+    }
+    let base = Prediction {
+        t_disk: predict_disk(profile, target),
+        t_network: predict_network(profile, target),
+        t_compute: predict_compute(profile, target, model, classes, interconnect),
+    };
+    let passes = profile.passes as f64;
     let s = target.dataset_bytes as f64;
     let local_io = passes * s / (target.compute_nodes as f64 * compute_disk_bw);
     match plan {

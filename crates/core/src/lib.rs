@@ -44,7 +44,7 @@ pub mod profile;
 pub mod reselect;
 pub mod selection;
 
-pub use cache::{predict_with_plan, CachePlan};
+pub use cache::{predict_plan_components, predict_with_plan, CachePlan};
 pub use classes::{AppClasses, GlobalReduceClass, RObjSizeClass};
 pub use error::relative_error;
 pub use hetero::ScalingFactors;
@@ -54,4 +54,6 @@ pub use migrate::{
 pub use model::{ComputeModel, ExecTimePredictor, InterconnectParams, Prediction, Target};
 pub use profile::Profile;
 pub use reselect::ReselectionController;
-pub use selection::{rank_deployments, try_rank_deployments, Candidate, SelectionError};
+pub use selection::{
+    rank_deployments, try_predict_deployment, try_rank_deployments, Candidate, SelectionError,
+};

@@ -6,14 +6,12 @@
 //! processing can be performed with the minimum cost." The selector
 //! predicts every candidate deployment's execution time and ranks them.
 
-use crate::cache::{predict_with_plan, CachePlan};
+use crate::cache::{predict_plan_components, CachePlan};
 use crate::classes::AppClasses;
 use crate::hetero::ScalingFactors;
-use crate::model::{
-    ComputeModel, ExecTimePredictor, InterconnectParams, Prediction, Target, TargetError,
-};
+use crate::model::{ComputeModel, InterconnectParams, Prediction, Target, TargetError};
 use crate::profile::Profile;
-use fg_cluster::Deployment;
+use fg_cluster::{Deployment, DeploymentRef};
 use std::collections::HashMap;
 
 /// One evaluated deployment alternative.
@@ -95,39 +93,64 @@ pub fn try_rank_deployments(
 ) -> Result<Vec<Candidate>, SelectionError> {
     let mut out = Vec::with_capacity(deployments.len());
     for d in deployments {
-        let target = Target::new(
-            d.config.data_nodes,
-            d.config.compute_nodes,
-            d.wan.stream_bw,
-            dataset_bytes,
-        )
-        .map_err(|cause| SelectionError::Unpredictable { label: d.label(), cause })?;
-        let predictor = ExecTimePredictor {
-            profile: profile.clone(),
-            classes,
-            interconnect: InterconnectParams::of_site(&d.compute),
-            model: ComputeModel::GlobalReduction,
-        };
-        // Storage-aware: deployments that cannot cache locally are
-        // costed under their non-local-cache or refetch plan.
-        let plan = CachePlan::for_deployment(d, dataset_bytes, profile.passes);
-        let base = predict_with_plan(&predictor, &target, &plan, d.compute.machine.disk_bw);
-        let machine = &d.compute.machine.name;
-        let predicted = if *machine == profile.compute_machine {
-            base
-        } else {
-            let f = factors.get(machine).ok_or_else(|| SelectionError::MissingFactors {
-                machine: machine.clone(),
-                profile_machine: profile.compute_machine.clone(),
-            })?;
-            f.apply(&base)
-        };
+        let predicted =
+            try_predict_deployment(profile, classes, d.as_ref(), dataset_bytes, factors)?;
         out.push(Candidate { deployment: d.clone(), predicted });
     }
     out.sort_by(|a, b| {
         a.cost().total_cmp(&b.cost()).then_with(|| a.deployment.label().cmp(&b.deployment.label()))
     });
     Ok(out)
+}
+
+/// Predict one candidate deployment from borrowed parts, allocating
+/// nothing on the success path.
+///
+/// This is the single-candidate core [`try_rank_deployments`] runs per
+/// deployment, exposed for hot loops (a scheduler scoring every
+/// `(replica, site, configuration)` triple per job) that cannot afford
+/// the owned [`Deployment`]'s site clones or the ranking vector. The
+/// arithmetic is shared with the ranking path, so the two agree
+/// bit-for-bit by construction.
+pub fn try_predict_deployment(
+    profile: &Profile,
+    classes: AppClasses,
+    d: DeploymentRef<'_>,
+    dataset_bytes: u64,
+    factors: &HashMap<String, ScalingFactors>,
+) -> Result<Prediction, SelectionError> {
+    let target =
+        Target::new(d.config.data_nodes, d.config.compute_nodes, d.stream_bw, dataset_bytes)
+            .map_err(|cause| SelectionError::Unpredictable { label: d.label(), cause })?;
+    // Storage-aware: deployments that cannot cache locally are costed
+    // under their non-local-cache or refetch plan.
+    let plan = CachePlan::for_candidate(
+        d.compute,
+        d.cache,
+        d.config.compute_nodes,
+        dataset_bytes,
+        profile.passes,
+    );
+    let interconnect = InterconnectParams::of_site(d.compute);
+    let base = predict_plan_components(
+        profile,
+        classes,
+        &interconnect,
+        ComputeModel::GlobalReduction,
+        &target,
+        &plan,
+        d.compute.machine.disk_bw,
+    );
+    let machine = &d.compute.machine.name;
+    if *machine == profile.compute_machine {
+        Ok(base)
+    } else {
+        let f = factors.get(machine).ok_or_else(|| SelectionError::MissingFactors {
+            machine: machine.clone(),
+            profile_machine: profile.compute_machine.clone(),
+        })?;
+        Ok(f.apply(&base))
+    }
 }
 
 /// Like [`try_rank_deployments`], but panics on any [`SelectionError`] —

@@ -39,14 +39,16 @@
 #![warn(missing_docs)]
 
 pub mod grid;
+pub mod placement;
 pub mod policy;
 pub mod sched;
 pub mod workload;
 
 pub use grid::{AppModel, GridSpec, RepoSpec, SiteSpec};
+pub use placement::{naive_best_placement, FreeSlices, Placement, PlacementEngine, PlacementStats};
 pub use policy::Policy;
 pub use sched::{
     Degradation, JobOutcome, MigrationConfig, MigrationEvent, PlacementInfo, PreemptionEvent,
     SchedResult, Scheduler, TenantQuota,
 };
-pub use workload::{JobSpec, LoadLevel, TenantSpec, WorkloadSpec};
+pub use workload::{JobSpec, LoadLevel, TenantSpec, WorkloadError, WorkloadSpec};

@@ -1,0 +1,501 @@
+//! The placement hot path: cached incremental ranking with dominance
+//! pruning over a free-slice index.
+//!
+//! A scheduling pass asks "cheapest feasible (repository, site,
+//! configuration) triple" once per queued job, every pass. The naive
+//! scan re-predicts every triple each time — `O(repos × sites ×
+//! configs)` full model evaluations — although the predictions only
+//! change when a repository's EWMA bandwidth estimate moves, which
+//! happens once per completed transfer, not once per query.
+//!
+//! [`PlacementEngine`] memoizes per-repository candidate rankings keyed
+//! by `(application, dataset size)` and invalidates each repository's
+//! ranking only when the bandwidth it was priced at changes
+//! (bit-compared, so EWMA noise below the representable threshold never
+//! forces work). Queries then walk the cost-sorted rankings with
+//! dominance pruning — a repository whose cheapest candidate cannot
+//! beat the incumbent is skipped outright, and a walk stops at the
+//! first candidate that cannot improve — against a [`FreeSlices`] index
+//! whose maintained maxima give an O(1) "nothing can fit" early-out.
+//!
+//! The fast path is bit-identical to [`naive_best_placement`] by
+//! construction: both price candidates through the same
+//! [`fg_predict::try_predict_deployment`] arithmetic, and the ranking
+//! order (total, then site, then configuration index) reproduces the
+//! naive scan's first-strictly-better tie-break exactly. The
+//! differential property suite (`tests/placement_differential.rs`)
+//! pins the equivalence under random grids, quota caps, and bandwidth
+//! drift.
+
+use crate::grid::{AppModel, GridSpec};
+use fg_cluster::{Configuration, Deployment, DeploymentRef};
+use fg_predict::{try_predict_deployment, try_rank_deployments, Prediction};
+use rayon::prelude::*;
+use std::collections::HashMap;
+
+/// The winning candidate of a placement query.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct Placement {
+    /// Repository index in the grid.
+    pub repo: usize,
+    /// Compute-site index in the grid.
+    pub site: usize,
+    /// The chosen configuration.
+    pub cfg: Configuration,
+    /// Its predicted execution time components.
+    pub predicted: Prediction,
+}
+
+/// Free node slices with maintained maxima: the scheduler's view of
+/// which data and compute nodes are unoccupied, indexed so a feasibility
+/// pre-check never rescans the per-repository and per-site vectors.
+///
+/// `max_data()`/`max_cmp()` are kept current across `alloc_*` and
+/// `release_*` in O(1) amortized (a release only raises the maximum; an
+/// allocation recomputes it only when it shrank the argmax).
+#[derive(Debug, Clone)]
+pub struct FreeSlices {
+    data: Vec<usize>,
+    cmp: Vec<usize>,
+    max_data: usize,
+    max_cmp: usize,
+}
+
+impl FreeSlices {
+    /// An index over free data nodes per repository and free compute
+    /// nodes per site.
+    pub fn new(data: Vec<usize>, cmp: Vec<usize>) -> FreeSlices {
+        let max_data = data.iter().copied().max().unwrap_or(0);
+        let max_cmp = cmp.iter().copied().max().unwrap_or(0);
+        FreeSlices { data, cmp, max_data, max_cmp }
+    }
+
+    /// Free data nodes per repository.
+    pub fn data(&self) -> &[usize] {
+        &self.data
+    }
+
+    /// Free compute nodes per site.
+    pub fn cmp(&self) -> &[usize] {
+        &self.cmp
+    }
+
+    /// The largest free data slice across repositories.
+    pub fn max_data(&self) -> usize {
+        self.max_data
+    }
+
+    /// The largest free compute slice across sites.
+    pub fn max_cmp(&self) -> usize {
+        self.max_cmp
+    }
+
+    /// Occupy `n` data nodes at `repo`. Panics on underflow, like the
+    /// raw vector arithmetic it replaces.
+    pub fn alloc_data(&mut self, repo: usize, n: usize) {
+        let was = self.data[repo];
+        self.data[repo] -= n;
+        if was == self.max_data && n > 0 {
+            self.max_data = self.data.iter().copied().max().unwrap_or(0);
+        }
+    }
+
+    /// Return `n` data nodes to `repo`.
+    pub fn release_data(&mut self, repo: usize, n: usize) {
+        self.data[repo] += n;
+        self.max_data = self.max_data.max(self.data[repo]);
+    }
+
+    /// Occupy `n` compute nodes at `site`.
+    pub fn alloc_cmp(&mut self, site: usize, n: usize) {
+        let was = self.cmp[site];
+        self.cmp[site] -= n;
+        if was == self.max_cmp && n > 0 {
+            self.max_cmp = self.cmp.iter().copied().max().unwrap_or(0);
+        }
+    }
+
+    /// Return `n` compute nodes to `site`.
+    pub fn release_cmp(&mut self, site: usize, n: usize) {
+        self.cmp[site] += n;
+        self.max_cmp = self.max_cmp.max(self.cmp[site]);
+    }
+
+    /// Occupy a configuration's nodes at `(repo, site)`.
+    pub fn alloc(&mut self, repo: usize, site: usize, cfg: &Configuration) {
+        self.alloc_data(repo, cfg.data_nodes);
+        self.alloc_cmp(site, cfg.compute_nodes);
+    }
+
+    /// Return a configuration's nodes to `(repo, site)`.
+    pub fn release(&mut self, repo: usize, site: usize, cfg: &Configuration) {
+        self.release_data(repo, cfg.data_nodes);
+        self.release_cmp(site, cfg.compute_nodes);
+    }
+}
+
+/// One priced candidate in a repository's ranking.
+#[derive(Debug, Clone, Copy)]
+struct Ranked {
+    site: usize,
+    cfg: usize,
+    data_nodes: usize,
+    compute_nodes: usize,
+    total: f64,
+    predicted: Prediction,
+}
+
+/// A repository's candidates priced at one bandwidth, cheapest first
+/// (ties broken by site then configuration index, matching the naive
+/// scan's iteration order).
+#[derive(Debug, Clone)]
+struct RepoRanking {
+    /// Bit pattern of the bandwidth the ranking was priced at. The
+    /// stale sentinel is a NaN pattern: a real (finite, positive) EWMA
+    /// estimate can never bit-match it, and a NaN bandwidth makes every
+    /// candidate unpredictable in both paths anyway.
+    bw_bits: u64,
+    ranked: Vec<Ranked>,
+}
+
+const STALE: u64 = u64::MAX;
+
+impl RepoRanking {
+    fn stale() -> RepoRanking {
+        RepoRanking { bw_bits: STALE, ranked: Vec::new() }
+    }
+}
+
+/// Cached rankings for one `(application, dataset size)` key.
+#[derive(Debug, Clone)]
+struct Entry {
+    repos: Vec<RepoRanking>,
+}
+
+/// Counters describing what a [`PlacementEngine`] did — cache hits are
+/// `queries - rebuilds / repos`-shaped, and the benchmark harness
+/// reports both.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct PlacementStats {
+    /// Placement queries answered (standalone queries excluded).
+    pub queries: u64,
+    /// Per-repository ranking rebuilds (cache misses or bandwidth
+    /// invalidations).
+    pub rebuilds: u64,
+}
+
+/// The cached placement engine. One per scheduler run; queries borrow
+/// the grid so the engine itself owns nothing but its cache.
+#[derive(Debug)]
+pub struct PlacementEngine {
+    entries: HashMap<(usize, u64), Entry>,
+    capacity: usize,
+    parallel: bool,
+    naive: bool,
+    stats: PlacementStats,
+}
+
+/// Keys cached before the engine drops the whole map and starts over.
+/// Entries are only useful while their job sits in the queue; a bounded
+/// cache with wholesale eviction keeps memory flat over million-job
+/// traces without any bookkeeping on the hot path.
+const DEFAULT_CAPACITY: usize = 16_384;
+
+impl PlacementEngine {
+    /// An engine with an empty cache. The grid is accepted (and
+    /// ignored) so a future engine can precompute per-grid indices
+    /// without touching every caller.
+    pub fn new(_grid: &GridSpec) -> PlacementEngine {
+        PlacementEngine {
+            entries: HashMap::new(),
+            capacity: DEFAULT_CAPACITY,
+            parallel: false,
+            naive: false,
+            stats: PlacementStats::default(),
+        }
+    }
+
+    /// Rebuild stale rankings through rayon's parallel iterator. The
+    /// reduce is determinism-preserving: rebuilt rankings are installed
+    /// back in repository-index order, so the cache state (and every
+    /// later query) is bit-identical to the sequential rebuild.
+    pub fn with_parallel(mut self) -> PlacementEngine {
+        self.parallel = true;
+        self
+    }
+
+    /// Bypass the cache entirely and answer every query with
+    /// [`naive_best_placement`] — the differential-testing reference.
+    #[doc(hidden)]
+    pub fn with_naive(mut self) -> PlacementEngine {
+        self.naive = true;
+        self
+    }
+
+    /// What the engine has done so far.
+    pub fn stats(&self) -> PlacementStats {
+        self.stats
+    }
+
+    /// Cheapest feasible placement for `app` moving `dataset_bytes`,
+    /// given the free slices, per-repository bandwidths, and an
+    /// optional fair-share cap on the configuration's compute nodes.
+    /// Bit-identical to [`naive_best_placement`] over the same inputs.
+    pub fn best_placement(
+        &mut self,
+        grid: &GridSpec,
+        app: &str,
+        dataset_bytes: u64,
+        free: &FreeSlices,
+        bw: &[f64],
+        quota_cap: Option<usize>,
+    ) -> Option<Placement> {
+        let app_idx = grid.apps.iter().position(|(n, _)| n == app)?;
+        let model = &grid.apps[app_idx].1;
+        if self.naive {
+            return naive_best_placement(
+                grid,
+                model,
+                dataset_bytes,
+                free.data(),
+                free.cmp(),
+                bw,
+                quota_cap,
+            );
+        }
+        self.stats.queries += 1;
+        // Infeasibility early-out off the slice index: a candidate is
+        // feasible only when its configuration fits the *largest* free
+        // data slice, the largest free compute slice, and the quota
+        // cap — so when no configuration in the menu passes all three
+        // bounds, every candidate everywhere is infeasible. Exact, not
+        // heuristic: the walk's per-repo/per-site feasibility tests
+        // compare against slices these maxima bound from above, and
+        // any site may pair with any repository.
+        if !grid.configs.iter().any(|c| {
+            c.data_nodes <= free.max_data()
+                && c.compute_nodes <= free.max_cmp()
+                && quota_cap.is_none_or(|cap| c.compute_nodes <= cap)
+        }) {
+            return None;
+        }
+        let key = (app_idx, dataset_bytes);
+        if !self.entries.contains_key(&key) && self.entries.len() >= self.capacity {
+            self.entries.clear();
+        }
+        let nrepo = grid.repos.len();
+        let entry = self
+            .entries
+            .entry(key)
+            .or_insert_with(|| Entry { repos: vec![RepoRanking::stale(); nrepo] });
+        let stale: Vec<usize> =
+            (0..nrepo).filter(|&ri| entry.repos[ri].bw_bits != bw[ri].to_bits()).collect();
+        self.stats.rebuilds += stale.len() as u64;
+        if self.parallel && stale.len() > 1 {
+            let rebuilt: Vec<RepoRanking> = stale
+                .par_iter()
+                .map(|&ri| build_ranking(grid, model, &grid.repos[ri], dataset_bytes, bw[ri]))
+                .collect();
+            for (&ri, ranking) in stale.iter().zip(rebuilt) {
+                entry.repos[ri] = ranking;
+            }
+        } else {
+            for &ri in &stale {
+                entry.repos[ri] =
+                    build_ranking(grid, model, &grid.repos[ri], dataset_bytes, bw[ri]);
+            }
+        }
+        walk(&entry.repos, free.data(), free.cmp(), quota_cap)
+            .map(|(ri, c)| to_placement(grid, ri, &c))
+    }
+
+    /// Best placement on an *empty* grid at each repository's nominal
+    /// bandwidth — the standalone prediction behind deadlines and
+    /// slowdowns. Priced fresh each call: the nominal bandwidths never
+    /// change, but dataset sizes are effectively unique per job, so a
+    /// memo here would only grow, and routing the query through the
+    /// live-bandwidth cache would thrash it (arrival computes both a
+    /// nominal and a corrected estimate for the same key).
+    pub fn standalone_placement(
+        &mut self,
+        grid: &GridSpec,
+        app: &str,
+        dataset_bytes: u64,
+    ) -> Option<Placement> {
+        let app_idx = grid.apps.iter().position(|(n, _)| n == app)?;
+        let model = &grid.apps[app_idx].1;
+        let max_data: Vec<usize> = grid.repos.iter().map(|r| r.site.max_nodes).collect();
+        let max_cmp: Vec<usize> = grid.sites.iter().map(|s| s.site.max_nodes).collect();
+        if self.naive {
+            let nominal: Vec<f64> = grid.repos.iter().map(|r| r.wan.stream_bw).collect();
+            return naive_best_placement(
+                grid,
+                model,
+                dataset_bytes,
+                &max_data,
+                &max_cmp,
+                &nominal,
+                None,
+            );
+        }
+        let rankings: Vec<RepoRanking> = if self.parallel && grid.repos.len() > 1 {
+            grid.repos
+                .par_iter()
+                .map(|r| build_ranking(grid, model, r, dataset_bytes, r.wan.stream_bw))
+                .collect()
+        } else {
+            grid.repos
+                .iter()
+                .map(|r| build_ranking(grid, model, r, dataset_bytes, r.wan.stream_bw))
+                .collect()
+        };
+        walk(&rankings, &max_data, &max_cmp, None).map(|(ri, c)| to_placement(grid, ri, &c))
+    }
+}
+
+fn to_placement(grid: &GridSpec, repo: usize, c: &Ranked) -> Placement {
+    Placement { repo, site: c.site, cfg: grid.configs[c.cfg], predicted: c.predicted }
+}
+
+/// Price every (site, configuration) candidate of one repository at
+/// bandwidth `bw` and sort cheapest first. Candidates the predictor
+/// rejects are dropped, exactly as the naive scan skips them. Nothing
+/// here allocates an owned `Deployment`: the borrow-based
+/// [`try_predict_deployment`] entry point prices each candidate from
+/// references into the grid.
+fn build_ranking(
+    grid: &GridSpec,
+    model: &AppModel,
+    repo: &crate::grid::RepoSpec,
+    dataset_bytes: u64,
+    bw: f64,
+) -> RepoRanking {
+    let mut ranked = Vec::with_capacity(grid.sites.len() * grid.configs.len());
+    for (si, site) in grid.sites.iter().enumerate() {
+        for (ci, cfg) in grid.configs.iter().enumerate() {
+            let candidate = DeploymentRef {
+                repository: &repo.site,
+                compute: &site.site,
+                stream_bw: bw,
+                config: *cfg,
+                cache: None,
+            };
+            let Ok(predicted) = try_predict_deployment(
+                &model.profile,
+                model.classes,
+                candidate,
+                dataset_bytes,
+                &grid.factors,
+            ) else {
+                continue;
+            };
+            ranked.push(Ranked {
+                site: si,
+                cfg: ci,
+                data_nodes: cfg.data_nodes,
+                compute_nodes: cfg.compute_nodes,
+                total: predicted.total(),
+                predicted,
+            });
+        }
+    }
+    // Cheapest first; ties by (site, configuration) index so the walk's
+    // first feasible hit is the naive scan's first-strictly-better one.
+    ranked.sort_by(|a, b| {
+        a.total.total_cmp(&b.total).then(a.site.cmp(&b.site)).then(a.cfg.cmp(&b.cfg))
+    });
+    RepoRanking { bw_bits: bw.to_bits(), ranked }
+}
+
+/// Walk cost-sorted rankings against the free slices with dominance
+/// pruning. Returns the winning repository index and candidate.
+fn walk(
+    repos: &[RepoRanking],
+    free_data: &[usize],
+    free_cmp: &[usize],
+    quota_cap: Option<usize>,
+) -> Option<(usize, Ranked)> {
+    let mut best: Option<(usize, Ranked)> = None;
+    for (ri, ranking) in repos.iter().enumerate() {
+        let fd = free_data[ri];
+        for c in &ranking.ranked {
+            // Dominance prune: the ranking is sorted by total, so once
+            // a candidate cannot strictly beat the incumbent, nothing
+            // later in this repository can either. `>=` keeps the
+            // earlier (repository, site, configuration) on ties — the
+            // naive scan's first-strictly-better rule.
+            if let Some((_, b)) = &best {
+                if c.total >= b.total {
+                    break;
+                }
+            }
+            if c.data_nodes <= fd
+                && c.compute_nodes <= free_cmp[c.site]
+                && quota_cap.is_none_or(|cap| c.compute_nodes <= cap)
+            {
+                best = Some((ri, *c));
+                break;
+            }
+        }
+    }
+    best
+}
+
+/// The reference implementation: exhaustively re-predict every
+/// (repository, site, configuration) triple and keep the first
+/// strictly-cheapest feasible one. This is the scan the cached engine
+/// replaces; it is kept verbatim as the oracle for the differential
+/// property suite and reachable in production via
+/// `Scheduler::with_naive_placement`.
+pub fn naive_best_placement(
+    grid: &GridSpec,
+    model: &AppModel,
+    dataset_bytes: u64,
+    free_data: &[usize],
+    free_cmp: &[usize],
+    bw: &[f64],
+    quota_cap: Option<usize>,
+) -> Option<Placement> {
+    let mut best: Option<Placement> = None;
+    for (ri, repo) in grid.repos.iter().enumerate() {
+        for (si, site) in grid.sites.iter().enumerate() {
+            for cfg in grid.configs.iter() {
+                if cfg.data_nodes > free_data[ri] || cfg.compute_nodes > free_cmp[si] {
+                    continue;
+                }
+                if let Some(cap) = quota_cap {
+                    if cfg.compute_nodes > cap {
+                        continue;
+                    }
+                }
+                let mut wan = repo.wan.clone();
+                wan.stream_bw = bw[ri];
+                let deployment = Deployment::new(repo.site.clone(), site.site.clone(), wan, *cfg);
+                let ranked = match try_rank_deployments(
+                    &model.profile,
+                    model.classes,
+                    std::slice::from_ref(&deployment),
+                    dataset_bytes,
+                    &grid.factors,
+                ) {
+                    Ok(ranked) => ranked,
+                    Err(_) => continue,
+                };
+                let candidate = &ranked[0];
+                let better = match &best {
+                    None => true,
+                    Some(b) => candidate.predicted.total() < b.predicted.total(),
+                };
+                if better {
+                    best = Some(Placement {
+                        repo: ri,
+                        site: si,
+                        cfg: *cfg,
+                        predicted: candidate.predicted,
+                    });
+                }
+            }
+        }
+    }
+    best
+}

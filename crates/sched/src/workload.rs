@@ -11,6 +11,43 @@
 use fg_sim::rng::stream_rng;
 use rand::Rng;
 use serde::Serialize;
+use std::fmt;
+
+/// Why a workload spec cannot generate a job stream.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum WorkloadError {
+    /// The app mix is empty: no job could name an application.
+    NoApps,
+    /// A tenant submits zero jobs — almost always a forgotten field;
+    /// a tenant meant to be silent should be removed from the spec.
+    NoJobs {
+        /// The offending tenant's name.
+        tenant: String,
+    },
+    /// A tenant's distribution parameters are out of range.
+    BadTenant {
+        /// The offending tenant's name.
+        tenant: String,
+        /// Which constraint failed.
+        reason: &'static str,
+    },
+}
+
+impl fmt::Display for WorkloadError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            WorkloadError::NoApps => write!(f, "workload needs at least one app in its mix"),
+            WorkloadError::NoJobs { tenant } => {
+                write!(f, "tenant {tenant:?} submits zero jobs; drop it from the spec instead")
+            }
+            WorkloadError::BadTenant { tenant, reason } => {
+                write!(f, "tenant {tenant:?}: {reason}")
+            }
+        }
+    }
+}
+
+impl std::error::Error for WorkloadError {}
 
 /// One tenant's submission behaviour.
 #[derive(Debug, Clone)]
@@ -101,6 +138,19 @@ fn uniform(rng: &mut rand::rngs::StdRng, lo: f64, hi: f64) -> f64 {
     }
 }
 
+/// Exponential inter-arrival gap from a uniform draw `u ∈ [0, 1)` via
+/// inversion, `-mean · ln(1 - u)`. The closed left endpoint is a real
+/// hazard: `gen_range(0.0..1.0)` can return exactly 0.0, where the
+/// inversion collapses to a zero gap and two "independent" arrivals
+/// land on the same instant. Remap that single point to
+/// `f64::EPSILON` — the smallest draw for which `1 - u` rounds away
+/// from 1.0 — so the gap stays strictly positive while every other
+/// draw (and thus every existing seeded stream) is untouched.
+fn exp_interarrival(mean: f64, u: f64) -> f64 {
+    let u = if u == 0.0 { f64::EPSILON } else { u };
+    -mean * (1.0 - u).ln()
+}
+
 impl WorkloadSpec {
     /// The canonical three-tenant preset at a given load level: one
     /// high-rate small-job tenant, one medium tenant, and one tenant
@@ -138,27 +188,100 @@ impl WorkloadSpec {
         }
     }
 
+    /// The three-tenant preset widened to `tenants` clones of its
+    /// shapes (round-robin), each submitting `jobs_per_tenant` jobs —
+    /// the benchmark harness's knob for million-job traces. Per-tenant
+    /// inter-arrival means are scaled by `tenants / 3` so the
+    /// *aggregate* arrival rate stays what the load level dictates
+    /// regardless of the tenant count.
+    pub fn preset_scaled(
+        load: LoadLevel,
+        apps: &[&str],
+        seed: u64,
+        tenants: usize,
+        jobs_per_tenant: usize,
+    ) -> WorkloadSpec {
+        assert!(tenants > 0 && jobs_per_tenant > 0, "a scaled preset needs tenants and jobs");
+        let base = WorkloadSpec::preset(load, apps, seed);
+        let shapes = base.tenants;
+        let scale = tenants as f64 / shapes.len() as f64;
+        WorkloadSpec {
+            tenants: (0..tenants)
+                .map(|i| {
+                    let shape = &shapes[i % shapes.len()];
+                    TenantSpec {
+                        name: format!("{}-{i:05}", shape.name),
+                        jobs: jobs_per_tenant,
+                        mean_interarrival: shape.mean_interarrival * scale,
+                        dataset_mb: shape.dataset_mb,
+                        deadline_slack: shape.deadline_slack,
+                    }
+                })
+                .collect(),
+            apps: base.apps,
+            seed,
+        }
+    }
+
+    /// Check the spec without generating: an empty app mix, a zero-job
+    /// tenant, or out-of-range distribution parameters are reported as
+    /// a typed [`WorkloadError`] naming the offender.
+    pub fn validate(&self) -> Result<(), WorkloadError> {
+        if self.apps.is_empty() {
+            return Err(WorkloadError::NoApps);
+        }
+        for tenant in &self.tenants {
+            let fail = |reason: &'static str| WorkloadError::BadTenant {
+                tenant: tenant.name.clone(),
+                reason,
+            };
+            if tenant.jobs == 0 {
+                return Err(WorkloadError::NoJobs { tenant: tenant.name.clone() });
+            }
+            // Each bound is written to reject NaN along with the
+            // out-of-range values (a NaN parameter fails every
+            // ordered comparison).
+            if tenant.mean_interarrival.is_nan() || tenant.mean_interarrival <= 0.0 {
+                return Err(fail("mean inter-arrival must be positive"));
+            }
+            if tenant.dataset_mb.0.is_nan() || tenant.dataset_mb.0 <= 0.0 {
+                return Err(fail("dataset sizes must be positive"));
+            }
+            if tenant.dataset_mb.1.is_nan() || tenant.dataset_mb.1 < tenant.dataset_mb.0 {
+                return Err(fail("dataset range must satisfy lo <= hi"));
+            }
+            if tenant.deadline_slack.0.is_nan() || tenant.deadline_slack.0 < 1.0 {
+                return Err(fail("deadline slack must be >= 1"));
+            }
+            if tenant.deadline_slack.1.is_nan() || tenant.deadline_slack.1 < tenant.deadline_slack.0
+            {
+                return Err(fail("deadline-slack range must satisfy lo <= hi"));
+            }
+        }
+        Ok(())
+    }
+
     /// Generate the job stream: per-tenant streams merged and sorted by
     /// arrival (ties broken by tenant index, then per-tenant sequence),
-    /// with ids assigned in that global order.
+    /// with ids assigned in that global order. Panics on an invalid
+    /// spec; [`WorkloadSpec::try_generate`] reports the problem
+    /// instead.
     pub fn generate(&self) -> Vec<JobSpec> {
-        assert!(!self.apps.is_empty(), "workload needs at least one app");
+        self.try_generate().unwrap_or_else(|e| panic!("invalid workload spec: {e}"))
+    }
+
+    /// [`WorkloadSpec::generate`], but an invalid spec — empty app mix,
+    /// zero-job tenant, bad distribution parameters — is a
+    /// [`WorkloadError`] rather than a panic.
+    pub fn try_generate(&self) -> Result<Vec<JobSpec>, WorkloadError> {
+        self.validate()?;
         let mut jobs: Vec<(f64, usize, usize, JobSpec)> = Vec::new();
         for (ti, tenant) in self.tenants.iter().enumerate() {
-            assert!(
-                tenant.mean_interarrival > 0.0
-                    && tenant.dataset_mb.0 > 0.0
-                    && tenant.dataset_mb.1 >= tenant.dataset_mb.0
-                    && tenant.deadline_slack.0 >= 1.0
-                    && tenant.deadline_slack.1 >= tenant.deadline_slack.0,
-                "bad tenant spec {:?}",
-                tenant.name
-            );
             let mut rng = stream_rng(self.seed, &format!("workload-{}", tenant.name));
             let mut now = 0.0f64;
             for seq in 0..tenant.jobs {
                 let u: f64 = rng.gen_range(0.0..1.0);
-                now += -tenant.mean_interarrival * (1.0 - u).ln();
+                now += exp_interarrival(tenant.mean_interarrival, u);
                 let (lo, hi) = tenant.dataset_mb;
                 let mb = uniform(&mut rng, lo.ln(), hi.ln()).exp();
                 let slack = uniform(&mut rng, tenant.deadline_slack.0, tenant.deadline_slack.1);
@@ -179,13 +302,14 @@ impl WorkloadSpec {
             }
         }
         jobs.sort_by(|a, b| a.0.total_cmp(&b.0).then(a.1.cmp(&b.1)).then(a.2.cmp(&b.2)));
-        jobs.into_iter()
+        Ok(jobs
+            .into_iter()
             .enumerate()
             .map(|(id, (_, _, _, mut j))| {
                 j.id = id;
                 j
             })
-            .collect()
+            .collect())
     }
 }
 
@@ -242,6 +366,77 @@ mod tests {
         let heavy = WorkloadSpec::preset(LoadLevel::Heavy, &["kmeans"], 7).generate();
         let span = |jobs: &[JobSpec]| jobs.last().unwrap().arrival;
         assert!(span(&heavy) < span(&light));
+    }
+
+    #[test]
+    fn empty_app_mix_is_a_typed_error_not_a_panic() {
+        let mut s = spec();
+        s.apps.clear();
+        assert_eq!(s.try_generate().unwrap_err(), WorkloadError::NoApps);
+    }
+
+    #[test]
+    fn zero_job_tenants_are_rejected_up_front() {
+        // Regression: a tenant with `jobs: 0` used to pass validation
+        // silently and simply vanish from the stream — almost always a
+        // forgotten field, now surfaced by name.
+        let mut s = spec();
+        s.tenants[1].jobs = 0;
+        assert_eq!(
+            s.try_generate().unwrap_err(),
+            WorkloadError::NoJobs { tenant: "tenant-mid".into() }
+        );
+    }
+
+    #[test]
+    fn bad_tenant_parameters_name_the_offender() {
+        let mut s = spec();
+        s.tenants[2].mean_interarrival = 0.0;
+        match s.try_generate().unwrap_err() {
+            WorkloadError::BadTenant { tenant, .. } => assert_eq!(tenant, "tenant-bulk"),
+            other => panic!("expected BadTenant, got {other:?}"),
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "invalid workload spec")]
+    fn generate_still_panics_with_a_clear_message() {
+        let mut s = spec();
+        s.apps.clear();
+        s.generate();
+    }
+
+    #[test]
+    fn interarrival_gaps_are_strictly_positive_even_at_the_closed_endpoint() {
+        // Regression: `gen_range(0.0..1.0)` includes 0.0, where
+        // `-ln(1 - u)` is exactly zero — a zero gap stacked two
+        // arrivals on one instant. The remapped endpoint must yield a
+        // strictly positive gap, and every other draw is unchanged.
+        let edge = exp_interarrival(100.0, 0.0);
+        assert!(edge > 0.0, "u = 0 must not collapse to a zero gap ({edge})");
+        assert_eq!(edge, -100.0 * (1.0 - f64::EPSILON).ln());
+        assert_eq!(exp_interarrival(100.0, 0.5), -100.0 * 0.5f64.ln());
+        // The smallest nonzero draw a 53-bit uniform can produce
+        // (2^-53) already yields a positive gap on its own, so
+        // remapping only the exact-zero point is sufficient.
+        assert!(exp_interarrival(100.0, f64::EPSILON / 2.0) > 0.0);
+    }
+
+    #[test]
+    fn preset_scaled_keeps_the_aggregate_rate() {
+        let s = WorkloadSpec::preset_scaled(LoadLevel::Heavy, &["kmeans"], 3, 30, 10);
+        assert_eq!(s.tenants.len(), 30);
+        assert!(s.validate().is_ok());
+        let jobs = s.generate();
+        assert_eq!(jobs.len(), 300);
+        // Aggregate arrival rate ~ the 3-tenant preset's: each clone's
+        // mean gap is scaled by 30/3 = 10.
+        assert_eq!(s.tenants[0].mean_interarrival, 25.0 * 0.6 * 10.0);
+        // Names stay unique so RNG streams never collide.
+        let mut names: Vec<&str> = s.tenants.iter().map(|t| t.name.as_str()).collect();
+        names.sort_unstable();
+        names.dedup();
+        assert_eq!(names.len(), 30);
     }
 
     #[test]

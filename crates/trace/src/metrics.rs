@@ -57,6 +57,10 @@ struct HistogramInner {
     /// Per-bucket observation counts, `bounds.len() + 1` long.
     counts: Vec<u64>,
     sum: f64,
+    /// Non-finite observations turned away at the door (kept out of the
+    /// snapshot so the serialized schema — and every golden trace
+    /// pinned against it — is unchanged).
+    rejected: u64,
 }
 
 /// A fixed-bucket histogram of real observations.
@@ -73,15 +77,31 @@ impl Histogram {
             bounds: bounds.to_vec(),
             counts: vec![0; bounds.len() + 1],
             sum: 0.0,
+            rejected: 0,
         })))
     }
 
-    /// Record one observation into its bucket.
+    /// Record one observation into its bucket. Non-finite values (NaN,
+    /// ±∞) are counted under [`Histogram::rejected`] and otherwise
+    /// ignored — a single NaN folded into `sum` would poison it, and
+    /// every later snapshot, forever. The bucket search is a binary
+    /// `partition_point` over the sorted bounds, placing `value` in the
+    /// first bucket whose upper bound is `>= value` exactly as the
+    /// linear scan it replaces did.
     pub fn observe(&self, value: f64) {
         let mut inner = self.0.borrow_mut();
-        let idx = inner.bounds.iter().position(|&b| value <= b).unwrap_or(inner.bounds.len());
+        if !value.is_finite() {
+            inner.rejected += 1;
+            return;
+        }
+        let idx = inner.bounds.partition_point(|&b| b < value);
         inner.counts[idx] += 1;
         inner.sum += value;
+    }
+
+    /// Observations turned away as non-finite.
+    pub fn rejected(&self) -> u64 {
+        self.0.borrow().rejected
     }
 
     /// Total number of observations.
@@ -270,6 +290,45 @@ mod tests {
         assert_eq!(h.sum(), 55.5);
         let snap = reg.snapshot();
         assert_eq!(snap.histogram("pass_seconds").unwrap().counts, vec![1, 1, 1]);
+    }
+
+    #[test]
+    fn non_finite_observations_cannot_poison_the_sum() {
+        // Regression: one NaN folded into `sum` made it NaN for the
+        // rest of the run (and +∞ is just as sticky); every later
+        // snapshot and text rendering carried the poison.
+        let reg = MetricsRegistry::new();
+        let h = reg.histogram("t", &[1.0, 10.0]);
+        h.observe(5.0);
+        h.observe(f64::NAN);
+        h.observe(f64::INFINITY);
+        h.observe(f64::NEG_INFINITY);
+        h.observe(0.5);
+        assert_eq!(h.count(), 2, "rejected values must not occupy buckets");
+        assert_eq!(h.sum(), 5.5);
+        assert_eq!(h.rejected(), 3);
+        let snap = reg.snapshot();
+        assert_eq!(snap.histogram("t").unwrap().counts, vec![1, 1, 0]);
+        assert!(snap.histogram("t").unwrap().sum.is_finite());
+    }
+
+    #[test]
+    fn partition_point_bucketing_matches_the_linear_scan() {
+        // Bound-exact, mid-bucket, below-all, and above-all values land
+        // where `position(|b| value <= b)` put them.
+        let reg = MetricsRegistry::new();
+        let bounds = [1.0, 5.0, 25.0];
+        let h = reg.histogram("t", &bounds);
+        let linear = |v: f64| bounds.iter().position(|&b| v <= b).unwrap_or(bounds.len());
+        for v in [0.0, 0.5, 1.0, 1.5, 5.0, 7.0, 25.0, 26.0, 1e12] {
+            h.observe(v);
+            let snap = reg.snapshot();
+            let idx = linear(v);
+            assert!(
+                snap.histogram("t").unwrap().counts[idx] >= 1,
+                "value {v} should land in bucket {idx}"
+            );
+        }
     }
 
     #[test]

@@ -1,0 +1,201 @@
+//! Differential property suite for the placement hot path.
+//!
+//! The cached [`PlacementEngine`] claims bit-identical answers to the
+//! exhaustive [`naive_best_placement`] scan it replaced — same winning
+//! (repository, site, configuration) triple, same predicted components,
+//! same `None`s — across cache reuse, EWMA bandwidth invalidation,
+//! dominance pruning, the free-slice early-outs, and the parallel
+//! rebuild path. These properties drive randomized grids (topology,
+//! node counts, configuration menus, bandwidths), randomized free
+//! slices including fully-saturated ones, random quota caps, and long
+//! query sequences with per-repository bandwidth drift through one
+//! engine, comparing every answer against the oracle.
+
+use fg_bench::figures::sched_models;
+use freeride_g::cluster::{ComputeSite, Configuration, RepositorySite, Wan};
+use freeride_g::sched::{
+    naive_best_placement, FreeSlices, GridSpec, PlacementEngine, RepoSpec, SiteSpec,
+};
+use proptest::prelude::*;
+use std::collections::HashMap;
+
+/// The configuration menu random grids draw from. Includes shapes that
+/// cannot fit small grids, so infeasibility paths get exercised.
+const MENU: [(usize, usize); 6] = [(1, 1), (1, 2), (2, 2), (2, 4), (4, 8), (8, 16)];
+
+/// Dataset sizes spanning the profile scale to several GB.
+const SIZES: [u64; 6] = [1 << 20, 64 << 20, 200 << 20, 800 << 20, 3200 << 20, 12_800 << 20];
+
+/// One placement query, generated as a flat tuple (the vendored
+/// proptest has no mapping combinators): application selector, dataset
+/// size selector, per-repository bandwidth drift factors, free-slice
+/// selectors, and a quota-cap selector (values past 16 mean "no cap").
+type Query = (usize, usize, Vec<f64>, Vec<usize>, Vec<usize>, usize);
+
+/// The tuple-of-strategies that generates one [`Query`].
+type QueryStrategy = (
+    std::ops::Range<usize>,
+    std::ops::Range<usize>,
+    proptest::collection::VecStrategy<std::ops::Range<f64>>,
+    proptest::collection::VecStrategy<std::ops::Range<usize>>,
+    proptest::collection::VecStrategy<std::ops::Range<usize>>,
+    std::ops::Range<usize>,
+);
+
+fn queries_strategy(max: usize) -> proptest::collection::VecStrategy<QueryStrategy> {
+    proptest::collection::vec(
+        (
+            0usize..7,
+            0usize..SIZES.len(),
+            proptest::collection::vec(0.25f64..2.0, 3..4),
+            proptest::collection::vec(0usize..17, 3..4),
+            proptest::collection::vec(0usize..17, 3..4),
+            0usize..24,
+        ),
+        1..max,
+    )
+}
+
+/// A randomized grid: per-repository node counts and nominal
+/// bandwidths, per-site node counts, and a non-empty configuration
+/// menu. Applications are the paper's seven models.
+fn grid_case(repos: &[(usize, f64)], sites: &[usize], menu_mask: &[bool]) -> GridSpec {
+    let configs: Vec<Configuration> = MENU
+        .iter()
+        .zip(menu_mask)
+        .filter(|(_, &keep)| keep)
+        .map(|(&(d, c), _)| Configuration::new(d, c))
+        .chain(std::iter::once(Configuration::new(1, 1)))
+        .collect();
+    GridSpec {
+        repos: repos
+            .iter()
+            .enumerate()
+            .map(|(i, &(nodes, bw))| RepoSpec {
+                site: RepositorySite::pentium_repository(&format!("repo-{i}"), nodes),
+                wan: Wan::per_stream(bw),
+                wan_capacity: 4.0 * bw,
+            })
+            .collect(),
+        sites: sites
+            .iter()
+            .enumerate()
+            .map(|(i, &nodes)| SiteSpec {
+                site: ComputeSite::pentium_myrinet(&format!("site-{i}"), nodes),
+                ingress_capacity: 8e6,
+            })
+            .collect(),
+        configs,
+        apps: sched_models(),
+        factors: HashMap::new(),
+    }
+}
+
+/// Drive one engine through the whole query sequence and compare every
+/// answer to the naive oracle over identical inputs.
+fn check_engine(mut engine: PlacementEngine, grid: &GridSpec, queries: &[Query], label: &str) {
+    for (qi, (app_sel, size_sel, bw_factor, free_data_sel, free_cmp_sel, cap_sel)) in
+        queries.iter().enumerate()
+    {
+        let (app_name, model) = &grid.apps[app_sel % grid.apps.len()];
+        let bytes = SIZES[*size_sel];
+        let quota_cap = if *cap_sel <= 16 { Some(*cap_sel) } else { None };
+        let bw: Vec<f64> = grid
+            .repos
+            .iter()
+            .enumerate()
+            .map(|(ri, r)| r.wan.stream_bw * bw_factor[ri % bw_factor.len()])
+            .collect();
+        // Free slices clamped to each repository's/site's node count;
+        // selectors at or above the count saturate to "all free" so
+        // both empty and full grids occur.
+        let free = FreeSlices::new(
+            grid.repos
+                .iter()
+                .enumerate()
+                .map(|(ri, r)| free_data_sel[ri % free_data_sel.len()].min(r.site.max_nodes))
+                .collect(),
+            grid.sites
+                .iter()
+                .enumerate()
+                .map(|(si, s)| free_cmp_sel[si % free_cmp_sel.len()].min(s.site.max_nodes))
+                .collect(),
+        );
+        let fast = engine.best_placement(grid, app_name, bytes, &free, &bw, quota_cap);
+        let naive =
+            naive_best_placement(grid, model, bytes, free.data(), free.cmp(), &bw, quota_cap);
+        assert_eq!(
+            fast, naive,
+            "{label}: query {qi} ({app_name}, {bytes} bytes, cap {quota_cap:?}) diverged \
+             from the naive scan"
+        );
+    }
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(24))]
+
+    /// The headline equivalence: random grid, long query sequence with
+    /// bandwidth drift and varying occupancy through one cached engine,
+    /// every answer bit-identical to the exhaustive scan.
+    #[test]
+    fn cached_engine_is_bit_identical_to_the_naive_scan(
+        repos in proptest::collection::vec((1usize..9, 2e5f64..2e6), 1..4),
+        sites in proptest::collection::vec(1usize..17, 1..4),
+        menu_mask in proptest::collection::vec(any::<bool>(), 6..7),
+        queries in queries_strategy(49),
+    ) {
+        let grid = grid_case(&repos, &sites, &menu_mask);
+        check_engine(PlacementEngine::new(&grid), &grid, &queries, "sequential");
+    }
+
+    /// The rayon-parallel rebuild path must land in the same cache
+    /// state: its reduce installs rankings in repository-index order,
+    /// so answers stay bit-identical query by query.
+    #[test]
+    fn parallel_rebuilds_preserve_the_equivalence(
+        repos in proptest::collection::vec((1usize..9, 2e5f64..2e6), 2..4),
+        sites in proptest::collection::vec(1usize..17, 1..4),
+        menu_mask in proptest::collection::vec(any::<bool>(), 6..7),
+        queries in queries_strategy(25),
+    ) {
+        let grid = grid_case(&repos, &sites, &menu_mask);
+        check_engine(
+            PlacementEngine::new(&grid).with_parallel(),
+            &grid,
+            &queries,
+            "parallel",
+        );
+    }
+}
+
+/// A saturated grid (zero free compute everywhere) must answer `None`
+/// through the early-out, exactly like the scan.
+#[test]
+fn saturated_grid_answers_none_like_the_scan() {
+    let grid = GridSpec::demo(sched_models());
+    let mut engine = PlacementEngine::new(&grid);
+    let free = FreeSlices::new(vec![8, 8], vec![0, 0]);
+    let bw: Vec<f64> = grid.repos.iter().map(|r| r.wan.stream_bw).collect();
+    let (name, model) = &grid.apps[0];
+    let fast = engine.best_placement(&grid, name, 200 << 20, &free, &bw, None);
+    let naive = naive_best_placement(&grid, model, 200 << 20, free.data(), free.cmp(), &bw, None);
+    assert_eq!(fast, naive);
+    assert_eq!(fast, None);
+}
+
+/// A quota cap below the smallest configuration excludes everything —
+/// on both paths.
+#[test]
+fn impossible_quota_cap_answers_none_like_the_scan() {
+    let grid = GridSpec::demo(sched_models());
+    let mut engine = PlacementEngine::new(&grid);
+    let free = FreeSlices::new(vec![8, 8], vec![16, 8]);
+    let bw: Vec<f64> = grid.repos.iter().map(|r| r.wan.stream_bw).collect();
+    let (name, model) = &grid.apps[0];
+    let fast = engine.best_placement(&grid, name, 200 << 20, &free, &bw, Some(0));
+    let naive =
+        naive_best_placement(&grid, model, 200 << 20, free.data(), free.cmp(), &bw, Some(0));
+    assert_eq!(fast, naive);
+    assert_eq!(fast, None);
+}

@@ -31,6 +31,29 @@ fn same_seed_gives_bit_identical_schedules_and_traces() {
             policy.name()
         );
         assert_eq!(a.makespan, b.makespan);
+
+        // The placement engine's cache, its parallel rebuild path, and
+        // the naive reference scan are interchangeable: every variant
+        // must reproduce the cached run bit for bit, on the full app
+        // mix, not just a single-model workload.
+        let parallel = Scheduler::new(grid(), policy).with_parallel_scoring().run(&jobs);
+        let pj = serde_json::to_string(&parallel.outcomes).expect("serialize outcomes");
+        assert_eq!(aj, pj, "parallel scoring changed outcomes ({})", policy.name());
+        assert_eq!(
+            freeride_g::trace::to_jsonl(&a.trace),
+            freeride_g::trace::to_jsonl(&parallel.trace),
+            "parallel scoring changed the trace ({})",
+            policy.name()
+        );
+        let naive = Scheduler::new(grid(), policy).with_naive_placement().run(&jobs);
+        let nj = serde_json::to_string(&naive.outcomes).expect("serialize outcomes");
+        assert_eq!(aj, nj, "cached placement diverged from naive ({})", policy.name());
+        assert_eq!(
+            freeride_g::trace::to_jsonl(&a.trace),
+            freeride_g::trace::to_jsonl(&naive.trace),
+            "cached placement trace diverged from naive ({})",
+            policy.name()
+        );
     }
 }
 
