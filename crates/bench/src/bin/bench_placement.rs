@@ -1,6 +1,7 @@
 //! Placement benchmark trajectory: measures the cached placement
-//! engine's query throughput and the end-to-end scheduler simulation
-//! rate, then writes `BENCH_placement.json` for the ratchet
+//! engine's query throughput, the end-to-end scheduler simulation
+//! rate, and the trace-shaped workload generator's throughput, then
+//! writes `BENCH_placement.json` for the ratchet
 //! (`scripts/bench_ratchet.sh`) to compare against the committed
 //! baseline.
 //!
@@ -18,7 +19,7 @@
 use fg_bench::figures::sched_models;
 use fg_sched::{
     naive_best_placement, FreeSlices, GridSpec, LoadLevel, PlacementEngine, Policy, Scheduler,
-    WorkloadSpec,
+    WorkloadShape, WorkloadSpec,
 };
 use serde::Serialize;
 use std::hint::black_box;
@@ -29,7 +30,8 @@ use std::time::Instant;
 struct Entry {
     /// Stable name the ratchet keys on.
     name: String,
-    /// Entry type: `placement-throughput` or `sim-rate`.
+    /// Entry type: `placement-throughput`, `sim-rate`, or
+    /// `workload-gen`.
     kind: &'static str,
     /// Work items processed (placement queries, or simulated jobs).
     items: u64,
@@ -166,6 +168,43 @@ fn sim_rate(name: &str, tenants: usize, jobs_per_tenant: usize, reps: usize) -> 
     }
 }
 
+/// Throughput of the trace-shaped workload generator itself: burst
+/// sessions and thinned modulation are the most draw-hungry path, so
+/// the bursty shape is the one the ratchet watches. The stream is
+/// regenerated from scratch each repetition — sampling, sorting, and
+/// id assignment included.
+fn workload_gen_rate(name: &str, tenants: usize, jobs_per_tenant: usize, reps: usize) -> Entry {
+    let grid = GridSpec::demo(sched_models());
+    let names: Vec<&str> = grid.apps.iter().map(|(n, _)| n.as_str()).collect();
+    let spec = WorkloadSpec::shaped_scaled(
+        WorkloadShape::Bursty,
+        LoadLevel::Heavy,
+        &names,
+        42,
+        tenants,
+        jobs_per_tenant,
+    );
+    let mut jobs = Vec::new();
+    let elapsed = best_of(reps, || {
+        let start = Instant::now();
+        jobs = black_box(spec.generate());
+        start.elapsed().as_secs_f64()
+    });
+    let per_sec = jobs.len() as f64 / elapsed;
+    eprintln!("{name}: {} jobs generated in {elapsed:.3}s ({per_sec:.0} jobs/s)", jobs.len());
+    Entry {
+        name: name.into(),
+        kind: "workload-gen",
+        items: jobs.len() as u64,
+        elapsed_secs: elapsed,
+        per_sec,
+        naive_per_sec: None,
+        speedup: None,
+        completed: None,
+        makespan: None,
+    }
+}
+
 fn main() {
     let mut quick = false;
     let mut out = String::from("BENCH_placement.json");
@@ -201,12 +240,16 @@ fn main() {
     // the ratchet compares like against like; full mode only adds the
     // million-job acceptance trace (the expensive part).
     let grid = GridSpec::demo(sched_models());
-    let mut entries =
-        vec![placement_throughput(&grid, 200_000, 4_000), sim_rate("sim-rate-10k", 40, 250, 3)];
+    let mut entries = vec![
+        placement_throughput(&grid, 200_000, 4_000),
+        sim_rate("sim-rate-10k", 40, 250, 3),
+        workload_gen_rate("workload-gen-10k", 40, 250, 3),
+    ];
     if !quick {
         // The acceptance target: a heavy-preset million-job trace,
         // simulated end to end in seconds.
         entries.push(sim_rate("sim-rate-1m", 100, 10_000, 1));
+        entries.push(workload_gen_rate("workload-gen-1m", 100, 10_000, 1));
     }
 
     let report = Report { schema: 1, mode: if quick { "quick" } else { "full" }, entries };

@@ -319,6 +319,52 @@ fn main() -> ExitCode {
         );
     }
 
+    if let Some(fig) = ck.load("ext-workload") {
+        ck.claim(
+            "ext-workload",
+            "no invariant or quota violations under any traffic shape",
+            fig.column_values("violations").iter().all(|&v| v == 0.0),
+        );
+        let p99 = |row: &str| at(&fig, row, "fcfs p99 slowdown");
+        ck.claim(
+            "ext-workload",
+            "heavy tails explode FCFS tail latency: P99 slowdown at least 3x uniform",
+            p99("heavy-tail") >= 3.0 * p99("uniform"),
+        );
+        ck.claim(
+            "ext-workload",
+            "burst sessions explode FCFS tail latency: P99 slowdown at least 3x uniform",
+            p99("bursty") >= 3.0 * p99("uniform"),
+        );
+        ck.claim(
+            "ext-workload",
+            "EDF admission precision stays at 85%+ under every traffic shape",
+            fig.column_values("edf precision").iter().all(|&p| p >= 0.85),
+        );
+        ck.claim(
+            "ext-workload",
+            "migration still pays off under every traffic shape (benefit > 1)",
+            fig.column_values("migration benefit").iter().all(|&b| b > 1.0),
+        );
+        ck.claim(
+            "ext-workload",
+            "bursts amplify migration benefit over steady heavy-tail traffic",
+            at(&fig, "bursty", "migration benefit") > at(&fig, "heavy-tail", "migration benefit"),
+        );
+        ck.claim(
+            "ext-workload",
+            "quota-armed admissions stay fair across tenants (Jain >= 0.95)",
+            fig.column_values("quota fairness").iter().all(|&j| j >= 0.95),
+        );
+        ck.claim(
+            "ext-workload",
+            "admission estimates degrade under trace-shaped traffic but stay in a 50% band",
+            fig.column_values("edf estimate error").iter().all(|&e| e < 0.50)
+                && at(&fig, "uniform", "edf estimate error")
+                    <= at(&fig, "heavy-tail", "edf estimate error"),
+        );
+    }
+
     if ck.failures.is_empty() {
         println!("\nall figure claims hold");
         ExitCode::SUCCESS

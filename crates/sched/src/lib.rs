@@ -9,9 +9,17 @@
 //! online:
 //!
 //! * [`workload`] — seeded, deterministic job streams: per-tenant
-//!   arrival processes, an app mix over the paper applications,
-//!   log-uniform dataset sizes and deadline-slack distributions, with
-//!   [`LoadLevel`] presets loosely shaped like published grid traces.
+//!   arrival processes (homogeneous or sinusoidally-modulated Poisson,
+//!   bag-of-tasks burst sessions), heavy-tailed dataset-size
+//!   distributions (lognormal, Pareto, body+tail mixtures alongside
+//!   the legacy log-uniform), [`LoadLevel`] × [`WorkloadShape`]
+//!   presets shaped like published grid traces, and deadline-slack
+//!   distributions.
+//! * [`replay`] — the JSONL trace schema: dump any generated workload
+//!   to a self-describing text trace and replay external traces
+//!   through the same validated [`replay::Workload`] path, so recorded
+//!   and synthetic traffic are interchangeable inputs to the
+//!   scheduler.
 //! * [`grid`] — the static grid description: replicated repositories
 //!   with capacitated WAN uplinks, compute sites with capacitated
 //!   ingress, the configuration menu, and per-app prediction models.
@@ -41,14 +49,19 @@
 pub mod grid;
 pub mod placement;
 pub mod policy;
+pub mod replay;
 pub mod sched;
 pub mod workload;
 
 pub use grid::{AppModel, GridSpec, RepoSpec, SiteSpec};
 pub use placement::{naive_best_placement, FreeSlices, Placement, PlacementEngine, PlacementStats};
 pub use policy::Policy;
+pub use replay::{ReplayError, Workload, WorkloadStats};
 pub use sched::{
     Degradation, JobOutcome, MigrationConfig, MigrationEvent, PlacementInfo, PreemptionEvent,
     SchedResult, Scheduler, TenantQuota,
 };
-pub use workload::{JobSpec, LoadLevel, TenantSpec, WorkloadError, WorkloadSpec};
+pub use workload::{
+    ArrivalProcess, JobSpec, LoadLevel, Sinusoid, SizeDist, TenantSpec, WorkloadError,
+    WorkloadShape, WorkloadSpec,
+};

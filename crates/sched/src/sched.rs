@@ -449,6 +449,7 @@ pub struct Scheduler {
     degradations: Vec<Degradation>,
     parallel_scoring: bool,
     naive_placement: bool,
+    workload_metrics: bool,
 }
 
 impl Scheduler {
@@ -465,6 +466,7 @@ impl Scheduler {
             degradations: Vec::new(),
             parallel_scoring: false,
             naive_placement: false,
+            workload_metrics: false,
         }
     }
 
@@ -534,6 +536,16 @@ impl Scheduler {
             "degradation factor must be in (0, 1]"
         );
         self.degradations.push(degradation);
+        self
+    }
+
+    /// Record workload-shape instruments in the run's metrics
+    /// registry: burst-depth and tail-mass gauges plus a dataset-size
+    /// histogram over the submitted stream. Opt-in, like every other
+    /// feature instrument, so default-configured runs (and the golden
+    /// traces pinned to them) see an unchanged snapshot.
+    pub fn with_workload_metrics(mut self) -> Scheduler {
+        self.workload_metrics = true;
         self
     }
 
@@ -629,6 +641,26 @@ impl Scheduler {
         let migrate_c = self.migration.map(|_| tracer.metrics.counter("sched_migrations"));
         let ckpt_c = (self.preemption.is_some() || self.migration.is_some())
             .then(|| tracer.metrics.counter("sched_checkpoints"));
+        if self.workload_metrics {
+            // Shape-of-traffic instruments over the submitted stream,
+            // computed up front (they describe the input, not the
+            // schedule). The gauges come from the same stats the
+            // replay layer reports, so trace files and metrics agree.
+            let mut by_arrival: Vec<&JobSpec> = jobs.iter().collect();
+            by_arrival.sort_by(|a, b| a.arrival.total_cmp(&b.arrival).then(a.id.cmp(&b.id)));
+            let sorted: Vec<JobSpec> = by_arrival.into_iter().cloned().collect();
+            let stats = crate::replay::stats_of(&sorted);
+            tracer.metrics.gauge("workload_burst_depth_max").set(stats.burst_depth_max as f64);
+            tracer.metrics.gauge("workload_tail_mass_top1").set(stats.tail_mass_top1);
+            tracer.metrics.gauge("workload_p99_dataset_mb").set(stats.p99_bytes as f64 / 1e6);
+            tracer.metrics.gauge("workload_mean_gap_secs").set(stats.mean_gap);
+            let size_h = tracer
+                .metrics
+                .histogram("workload_dataset_mb", &[16.0, 64.0, 256.0, 1024.0, 4096.0]);
+            for j in &sorted {
+                size_h.observe(j.dataset_bytes as f64 / 1e6);
+            }
+        }
 
         let mut outcomes: Vec<Option<JobOutcome>> = vec![None; jobs.len()];
         // Id → submission slot, built once: the event loop resolves a
@@ -1961,6 +1993,27 @@ mod tests {
         assert_eq!(a.trace.metrics.counter("sched_quota_rejections"), None);
         assert_eq!(a.trace.metrics.counter("sched_migrations"), None);
         assert_eq!(a.trace.metrics.counter("sched_preemptions"), None);
+        assert_eq!(a.trace.metrics.gauge("workload_burst_depth_max"), None);
         assert!(a.outcomes.iter().all(|o| o.preemptions.is_empty() && o.migration.is_none()));
+    }
+
+    #[test]
+    fn workload_metrics_describe_the_input_without_changing_the_run() {
+        use crate::replay::stats_of;
+        use crate::workload::WorkloadShape;
+        let jobs = WorkloadSpec::shaped(WorkloadShape::Bursty, LoadLevel::Medium, &["kmeans"], 7)
+            .generate();
+        let plain = Scheduler::new(grid(), Policy::FcfsBackfill).run(&jobs);
+        let r = Scheduler::new(grid(), Policy::FcfsBackfill).with_workload_metrics().run(&jobs);
+        // The instruments are descriptive: scheduling is untouched.
+        assert_eq!(plain.outcomes, r.outcomes);
+        let m = &r.trace.metrics;
+        let stats = stats_of(&jobs);
+        assert_eq!(m.gauge("workload_burst_depth_max"), Some(stats.burst_depth_max as f64));
+        assert_eq!(m.gauge("workload_tail_mass_top1"), Some(stats.tail_mass_top1));
+        assert_eq!(m.gauge("workload_p99_dataset_mb"), Some(stats.p99_bytes as f64 / 1e6));
+        assert_eq!(m.gauge("workload_mean_gap_secs"), Some(stats.mean_gap));
+        let h = m.histogram("workload_dataset_mb").expect("size histogram");
+        assert_eq!(h.count(), jobs.len() as u64);
     }
 }

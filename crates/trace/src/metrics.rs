@@ -204,6 +204,62 @@ pub struct HistogramSnapshot {
     pub sum: f64,
 }
 
+impl HistogramSnapshot {
+    /// Total observations across all buckets.
+    pub fn count(&self) -> u64 {
+        self.counts.iter().sum()
+    }
+
+    /// Bucket-interpolated quantile estimate for `q ∈ [0, 1]`: walk
+    /// the cumulative counts to the bucket holding the target rank and
+    /// interpolate linearly inside it (the overflow bucket reports its
+    /// lower bound — histograms cannot see past their last edge).
+    /// `None` for an empty histogram or an out-of-range `q`.
+    pub fn quantile(&self, q: f64) -> Option<f64> {
+        if !(0.0..=1.0).contains(&q) {
+            return None;
+        }
+        let total = self.count();
+        if total == 0 {
+            return None;
+        }
+        let rank = q * total as f64;
+        let mut cumulative = 0u64;
+        for (i, &count) in self.counts.iter().enumerate() {
+            let next = cumulative + count;
+            if (next as f64) >= rank && count > 0 {
+                let lo = if i == 0 { 0.0 } else { self.bounds[i - 1] };
+                return Some(match self.bounds.get(i) {
+                    Some(&hi) => {
+                        let into = (rank - cumulative as f64) / count as f64;
+                        lo + (hi - lo) * into.clamp(0.0, 1.0)
+                    }
+                    // Overflow bucket: unbounded above, report its floor.
+                    None => lo,
+                });
+            }
+            cumulative = next;
+        }
+        // Trailing empty buckets: the last occupied bucket answered
+        // above; reaching here means rank ≈ total with zero tail.
+        self.bounds.last().copied().or(Some(0.0))
+    }
+
+    /// Fraction of observations strictly above the bucket edge
+    /// `bound` — the tail-mass reading for heavy-tail assertions.
+    /// `None` when `bound` is not one of this histogram's edges (the
+    /// histogram cannot resolve arbitrary thresholds).
+    pub fn tail_fraction(&self, bound: f64) -> Option<f64> {
+        let idx = self.bounds.iter().position(|&b| b == bound)?;
+        let total = self.count();
+        if total == 0 {
+            return Some(0.0);
+        }
+        let above: u64 = self.counts[idx + 1..].iter().sum();
+        Some(above as f64 / total as f64)
+    }
+}
+
 /// All instrument values at one instant.
 #[derive(Debug, Clone, PartialEq, Default, Serialize, Deserialize)]
 pub struct MetricsSnapshot {
@@ -346,6 +402,50 @@ mod tests {
         let snap = reg.snapshot();
         assert_eq!(snap.counters[0].0, "a");
         assert_eq!(snap.counters[1].0, "z");
+    }
+
+    #[test]
+    fn quantiles_interpolate_within_buckets() {
+        let reg = MetricsRegistry::new();
+        let h = reg.histogram("q", &[10.0, 20.0, 40.0]);
+        // 10 observations in (0,10], 10 in (10,20]: the median sits at
+        // the 10/20 boundary, p25 halfway into the first bucket.
+        for i in 0..10 {
+            h.observe(i as f64 + 0.5);
+            h.observe(10.0 + i as f64 + 0.5);
+        }
+        let snap = reg.snapshot();
+        let hs = snap.histogram("q").unwrap();
+        assert_eq!(hs.count(), 20);
+        assert!((hs.quantile(0.5).unwrap() - 10.0).abs() < 1e-9);
+        assert!((hs.quantile(0.25).unwrap() - 5.0).abs() < 1e-9);
+        assert!((hs.quantile(1.0).unwrap() - 20.0).abs() < 1e-9);
+        assert_eq!(hs.quantile(1.5), None);
+        // Overflow observations report the last edge, never +inf.
+        h.observe(1e9);
+        let snap = reg.snapshot();
+        assert_eq!(snap.histogram("q").unwrap().quantile(1.0), Some(40.0));
+        // Empty histograms have no quantiles.
+        let empty = HistogramSnapshot::default();
+        assert_eq!(empty.quantile(0.5), None);
+    }
+
+    #[test]
+    fn tail_fraction_reads_mass_past_an_edge() {
+        let reg = MetricsRegistry::new();
+        let h = reg.histogram("t", &[1.0, 10.0]);
+        for _ in 0..8 {
+            h.observe(0.5);
+        }
+        h.observe(5.0);
+        h.observe(100.0);
+        let snap = reg.snapshot();
+        let hs = snap.histogram("t").unwrap();
+        assert!((hs.tail_fraction(1.0).unwrap() - 0.2).abs() < 1e-12);
+        assert!((hs.tail_fraction(10.0).unwrap() - 0.1).abs() < 1e-12);
+        // Only real edges resolve; arbitrary thresholds don't.
+        assert_eq!(hs.tail_fraction(3.0), None);
+        assert_eq!(HistogramSnapshot::default().tail_fraction(1.0), None);
     }
 
     #[test]

@@ -1,10 +1,11 @@
 #!/usr/bin/env bash
-# Line coverage for the scheduler and middleware crates, with a ratchet.
+# Line coverage for the scheduler, middleware, and trace crates, with a
+# ratchet.
 #
 # Built directly on rustc's `-C instrument-coverage` plus the llvm-tools
 # component — no external cargo plugins. The workspace test suite runs
 # instrumented, the per-process .profraw files are merged, and llvm-cov
-# reports line coverage scoped to crates/sched and crates/middleware.
+# reports line coverage scoped to the crates listed in the baseline.
 # Each crate's percentage is compared against the floor recorded in
 # scripts/coverage-baseline.txt: raise the floor when coverage rises,
 # so it can never silently regress.
@@ -30,6 +31,22 @@ if [ -z "$profdata" ] || [ -z "$cov" ]; then
     exit 2
 fi
 command -v jq >/dev/null 2>&1 || { echo "error: jq is required" >&2; exit 2; }
+
+# Fail fast if the discovered llvm-profdata cannot read this rustc's
+# profile format (a system LLVM several majors behind the toolchain's):
+# probe with a trivial instrumented binary before paying for the full
+# instrumented workspace test run.
+probe_dir="$(mktemp -d)"
+trap 'rm -rf "$probe_dir"' EXIT
+echo 'fn main() {}' > "$probe_dir/probe.rs"
+rustc -C instrument-coverage -o "$probe_dir/probe" "$probe_dir/probe.rs" >/dev/null 2>&1
+(cd "$probe_dir" && LLVM_PROFILE_FILE="$probe_dir/probe.profraw" ./probe)
+if ! "$profdata" merge -sparse "$probe_dir/probe.profraw" \
+    -o "$probe_dir/probe.profdata" >/dev/null 2>&1; then
+    echo "error: $profdata cannot read profiles produced by $(rustc --version)." >&2
+    echo "       install the matching tools: rustup component add llvm-tools" >&2
+    exit 2
+fi
 
 # Instrumented builds get their own target dir so they never collide
 # with regular build artifacts.

@@ -16,13 +16,13 @@
 //! with outcomes, ordered phases, rejected jobs never occupying the
 //! grid, and bit-identical reruns.
 
-use fg_bench::figures::migrate_run;
+use fg_bench::figures::{migrate_run, workload_migrate_run};
 use fg_bench::PaperApp;
 use freeride_g::apps::{ann, apriori, defect, em, kmeans, knn, vortex};
 use freeride_g::chunks::Dataset;
 use freeride_g::cluster::{ComputeSite, Configuration, Deployment, RepositorySite, Wan};
 use freeride_g::middleware::{Checkpoint, Executor, FaultOptions, ReductionApp, StopPoint};
-use freeride_g::sched::{LoadLevel, Policy};
+use freeride_g::sched::{LoadLevel, Policy, WorkloadShape};
 use freeride_g::sim::{FaultSchedule, SimDuration, SimTime};
 use freeride_g::trace::{to_jsonl, SpanKind};
 use proptest::prelude::*;
@@ -331,6 +331,36 @@ fn migration_enabled_scheduler_is_deterministic() {
         "outcomes must be bit-identical across reruns"
     );
     assert_eq!(to_jsonl(&a.trace), to_jsonl(&b.trace), "traces must be bit-identical");
+}
+
+#[test]
+fn migration_keeps_every_invariant_under_trace_shaped_traffic() {
+    // Re-verification over the workload rework: the full stack —
+    // quotas, preemption, degradation, migration — driven by the
+    // heavy-tail and bursty presets instead of the uniform one. Burst
+    // pile-ups maximize preemption pressure and Pareto giants make
+    // individual checkpoints enormous; the invariants must not care.
+    for shape in WorkloadShape::TRACE_SHAPED {
+        let r = workload_migrate_run(shape, true);
+        let label = format!("workload-migrate {}", shape.name());
+        check_sched_invariants(&r, &label);
+        assert!(
+            r.trace.metrics.counter("sched_migrations").unwrap() >= 1,
+            "{label}: the degraded repository must trigger at least one migration"
+        );
+    }
+}
+
+#[test]
+fn trace_shaped_migration_runs_are_deterministic() {
+    let a = workload_migrate_run(WorkloadShape::Bursty, true);
+    let b = workload_migrate_run(WorkloadShape::Bursty, true);
+    assert_eq!(
+        serde_json::to_string(&a.outcomes).unwrap(),
+        serde_json::to_string(&b.outcomes).unwrap(),
+        "bursty migration outcomes must be bit-identical across reruns"
+    );
+    assert_eq!(to_jsonl(&a.trace), to_jsonl(&b.trace), "bursty migration traces must match");
 }
 
 #[test]

@@ -12,7 +12,8 @@
 
 use fg_bench::figures::{sched_models, SCHED_APPS};
 use freeride_g::sched::{
-    GridSpec, JobOutcome, LoadLevel, Policy, SchedResult, Scheduler, TenantQuota, WorkloadSpec,
+    GridSpec, JobOutcome, LoadLevel, Policy, SchedResult, Scheduler, TenantQuota, WorkloadShape,
+    WorkloadSpec,
 };
 use proptest::prelude::*;
 
@@ -21,6 +22,15 @@ const EPS: f64 = 1e-6;
 fn preset_jobs(load: LoadLevel, seed: u64) -> Vec<freeride_g::sched::JobSpec> {
     let names: Vec<&str> = SCHED_APPS.iter().map(|a| a.name()).collect();
     WorkloadSpec::preset(load, &names, seed).generate()
+}
+
+fn shaped_jobs(
+    shape: WorkloadShape,
+    load: LoadLevel,
+    seed: u64,
+) -> Vec<freeride_g::sched::JobSpec> {
+    let names: Vec<&str> = SCHED_APPS.iter().map(|a| a.name()).collect();
+    WorkloadSpec::shaped(shape, load, &names, seed).generate()
 }
 
 fn run_with_quotas(quotas: Vec<TenantQuota>, jobs: &[freeride_g::sched::JobSpec]) -> SchedResult {
@@ -101,6 +111,37 @@ proptest! {
         let jobs = preset_jobs(load, seed);
         let r = run_with_quotas(quotas.clone(), &jobs);
         let label = format!("{} seed {seed}", load.name());
+
+        check_bucket_accounting(&r.outcomes, &quotas, &label);
+        for o in r.outcomes.iter().filter(|o| is_quota_rejected(o)) {
+            prop_assert!(!o.admitted);
+            prop_assert!(
+                o.placement.is_none() && o.placed_at.is_none() && o.finish.is_none(),
+                "{label}: quota-rejected job {} occupied the grid",
+                o.id
+            );
+        }
+        prop_assert_eq!(r.trace.metrics.counter("sched_quota_violations"), Some(0));
+        prop_assert_eq!(
+            r.trace.metrics.counter("sched_quota_rejections"),
+            Some(r.outcomes.iter().filter(|o| is_quota_rejected(o)).count() as u64)
+        );
+        prop_assert!(r.violations.is_empty(), "{}: {:?}", label, r.violations);
+    }
+
+    /// Burst sessions are the token bucket's adversarial case: a
+    /// cluster of near-simultaneous submissions drains the bucket with
+    /// almost no refill in between. The external bucket replay and the
+    /// windowed acceptance bound must hold on the trace-shaped presets
+    /// exactly as they do on uniform arrivals.
+    #[test]
+    fn token_bucket_survives_trace_shaped_bursts(seed in 0u64..10_000) {
+        let shape = WorkloadShape::TRACE_SHAPED[(seed % 2) as usize];
+        let load = LoadLevel::ALL[(seed / 2 % 3) as usize];
+        let quotas = vec![TenantQuota { capacity: 2.0, refill_per_sec: 0.004 }; 3];
+        let jobs = shaped_jobs(shape, load, seed);
+        let r = run_with_quotas(quotas.clone(), &jobs);
+        let label = format!("{} {} seed {seed}", shape.name(), load.name());
 
         check_bucket_accounting(&r.outcomes, &quotas, &label);
         for o in r.outcomes.iter().filter(|o| is_quota_rejected(o)) {

@@ -1,9 +1,11 @@
 //! End-to-end invariants of the multi-tenant scheduler: determinism,
 //! work conservation, fair-share discipline, admission consistency, and
-//! trace well-formedness, across policies, load levels, and seeds.
+//! trace well-formedness, across policies, load levels, and seeds —
+//! over the legacy uniform preset and the trace-shaped (heavy-tail,
+//! bursty) presets alike.
 
 use fg_bench::figures::sched_models;
-use freeride_g::sched::{GridSpec, LoadLevel, Policy, Scheduler, WorkloadSpec};
+use freeride_g::sched::{GridSpec, LoadLevel, Policy, Scheduler, WorkloadShape, WorkloadSpec};
 
 fn grid() -> GridSpec {
     GridSpec::demo(sched_models())
@@ -120,6 +122,75 @@ fn admitted_jobs_run_the_three_phases_in_order() {
         // contention, never shorter than the placement prediction says.
         let slowdown = o.slowdown().unwrap();
         assert!(slowdown >= 1.0 - 1e-6, "job {} ran faster than standalone: {slowdown}", o.id);
+    }
+}
+
+#[test]
+fn trace_shaped_streams_uphold_every_invariant() {
+    // The re-verification bar for the workload rework: the invariant
+    // battery above, re-run over the heavy-tail and bursty presets.
+    // Giant Pareto datasets and burst pile-ups exercise backfill and
+    // admission paths the uniform preset never reaches.
+    let apps = apps();
+    let names: Vec<&str> = apps.iter().map(|s| s.as_str()).collect();
+    for shape in WorkloadShape::TRACE_SHAPED {
+        for load in LoadLevel::ALL {
+            let jobs = WorkloadSpec::shaped(shape, load, &names, 42).generate();
+            for policy in Policy::ALL {
+                let label = format!("{} {} {}", shape.name(), load.name(), policy.name());
+                let r = Scheduler::new(grid(), policy).run(&jobs);
+                assert!(r.violations.is_empty(), "{label}: {:?}", r.violations);
+                r.trace
+                    .check_well_formed()
+                    .unwrap_or_else(|e| panic!("{label}: malformed trace: {e}"));
+                let admitted = r.outcomes.iter().filter(|o| o.admitted).count() as u64;
+                assert!(r.outcomes.iter().all(|o| o.admitted == o.finish.is_some()
+                    && (o.admitted || o.reject_reason.is_some())));
+                let m = &r.trace.metrics;
+                assert_eq!(m.counter("sched_jobs_admitted"), Some(admitted));
+                assert_eq!(m.counter("sched_jobs_completed"), Some(admitted));
+                assert_eq!(m.counter("sched_jobs_submitted"), Some(r.outcomes.len() as u64));
+                for o in r.outcomes.iter().filter(|o| o.admitted) {
+                    let placed = o.placed_at.unwrap();
+                    assert!(o.arrival <= placed + 1e-9, "{label}: job {}", o.id);
+                    assert!(
+                        placed <= o.disk_end.unwrap()
+                            && o.disk_end.unwrap() <= o.network_end.unwrap()
+                            && o.network_end.unwrap() <= o.finish.unwrap(),
+                        "{label}: job {} phases out of order",
+                        o.id
+                    );
+                    assert!(o.slowdown().unwrap() >= 1.0 - 1e-6, "{label}: job {}", o.id);
+                }
+            }
+        }
+    }
+}
+
+#[test]
+fn trace_shaped_streams_keep_placement_variants_bit_identical() {
+    // Cache coherence under adversarial traffic: a bursty heavy stream
+    // hammers the placement cache with clustered arrivals and wild
+    // dataset spreads, and the cached, parallel-scored, and naive
+    // engines must still agree bit for bit.
+    let apps = apps();
+    let names: Vec<&str> = apps.iter().map(|s| s.as_str()).collect();
+    let jobs = WorkloadSpec::shaped(WorkloadShape::Bursty, LoadLevel::Heavy, &names, 42).generate();
+    for policy in Policy::ALL {
+        let cached = Scheduler::new(grid(), policy).run(&jobs);
+        let cj = serde_json::to_string(&cached.outcomes).expect("serialize outcomes");
+        let parallel = Scheduler::new(grid(), policy).with_parallel_scoring().run(&jobs);
+        let pj = serde_json::to_string(&parallel.outcomes).expect("serialize outcomes");
+        assert_eq!(cj, pj, "parallel scoring diverged on bursty stream ({})", policy.name());
+        let naive = Scheduler::new(grid(), policy).with_naive_placement().run(&jobs);
+        let nj = serde_json::to_string(&naive.outcomes).expect("serialize outcomes");
+        assert_eq!(cj, nj, "naive placement diverged on bursty stream ({})", policy.name());
+        assert_eq!(
+            freeride_g::trace::to_jsonl(&cached.trace),
+            freeride_g::trace::to_jsonl(&naive.trace),
+            "naive placement trace diverged on bursty stream ({})",
+            policy.name()
+        );
     }
 }
 

@@ -1,0 +1,289 @@
+//! Statistical and structural properties of the trace-shaped workload
+//! generator: bit-identical determinism per seed, Pareto tail-index
+//! recovery within tolerance, modulation that preserves expected job
+//! mass, and burst sessions that can never produce an invalid stream —
+//! regression-guarding the NaN/zero-job and zero-gap fixes.
+
+use freeride_g::sched::{
+    ArrivalProcess, JobSpec, LoadLevel, Sinusoid, SizeDist, TenantSpec, WorkloadError,
+    WorkloadShape, WorkloadSpec,
+};
+use proptest::prelude::*;
+
+/// A single-tenant spec with full control over the distributions.
+fn one_tenant(jobs: usize, arrival: ArrivalProcess, size: SizeDist, seed: u64) -> WorkloadSpec {
+    WorkloadSpec {
+        tenants: vec![TenantSpec {
+            name: "solo".into(),
+            jobs,
+            arrival,
+            size,
+            deadline_slack: (2.0, 4.0),
+        }],
+        apps: vec!["kmeans".into()],
+        seed,
+    }
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(256))]
+
+    /// The acceptance bar: across 256 random (shape, load, seed)
+    /// combinations, generating twice is bit-identical, the stream is
+    /// sorted with contiguous ids, and every field is finite and in
+    /// range — under bursts and heavy tails, not just uniform load.
+    #[test]
+    fn generation_is_deterministic_and_valid_for_every_shape(
+        seed in any::<u64>(),
+        shape_idx in 0usize..3,
+        load_idx in 0usize..3,
+    ) {
+        let shape = WorkloadShape::ALL[shape_idx];
+        let load = LoadLevel::ALL[load_idx];
+        let spec = WorkloadSpec::shaped(shape, load, &["kmeans", "em", "apriori"], seed);
+        let a = spec.generate();
+        let b = spec.generate();
+        prop_assert_eq!(&a, &b);
+        let mut last_per_tenant = [0.0f64; 3];
+        for (i, j) in a.iter().enumerate() {
+            prop_assert_eq!(j.id, i);
+            prop_assert!(j.arrival.is_finite() && j.arrival > 0.0);
+            prop_assert!(j.dataset_bytes > 0, "no zero-byte datasets");
+            prop_assert!(j.deadline_slack.is_finite() && j.deadline_slack >= 1.0);
+            if i > 0 {
+                prop_assert!(j.arrival >= a[i - 1].arrival, "stream sorted by arrival");
+            }
+            // Within a tenant, gaps are strictly positive: the
+            // zero-endpoint remap holds for burst intra-gaps too.
+            prop_assert!(
+                j.arrival > last_per_tenant[j.tenant],
+                "tenant {} stacked two arrivals at {}", j.tenant, j.arrival
+            );
+            last_per_tenant[j.tenant] = j.arrival;
+        }
+    }
+
+    /// Burst sessions can never smuggle an invalid stream past
+    /// validation, whatever the (validated) burst geometry is.
+    #[test]
+    fn bursty_streams_never_violate_validation(
+        seed in any::<u64>(),
+        session_gap in 20.0f64..2000.0,
+        burst_mean in 1.0f64..20.0,
+        intra_gap in 0.5f64..30.0,
+        daily in 0.0f64..0.95,
+    ) {
+        let spec = one_tenant(
+            40,
+            ArrivalProcess::Bursty {
+                mean_session_gap: session_gap,
+                burst_mean,
+                mean_intra_gap: intra_gap,
+                modulation: Sinusoid { daily, weekly: 0.0, phase: 1.0 },
+            },
+            SizeDist::BodyTail {
+                median_mb: 32.0,
+                sigma: 0.8,
+                tail_weight: 0.15,
+                tail_min_mb: 128.0,
+                tail_alpha: 1.2,
+                cap_mb: 8192.0,
+            },
+            seed,
+        );
+        prop_assert!(spec.validate().is_ok());
+        let jobs = spec.generate();
+        prop_assert_eq!(jobs.len(), 40);
+        let mut last = 0.0f64;
+        for j in &jobs {
+            prop_assert!(j.arrival.is_finite() && j.arrival > last);
+            prop_assert!(j.dataset_bytes > 0);
+            last = j.arrival;
+        }
+    }
+}
+
+/// Hill estimator for the tail index over the top `k` order statistics
+/// of `samples` (which it sorts).
+fn hill_alpha(samples: &mut [f64], k: usize) -> f64 {
+    samples.sort_by(f64::total_cmp);
+    let n = samples.len();
+    assert!(k + 1 < n);
+    let threshold = samples[n - k - 1];
+    let mean_log_excess: f64 =
+        samples[n - k..].iter().map(|x| (x / threshold).ln()).sum::<f64>() / k as f64;
+    1.0 / mean_log_excess
+}
+
+#[test]
+fn pareto_tail_index_is_recovered_within_tolerance() {
+    // A pure-Pareto tenant with a cap far past any plausible draw: the
+    // Hill estimator over the top 5% of 20k samples must land within
+    // 15% of the configured index. This pins the inversion formula —
+    // an off-by-one in the exponent moves the estimate far outside.
+    for (alpha, seed) in [(1.1, 7u64), (1.5, 42), (2.5, 1234)] {
+        let spec = one_tenant(
+            20_000,
+            ArrivalProcess::poisson(10.0),
+            SizeDist::Pareto { min_mb: 4.0, alpha, cap_mb: 1e9 },
+            seed,
+        );
+        let mut mb: Vec<f64> =
+            spec.generate().iter().map(|j| j.dataset_bytes as f64 / 1e6).collect();
+        let est = hill_alpha(&mut mb, 1000);
+        assert!(
+            (est - alpha).abs() / alpha < 0.15,
+            "alpha {alpha} estimated as {est} (seed {seed})"
+        );
+    }
+}
+
+#[test]
+fn lognormal_sizes_match_their_median_and_spread() {
+    let spec = one_tenant(
+        20_000,
+        ArrivalProcess::poisson(10.0),
+        SizeDist::LogNormal { median_mb: 48.0, sigma: 0.9, cap_mb: 1e9 },
+        11,
+    );
+    let mut mb: Vec<f64> = spec.generate().iter().map(|j| j.dataset_bytes as f64 / 1e6).collect();
+    mb.sort_by(f64::total_cmp);
+    let median = mb[mb.len() / 2];
+    assert!((median - 48.0).abs() / 48.0 < 0.05, "median {median}");
+    // Log-space standard deviation recovers sigma.
+    let logs: Vec<f64> = mb.iter().map(|x| x.ln()).collect();
+    let mean = logs.iter().sum::<f64>() / logs.len() as f64;
+    let var = logs.iter().map(|l| (l - mean).powi(2)).sum::<f64>() / logs.len() as f64;
+    let sigma = var.sqrt();
+    assert!((sigma - 0.9).abs() < 0.05, "sigma {sigma}");
+}
+
+#[test]
+fn diurnal_modulation_preserves_expected_job_mass() {
+    // Lewis-Shedler thinning modulates *when* jobs land, not how many
+    // land per unit time on average: over many diurnal cycles the
+    // stream's span must match the unmodulated stream's within 10%.
+    let n = 5000;
+    let flat = one_tenant(
+        n,
+        ArrivalProcess::poisson(60.0),
+        SizeDist::LogUniform { lo_mb: 8.0, hi_mb: 32.0 },
+        7,
+    );
+    let modulated = one_tenant(
+        n,
+        ArrivalProcess::Poisson {
+            mean_gap: 60.0,
+            modulation: Sinusoid { daily: 0.6, weekly: 0.0, phase: 0.4 },
+        },
+        SizeDist::LogUniform { lo_mb: 8.0, hi_mb: 32.0 },
+        7,
+    );
+    let span = |jobs: &[JobSpec]| jobs.last().unwrap().arrival;
+    let flat_span = span(&flat.generate());
+    let mod_span = span(&modulated.generate());
+    assert!(
+        (mod_span - flat_span).abs() / flat_span < 0.10,
+        "modulated span {mod_span:.0} vs flat {flat_span:.0}"
+    );
+}
+
+#[test]
+fn modulated_arrivals_actually_cycle() {
+    // Sanity against a degenerate thinning that accepts everything:
+    // with daily amplitude 0.8, arrivals inside the peak half-cycle
+    // must clearly outnumber the trough half-cycle.
+    let spec = one_tenant(
+        4000,
+        ArrivalProcess::Poisson {
+            mean_gap: 120.0,
+            modulation: Sinusoid { daily: 0.8, weekly: 0.0, phase: 0.0 },
+        },
+        SizeDist::LogUniform { lo_mb: 8.0, hi_mb: 32.0 },
+        13,
+    );
+    let jobs = spec.generate();
+    let day = 86_400.0;
+    let (mut peak, mut trough) = (0usize, 0usize);
+    for j in &jobs {
+        // sin is positive on the first half of each day (phase 0).
+        if (j.arrival % day) < day / 2.0 {
+            peak += 1;
+        } else {
+            trough += 1;
+        }
+    }
+    assert!(
+        peak as f64 > 1.5 * trough as f64,
+        "diurnal peak {peak} should dominate trough {trough}"
+    );
+}
+
+#[test]
+fn trace_shaped_presets_are_heavier_tailed_than_uniform() {
+    // The point of the rework, stated as a statistic: at the same load
+    // level and seed, the heavy-tail preset's largest job carries an
+    // order of magnitude more relative mass than the uniform preset's.
+    let apps = ["kmeans", "em"];
+    let tail_mass = |shape| {
+        let spec = WorkloadSpec::shaped_scaled(shape, LoadLevel::Medium, &apps, 42, 12, 50);
+        let jobs = spec.generate();
+        let total: u64 = jobs.iter().map(|j| j.dataset_bytes).sum();
+        let max: u64 = jobs.iter().map(|j| j.dataset_bytes).max().unwrap();
+        max as f64 / total as f64
+    };
+    let uniform = tail_mass(WorkloadShape::Uniform);
+    let heavy = tail_mass(WorkloadShape::HeavyTail);
+    assert!(
+        heavy > 5.0 * uniform,
+        "heavy-tail top-1 mass {heavy:.4} should dwarf uniform {uniform:.4}"
+    );
+}
+
+#[test]
+fn nan_and_zero_job_regressions_stay_guarded() {
+    // PR-5 regression guards, re-asserted through the new validation
+    // path: NaN parameters and zero-job tenants must stay typed errors
+    // for every distribution family.
+    let base = || {
+        one_tenant(
+            5,
+            ArrivalProcess::poisson(100.0),
+            SizeDist::LogUniform { lo_mb: 8.0, hi_mb: 32.0 },
+            7,
+        )
+    };
+    let mut s = base();
+    s.tenants[0].jobs = 0;
+    assert!(matches!(s.try_generate(), Err(WorkloadError::NoJobs { .. })));
+
+    let mut s = base();
+    s.tenants[0].arrival = ArrivalProcess::poisson(f64::NAN);
+    assert!(matches!(s.try_generate(), Err(WorkloadError::BadTenant { .. })));
+
+    let mut s = base();
+    s.tenants[0].arrival = ArrivalProcess::Poisson {
+        mean_gap: 100.0,
+        modulation: Sinusoid { daily: f64::NAN, weekly: 0.0, phase: 0.0 },
+    };
+    assert!(matches!(s.try_generate(), Err(WorkloadError::BadTenant { .. })));
+
+    let mut s = base();
+    s.tenants[0].size = SizeDist::LogNormal { median_mb: f64::NAN, sigma: 0.5, cap_mb: 100.0 };
+    assert!(matches!(s.try_generate(), Err(WorkloadError::BadTenant { .. })));
+
+    let mut s = base();
+    s.tenants[0].size = SizeDist::BodyTail {
+        median_mb: 32.0,
+        sigma: 0.8,
+        tail_weight: f64::NAN,
+        tail_min_mb: 128.0,
+        tail_alpha: 1.2,
+        cap_mb: 8192.0,
+    };
+    assert!(matches!(s.try_generate(), Err(WorkloadError::BadTenant { .. })));
+
+    let mut s = base();
+    s.tenants[0].deadline_slack = (f64::NAN, 4.0);
+    assert!(matches!(s.try_generate(), Err(WorkloadError::BadTenant { .. })));
+}
