@@ -1,0 +1,204 @@
+//! Service benchmark trajectory: measures fg-serve's request
+//! throughput over the full wire path — client framing, session
+//! thread, snapshot-backed query pool or core thread, response
+//! framing — and writes `BENCH_serve.json` for the ratchet
+//! (`scripts/bench_ratchet.sh`) to compare against the committed
+//! baseline.
+//!
+//! ```text
+//! cargo run -p fg-bench --release --bin bench_serve            # full
+//! cargo run -p fg-bench --release --bin bench_serve -- --quick
+//! cargo run -p fg-bench --release --bin bench_serve -- --out target/BENCH_serve.json
+//! ```
+//!
+//! Three entries:
+//!
+//! * `serve-quote-rps` — prediction quotes from one client, answered
+//!   lock-free from the published snapshot.
+//! * `serve-quote-rps-4c` — the same quote stream split over four
+//!   concurrent clients, exercising the thread-per-core pool.
+//! * `serve-replay-rps` — a trace-shaped workload submitted and
+//!   drained end to end; the rate is wire requests (submissions plus
+//!   the drain) per second.
+
+use fg_bench::figures::sched_models;
+use fg_sched::{GridSpec, LoadLevel, Policy, Scheduler, WorkloadShape, WorkloadSpec};
+use fg_serve::{replay, ServeClient, Server};
+use serde::Serialize;
+use std::hint::black_box;
+use std::time::Instant;
+
+/// One measured benchmark entry.
+#[derive(Serialize)]
+struct Entry {
+    /// Stable name the ratchet keys on.
+    name: String,
+    /// Entry type: `quote-rps` or `replay-rps`.
+    kind: &'static str,
+    /// Wire requests completed in the measured run.
+    items: u64,
+    /// Wall-clock seconds for the measured run.
+    elapsed_secs: f64,
+    /// Requests per second — the ratcheted metric.
+    per_sec: f64,
+    /// For replay entries (`null` otherwise): jobs in the trace and
+    /// the schedule's makespan, as a sanity anchor.
+    jobs: Option<u64>,
+    makespan: Option<f64>,
+}
+
+#[derive(Serialize)]
+struct Report {
+    schema: u32,
+    mode: &'static str,
+    entries: Vec<Entry>,
+}
+
+fn scheduler() -> Scheduler {
+    Scheduler::new(GridSpec::demo(sched_models()), Policy::EdfAdmit)
+}
+
+/// Best-of-N repetitions: wall-clock noise only ever slows a run
+/// down, so the fastest repetition is the most reproducible estimate.
+fn best_of<F: FnMut() -> f64>(reps: usize, mut run: F) -> f64 {
+    (0..reps).map(|_| run()).fold(f64::INFINITY, f64::min)
+}
+
+fn quote_rps(queries: usize, reps: usize) -> Entry {
+    let server = Server::start(scheduler());
+    let mut client = ServeClient::connect(&server);
+    let apps: Vec<String> =
+        GridSpec::demo(sched_models()).apps.iter().map(|(n, _)| n.clone()).collect();
+    let elapsed = best_of(reps, || {
+        let start = Instant::now();
+        for q in 0..queries {
+            let app = &apps[q % apps.len()];
+            let bytes = 1u64 << (20 + q % 12);
+            black_box(client.quote(app, bytes, 2.0).expect("quote"));
+        }
+        start.elapsed().as_secs_f64()
+    });
+    drop(client);
+    server.shutdown();
+    let per_sec = queries as f64 / elapsed;
+    eprintln!("serve-quote-rps: {queries} quotes in {elapsed:.3}s ({per_sec:.0}/s)");
+    Entry {
+        name: "serve-quote-rps".into(),
+        kind: "quote-rps",
+        items: queries as u64,
+        elapsed_secs: elapsed,
+        per_sec,
+        jobs: None,
+        makespan: None,
+    }
+}
+
+fn quote_rps_concurrent(queries_per_client: usize, clients: usize, reps: usize) -> Entry {
+    let server = Server::start(scheduler());
+    let apps: Vec<String> =
+        GridSpec::demo(sched_models()).apps.iter().map(|(n, _)| n.clone()).collect();
+    let elapsed = best_of(reps, || {
+        let start = Instant::now();
+        std::thread::scope(|scope| {
+            for c in 0..clients {
+                let mut client = ServeClient::connect(&server);
+                let apps = &apps;
+                scope.spawn(move || {
+                    for q in 0..queries_per_client {
+                        let app = &apps[(q + c) % apps.len()];
+                        let bytes = 1u64 << (20 + (q + c) % 12);
+                        black_box(client.quote(app, bytes, 2.0).expect("quote"));
+                    }
+                });
+            }
+        });
+        start.elapsed().as_secs_f64()
+    });
+    server.shutdown();
+    let total = (queries_per_client * clients) as u64;
+    let per_sec = total as f64 / elapsed;
+    eprintln!(
+        "serve-quote-rps-{clients}c: {total} quotes over {clients} clients in {elapsed:.3}s \
+         ({per_sec:.0}/s)"
+    );
+    Entry {
+        name: format!("serve-quote-rps-{clients}c"),
+        kind: "quote-rps",
+        items: total,
+        elapsed_secs: elapsed,
+        per_sec,
+        jobs: None,
+        makespan: None,
+    }
+}
+
+fn replay_rps(tenants: usize, jobs_per_tenant: usize, reps: usize) -> Entry {
+    let grid = GridSpec::demo(sched_models());
+    let names: Vec<&str> = grid.apps.iter().map(|(n, _)| n.as_str()).collect();
+    let jobs = WorkloadSpec::shaped_scaled(
+        WorkloadShape::HeavyTail,
+        LoadLevel::Heavy,
+        &names,
+        42,
+        tenants,
+        jobs_per_tenant,
+    )
+    .generate();
+    let mut makespan = 0.0;
+    let elapsed = best_of(reps, || {
+        let server = Server::start(scheduler());
+        let start = Instant::now();
+        let run = replay(&server, &jobs, None).expect("replay");
+        let t = start.elapsed().as_secs_f64();
+        makespan = run.drained.makespan;
+        server.shutdown();
+        t
+    });
+    let requests = jobs.len() as u64 + 1; // submissions plus the drain
+    let per_sec = requests as f64 / elapsed;
+    eprintln!(
+        "serve-replay-rps: {} jobs served in {elapsed:.3}s ({per_sec:.0} req/s, \
+         makespan {makespan:.0}s)",
+        jobs.len()
+    );
+    Entry {
+        name: "serve-replay-rps".into(),
+        kind: "replay-rps",
+        items: requests,
+        elapsed_secs: elapsed,
+        per_sec,
+        jobs: Some(jobs.len() as u64),
+        makespan: Some(makespan),
+    }
+}
+
+fn main() {
+    let mut quick = false;
+    let mut out = String::from("BENCH_serve.json");
+    let mut args = std::env::args().skip(1);
+    while let Some(arg) = args.next() {
+        match arg.as_str() {
+            "--quick" => quick = true,
+            "--out" => out = args.next().expect("--out requires a path"),
+            other => {
+                eprintln!("usage: bench_serve [--quick] [--out PATH] (got {other:?})");
+                std::process::exit(2);
+            }
+        }
+    }
+
+    // Quick and full mode share every entry name so the ratchet
+    // compares like against like; full mode just runs more work per
+    // entry.
+    let (quotes, reps) = if quick { (5_000, 2) } else { (20_000, 3) };
+    let entries = vec![
+        quote_rps(quotes, reps),
+        quote_rps_concurrent(quotes / 4, 4, reps),
+        replay_rps(20, 150, reps),
+    ];
+
+    let report = Report { schema: 1, mode: if quick { "quick" } else { "full" }, entries };
+    let json = serde_json::to_string_pretty(&report).expect("serialize report");
+    std::fs::write(&out, json + "\n").expect("write report");
+    eprintln!("wrote {out}");
+}

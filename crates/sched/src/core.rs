@@ -1,0 +1,1932 @@
+//! The extracted scheduling decision core.
+//!
+//! [`crate::sched::Scheduler::run`] used to own the whole event loop as
+//! one batch function: locals for the queue, the running set, the
+//! bandwidth estimators, and the fluid clock, consumed in a single
+//! pass over a complete job list. A long-running service cannot drive
+//! that shape — jobs arrive one request at a time, prediction queries
+//! interleave with submissions, and concurrent readers need a coherent
+//! view of scheduler state without a lock on the hot path. This module
+//! splits the batch function into:
+//!
+//! * [`SchedCore`] — the same event loop as an incremental state
+//!   machine. [`SchedCore::submit`] feeds one job and advances the sim
+//!   clock exactly to its arrival; [`SchedCore::finish`] drains the
+//!   grid and produces the [`SchedResult`]. `Scheduler::run` is now a
+//!   thin wrapper (load everything, drain), so the sim loop, `fg-serve`,
+//!   and the test suites all drive *this* code — and a submission
+//!   stream replayed through the incremental API is bit-identical to
+//!   the batch run, because arrivals are integration horizons in both.
+//! * [`SchedSnapshot`] — an immutable, cheaply-cloned view of the
+//!   decision state (bandwidth estimates, free slices, backlog).
+//!   Every query method takes `&self`: ranking placements and quoting
+//!   admission estimates against a snapshot needs no mutable access
+//!   and therefore no lock, which is what lets `fg-serve` answer
+//!   prediction queries from a worker pool while the core thread owns
+//!   the clock.
+//!
+//! The incremental/batch equivalence is structural, not approximate:
+//! the batch loop never integrates the fluid network model past the
+//! next arrival (arrivals bound the horizon), so stopping the machine
+//! at each arrival instant splits no integration step that the batch
+//! run would have taken whole. Equal-arrival submissions join the same
+//! arrival batch mid-iteration, exactly as the batch arrival loop
+//! consumed them. `tests/serve_differential.rs` pins the equivalence
+//! bit-for-bit across workload shapes.
+
+use crate::grid::GridSpec;
+use crate::placement::{
+    uncached_best_placement, uncached_standalone_placement, FreeSlices, Placement, PlacementEngine,
+};
+use crate::policy::Policy;
+use crate::sched::{
+    Degradation, JobOutcome, MigrationEvent, PlacementInfo, PreemptionEvent, SchedResult,
+    Scheduler, TenantQuota,
+};
+use crate::workload::JobSpec;
+use fg_cluster::{Configuration, DeploymentRef};
+use fg_predict::bandwidth::{BandwidthEstimator, Ewma};
+use fg_predict::{decide_migration, try_predict_deployment, InterconnectParams, Prediction};
+use fg_sim::{FairShareSim, Flow, ResourceId, SimTime};
+use fg_trace::{Counter, Gauge, Histogram, SpanKind, Trace, Tracer};
+use serde::{Deserialize, Serialize};
+use std::collections::{BTreeMap, BTreeSet, HashMap};
+use std::sync::Arc;
+
+/// Clock comparison slop, seconds.
+pub(crate) const TIME_EPS: f64 = 1e-9;
+
+/// A job waiting in the scheduler queue.
+#[derive(Debug, Clone)]
+pub(crate) struct QueuedJob {
+    /// The submitted job.
+    pub(crate) spec: JobSpec,
+    /// Standalone predicted execution time.
+    pub(crate) standalone: f64,
+    /// Deadline instant, when one applies.
+    pub(crate) deadline: Option<f64>,
+}
+
+/// An `f64` ordered by `total_cmp` so it can key a [`BTreeSet`]. The
+/// ordering matches the comparator the per-pass policy sort used, so
+/// the maintained index visits jobs in exactly the order the sort
+/// produced.
+#[derive(Debug, Clone, Copy, PartialEq)]
+struct OrderKey(f64);
+
+impl Eq for OrderKey {}
+
+impl PartialOrd for OrderKey {
+    fn partial_cmp(&self, other: &Self) -> Option<std::cmp::Ordering> {
+        Some(self.cmp(other))
+    }
+}
+
+impl Ord for OrderKey {
+    fn cmp(&self, other: &Self) -> std::cmp::Ordering {
+        self.0.total_cmp(&other.0)
+    }
+}
+
+/// The scheduler queue, indexed for the hot loop.
+///
+/// The original `Vec<QueuedJob>` forced three O(queue) rescans per
+/// scheduling pass — the policy sort, the fair-share demand tally, and
+/// the admission backlog sum — which goes quadratic on long traces
+/// once the grid saturates and a backlog accumulates. Every policy's
+/// ordering key is fixed at enqueue time (arrival, standalone
+/// prediction, or deadline), so all three can be maintained
+/// incrementally instead:
+///
+/// * `jobs` — by submission id. Arrivals enqueue in id order, so
+///   iteration yields the same sequence the old `Vec` did (pushes at
+///   the tail, order-preserving removals).
+/// * `order` — `(policy key, id, tenant)` triples; iteration is the
+///   policy order the per-pass sort produced, bit-identically (ids
+///   are unique, so the trailing tenant never influences the order —
+///   it rides along so walks can skip jobs without a `jobs` lookup).
+/// * `by_tenant` — the same entries split per tenant, so the round-1
+///   quota walk can merge only the under-quota tenants' jobs in
+///   global policy order instead of scanning every queued job to
+///   skip the capped ones (the dominant cost on saturated traces:
+///   ~Q skipped entries per start).
+/// * `backlog_slot_secs` — running Σ standalone·min_slots for the
+///   submission-time completion estimate. An incremental float sum
+///   can differ from the old front-to-back resum in the last bits
+///   after dequeues, which only nudges the *reported* admission
+///   estimate; placement decisions never read it.
+#[derive(Debug)]
+pub(crate) struct PolicyQueue {
+    policy: Policy,
+    jobs: BTreeMap<usize, QueuedJob>,
+    order: BTreeSet<(OrderKey, usize, usize)>,
+    by_tenant: Vec<BTreeSet<(OrderKey, usize)>>,
+    backlog_slot_secs: f64,
+    min_slots: usize,
+}
+
+impl PolicyQueue {
+    fn new(policy: Policy, min_slots: usize) -> PolicyQueue {
+        PolicyQueue {
+            policy,
+            jobs: BTreeMap::new(),
+            order: BTreeSet::new(),
+            by_tenant: Vec::new(),
+            backlog_slot_secs: 0.0,
+            min_slots,
+        }
+    }
+
+    fn len(&self) -> usize {
+        self.jobs.len()
+    }
+
+    fn is_empty(&self) -> bool {
+        self.jobs.is_empty()
+    }
+
+    /// Queued jobs in submission-id order (the old `Vec` order).
+    fn iter(&self) -> impl Iterator<Item = &QueuedJob> {
+        self.jobs.values()
+    }
+
+    fn queued_for(&self, tenant: usize) -> usize {
+        self.by_tenant.get(tenant).map_or(0, |s| s.len())
+    }
+
+    fn push(&mut self, job: QueuedJob) {
+        let (metric, id) = self.policy.key(&job);
+        if job.spec.tenant >= self.by_tenant.len() {
+            self.by_tenant.resize(job.spec.tenant + 1, BTreeSet::new());
+        }
+        self.by_tenant[job.spec.tenant].insert((OrderKey(metric), id));
+        self.backlog_slot_secs += job.standalone * self.min_slots as f64;
+        self.order.insert((OrderKey(metric), id, job.spec.tenant));
+        let prev = self.jobs.insert(id, job);
+        assert!(prev.is_none(), "job {id} queued twice");
+    }
+
+    fn remove(&mut self, id: usize) -> QueuedJob {
+        let job = self.jobs.remove(&id).expect("removed job is queued");
+        let (metric, _) = self.policy.key(&job);
+        self.order.remove(&(OrderKey(metric), id, job.spec.tenant));
+        self.by_tenant[job.spec.tenant].remove(&(OrderKey(metric), id));
+        self.backlog_slot_secs -= job.standalone * self.min_slots as f64;
+        job
+    }
+}
+
+#[derive(Debug, Clone, Copy, PartialEq)]
+enum Phase {
+    Disk {
+        until: f64,
+    },
+    Network,
+    /// Checkpoint-and-switch pause of a mid-run migration; the transfer
+    /// resumes (on the new repository) when `until` passes.
+    Migrating {
+        until: f64,
+    },
+    Compute {
+        until: f64,
+    },
+}
+
+#[derive(Debug, Clone)]
+struct Running {
+    /// Index into the outcomes vector (== JobSpec id position).
+    slot: usize,
+    tenant: usize,
+    repo: usize,
+    site: usize,
+    config: Configuration,
+    predicted: Prediction,
+    placed_at: f64,
+    phase: Phase,
+    bytes: f64,
+    net_started: f64,
+    net_remaining: f64,
+    net_cap: f64,
+    /// The per-stream WAN bandwidth the placement prediction used;
+    /// the baseline for converting an observed stretch back into an
+    /// equivalent bandwidth sample.
+    placed_bw: f64,
+    disk_end: Option<f64>,
+    network_end: Option<f64>,
+    /// Bytes the fluid model expected this transfer to have moved
+    /// under fair-share contention with *undegraded* rate caps — the
+    /// migration trigger's baseline (accumulated only when migration
+    /// is enabled).
+    net_expected: f64,
+    /// Deadline instant, for preemption ordering.
+    deadline: Option<f64>,
+    /// Reduction-object bytes a checkpoint of this job would move.
+    max_obj_bytes: u64,
+    /// Suppress the bandwidth-feedback sample: a preempted or migrated
+    /// transfer's elapsed time is not a clean observation.
+    no_feedback: bool,
+}
+
+/// What was left of a preempted job's current phase.
+#[derive(Debug, Clone, Copy)]
+enum RemainingPhase {
+    Disk(f64),
+    Network(f64),
+    Compute(f64),
+}
+
+/// A checkpointed job waiting to re-occupy its nodes.
+#[derive(Debug, Clone)]
+struct Suspended {
+    job: Running,
+    remaining: RemainingPhase,
+}
+
+/// How a job got its nodes in a scheduling pass.
+#[derive(Debug, Clone, Copy, PartialEq)]
+enum StartKind {
+    /// Round 1: the tenant was under its fair-share quota.
+    UnderQuota,
+    /// Round 2: past quota, but the nodes were otherwise idle.
+    Backfill,
+    /// The start was enabled by checkpointing a looser-deadline job
+    /// off its nodes; deadline urgency overrides fair shares.
+    Preempt,
+}
+
+/// The rate multiplier degradations impose on `repo`'s transfers at
+/// instant `now` (1.0 when none applies).
+fn degrade_factor(degradations: &[Degradation], repo: usize, now: f64) -> f64 {
+    degradations
+        .iter()
+        .filter(|d| d.repo == repo && now >= d.start - TIME_EPS)
+        .map(|d| d.factor)
+        .fold(1.0, f64::min)
+}
+
+/// Why [`SchedCore::submit`] refused a job. The incremental API is a
+/// live protocol surface, so malformed submissions get typed errors
+/// instead of the batch entry point's panics.
+#[derive(Debug, Clone, PartialEq)]
+pub enum SubmitError {
+    /// A job with this id was already submitted.
+    Duplicate {
+        /// The repeated submission id.
+        id: usize,
+    },
+    /// Submissions must arrive in nondecreasing `(arrival, id)` order:
+    /// the sim clock has already integrated past this instant.
+    OutOfOrder {
+        /// The offending submission id.
+        id: usize,
+        /// Its arrival instant.
+        arrival: f64,
+        /// The latest `(arrival, id)` already accepted.
+        last: (f64, usize),
+    },
+    /// The arrival instant is NaN, infinite, or negative — the sim
+    /// clock cannot order it.
+    BadArrival {
+        /// The offending submission id.
+        id: usize,
+        /// The unusable arrival value.
+        arrival: f64,
+    },
+}
+
+impl std::fmt::Display for SubmitError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            SubmitError::Duplicate { id } => write!(f, "job id {id} already submitted"),
+            SubmitError::OutOfOrder { id, arrival, last } => write!(
+                f,
+                "job {id} arrives at {arrival} behind the accepted stream (last arrival {} id {})",
+                last.0, last.1
+            ),
+            SubmitError::BadArrival { id, arrival } => {
+                write!(f, "job {id} has unusable arrival {arrival}")
+            }
+        }
+    }
+}
+
+impl std::error::Error for SubmitError {}
+
+/// What admission decided about one submission, returned synchronously
+/// by [`SchedCore::submit`] (the wire protocol's submit response).
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct SubmitOutcome {
+    /// The submission id.
+    pub id: usize,
+    /// Whether the job entered the queue.
+    pub admitted: bool,
+    /// Why it was rejected, when it was.
+    pub reject_reason: Option<String>,
+    /// Standalone predicted execution time (empty-grid baseline).
+    pub standalone: Option<f64>,
+    /// Deadline instant derived from the slack.
+    pub deadline: Option<f64>,
+    /// Predicted completion instant at submission.
+    pub admission_estimate: Option<f64>,
+}
+
+/// A coarse live view of the core's progress (the wire protocol's
+/// stats response).
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct CoreStats {
+    /// Sim-clock instant the machine has advanced to.
+    pub now: f64,
+    /// Last completion instant so far.
+    pub makespan: f64,
+    /// Jobs submitted.
+    pub submitted: u64,
+    /// Jobs admitted into the queue.
+    pub admitted: u64,
+    /// Jobs rejected at submission.
+    pub rejected: u64,
+    /// Jobs completed.
+    pub completed: u64,
+    /// Jobs currently queued.
+    pub queued: usize,
+    /// Jobs currently occupying grid nodes.
+    pub running: usize,
+    /// Jobs checkpointed off their nodes awaiting resume.
+    pub suspended: usize,
+}
+
+/// One scheduling decision, emitted in decision order when the event
+/// log is enabled ([`SchedCore::with_event_log`]). `fg-serve` streams
+/// these to subscribed clients as they happen.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub enum CoreEvent {
+    /// A submission was admitted or rejected.
+    Submitted {
+        /// Submission id.
+        id: usize,
+        /// Tenant index.
+        tenant: usize,
+        /// Whether the job entered the queue.
+        admitted: bool,
+        /// Rejection reason, when rejected.
+        reject_reason: Option<String>,
+        /// Predicted completion instant, when one was computed.
+        estimate: Option<f64>,
+    },
+    /// A queued job occupied its nodes.
+    Placed {
+        /// Submission id.
+        id: usize,
+        /// Sim-clock instant.
+        at: f64,
+        /// Repository name.
+        repo: String,
+        /// Site name.
+        site: String,
+        /// Configuration label.
+        config: String,
+        /// Predicted execution time of the chosen placement.
+        predicted: f64,
+    },
+    /// A running job finished.
+    Completed {
+        /// Submission id.
+        id: usize,
+        /// Completion instant.
+        at: f64,
+        /// Whether the deadline was met, when one applied.
+        met_deadline: Option<bool>,
+    },
+    /// A running job was checkpointed off its nodes.
+    Preempted {
+        /// Submission id.
+        id: usize,
+        /// Eviction instant.
+        at: f64,
+    },
+    /// A suspended job re-occupied nodes.
+    Resumed {
+        /// Submission id.
+        id: usize,
+        /// Resume instant.
+        at: f64,
+    },
+    /// A running transfer switched repositories.
+    Migrated {
+        /// Submission id.
+        id: usize,
+        /// Switch instant.
+        at: f64,
+        /// Repository the job was fetching from.
+        from_repo: String,
+        /// Repository it fetches from afterwards.
+        to_repo: String,
+    },
+}
+
+/// The scheduler's per-run metric instruments, registered once at
+/// construction in the exact order the batch loop registered them (the
+/// golden traces pin the registry contents).
+struct Instruments {
+    submitted: Counter,
+    admitted: Counter,
+    rejected: Counter,
+    completed: Counter,
+    misses: Counter,
+    backfill: Counter,
+    depth: Gauge,
+    depth_max: Gauge,
+    wait: Histogram,
+    slow: Histogram,
+    quota_rej: Option<Counter>,
+    quota_vio: Option<Counter>,
+    preempt: Option<Counter>,
+    migrate: Option<Counter>,
+    ckpt: Option<Counter>,
+}
+
+/// The incremental scheduling state machine — the decision core
+/// extracted from `Scheduler::run`.
+///
+/// Construction takes the scheduler *configuration* (grid, policy,
+/// feature opt-ins); jobs are fed either one at a time through
+/// [`submit`](SchedCore::submit) (the service path; arrivals must be
+/// nondecreasing) or wholesale through `Scheduler::run` (the batch
+/// path, which sorts internally). Both paths execute the identical
+/// event loop and produce bit-identical [`SchedResult`]s for the same
+/// job stream.
+pub struct SchedCore {
+    cfg: Scheduler,
+    grid: Arc<GridSpec>,
+    nrepo: usize,
+    total_slots: usize,
+    min_slots: usize,
+    net: FairShareSim,
+    free: FreeSlices,
+    full: FreeSlices,
+    bw: Vec<f64>,
+    engine: PlacementEngine,
+    estimators: Vec<Ewma>,
+    used_slots: Vec<usize>,
+    buckets: Vec<(TenantQuota, f64, f64)>,
+    suspended: Vec<Suspended>,
+    tracer: Option<Tracer>,
+    inst: Instruments,
+    jobs: Vec<JobSpec>,
+    outcomes: Vec<Option<JobOutcome>>,
+    slot_map: HashMap<usize, usize>,
+    /// Slots sorted by `(arrival, id)`; `next` is the consumption
+    /// cursor — exactly the batch loop's `order`/`next` pair.
+    order: Vec<usize>,
+    next: usize,
+    queue: PolicyQueue,
+    running: Vec<Running>,
+    violations: Vec<String>,
+    now: f64,
+    makespan: f64,
+    depth_max: usize,
+    iterations: usize,
+    /// True between an iteration's arrival batch and its tail
+    /// (transitions, pass, integration): the machine parks here
+    /// between incremental submissions so equal-arrival jobs join the
+    /// same batch, exactly as the batch arrival loop consumed them.
+    tail_pending: bool,
+    events: Option<Vec<CoreEvent>>,
+}
+
+impl SchedCore {
+    /// A fresh decision core for `scheduler`'s configuration, at sim
+    /// time zero with an idle grid.
+    pub fn new(scheduler: Scheduler) -> SchedCore {
+        let grid = &scheduler.grid;
+        assert!(
+            !grid.repos.is_empty() && !grid.sites.is_empty() && !grid.configs.is_empty(),
+            "grid must have repositories, sites, and configurations"
+        );
+        let nrepo = grid.repos.len();
+        let total_slots = grid.total_compute_slots();
+        let min_slots = grid.min_config_slots();
+        let capacities: Vec<f64> = grid
+            .repos
+            .iter()
+            .map(|r| r.wan_capacity)
+            .chain(grid.sites.iter().map(|s| s.ingress_capacity))
+            .collect();
+        let net = FairShareSim::new(capacities);
+        let max_data: Vec<usize> = grid.repos.iter().map(|r| r.site.max_nodes).collect();
+        let max_cmp: Vec<usize> = grid.sites.iter().map(|s| s.site.max_nodes).collect();
+        let free = FreeSlices::new(max_data.clone(), max_cmp.clone());
+        // The whole-grid slices admission estimates are computed
+        // against (a job's corrected prediction assumes it eventually
+        // gets its best placement, not the currently free one).
+        let full = FreeSlices::new(max_data, max_cmp);
+        let bw: Vec<f64> = grid.repos.iter().map(|r| r.wan.stream_bw).collect();
+        let mut engine = PlacementEngine::new(grid);
+        if scheduler.parallel_scoring {
+            engine = engine.with_parallel();
+        }
+        if scheduler.naive_placement {
+            engine = engine.with_naive();
+        }
+        let estimators: Vec<Ewma> = (0..nrepo).map(|_| Ewma::new(scheduler.ewma_alpha)).collect();
+        // Token buckets start full; refill lazily at each arrival.
+        let buckets: Vec<(TenantQuota, f64, f64)> = scheduler
+            .quotas
+            .as_deref()
+            .unwrap_or(&[])
+            .iter()
+            .map(|&q| (q, q.capacity, 0.0))
+            .collect();
+
+        let tracer = Tracer::new();
+        let inst = Instruments {
+            submitted: tracer.metrics.counter("sched_jobs_submitted"),
+            admitted: tracer.metrics.counter("sched_jobs_admitted"),
+            rejected: tracer.metrics.counter("sched_jobs_rejected"),
+            completed: tracer.metrics.counter("sched_jobs_completed"),
+            misses: tracer.metrics.counter("sched_deadline_misses"),
+            backfill: tracer.metrics.counter("sched_backfill_starts"),
+            depth: tracer.metrics.gauge("sched_queue_depth"),
+            depth_max: tracer.metrics.gauge("sched_queue_depth_max"),
+            wait: tracer
+                .metrics
+                .histogram("sched_wait_seconds", &[1.0, 5.0, 15.0, 60.0, 300.0, 1800.0]),
+            slow: tracer
+                .metrics
+                .histogram("sched_slowdown", &[1.0, 1.25, 1.5, 2.0, 3.0, 5.0, 10.0, 30.0]),
+            // Feature counters exist only when the feature is on, so a
+            // default-configured run's metrics snapshot (and its golden
+            // traces) are unchanged.
+            quota_rej: scheduler
+                .quotas
+                .as_ref()
+                .map(|_| tracer.metrics.counter("sched_quota_rejections")),
+            quota_vio: scheduler
+                .quotas
+                .as_ref()
+                .map(|_| tracer.metrics.counter("sched_quota_violations")),
+            preempt: scheduler.preemption.map(|_| tracer.metrics.counter("sched_preemptions")),
+            migrate: scheduler.migration.map(|_| tracer.metrics.counter("sched_migrations")),
+            ckpt: (scheduler.preemption.is_some() || scheduler.migration.is_some())
+                .then(|| tracer.metrics.counter("sched_checkpoints")),
+        };
+
+        let queue = PolicyQueue::new(scheduler.policy, min_slots);
+        let grid_arc = Arc::new(scheduler.grid.clone());
+        SchedCore {
+            cfg: scheduler,
+            grid: grid_arc,
+            nrepo,
+            total_slots,
+            min_slots,
+            net,
+            free,
+            full,
+            bw,
+            engine,
+            estimators,
+            used_slots: Vec::new(),
+            buckets,
+            suspended: Vec::new(),
+            tracer: Some(tracer),
+            inst,
+            jobs: Vec::new(),
+            outcomes: Vec::new(),
+            slot_map: HashMap::new(),
+            order: Vec::new(),
+            next: 0,
+            queue,
+            running: Vec::new(),
+            violations: Vec::new(),
+            now: 0.0,
+            makespan: 0.0,
+            depth_max: 0,
+            iterations: 0,
+            tail_pending: false,
+            events: None,
+        }
+    }
+
+    /// Record a [`CoreEvent`] per scheduling decision, drained with
+    /// [`take_events`](SchedCore::take_events). Off by default: the
+    /// batch path never pays for the log.
+    pub fn with_event_log(mut self) -> SchedCore {
+        self.events = Some(Vec::new());
+        self
+    }
+
+    /// The sim-clock instant the machine has advanced to.
+    pub fn now(&self) -> f64 {
+        self.now
+    }
+
+    /// The policy this core applies.
+    pub fn policy(&self) -> Policy {
+        self.cfg.policy
+    }
+
+    /// The grid this core schedules over.
+    pub fn grid(&self) -> &Arc<GridSpec> {
+        &self.grid
+    }
+
+    fn emit(&mut self, event: CoreEvent) {
+        if let Some(log) = &mut self.events {
+            log.push(event);
+        }
+    }
+
+    /// Drain the decision events recorded since the last call (empty
+    /// unless [`with_event_log`](SchedCore::with_event_log) was used).
+    pub fn take_events(&mut self) -> Vec<CoreEvent> {
+        self.events.as_mut().map(std::mem::take).unwrap_or_default()
+    }
+
+    /// Submit one job and advance the machine to its arrival instant.
+    /// Returns the admission decision (the job's outcome so far).
+    ///
+    /// The incremental path requires nondecreasing `(arrival, id)`
+    /// submission order — the clock cannot run backwards — and rejects
+    /// duplicates and unusable arrivals with typed errors instead of
+    /// the batch path's panics.
+    pub fn submit(&mut self, job: JobSpec) -> Result<SubmitOutcome, SubmitError> {
+        if !job.arrival.is_finite() || job.arrival < 0.0 {
+            return Err(SubmitError::BadArrival { id: job.id, arrival: job.arrival });
+        }
+        if self.slot_map.contains_key(&job.id) {
+            return Err(SubmitError::Duplicate { id: job.id });
+        }
+        if let Some(&last_slot) = self.order.last() {
+            let last = &self.jobs[last_slot];
+            let cmp = last.arrival.total_cmp(&job.arrival).then(last.id.cmp(&job.id));
+            if cmp == std::cmp::Ordering::Greater {
+                return Err(SubmitError::OutOfOrder {
+                    id: job.id,
+                    arrival: job.arrival,
+                    last: (last.arrival, last.id),
+                });
+            }
+        }
+        let id = job.id;
+        let slot = self.jobs.len();
+        self.slot_map.insert(id, slot);
+        self.jobs.push(job);
+        self.outcomes.push(None);
+        self.order.push(slot);
+        self.pump(false);
+        let o = self.outcomes[slot].as_ref().expect("pump processed the arrival");
+        Ok(SubmitOutcome {
+            id,
+            admitted: o.admitted,
+            reject_reason: o.reject_reason.clone(),
+            standalone: o.standalone,
+            deadline: o.deadline,
+            admission_estimate: o.admission_estimate,
+        })
+    }
+
+    /// Load a whole job list the way the batch entry point did: slots
+    /// in input order, arrivals sorted by `(arrival, id)`, duplicate
+    /// ids a panic. The machine is not advanced; [`finish`] drains it.
+    pub(crate) fn submit_all(&mut self, jobs: &[JobSpec]) {
+        assert!(
+            self.jobs.is_empty() && self.next == 0,
+            "submit_all loads a fresh core; use submit for incremental streams"
+        );
+        self.jobs = jobs.to_vec();
+        self.outcomes = vec![None; jobs.len()];
+        self.slot_map.reserve(jobs.len());
+        for (i, j) in jobs.iter().enumerate() {
+            let prev = self.slot_map.insert(j.id, i);
+            assert!(prev.is_none(), "duplicate job id {}", j.id);
+        }
+        let mut order: Vec<usize> = (0..jobs.len()).collect();
+        order.sort_by(|&a, &b| {
+            jobs[a].arrival.total_cmp(&jobs[b].arrival).then(jobs[a].id.cmp(&jobs[b].id))
+        });
+        self.order = order;
+    }
+
+    /// A coarse live view of progress.
+    pub fn stats(&self) -> CoreStats {
+        CoreStats {
+            now: self.now,
+            makespan: self.makespan,
+            submitted: self.inst.submitted.get(),
+            admitted: self.inst.admitted.get(),
+            rejected: self.inst.rejected.get(),
+            completed: self.inst.completed.get(),
+            queued: self.queue.len(),
+            running: self.running.len(),
+            suspended: self.suspended.len(),
+        }
+    }
+
+    /// An immutable view of the decision state at this instant, for
+    /// lock-free `&self` prediction queries. Cloning the snapshot is
+    /// cheap (an [`Arc`] for the grid plus a few small vectors), so a
+    /// server can publish one per clock step and let a worker pool
+    /// answer queries against it concurrently.
+    pub fn snapshot(&self) -> SchedSnapshot {
+        // The same backlog arithmetic the arrival block uses for
+        // admission estimates: remaining predicted slot-seconds of the
+        // running set, in running order, plus the queue's running sum.
+        let backlog: f64 = self
+            .running
+            .iter()
+            .map(|r| {
+                (r.placed_at + r.predicted.total() - self.now).max(0.0)
+                    * r.config.compute_nodes as f64
+            })
+            .sum::<f64>()
+            + self.queue.backlog_slot_secs;
+        SchedSnapshot {
+            grid: Arc::clone(&self.grid),
+            policy: self.cfg.policy,
+            now: self.now,
+            bw: self.bw.clone(),
+            free_data: self.free.data().to_vec(),
+            free_cmp: self.free.cmp().to_vec(),
+            backlog_slot_secs: backlog,
+            total_slots: self.total_slots,
+            queue_depth: self.queue.len(),
+            running: self.running.len(),
+        }
+    }
+
+    /// Drain the grid — run the event loop until nothing is queued,
+    /// running, suspended, or arriving — and produce the same
+    /// [`SchedResult`] the batch entry point returns.
+    pub fn finish(self) -> SchedResult {
+        self.finish_with_events().0
+    }
+
+    /// [`finish`](SchedCore::finish), also returning the scheduling
+    /// events the final drain produced (empty unless the event log is
+    /// on) so a streaming server can flush them before the result.
+    pub fn finish_with_events(mut self) -> (SchedResult, Vec<CoreEvent>) {
+        self.pump(true);
+        let events = self.take_events();
+        let tracer = self.tracer.take().expect("finish consumes the tracer");
+        if self.cfg.workload_metrics {
+            // Shape-of-traffic instruments over the submitted stream,
+            // computed at drain time (they describe the input, not the
+            // schedule). Registering them last preserves the batch
+            // registry order: standard, feature, workload.
+            let mut by_arrival: Vec<&JobSpec> = self.jobs.iter().collect();
+            by_arrival.sort_by(|a, b| a.arrival.total_cmp(&b.arrival).then(a.id.cmp(&b.id)));
+            let sorted: Vec<JobSpec> = by_arrival.into_iter().cloned().collect();
+            let stats = crate::replay::stats_of(&sorted);
+            tracer.metrics.gauge("workload_burst_depth_max").set(stats.burst_depth_max as f64);
+            tracer.metrics.gauge("workload_tail_mass_top1").set(stats.tail_mass_top1);
+            tracer.metrics.gauge("workload_p99_dataset_mb").set(stats.p99_bytes as f64 / 1e6);
+            tracer.metrics.gauge("workload_mean_gap_secs").set(stats.mean_gap);
+            let size_h = tracer
+                .metrics
+                .histogram("workload_dataset_mb", &[16.0, 64.0, 256.0, 1024.0, 4096.0]);
+            for j in &sorted {
+                size_h.observe(j.dataset_bytes as f64 / 1e6);
+            }
+        }
+        self.inst.depth_max.set(self.depth_max as f64);
+        self.inst.depth.set(self.queue.len() as f64);
+        let outcomes: Vec<JobOutcome> = self
+            .outcomes
+            .into_iter()
+            .map(|o| o.expect("every submitted job gets an outcome"))
+            .collect();
+        let trace = build_trace(tracer, &outcomes, self.makespan);
+        (
+            SchedResult { outcomes, trace, makespan: self.makespan, violations: self.violations },
+            events,
+        )
+    }
+
+    /// Advance the event loop. With `drain` false, the machine stops
+    /// once every known arrival is consumed, parked mid-iteration
+    /// *before* the scheduling pass so later equal-arrival submissions
+    /// join the same arrival batch (the batch loop's arrival while-loop
+    /// consumed all due arrivals before the pass ran). With `drain`
+    /// true it runs to quiescence, recording stuck-forever violations
+    /// exactly as the batch loop did.
+    fn pump(&mut self, drain: bool) {
+        loop {
+            if !self.tail_pending {
+                self.iterations += 1;
+                let budget = 10_000 + 200 * self.jobs.len();
+                assert!(self.iterations <= budget, "scheduler event loop failed to make progress");
+                self.tail_pending = true;
+            }
+            // --- arrivals due at `now` ---
+            self.process_due_arrivals();
+            if !drain && self.next >= self.order.len() {
+                // Every known arrival is consumed; the next event may
+                // be preceded by a future submission, so park here —
+                // mid-iteration — without integrating past `now`.
+                return;
+            }
+            self.tail_pending = false;
+            // --- phase transitions and completions due at `now` ---
+            self.phase_transitions();
+            // --- mid-run migration check ---
+            self.migration_check();
+            // --- scheduling pass ---
+            self.schedule_pass();
+            self.inst.depth.set(self.queue.len() as f64);
+            // --- horizon: next arrival, fixed-phase end, or drain ---
+            let mut horizon = f64::INFINITY;
+            if self.next < self.order.len() {
+                horizon = self.jobs[self.order[self.next]].arrival;
+            }
+            for r in &self.running {
+                match r.phase {
+                    Phase::Disk { until }
+                    | Phase::Migrating { until }
+                    | Phase::Compute { until } => horizon = horizon.min(until),
+                    Phase::Network => {}
+                }
+            }
+            // A degradation onset changes the fluid rates, so the step
+            // must not integrate across it.
+            for d in &self.cfg.degradations {
+                if d.start > self.now + TIME_EPS {
+                    horizon = horizon.min(d.start);
+                }
+            }
+            // With migration on, wake periodically while an eligible
+            // transfer is in flight: the trigger compares achieved
+            // against expected bandwidth, and nothing else schedules an
+            // event between a transfer's start and its completion.
+            if let Some(mc) = self.cfg.migration {
+                let eligible = self.running.iter().any(|r| {
+                    r.phase == Phase::Network
+                        && self.outcomes[r.slot].as_ref().is_some_and(|o| o.migration.is_none())
+                });
+                if eligible {
+                    horizon = horizon.min(self.now + mc.min_elapsed_secs.max(TIME_EPS));
+                }
+            }
+            let netidx: Vec<usize> = self
+                .running
+                .iter()
+                .enumerate()
+                .filter(|(_, r)| r.phase == Phase::Network)
+                .map(|(i, _)| i)
+                .collect();
+            let rates: Vec<f64> = if netidx.is_empty() {
+                Vec::new()
+            } else {
+                let flows: Vec<Flow> = netidx
+                    .iter()
+                    .map(|&i| Flow {
+                        arrival: SimTime::ZERO,
+                        demand: self.running[i].net_remaining.max(1e-9),
+                        rate_cap: self.running[i].net_cap
+                            * degrade_factor(
+                                &self.cfg.degradations,
+                                self.running[i].repo,
+                                self.now,
+                            ),
+                        resources: vec![
+                            ResourceId(self.running[i].repo),
+                            ResourceId(self.nrepo + self.running[i].site),
+                        ],
+                    })
+                    .collect();
+                let active: Vec<usize> = (0..flows.len()).collect();
+                self.net.instantaneous_rates(&flows, &active)
+            };
+            for (k, &i) in netidx.iter().enumerate() {
+                assert!(rates[k] > 0.0, "max-min allocation starved an active transfer");
+                horizon = horizon.min(self.now + self.running[i].net_remaining / rates[k]);
+            }
+            if horizon.is_infinite() {
+                // Nothing running and nothing arriving. Draining, any
+                // queued or suspended job left is permanently stuck —
+                // record and stop. Incrementally, a future submission
+                // may still unstick things, so just stop.
+                if drain {
+                    for q in self.queue.iter() {
+                        self.violations.push(format!(
+                            "job {} queued forever: no placement ever fits",
+                            q.spec.id
+                        ));
+                    }
+                    for s in &self.suspended {
+                        self.violations.push(format!(
+                            "job {} suspended forever: its nodes never freed",
+                            self.jobs[s.job.slot].id
+                        ));
+                    }
+                }
+                return;
+            }
+            let dt = (horizon - self.now).max(0.0);
+            // The migration trigger's baseline: what each transfer
+            // would have moved this step under the same fair-share
+            // contention with undegraded rate caps.
+            if self.cfg.migration.is_some() && !netidx.is_empty() && dt > 0.0 {
+                let exp_flows: Vec<Flow> = netidx
+                    .iter()
+                    .map(|&i| Flow {
+                        arrival: SimTime::ZERO,
+                        demand: self.running[i].net_remaining.max(1e-9),
+                        rate_cap: self.running[i].net_cap,
+                        resources: vec![
+                            ResourceId(self.running[i].repo),
+                            ResourceId(self.nrepo + self.running[i].site),
+                        ],
+                    })
+                    .collect();
+                let active: Vec<usize> = (0..exp_flows.len()).collect();
+                let exp_rates = self.net.instantaneous_rates(&exp_flows, &active);
+                for (k, &i) in netidx.iter().enumerate() {
+                    self.running[i].net_expected += exp_rates[k] * dt;
+                }
+            }
+            for (k, &i) in netidx.iter().enumerate() {
+                self.running[i].net_remaining -= rates[k] * dt;
+            }
+            self.now = horizon;
+        }
+    }
+
+    /// The batch loop's arrival block: admit or reject every pending
+    /// job whose arrival is due at `now`.
+    fn process_due_arrivals(&mut self) {
+        while self.next < self.order.len()
+            && self.jobs[self.order[self.next]].arrival <= self.now + TIME_EPS
+        {
+            let slot = self.order[self.next];
+            let spec = self.jobs[slot].clone();
+            self.next += 1;
+            self.inst.submitted.inc();
+            if spec.tenant >= self.used_slots.len() {
+                // Batch sized this vector to the global tenant count up
+                // front; growing it lazily is decision-neutral because
+                // trailing zero-demand tenants never change a
+                // water-filled allocation.
+                self.used_slots.resize(spec.tenant + 1, 0);
+            }
+            let standalone = self
+                .engine
+                .standalone_placement(&self.cfg.grid, &spec.app, spec.dataset_bytes)
+                .map(|p| p.predicted.total());
+            let mut outcome = JobOutcome {
+                id: spec.id,
+                tenant: spec.tenant,
+                app: spec.app.clone(),
+                arrival: spec.arrival,
+                dataset_bytes: spec.dataset_bytes,
+                admitted: false,
+                reject_reason: None,
+                standalone,
+                deadline: standalone.map(|s| spec.arrival + spec.deadline_slack * s),
+                admission_estimate: None,
+                placement: None,
+                placed_at: None,
+                predicted: None,
+                disk_end: None,
+                network_end: None,
+                finish: None,
+                preemptions: Vec::new(),
+                migration: None,
+            };
+            // Token-bucket gate: refill lazily, spend one token per
+            // submission, reject (never queue) on an empty bucket.
+            if let Some((q, tokens, last)) = self.buckets.get_mut(spec.tenant) {
+                *tokens = (*tokens + q.refill_per_sec * (self.now - *last)).min(q.capacity);
+                *last = self.now;
+                if *tokens + TIME_EPS < 1.0 {
+                    outcome.reject_reason = Some(format!(
+                        "quota: tenant {} bucket has {:.2} tokens, a submission needs 1",
+                        spec.tenant, *tokens
+                    ));
+                    self.inst.rejected.inc();
+                    if let Some(c) = &self.inst.quota_rej {
+                        c.inc();
+                    }
+                    self.finish_arrival(slot, outcome);
+                    continue;
+                }
+                *tokens -= 1.0;
+                if *tokens < -TIME_EPS {
+                    // Structurally unreachable: the gate above
+                    // rejects before the bucket can go negative.
+                    if let Some(c) = &self.inst.quota_vio {
+                        c.inc();
+                    }
+                }
+            }
+            let Some(standalone) = standalone else {
+                outcome.reject_reason = Some(if self.cfg.grid.app(&spec.app).is_none() {
+                    format!("unknown app {:?}", spec.app)
+                } else {
+                    "no feasible placement on an empty grid".to_string()
+                });
+                self.inst.rejected.inc();
+                self.finish_arrival(slot, outcome);
+                continue;
+            };
+            // Submission-time completion estimate: fluid backlog of
+            // predicted slot-seconds over the total slots, plus the
+            // load-corrected execution prediction.
+            let backlog: f64 = self
+                .running
+                .iter()
+                .map(|r| {
+                    (r.placed_at + r.predicted.total() - self.now).max(0.0)
+                        * r.config.compute_nodes as f64
+                })
+                .sum::<f64>()
+                + self.queue.backlog_slot_secs;
+            let corrected = self
+                .engine
+                .best_placement(
+                    &self.cfg.grid,
+                    &spec.app,
+                    spec.dataset_bytes,
+                    &self.full,
+                    &self.bw,
+                    None,
+                )
+                .map(|p| p.predicted.total())
+                .unwrap_or(standalone);
+            let estimate = self.now + backlog / self.total_slots as f64 + corrected;
+            outcome.admission_estimate = Some(estimate);
+            if self.cfg.policy.admits() {
+                let deadline = outcome.deadline.expect("deadline follows standalone");
+                if estimate > deadline + TIME_EPS {
+                    outcome.reject_reason = Some(format!(
+                        "admission: predicted completion {estimate:.1}s past deadline {deadline:.1}s"
+                    ));
+                    self.inst.rejected.inc();
+                    self.finish_arrival(slot, outcome);
+                    continue;
+                }
+            }
+            outcome.admitted = true;
+            self.inst.admitted.inc();
+            let deadline = outcome.deadline;
+            self.finish_arrival(slot, outcome);
+            self.queue.push(QueuedJob { spec, standalone, deadline });
+            self.depth_max = self.depth_max.max(self.queue.len());
+            self.inst.depth.set(self.queue.len() as f64);
+        }
+    }
+
+    /// Store an arrival's outcome and emit its decision event.
+    fn finish_arrival(&mut self, slot: usize, outcome: JobOutcome) {
+        if self.events.is_some() {
+            self.emit(CoreEvent::Submitted {
+                id: outcome.id,
+                tenant: outcome.tenant,
+                admitted: outcome.admitted,
+                reject_reason: outcome.reject_reason.clone(),
+                estimate: outcome.admission_estimate,
+            });
+        }
+        self.outcomes[slot] = Some(outcome);
+    }
+
+    /// The batch loop's transition block: advance phases due at `now`
+    /// and finalize completions.
+    fn phase_transitions(&mut self) {
+        let mut finished: Vec<usize> = Vec::new();
+        for (ri, r) in self.running.iter_mut().enumerate() {
+            match r.phase {
+                Phase::Disk { until } if until <= self.now + TIME_EPS => {
+                    r.disk_end = Some(self.now);
+                    if r.predicted.t_network > TIME_EPS && r.bytes > 0.0 {
+                        r.phase = Phase::Network;
+                        r.net_started = self.now;
+                        r.net_remaining = r.bytes;
+                        r.net_cap = r.bytes / r.predicted.t_network;
+                    } else {
+                        r.network_end = Some(self.now);
+                        r.phase =
+                            Phase::Compute { until: self.now + r.predicted.t_compute.max(0.0) };
+                    }
+                }
+                Phase::Network if r.net_remaining <= 1e-6 * r.bytes.max(1.0) => {
+                    // Convert the observed stretch into an equivalent
+                    // per-stream WAN bandwidth: the model's T̂_network
+                    // scales as 1/b, so a transfer predicted at
+                    // bandwidth b that took `elapsed` instead of `t̂_n`
+                    // behaved like bandwidth `b * t̂_n / elapsed`.
+                    // Uncontended transfers reproduce their prediction
+                    // exactly and leave the estimate unchanged.
+                    let elapsed = self.now - r.net_started;
+                    if !r.no_feedback && elapsed > TIME_EPS && r.predicted.t_network > TIME_EPS {
+                        let b_eff = r.placed_bw * r.predicted.t_network / elapsed;
+                        self.estimators[r.repo].observe(b_eff);
+                        self.bw[r.repo] = self.estimators[r.repo].estimate();
+                    }
+                    r.network_end = Some(self.now);
+                    r.phase = Phase::Compute { until: self.now + r.predicted.t_compute.max(0.0) };
+                }
+                Phase::Migrating { until } if until <= self.now + TIME_EPS => {
+                    r.phase = Phase::Network;
+                }
+                Phase::Compute { until } if until <= self.now + TIME_EPS => {
+                    finished.push(ri);
+                }
+                _ => {}
+            }
+        }
+        // Completions: release nodes, finalize outcomes.
+        for &ri in finished.iter().rev() {
+            let r = self.running.remove(ri);
+            self.free.release(r.repo, r.site, &r.config);
+            self.used_slots[r.tenant] -= r.config.compute_nodes;
+            self.inst.completed.inc();
+            self.makespan = self.makespan.max(self.now);
+            let o = self.outcomes[r.slot].as_mut().expect("placed job has an outcome");
+            o.disk_end = r.disk_end;
+            o.network_end = r.network_end;
+            o.finish = Some(self.now);
+            if let Some(w) = o.wait() {
+                self.inst.wait.observe(w);
+            }
+            if let Some(s) = o.slowdown() {
+                self.inst.slow.observe(s);
+            }
+            if o.met_deadline() == Some(false) {
+                self.inst.misses.inc();
+            }
+            if self.events.is_some() {
+                let (id, at, met) = (o.id, self.now, o.met_deadline());
+                self.emit(CoreEvent::Completed { id, at, met_deadline: met });
+            }
+        }
+    }
+
+    /// The batch loop's migration block: a transfer achieving well
+    /// under its uncontended rate checkpoints its reduction object and
+    /// switches replicas when `fg-predict`'s cost/benefit model favors
+    /// the move (at most once per job).
+    fn migration_check(&mut self) {
+        let Some(mc) = self.cfg.migration else { return };
+        let grid = &self.cfg.grid;
+        let mut moved_events: Vec<CoreEvent> = Vec::new();
+        for r in self.running.iter_mut() {
+            if r.phase != Phase::Network {
+                continue;
+            }
+            let o = self.outcomes[r.slot].as_ref().expect("placed job has an outcome");
+            if o.migration.is_some() {
+                continue;
+            }
+            let elapsed = self.now - r.net_started;
+            if elapsed < mc.min_elapsed_secs {
+                continue;
+            }
+            let moved = r.bytes - r.net_remaining;
+            if moved <= TIME_EPS || r.net_remaining <= 1e-6 * r.bytes.max(1.0) {
+                continue;
+            }
+            let achieved = moved / elapsed;
+            if r.net_expected <= TIME_EPS || moved >= (1.0 - mc.deviation) * r.net_expected {
+                continue;
+            }
+            let Some(model) = grid.app(&o.app) else { continue };
+            let dataset_bytes = o.dataset_bytes;
+            // Best alternative repository with free data nodes,
+            // priced at its current bandwidth estimate.
+            let mut best: Option<(usize, Prediction)> = None;
+            for (ci, repo) in grid.repos.iter().enumerate() {
+                if ci == r.repo || self.free.data()[ci] < r.config.data_nodes {
+                    continue;
+                }
+                let candidate = DeploymentRef {
+                    repository: &repo.site,
+                    compute: &grid.sites[r.site].site,
+                    stream_bw: self.bw[ci],
+                    config: r.config,
+                    cache: None,
+                };
+                let Ok(pred) = try_predict_deployment(
+                    &model.profile,
+                    model.classes,
+                    candidate,
+                    dataset_bytes,
+                    &grid.factors,
+                ) else {
+                    continue;
+                };
+                if best.as_ref().is_none_or(|(_, b)| pred.total() < b.total()) {
+                    best = Some((ci, pred));
+                }
+            }
+            let Some((to, pred)) = best else { continue };
+            // Remaining fraction of the transfer; the unstarted
+            // compute scales by the same f on both sides so the
+            // comparison hinges on the network remainder plus
+            // the checkpoint move and restart retrieval.
+            let f_rem = (r.net_remaining / r.bytes.max(1.0)).clamp(0.0, 1.0);
+            let stay = r.net_remaining / achieved + f_rem * r.predicted.t_compute.max(0.0);
+            let link = InterconnectParams::of_site(&grid.sites[r.site].site);
+            let decision = decide_migration(stay, &pred, f_rem, r.max_obj_bytes, &link);
+            if !decision.worthwhile(mc.margin) {
+                continue;
+            }
+            // Commit: swap repositories, pause for the checkpoint
+            // move, then resume the remaining bytes at the candidate's
+            // uncontended rate.
+            self.free.release_data(r.repo, r.config.data_nodes);
+            self.free.alloc_data(to, r.config.data_nodes);
+            let from_repo = grid.repos[r.repo].site.name.clone();
+            let to_repo = grid.repos[to].site.name.clone();
+            r.repo = to;
+            r.placed_bw = self.bw[to];
+            r.net_cap =
+                if pred.t_network > TIME_EPS { r.bytes / pred.t_network } else { f64::INFINITY };
+            r.no_feedback = true;
+            r.phase = Phase::Migrating { until: self.now + mc.overhead_secs };
+            let o = self.outcomes[r.slot].as_mut().expect("placed job has an outcome");
+            o.migration = Some(MigrationEvent {
+                at: self.now,
+                until: self.now + mc.overhead_secs,
+                from_repo: from_repo.clone(),
+                to_repo: to_repo.clone(),
+            });
+            if let Some(c) = &self.inst.migrate {
+                c.inc();
+            }
+            if let Some(c) = &self.inst.ckpt {
+                c.inc();
+            }
+            if self.events.is_some() {
+                moved_events.push(CoreEvent::Migrated {
+                    id: o.id,
+                    at: self.now,
+                    from_repo,
+                    to_repo,
+                });
+            }
+        }
+        for e in moved_events {
+            self.emit(e);
+        }
+    }
+
+    /// The batch loop's scheduling pass: start every job the policy
+    /// and fair shares allow, cheapest placement first within the
+    /// policy order. Checkpointed jobs resume first; with preemption
+    /// enabled, a head-of-queue job with a tighter deadline may evict
+    /// a looser-deadline running job.
+    fn schedule_pass(&mut self) {
+        loop {
+            // Resume checkpointed jobs first: they already hold an
+            // admission, so their nodes have priority over new starts.
+            // The restore pause is charged up front.
+            let mut si = 0;
+            while si < self.suspended.len() {
+                let fits = self.suspended[si].job.config.data_nodes
+                    <= self.free.data()[self.suspended[si].job.repo]
+                    && self.suspended[si].job.config.compute_nodes
+                        <= self.free.cmp()[self.suspended[si].job.site];
+                if !fits {
+                    si += 1;
+                    continue;
+                }
+                let Suspended { mut job, remaining } = self.suspended.remove(si);
+                let overhead = self.cfg.preemption.unwrap_or(0.0);
+                self.free.alloc(job.repo, job.site, &job.config);
+                self.used_slots[job.tenant] += job.config.compute_nodes;
+                job.no_feedback = true;
+                job.phase = match remaining {
+                    RemainingPhase::Disk(rem) => Phase::Disk { until: self.now + overhead + rem },
+                    RemainingPhase::Network(remb) => {
+                        // Restore pause, then the transfer continues
+                        // with its remaining bytes.
+                        job.net_remaining = remb;
+                        Phase::Migrating { until: self.now + overhead }
+                    }
+                    RemainingPhase::Compute(rem) => {
+                        Phase::Compute { until: self.now + overhead + rem }
+                    }
+                };
+                let o = self.outcomes[job.slot].as_mut().expect("suspended job has an outcome");
+                o.preemptions
+                    .last_mut()
+                    .expect("suspended job recorded its preemption")
+                    .resumed_at = Some(self.now);
+                if self.events.is_some() {
+                    let (id, at) = (o.id, self.now);
+                    self.emit(CoreEvent::Resumed { id, at });
+                }
+                self.running.push(job);
+            }
+            if self.queue.is_empty() {
+                return;
+            }
+            let grid = &self.cfg.grid;
+            // Saturation early-out: when no configuration in the menu
+            // fits the largest free data slice *and* the largest free
+            // compute slice, every placement query below would return
+            // `None` (any site may pair with any repository, so the
+            // maxima bound every candidate), and the quota
+            // computation, the policy order walk, and both rounds are
+            // pure overhead — skip them. Preemption is the one path
+            // that can start a job without free nodes (it evicts a
+            // victim first), so the shortcut only applies when
+            // preemption is off. Decision-neutral by construction: it
+            // suppresses only work that provably finds no start.
+            if self.cfg.preemption.is_none()
+                && !grid.configs.iter().any(|c| {
+                    c.data_nodes <= self.free.max_data() && c.compute_nodes <= self.free.max_cmp()
+                })
+            {
+                return;
+            }
+            // Max-min fair slot quotas over the tenants that want
+            // slots. A queued job demands what it could use when placed
+            // unconstrained — the largest configuration — so a tenant
+            // alone on an idle grid is never capped below the best
+            // placement by its own conservative demand. A suspended job
+            // still demands the slots it will re-occupy.
+            let ntenant = self.used_slots.len();
+            let max_slots = grid.max_config_slots();
+            let mut demands = vec![0usize; ntenant];
+            for r in self.running.iter() {
+                demands[r.tenant] += r.config.compute_nodes;
+            }
+            for s in self.suspended.iter() {
+                demands[s.job.tenant] += s.job.config.compute_nodes;
+            }
+            for (t, d) in demands.iter_mut().enumerate() {
+                *d += self.queue.queued_for(t) * max_slots;
+            }
+            let quota = fair_quota(self.total_slots, &demands);
+
+            // Round 1: jobs whose tenant is under quota, capped so the
+            // start cannot push the tenant past its quota. The original
+            // loop scanned the whole policy order, skipping every job of
+            // a capped tenant — on a saturated trace that is ~Q skips
+            // per start. Instead, merge only the under-quota tenants'
+            // per-tenant order sets: repeatedly taking the smallest
+            // (key, id) across their cursors visits exactly the
+            // eligible jobs, in exactly the global policy order, so the
+            // sequence of placement queries (and therefore every
+            // decision) is identical to the full scan.
+            let mut start: Option<(usize, Placement, StartKind)> = None;
+            if self.cfg.policy.head_blocking() {
+                // Only the global queue head may start; later jobs wait.
+                let &(_, id, tenant) = self.queue.order.iter().next().expect("queue is non-empty");
+                let headroom = quota[tenant].saturating_sub(self.used_slots[tenant]);
+                if headroom >= self.min_slots {
+                    let q = &self.queue.jobs[&id];
+                    if let Some(p) = self.engine.best_placement(
+                        grid,
+                        &q.spec.app,
+                        q.spec.dataset_bytes,
+                        &self.free,
+                        &self.bw,
+                        Some(headroom),
+                    ) {
+                        start = Some((id, p, StartKind::UnderQuota));
+                    }
+                }
+            } else {
+                let mut cursors: Vec<(usize, std::iter::Peekable<_>)> = (0..ntenant)
+                    .filter_map(|t| {
+                        let headroom = quota[t].saturating_sub(self.used_slots[t]);
+                        (headroom >= self.min_slots && self.queue.queued_for(t) > 0)
+                            .then(|| (headroom, self.queue.by_tenant[t].iter().peekable()))
+                    })
+                    .collect();
+                loop {
+                    let mut head: Option<(usize, (OrderKey, usize))> = None;
+                    for (ci, (_, cursor)) in cursors.iter_mut().enumerate() {
+                        if let Some(&&entry) = cursor.peek() {
+                            if head.is_none_or(|(_, h)| entry < h) {
+                                head = Some((ci, entry));
+                            }
+                        }
+                    }
+                    let Some((ci, (_, id))) = head else { break };
+                    let q = &self.queue.jobs[&id];
+                    if let Some(p) = self.engine.best_placement(
+                        grid,
+                        &q.spec.app,
+                        q.spec.dataset_bytes,
+                        &self.free,
+                        &self.bw,
+                        Some(cursors[ci].0),
+                    ) {
+                        start = Some((id, p, StartKind::UnderQuota));
+                        break;
+                    }
+                    cursors[ci].1.next();
+                }
+            }
+            // Round 2: only when no under-quota start exists may a
+            // backfilling policy start a job past its tenant's quota —
+            // fairness must not cost work conservation.
+            if start.is_none() && !self.cfg.policy.head_blocking() {
+                for &(_, id, _) in self.queue.order.iter() {
+                    let q = &self.queue.jobs[&id];
+                    if let Some(p) = self.engine.best_placement(
+                        grid,
+                        &q.spec.app,
+                        q.spec.dataset_bytes,
+                        &self.free,
+                        &self.bw,
+                        None,
+                    ) {
+                        start = Some((id, p, StartKind::Backfill));
+                        break;
+                    }
+                }
+            }
+            // Preemption: when nothing can start, the head job by
+            // policy order may evict a running job with a strictly
+            // looser deadline. The victim (loosest deadline first) is
+            // checkpointed off its nodes and the head job starts on
+            // them in the same pass — deadline urgency overrides the
+            // fair-share quota, so the start is exempt from the
+            // fairness checks below.
+            if start.is_none() && self.cfg.preemption.is_some() && !self.queue.is_empty() {
+                let &(_, head_id, _) = self.queue.order.iter().next().expect("queue is non-empty");
+                let hq = &self.queue.jobs[&head_id];
+                if let (Some(qd), true) = (hq.deadline, grid.app(&hq.spec.app).is_some()) {
+                    let mut victims: Vec<usize> = (0..self.running.len())
+                        .filter(|&i| self.running[i].deadline.is_some_and(|d| d > qd + TIME_EPS))
+                        .collect();
+                    victims.sort_by(|&a, &b| {
+                        let (da, db) =
+                            (self.running[a].deadline.unwrap(), self.running[b].deadline.unwrap());
+                        db.total_cmp(&da).then(self.running[a].slot.cmp(&self.running[b].slot))
+                    });
+                    for vi in victims {
+                        let v = &self.running[vi];
+                        // Hypothetical slices: the victim's nodes
+                        // returned, nothing committed yet.
+                        let mut hyp = self.free.clone();
+                        hyp.release(v.repo, v.site, &v.config);
+                        let Some(p) = self.engine.best_placement(
+                            grid,
+                            &hq.spec.app,
+                            hq.spec.dataset_bytes,
+                            &hyp,
+                            &self.bw,
+                            None,
+                        ) else {
+                            continue;
+                        };
+                        let v = self.running.remove(vi);
+                        self.free.release(v.repo, v.site, &v.config);
+                        self.used_slots[v.tenant] -= v.config.compute_nodes;
+                        let remaining = match v.phase {
+                            Phase::Disk { until } => {
+                                RemainingPhase::Disk((until - self.now).max(0.0))
+                            }
+                            Phase::Network | Phase::Migrating { .. } => {
+                                RemainingPhase::Network(v.net_remaining)
+                            }
+                            Phase::Compute { until } => {
+                                RemainingPhase::Compute((until - self.now).max(0.0))
+                            }
+                        };
+                        let o = self.outcomes[v.slot].as_mut().expect("placed job has an outcome");
+                        o.preemptions
+                            .push(PreemptionEvent { preempted_at: self.now, resumed_at: None });
+                        if let Some(c) = &self.inst.preempt {
+                            c.inc();
+                        }
+                        if let Some(c) = &self.inst.ckpt {
+                            c.inc();
+                        }
+                        if let Some(evs) = self.events.as_mut() {
+                            evs.push(CoreEvent::Preempted { id: o.id, at: self.now });
+                        }
+                        self.suspended.push(Suspended { job: v, remaining });
+                        start = Some((head_id, p, StartKind::Preempt));
+                        break;
+                    }
+                }
+            }
+            let Some((id, placement, kind)) = start else {
+                // Redundant guard for the work-conservation invariant:
+                // with a backfilling policy, no queued job may fit the
+                // free nodes once the pass declares itself done. It
+                // replays round 2 verbatim, which just proved no start
+                // exists, so it is pure double-checking — debug builds
+                // only, where the test suite runs; a release sweep over
+                // a long saturated backlog would re-scan the whole
+                // queue after every pass.
+                if cfg!(debug_assertions) && !self.cfg.policy.head_blocking() {
+                    let mut caught: Vec<String> = Vec::new();
+                    for q in self.queue.iter() {
+                        if self
+                            .engine
+                            .best_placement(
+                                grid,
+                                &q.spec.app,
+                                q.spec.dataset_bytes,
+                                &self.free,
+                                &self.bw,
+                                None,
+                            )
+                            .is_some()
+                        {
+                            caught.push(format!(
+                                "work conservation: job {} fits free nodes but was not started at t={:.3}",
+                                q.spec.id, self.now
+                            ));
+                        }
+                    }
+                    self.violations.extend(caught);
+                }
+                return;
+            };
+
+            let q = self.queue.remove(id);
+            let tenant = q.spec.tenant;
+            match kind {
+                StartKind::Backfill => {
+                    self.inst.backfill.inc();
+                    if quota[tenant].saturating_sub(self.used_slots[tenant]) >= self.min_slots {
+                        self.violations.push(format!(
+                            "fair share: job {} backfilled past quota although tenant {tenant} had headroom at t={:.3}",
+                            q.spec.id, self.now
+                        ));
+                    }
+                }
+                StartKind::UnderQuota
+                    if self.used_slots[tenant] + placement.cfg.compute_nodes > quota[tenant] =>
+                {
+                    self.violations.push(format!(
+                        "fair share: job {} pushed tenant {tenant} past its quota at t={:.3}",
+                        q.spec.id, self.now
+                    ));
+                }
+                StartKind::UnderQuota | StartKind::Preempt => {}
+            }
+            self.free.alloc(placement.repo, placement.site, &placement.cfg);
+            self.used_slots[tenant] += placement.cfg.compute_nodes;
+            let slot = *self.slot_map.get(&q.spec.id).expect("job id present");
+            let repo_name = self.cfg.grid.repos[placement.repo].site.name.clone();
+            let site_name = self.cfg.grid.sites[placement.site].site.name.clone();
+            let o = self.outcomes[slot].as_mut().expect("queued job has an outcome");
+            o.placed_at = Some(self.now);
+            o.predicted = Some(placement.predicted.total());
+            o.placement = Some(PlacementInfo {
+                repo: placement.repo,
+                site: placement.site,
+                repo_name: repo_name.clone(),
+                site_name: site_name.clone(),
+                config: placement.cfg.label(),
+                data_nodes: placement.cfg.data_nodes,
+                compute_nodes: placement.cfg.compute_nodes,
+            });
+            if self.events.is_some() {
+                self.emit(CoreEvent::Placed {
+                    id: q.spec.id,
+                    at: self.now,
+                    repo: repo_name,
+                    site: site_name,
+                    config: placement.cfg.label(),
+                    predicted: placement.predicted.total(),
+                });
+            }
+            self.running.push(Running {
+                slot,
+                tenant,
+                repo: placement.repo,
+                site: placement.site,
+                config: placement.cfg,
+                predicted: placement.predicted,
+                placed_at: self.now,
+                phase: Phase::Disk { until: self.now + placement.predicted.t_disk.max(0.0) },
+                bytes: q.spec.dataset_bytes as f64,
+                net_started: self.now,
+                net_remaining: 0.0,
+                placed_bw: self.bw[placement.repo],
+                net_cap: f64::INFINITY,
+                disk_end: None,
+                network_end: None,
+                net_expected: 0.0,
+                deadline: q.deadline,
+                max_obj_bytes: self
+                    .cfg
+                    .grid
+                    .app(&q.spec.app)
+                    .map(|m| m.profile.max_obj_bytes)
+                    .unwrap_or(0),
+                no_feedback: false,
+            });
+        }
+    }
+}
+
+/// An admission estimate quoted against a [`SchedSnapshot`] — the
+/// answer to "if a job with this app and dataset arrived right now,
+/// what would the scheduler predict?". For a job actually submitted at
+/// the snapshot's instant, the quote reproduces the admission
+/// estimate bit-for-bit (`tests/serve_differential.rs` pins this).
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct PredictionQuote {
+    /// Standalone predicted execution time (empty grid, nominal
+    /// bandwidth) — the deadline/slowdown baseline.
+    pub standalone: f64,
+    /// Load-corrected execution prediction (best placement on the
+    /// whole grid at current bandwidth estimates).
+    pub corrected: f64,
+    /// Predicted completion instant: snapshot time plus fluid backlog
+    /// plus the corrected prediction.
+    pub estimate: f64,
+    /// Whether an admitting policy would accept the job at the given
+    /// deadline slack (`None` when the policy never rejects).
+    pub would_admit: Option<bool>,
+}
+
+/// An immutable view of the scheduler's decision state, detached from
+/// the event loop. All query methods take `&self`: a server can hand
+/// clones to a pool of worker threads and answer prediction queries
+/// concurrently, without locking the live core.
+#[derive(Debug, Clone)]
+pub struct SchedSnapshot {
+    grid: Arc<GridSpec>,
+    policy: Policy,
+    now: f64,
+    bw: Vec<f64>,
+    free_data: Vec<usize>,
+    free_cmp: Vec<usize>,
+    backlog_slot_secs: f64,
+    total_slots: usize,
+    queue_depth: usize,
+    running: usize,
+}
+
+impl SchedSnapshot {
+    /// The sim-clock instant the snapshot was taken at.
+    pub fn now(&self) -> f64 {
+        self.now
+    }
+
+    /// The policy the core applies.
+    pub fn policy(&self) -> Policy {
+        self.policy
+    }
+
+    /// Current per-repository bandwidth estimates (EWMA-corrected).
+    pub fn bandwidth(&self) -> &[f64] {
+        &self.bw
+    }
+
+    /// Free data-node slices per repository.
+    pub fn free_data(&self) -> &[usize] {
+        &self.free_data
+    }
+
+    /// Free compute-node slices per site.
+    pub fn free_cmp(&self) -> &[usize] {
+        &self.free_cmp
+    }
+
+    /// Jobs waiting in the queue.
+    pub fn queue_depth(&self) -> usize {
+        self.queue_depth
+    }
+
+    /// Jobs occupying grid nodes.
+    pub fn running(&self) -> usize {
+        self.running
+    }
+
+    /// Best placement for `app` on an *empty* grid at nominal
+    /// bandwidth — the standalone baseline. Pure: prices every
+    /// candidate fresh, bit-identical to the engine's cached path.
+    pub fn standalone(&self, app: &str, dataset_bytes: u64) -> Option<Placement> {
+        uncached_standalone_placement(&self.grid, app, dataset_bytes)
+    }
+
+    /// Cheapest placement that fits the snapshot's *free* slices at
+    /// current bandwidth estimates.
+    pub fn best_placement(&self, app: &str, dataset_bytes: u64) -> Option<Placement> {
+        uncached_best_placement(
+            &self.grid,
+            app,
+            dataset_bytes,
+            &self.free_data,
+            &self.free_cmp,
+            &self.bw,
+            None,
+        )
+    }
+
+    /// Quote the admission estimate a job with this app and dataset
+    /// would receive if it arrived at the snapshot instant, with an
+    /// admit/reject verdict at `deadline_slack` when the policy
+    /// rejects. `None` when the app is unknown or nothing places even
+    /// on an empty grid (the scheduler would reject such a job).
+    pub fn quote(
+        &self,
+        app: &str,
+        dataset_bytes: u64,
+        deadline_slack: f64,
+    ) -> Option<PredictionQuote> {
+        let standalone = self.standalone(app, dataset_bytes)?.predicted.total();
+        // Mirror the arrival block's arithmetic exactly: corrected
+        // prediction against the whole grid, fluid backlog over total
+        // slots, estimate from the snapshot instant.
+        let full_data: Vec<usize> = self.grid.repos.iter().map(|r| r.site.max_nodes).collect();
+        let full_cmp: Vec<usize> = self.grid.sites.iter().map(|s| s.site.max_nodes).collect();
+        let corrected = uncached_best_placement(
+            &self.grid,
+            app,
+            dataset_bytes,
+            &full_data,
+            &full_cmp,
+            &self.bw,
+            None,
+        )
+        .map(|p| p.predicted.total())
+        .unwrap_or(standalone);
+        let estimate = self.now + self.backlog_slot_secs / self.total_slots as f64 + corrected;
+        let would_admit = self.policy.admits().then(|| {
+            let deadline = self.now + deadline_slack * standalone;
+            estimate <= deadline + TIME_EPS
+        });
+        Some(PredictionQuote { standalone, corrected, estimate, would_admit })
+    }
+}
+
+/// Integer max-min water-filling, computed in bulk. The reference
+/// formulation hands out one slot at a time to the tenant with the
+/// smallest allocation still under its demand (ties: lowest index) —
+/// `O(total × tenants)`, which a scheduling pass pays on every
+/// iteration. This closed form finds the water level directly: the
+/// largest `L` with `Σ min(demand, L) <= total` satisfies everyone
+/// below the level, and the leftover slots go one each to the
+/// lowest-indexed tenants still above it — exactly where the
+/// round-robin loop would have stopped, so the result is bit-identical
+/// (`fair_quota_matches_the_slot_by_slot_reference` pins this).
+pub(crate) fn fair_quota(total: usize, demands: &[usize]) -> Vec<usize> {
+    let want: usize = demands.iter().sum();
+    if want <= total {
+        return demands.to_vec();
+    }
+    // want > total implies demands is non-empty and the loop below
+    // always finds a level before running out of sorted demands.
+    let mut sorted = demands.to_vec();
+    sorted.sort_unstable();
+    let n = sorted.len();
+    let mut satisfied = 0usize; // slots consumed by demands under the level
+    let mut level = 0usize;
+    let mut remainder = 0usize;
+    for (k, &d) in sorted.iter().enumerate() {
+        if satisfied + (n - k) * d <= total {
+            satisfied += d;
+        } else {
+            level = (total - satisfied) / (n - k);
+            remainder = (total - satisfied) % (n - k);
+            break;
+        }
+    }
+    let mut alloc: Vec<usize> = demands.iter().map(|&d| d.min(level)).collect();
+    if remainder > 0 {
+        for (i, &d) in demands.iter().enumerate() {
+            if d > level {
+                alloc[i] += 1;
+                remainder -= 1;
+                if remainder == 0 {
+                    break;
+                }
+            }
+        }
+    }
+    alloc
+}
+
+/// Post-hoc span tree: one `Run` root, one `Job` span per submission in
+/// arrival order with `JobQueued` and phase children, integer attrs for
+/// the figures and exporters.
+pub(crate) fn build_trace(mut tracer: Tracer, outcomes: &[JobOutcome], makespan: f64) -> Trace {
+    let t = SimTime::from_secs_f64;
+    let end_time = outcomes.iter().map(|o| o.finish.unwrap_or(o.arrival)).fold(makespan, f64::max);
+    let run = tracer.begin(SpanKind::Run, None, SimTime::ZERO);
+    let mut order: Vec<usize> = (0..outcomes.len()).collect();
+    order.sort_by(|&a, &b| {
+        outcomes[a]
+            .arrival
+            .total_cmp(&outcomes[b].arrival)
+            .then(outcomes[a].id.cmp(&outcomes[b].id))
+    });
+    for &i in &order {
+        let o = &outcomes[i];
+        let job = tracer.begin(SpanKind::Job, None, t(o.arrival));
+        tracer.attr(job, "job_id", o.id as u64);
+        tracer.attr(job, "tenant", o.tenant as u64);
+        tracer.attr(job, "dataset_bytes", o.dataset_bytes);
+        tracer.attr(job, "admitted", u64::from(o.admitted));
+        if let Some(s) = o.standalone {
+            tracer.attr(job, "standalone_ms", (s * 1e3).round() as u64);
+        }
+        if let Some(p) = o.predicted {
+            tracer.attr(job, "predicted_ms", (p * 1e3).round() as u64);
+        }
+        if let Some(met) = o.met_deadline() {
+            tracer.attr(job, "met_deadline", u64::from(met));
+        }
+        match (o.placed_at, o.disk_end, o.network_end, o.finish) {
+            (Some(placed), Some(disk), Some(netw), Some(finish)) => {
+                let queued = tracer.record(SpanKind::JobQueued, None, t(o.arrival), t(placed));
+                let _ = queued;
+                tracer.record(SpanKind::Retrieval, None, t(placed), t(disk));
+                if netw > disk {
+                    tracer.record(SpanKind::Network, None, t(disk), t(netw));
+                }
+                tracer.record(SpanKind::Compute, None, t(netw), t(finish));
+                // Disruption history: a zero-length `Checkpoint` marker
+                // at each eviction or migration instant, plus the
+                // off-grid / switching window it opened.
+                for p in &o.preemptions {
+                    let at = t(p.preempted_at);
+                    tracer.record(SpanKind::Checkpoint, None, at, at);
+                    tracer.record(SpanKind::Preempted, None, at, t(p.resumed_at.unwrap_or(finish)));
+                }
+                if let Some(m) = &o.migration {
+                    tracer.record(SpanKind::Checkpoint, None, t(m.at), t(m.at));
+                    tracer.record(SpanKind::Migrate, None, t(m.at), t(m.until));
+                }
+                tracer.end(job, t(finish));
+            }
+            _ => {
+                // Rejected (or stuck) jobs: zero-length span at arrival.
+                tracer.end(job, t(o.arrival));
+            }
+        }
+    }
+    tracer.end(run, t(end_time));
+    tracer.finish(None)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use proptest::prelude::*;
+
+    #[test]
+    fn fair_quota_water_fills() {
+        assert_eq!(fair_quota(10, &[4, 4, 4]), vec![4, 3, 3]);
+        assert_eq!(fair_quota(12, &[2, 8, 8]), vec![2, 5, 5]);
+        assert_eq!(fair_quota(12, &[1, 2, 3]), vec![1, 2, 3]);
+        assert_eq!(fair_quota(3, &[5, 5, 5]), vec![1, 1, 1]);
+        assert_eq!(fair_quota(0, &[5, 5]), vec![0, 0]);
+        assert_eq!(fair_quota(7, &[0, 9, 3]), vec![0, 4, 3]);
+        assert_eq!(fair_quota(10, &[2, 8, 8]), vec![2, 4, 4]);
+        assert_eq!(fair_quota(24, &[2, 2, 2]), vec![2, 2, 2]);
+        assert_eq!(fair_quota(0, &[5]), vec![0]);
+        assert_eq!(fair_quota(5, &[]), Vec::<usize>::new());
+        assert_eq!(fair_quota(7, &[0, 3, 0, 9]), vec![0, 3, 0, 4]);
+        assert_eq!(fair_quota(3, &[5, 5, 5, 5]), vec![1, 1, 1, 0]);
+    }
+
+    /// The slot-by-slot reference the closed form replaces.
+    fn fair_quota_reference(total: usize, demands: &[usize]) -> Vec<usize> {
+        let mut alloc = vec![0usize; demands.len()];
+        let mut left = total;
+        while left > 0 {
+            let candidate = (0..demands.len())
+                .filter(|&i| alloc[i] < demands[i])
+                .min_by_key(|&i| (alloc[i], i));
+            match candidate {
+                Some(i) => {
+                    alloc[i] += 1;
+                    left -= 1;
+                }
+                None => break,
+            }
+        }
+        alloc
+    }
+
+    proptest! {
+        #[test]
+        fn fair_quota_matches_the_slot_by_slot_reference(
+            total in 0usize..64,
+            demands in proptest::collection::vec(0usize..16, 0..8),
+        ) {
+            prop_assert_eq!(fair_quota(total, &demands), fair_quota_reference(total, &demands));
+        }
+
+        /// Growing the tenant vector with trailing zero demands never
+        /// changes a real tenant's allocation — the property that lets
+        /// the incremental core size `used_slots` lazily.
+        #[test]
+        fn trailing_zero_demands_are_neutral(
+            total in 0usize..64,
+            demands in proptest::collection::vec(0usize..16, 0..8),
+            extra in 0usize..4,
+        ) {
+            let mut grown = demands.clone();
+            grown.resize(demands.len() + extra, 0);
+            let base = fair_quota(total, &demands);
+            let wide = fair_quota(total, &grown);
+            prop_assert_eq!(&wide[..demands.len()], &base[..]);
+            prop_assert!(wide[demands.len()..].iter().all(|&a| a == 0));
+        }
+    }
+}

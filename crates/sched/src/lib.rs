@@ -46,6 +46,7 @@
 
 #![warn(missing_docs)]
 
+pub mod core;
 pub mod grid;
 pub mod placement;
 pub mod policy;
@@ -53,6 +54,9 @@ pub mod replay;
 pub mod sched;
 pub mod workload;
 
+pub use crate::core::{
+    CoreEvent, CoreStats, PredictionQuote, SchedCore, SchedSnapshot, SubmitError, SubmitOutcome,
+};
 pub use grid::{AppModel, GridSpec, RepoSpec, SiteSpec};
 pub use placement::{naive_best_placement, FreeSlices, Placement, PlacementEngine, PlacementStats};
 pub use policy::Policy;

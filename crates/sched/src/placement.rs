@@ -315,9 +315,11 @@ impl PlacementEngine {
     /// change, but dataset sizes are effectively unique per job, so a
     /// memo here would only grow, and routing the query through the
     /// live-bandwidth cache would thrash it (arrival computes both a
-    /// nominal and a corrected estimate for the same key).
+    /// nominal and a corrected estimate for the same key). Takes
+    /// `&self` — the query touches no cache state, so concurrent
+    /// readers (a snapshot-serving worker pool) need no lock.
     pub fn standalone_placement(
-        &mut self,
+        &self,
         grid: &GridSpec,
         app: &str,
         dataset_bytes: u64,
@@ -355,6 +357,52 @@ impl PlacementEngine {
 
 fn to_placement(grid: &GridSpec, repo: usize, c: &Ranked) -> Placement {
     Placement { repo, site: c.site, cfg: grid.configs[c.cfg], predicted: c.predicted }
+}
+
+/// The cached engine's query, priced fresh with no cache: build every
+/// repository's ranking at the given bandwidths and walk it against
+/// the free slices. Bit-identical to [`PlacementEngine::best_placement`]
+/// over the same inputs (same `build_ranking`, same `walk`), which is
+/// what lets an immutable snapshot answer placement queries from
+/// `&self` without sharing the engine's mutable cache.
+pub(crate) fn uncached_best_placement(
+    grid: &GridSpec,
+    app: &str,
+    dataset_bytes: u64,
+    free_data: &[usize],
+    free_cmp: &[usize],
+    bw: &[f64],
+    quota_cap: Option<usize>,
+) -> Option<Placement> {
+    let app_idx = grid.apps.iter().position(|(n, _)| n == app)?;
+    let model = &grid.apps[app_idx].1;
+    let rankings: Vec<RepoRanking> = grid
+        .repos
+        .iter()
+        .enumerate()
+        .map(|(ri, r)| build_ranking(grid, model, r, dataset_bytes, bw[ri]))
+        .collect();
+    walk(&rankings, free_data, free_cmp, quota_cap).map(|(ri, c)| to_placement(grid, ri, &c))
+}
+
+/// The standalone query without an engine: best placement on an empty
+/// grid at nominal bandwidths. Bit-identical to
+/// [`PlacementEngine::standalone_placement`].
+pub(crate) fn uncached_standalone_placement(
+    grid: &GridSpec,
+    app: &str,
+    dataset_bytes: u64,
+) -> Option<Placement> {
+    let app_idx = grid.apps.iter().position(|(n, _)| n == app)?;
+    let model = &grid.apps[app_idx].1;
+    let max_data: Vec<usize> = grid.repos.iter().map(|r| r.site.max_nodes).collect();
+    let max_cmp: Vec<usize> = grid.sites.iter().map(|s| s.site.max_nodes).collect();
+    let rankings: Vec<RepoRanking> = grid
+        .repos
+        .iter()
+        .map(|r| build_ranking(grid, model, r, dataset_bytes, r.wan.stream_bw))
+        .collect();
+    walk(&rankings, &max_data, &max_cmp, None).map(|(ri, c)| to_placement(grid, ri, &c))
 }
 
 /// Price every (site, configuration) candidate of one repository at

@@ -5,7 +5,7 @@
 //! from starting ahead of it (no backfilling), and whether jobs face
 //! predictor-based admission control at submission.
 
-use crate::sched::QueuedJob;
+use crate::core::QueuedJob;
 
 /// The queueing disciplines the scheduler implements.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]

@@ -29,20 +29,12 @@
 //! either property are recorded on the result rather than silently
 //! dropped.
 
+use crate::core::{SchedCore, TIME_EPS};
 use crate::grid::GridSpec;
-use crate::placement::{FreeSlices, Placement, PlacementEngine};
 use crate::policy::Policy;
 use crate::workload::JobSpec;
-use fg_cluster::{Configuration, DeploymentRef};
-use fg_predict::bandwidth::{BandwidthEstimator, Ewma};
-use fg_predict::{decide_migration, try_predict_deployment, InterconnectParams, Prediction};
-use fg_sim::{FairShareSim, Flow, ResourceId, SimTime};
-use fg_trace::{SpanKind, Trace, Tracer};
-use serde::Serialize;
-use std::collections::{BTreeMap, BTreeSet, HashMap};
-
-/// Clock comparison slop, seconds.
-const TIME_EPS: f64 = 1e-9;
+use fg_trace::Trace;
+use serde::{Deserialize, Serialize};
 
 /// A per-tenant token-bucket admission quota: each submission spends one
 /// token; the bucket refills continuously up to `capacity`. A tenant
@@ -58,7 +50,7 @@ pub struct TenantQuota {
 
 /// One preemption of a running job: evicted at `preempted_at`, back on
 /// the grid at `resumed_at` (`None` if the run ended first).
-#[derive(Debug, Clone, PartialEq, Serialize)]
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
 pub struct PreemptionEvent {
     /// When the job was checkpointed and evicted.
     pub preempted_at: f64,
@@ -68,7 +60,7 @@ pub struct PreemptionEvent {
 
 /// A mid-run replica migration: the job's remaining transfer switched
 /// repositories over `[at, until]`.
-#[derive(Debug, Clone, PartialEq, Serialize)]
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
 pub struct MigrationEvent {
     /// When the checkpoint was taken and the switch began.
     pub at: f64,
@@ -122,7 +114,7 @@ pub struct Degradation {
 }
 
 /// Where a job ran.
-#[derive(Debug, Clone, PartialEq, Serialize)]
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
 pub struct PlacementInfo {
     /// Repository index in the grid.
     pub repo: usize,
@@ -141,7 +133,7 @@ pub struct PlacementInfo {
 }
 
 /// Everything that happened to one submitted job.
-#[derive(Debug, Clone, PartialEq, Serialize)]
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
 pub struct JobOutcome {
     /// Submission id.
     pub id: usize,
@@ -235,221 +227,24 @@ pub struct SchedResult {
     pub violations: Vec<String>,
 }
 
-/// A job waiting in the scheduler queue.
-#[derive(Debug, Clone)]
-pub(crate) struct QueuedJob {
-    /// The submitted job.
-    pub(crate) spec: JobSpec,
-    /// Standalone predicted execution time.
-    pub(crate) standalone: f64,
-    /// Deadline instant, when one applies.
-    pub(crate) deadline: Option<f64>,
-}
-
-/// An `f64` ordered by `total_cmp` so it can key a [`BTreeSet`]. The
-/// ordering matches the comparator the per-pass policy sort used, so
-/// the maintained index visits jobs in exactly the order the sort
-/// produced.
-#[derive(Debug, Clone, Copy, PartialEq)]
-struct OrderKey(f64);
-
-impl Eq for OrderKey {}
-
-impl PartialOrd for OrderKey {
-    fn partial_cmp(&self, other: &Self) -> Option<std::cmp::Ordering> {
-        Some(self.cmp(other))
-    }
-}
-
-impl Ord for OrderKey {
-    fn cmp(&self, other: &Self) -> std::cmp::Ordering {
-        self.0.total_cmp(&other.0)
-    }
-}
-
-/// The scheduler queue, indexed for the hot loop.
-///
-/// The original `Vec<QueuedJob>` forced three O(queue) rescans per
-/// scheduling pass — the policy sort, the fair-share demand tally, and
-/// the admission backlog sum — which goes quadratic on long traces
-/// once the grid saturates and a backlog accumulates. Every policy's
-/// ordering key is fixed at enqueue time (arrival, standalone
-/// prediction, or deadline), so all three can be maintained
-/// incrementally instead:
-///
-/// * `jobs` — by submission id. Arrivals enqueue in id order, so
-///   iteration yields the same sequence the old `Vec` did (pushes at
-///   the tail, order-preserving removals).
-/// * `order` — `(policy key, id, tenant)` triples; iteration is the
-///   policy order the per-pass sort produced, bit-identically (ids
-///   are unique, so the trailing tenant never influences the order —
-///   it rides along so walks can skip jobs without a `jobs` lookup).
-/// * `by_tenant` — the same entries split per tenant, so the round-1
-///   quota walk can merge only the under-quota tenants' jobs in
-///   global policy order instead of scanning every queued job to
-///   skip the capped ones (the dominant cost on saturated traces:
-///   ~Q skipped entries per start).
-/// * `backlog_slot_secs` — running Σ standalone·min_slots for the
-///   submission-time completion estimate. An incremental float sum
-///   can differ from the old front-to-back resum in the last bits
-///   after dequeues, which only nudges the *reported* admission
-///   estimate; placement decisions never read it.
-#[derive(Debug)]
-pub(crate) struct PolicyQueue {
-    policy: Policy,
-    jobs: BTreeMap<usize, QueuedJob>,
-    order: BTreeSet<(OrderKey, usize, usize)>,
-    by_tenant: Vec<BTreeSet<(OrderKey, usize)>>,
-    backlog_slot_secs: f64,
-    min_slots: usize,
-}
-
-impl PolicyQueue {
-    fn new(policy: Policy, min_slots: usize) -> PolicyQueue {
-        PolicyQueue {
-            policy,
-            jobs: BTreeMap::new(),
-            order: BTreeSet::new(),
-            by_tenant: Vec::new(),
-            backlog_slot_secs: 0.0,
-            min_slots,
-        }
-    }
-
-    fn len(&self) -> usize {
-        self.jobs.len()
-    }
-
-    fn is_empty(&self) -> bool {
-        self.jobs.is_empty()
-    }
-
-    /// Queued jobs in submission-id order (the old `Vec` order).
-    fn iter(&self) -> impl Iterator<Item = &QueuedJob> {
-        self.jobs.values()
-    }
-
-    fn queued_for(&self, tenant: usize) -> usize {
-        self.by_tenant.get(tenant).map_or(0, |s| s.len())
-    }
-
-    fn push(&mut self, job: QueuedJob) {
-        let (metric, id) = self.policy.key(&job);
-        if job.spec.tenant >= self.by_tenant.len() {
-            self.by_tenant.resize(job.spec.tenant + 1, BTreeSet::new());
-        }
-        self.by_tenant[job.spec.tenant].insert((OrderKey(metric), id));
-        self.backlog_slot_secs += job.standalone * self.min_slots as f64;
-        self.order.insert((OrderKey(metric), id, job.spec.tenant));
-        let prev = self.jobs.insert(id, job);
-        assert!(prev.is_none(), "job {id} queued twice");
-    }
-
-    fn remove(&mut self, id: usize) -> QueuedJob {
-        let job = self.jobs.remove(&id).expect("removed job is queued");
-        let (metric, _) = self.policy.key(&job);
-        self.order.remove(&(OrderKey(metric), id, job.spec.tenant));
-        self.by_tenant[job.spec.tenant].remove(&(OrderKey(metric), id));
-        self.backlog_slot_secs -= job.standalone * self.min_slots as f64;
-        job
-    }
-}
-
-#[derive(Debug, Clone, Copy, PartialEq)]
-enum Phase {
-    Disk {
-        until: f64,
-    },
-    Network,
-    /// Checkpoint-and-switch pause of a mid-run migration; the transfer
-    /// resumes (on the new repository) when `until` passes.
-    Migrating {
-        until: f64,
-    },
-    Compute {
-        until: f64,
-    },
-}
-
-#[derive(Debug, Clone)]
-struct Running {
-    /// Index into the outcomes vector (== JobSpec id position).
-    slot: usize,
-    tenant: usize,
-    repo: usize,
-    site: usize,
-    config: Configuration,
-    predicted: Prediction,
-    placed_at: f64,
-    phase: Phase,
-    bytes: f64,
-    net_started: f64,
-    net_remaining: f64,
-    net_cap: f64,
-    /// The per-stream WAN bandwidth the placement prediction used;
-    /// the baseline for converting an observed stretch back into an
-    /// equivalent bandwidth sample.
-    placed_bw: f64,
-    disk_end: Option<f64>,
-    network_end: Option<f64>,
-    /// Bytes the fluid model expected this transfer to have moved
-    /// under fair-share contention with *undegraded* rate caps — the
-    /// migration trigger's baseline (accumulated only when migration
-    /// is enabled).
-    net_expected: f64,
-    /// Deadline instant, for preemption ordering.
-    deadline: Option<f64>,
-    /// Reduction-object bytes a checkpoint of this job would move.
-    max_obj_bytes: u64,
-    /// Suppress the bandwidth-feedback sample: a preempted or migrated
-    /// transfer's elapsed time is not a clean observation.
-    no_feedback: bool,
-}
-
-/// What was left of a preempted job's current phase.
-#[derive(Debug, Clone, Copy)]
-enum RemainingPhase {
-    Disk(f64),
-    Network(f64),
-    Compute(f64),
-}
-
-/// A checkpointed job waiting to re-occupy its nodes.
-#[derive(Debug, Clone)]
-struct Suspended {
-    job: Running,
-    remaining: RemainingPhase,
-}
-
-/// How a job got its nodes in a scheduling pass.
-#[derive(Debug, Clone, Copy, PartialEq)]
-enum StartKind {
-    /// Round 1: the tenant was under its fair-share quota.
-    UnderQuota,
-    /// Round 2: past quota, but the nodes were otherwise idle.
-    Backfill,
-    /// The start was enabled by checkpointing a looser-deadline job
-    /// off its nodes; deadline urgency overrides fair shares.
-    Preempt,
-}
-
 /// The multi-tenant scheduler: a grid, a policy, and an EWMA smoothing
 /// factor for the bandwidth feedback loop. Preemption, mid-run
 /// migration, token-bucket quotas, and bandwidth-degradation injection
 /// are all off unless enabled through the builder methods, and a
 /// default-configured scheduler behaves bit-identically to earlier
 /// releases.
+#[derive(Clone)]
 pub struct Scheduler {
-    grid: GridSpec,
-    policy: Policy,
-    ewma_alpha: f64,
-    quotas: Option<Vec<TenantQuota>>,
-    preemption: Option<f64>,
-    migration: Option<MigrationConfig>,
-    degradations: Vec<Degradation>,
-    parallel_scoring: bool,
-    naive_placement: bool,
-    workload_metrics: bool,
+    pub(crate) grid: GridSpec,
+    pub(crate) policy: Policy,
+    pub(crate) ewma_alpha: f64,
+    pub(crate) quotas: Option<Vec<TenantQuota>>,
+    pub(crate) preemption: Option<f64>,
+    pub(crate) migration: Option<MigrationConfig>,
+    pub(crate) degradations: Vec<Degradation>,
+    pub(crate) parallel_scoring: bool,
+    pub(crate) naive_placement: bool,
+    pub(crate) workload_metrics: bool,
 }
 
 impl Scheduler {
@@ -554,981 +349,27 @@ impl Scheduler {
         self.policy
     }
 
-    /// The rate multiplier degradations impose on `repo`'s transfers
-    /// at instant `now` (1.0 when none applies).
-    fn degrade_factor(&self, repo: usize, now: f64) -> f64 {
-        self.degradations
-            .iter()
-            .filter(|d| d.repo == repo && now >= d.start - TIME_EPS)
-            .map(|d| d.factor)
-            .fold(1.0, f64::min)
+    /// The grid this scheduler places jobs onto.
+    pub fn grid(&self) -> &GridSpec {
+        &self.grid
     }
 
     /// Run the event loop over a job stream (need not be sorted) and
     /// return outcomes, trace, and invariant report. Deterministic: the
     /// same grid, policy, and jobs produce a bit-identical result.
+    ///
+    /// This is now a thin wrapper over the extracted decision core:
+    /// load every job into a fresh [`SchedCore`] exactly as the old
+    /// batch loop indexed them, then drain. A job stream fed through
+    /// [`SchedCore::submit`] one arrival at a time produces the same
+    /// bit-identical result — arrivals bound the fluid integration
+    /// horizon in both drivers, so neither ever splits a step the
+    /// other took whole.
     pub fn run(&self, jobs: &[JobSpec]) -> SchedResult {
-        let grid = &self.grid;
-        assert!(
-            !grid.repos.is_empty() && !grid.sites.is_empty() && !grid.configs.is_empty(),
-            "grid must have repositories, sites, and configurations"
-        );
-        let nrepo = grid.repos.len();
-        let ntenant = jobs.iter().map(|j| j.tenant + 1).max().unwrap_or(0);
-        let total_slots = grid.total_compute_slots();
-        let min_slots = grid.min_config_slots();
-
-        // Arrival order (ties by id).
-        let mut order: Vec<usize> = (0..jobs.len()).collect();
-        order.sort_by(|&a, &b| {
-            jobs[a].arrival.total_cmp(&jobs[b].arrival).then(jobs[a].id.cmp(&jobs[b].id))
-        });
-
-        // Shared-link fluid model: one resource per repository uplink,
-        // one per site ingress.
-        let capacities: Vec<f64> = grid
-            .repos
-            .iter()
-            .map(|r| r.wan_capacity)
-            .chain(grid.sites.iter().map(|s| s.ingress_capacity))
-            .collect();
-        let net = FairShareSim::new(capacities);
-
-        let max_data: Vec<usize> = grid.repos.iter().map(|r| r.site.max_nodes).collect();
-        let max_cmp: Vec<usize> = grid.sites.iter().map(|s| s.site.max_nodes).collect();
-        let mut free = FreeSlices::new(max_data.clone(), max_cmp.clone());
-        // The whole-grid slices admission estimates are computed
-        // against (a job's corrected prediction assumes it eventually
-        // gets its best placement, not the currently free one).
-        let full = FreeSlices::new(max_data, max_cmp);
-        let mut bw: Vec<f64> = grid.repos.iter().map(|r| r.wan.stream_bw).collect();
-        let mut engine = PlacementEngine::new(grid);
-        if self.parallel_scoring {
-            engine = engine.with_parallel();
-        }
-        if self.naive_placement {
-            engine = engine.with_naive();
-        }
-        let mut estimators: Vec<Ewma> = (0..nrepo).map(|_| Ewma::new(self.ewma_alpha)).collect();
-        let mut used_slots = vec![0usize; ntenant];
-        // Token buckets start full; refill lazily at each arrival.
-        let mut buckets: Vec<(TenantQuota, f64, f64)> =
-            self.quotas.as_deref().unwrap_or(&[]).iter().map(|&q| (q, q.capacity, 0.0)).collect();
-        let mut suspended: Vec<Suspended> = Vec::new();
-
-        let tracer = Tracer::new();
-        let submitted_c = tracer.metrics.counter("sched_jobs_submitted");
-        let admitted_c = tracer.metrics.counter("sched_jobs_admitted");
-        let rejected_c = tracer.metrics.counter("sched_jobs_rejected");
-        let completed_c = tracer.metrics.counter("sched_jobs_completed");
-        let misses_c = tracer.metrics.counter("sched_deadline_misses");
-        let backfill_c = tracer.metrics.counter("sched_backfill_starts");
-        let depth_g = tracer.metrics.gauge("sched_queue_depth");
-        let depth_max_g = tracer.metrics.gauge("sched_queue_depth_max");
-        let wait_h =
-            tracer.metrics.histogram("sched_wait_seconds", &[1.0, 5.0, 15.0, 60.0, 300.0, 1800.0]);
-        let slow_h = tracer
-            .metrics
-            .histogram("sched_slowdown", &[1.0, 1.25, 1.5, 2.0, 3.0, 5.0, 10.0, 30.0]);
-        // Feature counters exist only when the feature is on, so a
-        // default-configured run's metrics snapshot (and its golden
-        // traces) are unchanged.
-        let quota_rej_c =
-            self.quotas.as_ref().map(|_| tracer.metrics.counter("sched_quota_rejections"));
-        let quota_vio_c =
-            self.quotas.as_ref().map(|_| tracer.metrics.counter("sched_quota_violations"));
-        let preempt_c = self.preemption.map(|_| tracer.metrics.counter("sched_preemptions"));
-        let migrate_c = self.migration.map(|_| tracer.metrics.counter("sched_migrations"));
-        let ckpt_c = (self.preemption.is_some() || self.migration.is_some())
-            .then(|| tracer.metrics.counter("sched_checkpoints"));
-        if self.workload_metrics {
-            // Shape-of-traffic instruments over the submitted stream,
-            // computed up front (they describe the input, not the
-            // schedule). The gauges come from the same stats the
-            // replay layer reports, so trace files and metrics agree.
-            let mut by_arrival: Vec<&JobSpec> = jobs.iter().collect();
-            by_arrival.sort_by(|a, b| a.arrival.total_cmp(&b.arrival).then(a.id.cmp(&b.id)));
-            let sorted: Vec<JobSpec> = by_arrival.into_iter().cloned().collect();
-            let stats = crate::replay::stats_of(&sorted);
-            tracer.metrics.gauge("workload_burst_depth_max").set(stats.burst_depth_max as f64);
-            tracer.metrics.gauge("workload_tail_mass_top1").set(stats.tail_mass_top1);
-            tracer.metrics.gauge("workload_p99_dataset_mb").set(stats.p99_bytes as f64 / 1e6);
-            tracer.metrics.gauge("workload_mean_gap_secs").set(stats.mean_gap);
-            let size_h = tracer
-                .metrics
-                .histogram("workload_dataset_mb", &[16.0, 64.0, 256.0, 1024.0, 4096.0]);
-            for j in &sorted {
-                size_h.observe(j.dataset_bytes as f64 / 1e6);
-            }
-        }
-
-        let mut outcomes: Vec<Option<JobOutcome>> = vec![None; jobs.len()];
-        // Id → submission slot, built once: the event loop resolves a
-        // slot on every arrival, start, and completion, and a linear
-        // rescan of the job list per lookup goes quadratic on long
-        // traces.
-        let mut slot_map: HashMap<usize, usize> = HashMap::with_capacity(jobs.len());
-        for (i, j) in jobs.iter().enumerate() {
-            let prev = slot_map.insert(j.id, i);
-            assert!(prev.is_none(), "duplicate job id {}", j.id);
-        }
-        let slot_of = |id: usize| -> usize { *slot_map.get(&id).expect("job id present") };
-        let mut queue = PolicyQueue::new(self.policy, min_slots);
-        let mut running: Vec<Running> = Vec::new();
-        let mut violations: Vec<String> = Vec::new();
-        let mut next = 0usize;
-        let mut now = 0.0f64;
-        let mut makespan = 0.0f64;
-        let mut depth_max = 0usize;
-        let mut iterations = 0usize;
-        let budget = 10_000 + 200 * jobs.len();
-
-        while next < order.len()
-            || !queue.is_empty()
-            || !running.is_empty()
-            || !suspended.is_empty()
-        {
-            iterations += 1;
-            assert!(iterations <= budget, "scheduler event loop failed to make progress");
-
-            // --- arrivals due at `now` ---
-            while next < order.len() && jobs[order[next]].arrival <= now + TIME_EPS {
-                let spec = &jobs[order[next]];
-                next += 1;
-                submitted_c.inc();
-                let standalone = engine
-                    .standalone_placement(grid, &spec.app, spec.dataset_bytes)
-                    .map(|p| p.predicted.total());
-                let mut outcome = JobOutcome {
-                    id: spec.id,
-                    tenant: spec.tenant,
-                    app: spec.app.clone(),
-                    arrival: spec.arrival,
-                    dataset_bytes: spec.dataset_bytes,
-                    admitted: false,
-                    reject_reason: None,
-                    standalone,
-                    deadline: standalone.map(|s| spec.arrival + spec.deadline_slack * s),
-                    admission_estimate: None,
-                    placement: None,
-                    placed_at: None,
-                    predicted: None,
-                    disk_end: None,
-                    network_end: None,
-                    finish: None,
-                    preemptions: Vec::new(),
-                    migration: None,
-                };
-                // Token-bucket gate: refill lazily, spend one token per
-                // submission, reject (never queue) on an empty bucket.
-                if let Some((q, tokens, last)) = buckets.get_mut(spec.tenant) {
-                    *tokens = (*tokens + q.refill_per_sec * (now - *last)).min(q.capacity);
-                    *last = now;
-                    if *tokens + TIME_EPS < 1.0 {
-                        outcome.reject_reason = Some(format!(
-                            "quota: tenant {} bucket has {:.2} tokens, a submission needs 1",
-                            spec.tenant, *tokens
-                        ));
-                        rejected_c.inc();
-                        if let Some(c) = &quota_rej_c {
-                            c.inc();
-                        }
-                        outcomes[slot_of(spec.id)] = Some(outcome);
-                        continue;
-                    }
-                    *tokens -= 1.0;
-                    if *tokens < -TIME_EPS {
-                        // Structurally unreachable: the gate above
-                        // rejects before the bucket can go negative.
-                        if let Some(c) = &quota_vio_c {
-                            c.inc();
-                        }
-                    }
-                }
-                let Some(standalone) = standalone else {
-                    outcome.reject_reason = Some(if grid.app(&spec.app).is_none() {
-                        format!("unknown app {:?}", spec.app)
-                    } else {
-                        "no feasible placement on an empty grid".to_string()
-                    });
-                    rejected_c.inc();
-                    outcomes[slot_of(spec.id)] = Some(outcome);
-                    continue;
-                };
-                // Submission-time completion estimate: fluid backlog of
-                // predicted slot-seconds over the total slots, plus the
-                // load-corrected execution prediction.
-                let backlog: f64 = running
-                    .iter()
-                    .map(|r| {
-                        (r.placed_at + r.predicted.total() - now).max(0.0)
-                            * r.config.compute_nodes as f64
-                    })
-                    .sum::<f64>()
-                    + queue.backlog_slot_secs;
-                let corrected = engine
-                    .best_placement(grid, &spec.app, spec.dataset_bytes, &full, &bw, None)
-                    .map(|p| p.predicted.total())
-                    .unwrap_or(standalone);
-                let estimate = now + backlog / total_slots as f64 + corrected;
-                outcome.admission_estimate = Some(estimate);
-                if self.policy.admits() {
-                    let deadline = outcome.deadline.expect("deadline follows standalone");
-                    if estimate > deadline + TIME_EPS {
-                        outcome.reject_reason = Some(format!(
-                            "admission: predicted completion {estimate:.1}s past deadline {deadline:.1}s"
-                        ));
-                        rejected_c.inc();
-                        outcomes[slot_of(spec.id)] = Some(outcome);
-                        continue;
-                    }
-                }
-                outcome.admitted = true;
-                admitted_c.inc();
-                let deadline = outcome.deadline;
-                outcomes[slot_of(spec.id)] = Some(outcome);
-                queue.push(QueuedJob { spec: spec.clone(), standalone, deadline });
-                depth_max = depth_max.max(queue.len());
-                depth_g.set(queue.len() as f64);
-            }
-
-            // --- phase transitions due at `now` ---
-            let mut finished: Vec<usize> = Vec::new();
-            for (ri, r) in running.iter_mut().enumerate() {
-                match r.phase {
-                    Phase::Disk { until } if until <= now + TIME_EPS => {
-                        r.disk_end = Some(now);
-                        if r.predicted.t_network > TIME_EPS && r.bytes > 0.0 {
-                            r.phase = Phase::Network;
-                            r.net_started = now;
-                            r.net_remaining = r.bytes;
-                            r.net_cap = r.bytes / r.predicted.t_network;
-                        } else {
-                            r.network_end = Some(now);
-                            r.phase =
-                                Phase::Compute { until: now + r.predicted.t_compute.max(0.0) };
-                        }
-                    }
-                    Phase::Network if r.net_remaining <= 1e-6 * r.bytes.max(1.0) => {
-                        // Convert the observed stretch into an
-                        // equivalent per-stream WAN bandwidth: the
-                        // model's T̂_network scales as 1/b, so a
-                        // transfer predicted at bandwidth b that took
-                        // `elapsed` instead of `t̂_n` behaved like
-                        // bandwidth `b * t̂_n / elapsed`. Uncontended
-                        // transfers reproduce their prediction exactly
-                        // and leave the estimate unchanged.
-                        let elapsed = now - r.net_started;
-                        if !r.no_feedback && elapsed > TIME_EPS && r.predicted.t_network > TIME_EPS
-                        {
-                            let b_eff = r.placed_bw * r.predicted.t_network / elapsed;
-                            estimators[r.repo].observe(b_eff);
-                            bw[r.repo] = estimators[r.repo].estimate();
-                        }
-                        r.network_end = Some(now);
-                        r.phase = Phase::Compute { until: now + r.predicted.t_compute.max(0.0) };
-                    }
-                    Phase::Migrating { until } if until <= now + TIME_EPS => {
-                        r.phase = Phase::Network;
-                    }
-                    Phase::Compute { until } if until <= now + TIME_EPS => {
-                        finished.push(ri);
-                    }
-                    _ => {}
-                }
-            }
-            // Completions: release nodes, finalize outcomes.
-            for &ri in finished.iter().rev() {
-                let r = running.remove(ri);
-                free.release(r.repo, r.site, &r.config);
-                used_slots[r.tenant] -= r.config.compute_nodes;
-                completed_c.inc();
-                makespan = makespan.max(now);
-                let o = outcomes[r.slot].as_mut().expect("placed job has an outcome");
-                o.disk_end = r.disk_end;
-                o.network_end = r.network_end;
-                o.finish = Some(now);
-                if let Some(w) = o.wait() {
-                    wait_h.observe(w);
-                }
-                if let Some(s) = o.slowdown() {
-                    slow_h.observe(s);
-                }
-                if o.met_deadline() == Some(false) {
-                    misses_c.inc();
-                }
-            }
-
-            // --- mid-run migration: a transfer achieving well under
-            // its uncontended rate checkpoints its reduction object and
-            // switches replicas when `fg-predict`'s cost/benefit model
-            // favors the move (at most once per job) ---
-            if let Some(mc) = self.migration {
-                for r in running.iter_mut() {
-                    if r.phase != Phase::Network {
-                        continue;
-                    }
-                    let o = outcomes[r.slot].as_ref().expect("placed job has an outcome");
-                    if o.migration.is_some() {
-                        continue;
-                    }
-                    let elapsed = now - r.net_started;
-                    if elapsed < mc.min_elapsed_secs {
-                        continue;
-                    }
-                    let moved = r.bytes - r.net_remaining;
-                    if moved <= TIME_EPS || r.net_remaining <= 1e-6 * r.bytes.max(1.0) {
-                        continue;
-                    }
-                    let achieved = moved / elapsed;
-                    if r.net_expected <= TIME_EPS || moved >= (1.0 - mc.deviation) * r.net_expected
-                    {
-                        continue;
-                    }
-                    let Some(model) = grid.app(&o.app) else { continue };
-                    let dataset_bytes = o.dataset_bytes;
-                    // Best alternative repository with free data nodes,
-                    // priced at its current bandwidth estimate.
-                    let mut best: Option<(usize, Prediction)> = None;
-                    for (ci, repo) in grid.repos.iter().enumerate() {
-                        if ci == r.repo || free.data()[ci] < r.config.data_nodes {
-                            continue;
-                        }
-                        let candidate = DeploymentRef {
-                            repository: &repo.site,
-                            compute: &grid.sites[r.site].site,
-                            stream_bw: bw[ci],
-                            config: r.config,
-                            cache: None,
-                        };
-                        let Ok(pred) = try_predict_deployment(
-                            &model.profile,
-                            model.classes,
-                            candidate,
-                            dataset_bytes,
-                            &grid.factors,
-                        ) else {
-                            continue;
-                        };
-                        if best.as_ref().is_none_or(|(_, b)| pred.total() < b.total()) {
-                            best = Some((ci, pred));
-                        }
-                    }
-                    let Some((to, pred)) = best else { continue };
-                    // Remaining fraction of the transfer; the unstarted
-                    // compute scales by the same f on both sides so the
-                    // comparison hinges on the network remainder plus
-                    // the checkpoint move and restart retrieval.
-                    let f_rem = (r.net_remaining / r.bytes.max(1.0)).clamp(0.0, 1.0);
-                    let stay = r.net_remaining / achieved + f_rem * r.predicted.t_compute.max(0.0);
-                    let link = InterconnectParams::of_site(&grid.sites[r.site].site);
-                    let decision = decide_migration(stay, &pred, f_rem, r.max_obj_bytes, &link);
-                    if !decision.worthwhile(mc.margin) {
-                        continue;
-                    }
-                    // Commit: swap repositories, pause for the
-                    // checkpoint move, then resume the remaining bytes
-                    // at the candidate's uncontended rate.
-                    free.release_data(r.repo, r.config.data_nodes);
-                    free.alloc_data(to, r.config.data_nodes);
-                    let from_repo = grid.repos[r.repo].site.name.clone();
-                    let to_repo = grid.repos[to].site.name.clone();
-                    r.repo = to;
-                    r.placed_bw = bw[to];
-                    r.net_cap = if pred.t_network > TIME_EPS {
-                        r.bytes / pred.t_network
-                    } else {
-                        f64::INFINITY
-                    };
-                    r.no_feedback = true;
-                    r.phase = Phase::Migrating { until: now + mc.overhead_secs };
-                    let o = outcomes[r.slot].as_mut().expect("placed job has an outcome");
-                    o.migration = Some(MigrationEvent {
-                        at: now,
-                        until: now + mc.overhead_secs,
-                        from_repo,
-                        to_repo,
-                    });
-                    if let Some(c) = &migrate_c {
-                        c.inc();
-                    }
-                    if let Some(c) = &ckpt_c {
-                        c.inc();
-                    }
-                }
-            }
-
-            // --- scheduling pass ---
-            self.schedule_pass(
-                &mut queue,
-                &mut running,
-                &mut suspended,
-                &mut engine,
-                &mut free,
-                &mut used_slots,
-                &bw,
-                now,
-                total_slots,
-                min_slots,
-                &mut outcomes,
-                &slot_of,
-                &backfill_c,
-                &preempt_c,
-                &ckpt_c,
-                &mut violations,
-            );
-            depth_g.set(queue.len() as f64);
-
-            // --- horizon: next arrival, fixed-phase end, or drain ---
-            let mut horizon = f64::INFINITY;
-            if next < order.len() {
-                horizon = jobs[order[next]].arrival;
-            }
-            for r in &running {
-                match r.phase {
-                    Phase::Disk { until }
-                    | Phase::Migrating { until }
-                    | Phase::Compute { until } => horizon = horizon.min(until),
-                    Phase::Network => {}
-                }
-            }
-            // A degradation onset changes the fluid rates, so the step
-            // must not integrate across it.
-            for d in &self.degradations {
-                if d.start > now + TIME_EPS {
-                    horizon = horizon.min(d.start);
-                }
-            }
-            // With migration on, wake periodically while an eligible
-            // transfer is in flight: the trigger compares achieved
-            // against expected bandwidth, and nothing else schedules an
-            // event between a transfer's start and its completion.
-            if let Some(mc) = self.migration {
-                let eligible = running.iter().any(|r| {
-                    r.phase == Phase::Network
-                        && outcomes[r.slot].as_ref().is_some_and(|o| o.migration.is_none())
-                });
-                if eligible {
-                    horizon = horizon.min(now + mc.min_elapsed_secs.max(TIME_EPS));
-                }
-            }
-            let netidx: Vec<usize> = running
-                .iter()
-                .enumerate()
-                .filter(|(_, r)| r.phase == Phase::Network)
-                .map(|(i, _)| i)
-                .collect();
-            let rates: Vec<f64> = if netidx.is_empty() {
-                Vec::new()
-            } else {
-                let flows: Vec<Flow> = netidx
-                    .iter()
-                    .map(|&i| Flow {
-                        arrival: SimTime::ZERO,
-                        demand: running[i].net_remaining.max(1e-9),
-                        rate_cap: running[i].net_cap * self.degrade_factor(running[i].repo, now),
-                        resources: vec![
-                            ResourceId(running[i].repo),
-                            ResourceId(nrepo + running[i].site),
-                        ],
-                    })
-                    .collect();
-                let active: Vec<usize> = (0..flows.len()).collect();
-                net.instantaneous_rates(&flows, &active)
-            };
-            for (k, &i) in netidx.iter().enumerate() {
-                assert!(rates[k] > 0.0, "max-min allocation starved an active transfer");
-                horizon = horizon.min(now + running[i].net_remaining / rates[k]);
-            }
-            if horizon.is_infinite() {
-                // Nothing running and nothing arriving: any queued or
-                // suspended job left is permanently stuck — record and
-                // stop.
-                for q in queue.iter() {
-                    violations
-                        .push(format!("job {} queued forever: no placement ever fits", q.spec.id));
-                }
-                for s in &suspended {
-                    violations.push(format!(
-                        "job {} suspended forever: its nodes never freed",
-                        jobs[s.job.slot].id
-                    ));
-                }
-                break;
-            }
-            let dt = (horizon - now).max(0.0);
-            // The migration trigger's baseline: what each transfer
-            // would have moved this step under the same fair-share
-            // contention with undegraded rate caps.
-            if self.migration.is_some() && !netidx.is_empty() && dt > 0.0 {
-                let exp_flows: Vec<Flow> = netidx
-                    .iter()
-                    .map(|&i| Flow {
-                        arrival: SimTime::ZERO,
-                        demand: running[i].net_remaining.max(1e-9),
-                        rate_cap: running[i].net_cap,
-                        resources: vec![
-                            ResourceId(running[i].repo),
-                            ResourceId(nrepo + running[i].site),
-                        ],
-                    })
-                    .collect();
-                let active: Vec<usize> = (0..exp_flows.len()).collect();
-                let exp_rates = net.instantaneous_rates(&exp_flows, &active);
-                for (k, &i) in netidx.iter().enumerate() {
-                    running[i].net_expected += exp_rates[k] * dt;
-                }
-            }
-            for (k, &i) in netidx.iter().enumerate() {
-                running[i].net_remaining -= rates[k] * dt;
-            }
-            now = horizon;
-        }
-
-        depth_max_g.set(depth_max as f64);
-        depth_g.set(queue.len() as f64);
-        let outcomes: Vec<JobOutcome> =
-            outcomes.into_iter().map(|o| o.expect("every submitted job gets an outcome")).collect();
-        let trace = build_trace(tracer, &outcomes, makespan);
-        SchedResult { outcomes, trace, makespan, violations }
+        let mut core = SchedCore::new(self.clone());
+        core.submit_all(jobs);
+        core.finish()
     }
-
-    /// Start every job the policy and fair shares allow, cheapest
-    /// placement first within the policy order. Checkpointed jobs
-    /// resume first; with preemption enabled, a head-of-queue job with
-    /// a tighter deadline may evict a looser-deadline running job.
-    #[allow(clippy::too_many_arguments)]
-    fn schedule_pass(
-        &self,
-        queue: &mut PolicyQueue,
-        running: &mut Vec<Running>,
-        suspended: &mut Vec<Suspended>,
-        engine: &mut PlacementEngine,
-        free: &mut FreeSlices,
-        used_slots: &mut [usize],
-        bw: &[f64],
-        now: f64,
-        total_slots: usize,
-        min_slots: usize,
-        outcomes: &mut [Option<JobOutcome>],
-        slot_of: &dyn Fn(usize) -> usize,
-        backfill_c: &fg_trace::Counter,
-        preempt_c: &Option<fg_trace::Counter>,
-        ckpt_c: &Option<fg_trace::Counter>,
-        violations: &mut Vec<String>,
-    ) {
-        let grid = &self.grid;
-        loop {
-            // Resume checkpointed jobs first: they already hold an
-            // admission, so their nodes have priority over new starts.
-            // The restore pause is charged up front.
-            let mut si = 0;
-            while si < suspended.len() {
-                let fits = suspended[si].job.config.data_nodes
-                    <= free.data()[suspended[si].job.repo]
-                    && suspended[si].job.config.compute_nodes <= free.cmp()[suspended[si].job.site];
-                if !fits {
-                    si += 1;
-                    continue;
-                }
-                let Suspended { mut job, remaining } = suspended.remove(si);
-                let overhead = self.preemption.unwrap_or(0.0);
-                free.alloc(job.repo, job.site, &job.config);
-                used_slots[job.tenant] += job.config.compute_nodes;
-                job.no_feedback = true;
-                job.phase = match remaining {
-                    RemainingPhase::Disk(rem) => Phase::Disk { until: now + overhead + rem },
-                    RemainingPhase::Network(remb) => {
-                        // Restore pause, then the transfer continues
-                        // with its remaining bytes.
-                        job.net_remaining = remb;
-                        Phase::Migrating { until: now + overhead }
-                    }
-                    RemainingPhase::Compute(rem) => Phase::Compute { until: now + overhead + rem },
-                };
-                let o = outcomes[job.slot].as_mut().expect("suspended job has an outcome");
-                o.preemptions
-                    .last_mut()
-                    .expect("suspended job recorded its preemption")
-                    .resumed_at = Some(now);
-                running.push(job);
-            }
-            if queue.is_empty() {
-                return;
-            }
-            // Saturation early-out: when no configuration in the menu
-            // fits the largest free data slice *and* the largest free
-            // compute slice, every placement query below would return
-            // `None` (any site may pair with any repository, so the
-            // maxima bound every candidate), and the quota
-            // computation, the policy order walk, and both rounds are
-            // pure overhead — skip them. Preemption is the one path
-            // that can start a job without free nodes (it evicts a
-            // victim first), so the shortcut only applies when
-            // preemption is off. Decision-neutral by construction: it
-            // suppresses only work that provably finds no start.
-            if self.preemption.is_none()
-                && !grid
-                    .configs
-                    .iter()
-                    .any(|c| c.data_nodes <= free.max_data() && c.compute_nodes <= free.max_cmp())
-            {
-                return;
-            }
-            // Max-min fair slot quotas over the tenants that want
-            // slots. A queued job demands what it could use when placed
-            // unconstrained — the largest configuration — so a tenant
-            // alone on an idle grid is never capped below the best
-            // placement by its own conservative demand. A suspended job
-            // still demands the slots it will re-occupy.
-            let ntenant = used_slots.len();
-            let max_slots = grid.max_config_slots();
-            let mut demands = vec![0usize; ntenant];
-            for r in running.iter() {
-                demands[r.tenant] += r.config.compute_nodes;
-            }
-            for s in suspended.iter() {
-                demands[s.job.tenant] += s.job.config.compute_nodes;
-            }
-            for (t, d) in demands.iter_mut().enumerate() {
-                *d += queue.queued_for(t) * max_slots;
-            }
-            let quota = fair_quota(total_slots, &demands);
-
-            // Round 1: jobs whose tenant is under quota, capped so the
-            // start cannot push the tenant past its quota. The original
-            // loop scanned the whole policy order, skipping every job of
-            // a capped tenant — on a saturated trace that is ~Q skips
-            // per start. Instead, merge only the under-quota tenants'
-            // per-tenant order sets: repeatedly taking the smallest
-            // (key, id) across their cursors visits exactly the
-            // eligible jobs, in exactly the global policy order, so the
-            // sequence of placement queries (and therefore every
-            // decision) is identical to the full scan.
-            let mut start: Option<(usize, Placement, StartKind)> = None;
-            if self.policy.head_blocking() {
-                // Only the global queue head may start; later jobs wait.
-                let &(_, id, tenant) = queue.order.iter().next().expect("queue is non-empty");
-                let headroom = quota[tenant].saturating_sub(used_slots[tenant]);
-                if headroom >= min_slots {
-                    let q = &queue.jobs[&id];
-                    if let Some(p) = engine.best_placement(
-                        grid,
-                        &q.spec.app,
-                        q.spec.dataset_bytes,
-                        free,
-                        bw,
-                        Some(headroom),
-                    ) {
-                        start = Some((id, p, StartKind::UnderQuota));
-                    }
-                }
-            } else {
-                let mut cursors: Vec<(usize, std::iter::Peekable<_>)> = (0..ntenant)
-                    .filter_map(|t| {
-                        let headroom = quota[t].saturating_sub(used_slots[t]);
-                        (headroom >= min_slots && queue.queued_for(t) > 0)
-                            .then(|| (headroom, queue.by_tenant[t].iter().peekable()))
-                    })
-                    .collect();
-                loop {
-                    let mut head: Option<(usize, (OrderKey, usize))> = None;
-                    for (ci, (_, cursor)) in cursors.iter_mut().enumerate() {
-                        if let Some(&&entry) = cursor.peek() {
-                            if head.is_none_or(|(_, h)| entry < h) {
-                                head = Some((ci, entry));
-                            }
-                        }
-                    }
-                    let Some((ci, (_, id))) = head else { break };
-                    let q = &queue.jobs[&id];
-                    if let Some(p) = engine.best_placement(
-                        grid,
-                        &q.spec.app,
-                        q.spec.dataset_bytes,
-                        free,
-                        bw,
-                        Some(cursors[ci].0),
-                    ) {
-                        start = Some((id, p, StartKind::UnderQuota));
-                        break;
-                    }
-                    cursors[ci].1.next();
-                }
-            }
-            // Round 2: only when no under-quota start exists may a
-            // backfilling policy start a job past its tenant's quota —
-            // fairness must not cost work conservation.
-            if start.is_none() && !self.policy.head_blocking() {
-                for &(_, id, _) in queue.order.iter() {
-                    let q = &queue.jobs[&id];
-                    if let Some(p) = engine.best_placement(
-                        grid,
-                        &q.spec.app,
-                        q.spec.dataset_bytes,
-                        free,
-                        bw,
-                        None,
-                    ) {
-                        start = Some((id, p, StartKind::Backfill));
-                        break;
-                    }
-                }
-            }
-            // Preemption: when nothing can start, the head job by
-            // policy order may evict a running job with a strictly
-            // looser deadline. The victim (loosest deadline first) is
-            // checkpointed off its nodes and the head job starts on
-            // them in the same pass — deadline urgency overrides the
-            // fair-share quota, so the start is exempt from the
-            // fairness checks below.
-            if start.is_none() && self.preemption.is_some() && !queue.is_empty() {
-                let &(_, head_id, _) = queue.order.iter().next().expect("queue is non-empty");
-                let hq = &queue.jobs[&head_id];
-                if let (Some(qd), true) = (hq.deadline, grid.app(&hq.spec.app).is_some()) {
-                    let mut victims: Vec<usize> = (0..running.len())
-                        .filter(|&i| running[i].deadline.is_some_and(|d| d > qd + TIME_EPS))
-                        .collect();
-                    victims.sort_by(|&a, &b| {
-                        let (da, db) = (running[a].deadline.unwrap(), running[b].deadline.unwrap());
-                        db.total_cmp(&da).then(running[a].slot.cmp(&running[b].slot))
-                    });
-                    for vi in victims {
-                        let v = &running[vi];
-                        // Hypothetical slices: the victim's nodes
-                        // returned, nothing committed yet.
-                        let mut hyp = free.clone();
-                        hyp.release(v.repo, v.site, &v.config);
-                        let Some(p) = engine.best_placement(
-                            grid,
-                            &hq.spec.app,
-                            hq.spec.dataset_bytes,
-                            &hyp,
-                            bw,
-                            None,
-                        ) else {
-                            continue;
-                        };
-                        let v = running.remove(vi);
-                        free.release(v.repo, v.site, &v.config);
-                        used_slots[v.tenant] -= v.config.compute_nodes;
-                        let remaining = match v.phase {
-                            Phase::Disk { until } => RemainingPhase::Disk((until - now).max(0.0)),
-                            Phase::Network | Phase::Migrating { .. } => {
-                                RemainingPhase::Network(v.net_remaining)
-                            }
-                            Phase::Compute { until } => {
-                                RemainingPhase::Compute((until - now).max(0.0))
-                            }
-                        };
-                        let o = outcomes[v.slot].as_mut().expect("placed job has an outcome");
-                        o.preemptions.push(PreemptionEvent { preempted_at: now, resumed_at: None });
-                        if let Some(c) = preempt_c {
-                            c.inc();
-                        }
-                        if let Some(c) = ckpt_c {
-                            c.inc();
-                        }
-                        suspended.push(Suspended { job: v, remaining });
-                        start = Some((head_id, p, StartKind::Preempt));
-                        break;
-                    }
-                }
-            }
-            let Some((id, placement, kind)) = start else {
-                // Redundant guard for the work-conservation invariant:
-                // with a backfilling policy, no queued job may fit the
-                // free nodes once the pass declares itself done. It
-                // replays round 2 verbatim, which just proved no start
-                // exists, so it is pure double-checking — debug builds
-                // only, where the test suite runs; a release sweep over
-                // a long saturated backlog would re-scan the whole
-                // queue after every pass.
-                if cfg!(debug_assertions) && !self.policy.head_blocking() {
-                    for q in queue.iter() {
-                        if engine
-                            .best_placement(grid, &q.spec.app, q.spec.dataset_bytes, free, bw, None)
-                            .is_some()
-                        {
-                            violations.push(format!(
-                                "work conservation: job {} fits free nodes but was not started at t={now:.3}",
-                                q.spec.id
-                            ));
-                        }
-                    }
-                }
-                return;
-            };
-
-            let q = queue.remove(id);
-            let tenant = q.spec.tenant;
-            match kind {
-                StartKind::Backfill => {
-                    backfill_c.inc();
-                    if quota[tenant].saturating_sub(used_slots[tenant]) >= min_slots {
-                        violations.push(format!(
-                            "fair share: job {} backfilled past quota although tenant {tenant} had headroom at t={now:.3}",
-                            q.spec.id
-                        ));
-                    }
-                }
-                StartKind::UnderQuota
-                    if used_slots[tenant] + placement.cfg.compute_nodes > quota[tenant] =>
-                {
-                    violations.push(format!(
-                        "fair share: job {} pushed tenant {tenant} past its quota at t={now:.3}",
-                        q.spec.id
-                    ));
-                }
-                StartKind::UnderQuota | StartKind::Preempt => {}
-            }
-            free.alloc(placement.repo, placement.site, &placement.cfg);
-            used_slots[tenant] += placement.cfg.compute_nodes;
-            let o = outcomes[slot_of(q.spec.id)].as_mut().expect("queued job has an outcome");
-            o.placed_at = Some(now);
-            o.predicted = Some(placement.predicted.total());
-            o.placement = Some(PlacementInfo {
-                repo: placement.repo,
-                site: placement.site,
-                repo_name: grid.repos[placement.repo].site.name.clone(),
-                site_name: grid.sites[placement.site].site.name.clone(),
-                config: placement.cfg.label(),
-                data_nodes: placement.cfg.data_nodes,
-                compute_nodes: placement.cfg.compute_nodes,
-            });
-            running.push(Running {
-                slot: slot_of(q.spec.id),
-                tenant,
-                repo: placement.repo,
-                site: placement.site,
-                config: placement.cfg,
-                predicted: placement.predicted,
-                placed_at: now,
-                phase: Phase::Disk { until: now + placement.predicted.t_disk.max(0.0) },
-                bytes: q.spec.dataset_bytes as f64,
-                net_started: now,
-                net_remaining: 0.0,
-                placed_bw: bw[placement.repo],
-                net_cap: f64::INFINITY,
-                disk_end: None,
-                network_end: None,
-                net_expected: 0.0,
-                deadline: q.deadline,
-                max_obj_bytes: grid.app(&q.spec.app).map(|m| m.profile.max_obj_bytes).unwrap_or(0),
-                no_feedback: false,
-            });
-        }
-    }
-}
-
-/// Integer max-min water-filling, computed in bulk. The reference
-/// formulation hands out one slot at a time to the tenant with the
-/// smallest allocation still under its demand (ties: lowest index) —
-/// `O(total × tenants)`, which a scheduling pass pays on every
-/// iteration. This closed form finds the water level directly: the
-/// largest `L` with `Σ min(demand, L) <= total` satisfies everyone
-/// below the level, and the leftover slots go one each to the
-/// lowest-indexed tenants still above it — exactly where the
-/// round-robin loop would have stopped, so the result is bit-identical
-/// (`fair_quota_matches_the_slot_by_slot_reference` pins this).
-fn fair_quota(total: usize, demands: &[usize]) -> Vec<usize> {
-    let want: usize = demands.iter().sum();
-    if want <= total {
-        return demands.to_vec();
-    }
-    // want > total implies demands is non-empty and the loop below
-    // always finds a level before running out of sorted demands.
-    let mut sorted = demands.to_vec();
-    sorted.sort_unstable();
-    let n = sorted.len();
-    let mut satisfied = 0usize; // slots consumed by demands under the level
-    let mut level = 0usize;
-    let mut remainder = 0usize;
-    for (k, &d) in sorted.iter().enumerate() {
-        if satisfied + (n - k) * d <= total {
-            satisfied += d;
-        } else {
-            level = (total - satisfied) / (n - k);
-            remainder = (total - satisfied) % (n - k);
-            break;
-        }
-    }
-    let mut alloc: Vec<usize> = demands.iter().map(|&d| d.min(level)).collect();
-    if remainder > 0 {
-        for (i, &d) in demands.iter().enumerate() {
-            if d > level {
-                alloc[i] += 1;
-                remainder -= 1;
-                if remainder == 0 {
-                    break;
-                }
-            }
-        }
-    }
-    alloc
-}
-
-/// Post-hoc span tree: one `Run` root, one `Job` span per submission in
-/// arrival order with `JobQueued` and phase children, integer attrs for
-/// the figures and exporters.
-fn build_trace(mut tracer: Tracer, outcomes: &[JobOutcome], makespan: f64) -> Trace {
-    let t = SimTime::from_secs_f64;
-    let end_time = outcomes.iter().map(|o| o.finish.unwrap_or(o.arrival)).fold(makespan, f64::max);
-    let run = tracer.begin(SpanKind::Run, None, SimTime::ZERO);
-    let mut order: Vec<usize> = (0..outcomes.len()).collect();
-    order.sort_by(|&a, &b| {
-        outcomes[a]
-            .arrival
-            .total_cmp(&outcomes[b].arrival)
-            .then(outcomes[a].id.cmp(&outcomes[b].id))
-    });
-    for &i in &order {
-        let o = &outcomes[i];
-        let job = tracer.begin(SpanKind::Job, None, t(o.arrival));
-        tracer.attr(job, "job_id", o.id as u64);
-        tracer.attr(job, "tenant", o.tenant as u64);
-        tracer.attr(job, "dataset_bytes", o.dataset_bytes);
-        tracer.attr(job, "admitted", u64::from(o.admitted));
-        if let Some(s) = o.standalone {
-            tracer.attr(job, "standalone_ms", (s * 1e3).round() as u64);
-        }
-        if let Some(p) = o.predicted {
-            tracer.attr(job, "predicted_ms", (p * 1e3).round() as u64);
-        }
-        if let Some(met) = o.met_deadline() {
-            tracer.attr(job, "met_deadline", u64::from(met));
-        }
-        match (o.placed_at, o.disk_end, o.network_end, o.finish) {
-            (Some(placed), Some(disk), Some(netw), Some(finish)) => {
-                let queued = tracer.record(SpanKind::JobQueued, None, t(o.arrival), t(placed));
-                let _ = queued;
-                tracer.record(SpanKind::Retrieval, None, t(placed), t(disk));
-                if netw > disk {
-                    tracer.record(SpanKind::Network, None, t(disk), t(netw));
-                }
-                tracer.record(SpanKind::Compute, None, t(netw), t(finish));
-                // Disruption history: a zero-length `Checkpoint` marker
-                // at each eviction or migration instant, plus the
-                // off-grid / switching window it opened.
-                for p in &o.preemptions {
-                    let at = t(p.preempted_at);
-                    tracer.record(SpanKind::Checkpoint, None, at, at);
-                    tracer.record(SpanKind::Preempted, None, at, t(p.resumed_at.unwrap_or(finish)));
-                }
-                if let Some(m) = &o.migration {
-                    tracer.record(SpanKind::Checkpoint, None, t(m.at), t(m.at));
-                    tracer.record(SpanKind::Migrate, None, t(m.at), t(m.until));
-                }
-                tracer.end(job, t(finish));
-            }
-            _ => {
-                // Rejected (or stuck) jobs: zero-length span at arrival.
-                tracer.end(job, t(o.arrival));
-            }
-        }
-    }
-    tracer.end(run, t(end_time));
-    tracer.finish(None)
 }
 
 #[cfg(test)]
@@ -1536,8 +377,9 @@ mod tests {
     use super::*;
     use crate::grid::AppModel;
     use crate::workload::{LoadLevel, WorkloadSpec};
+    use fg_cluster::Configuration;
     use fg_predict::{AppClasses, Profile};
-    use proptest::prelude::*;
+    use fg_trace::SpanKind;
 
     fn model() -> AppModel {
         AppModel {
@@ -1707,50 +549,6 @@ mod tests {
         let r = Scheduler::new(grid(), Policy::Fcfs).run(&[j]);
         assert!(!r.outcomes[0].admitted);
         assert!(r.outcomes[0].reject_reason.as_deref().unwrap().contains("unknown app"));
-    }
-
-    #[test]
-    fn fair_quota_water_fills() {
-        assert_eq!(fair_quota(10, &[4, 4, 4]), vec![4, 3, 3]);
-        assert_eq!(fair_quota(10, &[2, 8, 8]), vec![2, 4, 4]);
-        assert_eq!(fair_quota(24, &[2, 2, 2]), vec![2, 2, 2]);
-        assert_eq!(fair_quota(0, &[5]), vec![0]);
-        assert_eq!(fair_quota(5, &[]), Vec::<usize>::new());
-        assert_eq!(fair_quota(7, &[0, 3, 0, 9]), vec![0, 3, 0, 4]);
-        assert_eq!(fair_quota(3, &[5, 5, 5, 5]), vec![1, 1, 1, 0]);
-    }
-
-    /// The original one-slot-at-a-time water-filling loop, kept
-    /// verbatim as the oracle for the bulk closed form.
-    fn fair_quota_reference(total: usize, demands: &[usize]) -> Vec<usize> {
-        let mut alloc = vec![0usize; demands.len()];
-        let mut left = total;
-        while left > 0 {
-            let mut pick: Option<usize> = None;
-            for t in 0..demands.len() {
-                if alloc[t] < demands[t] && pick.is_none_or(|p| alloc[t] < alloc[p]) {
-                    pick = Some(t);
-                }
-            }
-            match pick {
-                Some(t) => {
-                    alloc[t] += 1;
-                    left -= 1;
-                }
-                None => break,
-            }
-        }
-        alloc
-    }
-
-    proptest! {
-        #[test]
-        fn fair_quota_matches_the_slot_by_slot_reference(
-            total in 0usize..240,
-            demands in proptest::collection::vec(0usize..48, 0..12),
-        ) {
-            prop_assert_eq!(fair_quota(total, &demands), fair_quota_reference(total, &demands));
-        }
     }
 
     #[test]

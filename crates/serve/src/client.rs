@@ -1,0 +1,192 @@
+//! The blocking client and the deterministic replay harness.
+//!
+//! The client speaks the full wire protocol — frames out, frames back
+//! through its own poisoning [`FrameDecoder`] — so a round trip in a
+//! test exercises exactly the bytes a remote client would see.
+//! [`replay`] drives a whole workload through a connection and hands
+//! back everything needed to prove the served run bit-identical to
+//! driving [`fg_sched::Scheduler`] directly.
+
+use crate::frame::{encode_frame, FrameDecoder, FrameKind, WireError};
+use crate::msg::{decode_events, decode_response, encode_request, DrainedRun, Request, Response};
+use crate::server::{Server, WireConn};
+use fg_sched::{CoreEvent, CoreStats, JobSpec, PredictionQuote, SubmitOutcome};
+use std::fmt;
+
+/// Why a client call failed.
+#[derive(Debug, Clone, PartialEq)]
+pub enum ClientError {
+    /// The byte stream from the server violated the framing layer.
+    Wire(WireError),
+    /// The server hung up before answering.
+    Closed,
+    /// The server answered, but with an error or a response of the
+    /// wrong shape for the request.
+    Server(String),
+}
+
+impl fmt::Display for ClientError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            ClientError::Wire(e) => write!(f, "wire error: {e}"),
+            ClientError::Closed => write!(f, "server closed the connection"),
+            ClientError::Server(reason) => write!(f, "server error: {reason}"),
+        }
+    }
+}
+
+impl std::error::Error for ClientError {}
+
+impl From<WireError> for ClientError {
+    fn from(e: WireError) -> ClientError {
+        ClientError::Wire(e)
+    }
+}
+
+/// A blocking protocol client over one connection. Streamed event
+/// frames are collected as they arrive; drain them with
+/// [`take_events`](ServeClient::take_events).
+#[derive(Debug)]
+pub struct ServeClient {
+    conn: WireConn,
+    dec: FrameDecoder,
+    next_seq: u32,
+    events: Vec<CoreEvent>,
+}
+
+impl ServeClient {
+    /// Open a session against a running server.
+    pub fn connect(server: &Server) -> ServeClient {
+        ServeClient {
+            conn: server.connect(),
+            dec: FrameDecoder::new(),
+            next_seq: 0,
+            events: Vec::new(),
+        }
+    }
+
+    /// Scheduling events streamed so far, in decision order.
+    pub fn take_events(&mut self) -> Vec<CoreEvent> {
+        std::mem::take(&mut self.events)
+    }
+
+    /// One request/response round trip, absorbing any event frames
+    /// streamed ahead of the response.
+    fn call(&mut self, req: &Request) -> Result<Response, ClientError> {
+        let seq = self.next_seq;
+        self.next_seq += 1;
+        self.conn.send(&encode_frame(FrameKind::Request, seq, &encode_request(req)));
+        loop {
+            while let Some(frame) = self.dec.next_frame()? {
+                let ord = self.dec.frames() - 1;
+                match frame.kind {
+                    FrameKind::Event => {
+                        self.events.extend(decode_events(&frame, ord)?.events);
+                    }
+                    FrameKind::Response => {
+                        let resp = decode_response(&frame, ord)?;
+                        if let Response::Error { reason } = resp {
+                            return Err(ClientError::Server(reason));
+                        }
+                        if frame.seq != seq {
+                            return Err(ClientError::Server(format!(
+                                "response seq {} does not match request seq {seq}",
+                                frame.seq
+                            )));
+                        }
+                        return Ok(resp);
+                    }
+                    FrameKind::Request => {
+                        return Err(ClientError::Server(format!(
+                            "server sent a request frame (seq {})",
+                            frame.seq
+                        )));
+                    }
+                }
+            }
+            let Some(chunk) = self.conn.recv() else {
+                return Err(ClientError::Closed);
+            };
+            self.dec.push(&chunk);
+        }
+    }
+
+    /// Submit a job; arrivals must be non-decreasing across the
+    /// session, exactly as [`fg_sched::SchedCore::submit`] requires.
+    pub fn submit(&mut self, job: JobSpec) -> Result<SubmitOutcome, ClientError> {
+        match self.call(&Request::Submit { job })? {
+            Response::Submitted { outcome } => Ok(outcome),
+            Response::SubmitFailed { reason } => Err(ClientError::Server(reason)),
+            other => Err(ClientError::Server(format!("unexpected response {other:?}"))),
+        }
+    }
+
+    /// Ask for a prediction quote without submitting.
+    pub fn quote(
+        &mut self,
+        app: &str,
+        dataset_bytes: u64,
+        deadline_slack: f64,
+    ) -> Result<Option<PredictionQuote>, ClientError> {
+        let req = Request::Quote { app: app.to_string(), dataset_bytes, deadline_slack };
+        match self.call(&req)? {
+            Response::Quoted { quote } => Ok(quote),
+            other => Err(ClientError::Server(format!("unexpected response {other:?}"))),
+        }
+    }
+
+    /// Live counters.
+    pub fn stats(&mut self) -> Result<CoreStats, ClientError> {
+        match self.call(&Request::Stats)? {
+            Response::Stats { stats } => Ok(stats),
+            other => Err(ClientError::Server(format!("unexpected response {other:?}"))),
+        }
+    }
+
+    /// Drain the session: run the scheduler to completion and fetch
+    /// the flattened result. Ends the session's scheduling state.
+    pub fn drain(&mut self) -> Result<DrainedRun, ClientError> {
+        match self.call(&Request::Drain)? {
+            Response::Drained { result } => Ok(result),
+            other => Err(ClientError::Server(format!("unexpected response {other:?}"))),
+        }
+    }
+}
+
+/// Everything a replayed session produced, for differential checks
+/// against a direct [`fg_sched::Scheduler::run`].
+#[derive(Debug)]
+pub struct ServedRun {
+    /// Per-submission outcomes, as acknowledged over the wire.
+    pub submits: Vec<SubmitOutcome>,
+    /// The drained run (outcomes, trace JSONL, makespan, violations).
+    pub drained: DrainedRun,
+    /// Every scheduling event streamed during the session.
+    pub events: Vec<CoreEvent>,
+}
+
+/// Replay a workload through the wire protocol: submit every job in
+/// order, then drain. `quote_every` sprinkles a prediction query (for
+/// the first job's app and size, slack 2) between submissions every so
+/// many jobs — queries are answered from snapshots and must never
+/// perturb the schedule, which the differential test relies on.
+pub fn replay(
+    server: &Server,
+    jobs: &[JobSpec],
+    quote_every: Option<usize>,
+) -> Result<ServedRun, ClientError> {
+    let mut client = ServeClient::connect(server);
+    let mut submits = Vec::with_capacity(jobs.len());
+    for (i, job) in jobs.iter().enumerate() {
+        if let Some(k) = quote_every {
+            if k > 0 && i % k == 0 {
+                let probe = &jobs[0];
+                client.quote(&probe.app, probe.dataset_bytes, 2.0)?;
+            }
+        }
+        submits.push(client.submit(job.clone())?);
+    }
+    let drained = client.drain()?;
+    let events = client.take_events();
+    Ok(ServedRun { submits, drained, events })
+}

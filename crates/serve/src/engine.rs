@@ -1,0 +1,72 @@
+//! The sans-IO server engine: a [`SchedCore`] with the request
+//! vocabulary mapped onto it, no threads or sockets involved. The
+//! threaded [`server`](crate::server) drives one of these on its core
+//! thread; tests can drive one directly and get byte-identical
+//! behaviour, because every decision lives here or deeper.
+
+use crate::msg::{DrainedRun, Request, Response};
+use fg_sched::{CoreEvent, CoreStats, SchedCore, SchedSnapshot, Scheduler};
+
+/// The state machine behind a serving session: one live decision core
+/// until drained, then a terminal state that refuses further work.
+pub struct ServerEngine {
+    core: Option<SchedCore>,
+}
+
+impl ServerEngine {
+    /// Build the engine from a scheduler configuration. The decision
+    /// core is constructed here — on whichever thread the engine lives
+    /// on — because the core's trace counters are deliberately not
+    /// `Send`.
+    pub fn new(cfg: Scheduler) -> ServerEngine {
+        ServerEngine { core: Some(SchedCore::new(cfg).with_event_log()) }
+    }
+
+    /// Is the engine still accepting work?
+    pub fn is_live(&self) -> bool {
+        self.core.is_some()
+    }
+
+    /// A detached snapshot for the query pool, or `None` after drain.
+    pub fn snapshot(&self) -> Option<SchedSnapshot> {
+        self.core.as_ref().map(SchedCore::snapshot)
+    }
+
+    /// Live counters, or `None` after drain.
+    pub fn stats(&self) -> Option<CoreStats> {
+        self.core.as_ref().map(SchedCore::stats)
+    }
+
+    /// Handle one request. Returns the response plus any scheduling
+    /// events the request caused, in decision order, for streaming.
+    ///
+    /// [`Request::Quote`] and [`Request::Stats`] are answered here for
+    /// completeness (a single-threaded driver wants one entry point),
+    /// but the threaded server routes them to its snapshot-backed
+    /// query pool instead — the answers are identical because
+    /// [`SchedSnapshot`] is the only arithmetic either path uses.
+    pub fn handle(&mut self, req: Request) -> (Response, Vec<CoreEvent>) {
+        let Some(core) = self.core.as_mut() else {
+            return (Response::Error { reason: "session already drained".into() }, Vec::new());
+        };
+        match req {
+            Request::Submit { job } => match core.submit(job) {
+                Ok(outcome) => {
+                    let events = core.take_events();
+                    (Response::Submitted { outcome }, events)
+                }
+                Err(e) => (Response::SubmitFailed { reason: e.to_string() }, Vec::new()),
+            },
+            Request::Quote { app, dataset_bytes, deadline_slack } => {
+                let quote = core.snapshot().quote(&app, dataset_bytes, deadline_slack);
+                (Response::Quoted { quote }, Vec::new())
+            }
+            Request::Stats => (Response::Stats { stats: core.stats() }, Vec::new()),
+            Request::Drain => {
+                let core = self.core.take().expect("checked live above");
+                let (result, events) = core.finish_with_events();
+                (Response::Drained { result: DrainedRun::from_result(&result) }, events)
+            }
+        }
+    }
+}

@@ -1,0 +1,322 @@
+//! The threaded server: one core thread owning the decision state, a
+//! thread-per-core query pool answering predictions from a lock-free
+//! snapshot, and one session thread per connection speaking the wire
+//! protocol over an in-process byte pipe.
+//!
+//! Threading model:
+//!
+//! * **Core thread** — the only thread that ever touches the
+//!   [`SchedCore`] (whose trace counters are deliberately not `Send`,
+//!   so the compiler enforces this). It serialises submissions and the
+//!   final drain, and republishes a fresh [`SchedSnapshot`] after
+//!   every state change — *before* acknowledging the request, so a
+//!   client that has its submit response is guaranteed the next quote
+//!   reflects that submission.
+//! * **Query pool** — `available_parallelism` workers. Quotes and
+//!   stats are answered purely from the published snapshot (every
+//!   [`SchedSnapshot`] method takes `&self`), so arbitrarily many
+//!   predictions run concurrently without ever blocking the core.
+//! * **Session threads** — one per [`connect`](Server::connect). They
+//!   decode frames, route submissions to the core and queries to the
+//!   pool, and stream event frames back ahead of each response.
+//!
+//! The transport is an in-process pipe rather than a socket: the wire
+//! bytes, framing, and thread handoffs are all real, but tests stay
+//! hermetic and the protocol layer stays reusable over any transport
+//! that can move bytes.
+
+use crate::engine::ServerEngine;
+use crate::frame::{encode_frame, FrameDecoder, FrameKind, WireError};
+use crate::msg::{decode_request, encode_events, encode_response, EventBatch, Request, Response};
+use fg_sched::{CoreEvent, CoreStats, SchedSnapshot, Scheduler};
+use std::collections::VecDeque;
+use std::sync::mpsc;
+use std::sync::{Arc, Condvar, Mutex, RwLock};
+use std::thread::{self, JoinHandle};
+
+/// One direction of a byte stream: a blocking, closeable in-memory
+/// pipe (unbounded — both peers are in-process and well-behaved).
+#[derive(Clone, Debug)]
+struct Pipe {
+    state: Arc<(Mutex<PipeState>, Condvar)>,
+}
+
+#[derive(Debug, Default)]
+struct PipeState {
+    buf: VecDeque<u8>,
+    closed: bool,
+}
+
+impl Pipe {
+    fn new() -> Pipe {
+        Pipe { state: Arc::new((Mutex::new(PipeState::default()), Condvar::new())) }
+    }
+
+    /// Append bytes; silently dropped once the pipe is closed (the
+    /// reader is gone, there is nobody left to care).
+    fn write(&self, bytes: &[u8]) {
+        let (lock, cv) = &*self.state;
+        let mut st = lock.lock().expect("pipe lock");
+        if !st.closed {
+            st.buf.extend(bytes);
+            cv.notify_all();
+        }
+    }
+
+    /// Block until bytes are available; `None` at end-of-stream.
+    fn read(&self) -> Option<Vec<u8>> {
+        let (lock, cv) = &*self.state;
+        let mut st = lock.lock().expect("pipe lock");
+        loop {
+            if !st.buf.is_empty() {
+                return Some(st.buf.drain(..).collect());
+            }
+            if st.closed {
+                return None;
+            }
+            st = cv.wait(st).expect("pipe lock");
+        }
+    }
+
+    fn close(&self) {
+        let (lock, cv) = &*self.state;
+        lock.lock().expect("pipe lock").closed = true;
+        cv.notify_all();
+    }
+}
+
+/// One end of a duplex byte connection. Dropping an end closes its
+/// outgoing direction, which the peer observes as end-of-stream.
+#[derive(Debug)]
+pub struct WireConn {
+    tx: Pipe,
+    rx: Pipe,
+}
+
+impl WireConn {
+    /// A connected pair: bytes sent on one end arrive on the other.
+    pub fn pair() -> (WireConn, WireConn) {
+        let (a, b) = (Pipe::new(), Pipe::new());
+        (WireConn { tx: a.clone(), rx: b.clone() }, WireConn { tx: b, rx: a })
+    }
+
+    /// Send bytes to the peer.
+    pub fn send(&self, bytes: &[u8]) {
+        self.tx.write(bytes);
+    }
+
+    /// Block for the next chunk from the peer; `None` once the peer
+    /// has closed and the stream is drained.
+    pub fn recv(&self) -> Option<Vec<u8>> {
+        self.rx.read()
+    }
+}
+
+impl Drop for WireConn {
+    fn drop(&mut self) {
+        self.tx.close();
+    }
+}
+
+/// What the core thread has published for the query pool: the
+/// snapshot-and-counters pair from after the most recent state change,
+/// `None` once the session is drained.
+type Published = Arc<RwLock<Option<(SchedSnapshot, CoreStats)>>>;
+
+enum CoreMsg {
+    Handle { req: Request, reply: mpsc::Sender<(Response, Vec<CoreEvent>)> },
+}
+
+enum QueryMsg {
+    Handle { req: Request, reply: mpsc::Sender<(Response, Vec<CoreEvent>)> },
+}
+
+/// The running service. Dropping (or [`shutdown`](Server::shutdown))
+/// stops the core thread and the query pool; open sessions end when
+/// their client disconnects.
+#[derive(Debug)]
+pub struct Server {
+    core_tx: mpsc::Sender<CoreMsg>,
+    query_tx: mpsc::Sender<QueryMsg>,
+    workers: usize,
+    threads: Vec<JoinHandle<()>>,
+    sessions: Arc<Mutex<Vec<JoinHandle<()>>>>,
+}
+
+impl Server {
+    /// Start the service for one scheduling session over `cfg`'s grid
+    /// and policy.
+    pub fn start(cfg: Scheduler) -> Server {
+        let published: Published = Arc::new(RwLock::new(None));
+        let (core_tx, core_rx) = mpsc::channel::<CoreMsg>();
+        let (query_tx, query_rx) = mpsc::channel::<QueryMsg>();
+        let mut threads = Vec::new();
+
+        let pub_core = Arc::clone(&published);
+        threads.push(
+            thread::Builder::new()
+                .name("fg-serve-core".into())
+                .spawn(move || core_loop(cfg, core_rx, pub_core))
+                .expect("spawn core thread"),
+        );
+
+        let workers = thread::available_parallelism().map_or(2, usize::from);
+        let query_rx = Arc::new(Mutex::new(query_rx));
+        for i in 0..workers {
+            let rx = Arc::clone(&query_rx);
+            let published = Arc::clone(&published);
+            threads.push(
+                thread::Builder::new()
+                    .name(format!("fg-serve-query-{i}"))
+                    .spawn(move || query_loop(rx, published))
+                    .expect("spawn query worker"),
+            );
+        }
+
+        Server { core_tx, query_tx, workers, threads, sessions: Arc::default() }
+    }
+
+    /// Query-pool width (one worker per available core).
+    pub fn workers(&self) -> usize {
+        self.workers
+    }
+
+    /// Open a connection: spawns a session thread and returns the
+    /// client end of the wire.
+    pub fn connect(&self) -> WireConn {
+        let (client_end, server_end) = WireConn::pair();
+        let core_tx = self.core_tx.clone();
+        let query_tx = self.query_tx.clone();
+        let handle = thread::Builder::new()
+            .name("fg-serve-session".into())
+            .spawn(move || session_loop(server_end, core_tx, query_tx))
+            .expect("spawn session thread");
+        self.sessions.lock().expect("session registry lock").push(handle);
+        client_end
+    }
+
+    /// Stop the service and join every thread. Sessions whose clients
+    /// are still connected are waited on, so drop clients first.
+    pub fn shutdown(self) {
+        let Server { core_tx, query_tx, threads, sessions, .. } = self;
+        // Sessions hold channel clones; the core and pool loops end
+        // once every sender is gone, so wait for the sessions first.
+        drop(core_tx);
+        drop(query_tx);
+        let handles: Vec<JoinHandle<()>> =
+            std::mem::take(&mut *sessions.lock().expect("session registry lock"));
+        for h in handles {
+            let _ = h.join();
+        }
+        for h in threads {
+            let _ = h.join();
+        }
+    }
+}
+
+fn core_loop(cfg: Scheduler, rx: mpsc::Receiver<CoreMsg>, published: Published) {
+    // The decision core is built here, on the core thread: it is not
+    // `Send`, only its configuration is.
+    let mut engine = ServerEngine::new(cfg);
+    publish(&published, &engine);
+    while let Ok(CoreMsg::Handle { req, reply }) = rx.recv() {
+        let out = engine.handle(req);
+        // Publish before acknowledging: once a client sees its
+        // response, every later quote reflects that submission.
+        publish(&published, &engine);
+        let _ = reply.send(out);
+    }
+}
+
+fn publish(published: &Published, engine: &ServerEngine) {
+    let fresh = engine.snapshot().zip(engine.stats());
+    *published.write().expect("published lock") = fresh;
+}
+
+fn query_loop(rx: Arc<Mutex<mpsc::Receiver<QueryMsg>>>, published: Published) {
+    loop {
+        // Hold the receiver lock only while waiting for the next
+        // message, never while answering it.
+        let msg = match rx.lock().expect("query queue lock").recv() {
+            Ok(m) => m,
+            Err(_) => return,
+        };
+        let QueryMsg::Handle { req, reply } = msg;
+        let view = published.read().expect("published lock").clone();
+        let resp = match (req, view) {
+            (_, None) => Response::Error { reason: "session already drained".into() },
+            (Request::Quote { app, dataset_bytes, deadline_slack }, Some((snap, _))) => {
+                Response::Quoted { quote: snap.quote(&app, dataset_bytes, deadline_slack) }
+            }
+            (Request::Stats, Some((_, stats))) => Response::Stats { stats },
+            (other, Some(_)) => {
+                Response::Error { reason: format!("query pool cannot serve {other:?}") }
+            }
+        };
+        let _ = reply.send((resp, Vec::new()));
+    }
+}
+
+fn session_loop(conn: WireConn, core_tx: mpsc::Sender<CoreMsg>, query_tx: mpsc::Sender<QueryMsg>) {
+    let mut dec = FrameDecoder::new();
+    let mut event_seq: u32 = 0;
+    loop {
+        let Some(chunk) = conn.recv() else {
+            // Client closed. A clean close lands between frames; a
+            // mid-frame close is corruption the client should know
+            // about, but there is nobody left to tell.
+            return;
+        };
+        dec.push(&chunk);
+        loop {
+            let frame = match dec.next_frame() {
+                Ok(Some(f)) => f,
+                Ok(None) => break,
+                Err(e) => {
+                    // Corrupt stream: report the typed error once,
+                    // then hang up. No resynchronisation guesses.
+                    send_wire_error(&conn, &e);
+                    return;
+                }
+            };
+            let ord = dec.frames() - 1;
+            let req = match decode_request(&frame, ord) {
+                Ok(r) => r,
+                Err(e) => {
+                    send_wire_error(&conn, &e);
+                    return;
+                }
+            };
+            let (reply_tx, reply_rx) = mpsc::channel();
+            let routed = match &req {
+                // Reads go to the snapshot pool; state changes to the
+                // core thread.
+                Request::Quote { .. } | Request::Stats => {
+                    query_tx.send(QueryMsg::Handle { req, reply: reply_tx }).is_ok()
+                }
+                Request::Submit { .. } | Request::Drain => {
+                    core_tx.send(CoreMsg::Handle { req, reply: reply_tx }).is_ok()
+                }
+            };
+            let Ok((resp, events)) = (if routed { reply_rx.recv() } else { Err(mpsc::RecvError) })
+            else {
+                send_wire_error(&conn, &WireError::Poisoned);
+                return;
+            };
+            if !events.is_empty() {
+                let batch = EventBatch { events };
+                conn.send(&encode_frame(FrameKind::Event, event_seq, &encode_events(&batch)));
+                event_seq += 1;
+            }
+            conn.send(&encode_frame(FrameKind::Response, frame.seq, &encode_response(&resp)));
+        }
+    }
+}
+
+/// Best-effort final word on a broken session: a response frame with
+/// the sentinel sequence number carrying the typed error, so the
+/// client sees *why* before end-of-stream.
+fn send_wire_error(conn: &WireConn, err: &WireError) {
+    let resp = Response::Error { reason: err.to_string() };
+    conn.send(&encode_frame(FrameKind::Response, u32::MAX, &encode_response(&resp)));
+}

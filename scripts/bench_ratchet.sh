@@ -1,53 +1,63 @@
 #!/usr/bin/env bash
-# Placement benchmark ratchet.
+# Benchmark ratchet over every committed trajectory.
 #
-# Runs the quick benchmark trajectory (cargo run --bin bench_placement
-# -- --quick) and compares each entry's throughput (`per_sec`) against
-# the committed baseline in BENCH_placement.json. Entries are matched
-# by name; baseline-only entries (e.g. the full-mode million-job trace)
-# are skipped. A fresh run more than TOLERANCE below the baseline fails
-# the ratchet — raise the baseline by re-running the full benchmark
-# (cargo run -p fg-bench --release --bin bench_placement) when the hot
-# path gets faster, so throughput can never silently regress.
+# Runs each quick benchmark trajectory (bench_placement, bench_serve)
+# and compares each entry's throughput (`per_sec`) against the
+# committed baseline (BENCH_placement.json, BENCH_serve.json). Entries
+# are matched by name; baseline-only entries (e.g. a full-mode-only
+# trace) are skipped. A fresh run more than TOLERANCE below the
+# baseline fails the ratchet — raise a baseline by re-running the full
+# benchmark (cargo run -p fg-bench --release --bin <bench>) when the
+# hot path gets faster, so throughput can never silently regress.
 #
 # Environment:
 #   BENCH_TOLERANCE   fractional allowed regression (default 0.15)
-#   BENCH_BASELINE    baseline path (default BENCH_placement.json)
+#   BENCH_ONLY        ratchet a single trajectory (placement | serve)
 set -euo pipefail
 cd "$(dirname "$0")/.."
 
 command -v jq >/dev/null 2>&1 || { echo "error: jq is required" >&2; exit 2; }
 
 tolerance="${BENCH_TOLERANCE:-0.15}"
-baseline="${BENCH_BASELINE:-BENCH_placement.json}"
-fresh="target/BENCH_placement.quick.json"
-
-cargo run -p fg-bench --release --bin bench_placement -- --quick --out "$fresh"
-
-if [ ! -f "$baseline" ]; then
-    # Bootstrap: no committed trajectory yet. Record the quick run so
-    # the next invocation has something to ratchet against.
-    cp "$fresh" "$baseline"
-    echo "bench: no baseline found; bootstrapped $baseline from this run"
-    exit 0
-fi
-
 status=0
-while IFS=$'\t' read -r name fresh_rate; do
-    base_rate="$(jq -r --arg n "$name" \
-        '[.entries[] | select(.name == $n) | .per_sec][0] // empty' "$baseline")"
-    if [ -z "$base_rate" ]; then
-        printf 'bench: %-24s %12.0f/s (no baseline entry, skipped)\n' \
-            "$name" "$fresh_rate"
-        continue
+
+ratchet_one() {
+    local bin="$1" baseline="$2" fresh="$3"
+
+    cargo run -p fg-bench --release --bin "$bin" -- --quick --out "$fresh"
+
+    if [ ! -f "$baseline" ]; then
+        # Bootstrap: no committed trajectory yet. Record the quick run
+        # so the next invocation has something to ratchet against.
+        cp "$fresh" "$baseline"
+        echo "bench: no baseline found; bootstrapped $baseline from this run"
+        return 0
     fi
-    floor="$(awk -v b="$base_rate" -v t="$tolerance" 'BEGIN { printf "%.6f", b * (1 - t) }')"
-    printf 'bench: %-24s %12.0f/s (baseline %.0f/s, floor %.0f/s)\n' \
-        "$name" "$fresh_rate" "$base_rate" "$floor"
-    if awk -v p="$fresh_rate" -v f="$floor" 'BEGIN { exit !(p < f) }'; then
-        echo "error: $name throughput $fresh_rate/s regressed past the" \
-            "ratchet floor $floor/s (baseline $base_rate/s, tolerance $tolerance)" >&2
-        status=1
-    fi
-done < <(jq -r '.entries[] | [.name, .per_sec] | @tsv' "$fresh")
+
+    while IFS=$'\t' read -r name fresh_rate; do
+        base_rate="$(jq -r --arg n "$name" \
+            '[.entries[] | select(.name == $n) | .per_sec][0] // empty' "$baseline")"
+        if [ -z "$base_rate" ]; then
+            printf 'bench: %-24s %12.0f/s (no baseline entry, skipped)\n' \
+                "$name" "$fresh_rate"
+            continue
+        fi
+        floor="$(awk -v b="$base_rate" -v t="$tolerance" 'BEGIN { printf "%.6f", b * (1 - t) }')"
+        printf 'bench: %-24s %12.0f/s (baseline %.0f/s, floor %.0f/s)\n' \
+            "$name" "$fresh_rate" "$base_rate" "$floor"
+        if awk -v p="$fresh_rate" -v f="$floor" 'BEGIN { exit !(p < f) }'; then
+            echo "error: $name throughput $fresh_rate/s regressed past the" \
+                "ratchet floor $floor/s (baseline $base_rate/s, tolerance $tolerance)" >&2
+            status=1
+        fi
+    done < <(jq -r '.entries[] | [.name, .per_sec] | @tsv' "$fresh")
+}
+
+only="${BENCH_ONLY:-}"
+if [ -z "$only" ] || [ "$only" = placement ]; then
+    ratchet_one bench_placement BENCH_placement.json target/BENCH_placement.quick.json
+fi
+if [ -z "$only" ] || [ "$only" = serve ]; then
+    ratchet_one bench_serve BENCH_serve.json target/BENCH_serve.quick.json
+fi
 exit $status

@@ -303,12 +303,22 @@ impl<'a> Parser<'a> {
                     self.pos += 1;
                 }
                 Some(_) => {
-                    // Consume one UTF-8 character.
-                    let rest = std::str::from_utf8(&self.bytes[self.pos..])
+                    // Consume the whole run of plain characters up to
+                    // the next quote or escape with one UTF-8
+                    // validation — validating from `pos` per character
+                    // is quadratic on long strings.
+                    let mut end = self.pos;
+                    while end < self.bytes.len() {
+                        let b = self.bytes[end];
+                        if b == b'"' || b == b'\\' {
+                            break;
+                        }
+                        end += 1;
+                    }
+                    let run = std::str::from_utf8(&self.bytes[self.pos..end])
                         .map_err(|_| Error::custom("invalid UTF-8 in JSON input"))?;
-                    let c = rest.chars().next().unwrap();
-                    out.push(c);
-                    self.pos += c.len_utf8();
+                    out.push_str(run);
+                    self.pos = end;
                 }
             }
         }
@@ -402,5 +412,23 @@ mod tests {
     #[test]
     fn rejects_trailing_garbage() {
         assert!(from_str::<u64>("1 x").is_err());
+    }
+
+    #[test]
+    fn long_strings_roundtrip_in_linear_time() {
+        // A megabyte-scale string with escapes and multi-byte
+        // characters sprinkled through it: the parser must consume
+        // plain runs in bulk (per-character re-validation of the
+        // remaining input made this take tens of seconds).
+        let unit = "span{\"kind\":\"read\"}\nsüß→\t";
+        let s: String = unit.repeat(50_000);
+        let start = std::time::Instant::now();
+        let back: String = from_str(&to_string(&s).unwrap()).unwrap();
+        assert_eq!(back, s);
+        assert!(
+            start.elapsed() < std::time::Duration::from_secs(5),
+            "long-string parse is superlinear: {:?}",
+            start.elapsed()
+        );
     }
 }
