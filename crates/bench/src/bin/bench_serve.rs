@@ -15,6 +15,10 @@
 //!
 //! * `serve-quote-rps` — prediction quotes from one client, answered
 //!   lock-free from the published snapshot.
+//! * `serve-quote-rps-sub` — the same quote stream with a metrics
+//!   subscription armed on the session: the telemetry-overhead entry.
+//!   Steady state adds one atomic epoch load per response, so this
+//!   must ratchet with the plain entry.
 //! * `serve-quote-rps-4c` — the same quote stream split over four
 //!   concurrent clients, exercising the thread-per-core pool.
 //! * `serve-replay-rps` — a trace-shaped workload submitted and
@@ -64,9 +68,18 @@ fn best_of<F: FnMut() -> f64>(reps: usize, mut run: F) -> f64 {
     (0..reps).map(|_| run()).fold(f64::INFINITY, f64::min)
 }
 
-fn quote_rps(queries: usize, reps: usize) -> Entry {
+fn quote_rps(queries: usize, reps: usize, subscribed: bool) -> Entry {
     let server = Server::start(scheduler());
     let mut client = ServeClient::connect(&server);
+    if subscribed {
+        // Prime the metrics hub with one real submission, then arm the
+        // session's subscription: every quote response now pays the
+        // telemetry plane's steady-state cost (one atomic epoch load).
+        let jobs = WorkloadSpec::shaped(WorkloadShape::Uniform, LoadLevel::Light, &["kmeans"], 7)
+            .generate();
+        client.submit(jobs[0].clone()).expect("submit");
+        client.subscribe_metrics(0).expect("subscribe");
+    }
     let apps: Vec<String> =
         GridSpec::demo(sched_models()).apps.iter().map(|(n, _)| n.clone()).collect();
     let elapsed = best_of(reps, || {
@@ -80,10 +93,11 @@ fn quote_rps(queries: usize, reps: usize) -> Entry {
     });
     drop(client);
     server.shutdown();
+    let name = if subscribed { "serve-quote-rps-sub" } else { "serve-quote-rps" };
     let per_sec = queries as f64 / elapsed;
-    eprintln!("serve-quote-rps: {queries} quotes in {elapsed:.3}s ({per_sec:.0}/s)");
+    eprintln!("{name}: {queries} quotes in {elapsed:.3}s ({per_sec:.0}/s)");
     Entry {
-        name: "serve-quote-rps".into(),
+        name: name.into(),
         kind: "quote-rps",
         items: queries as u64,
         elapsed_secs: elapsed,
@@ -192,7 +206,8 @@ fn main() {
     // entry.
     let (quotes, reps) = if quick { (5_000, 2) } else { (20_000, 3) };
     let entries = vec![
-        quote_rps(quotes, reps),
+        quote_rps(quotes, reps, false),
+        quote_rps(quotes, reps, true),
         quote_rps_concurrent(quotes / 4, 4, reps),
         replay_rps(20, 150, reps),
     ];

@@ -365,6 +365,34 @@ fn main() -> ExitCode {
         );
     }
 
+    if let Some(fig) = ck.load("ext-obs") {
+        ck.claim(
+            "ext-obs",
+            "fault-free runs never raise a drift alarm (zero false positives)",
+            fig.column_values("clean alarms").iter().all(|&a| a == 0.0),
+        );
+        ck.claim(
+            "ext-obs",
+            "the seeded WAN degradation trips the detector under every traffic shape",
+            fig.column_values("alarms").iter().all(|&a| a >= 1.0),
+        );
+        ck.claim(
+            "ext-obs",
+            "every alarm blames the network component (only the WAN lied)",
+            fig.column_values("off-net alarms").iter().all(|&a| a == 0.0),
+        );
+        ck.claim(
+            "ext-obs",
+            "detection latency within 10 degraded-repository jobs of fault onset",
+            fig.column_values("jobs to alarm").iter().all(|&j| j.is_finite() && j <= 10.0),
+        );
+        ck.claim(
+            "ext-obs",
+            "a metrics subscription costs the quote path under 5%",
+            fig.column_values("subscriber overhead").iter().all(|&o| o < 0.05),
+        );
+    }
+
     if ck.failures.is_empty() {
         println!("\nall figure claims hold");
         ExitCode::SUCCESS

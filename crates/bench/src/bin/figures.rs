@@ -50,6 +50,19 @@ fn export_sched_traces(out_dir: &std::path::Path) {
     }
 }
 
+fn export_incidents(out_dir: &std::path::Path) {
+    let dir = out_dir.join("incidents");
+    std::fs::create_dir_all(&dir).expect("create target/figures/incidents");
+    for shape in fg_sched::WorkloadShape::ALL {
+        let bundles = fg_bench::figures::obs_incident_bundles(shape);
+        for (i, bundle) in bundles.iter().enumerate() {
+            let path = dir.join(format!("{}-{i}.jsonl", shape.name()));
+            std::fs::write(&path, bundle).unwrap_or_else(|e| panic!("write {path:?}: {e}"));
+            println!("  incident bundle: {}", path.display());
+        }
+    }
+}
+
 fn main() {
     let mut args: Vec<String> = std::env::args().skip(1).collect();
     let bars = if let Some(pos) = args.iter().position(|a| a == "--bars") {
@@ -96,6 +109,9 @@ fn main() {
         }
         if *id == "ext-sched" {
             export_sched_traces(out_dir);
+        }
+        if *id == "ext-obs" {
+            export_incidents(out_dir);
         }
     }
 }

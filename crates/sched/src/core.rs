@@ -35,6 +35,7 @@
 //! bit-for-bit across workload shapes.
 
 use crate::grid::GridSpec;
+use crate::ledger::AccuracySample;
 use crate::placement::{
     uncached_best_placement, uncached_standalone_placement, FreeSlices, Placement, PlacementEngine,
 };
@@ -43,6 +44,7 @@ use crate::sched::{
     Degradation, JobOutcome, MigrationEvent, PlacementInfo, PreemptionEvent, SchedResult,
     Scheduler, TenantQuota,
 };
+use crate::telemetry::{TelemetryReport, TelemetrySnapshot, TelemetryState};
 use crate::workload::JobSpec;
 use fg_cluster::{Configuration, DeploymentRef};
 use fg_predict::bandwidth::{BandwidthEstimator, Ewma};
@@ -421,6 +423,14 @@ pub enum CoreEvent {
         /// Repository it fetches from afterwards.
         to_repo: String,
     },
+    /// The accuracy ledger detected predictor drift (only emitted when
+    /// telemetry is armed; see [`Scheduler::with_telemetry`]).
+    ///
+    /// [`Scheduler::with_telemetry`]: crate::sched::Scheduler::with_telemetry
+    DriftAlarm {
+        /// The alarm the tripping completion raised.
+        alarm: crate::ledger::DriftAlarm,
+    },
 }
 
 /// The scheduler's per-run metric instruments, registered once at
@@ -491,6 +501,7 @@ pub struct SchedCore {
     /// same batch, exactly as the batch arrival loop consumed them.
     tail_pending: bool,
     events: Option<Vec<CoreEvent>>,
+    telemetry: Option<TelemetryState>,
 }
 
 impl SchedCore {
@@ -572,6 +583,7 @@ impl SchedCore {
 
         let queue = PolicyQueue::new(scheduler.policy, min_slots);
         let grid_arc = Arc::new(scheduler.grid.clone());
+        let telemetry = scheduler.telemetry.clone().map(TelemetryState::new);
         SchedCore {
             cfg: scheduler,
             grid: grid_arc,
@@ -603,6 +615,7 @@ impl SchedCore {
             iterations: 0,
             tail_pending: false,
             events: None,
+            telemetry,
         }
     }
 
@@ -639,6 +652,28 @@ impl SchedCore {
     /// unless [`with_event_log`](SchedCore::with_event_log) was used).
     pub fn take_events(&mut self) -> Vec<CoreEvent> {
         self.events.as_mut().map(std::mem::take).unwrap_or_default()
+    }
+
+    /// Freeze the telemetry plane at the current instant (`None` when
+    /// telemetry is off). `&mut` because reading the sliding windows
+    /// rotates expired buckets out; the decision state is untouched.
+    pub fn telemetry_snapshot(&mut self) -> Option<TelemetrySnapshot> {
+        let now = self.now;
+        self.telemetry.as_mut().map(|t| t.snapshot(now))
+    }
+
+    /// The telemetry change counter — bumps on every completion, so a
+    /// publisher can skip snapshots that cannot have changed. Always 0
+    /// when telemetry is off.
+    pub fn telemetry_epoch(&self) -> u64 {
+        self.telemetry.as_ref().map_or(0, TelemetryState::epoch)
+    }
+
+    /// The accuracy ledger's newest `n` retained samples, in ingestion
+    /// order (empty when telemetry is off) — the flight recorder's
+    /// ledger tail.
+    pub fn ledger_tail(&self, n: usize) -> Vec<AccuracySample> {
+        self.telemetry.as_ref().map_or_else(Vec::new, |t| t.ledger().tail(n))
     }
 
     /// Submit one job and advance the machine to its arrival instant.
@@ -795,8 +830,18 @@ impl SchedCore {
             .map(|o| o.expect("every submitted job gets an outcome"))
             .collect();
         let trace = build_trace(tracer, &outcomes, self.makespan);
+        let telemetry = self.telemetry.take().map(|mut t| {
+            let snapshot = t.snapshot(self.now);
+            TelemetryReport { snapshot, ledger: t.ledger().clone() }
+        });
         (
-            SchedResult { outcomes, trace, makespan: self.makespan, violations: self.violations },
+            SchedResult {
+                outcomes,
+                trace,
+                makespan: self.makespan,
+                violations: self.violations,
+                telemetry,
+            },
             events,
         )
     }
@@ -1156,6 +1201,37 @@ impl SchedCore {
             if self.events.is_some() {
                 let (id, at, met) = (o.id, self.now, o.met_deadline());
                 self.emit(CoreEvent::Completed { id, at, met_deadline: met });
+            }
+            if let Some(tel) = self.telemetry.as_mut() {
+                let o = self.outcomes[r.slot].as_ref().expect("placed job has an outcome");
+                // Only clean observations feed the accuracy ledger: a
+                // preempted or migrated run's phase boundaries are not
+                // a fair test of the placement-time prediction.
+                let clean = o.preemptions.is_empty() && o.migration.is_none() && !r.no_feedback;
+                let sample = match (&o.placement, r.disk_end, r.network_end) {
+                    (Some(p), Some(de), Some(ne)) if clean => Some(AccuracySample {
+                        seq: 0, // assigned by the ledger
+                        id: o.id,
+                        tenant: o.tenant,
+                        app: o.app.clone(),
+                        repo: p.repo_name.clone(),
+                        config: p.config.clone(),
+                        dataset_bytes: o.dataset_bytes,
+                        predicted: [
+                            r.predicted.t_disk,
+                            r.predicted.t_network,
+                            r.predicted.t_compute,
+                        ],
+                        observed: [de - r.placed_at, ne - de, self.now - ne],
+                        placed_at: r.placed_at,
+                        finish: self.now,
+                    }),
+                    _ => None,
+                };
+                let alarms = tel.on_completion(o, sample);
+                for alarm in alarms {
+                    self.emit(CoreEvent::DriftAlarm { alarm });
+                }
             }
         }
     }

@@ -48,22 +48,31 @@
 
 pub mod core;
 pub mod grid;
+pub mod ledger;
 pub mod placement;
 pub mod policy;
 pub mod replay;
 pub mod sched;
+pub mod telemetry;
 pub mod workload;
 
 pub use crate::core::{
     CoreEvent, CoreStats, PredictionQuote, SchedCore, SchedSnapshot, SubmitError, SubmitOutcome,
 };
 pub use grid::{AppModel, GridSpec, RepoSpec, SiteSpec};
+pub use ledger::{
+    AccuracyLedger, AccuracySample, Component, DriftAlarm, DriftConfig, KeyDrift, KeyLedger,
+    ResidualStat, LEDGER_VERSION,
+};
 pub use placement::{naive_best_placement, FreeSlices, Placement, PlacementEngine, PlacementStats};
 pub use policy::Policy;
 pub use replay::{ReplayError, Workload, WorkloadStats};
 pub use sched::{
     Degradation, JobOutcome, MigrationConfig, MigrationEvent, PlacementInfo, PreemptionEvent,
     SchedResult, Scheduler, TenantQuota,
+};
+pub use telemetry::{
+    TelemetryConfig, TelemetryReport, TelemetrySnapshot, TelemetryState, TenantSlo,
 };
 pub use workload::{
     ArrivalProcess, JobSpec, LoadLevel, Sinusoid, SizeDist, TenantSpec, WorkloadError,

@@ -32,6 +32,7 @@
 use crate::core::{SchedCore, TIME_EPS};
 use crate::grid::GridSpec;
 use crate::policy::Policy;
+use crate::telemetry::{TelemetryConfig, TelemetryReport};
 use crate::workload::JobSpec;
 use fg_trace::Trace;
 use serde::{Deserialize, Serialize};
@@ -225,6 +226,10 @@ pub struct SchedResult {
     /// Fairness or work-conservation invariant violations detected
     /// during the run (empty on a healthy run).
     pub violations: Vec<String>,
+    /// The telemetry plane at drain time — SLO gauges, drift
+    /// statistics, and the full accuracy ledger. `None` unless the run
+    /// was armed with [`Scheduler::with_telemetry`].
+    pub telemetry: Option<TelemetryReport>,
 }
 
 /// The multi-tenant scheduler: a grid, a policy, and an EWMA smoothing
@@ -245,6 +250,7 @@ pub struct Scheduler {
     pub(crate) parallel_scoring: bool,
     pub(crate) naive_placement: bool,
     pub(crate) workload_metrics: bool,
+    pub(crate) telemetry: Option<TelemetryConfig>,
 }
 
 impl Scheduler {
@@ -262,6 +268,7 @@ impl Scheduler {
             parallel_scoring: false,
             naive_placement: false,
             workload_metrics: false,
+            telemetry: None,
         }
     }
 
@@ -342,6 +349,26 @@ impl Scheduler {
     pub fn with_workload_metrics(mut self) -> Scheduler {
         self.workload_metrics = true;
         self
+    }
+
+    /// Arm the live telemetry plane: per-tenant SLO gauges, windowed
+    /// queue-wait quantiles, and the predictor-accuracy ledger with
+    /// its drift detector. Telemetry is strictly observational — it
+    /// never registers metrics in the trace registry and never touches
+    /// a scheduling decision, so an armed run stays bit-identical
+    /// (outcomes, trace, events) to an unarmed one. The plane comes
+    /// back in [`SchedResult::telemetry`], and drift alarms surface as
+    /// [`CoreEvent::DriftAlarm`] when the event log is also on.
+    ///
+    /// [`CoreEvent::DriftAlarm`]: crate::core::CoreEvent::DriftAlarm
+    pub fn with_telemetry(mut self, config: TelemetryConfig) -> Scheduler {
+        self.telemetry = Some(config);
+        self
+    }
+
+    /// The telemetry configuration, when armed.
+    pub fn telemetry(&self) -> Option<&TelemetryConfig> {
+        self.telemetry.as_ref()
     }
 
     /// The policy this scheduler applies.

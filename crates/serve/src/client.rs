@@ -8,7 +8,10 @@
 //! driving [`fg_sched::Scheduler`] directly.
 
 use crate::frame::{encode_frame, FrameDecoder, FrameKind, WireError};
-use crate::msg::{decode_events, decode_response, encode_request, DrainedRun, Request, Response};
+use crate::msg::{
+    decode_events, decode_metrics, decode_response, encode_request, encode_subscribe, DrainedRun,
+    Request, Response, ServeMetrics, SubscribeMetrics,
+};
 use crate::server::{Server, WireConn};
 use fg_sched::{CoreEvent, CoreStats, JobSpec, PredictionQuote, SubmitOutcome};
 use std::fmt;
@@ -45,13 +48,17 @@ impl From<WireError> for ClientError {
 
 /// A blocking protocol client over one connection. Streamed event
 /// frames are collected as they arrive; drain them with
-/// [`take_events`](ServeClient::take_events).
+/// [`take_events`](ServeClient::take_events). After
+/// [`subscribe_metrics`](ServeClient::subscribe_metrics), streamed
+/// telemetry snapshots are collected the same way and drained with
+/// [`take_metrics`](ServeClient::take_metrics).
 #[derive(Debug)]
 pub struct ServeClient {
     conn: WireConn,
     dec: FrameDecoder,
     next_seq: u32,
     events: Vec<CoreEvent>,
+    metrics: Vec<ServeMetrics>,
 }
 
 impl ServeClient {
@@ -62,12 +69,19 @@ impl ServeClient {
             dec: FrameDecoder::new(),
             next_seq: 0,
             events: Vec::new(),
+            metrics: Vec::new(),
         }
     }
 
     /// Scheduling events streamed so far, in decision order.
     pub fn take_events(&mut self) -> Vec<CoreEvent> {
         std::mem::take(&mut self.events)
+    }
+
+    /// Telemetry snapshots streamed since the last call, in epoch
+    /// order (empty without a subscription).
+    pub fn take_metrics(&mut self) -> Vec<ServeMetrics> {
+        std::mem::take(&mut self.metrics)
     }
 
     /// One request/response round trip, absorbing any event frames
@@ -96,9 +110,91 @@ impl ServeClient {
                         }
                         return Ok(resp);
                     }
-                    FrameKind::Request => {
+                    FrameKind::MetricsSnapshot => {
+                        self.metrics.push(decode_metrics(&frame, ord)?);
+                    }
+                    FrameKind::Request | FrameKind::SubscribeMetrics => {
                         return Err(ClientError::Server(format!(
-                            "server sent a request frame (seq {})",
+                            "server sent a client-only frame kind {:?} (seq {})",
+                            frame.kind, frame.seq
+                        )));
+                    }
+                }
+            }
+            let Some(chunk) = self.conn.recv() else {
+                return Err(ClientError::Closed);
+            };
+            self.dec.push(&chunk);
+        }
+    }
+
+    /// Subscribe this session to streamed telemetry. The server acks
+    /// with the latest published snapshot (returned here) and from
+    /// then on pushes a [`ServeMetrics`] frame after any response it
+    /// sends while the telemetry epoch has advanced — drain those with
+    /// [`take_metrics`](ServeClient::take_metrics). Snapshots with
+    /// epoch at or below `min_epoch` are suppressed.
+    pub fn subscribe_metrics(&mut self, min_epoch: u64) -> Result<ServeMetrics, ClientError> {
+        let seq = self.next_seq;
+        self.next_seq += 1;
+        let payload = encode_subscribe(&SubscribeMetrics { min_epoch });
+        self.conn.send(&encode_frame(FrameKind::SubscribeMetrics, seq, &payload));
+        loop {
+            while let Some(frame) = self.dec.next_frame()? {
+                let ord = self.dec.frames() - 1;
+                match frame.kind {
+                    FrameKind::Event => {
+                        self.events.extend(decode_events(&frame, ord)?.events);
+                    }
+                    FrameKind::MetricsSnapshot => {
+                        let m = decode_metrics(&frame, ord)?;
+                        if frame.seq == seq {
+                            return Ok(m);
+                        }
+                        self.metrics.push(m);
+                    }
+                    FrameKind::Response => {
+                        let resp = decode_response(&frame, ord)?;
+                        if let Response::Error { reason } = resp {
+                            return Err(ClientError::Server(reason));
+                        }
+                        return Err(ClientError::Server(format!(
+                            "unexpected response {resp:?} to a metrics subscription"
+                        )));
+                    }
+                    FrameKind::Request | FrameKind::SubscribeMetrics => {
+                        return Err(ClientError::Server(format!(
+                            "server sent a client-only frame kind {:?} (seq {})",
+                            frame.kind, frame.seq
+                        )));
+                    }
+                }
+            }
+            let Some(chunk) = self.conn.recv() else {
+                return Err(ClientError::Closed);
+            };
+            self.dec.push(&chunk);
+        }
+    }
+
+    /// Block until the next pushed telemetry snapshot arrives (event
+    /// frames are absorbed along the way). Use after a drain, whose
+    /// final plane is pushed *behind* the drain response: one call
+    /// collects it deterministically.
+    pub fn recv_metrics(&mut self) -> Result<ServeMetrics, ClientError> {
+        loop {
+            while let Some(frame) = self.dec.next_frame()? {
+                let ord = self.dec.frames() - 1;
+                match frame.kind {
+                    FrameKind::Event => {
+                        self.events.extend(decode_events(&frame, ord)?.events);
+                    }
+                    FrameKind::MetricsSnapshot => {
+                        return decode_metrics(&frame, ord).map_err(ClientError::from);
+                    }
+                    other => {
+                        return Err(ClientError::Server(format!(
+                            "expected a metrics push, got {other:?} (seq {})",
                             frame.seq
                         )));
                     }

@@ -3,23 +3,54 @@
 //! threaded [`server`](crate::server) drives one of these on its core
 //! thread; tests can drive one directly and get byte-identical
 //! behaviour, because every decision lives here or deeper.
+//!
+//! The engine always arms the decision core's telemetry plane (unless
+//! the caller armed it with its own configuration) and owns the
+//! session's [`FlightRecorder`]: every decision event lands in the
+//! recorder's ring, and a drift alarm, SLO breach, or decode poisoning
+//! cuts an [`IncidentBundle`] collectable through
+//! [`take_incidents`](ServerEngine::take_incidents). Telemetry is
+//! strictly observational, which is what keeps a served run
+//! bit-identical to a direct `Scheduler::run` — the differential tests
+//! pin that property.
 
-use crate::msg::{DrainedRun, Request, Response};
-use fg_sched::{CoreEvent, CoreStats, SchedCore, SchedSnapshot, Scheduler};
+use crate::msg::{DrainedRun, Request, Response, ServeMetrics};
+use crate::recorder::{FlightRecorder, IncidentBundle, IncidentReason, RecorderConfig};
+use fg_sched::{
+    CoreEvent, CoreStats, SchedCore, SchedSnapshot, Scheduler, TelemetryConfig, TelemetrySnapshot,
+};
 
 /// The state machine behind a serving session: one live decision core
 /// until drained, then a terminal state that refuses further work.
 pub struct ServerEngine {
     core: Option<SchedCore>,
+    recorder: FlightRecorder,
+    /// Telemetry epoch of the last snapshot handed out through
+    /// [`metrics_if_changed`](ServerEngine::metrics_if_changed).
+    published_epoch: Option<u64>,
+    /// The end-of-run plane, stashed at drain so subscribers see the
+    /// final state even though the core is gone.
+    final_metrics: Option<ServeMetrics>,
 }
 
 impl ServerEngine {
     /// Build the engine from a scheduler configuration. The decision
     /// core is constructed here — on whichever thread the engine lives
     /// on — because the core's trace counters are deliberately not
-    /// `Send`.
+    /// `Send`. Telemetry is armed with the default configuration
+    /// unless `cfg` already carries one.
     pub fn new(cfg: Scheduler) -> ServerEngine {
-        ServerEngine { core: Some(SchedCore::new(cfg).with_event_log()) }
+        let cfg = if cfg.telemetry().is_none() {
+            cfg.with_telemetry(TelemetryConfig::default())
+        } else {
+            cfg
+        };
+        ServerEngine {
+            core: Some(SchedCore::new(cfg).with_event_log()),
+            recorder: FlightRecorder::new(RecorderConfig::default()),
+            published_epoch: None,
+            final_metrics: None,
+        }
     }
 
     /// Is the engine still accepting work?
@@ -35,6 +66,89 @@ impl ServerEngine {
     /// Live counters, or `None` after drain.
     pub fn stats(&self) -> Option<CoreStats> {
         self.core.as_ref().map(SchedCore::stats)
+    }
+
+    /// The telemetry plane plus counters — but only when it has
+    /// changed since the last call (epoch-gated, so the publisher
+    /// pays for a snapshot only on completions). The drain-time plane
+    /// is handed out exactly once, after the core is gone.
+    pub fn metrics_if_changed(&mut self) -> Option<ServeMetrics> {
+        if let Some(core) = self.core.as_mut() {
+            let epoch = core.telemetry_epoch();
+            if self.published_epoch == Some(epoch) {
+                return None;
+            }
+            let telemetry = core.telemetry_snapshot()?;
+            let stats = core.stats();
+            self.published_epoch = Some(epoch);
+            return Some(ServeMetrics { epoch, stats, telemetry });
+        }
+        if let Some(m) = self.final_metrics.take() {
+            if self.published_epoch != Some(m.epoch) {
+                self.published_epoch = Some(m.epoch);
+                return Some(m);
+            }
+        }
+        None
+    }
+
+    /// Incident bundles cut since the last call (drift alarms, SLO
+    /// breaches, decode poisonings), in trip order.
+    pub fn take_incidents(&mut self) -> Vec<IncidentBundle> {
+        self.recorder.take_bundles()
+    }
+
+    /// A session's frame decoder was poisoned: cut an incident bundle
+    /// with whatever context is still available.
+    pub fn decode_poisoned(&mut self, error: String) {
+        let reason = IncidentReason::DecodePoisoned { error };
+        let tail_n = self.recorder.config().ledger_tail;
+        let (at, stats, tail, alarms) = match self.core.as_mut() {
+            Some(core) => {
+                let stats = core.stats();
+                let tail = core.ledger_tail(tail_n);
+                let alarms = core.telemetry_snapshot().map(|s| s.alarms).unwrap_or_default();
+                (stats.now, Some(stats), tail, alarms)
+            }
+            None => (0.0, None, Vec::new(), Vec::new()),
+        };
+        self.recorder.trip(reason, at, stats, tail, alarms);
+    }
+
+    /// Feed a request's decision events through the flight recorder:
+    /// ring them all, then trip a bundle per drift alarm and per newly
+    /// breached tenant SLO.
+    fn observe(&mut self, events: &[CoreEvent], snapshot: Option<&TelemetrySnapshot>) {
+        for e in events {
+            self.recorder.record(e);
+        }
+        let mut reasons: Vec<(IncidentReason, f64)> = events
+            .iter()
+            .filter_map(|e| match e {
+                CoreEvent::DriftAlarm { alarm } => {
+                    Some((IncidentReason::Drift { alarm: alarm.clone() }, alarm.at))
+                }
+                _ => None,
+            })
+            .collect();
+        if let Some(snap) = snapshot {
+            for reason in self.recorder.slo_breaches(snap) {
+                reasons.push((reason, snap.now));
+            }
+        }
+        if reasons.is_empty() {
+            return;
+        }
+        let stats = self.stats();
+        let (tail, alarms) = match (self.core.as_ref(), snapshot) {
+            (Some(core), Some(snap)) => {
+                (core.ledger_tail(self.recorder.config().ledger_tail), snap.alarms.clone())
+            }
+            _ => (Vec::new(), Vec::new()),
+        };
+        for (reason, at) in reasons {
+            self.recorder.trip(reason, at, stats.clone(), tail.clone(), alarms.clone());
+        }
     }
 
     /// Handle one request. Returns the response plus any scheduling
@@ -53,6 +167,8 @@ impl ServerEngine {
             Request::Submit { job } => match core.submit(job) {
                 Ok(outcome) => {
                     let events = core.take_events();
+                    let snap = core.telemetry_snapshot();
+                    self.observe(&events, snap.as_ref());
                     (Response::Submitted { outcome }, events)
                 }
                 Err(e) => (Response::SubmitFailed { reason: e.to_string() }, Vec::new()),
@@ -63,8 +179,58 @@ impl ServerEngine {
             }
             Request::Stats => (Response::Stats { stats: core.stats() }, Vec::new()),
             Request::Drain => {
+                let pre = core.stats();
                 let core = self.core.take().expect("checked live above");
                 let (result, events) = core.finish_with_events();
+                // Stash the end-of-run plane so the publisher can push
+                // one final snapshot: after the drain every admitted
+                // job has completed and nothing is queued or running.
+                if let Some(report) = &result.telemetry {
+                    let snap = report.snapshot.clone();
+                    let tail_n = self.recorder.config().ledger_tail;
+                    let stats = CoreStats {
+                        now: snap.now,
+                        makespan: result.makespan,
+                        submitted: pre.submitted,
+                        admitted: pre.admitted,
+                        rejected: pre.rejected,
+                        completed: pre.admitted,
+                        queued: 0,
+                        running: 0,
+                        suspended: 0,
+                    };
+                    for e in &events {
+                        self.recorder.record(e);
+                    }
+                    let mut reasons: Vec<(IncidentReason, f64)> = events
+                        .iter()
+                        .filter_map(|e| match e {
+                            CoreEvent::DriftAlarm { alarm } => {
+                                Some((IncidentReason::Drift { alarm: alarm.clone() }, alarm.at))
+                            }
+                            _ => None,
+                        })
+                        .collect();
+                    for reason in self.recorder.slo_breaches(&snap) {
+                        reasons.push((reason, snap.now));
+                    }
+                    let tail = report.ledger.tail(tail_n);
+                    for (reason, at) in reasons {
+                        self.recorder.trip(
+                            reason,
+                            at,
+                            Some(stats.clone()),
+                            tail.clone(),
+                            snap.alarms.clone(),
+                        );
+                    }
+                    self.final_metrics =
+                        Some(ServeMetrics { epoch: snap.epoch, stats, telemetry: snap });
+                } else {
+                    for e in &events {
+                        self.recorder.record(e);
+                    }
+                }
                 (Response::Drained { result: DrainedRun::from_result(&result) }, events)
             }
         }

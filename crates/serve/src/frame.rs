@@ -6,7 +6,8 @@
 //! offset  size  field
 //! 0       2     magic "FG"
 //! 2       1     protocol version (1)
-//! 3       1     frame kind (1 = request, 2 = response, 3 = event)
+//! 3       1     frame kind (1 = request, 2 = response, 3 = event,
+//!               4 = subscribe-metrics, 5 = metrics snapshot)
 //! 4       4     sequence number, u32 LE
 //! 8       4     payload length,  u32 LE
 //! 12      4     FNV-1a checksum over [kind, seq LE, payload], u32 LE
@@ -45,6 +46,14 @@ pub enum FrameKind {
     Response,
     /// Server-to-client streamed event, on its own sequence counter.
     Event,
+    /// Client-to-server metrics subscription, acknowledged with a
+    /// [`MetricsSnapshot`](FrameKind::MetricsSnapshot) echoing its
+    /// sequence number.
+    SubscribeMetrics,
+    /// Server-to-client telemetry snapshot. The subscription ack
+    /// echoes the subscribe frame's sequence number; streamed
+    /// snapshots ride the event sequence counter.
+    MetricsSnapshot,
 }
 
 impl FrameKind {
@@ -54,6 +63,8 @@ impl FrameKind {
             FrameKind::Request => 1,
             FrameKind::Response => 2,
             FrameKind::Event => 3,
+            FrameKind::SubscribeMetrics => 4,
+            FrameKind::MetricsSnapshot => 5,
         }
     }
 
@@ -63,6 +74,8 @@ impl FrameKind {
             1 => Some(FrameKind::Request),
             2 => Some(FrameKind::Response),
             3 => Some(FrameKind::Event),
+            4 => Some(FrameKind::SubscribeMetrics),
+            5 => Some(FrameKind::MetricsSnapshot),
             _ => None,
         }
     }

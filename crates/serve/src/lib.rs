@@ -19,6 +19,11 @@
 //!   answering quotes and stats from a lock-free
 //!   [`fg_sched::SchedSnapshot`], and a session thread per connection
 //!   streaming scheduling events ahead of each response.
+//! * [`recorder`] — the flight recorder: a bounded ring of recent
+//!   decision events that cuts a self-contained JSONL
+//!   [`recorder::IncidentBundle`] (reason, stats, last-N events,
+//!   accuracy-ledger tail, standing alarms) when a drift alarm fires,
+//!   a tenant SLO breaches, or a session's decoder is poisoned.
 //! * [`client`] — the blocking client and the [`client::replay`]
 //!   harness that pushes a whole trace-shaped workload through the
 //!   wire and returns everything needed to prove the served schedule
@@ -38,10 +43,14 @@ pub mod client;
 pub mod engine;
 pub mod frame;
 pub mod msg;
+pub mod recorder;
 pub mod server;
 
 pub use client::{replay, ClientError, ServeClient, ServedRun};
 pub use engine::ServerEngine;
 pub use frame::{Frame, FrameDecoder, FrameKind, WireError};
-pub use msg::{DrainedRun, EventBatch, Request, Response};
+pub use msg::{DrainedRun, EventBatch, Request, Response, ServeMetrics, SubscribeMetrics};
+pub use recorder::{
+    FlightRecorder, IncidentBundle, IncidentReason, RecordedEvent, RecorderConfig, INCIDENT_VERSION,
+};
 pub use server::{Server, WireConn};

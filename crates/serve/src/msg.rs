@@ -10,7 +10,10 @@
 
 use crate::frame::{Frame, FrameKind, WireError};
 use fg_sched::JobSpec;
-use fg_sched::{CoreEvent, CoreStats, JobOutcome, PredictionQuote, SchedResult, SubmitOutcome};
+use fg_sched::{
+    CoreEvent, CoreStats, JobOutcome, PredictionQuote, SchedResult, SubmitOutcome,
+    TelemetrySnapshot,
+};
 use serde::{Deserialize, Serialize};
 
 /// A client-to-server request (frame kind 1).
@@ -88,6 +91,32 @@ pub struct EventBatch {
     pub events: Vec<CoreEvent>,
 }
 
+/// A metrics subscription (frame kind 4): ask the server to push a
+/// [`ServeMetrics`] snapshot whenever the telemetry plane has changed
+/// since the last one this session saw.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct SubscribeMetrics {
+    /// Suppress snapshots whose epoch is at or below this value
+    /// (0 subscribes from the beginning). Lets a reconnecting client
+    /// skip the state it already drained.
+    pub min_epoch: u64,
+}
+
+/// A telemetry snapshot on the wire (frame kind 5): the live counters
+/// plus the full telemetry plane — per-tenant SLO gauges (deadline
+/// violation rate, mean quote error, windowed queue-wait P99),
+/// per-key drift statistics, and every alarm raised so far.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct ServeMetrics {
+    /// The telemetry change counter at snapshot time; a subscriber
+    /// sees strictly increasing epochs.
+    pub epoch: u64,
+    /// The core's coarse progress counters.
+    pub stats: CoreStats,
+    /// The telemetry plane.
+    pub telemetry: TelemetrySnapshot,
+}
+
 /// The result of a drained run, flattened for the wire: the span tree
 /// travels as its canonical JSONL dump, which round-trips bit-exactly
 /// through [`fg_trace::from_jsonl`].
@@ -122,6 +151,10 @@ impl DrainedRun {
             trace,
             makespan: self.makespan,
             violations: self.violations,
+            // The wire result carries no telemetry: the plane is
+            // streamed live through `MetricsSnapshot` frames instead
+            // of being replayed at drain time.
+            telemetry: None,
         })
     }
 }
@@ -184,4 +217,28 @@ pub fn encode_events(batch: &EventBatch) -> Vec<u8> {
 pub fn decode_events(frame: &Frame, ord: u64) -> Result<EventBatch, WireError> {
     expect_kind(frame, ord, FrameKind::Event, "event batch")?;
     decode_payload(frame, ord, "event batch")
+}
+
+/// Serialize a metrics-subscription payload.
+pub fn encode_subscribe(sub: &SubscribeMetrics) -> Vec<u8> {
+    serde_json::to_string(sub).expect("subscription serialization is infallible").into_bytes()
+}
+
+/// Parse a metrics subscription out of a decoded frame; `ord` as in
+/// [`decode_request`].
+pub fn decode_subscribe(frame: &Frame, ord: u64) -> Result<SubscribeMetrics, WireError> {
+    expect_kind(frame, ord, FrameKind::SubscribeMetrics, "metrics subscription")?;
+    decode_payload(frame, ord, "metrics subscription")
+}
+
+/// Serialize a metrics-snapshot payload.
+pub fn encode_metrics(m: &ServeMetrics) -> Vec<u8> {
+    serde_json::to_string(m).expect("metrics serialization is infallible").into_bytes()
+}
+
+/// Parse a metrics snapshot out of a decoded frame; `ord` as in
+/// [`decode_request`].
+pub fn decode_metrics(frame: &Frame, ord: u64) -> Result<ServeMetrics, WireError> {
+    expect_kind(frame, ord, FrameKind::MetricsSnapshot, "metrics snapshot")?;
+    decode_payload(frame, ord, "metrics snapshot")
 }

@@ -27,9 +27,14 @@
 
 use crate::engine::ServerEngine;
 use crate::frame::{encode_frame, FrameDecoder, FrameKind, WireError};
-use crate::msg::{decode_request, encode_events, encode_response, EventBatch, Request, Response};
+use crate::msg::{
+    decode_request, decode_subscribe, encode_events, encode_metrics, encode_response, EventBatch,
+    Request, Response, ServeMetrics,
+};
+use crate::recorder::IncidentBundle;
 use fg_sched::{CoreEvent, CoreStats, SchedSnapshot, Scheduler};
 use std::collections::VecDeque;
+use std::sync::atomic::{AtomicU64, Ordering};
 use std::sync::mpsc;
 use std::sync::{Arc, Condvar, Mutex, RwLock};
 use std::thread::{self, JoinHandle};
@@ -123,8 +128,31 @@ impl Drop for WireConn {
 /// `None` once the session is drained.
 type Published = Arc<RwLock<Option<(SchedSnapshot, CoreStats)>>>;
 
+/// The telemetry side-channel the core thread publishes into and the
+/// session threads stream from. The [`AtomicU64`] carries the latest
+/// published epoch, so a subscribed session pays exactly one relaxed
+/// load per response to learn nothing has changed — the structural
+/// guarantee behind the "<5% subscriber overhead on the quote path"
+/// figure claim.
+#[derive(Debug, Default)]
+struct MetricsHub {
+    epoch: AtomicU64,
+    latest: RwLock<Option<ServeMetrics>>,
+}
+
+/// Epoch value meaning "nothing published yet".
+const EPOCH_NONE: u64 = u64::MAX;
+
 enum CoreMsg {
-    Handle { req: Request, reply: mpsc::Sender<(Response, Vec<CoreEvent>)> },
+    Handle {
+        req: Request,
+        reply: mpsc::Sender<(Response, Vec<CoreEvent>)>,
+    },
+    /// A session's decoder was poisoned; the engine cuts an incident
+    /// bundle. Fire-and-forget: the session is already hanging up.
+    Poisoned {
+        error: String,
+    },
 }
 
 enum QueryMsg {
@@ -141,6 +169,8 @@ pub struct Server {
     workers: usize,
     threads: Vec<JoinHandle<()>>,
     sessions: Arc<Mutex<Vec<JoinHandle<()>>>>,
+    metrics: Arc<MetricsHub>,
+    incidents: Arc<Mutex<Vec<IncidentBundle>>>,
 }
 
 impl Server {
@@ -148,15 +178,20 @@ impl Server {
     /// and policy.
     pub fn start(cfg: Scheduler) -> Server {
         let published: Published = Arc::new(RwLock::new(None));
+        let metrics =
+            Arc::new(MetricsHub { epoch: AtomicU64::new(EPOCH_NONE), latest: RwLock::new(None) });
+        let incidents: Arc<Mutex<Vec<IncidentBundle>>> = Arc::default();
         let (core_tx, core_rx) = mpsc::channel::<CoreMsg>();
         let (query_tx, query_rx) = mpsc::channel::<QueryMsg>();
         let mut threads = Vec::new();
 
         let pub_core = Arc::clone(&published);
+        let hub_core = Arc::clone(&metrics);
+        let incidents_core = Arc::clone(&incidents);
         threads.push(
             thread::Builder::new()
                 .name("fg-serve-core".into())
-                .spawn(move || core_loop(cfg, core_rx, pub_core))
+                .spawn(move || core_loop(cfg, core_rx, pub_core, hub_core, incidents_core))
                 .expect("spawn core thread"),
         );
 
@@ -173,12 +208,18 @@ impl Server {
             );
         }
 
-        Server { core_tx, query_tx, workers, threads, sessions: Arc::default() }
+        Server { core_tx, query_tx, workers, threads, sessions: Arc::default(), metrics, incidents }
     }
 
     /// Query-pool width (one worker per available core).
     pub fn workers(&self) -> usize {
         self.workers
+    }
+
+    /// Incident bundles the flight recorder has cut so far (drift
+    /// alarms, SLO breaches, decode poisonings), in trip order.
+    pub fn incidents(&self) -> Vec<IncidentBundle> {
+        self.incidents.lock().expect("incident registry lock").clone()
     }
 
     /// Open a connection: spawns a session thread and returns the
@@ -187,9 +228,10 @@ impl Server {
         let (client_end, server_end) = WireConn::pair();
         let core_tx = self.core_tx.clone();
         let query_tx = self.query_tx.clone();
+        let hub = Arc::clone(&self.metrics);
         let handle = thread::Builder::new()
             .name("fg-serve-session".into())
-            .spawn(move || session_loop(server_end, core_tx, query_tx))
+            .spawn(move || session_loop(server_end, core_tx, query_tx, hub))
             .expect("spawn session thread");
         self.sessions.lock().expect("session registry lock").push(handle);
         client_end
@@ -214,23 +256,60 @@ impl Server {
     }
 }
 
-fn core_loop(cfg: Scheduler, rx: mpsc::Receiver<CoreMsg>, published: Published) {
+fn core_loop(
+    cfg: Scheduler,
+    rx: mpsc::Receiver<CoreMsg>,
+    published: Published,
+    hub: Arc<MetricsHub>,
+    incidents: Arc<Mutex<Vec<IncidentBundle>>>,
+) {
     // The decision core is built here, on the core thread: it is not
     // `Send`, only its configuration is.
     let mut engine = ServerEngine::new(cfg);
     publish(&published, &engine);
-    while let Ok(CoreMsg::Handle { req, reply }) = rx.recv() {
-        let out = engine.handle(req);
-        // Publish before acknowledging: once a client sees its
-        // response, every later quote reflects that submission.
-        publish(&published, &engine);
-        let _ = reply.send(out);
+    publish_metrics(&hub, &mut engine);
+    while let Ok(msg) = rx.recv() {
+        match msg {
+            CoreMsg::Handle { req, reply } => {
+                let out = engine.handle(req);
+                // Publish before acknowledging: once a client sees its
+                // response, every later quote reflects that submission
+                // — and any telemetry change rides the same ordering.
+                publish(&published, &engine);
+                publish_metrics(&hub, &mut engine);
+                collect_incidents(&incidents, &mut engine);
+                let _ = reply.send(out);
+            }
+            CoreMsg::Poisoned { error } => {
+                engine.decode_poisoned(error);
+                collect_incidents(&incidents, &mut engine);
+            }
+        }
     }
 }
 
 fn publish(published: &Published, engine: &ServerEngine) {
     let fresh = engine.snapshot().zip(engine.stats());
     *published.write().expect("published lock") = fresh;
+}
+
+/// Push a fresh telemetry snapshot into the hub — but only when the
+/// engine says the plane actually changed (epoch-gated), and with the
+/// epoch store ordered *after* the snapshot write so a session that
+/// observes the new epoch always finds the matching snapshot.
+fn publish_metrics(hub: &MetricsHub, engine: &mut ServerEngine) {
+    if let Some(m) = engine.metrics_if_changed() {
+        let epoch = m.epoch;
+        *hub.latest.write().expect("metrics hub lock") = Some(m);
+        hub.epoch.store(epoch, Ordering::Release);
+    }
+}
+
+fn collect_incidents(incidents: &Mutex<Vec<IncidentBundle>>, engine: &mut ServerEngine) {
+    let fresh = engine.take_incidents();
+    if !fresh.is_empty() {
+        incidents.lock().expect("incident registry lock").extend(fresh);
+    }
 }
 
 fn query_loop(rx: Arc<Mutex<mpsc::Receiver<QueryMsg>>>, published: Published) {
@@ -257,9 +336,18 @@ fn query_loop(rx: Arc<Mutex<mpsc::Receiver<QueryMsg>>>, published: Published) {
     }
 }
 
-fn session_loop(conn: WireConn, core_tx: mpsc::Sender<CoreMsg>, query_tx: mpsc::Sender<QueryMsg>) {
+fn session_loop(
+    conn: WireConn,
+    core_tx: mpsc::Sender<CoreMsg>,
+    query_tx: mpsc::Sender<QueryMsg>,
+    hub: Arc<MetricsHub>,
+) {
     let mut dec = FrameDecoder::new();
     let mut event_seq: u32 = 0;
+    // Epoch of the last metrics snapshot this session sent, once
+    // subscribed. The steady-state cost of a subscription is the one
+    // relaxed atomic load in `maybe_push_metrics` per response.
+    let mut sub: Option<u64> = None;
     loop {
         let Some(chunk) = conn.recv() else {
             // Client closed. A clean close lands between frames; a
@@ -274,15 +362,48 @@ fn session_loop(conn: WireConn, core_tx: mpsc::Sender<CoreMsg>, query_tx: mpsc::
                 Ok(None) => break,
                 Err(e) => {
                     // Corrupt stream: report the typed error once,
-                    // then hang up. No resynchronisation guesses.
+                    // cut a flight-recorder incident, then hang up.
+                    // No resynchronisation guesses.
+                    let _ = core_tx.send(CoreMsg::Poisoned { error: e.to_string() });
                     send_wire_error(&conn, &e);
                     return;
                 }
             };
             let ord = dec.frames() - 1;
+            if frame.kind == FrameKind::SubscribeMetrics {
+                let wanted = match decode_subscribe(&frame, ord) {
+                    Ok(s) => s,
+                    Err(e) => {
+                        let _ = core_tx.send(CoreMsg::Poisoned { error: e.to_string() });
+                        send_wire_error(&conn, &e);
+                        return;
+                    }
+                };
+                // Ack with the current snapshot (served straight from
+                // the hub — the core thread is never involved), then
+                // stream changes as they are published.
+                let view = hub.latest.read().expect("metrics hub lock").clone();
+                match view {
+                    Some(m) => {
+                        sub = Some(m.epoch.max(wanted.min_epoch));
+                        let payload = encode_metrics(&m);
+                        conn.send(&encode_frame(FrameKind::MetricsSnapshot, frame.seq, &payload));
+                    }
+                    None => {
+                        let resp = Response::Error { reason: "telemetry not yet published".into() };
+                        conn.send(&encode_frame(
+                            FrameKind::Response,
+                            frame.seq,
+                            &encode_response(&resp),
+                        ));
+                    }
+                }
+                continue;
+            }
             let req = match decode_request(&frame, ord) {
                 Ok(r) => r,
                 Err(e) => {
+                    let _ = core_tx.send(CoreMsg::Poisoned { error: e.to_string() });
                     send_wire_error(&conn, &e);
                     return;
                 }
@@ -309,6 +430,31 @@ fn session_loop(conn: WireConn, core_tx: mpsc::Sender<CoreMsg>, query_tx: mpsc::
                 event_seq += 1;
             }
             conn.send(&encode_frame(FrameKind::Response, frame.seq, &encode_response(&resp)));
+            maybe_push_metrics(&conn, &hub, &mut sub, &mut event_seq);
+        }
+    }
+}
+
+/// If this session is subscribed and the hub's epoch has moved past
+/// what it last saw, push the latest snapshot. The no-change path is
+/// one atomic load — no locks, no allocation.
+fn maybe_push_metrics(
+    conn: &WireConn,
+    hub: &MetricsHub,
+    sub: &mut Option<u64>,
+    event_seq: &mut u32,
+) {
+    let Some(last) = *sub else { return };
+    let epoch = hub.epoch.load(Ordering::Acquire);
+    if epoch == EPOCH_NONE || epoch <= last {
+        return;
+    }
+    let view = hub.latest.read().expect("metrics hub lock").clone();
+    if let Some(m) = view {
+        if m.epoch > last {
+            *sub = Some(m.epoch);
+            conn.send(&encode_frame(FrameKind::MetricsSnapshot, *event_seq, &encode_metrics(&m)));
+            *event_seq += 1;
         }
     }
 }

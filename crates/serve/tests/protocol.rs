@@ -5,12 +5,14 @@
 //! frame, and never as a panic or a desynchronised decode.
 
 use fg_sched::{
-    CoreEvent, CoreStats, JobOutcome, JobSpec, PlacementInfo, PredictionQuote, SubmitOutcome,
+    Component, CoreEvent, CoreStats, DriftAlarm, JobOutcome, JobSpec, KeyDrift, PlacementInfo,
+    PredictionQuote, SubmitOutcome, TelemetrySnapshot, TenantSlo,
 };
 use fg_serve::frame::{encode_frame, Frame, FrameDecoder, FrameKind, WireError, HEADER_LEN};
 use fg_serve::msg::{
-    decode_events, decode_request, decode_response, encode_events, encode_request, encode_response,
-    DrainedRun, EventBatch, Request, Response,
+    decode_events, decode_metrics, decode_request, decode_response, decode_subscribe,
+    encode_events, encode_metrics, encode_request, encode_response, encode_subscribe, DrainedRun,
+    EventBatch, Request, Response, ServeMetrics, SubscribeMetrics,
 };
 use fg_serve::Server;
 use proptest::prelude::*;
@@ -71,8 +73,76 @@ impl Well {
         }
     }
 
+    fn component(&mut self) -> Component {
+        Component::ALL[(self.next() % 3) as usize]
+    }
+
+    fn drift_alarm(&mut self) -> DriftAlarm {
+        DriftAlarm {
+            app: self.string(),
+            repo: self.string(),
+            component: self.component(),
+            at: self.f64(),
+            job_id: (self.next() % 10_000) as usize,
+            residual: self.f64(),
+            z: self.f64(),
+            mean: self.f64(),
+            samples: self.next() % 10_000,
+        }
+    }
+
+    fn telemetry_snapshot(&mut self) -> TelemetrySnapshot {
+        TelemetrySnapshot {
+            now: self.f64(),
+            epoch: self.next(),
+            samples: self.next() % 100_000,
+            tenants: (0..self.next() % 3)
+                .map(|t| TenantSlo {
+                    tenant: t as usize,
+                    completed: self.next() % 100_000,
+                    deadline_violations: self.next() % 100_000,
+                    violation_rate: self.f64(),
+                    mean_quote_error: self.f64(),
+                    queue_wait_p99: self.opt_f64(),
+                })
+                .collect(),
+            keys: (0..self.next() % 3)
+                .map(|_| KeyDrift {
+                    app: self.string(),
+                    repo: self.string(),
+                    total: self.next() % 100_000,
+                    mean: [self.f64(), self.f64(), self.f64()],
+                    var: [self.f64(), self.f64(), self.f64()],
+                })
+                .collect(),
+            alarms: (0..self.next() % 3).map(|_| self.drift_alarm()).collect(),
+        }
+    }
+
+    fn serve_metrics(&mut self) -> ServeMetrics {
+        ServeMetrics {
+            epoch: self.next(),
+            stats: self.core_stats(),
+            telemetry: self.telemetry_snapshot(),
+        }
+    }
+
+    fn core_stats(&mut self) -> CoreStats {
+        CoreStats {
+            now: self.f64(),
+            makespan: self.f64(),
+            submitted: self.next() % 100_000,
+            admitted: self.next() % 100_000,
+            rejected: self.next() % 100_000,
+            completed: self.next() % 100_000,
+            queued: (self.next() % 1000) as usize,
+            running: (self.next() % 1000) as usize,
+            suspended: (self.next() % 1000) as usize,
+        }
+    }
+
     fn core_event(&mut self) -> CoreEvent {
-        match self.next() % 6 {
+        match self.next() % 7 {
             0 => CoreEvent::Submitted {
                 id: (self.next() % 10_000) as usize,
                 tenant: (self.next() % 16) as usize,
@@ -96,12 +166,13 @@ impl Well {
             },
             3 => CoreEvent::Preempted { id: (self.next() % 10_000) as usize, at: self.f64() },
             4 => CoreEvent::Resumed { id: (self.next() % 10_000) as usize, at: self.f64() },
-            _ => CoreEvent::Migrated {
+            5 => CoreEvent::Migrated {
                 id: (self.next() % 10_000) as usize,
                 at: self.f64(),
                 from_repo: self.string(),
                 to_repo: self.string(),
             },
+            _ => CoreEvent::DriftAlarm { alarm: self.drift_alarm() },
         }
     }
 
@@ -133,6 +204,30 @@ impl Well {
             finish: self.opt_f64(),
             preemptions: Vec::new(),
             migration: None,
+        }
+    }
+
+    /// A complete wire frame of any kind, for corruption and
+    /// truncation sweeps over mixed-kind streams.
+    fn any_frame(&mut self, seq: u32) -> bytes::Bytes {
+        match self.next() % 5 {
+            0 => encode_frame(FrameKind::Request, seq, &encode_request(&self.request())),
+            1 => encode_frame(FrameKind::Response, seq, &encode_response(&self.response())),
+            2 => {
+                let batch = EventBatch {
+                    events: (0..self.next() % 4).map(|_| self.core_event()).collect(),
+                };
+                encode_frame(FrameKind::Event, seq, &encode_events(&batch))
+            }
+            3 => encode_frame(
+                FrameKind::SubscribeMetrics,
+                seq,
+                &encode_subscribe(&SubscribeMetrics { min_epoch: self.next() }),
+            ),
+            _ => {
+                let m = self.serve_metrics();
+                encode_frame(FrameKind::MetricsSnapshot, seq, &encode_metrics(&m))
+            }
         }
     }
 
@@ -171,19 +266,7 @@ impl Well {
                         .then(|| self.next().is_multiple_of(2)),
                 }),
             },
-            3 => Response::Stats {
-                stats: CoreStats {
-                    now: self.f64(),
-                    makespan: self.f64(),
-                    submitted: self.next() % 100_000,
-                    admitted: self.next() % 100_000,
-                    rejected: self.next() % 100_000,
-                    completed: self.next() % 100_000,
-                    queued: (self.next() % 1000) as usize,
-                    running: (self.next() % 1000) as usize,
-                    suspended: (self.next() % 1000) as usize,
-                },
-            },
+            3 => Response::Stats { stats: self.core_stats() },
             4 => Response::Drained {
                 result: DrainedRun {
                     outcomes: (0..self.next() % 4).map(|_| self.outcome()).collect(),
@@ -240,6 +323,26 @@ proptest! {
         prop_assert_eq!(decode_events(&frame, 0).unwrap(), batch);
     }
 
+    #[test]
+    fn metrics_subscriptions_round_trip(seed in any::<u64>(), seq in any::<u32>()) {
+        let mut w = Well(seed);
+        let sub = SubscribeMetrics { min_epoch: w.next() };
+        let frame = wire_trip(FrameKind::SubscribeMetrics, seq, &encode_subscribe(&sub));
+        prop_assert_eq!(frame.seq, seq);
+        prop_assert_eq!(decode_subscribe(&frame, 0).unwrap(), sub);
+    }
+
+    /// The full telemetry plane — counters, per-tenant SLO gauges,
+    /// per-key drift statistics, standing alarms — survives the wire
+    /// bit for bit.
+    #[test]
+    fn metrics_snapshots_round_trip(seed in any::<u64>(), seq in any::<u32>()) {
+        let mut w = Well(seed);
+        let m = w.serve_metrics();
+        let frame = wire_trip(FrameKind::MetricsSnapshot, seq, &encode_metrics(&m));
+        prop_assert_eq!(decode_metrics(&frame, 0).unwrap(), m);
+    }
+
     /// Corruption sweep: flip any byte of a valid multi-frame stream
     /// with any non-zero mask. Decoding must fail with a typed error
     /// attributing a frame at or before the corruption — never panic,
@@ -254,7 +357,7 @@ proptest! {
         let mut w = Well(seed);
         let mut wire = Vec::new();
         for seq in 0..3u32 {
-            wire.extend(encode_frame(FrameKind::Request, seq, &encode_request(&w.request())).iter());
+            wire.extend(w.any_frame(seq).iter());
         }
         let pos = (pos_pick % wire.len() as u64) as usize;
         wire[pos] ^= mask;
@@ -303,7 +406,7 @@ proptest! {
         let mut wire = Vec::new();
         let mut boundaries = vec![0usize];
         for seq in 0..3u32 {
-            wire.extend(encode_frame(FrameKind::Request, seq, &encode_request(&w.request())).iter());
+            wire.extend(w.any_frame(seq).iter());
             boundaries.push(wire.len());
         }
         let cut = (cut_pick % wire.len() as u64) as usize;

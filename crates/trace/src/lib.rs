@@ -21,7 +21,11 @@
 pub mod export;
 pub mod metrics;
 pub mod span;
+pub mod window;
 
 pub use export::{chrome_tid, from_jsonl, to_chrome_json, to_jsonl};
-pub use metrics::{Counter, Gauge, Histogram, HistogramSnapshot, MetricsRegistry, MetricsSnapshot};
+pub use metrics::{
+    Counter, Gauge, Histogram, HistogramSnapshot, MetricsRegistry, MetricsSnapshot, QuantileError,
+};
 pub use span::{NodeRef, NodeRole, RunMeta, Span, SpanKind, Trace, Tracer};
+pub use window::{expose_text, SlidingCounter, SlidingHistogram, WindowSpec, WindowedInstrument};

@@ -204,6 +204,47 @@ pub struct HistogramSnapshot {
     pub sum: f64,
 }
 
+/// Why [`HistogramSnapshot::quantile_exact`] could not produce an
+/// in-range estimate. Callers that can live with a clamped answer use
+/// [`quantile`](HistogramSnapshot::quantile); callers that must not
+/// mistake "no data" or "saturated" for a real reading match on this.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub enum QuantileError {
+    /// The histogram holds no observations.
+    Empty,
+    /// `q` is outside `[0, 1]`.
+    OutOfRange {
+        /// The offending quantile.
+        q: f64,
+    },
+    /// The target rank falls in the unbounded overflow bucket: the
+    /// histogram saturated its top bucket and can only name the floor
+    /// of the answer (its last finite edge), or nothing at all when it
+    /// has no finite buckets.
+    Saturated {
+        /// Last finite bucket edge — a lower bound on the true
+        /// quantile — or `None` for a histogram with no finite edges.
+        floor: Option<f64>,
+    },
+}
+
+impl std::fmt::Display for QuantileError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            QuantileError::Empty => write!(f, "empty histogram has no quantiles"),
+            QuantileError::OutOfRange { q } => write!(f, "quantile {q} outside [0, 1]"),
+            QuantileError::Saturated { floor: Some(b) } => {
+                write!(f, "rank falls in the overflow bucket (true value is above {b})")
+            }
+            QuantileError::Saturated { floor: None } => {
+                write!(f, "histogram has no finite buckets to resolve the rank")
+            }
+        }
+    }
+}
+
+impl std::error::Error for QuantileError {}
+
 impl HistogramSnapshot {
     /// Total observations across all buckets.
     pub fn count(&self) -> u64 {
@@ -212,48 +253,68 @@ impl HistogramSnapshot {
 
     /// Bucket-interpolated quantile estimate for `q ∈ [0, 1]`: walk
     /// the cumulative counts to the bucket holding the target rank and
-    /// interpolate linearly inside it (the overflow bucket reports its
-    /// lower bound — histograms cannot see past their last edge).
-    /// `None` for an empty histogram or an out-of-range `q`.
-    pub fn quantile(&self, q: f64) -> Option<f64> {
+    /// interpolate linearly inside it. Every degenerate case is a
+    /// typed [`QuantileError`], never a fabricated number: an empty
+    /// histogram is [`Empty`](QuantileError::Empty), and a rank
+    /// landing in the unbounded overflow bucket is
+    /// [`Saturated`](QuantileError::Saturated) carrying the last
+    /// finite edge as a floor.
+    pub fn quantile_exact(&self, q: f64) -> Result<f64, QuantileError> {
         if !(0.0..=1.0).contains(&q) {
-            return None;
+            return Err(QuantileError::OutOfRange { q });
         }
         let total = self.count();
         if total == 0 {
-            return None;
+            return Err(QuantileError::Empty);
         }
         let rank = q * total as f64;
         let mut cumulative = 0u64;
         for (i, &count) in self.counts.iter().enumerate() {
             let next = cumulative + count;
             if (next as f64) >= rank && count > 0 {
-                let lo = if i == 0 { 0.0 } else { self.bounds[i - 1] };
-                return Some(match self.bounds.get(i) {
+                return match self.bounds.get(i) {
                     Some(&hi) => {
+                        let lo = if i == 0 { 0.0 } else { self.bounds[i - 1] };
                         let into = (rank - cumulative as f64) / count as f64;
-                        lo + (hi - lo) * into.clamp(0.0, 1.0)
+                        Ok(lo + (hi - lo) * into.clamp(0.0, 1.0))
                     }
-                    // Overflow bucket: unbounded above, report its floor.
-                    None => lo,
-                });
+                    // Overflow bucket: unbounded above — the histogram
+                    // cannot see past its last edge.
+                    None => Err(QuantileError::Saturated { floor: self.bounds.last().copied() }),
+                };
             }
             cumulative = next;
         }
-        // Trailing empty buckets: the last occupied bucket answered
-        // above; reaching here means rank ≈ total with zero tail.
-        self.bounds.last().copied().or(Some(0.0))
+        // Unreachable for well-formed counts (the last occupied bucket
+        // always answers above); treat it as saturation, not as zero.
+        Err(QuantileError::Saturated { floor: self.bounds.last().copied() })
+    }
+
+    /// [`quantile_exact`](HistogramSnapshot::quantile_exact) as a
+    /// clamped convenience: a saturated reading answers with its floor
+    /// (the last finite edge — a lower bound on the truth), and the
+    /// cases with no defensible number at all (`Empty`, `OutOfRange`,
+    /// saturation with no finite edges) answer `None`. Before the
+    /// audit this method silently answered `0.0` for the last case.
+    pub fn quantile(&self, q: f64) -> Option<f64> {
+        match self.quantile_exact(q) {
+            Ok(v) => Some(v),
+            Err(QuantileError::Saturated { floor }) => floor,
+            Err(QuantileError::Empty | QuantileError::OutOfRange { .. }) => None,
+        }
     }
 
     /// Fraction of observations strictly above the bucket edge
     /// `bound` — the tail-mass reading for heavy-tail assertions.
     /// `None` when `bound` is not one of this histogram's edges (the
-    /// histogram cannot resolve arbitrary thresholds).
+    /// histogram cannot resolve arbitrary thresholds) or when the
+    /// histogram is empty — an empty histogram has no tail, and
+    /// answering `0.0` let "no data" impersonate "no outliers".
     pub fn tail_fraction(&self, bound: f64) -> Option<f64> {
         let idx = self.bounds.iter().position(|&b| b == bound)?;
         let total = self.count();
         if total == 0 {
-            return Some(0.0);
+            return None;
         }
         let above: u64 = self.counts[idx + 1..].iter().sum();
         Some(above as f64 / total as f64)
@@ -428,6 +489,57 @@ mod tests {
         // Empty histograms have no quantiles.
         let empty = HistogramSnapshot::default();
         assert_eq!(empty.quantile(0.5), None);
+    }
+
+    #[test]
+    fn empty_histograms_answer_typed_errors_not_zero() {
+        // Regression (edge-case audit): an empty histogram used to
+        // answer tail_fraction(edge) = Some(0.0), letting "no data"
+        // impersonate "no outliers"; quantile's trailing fallback
+        // could likewise fabricate 0.0 for a boundless histogram.
+        let reg = MetricsRegistry::new();
+        reg.histogram("e", &[1.0, 10.0]);
+        let snap = reg.snapshot();
+        let hs = snap.histogram("e").unwrap();
+        assert_eq!(hs.tail_fraction(1.0), None, "empty tail must be None, not 0.0");
+        assert_eq!(hs.quantile(0.5), None);
+        assert_eq!(hs.quantile_exact(0.5), Err(QuantileError::Empty));
+        assert_eq!(hs.quantile_exact(1.5), Err(QuantileError::OutOfRange { q: 1.5 }));
+    }
+
+    #[test]
+    fn single_sample_quantiles_stay_inside_their_bucket() {
+        let reg = MetricsRegistry::new();
+        let h = reg.histogram("s", &[1.0, 10.0]);
+        h.observe(5.0);
+        let snap = reg.snapshot();
+        let hs = snap.histogram("s").unwrap();
+        for q in [0.0, 0.25, 0.5, 0.99, 1.0] {
+            let v = hs.quantile_exact(q).unwrap();
+            assert!((1.0..=10.0).contains(&v), "q={q} escaped the bucket: {v}");
+        }
+        assert_eq!(hs.tail_fraction(1.0), Some(1.0));
+        assert_eq!(hs.tail_fraction(10.0), Some(0.0));
+    }
+
+    #[test]
+    fn saturated_top_buckets_are_typed_saturation() {
+        // All mass in the unbounded overflow bucket: the histogram can
+        // only name a floor, and must say so.
+        let reg = MetricsRegistry::new();
+        let h = reg.histogram("sat", &[1.0, 10.0]);
+        h.observe(1e9);
+        let snap = reg.snapshot();
+        let hs = snap.histogram("sat").unwrap();
+        assert_eq!(hs.quantile_exact(0.5), Err(QuantileError::Saturated { floor: Some(10.0) }));
+        // The clamped convenience reports the floor — a defensible
+        // lower bound — not a fabricated interpolation.
+        assert_eq!(hs.quantile(0.5), Some(10.0));
+        // A histogram with no finite buckets has nothing to clamp to.
+        let boundless =
+            HistogramSnapshot { name: "b".into(), bounds: vec![], counts: vec![3], sum: 30.0 };
+        assert_eq!(boundless.quantile_exact(0.5), Err(QuantileError::Saturated { floor: None }));
+        assert_eq!(boundless.quantile(0.5), None, "was silently 0.0 before the audit");
     }
 
     #[test]

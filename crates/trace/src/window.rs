@@ -1,0 +1,415 @@
+//! Sliding-window metrics: counters and histograms over a ring of
+//! fixed-width time buckets.
+//!
+//! The cumulative instruments in [`metrics`](crate::metrics) answer
+//! "how many, ever?" — the right shape for a run summary, the wrong
+//! shape for a live dashboard, where a deadline-violation spike an
+//! hour ago must not drown out the last minute. The windowed
+//! instruments here keep the most recent `buckets × bucket_width`
+//! seconds of observations and forget the rest, bucket by bucket, as
+//! the clock advances.
+//!
+//! Time is supplied by the caller on every call (`now` in seconds):
+//! the scheduler feeds its sim clock, a wall-clock consumer feeds
+//! `Instant`-derived seconds. Nothing here reads a clock, so the
+//! instruments stay deterministic under the sim clock — the property
+//! the flight recorder's golden tests lean on. Clocks must not run
+//! backwards: a `now` earlier than the newest bucket is clamped into
+//! it rather than resurrecting expired history.
+//!
+//! [`expose_text`] renders a set of windowed instruments in the
+//! Prometheus text exposition format (`# TYPE` headers, cumulative
+//! `_bucket{le="…"}` series), zero-dep like the rest of the crate.
+
+use crate::metrics::HistogramSnapshot;
+use serde::{Deserialize, Serialize};
+use std::fmt::Write as _;
+
+/// The shape of a sliding window: `buckets` ring slots, each covering
+/// `bucket_width` seconds of time, for a total span of
+/// `buckets × bucket_width`.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct WindowSpec {
+    /// Width of one time bucket, in seconds. Must be positive.
+    pub bucket_width: f64,
+    /// Number of buckets in the ring. Must be at least one.
+    pub buckets: usize,
+}
+
+impl WindowSpec {
+    /// A window of `buckets` slots, `bucket_width` seconds each.
+    pub fn new(bucket_width: f64, buckets: usize) -> WindowSpec {
+        assert!(
+            bucket_width.is_finite() && bucket_width > 0.0,
+            "bucket width must be positive and finite"
+        );
+        assert!(buckets >= 1, "a window needs at least one bucket");
+        WindowSpec { bucket_width, buckets }
+    }
+
+    /// Total time the window covers, in seconds.
+    pub fn span(&self) -> f64 {
+        self.bucket_width * self.buckets as f64
+    }
+
+    /// The bucket epoch (absolute bucket index since t=0) holding `now`.
+    fn epoch(&self, now: f64) -> u64 {
+        ((now / self.bucket_width).floor().max(0.0)) as u64
+    }
+}
+
+/// The rotating ring shared by both windowed instruments: slot values
+/// of type `T`, a head epoch, and the zero-fill rotation as time moves.
+#[derive(Debug, Clone, PartialEq)]
+struct Ring<T> {
+    spec: WindowSpec,
+    /// Absolute bucket index of the newest slot; `u64::MAX` until the
+    /// first observation or advance.
+    head: u64,
+    slots: Vec<T>,
+}
+
+impl<T: Clone + Default> Ring<T> {
+    fn new(spec: WindowSpec) -> Ring<T> {
+        Ring { spec, head: u64::MAX, slots: vec![T::default(); spec.buckets] }
+    }
+
+    /// Rotate the ring so the slot for `now`'s epoch is current,
+    /// clearing every bucket the clock skipped over. Returns the slot
+    /// index for `now` (clamped into the newest bucket if `now` is in
+    /// the past — time does not run backwards here).
+    fn advance(&mut self, now: f64) -> usize {
+        let epoch = self.spec.epoch(now);
+        if self.head == u64::MAX {
+            self.head = epoch;
+        } else if epoch > self.head {
+            let skipped = (epoch - self.head).min(self.spec.buckets as u64);
+            for i in 1..=skipped {
+                let idx = ((self.head + i) % self.spec.buckets as u64) as usize;
+                self.slots[idx] = T::default();
+            }
+            self.head = epoch;
+        }
+        (self.head % self.spec.buckets as u64) as usize
+    }
+
+    /// Slots currently inside the window (unordered).
+    fn live(&self) -> impl Iterator<Item = &T> {
+        self.slots.iter()
+    }
+}
+
+/// A counter over a sliding time window: increments land in the bucket
+/// their timestamp falls in, and [`sum`](SlidingCounter::sum) /
+/// [`rate`](SlidingCounter::rate) read only the buckets still inside
+/// the window.
+#[derive(Debug, Clone, PartialEq)]
+pub struct SlidingCounter {
+    ring: Ring<f64>,
+}
+
+impl SlidingCounter {
+    /// An empty windowed counter.
+    pub fn new(spec: WindowSpec) -> SlidingCounter {
+        SlidingCounter { ring: Ring::new(spec) }
+    }
+
+    /// The window shape.
+    pub fn spec(&self) -> WindowSpec {
+        self.ring.spec
+    }
+
+    /// Add `by` at instant `now`. Non-finite increments are ignored —
+    /// one NaN would poison every later [`rate`](SlidingCounter::rate).
+    pub fn add(&mut self, now: f64, by: f64) {
+        if !by.is_finite() {
+            return;
+        }
+        let idx = self.ring.advance(now);
+        self.ring.slots[idx] += by;
+    }
+
+    /// Add one at instant `now`.
+    pub fn inc(&mut self, now: f64) {
+        self.add(now, 1.0);
+    }
+
+    /// Total increments inside the window ending at `now`.
+    pub fn sum(&mut self, now: f64) -> f64 {
+        self.ring.advance(now);
+        self.ring.live().sum()
+    }
+
+    /// Increments per second over the window ending at `now` (the
+    /// window's full span is the denominator, so a burst followed by
+    /// silence decays instead of sticking).
+    pub fn rate(&mut self, now: f64) -> f64 {
+        self.sum(now) / self.ring.spec.span()
+    }
+}
+
+/// Per-bucket state of a [`SlidingHistogram`]: observation counts per
+/// value bucket (`bounds.len() + 1`, last is overflow) plus the sum.
+#[derive(Debug, Clone, PartialEq, Default)]
+struct HistSlot {
+    counts: Vec<u64>,
+    sum: f64,
+}
+
+/// A fixed-bound histogram over a sliding time window: observations
+/// land in the time bucket of their timestamp, and every read merges
+/// the buckets still inside the window into one
+/// [`HistogramSnapshot`] — so [`quantile`](SlidingHistogram::quantile)
+/// inherits the cumulative histogram's interpolation *and* its typed
+/// edge-case handling (empty windows answer `None`, not 0.0).
+#[derive(Debug, Clone, PartialEq)]
+pub struct SlidingHistogram {
+    bounds: Vec<f64>,
+    ring: Ring<HistSlot>,
+}
+
+impl SlidingHistogram {
+    /// A windowed histogram with the given strictly increasing value
+    /// bucket bounds.
+    pub fn new(spec: WindowSpec, bounds: &[f64]) -> SlidingHistogram {
+        assert!(
+            bounds.windows(2).all(|w| w[0] < w[1]),
+            "histogram bounds must be strictly increasing"
+        );
+        SlidingHistogram { bounds: bounds.to_vec(), ring: Ring::new(spec) }
+    }
+
+    /// The window shape.
+    pub fn spec(&self) -> WindowSpec {
+        self.ring.spec
+    }
+
+    /// Record `value` at instant `now`. Non-finite values are dropped.
+    pub fn observe(&mut self, now: f64, value: f64) {
+        if !value.is_finite() {
+            return;
+        }
+        let idx = self.ring.advance(now);
+        let slot = &mut self.ring.slots[idx];
+        if slot.counts.is_empty() {
+            slot.counts = vec![0; self.bounds.len() + 1];
+        }
+        let b = self.bounds.partition_point(|&b| b < value);
+        slot.counts[b] += 1;
+        slot.sum += value;
+    }
+
+    /// Merge the live buckets into one frozen histogram named `name`.
+    pub fn merged(&mut self, now: f64, name: &str) -> HistogramSnapshot {
+        self.ring.advance(now);
+        let mut counts = vec![0u64; self.bounds.len() + 1];
+        let mut sum = 0.0;
+        for slot in self.ring.live() {
+            if slot.counts.is_empty() {
+                continue;
+            }
+            for (c, s) in counts.iter_mut().zip(&slot.counts) {
+                *c += s;
+            }
+            sum += slot.sum;
+        }
+        HistogramSnapshot { name: name.to_string(), bounds: self.bounds.clone(), counts, sum }
+    }
+
+    /// Observations inside the window ending at `now`.
+    pub fn count(&mut self, now: f64) -> u64 {
+        self.ring.advance(now);
+        self.ring.live().map(|s| s.counts.iter().sum::<u64>()).sum()
+    }
+
+    /// Bucket-interpolated quantile over the window ending at `now`;
+    /// `None` when the window is empty or `q` is out of range (see
+    /// [`HistogramSnapshot::quantile`]).
+    pub fn quantile(&mut self, now: f64, q: f64) -> Option<f64> {
+        self.merged(now, "window").quantile(q)
+    }
+}
+
+/// One named windowed instrument, for [`expose_text`].
+#[derive(Debug)]
+pub enum WindowedInstrument<'a> {
+    /// A [`SlidingCounter`], exposed as a gauge of its windowed rate
+    /// (`<name>_rate_per_sec`) plus the windowed sum (`<name>_sum`).
+    Counter {
+        /// Metric name (Prometheus identifier rules apply).
+        name: &'a str,
+        /// The instrument.
+        counter: &'a mut SlidingCounter,
+    },
+    /// A [`SlidingHistogram`], exposed as cumulative
+    /// `_bucket{le="…"}` series plus `_sum` and `_count`.
+    Histogram {
+        /// Metric name.
+        name: &'a str,
+        /// The instrument.
+        histogram: &'a mut SlidingHistogram,
+    },
+}
+
+/// Render windowed instruments in the Prometheus text exposition
+/// format at instant `now`: a `# TYPE` header per metric, cumulative
+/// `le` buckets for histograms, and a trailing `window_span_seconds`
+/// gauge so a scraper knows what interval the numbers cover.
+pub fn expose_text(now: f64, instruments: &mut [WindowedInstrument<'_>]) -> String {
+    let mut out = String::new();
+    let mut span: f64 = 0.0;
+    for inst in instruments.iter_mut() {
+        match inst {
+            WindowedInstrument::Counter { name, counter } => {
+                span = span.max(counter.spec().span());
+                let _ = writeln!(out, "# TYPE {name}_rate_per_sec gauge");
+                let _ = writeln!(out, "{name}_rate_per_sec {}", counter.rate(now));
+                let _ = writeln!(out, "# TYPE {name}_sum gauge");
+                let _ = writeln!(out, "{name}_sum {}", counter.sum(now));
+            }
+            WindowedInstrument::Histogram { name, histogram } => {
+                span = span.max(histogram.spec().span());
+                let merged = histogram.merged(now, name);
+                let _ = writeln!(out, "# TYPE {name} histogram");
+                let mut cumulative = 0u64;
+                for (i, count) in merged.counts.iter().enumerate() {
+                    cumulative += count;
+                    let le = merged.bounds.get(i).map_or("+Inf".to_string(), f64::to_string);
+                    let _ = writeln!(out, "{name}_bucket{{le=\"{le}\"}} {cumulative}");
+                }
+                let _ = writeln!(out, "{name}_sum {}", merged.sum);
+                let _ = writeln!(out, "{name}_count {cumulative}");
+            }
+        }
+    }
+    let _ = writeln!(out, "# TYPE window_span_seconds gauge");
+    let _ = writeln!(out, "window_span_seconds {span}");
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn spec() -> WindowSpec {
+        WindowSpec::new(10.0, 6) // 60-second window
+    }
+
+    #[test]
+    fn counter_sums_only_the_window() {
+        let mut c = SlidingCounter::new(spec());
+        c.add(1.0, 5.0);
+        c.add(15.0, 3.0);
+        assert_eq!(c.sum(15.0), 8.0);
+        // 70s later the first bucket has rotated out, the second too.
+        assert_eq!(c.sum(85.0), 0.0);
+    }
+
+    #[test]
+    fn rate_uses_the_full_span_as_denominator() {
+        let mut c = SlidingCounter::new(spec());
+        for i in 0..60 {
+            c.inc(i as f64);
+        }
+        assert!((c.rate(59.0) - 1.0).abs() < 1e-12);
+        // A silent half-window halves the rate.
+        assert!((c.rate(89.0) - 0.5).abs() < 1e-12);
+    }
+
+    #[test]
+    fn a_long_silence_clears_everything() {
+        let mut c = SlidingCounter::new(spec());
+        c.add(0.0, 100.0);
+        assert_eq!(c.sum(1e9), 0.0);
+    }
+
+    #[test]
+    fn time_cannot_run_backwards() {
+        let mut c = SlidingCounter::new(spec());
+        c.add(50.0, 1.0);
+        // A stale timestamp lands in the newest bucket, not a revived
+        // old one — and must not panic or corrupt the ring.
+        c.add(3.0, 1.0);
+        assert_eq!(c.sum(50.0), 2.0);
+    }
+
+    #[test]
+    fn non_finite_increments_are_dropped() {
+        let mut c = SlidingCounter::new(spec());
+        c.add(0.0, f64::NAN);
+        c.add(0.0, f64::INFINITY);
+        c.add(0.0, 2.0);
+        assert_eq!(c.sum(0.0), 2.0);
+    }
+
+    #[test]
+    fn histogram_quantile_tracks_the_window() {
+        let mut h = SlidingHistogram::new(spec(), &[1.0, 10.0, 100.0]);
+        for _ in 0..99 {
+            h.observe(5.0, 0.5);
+        }
+        h.observe(5.0, 50.0);
+        let p99 = h.quantile(5.0, 0.99).unwrap();
+        assert!(p99 <= 1.0, "99 of 100 samples are below 1.0, got {p99}");
+        // Once the early mass expires, the window is empty: typed None,
+        // never a silent zero.
+        assert_eq!(h.quantile(500.0, 0.99), None);
+    }
+
+    #[test]
+    fn histogram_merges_across_buckets() {
+        let mut h = SlidingHistogram::new(spec(), &[10.0, 20.0]);
+        for i in 0..10 {
+            h.observe(i as f64, 5.0); // bucket epochs 0..=0
+            h.observe(10.0 + i as f64, 15.0); // epoch 1
+        }
+        assert_eq!(h.count(19.0), 20);
+        let m = h.merged(19.0, "w");
+        assert_eq!(m.counts, vec![10, 10, 0]);
+        assert!((m.sum - 200.0).abs() < 1e-9);
+        let median = m.quantile(0.5).unwrap();
+        assert!((median - 10.0).abs() < 1e-9, "median at the bucket edge, got {median}");
+    }
+
+    #[test]
+    fn determinism_identical_feeds_are_bit_identical() {
+        let feed: Vec<(f64, f64)> = (0..500).map(|i| (i as f64 * 0.37, (i % 17) as f64)).collect();
+        let run = |feed: &[(f64, f64)]| {
+            let mut h = SlidingHistogram::new(spec(), &[2.0, 8.0, 16.0]);
+            for &(t, v) in feed {
+                h.observe(t, v);
+            }
+            h
+        };
+        assert_eq!(run(&feed), run(&feed));
+    }
+
+    #[test]
+    fn exposition_renders_types_buckets_and_span() {
+        let mut c = SlidingCounter::new(spec());
+        c.add(1.0, 4.0);
+        let mut h = SlidingHistogram::new(spec(), &[1.0]);
+        h.observe(1.0, 0.5);
+        h.observe(1.0, 3.0);
+        let text = expose_text(
+            5.0,
+            &mut [
+                WindowedInstrument::Counter { name: "submits", counter: &mut c },
+                WindowedInstrument::Histogram { name: "wait_seconds", histogram: &mut h },
+            ],
+        );
+        assert!(text.contains("# TYPE submits_rate_per_sec gauge"));
+        assert!(text.contains("submits_sum 4"));
+        assert!(text.contains("# TYPE wait_seconds histogram"));
+        assert!(text.contains("wait_seconds_bucket{le=\"1\"} 1"));
+        assert!(text.contains("wait_seconds_bucket{le=\"+Inf\"} 2"));
+        assert!(text.contains("wait_seconds_count 2"));
+        assert!(text.contains("window_span_seconds 60"));
+    }
+
+    #[test]
+    #[should_panic(expected = "at least one bucket")]
+    fn zero_buckets_rejected() {
+        WindowSpec::new(1.0, 0);
+    }
+}

@@ -1,0 +1,174 @@
+//! The live telemetry plane, checked end to end from outside every
+//! crate: a subscribed session streams monotone metrics snapshots that
+//! converge on the direct run's final telemetry bit for bit; the
+//! flight recorder cuts byte-identical incident bundles across
+//! identical runs (golden-testable incidents); and a poisoned session
+//! decoder surfaces as a `DecodePoisoned` incident through
+//! [`Server::incidents`].
+
+use fg_bench::figures::sched_models;
+use fg_serve::frame::{encode_frame, FrameDecoder, FrameKind};
+use fg_serve::msg::{decode_response, encode_request, Request, Response};
+use fg_serve::{IncidentReason, ServeClient, Server, ServerEngine};
+use freeride_g::sched::{
+    Degradation, GridSpec, JobSpec, LoadLevel, Policy, Scheduler, TelemetryConfig, WorkloadShape,
+    WorkloadSpec,
+};
+
+fn demo_sched(policy: Policy) -> Scheduler {
+    Scheduler::new(GridSpec::demo(sched_models()), policy)
+}
+
+fn shaped_jobs(shape: WorkloadShape, load: LoadLevel, seed: u64) -> Vec<JobSpec> {
+    let grid = GridSpec::demo(sched_models());
+    let names: Vec<&str> = grid.apps.iter().map(|(n, _)| n.as_str()).collect();
+    WorkloadSpec::shaped(shape, load, &names, seed).generate()
+}
+
+/// A subscribed session receives strictly increasing telemetry epochs
+/// and ends on the drained run's final plane — which matches a direct
+/// `Scheduler::run` with the same telemetry configuration bit for bit.
+#[test]
+fn a_subscription_streams_monotone_snapshots_to_the_final_plane() {
+    let jobs = shaped_jobs(WorkloadShape::HeavyTail, LoadLevel::Medium, 42);
+    let direct = demo_sched(Policy::EdfAdmit).with_telemetry(TelemetryConfig::default()).run(&jobs);
+    let direct_report = direct.telemetry.expect("telemetry armed");
+
+    let server = Server::start(demo_sched(Policy::EdfAdmit));
+    let mut client = ServeClient::connect(&server);
+    // One submission first: its acknowledgement proves the core thread
+    // has published, so the subscription ack below is deterministic.
+    client.submit(jobs[0].clone()).expect("submit");
+    let ack = client.subscribe_metrics(0).expect("subscribe");
+    for job in &jobs[1..] {
+        client.submit(job.clone()).expect("submit");
+    }
+    client.drain().expect("drain");
+    // The final plane rides behind the drain response; collect it.
+    let fin = client.recv_metrics().expect("final metrics push");
+    let mut metrics = client.take_metrics();
+    metrics.push(fin);
+    drop(client);
+    server.shutdown();
+
+    let mut last = ack.epoch;
+    for m in &metrics {
+        assert!(m.epoch > last, "epochs must be strictly increasing ({} then {})", last, m.epoch);
+        assert_eq!(m.epoch, m.telemetry.epoch, "envelope and plane epochs agree");
+        for t in &m.telemetry.tenants {
+            assert!((0.0..=1.0).contains(&t.violation_rate), "rate in [0,1]: {t:?}");
+            assert!(t.deadline_violations <= t.completed, "{t:?}");
+        }
+        last = m.epoch;
+    }
+
+    // The last pushed snapshot is the end-of-run plane: everything
+    // admitted has completed, and it is the same plane — same EWMA
+    // bits, same gauges — the direct run reports.
+    let fin = metrics.last().unwrap();
+    assert_eq!(fin.stats.completed, fin.stats.admitted);
+    assert_eq!(fin.stats.queued, 0);
+    assert_eq!(fin.stats.running, 0);
+    assert_eq!(fin.telemetry, direct_report.snapshot, "served plane diverged from direct run");
+}
+
+fn degraded_sched() -> (Scheduler, Vec<JobSpec>) {
+    let grid = GridSpec::demo(sched_models());
+    let jobs =
+        WorkloadSpec::shaped(WorkloadShape::Uniform, LoadLevel::Heavy, &["kmeans"], 9).generate();
+    let mut arrivals: Vec<f64> = jobs.iter().map(|j| j.arrival).collect();
+    arrivals.sort_by(f64::total_cmp);
+    let onset = arrivals[arrivals.len() / 2];
+    let mut telemetry = TelemetryConfig::default();
+    telemetry.drift.min_samples = 3;
+    let sched = Scheduler::new(grid, Policy::Fcfs)
+        .with_telemetry(telemetry)
+        .with_degradation(Degradation { repo: 0, start: onset, factor: 0.15 });
+    (sched, jobs)
+}
+
+/// Incident bundles are deterministic under the sim clock: two
+/// identical degraded runs through the sans-IO engine cut bundles
+/// whose JSONL renderings are byte-identical — the property that makes
+/// incidents golden-testable and diffable across CI runs.
+#[test]
+fn incident_bundles_are_byte_identical_across_identical_runs() {
+    let run_once = || {
+        let (sched, jobs) = degraded_sched();
+        let mut engine = ServerEngine::new(sched);
+        for job in jobs {
+            let (resp, _) = engine.handle(Request::Submit { job });
+            assert!(matches!(resp, Response::Submitted { .. }), "{resp:?}");
+        }
+        let (resp, _) = engine.handle(Request::Drain);
+        assert!(matches!(resp, Response::Drained { .. }), "{resp:?}");
+        engine.take_incidents().iter().map(|b| b.to_jsonl()).collect::<Vec<String>>()
+    };
+
+    let first = run_once();
+    let second = run_once();
+    assert!(!first.is_empty(), "a seeded WAN fault must cut at least one incident bundle");
+    assert_eq!(first, second, "incident bundles must be byte-identical across identical runs");
+
+    // Each bundle is self-contained JSONL: a versioned header naming
+    // the reason, then the event ring and the accuracy-ledger tail.
+    for bundle in &first {
+        let header = bundle.lines().next().expect("header line");
+        assert!(header.contains("\"kind\":\"fg-incident\""), "{header}");
+        assert!(header.contains("\"version\":1"), "{header}");
+        assert!(header.contains("Drift"), "a drift alarm tripped this bundle: {header}");
+        assert!(bundle.lines().count() > 1, "a bundle carries context lines, not just a header");
+    }
+}
+
+/// A corrupt client stream does more than kill the session: the core
+/// thread cuts a `DecodePoisoned` incident bundle, observable through
+/// [`Server::incidents`] — wire corruption is an operational event,
+/// not just a client-side error.
+#[test]
+fn a_poisoned_decoder_cuts_an_incident_bundle() {
+    let server = Server::start(demo_sched(Policy::Fcfs));
+    let conn = server.connect();
+    // A valid frame first, then garbage that fails the magic check.
+    conn.send(&encode_frame(FrameKind::Request, 0, &encode_request(&Request::Stats)));
+    conn.send(b"XXXXXXXXXXXXXXXX");
+
+    // Wait for the session's typed error reply: by then the poisoning
+    // notice is in the core thread's queue.
+    let mut dec = FrameDecoder::new();
+    let mut saw_error = false;
+    while let Some(chunk) = conn.recv() {
+        dec.push(&chunk);
+        while let Some(frame) = dec.next_frame().expect("server output stays well-framed") {
+            if let Response::Error { .. } = decode_response(&frame, dec.frames() - 1).expect("resp")
+            {
+                saw_error = true;
+            }
+        }
+        if saw_error {
+            break;
+        }
+    }
+    assert!(saw_error, "the session must report the corruption before hanging up");
+
+    // A core round trip on a fresh session orders us after the
+    // poisoning notice: the channel is FIFO, so once this submission
+    // is acknowledged the incident has been collected.
+    let mut probe = ServeClient::connect(&server);
+    let jobs = shaped_jobs(WorkloadShape::Uniform, LoadLevel::Light, 5);
+    probe.submit(jobs[0].clone()).expect("core round trip");
+
+    let incidents = server.incidents();
+    assert_eq!(incidents.len(), 1, "exactly one poisoning, one bundle");
+    match &incidents[0].reason {
+        IncidentReason::DecodePoisoned { error } => {
+            assert!(error.contains("magic"), "the typed wire error survives: {error}");
+        }
+        other => panic!("expected DecodePoisoned, got {other:?}"),
+    }
+    assert!(incidents[0].stats.is_some(), "a live core contributes its counters");
+
+    drop(probe);
+    drop(conn);
+    server.shutdown();
+}
