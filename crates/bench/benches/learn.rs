@@ -1,0 +1,126 @@
+//! Benchmarks of the fg-learn online predictors: the ridge fit itself
+//! (the cost a refit pays per completed job), the observe path that
+//! triggers it, and trained-model inference against the analytical
+//! baseline. Inference sits on the scheduler's placement hot path, so
+//! its overhead over the closed-form model is the number that matters.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use fg_bench::figures::sched_models;
+use fg_cluster::{Configuration, DeploymentRef};
+use fg_learn::{fit_ridge, HybridPredictor, LearnedPredictor};
+use fg_predict::{AnalyticalPredictor, Observation, Predictor};
+use fg_sched::GridSpec;
+use std::hint::black_box;
+
+/// Deterministic pseudo-random value in [0.1, 10.1).
+fn jitter(i: usize, j: usize) -> f64 {
+    let mut h = (i as u64).wrapping_mul(0x9e3779b97f4a7c15).wrapping_add(j as u64);
+    h ^= h >> 33;
+    h = h.wrapping_mul(0xff51afd7ed558ccd);
+    0.1 + (h % 10_000) as f64 / 1_000.0
+}
+
+/// A realistic design matrix at the predictor's own width (intercept +
+/// four size/bandwidth/config features).
+fn design(rows: usize) -> (Vec<Vec<f64>>, Vec<f64>) {
+    let xs: Vec<Vec<f64>> = (0..rows)
+        .map(|r| {
+            let mut row = vec![1.0];
+            row.extend((1..5).map(|c| jitter(r, c)));
+            row
+        })
+        .collect();
+    let ys = xs.iter().map(|row| row.iter().sum::<f64>() * 3.0).collect();
+    (xs, ys)
+}
+
+fn bench_fit(c: &mut Criterion) {
+    let (xs, ys) = design(64);
+    c.bench_function("learn-fit-ridge-64x5", |b| {
+        b.iter(|| black_box(fit_ridge(black_box(&xs), black_box(&ys), 1e-6)))
+    });
+}
+
+/// One synthetic completed-job observation against the demo grid's
+/// first (app, repo) key, varied enough that refits keep real work.
+fn observation(grid: &GridSpec, i: usize) -> Observation {
+    let (app, model) = &grid.apps[0];
+    let repo = &grid.repos[0];
+    let bytes = 64_000_000 + 7_000_000 * (i as u64 % 29);
+    let d = DeploymentRef {
+        repository: &repo.site,
+        compute: &grid.sites[0].site,
+        stream_bw: repo.wan.stream_bw,
+        config: Configuration::new(4, 8),
+        cache: None,
+    };
+    let p = AnalyticalPredictor
+        .predict_deployment(&model.profile, model.classes, d, bytes, &grid.factors)
+        .expect("demo grid is predictable");
+    Observation {
+        app: app.clone(),
+        repo: repo.site.name.clone(),
+        data_nodes: 4,
+        compute_nodes: 8,
+        wan_bw: repo.wan.stream_bw,
+        dataset_bytes: bytes,
+        predicted: [p.t_disk, p.t_network, p.t_compute],
+        observed: [p.t_disk, p.t_network * (2.0 + jitter(i, 7) / 10.0), p.t_compute],
+    }
+}
+
+fn bench_observe(c: &mut Criterion) {
+    let grid = GridSpec::demo(sched_models());
+    let obs: Vec<Observation> = (0..64).map(|i| observation(&grid, i)).collect();
+    c.bench_function("learn-observe-refit-64", |b| {
+        b.iter(|| {
+            let learned = LearnedPredictor::default();
+            for o in &obs {
+                learned.observe(black_box(o));
+            }
+            black_box(learned.epoch())
+        })
+    });
+}
+
+fn bench_infer(c: &mut Criterion) {
+    let grid = GridSpec::demo(sched_models());
+    let learned = LearnedPredictor::default();
+    let hybrid = HybridPredictor::default();
+    for i in 0..64 {
+        let o = observation(&grid, i);
+        learned.observe(&o);
+        hybrid.observe(&o);
+    }
+    assert!(learned.trained_keys() > 0);
+
+    let (_, model) = &grid.apps[0];
+    let repo = &grid.repos[0];
+    let d = DeploymentRef {
+        repository: &repo.site,
+        compute: &grid.sites[0].site,
+        stream_bw: repo.wan.stream_bw,
+        config: Configuration::new(4, 8),
+        cache: None,
+    };
+    let bytes = 400_000_000u64;
+    let mut run = |name: &str, p: &dyn Predictor| {
+        c.bench_function(name, |b| {
+            b.iter(|| {
+                black_box(p.predict_deployment(
+                    black_box(&model.profile),
+                    model.classes,
+                    d,
+                    black_box(bytes),
+                    &grid.factors,
+                ))
+            })
+        });
+    };
+    run("learn-infer-analytical", &AnalyticalPredictor);
+    run("learn-infer-hybrid", &hybrid);
+    run("learn-infer-learned", &learned);
+}
+
+criterion_group!(benches, bench_fit, bench_observe, bench_infer);
+criterion_main!(benches);

@@ -30,8 +30,8 @@ use std::time::Instant;
 struct Entry {
     /// Stable name the ratchet keys on.
     name: String,
-    /// Entry type: `placement-throughput`, `sim-rate`, or
-    /// `workload-gen`.
+    /// Entry type: `placement-throughput`, `placement-dispatch`,
+    /// `sim-rate`, or `workload-gen`.
     kind: &'static str,
     /// Work items processed (placement queries, or simulated jobs).
     items: u64,
@@ -39,8 +39,10 @@ struct Entry {
     elapsed_secs: f64,
     /// Items per second — the ratcheted metric.
     per_sec: f64,
-    /// For placement entries (`null` otherwise): the naive exhaustive
-    /// scan's rate over the same query stream, and the speedup.
+    /// For placement entries (`null` otherwise): the reference rate
+    /// over the same query stream — the naive exhaustive scan for the
+    /// throughput entry, static (monomorphized) dispatch for the
+    /// dispatch entry — and the ratio against it.
     naive_per_sec: Option<f64>,
     speedup: Option<f64>,
     /// For sim entries (`null` otherwise): jobs admitted and makespan.
@@ -90,14 +92,31 @@ fn placement_throughput(grid: &GridSpec, queries: usize, naive_queries: usize) -
 
     let stream = query_stream(grid, queries);
     let mut engine = PlacementEngine::new(grid);
+    let analytical = fg_predict::AnalyticalPredictor;
     // Warm the cache so the steady-state rate is what gets ratcheted.
     for (app_idx, bytes, bw) in stream.iter().take(64) {
-        black_box(engine.best_placement(grid, &grid.apps[*app_idx].0, *bytes, &free, bw, None));
+        black_box(engine.best_placement(
+            &analytical,
+            grid,
+            &grid.apps[*app_idx].0,
+            *bytes,
+            &free,
+            bw,
+            None,
+        ));
     }
     let elapsed = best_of(3, || {
         let start = Instant::now();
         for (app_idx, bytes, bw) in &stream {
-            black_box(engine.best_placement(grid, &grid.apps[*app_idx].0, *bytes, &free, bw, None));
+            black_box(engine.best_placement(
+                &analytical,
+                grid,
+                &grid.apps[*app_idx].0,
+                *bytes,
+                &free,
+                bw,
+                None,
+            ));
         }
         start.elapsed().as_secs_f64()
     });
@@ -128,6 +147,91 @@ fn placement_throughput(grid: &GridSpec, queries: usize, naive_queries: usize) -
         per_sec,
         naive_per_sec: Some(naive_per_sec),
         speedup: Some(per_sec / naive_per_sec),
+        completed: None,
+        makespan: None,
+    }
+}
+
+/// Virtual-dispatch cost on the quote path: the same cached query
+/// stream priced through a static `&AnalyticalPredictor` (monomorphized
+/// exactly as the pre-trait code was) versus through `&dyn Predictor`
+/// (how `SchedCore` actually holds its pluggable predictor). `per_sec`
+/// is the dyn-dispatch rate (the one the ratchet guards);
+/// `naive_per_sec` reuses the static rate so `speedup` reads as
+/// dyn/static — the dispatch overhead the trait refactor costs.
+fn dispatch_overhead(grid: &GridSpec, queries: usize) -> Entry {
+    let free = FreeSlices::new(
+        grid.repos.iter().map(|r| r.site.max_nodes).collect(),
+        grid.sites.iter().map(|s| s.site.max_nodes).collect(),
+    );
+    let stream = query_stream(grid, queries);
+
+    let static_pred = fg_predict::AnalyticalPredictor;
+    let dyn_pred: std::sync::Arc<dyn fg_predict::Predictor> =
+        std::sync::Arc::new(fg_predict::AnalyticalPredictor);
+
+    let mut engine = PlacementEngine::new(grid);
+    for (app_idx, bytes, bw) in stream.iter().take(64) {
+        black_box(engine.best_placement(
+            &static_pred,
+            grid,
+            &grid.apps[*app_idx].0,
+            *bytes,
+            &free,
+            bw,
+            None,
+        ));
+    }
+    // Both arms run more repetitions than the other entries: the
+    // measured windows are tens of milliseconds, and the dyn/static
+    // *ratio* is the reported number, so each side's floor must be
+    // solid before the comparison means anything.
+    let static_elapsed = best_of(9, || {
+        let start = Instant::now();
+        for (app_idx, bytes, bw) in &stream {
+            black_box(engine.best_placement(
+                &static_pred,
+                grid,
+                &grid.apps[*app_idx].0,
+                *bytes,
+                &free,
+                bw,
+                None,
+            ));
+        }
+        start.elapsed().as_secs_f64()
+    });
+    let dyn_elapsed = best_of(9, || {
+        let start = Instant::now();
+        for (app_idx, bytes, bw) in &stream {
+            black_box(engine.best_placement(
+                dyn_pred.as_ref(),
+                grid,
+                &grid.apps[*app_idx].0,
+                *bytes,
+                &free,
+                bw,
+                None,
+            ));
+        }
+        start.elapsed().as_secs_f64()
+    });
+
+    let per_sec = queries as f64 / dyn_elapsed;
+    let static_per_sec = queries as f64 / static_elapsed;
+    eprintln!(
+        "placement-dispatch: dyn {per_sec:.0}/s vs static {static_per_sec:.0}/s \
+         ({:.2}% overhead)",
+        (static_per_sec / per_sec - 1.0) * 100.0,
+    );
+    Entry {
+        name: "placement-dispatch".into(),
+        kind: "placement-dispatch",
+        items: queries as u64,
+        elapsed_secs: dyn_elapsed,
+        per_sec,
+        naive_per_sec: Some(static_per_sec),
+        speedup: Some(per_sec / static_per_sec),
         completed: None,
         makespan: None,
     }
@@ -242,6 +346,7 @@ fn main() {
     let grid = GridSpec::demo(sched_models());
     let mut entries = vec![
         placement_throughput(&grid, 200_000, 4_000),
+        dispatch_overhead(&grid, 200_000),
         sim_rate("sim-rate-10k", 40, 250, 3),
         workload_gen_rate("workload-gen-10k", 40, 250, 3),
     ];

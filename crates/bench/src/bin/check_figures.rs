@@ -393,6 +393,56 @@ fn main() -> ExitCode {
         );
     }
 
+    if let Some(fig) = ck.load("ext-learn") {
+        ck.claim(
+            "ext-learn",
+            "the trained hybrid closes at least 20% of the frozen model's error, every shape",
+            fig.rows
+                .iter()
+                .all(|(l, _)| at(&fig, l, "hybrid err") < 0.8 * at(&fig, l, "analytical err")),
+        );
+        ck.claim(
+            "ext-learn",
+            "the learned ridge model beats the frozen model on regime-coherent shapes",
+            ["uniform", "bursty"]
+                .iter()
+                .all(|l| at(&fig, l, "learned err") < 0.8 * at(&fig, l, "analytical err")),
+        );
+        ck.claim(
+            "ext-learn",
+            "the trust region bounds the learned model's damage to 2x frozen, even where \
+             its sample window mixes regimes (heavy-tail)",
+            fig.rows
+                .iter()
+                .all(|(l, _)| at(&fig, l, "learned err") <= 2.0 * at(&fig, l, "analytical err")),
+        );
+        ck.claim(
+            "ext-learn",
+            "EDF admission precision under the hybrid stays within 0.1 of the frozen model \
+             and improves on uniform and bursty traffic",
+            fig.rows.iter().all(|(l, _)| {
+                at(&fig, l, "edf precision hybrid") >= at(&fig, l, "edf precision frozen") - 0.1
+            }) && ["uniform", "bursty"]
+                .iter()
+                .all(|l| at(&fig, l, "edf precision hybrid") > at(&fig, l, "edf precision frozen")),
+        );
+        ck.claim(
+            "ext-learn",
+            "the hybrid's drift-avoiding placements keep makespan within 2x either way",
+            fig.column_values("hybrid makespan x").iter().all(|&m| m > 0.5 && m < 2.0),
+        );
+        ck.claim(
+            "ext-learn",
+            "migration still pays off with the hybrid predictor installed (benefit > 1)",
+            fig.column_values("migration benefit").iter().all(|&b| b > 1.0),
+        );
+        ck.claim(
+            "ext-learn",
+            "no invariant violations in any predictor arm",
+            fig.column_values("violations").iter().all(|&v| v == 0.0),
+        );
+    }
+
     if ck.failures.is_empty() {
         println!("\nall figure claims hold");
         ExitCode::SUCCESS

@@ -29,6 +29,9 @@
 //! * [`calibrate`] — least-squares measurement of the interconnect
 //!   parameters `w` and `l` ("experimentally determined", §3.3.1).
 //! * [`error`] — the relative-error metric of §5.
+//! * [`predictor`] — the pluggable [`Predictor`](predictor::Predictor)
+//!   seam every ranking/placement/migration call site prices through,
+//!   with the analytical model as the default impl.
 
 #![warn(missing_docs)]
 
@@ -40,6 +43,7 @@ pub mod error;
 pub mod hetero;
 pub mod migrate;
 pub mod model;
+pub mod predictor;
 pub mod profile;
 pub mod reselect;
 pub mod selection;
@@ -52,8 +56,10 @@ pub use migrate::{
     decide_migration, migration_cost, MigrationCost, MigrationDecision, MigrationPolicy,
 };
 pub use model::{ComputeModel, ExecTimePredictor, InterconnectParams, Prediction, Target};
+pub use predictor::{AnalyticalPredictor, Observation, Predictor};
 pub use profile::Profile;
 pub use reselect::ReselectionController;
 pub use selection::{
-    rank_deployments, try_predict_deployment, try_rank_deployments, Candidate, SelectionError,
+    rank_deployments, try_predict_deployment, try_rank_deployments, try_rank_deployments_with,
+    Candidate, SelectionError,
 };

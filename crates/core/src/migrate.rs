@@ -24,12 +24,13 @@ use crate::bandwidth::BandwidthEstimator;
 use crate::classes::AppClasses;
 use crate::hetero::ScalingFactors;
 use crate::model::{InterconnectParams, Prediction};
+use crate::predictor::{AnalyticalPredictor, Predictor};
 use crate::profile::Profile;
 use crate::reselect::ReselectionController;
-use crate::selection::try_rank_deployments;
 use fg_cluster::Deployment;
 use fg_middleware::{PassAction, PassController, PassObservation};
 use std::collections::HashMap;
+use std::sync::Arc;
 
 /// The components of `T̂_migrate` (seconds).
 #[derive(Debug, Clone, Copy, PartialEq)]
@@ -125,6 +126,7 @@ pub struct MigrationPolicy {
     factors: HashMap<String, ScalingFactors>,
     link: InterconnectParams,
     checkpoint_bytes: u64,
+    predictor: Arc<dyn Predictor>,
     migrations: usize,
     last_decision: Option<MigrationDecision>,
 }
@@ -161,6 +163,7 @@ impl MigrationPolicy {
             factors,
             link,
             checkpoint_bytes,
+            predictor: Arc::new(AnalyticalPredictor),
             migrations: 0,
             last_decision: None,
         }
@@ -170,6 +173,15 @@ impl MigrationPolicy {
     /// margin.
     pub fn with_thresholds(mut self, deviation: f64, margin: f64) -> MigrationPolicy {
         self.inner = self.inner.with_thresholds(deviation, margin);
+        self
+    }
+
+    /// Price both sides of the stay-vs-move scale (and the inner
+    /// controller's re-ranking) through `pred` instead of the default
+    /// [`AnalyticalPredictor`].
+    pub fn with_predictor(mut self, pred: Arc<dyn Predictor>) -> MigrationPolicy {
+        self.inner = self.inner.with_predictor(Arc::clone(&pred));
+        self.predictor = pred;
         self
     }
 
@@ -200,15 +212,15 @@ impl MigrationPolicy {
     /// degenerate (a policy must skip an unpredictable candidate, not
     /// crash on it).
     fn predict_one(&self, d: &Deployment) -> Option<Prediction> {
-        let ranked = try_rank_deployments(
-            &self.profile,
-            self.classes,
-            std::slice::from_ref(d),
-            self.dataset_bytes,
-            &self.factors,
-        )
-        .ok()?;
-        Some(ranked.first()?.predicted)
+        self.predictor
+            .predict_deployment(
+                &self.profile,
+                self.classes,
+                d.as_ref(),
+                self.dataset_bytes,
+                &self.factors,
+            )
+            .ok()
     }
 }
 

@@ -19,11 +19,13 @@
 use crate::bandwidth::BandwidthEstimator;
 use crate::classes::AppClasses;
 use crate::hetero::ScalingFactors;
+use crate::predictor::{AnalyticalPredictor, Predictor};
 use crate::profile::Profile;
-use crate::selection::rank_deployments;
+use crate::selection::try_rank_deployments_with;
 use fg_cluster::Deployment;
 use fg_middleware::{PassAction, PassController, PassObservation};
 use std::collections::HashMap;
+use std::sync::Arc;
 
 /// A [`PassController`] that re-runs replica selection when observed
 /// bandwidth drifts from the current replica's nominal value.
@@ -34,6 +36,7 @@ pub struct ReselectionController {
     dataset_bytes: u64,
     factors: HashMap<String, ScalingFactors>,
     estimator: Box<dyn BandwidthEstimator>,
+    predictor: Arc<dyn Predictor>,
     deviation_threshold: f64,
     improvement_margin: f64,
     migrations: usize,
@@ -61,10 +64,18 @@ impl ReselectionController {
             dataset_bytes,
             factors,
             estimator,
+            predictor: Arc::new(AnalyticalPredictor),
             deviation_threshold: 0.25,
             improvement_margin: 0.10,
             migrations: 0,
         }
+    }
+
+    /// Re-rank candidates through `pred` instead of the default
+    /// [`AnalyticalPredictor`].
+    pub fn with_predictor(mut self, pred: Arc<dyn Predictor>) -> ReselectionController {
+        self.predictor = pred;
+        self
     }
 
     /// Override the deviation trigger and the migration hysteresis
@@ -118,13 +129,15 @@ impl PassController for ReselectionController {
                 d
             })
             .collect();
-        let ranked = rank_deployments(
+        let ranked = try_rank_deployments_with(
+            self.predictor.as_ref(),
             &self.profile,
             self.classes,
             &adjusted,
             self.dataset_bytes,
             &self.factors,
-        );
+        )
+        .unwrap_or_else(|e| panic!("{e}"));
         let best = &ranked[0];
         if best.deployment.repository.name == current.repository.name {
             return PassAction::Continue;

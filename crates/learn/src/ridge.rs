@@ -1,0 +1,212 @@
+//! Deterministic ridge regression by normal equations.
+//!
+//! The learned predictors fit tiny linear models — a handful of
+//! physically-motivated features per execution-time component — from at
+//! most a few hundred retained samples, so the textbook route is the
+//! right one: form `A = XᵀX + λI` and `b = Xᵀy`, then solve `Aw = b`
+//! by Gaussian elimination with partial pivoting. Everything is plain
+//! `f64` arithmetic in a fixed order, so a fit is a pure function of
+//! its inputs: the same sample matrix produces bit-identical
+//! coefficients on every run.
+//!
+//! Degenerate inputs are *typed rejections*, never panics and never
+//! non-finite coefficients: an empty sample set, a sample containing a
+//! NaN or infinity, too few rows to determine the coefficients, and a
+//! numerically singular normal matrix each map to their own
+//! [`FitError`] variant so callers can keep serving the analytical
+//! model instead of poisoning predictions.
+
+use std::fmt;
+
+/// Why a fit was refused. Every variant is a property of the sample
+/// set, not a transient condition: retrying the same fit yields the
+/// same error.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum FitError {
+    /// No samples at all.
+    Empty,
+    /// Fewer rows than coefficients: the normal equations would be
+    /// determined only by the ridge prior, not the data.
+    NotEnoughSamples {
+        /// Rows provided.
+        got: usize,
+        /// Rows required (the feature dimension).
+        need: usize,
+    },
+    /// A feature or target value is NaN or infinite.
+    NonFinite,
+    /// The regularized normal matrix is numerically singular (e.g.
+    /// duplicated feature columns with `lambda == 0`), or elimination
+    /// produced non-finite coefficients.
+    IllConditioned,
+}
+
+impl fmt::Display for FitError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            FitError::Empty => write!(f, "no samples to fit"),
+            FitError::NotEnoughSamples { got, need } => {
+                write!(f, "{got} samples cannot determine {need} coefficients")
+            }
+            FitError::NonFinite => write!(f, "sample set contains a non-finite value"),
+            FitError::IllConditioned => {
+                write!(f, "normal matrix is numerically singular")
+            }
+        }
+    }
+}
+
+impl std::error::Error for FitError {}
+
+/// Least-squares fit of `y ≈ X·w` with Tikhonov damping `lambda` on
+/// every coefficient. Returns the coefficient vector `w` (same length
+/// as each feature row), or a typed [`FitError`].
+///
+/// All rows must share one length; `lambda` must be finite and
+/// non-negative. The returned coefficients are always finite.
+pub fn fit_ridge(xs: &[Vec<f64>], ys: &[f64], lambda: f64) -> Result<Vec<f64>, FitError> {
+    if xs.is_empty() || ys.is_empty() {
+        return Err(FitError::Empty);
+    }
+    assert_eq!(xs.len(), ys.len(), "one target per feature row");
+    let dims = xs[0].len();
+    assert!(dims > 0, "feature rows must be non-empty");
+    assert!(lambda.is_finite() && lambda >= 0.0, "ridge damping must be finite and non-negative");
+    if xs.len() < dims {
+        return Err(FitError::NotEnoughSamples { got: xs.len(), need: dims });
+    }
+    for (row, &y) in xs.iter().zip(ys) {
+        assert_eq!(row.len(), dims, "ragged feature matrix");
+        if !y.is_finite() || row.iter().any(|v| !v.is_finite()) {
+            return Err(FitError::NonFinite);
+        }
+    }
+
+    // Normal equations: A = XᵀX + λI (dims × dims), b = Xᵀy.
+    let mut a = vec![vec![0.0f64; dims]; dims];
+    let mut b = vec![0.0f64; dims];
+    for (row, &y) in xs.iter().zip(ys) {
+        for i in 0..dims {
+            for j in 0..dims {
+                a[i][j] += row[i] * row[j];
+            }
+            b[i] += row[i] * y;
+        }
+    }
+    for (i, row) in a.iter_mut().enumerate() {
+        row[i] += lambda;
+    }
+
+    solve(a, b).ok_or(FitError::IllConditioned)
+}
+
+/// Gaussian elimination with partial pivoting. `None` when a pivot is
+/// negligible relative to the matrix scale or the solution is not
+/// finite.
+fn solve(mut a: Vec<Vec<f64>>, mut b: Vec<f64>) -> Option<Vec<f64>> {
+    let n = b.len();
+    let scale = a.iter().flat_map(|row| row.iter()).fold(1.0f64, |acc, &v| acc.max(v.abs()));
+    for col in 0..n {
+        // Largest remaining pivot in this column; ties keep the
+        // lowest row index, so the elimination order is deterministic.
+        let mut pivot = col;
+        for row in col + 1..n {
+            if a[row][col].abs() > a[pivot][col].abs() {
+                pivot = row;
+            }
+        }
+        if a[pivot][col].abs() <= 1e-12 * scale {
+            return None;
+        }
+        a.swap(col, pivot);
+        b.swap(col, pivot);
+        for row in col + 1..n {
+            let f = a[row][col] / a[col][col];
+            a[row][col] = 0.0;
+            // Split the two rows so the pivot row can be borrowed
+            // immutably while the target row is eliminated in place.
+            let (pivot_rows, target_rows) = a.split_at_mut(row);
+            let (pivot_row, target_row) = (&pivot_rows[col], &mut target_rows[0]);
+            for (t, p) in target_row[col + 1..n].iter_mut().zip(&pivot_row[col + 1..n]) {
+                *t -= f * p;
+            }
+            b[row] -= f * b[col];
+        }
+    }
+    let mut w = vec![0.0f64; n];
+    for col in (0..n).rev() {
+        let mut acc = b[col];
+        for k in col + 1..n {
+            acc -= a[col][k] * w[k];
+        }
+        w[col] = acc / a[col][col];
+    }
+    if w.iter().all(|v| v.is_finite()) {
+        Some(w)
+    } else {
+        None
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn design(rows: &[(f64, f64)]) -> (Vec<Vec<f64>>, Vec<f64>) {
+        // y = 3 + 2·u − 0.5·v, exactly.
+        let xs: Vec<Vec<f64>> = rows.iter().map(|&(u, v)| vec![1.0, u, v]).collect();
+        let ys: Vec<f64> = rows.iter().map(|&(u, v)| 3.0 + 2.0 * u - 0.5 * v).collect();
+        (xs, ys)
+    }
+
+    #[test]
+    fn recovers_exact_coefficients_from_noise_free_samples() {
+        let (xs, ys) = design(&[(0.0, 1.0), (1.0, 0.0), (2.0, 3.0), (5.0, 2.0), (7.0, 9.0)]);
+        let w = fit_ridge(&xs, &ys, 0.0).unwrap();
+        assert!((w[0] - 3.0).abs() < 1e-9, "intercept {w:?}");
+        assert!((w[1] - 2.0).abs() < 1e-9);
+        assert!((w[2] + 0.5).abs() < 1e-9);
+    }
+
+    #[test]
+    fn empty_set_is_a_typed_rejection() {
+        assert_eq!(fit_ridge(&[], &[], 1e-6), Err(FitError::Empty));
+    }
+
+    #[test]
+    fn non_finite_samples_are_rejected_not_propagated() {
+        let (mut xs, ys) = design(&[(0.0, 1.0), (1.0, 0.0), (2.0, 3.0)]);
+        xs[1][2] = f64::NAN;
+        assert_eq!(fit_ridge(&xs, &ys, 1e-6), Err(FitError::NonFinite));
+        let (xs, mut ys) = design(&[(0.0, 1.0), (1.0, 0.0), (2.0, 3.0)]);
+        ys[0] = f64::INFINITY;
+        assert_eq!(fit_ridge(&xs, &ys, 1e-6), Err(FitError::NonFinite));
+    }
+
+    #[test]
+    fn underdetermined_set_is_rejected() {
+        let (xs, ys) = design(&[(0.0, 1.0), (1.0, 0.0)]);
+        assert_eq!(fit_ridge(&xs, &ys, 1e-6), Err(FitError::NotEnoughSamples { got: 2, need: 3 }));
+    }
+
+    #[test]
+    fn duplicated_columns_without_damping_are_ill_conditioned() {
+        let xs: Vec<Vec<f64>> = (0..6).map(|i| vec![1.0, i as f64, i as f64]).collect();
+        let ys: Vec<f64> = (0..6).map(|i| 1.0 + 3.0 * i as f64).collect();
+        assert_eq!(fit_ridge(&xs, &ys, 0.0), Err(FitError::IllConditioned));
+        // A whisper of ridge makes the same system solvable — and the
+        // collinear pair splits the slope deterministically.
+        let w = fit_ridge(&xs, &ys, 1e-9).unwrap();
+        assert!(w.iter().all(|v| v.is_finite()));
+        assert!((w[1] + w[2] - 3.0).abs() < 1e-3, "{w:?}");
+    }
+
+    #[test]
+    fn fit_is_bitwise_deterministic() {
+        let (xs, ys) = design(&[(0.2, 1.7), (1.1, 0.3), (2.9, 3.4), (5.5, 2.2), (7.1, 9.9)]);
+        let a = fit_ridge(&xs, &ys, 1e-6).unwrap();
+        let b = fit_ridge(&xs, &ys, 1e-6).unwrap();
+        let bits = |w: &[f64]| w.iter().map(|v| v.to_bits()).collect::<Vec<_>>();
+        assert_eq!(bits(&a), bits(&b));
+    }
+}

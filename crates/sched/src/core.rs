@@ -48,7 +48,7 @@ use crate::telemetry::{TelemetryReport, TelemetrySnapshot, TelemetryState};
 use crate::workload::JobSpec;
 use fg_cluster::{Configuration, DeploymentRef};
 use fg_predict::bandwidth::{BandwidthEstimator, Ewma};
-use fg_predict::{decide_migration, try_predict_deployment, InterconnectParams, Prediction};
+use fg_predict::{decide_migration, InterconnectParams, Observation, Prediction, Predictor};
 use fg_sim::{FairShareSim, Flow, ResourceId, SimTime};
 use fg_trace::{Counter, Gauge, Histogram, SpanKind, Trace, Tracer};
 use serde::{Deserialize, Serialize};
@@ -777,6 +777,7 @@ impl SchedCore {
         SchedSnapshot {
             grid: Arc::clone(&self.grid),
             policy: self.cfg.policy,
+            predictor: Arc::clone(&self.cfg.predictor),
             now: self.now,
             bw: self.bw.clone(),
             free_data: self.free.data().to_vec(),
@@ -1014,7 +1015,12 @@ impl SchedCore {
             }
             let standalone = self
                 .engine
-                .standalone_placement(&self.cfg.grid, &spec.app, spec.dataset_bytes)
+                .standalone_placement(
+                    self.cfg.predictor.as_ref(),
+                    &self.cfg.grid,
+                    &spec.app,
+                    spec.dataset_bytes,
+                )
                 .map(|p| p.predicted.total());
             let mut outcome = JobOutcome {
                 id: spec.id,
@@ -1087,6 +1093,7 @@ impl SchedCore {
             let corrected = self
                 .engine
                 .best_placement(
+                    self.cfg.predictor.as_ref(),
                     &self.cfg.grid,
                     &spec.app,
                     spec.dataset_bytes,
@@ -1202,6 +1209,33 @@ impl SchedCore {
                 let (id, at, met) = (o.id, self.now, o.met_deadline());
                 self.emit(CoreEvent::Completed { id, at, met_deadline: met });
             }
+            if self.cfg.predictor.wants_observations() {
+                // Feed the active predictor the same clean completions
+                // the accuracy ledger samples, independent of whether
+                // telemetry is armed. The predictor may retrain and
+                // bump its epoch here; the placement cache notices on
+                // the next query.
+                let o = self.outcomes[r.slot].as_ref().expect("placed job has an outcome");
+                let clean = o.preemptions.is_empty() && o.migration.is_none() && !r.no_feedback;
+                if let (Some(p), Some(de), Some(ne)) = (&o.placement, r.disk_end, r.network_end) {
+                    if clean {
+                        self.cfg.predictor.observe(&Observation {
+                            app: o.app.clone(),
+                            repo: p.repo_name.clone(),
+                            data_nodes: r.config.data_nodes,
+                            compute_nodes: r.config.compute_nodes,
+                            wan_bw: r.placed_bw,
+                            dataset_bytes: o.dataset_bytes,
+                            predicted: [
+                                r.predicted.t_disk,
+                                r.predicted.t_network,
+                                r.predicted.t_compute,
+                            ],
+                            observed: [de - r.placed_at, ne - de, self.now - ne],
+                        });
+                    }
+                }
+            }
             if let Some(tel) = self.telemetry.as_mut() {
                 let o = self.outcomes[r.slot].as_ref().expect("placed job has an outcome");
                 // Only clean observations feed the accuracy ledger: a
@@ -1280,7 +1314,7 @@ impl SchedCore {
                     config: r.config,
                     cache: None,
                 };
-                let Ok(pred) = try_predict_deployment(
+                let Ok(pred) = self.cfg.predictor.predict_deployment(
                     &model.profile,
                     model.classes,
                     candidate,
@@ -1453,6 +1487,7 @@ impl SchedCore {
                 if headroom >= self.min_slots {
                     let q = &self.queue.jobs[&id];
                     if let Some(p) = self.engine.best_placement(
+                        self.cfg.predictor.as_ref(),
                         grid,
                         &q.spec.app,
                         q.spec.dataset_bytes,
@@ -1483,6 +1518,7 @@ impl SchedCore {
                     let Some((ci, (_, id))) = head else { break };
                     let q = &self.queue.jobs[&id];
                     if let Some(p) = self.engine.best_placement(
+                        self.cfg.predictor.as_ref(),
                         grid,
                         &q.spec.app,
                         q.spec.dataset_bytes,
@@ -1503,6 +1539,7 @@ impl SchedCore {
                 for &(_, id, _) in self.queue.order.iter() {
                     let q = &self.queue.jobs[&id];
                     if let Some(p) = self.engine.best_placement(
+                        self.cfg.predictor.as_ref(),
                         grid,
                         &q.spec.app,
                         q.spec.dataset_bytes,
@@ -1541,6 +1578,7 @@ impl SchedCore {
                         let mut hyp = self.free.clone();
                         hyp.release(v.repo, v.site, &v.config);
                         let Some(p) = self.engine.best_placement(
+                            self.cfg.predictor.as_ref(),
                             grid,
                             &hq.spec.app,
                             hq.spec.dataset_bytes,
@@ -1597,6 +1635,7 @@ impl SchedCore {
                         if self
                             .engine
                             .best_placement(
+                                self.cfg.predictor.as_ref(),
                                 grid,
                                 &q.spec.app,
                                 q.spec.dataset_bytes,
@@ -1725,6 +1764,7 @@ pub struct PredictionQuote {
 pub struct SchedSnapshot {
     grid: Arc<GridSpec>,
     policy: Policy,
+    predictor: Arc<dyn Predictor>,
     now: f64,
     bw: Vec<f64>,
     free_data: Vec<usize>,
@@ -1775,13 +1815,14 @@ impl SchedSnapshot {
     /// bandwidth — the standalone baseline. Pure: prices every
     /// candidate fresh, bit-identical to the engine's cached path.
     pub fn standalone(&self, app: &str, dataset_bytes: u64) -> Option<Placement> {
-        uncached_standalone_placement(&self.grid, app, dataset_bytes)
+        uncached_standalone_placement(self.predictor.as_ref(), &self.grid, app, dataset_bytes)
     }
 
     /// Cheapest placement that fits the snapshot's *free* slices at
     /// current bandwidth estimates.
     pub fn best_placement(&self, app: &str, dataset_bytes: u64) -> Option<Placement> {
         uncached_best_placement(
+            self.predictor.as_ref(),
             &self.grid,
             app,
             dataset_bytes,
@@ -1810,6 +1851,7 @@ impl SchedSnapshot {
         let full_data: Vec<usize> = self.grid.repos.iter().map(|r| r.site.max_nodes).collect();
         let full_cmp: Vec<usize> = self.grid.sites.iter().map(|s| s.site.max_nodes).collect();
         let corrected = uncached_best_placement(
+            self.predictor.as_ref(),
             &self.grid,
             app,
             dataset_bytes,

@@ -64,7 +64,10 @@ pub use ledger::{
     AccuracyLedger, AccuracySample, Component, DriftAlarm, DriftConfig, KeyDrift, KeyLedger,
     ResidualStat, LEDGER_VERSION,
 };
-pub use placement::{naive_best_placement, FreeSlices, Placement, PlacementEngine, PlacementStats};
+pub use placement::{
+    naive_best_placement, naive_best_placement_with, FreeSlices, Placement, PlacementEngine,
+    PlacementStats,
+};
 pub use policy::Policy;
 pub use replay::{ReplayError, Workload, WorkloadStats};
 pub use sched::{

@@ -20,16 +20,23 @@
 //!
 //! The fast path is bit-identical to [`naive_best_placement`] by
 //! construction: both price candidates through the same
-//! [`fg_predict::try_predict_deployment`] arithmetic, and the ranking
-//! order (total, then site, then configuration index) reproduces the
-//! naive scan's first-strictly-better tie-break exactly. The
-//! differential property suite (`tests/placement_differential.rs`)
-//! pins the equivalence under random grids, quota caps, and bandwidth
-//! drift.
+//! [`fg_predict::Predictor`] (the analytical impl delegates to
+//! [`fg_predict::try_predict_deployment`]), and the ranking order
+//! (total, then site, then configuration index) reproduces the naive
+//! scan's first-strictly-better tie-break exactly. The differential
+//! property suite (`tests/placement_differential.rs`) pins the
+//! equivalence under random grids, quota caps, and bandwidth drift.
+//!
+//! Every query is generic over the [`Predictor`] pricing it. Stateful
+//! predictors (fg-learn) invalidate cached rankings through their
+//! [`Predictor::epoch`]: a ranking is stale when *either* the
+//! bandwidth it was priced at or the predictor epoch it was priced
+//! under has changed. The analytical predictor's epoch is constant, so
+//! the default path's cache behavior (and hit rate) is untouched.
 
 use crate::grid::{AppModel, GridSpec};
-use fg_cluster::{Configuration, Deployment, DeploymentRef};
-use fg_predict::{try_predict_deployment, try_rank_deployments, Prediction};
+use fg_cluster::{Configuration, DeploymentRef};
+use fg_predict::{Prediction, Predictor};
 use rayon::prelude::*;
 use std::collections::HashMap;
 
@@ -145,9 +152,9 @@ struct Ranked {
     predicted: Prediction,
 }
 
-/// A repository's candidates priced at one bandwidth, cheapest first
-/// (ties broken by site then configuration index, matching the naive
-/// scan's iteration order).
+/// A repository's candidates priced at one bandwidth under one
+/// predictor epoch, cheapest first (ties broken by site then
+/// configuration index, matching the naive scan's iteration order).
 #[derive(Debug, Clone)]
 struct RepoRanking {
     /// Bit pattern of the bandwidth the ranking was priced at. The
@@ -155,6 +162,12 @@ struct RepoRanking {
     /// estimate can never bit-match it, and a NaN bandwidth makes every
     /// candidate unpredictable in both paths anyway.
     bw_bits: u64,
+    /// The [`Predictor::epoch`] the ranking was priced under. A
+    /// stateful predictor bumps its epoch when training changes its
+    /// predictions, invalidating every cached ranking even though the
+    /// bandwidths are unchanged. The analytical predictor's constant
+    /// epoch makes this test free on the default path.
+    epoch: u64,
     ranked: Vec<Ranked>,
 }
 
@@ -162,7 +175,7 @@ const STALE: u64 = u64::MAX;
 
 impl RepoRanking {
     fn stale() -> RepoRanking {
-        RepoRanking { bw_bits: STALE, ranked: Vec::new() }
+        RepoRanking { bw_bits: STALE, epoch: 0, ranked: Vec::new() }
     }
 }
 
@@ -238,11 +251,15 @@ impl PlacementEngine {
     }
 
     /// Cheapest feasible placement for `app` moving `dataset_bytes`,
-    /// given the free slices, per-repository bandwidths, and an
-    /// optional fair-share cap on the configuration's compute nodes.
-    /// Bit-identical to [`naive_best_placement`] over the same inputs.
-    pub fn best_placement(
+    /// priced through `pred`, given the free slices, per-repository
+    /// bandwidths, and an optional fair-share cap on the
+    /// configuration's compute nodes. Bit-identical to
+    /// [`naive_best_placement_with`] over the same inputs and
+    /// predictor.
+    #[allow(clippy::too_many_arguments)]
+    pub fn best_placement<P: Predictor + ?Sized>(
         &mut self,
+        pred: &P,
         grid: &GridSpec,
         app: &str,
         dataset_bytes: u64,
@@ -253,7 +270,8 @@ impl PlacementEngine {
         let app_idx = grid.apps.iter().position(|(n, _)| n == app)?;
         let model = &grid.apps[app_idx].1;
         if self.naive {
-            return naive_best_placement(
+            return naive_best_placement_with(
+                pred,
                 grid,
                 model,
                 dataset_bytes,
@@ -284,17 +302,23 @@ impl PlacementEngine {
             self.entries.clear();
         }
         let nrepo = grid.repos.len();
+        let epoch = pred.epoch();
         let entry = self
             .entries
             .entry(key)
             .or_insert_with(|| Entry { repos: vec![RepoRanking::stale(); nrepo] });
-        let stale: Vec<usize> =
-            (0..nrepo).filter(|&ri| entry.repos[ri].bw_bits != bw[ri].to_bits()).collect();
+        let stale: Vec<usize> = (0..nrepo)
+            .filter(|&ri| {
+                entry.repos[ri].bw_bits != bw[ri].to_bits() || entry.repos[ri].epoch != epoch
+            })
+            .collect();
         self.stats.rebuilds += stale.len() as u64;
         if self.parallel && stale.len() > 1 {
             let rebuilt: Vec<RepoRanking> = stale
                 .par_iter()
-                .map(|&ri| build_ranking(grid, model, &grid.repos[ri], dataset_bytes, bw[ri]))
+                .map(|&ri| {
+                    build_ranking(pred, epoch, grid, model, &grid.repos[ri], dataset_bytes, bw[ri])
+                })
                 .collect();
             for (&ri, ranking) in stale.iter().zip(rebuilt) {
                 entry.repos[ri] = ranking;
@@ -302,7 +326,7 @@ impl PlacementEngine {
         } else {
             for &ri in &stale {
                 entry.repos[ri] =
-                    build_ranking(grid, model, &grid.repos[ri], dataset_bytes, bw[ri]);
+                    build_ranking(pred, epoch, grid, model, &grid.repos[ri], dataset_bytes, bw[ri]);
             }
         }
         walk(&entry.repos, free.data(), free.cmp(), quota_cap)
@@ -318,8 +342,9 @@ impl PlacementEngine {
     /// nominal and a corrected estimate for the same key). Takes
     /// `&self` — the query touches no cache state, so concurrent
     /// readers (a snapshot-serving worker pool) need no lock.
-    pub fn standalone_placement(
+    pub fn standalone_placement<P: Predictor + ?Sized>(
         &self,
+        pred: &P,
         grid: &GridSpec,
         app: &str,
         dataset_bytes: u64,
@@ -330,7 +355,8 @@ impl PlacementEngine {
         let max_cmp: Vec<usize> = grid.sites.iter().map(|s| s.site.max_nodes).collect();
         if self.naive {
             let nominal: Vec<f64> = grid.repos.iter().map(|r| r.wan.stream_bw).collect();
-            return naive_best_placement(
+            return naive_best_placement_with(
+                pred,
                 grid,
                 model,
                 dataset_bytes,
@@ -340,15 +366,16 @@ impl PlacementEngine {
                 None,
             );
         }
+        let epoch = pred.epoch();
         let rankings: Vec<RepoRanking> = if self.parallel && grid.repos.len() > 1 {
             grid.repos
                 .par_iter()
-                .map(|r| build_ranking(grid, model, r, dataset_bytes, r.wan.stream_bw))
+                .map(|r| build_ranking(pred, epoch, grid, model, r, dataset_bytes, r.wan.stream_bw))
                 .collect()
         } else {
             grid.repos
                 .iter()
-                .map(|r| build_ranking(grid, model, r, dataset_bytes, r.wan.stream_bw))
+                .map(|r| build_ranking(pred, epoch, grid, model, r, dataset_bytes, r.wan.stream_bw))
                 .collect()
         };
         walk(&rankings, &max_data, &max_cmp, None).map(|(ri, c)| to_placement(grid, ri, &c))
@@ -365,7 +392,9 @@ fn to_placement(grid: &GridSpec, repo: usize, c: &Ranked) -> Placement {
 /// over the same inputs (same `build_ranking`, same `walk`), which is
 /// what lets an immutable snapshot answer placement queries from
 /// `&self` without sharing the engine's mutable cache.
-pub(crate) fn uncached_best_placement(
+#[allow(clippy::too_many_arguments)]
+pub(crate) fn uncached_best_placement<P: Predictor + ?Sized>(
+    pred: &P,
     grid: &GridSpec,
     app: &str,
     dataset_bytes: u64,
@@ -376,11 +405,12 @@ pub(crate) fn uncached_best_placement(
 ) -> Option<Placement> {
     let app_idx = grid.apps.iter().position(|(n, _)| n == app)?;
     let model = &grid.apps[app_idx].1;
+    let epoch = pred.epoch();
     let rankings: Vec<RepoRanking> = grid
         .repos
         .iter()
         .enumerate()
-        .map(|(ri, r)| build_ranking(grid, model, r, dataset_bytes, bw[ri]))
+        .map(|(ri, r)| build_ranking(pred, epoch, grid, model, r, dataset_bytes, bw[ri]))
         .collect();
     walk(&rankings, free_data, free_cmp, quota_cap).map(|(ri, c)| to_placement(grid, ri, &c))
 }
@@ -388,7 +418,8 @@ pub(crate) fn uncached_best_placement(
 /// The standalone query without an engine: best placement on an empty
 /// grid at nominal bandwidths. Bit-identical to
 /// [`PlacementEngine::standalone_placement`].
-pub(crate) fn uncached_standalone_placement(
+pub(crate) fn uncached_standalone_placement<P: Predictor + ?Sized>(
+    pred: &P,
     grid: &GridSpec,
     app: &str,
     dataset_bytes: u64,
@@ -397,21 +428,26 @@ pub(crate) fn uncached_standalone_placement(
     let model = &grid.apps[app_idx].1;
     let max_data: Vec<usize> = grid.repos.iter().map(|r| r.site.max_nodes).collect();
     let max_cmp: Vec<usize> = grid.sites.iter().map(|s| s.site.max_nodes).collect();
+    let epoch = pred.epoch();
     let rankings: Vec<RepoRanking> = grid
         .repos
         .iter()
-        .map(|r| build_ranking(grid, model, r, dataset_bytes, r.wan.stream_bw))
+        .map(|r| build_ranking(pred, epoch, grid, model, r, dataset_bytes, r.wan.stream_bw))
         .collect();
     walk(&rankings, &max_data, &max_cmp, None).map(|(ri, c)| to_placement(grid, ri, &c))
 }
 
 /// Price every (site, configuration) candidate of one repository at
-/// bandwidth `bw` and sort cheapest first. Candidates the predictor
-/// rejects are dropped, exactly as the naive scan skips them. Nothing
-/// here allocates an owned `Deployment`: the borrow-based
-/// [`try_predict_deployment`] entry point prices each candidate from
-/// references into the grid.
-fn build_ranking(
+/// bandwidth `bw` through `pred` and sort cheapest first. Candidates
+/// the predictor rejects are dropped, exactly as the naive scan skips
+/// them. Nothing here allocates an owned `Deployment`: the borrow-based
+/// [`Predictor::predict_deployment`] entry point prices each candidate
+/// from references into the grid. `epoch` is sampled once by the
+/// caller so one query's rebuilds all carry the same version even if
+/// a concurrent observer bumps the predictor mid-query.
+fn build_ranking<P: Predictor + ?Sized>(
+    pred: &P,
+    epoch: u64,
     grid: &GridSpec,
     model: &AppModel,
     repo: &crate::grid::RepoSpec,
@@ -428,7 +464,7 @@ fn build_ranking(
                 config: *cfg,
                 cache: None,
             };
-            let Ok(predicted) = try_predict_deployment(
+            let Ok(predicted) = pred.predict_deployment(
                 &model.profile,
                 model.classes,
                 candidate,
@@ -452,7 +488,7 @@ fn build_ranking(
     ranked.sort_by(|a, b| {
         a.total.total_cmp(&b.total).then(a.site.cmp(&b.site)).then(a.cfg.cmp(&b.cfg))
     });
-    RepoRanking { bw_bits: bw.to_bits(), ranked }
+    RepoRanking { bw_bits: bw.to_bits(), epoch, ranked }
 }
 
 /// Walk cost-sorted rankings against the free slices with dominance
@@ -492,10 +528,41 @@ fn walk(
 /// The reference implementation: exhaustively re-predict every
 /// (repository, site, configuration) triple and keep the first
 /// strictly-cheapest feasible one. This is the scan the cached engine
-/// replaces; it is kept verbatim as the oracle for the differential
-/// property suite and reachable in production via
-/// `Scheduler::with_naive_placement`.
+/// replaces; it is kept as the oracle for the differential property
+/// suite and reachable in production via
+/// `Scheduler::with_naive_placement`. Prices through the analytical
+/// model; [`naive_best_placement_with`] is the same scan generalized
+/// over the predictor.
 pub fn naive_best_placement(
+    grid: &GridSpec,
+    model: &AppModel,
+    dataset_bytes: u64,
+    free_data: &[usize],
+    free_cmp: &[usize],
+    bw: &[f64],
+    quota_cap: Option<usize>,
+) -> Option<Placement> {
+    naive_best_placement_with(
+        &fg_predict::AnalyticalPredictor,
+        grid,
+        model,
+        dataset_bytes,
+        free_data,
+        free_cmp,
+        bw,
+        quota_cap,
+    )
+}
+
+/// [`naive_best_placement`] generalized over the pricing model: the
+/// same exhaustive first-strictly-better scan, with every triple
+/// priced through `pred`. This is the oracle the cached engine is
+/// differentially tested against under *stateful* predictors, where
+/// the engine's correctness additionally depends on epoch-based cache
+/// invalidation.
+#[allow(clippy::too_many_arguments)]
+pub fn naive_best_placement_with<P: Predictor + ?Sized>(
+    pred: &P,
     grid: &GridSpec,
     model: &AppModel,
     dataset_bytes: u64,
@@ -516,31 +583,29 @@ pub fn naive_best_placement(
                         continue;
                     }
                 }
-                let mut wan = repo.wan.clone();
-                wan.stream_bw = bw[ri];
-                let deployment = Deployment::new(repo.site.clone(), site.site.clone(), wan, *cfg);
-                let ranked = match try_rank_deployments(
+                let candidate = DeploymentRef {
+                    repository: &repo.site,
+                    compute: &site.site,
+                    stream_bw: bw[ri],
+                    config: *cfg,
+                    cache: None,
+                };
+                let predicted = match pred.predict_deployment(
                     &model.profile,
                     model.classes,
-                    std::slice::from_ref(&deployment),
+                    candidate,
                     dataset_bytes,
                     &grid.factors,
                 ) {
-                    Ok(ranked) => ranked,
+                    Ok(predicted) => predicted,
                     Err(_) => continue,
                 };
-                let candidate = &ranked[0];
                 let better = match &best {
                     None => true,
-                    Some(b) => candidate.predicted.total() < b.predicted.total(),
+                    Some(b) => predicted.total() < b.predicted.total(),
                 };
                 if better {
-                    best = Some(Placement {
-                        repo: ri,
-                        site: si,
-                        cfg: *cfg,
-                        predicted: candidate.predicted,
-                    });
+                    best = Some(Placement { repo: ri, site: si, cfg: *cfg, predicted });
                 }
             }
         }

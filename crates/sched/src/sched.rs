@@ -34,8 +34,10 @@ use crate::grid::GridSpec;
 use crate::policy::Policy;
 use crate::telemetry::{TelemetryConfig, TelemetryReport};
 use crate::workload::JobSpec;
+use fg_predict::{AnalyticalPredictor, Predictor};
 use fg_trace::Trace;
 use serde::{Deserialize, Serialize};
+use std::sync::Arc;
 
 /// A per-tenant token-bucket admission quota: each submission spends one
 /// token; the bucket refills continuously up to `capacity`. A tenant
@@ -251,6 +253,7 @@ pub struct Scheduler {
     pub(crate) naive_placement: bool,
     pub(crate) workload_metrics: bool,
     pub(crate) telemetry: Option<TelemetryConfig>,
+    pub(crate) predictor: Arc<dyn Predictor>,
 }
 
 impl Scheduler {
@@ -269,7 +272,27 @@ impl Scheduler {
             naive_placement: false,
             workload_metrics: false,
             telemetry: None,
+            predictor: Arc::new(AnalyticalPredictor),
         }
+    }
+
+    /// Price every placement, admission estimate, and migration
+    /// check through `predictor` instead of the default
+    /// [`AnalyticalPredictor`]. The predictor is shared (`Arc`) between
+    /// the decision core and its snapshots; stateful predictors receive
+    /// a completion [`Observation`](fg_predict::Observation) for every
+    /// clean completion (no preemption, no migration, feedback not
+    /// suppressed) when they opt in via
+    /// [`Predictor::wants_observations`]. The default predictor keeps
+    /// a default-configured run bit-identical to earlier releases.
+    pub fn with_predictor(mut self, predictor: Arc<dyn Predictor>) -> Scheduler {
+        self.predictor = predictor;
+        self
+    }
+
+    /// The predictor placements are priced through.
+    pub fn predictor(&self) -> &Arc<dyn Predictor> {
+        &self.predictor
     }
 
     /// Rebuild stale placement rankings through rayon's parallel

@@ -1,0 +1,307 @@
+//! Online-learning end-to-end suite: the learned predictors trained by
+//! a real scheduler run under a seeded bandwidth drift must (a)
+//! round-trip through their JSONL dumps as byte fixpoints, (b) beat a
+//! frozen analytical model's prediction error once trained — with
+//! monotone improvement as samples accumulate — and (c) stay inside
+//! the trust-region guard-rail that makes learned admission no more
+//! permissive than 2× the analytical estimate.
+//!
+//! Every run freezes the bandwidth feedback loop (`with_ewma_alpha`
+//! with a vanishing alpha) so the comparison isolates the *predictor*:
+//! with feedback live, the scheduler itself would re-estimate the
+//! degraded link and rescue the analytical model.
+
+use fg_bench::figures::{sched_models, workload_jobs};
+use fg_learn::{HybridPredictor, LearnedPredictor};
+use freeride_g::cluster::{Configuration, DeploymentRef};
+use freeride_g::predict::{Observation, Predictor};
+use freeride_g::sched::sched::SchedResult;
+use freeride_g::sched::{Degradation, GridSpec, Policy, Scheduler, TelemetryConfig, WorkloadShape};
+use std::sync::Arc;
+
+/// Freeze bandwidth feedback to (numerically) nothing: `Ewma` requires
+/// a strictly positive alpha, and at 1e-12 the estimate never moves
+/// measurably off the nominal value.
+const FROZEN_ALPHA: f64 = 1e-12;
+
+/// A telemetry-armed run under the seeded drift: repository 0's WAN
+/// collapses to 15% of nominal at the stream's median arrival, exactly
+/// the `ext-obs` fault. Returns the result and the onset instant.
+fn drift_run(shape: WorkloadShape, predictor: Option<Arc<dyn Predictor>>) -> (SchedResult, f64) {
+    let jobs = workload_jobs(shape);
+    let mut arrivals: Vec<f64> = jobs.iter().map(|j| j.arrival).collect();
+    arrivals.sort_by(f64::total_cmp);
+    let onset = arrivals[arrivals.len() / 2];
+    let mut sched = Scheduler::new(GridSpec::demo(sched_models()), Policy::Fcfs)
+        .with_ewma_alpha(FROZEN_ALPHA)
+        .with_telemetry(TelemetryConfig::default())
+        .with_degradation(Degradation { repo: 0, start: onset, factor: 0.15 });
+    if let Some(p) = predictor {
+        sched = sched.with_predictor(p);
+    }
+    (sched.run(&jobs), onset)
+}
+
+/// Mean relative total-time error over the run's own post-onset ledger
+/// samples — *all* of them, both repositories. Filtering to the
+/// degraded repository would bias the comparison: a trained predictor
+/// steers work away from the drifted link, so its residual samples
+/// there are the hard straddlers, while the accuracy that matters for
+/// placement is over everything the scheduler actually ran.
+fn mean_rel_err(r: &SchedResult, from: f64) -> f64 {
+    let ledger = &r.telemetry.as_ref().expect("telemetry armed").ledger;
+    let errs: Vec<f64> = ledger
+        .tail(ledger.total() as usize)
+        .iter()
+        .filter(|s| s.finish > from)
+        .map(|s| {
+            let obs: f64 = s.observed.iter().sum();
+            let pred: f64 = s.predicted.iter().sum();
+            (obs - pred).abs() / obs
+        })
+        .collect();
+    assert!(!errs.is_empty(), "no post-onset samples");
+    errs.iter().sum::<f64>() / errs.len() as f64
+}
+
+/// Trained predictors beat the frozen analytical model under drift, on
+/// post-onset prediction error over everything the run placed.
+///
+/// The hybrid wins on every shape. The learned ridge model wins where
+/// its per-(app, repo) sample windows are regime-coherent (uniform,
+/// bursty); under the heavy-tail shape its ring buffer mixes pre- and
+/// post-onset samples for the long-straggler keys and the fit splits
+/// the difference, so no ordering is asserted there — the `ext-learn`
+/// figure reports that trade-off instead of hiding it.
+#[test]
+fn trained_predictors_beat_frozen_analytical_under_drift() {
+    for shape in WorkloadShape::ALL {
+        let (frozen, onset) = drift_run(shape, None);
+        let (hybrid, _) = drift_run(shape, Some(Arc::new(HybridPredictor::default())));
+        let e_frozen = mean_rel_err(&frozen, onset);
+        let e_hybrid = mean_rel_err(&hybrid, onset);
+        assert!(
+            e_hybrid < e_frozen * 0.8,
+            "{}: hybrid {e_hybrid:.3} vs frozen {e_frozen:.3}",
+            shape.name()
+        );
+        if matches!(shape, WorkloadShape::Uniform | WorkloadShape::Bursty) {
+            let (learned, _) = drift_run(shape, Some(Arc::new(LearnedPredictor::default())));
+            let e_learned = mean_rel_err(&learned, onset);
+            assert!(
+                e_learned < e_frozen * 0.8,
+                "{}: learned {e_learned:.3} vs frozen {e_frozen:.3}",
+                shape.name()
+            );
+        }
+    }
+}
+
+/// Rebuild the deployment a ledger sample was priced against, from the
+/// grid's nominal description (the frozen feedback loop means nominal
+/// bandwidth is exactly what placement priced at).
+fn sample_deployment<'a>(grid: &'a GridSpec, repo_name: &str, config: &str) -> DeploymentRef<'a> {
+    let repo = grid
+        .repos
+        .iter()
+        .find(|r| r.site.name == repo_name)
+        .expect("ledger repo exists in the grid");
+    let (n, c) = config.split_once('-').expect("n-c config label");
+    DeploymentRef {
+        repository: &repo.site,
+        compute: &grid.sites[0].site,
+        stream_bw: repo.wan.stream_bw,
+        config: Configuration::new(n.parse().unwrap(), c.parse().unwrap()),
+        cache: None,
+    }
+}
+
+/// Learning is monotone: replaying the frozen run's ledger corpus into
+/// a fresh hybrid predictor — open loop, so the fixed placements can't
+/// feed back into what gets observed — its error over the post-onset
+/// evaluation set never degrades at any checkpoint and ends well below
+/// the untrained (= analytical) starting point.
+#[test]
+fn hybrid_error_improves_as_samples_accumulate() {
+    let (frozen, onset) = drift_run(WorkloadShape::Uniform, None);
+    let ledger = &frozen.telemetry.as_ref().expect("telemetry armed").ledger;
+    // Ingestion order == completion order: the corpus replays in the
+    // exact order the live run would have observed it.
+    let corpus = ledger.tail(ledger.total() as usize);
+    let grid = GridSpec::demo(sched_models());
+
+    let eval_set: Vec<_> = corpus.iter().filter(|s| s.finish > onset).collect();
+    assert!(eval_set.len() > 50, "drift run too small: {}", eval_set.len());
+    let eval = |p: &dyn Predictor| -> f64 {
+        let errs: Vec<f64> = eval_set
+            .iter()
+            .map(|s| {
+                let (_, model) = grid
+                    .apps
+                    .iter()
+                    .find(|(name, _)| *name == s.app)
+                    .expect("ledger app exists in the grid");
+                let d = sample_deployment(&grid, &s.repo, &s.config);
+                let pred = p
+                    .predict_deployment(
+                        &model.profile,
+                        model.classes,
+                        d,
+                        s.dataset_bytes,
+                        &grid.factors,
+                    )
+                    .expect("grid deployments are predictable");
+                let obs: f64 = s.observed.iter().sum();
+                (obs - pred.total()).abs() / obs
+            })
+            .collect();
+        errs.iter().sum::<f64>() / errs.len() as f64
+    };
+
+    let hybrid = HybridPredictor::default();
+    let mut checkpoints = vec![eval(&hybrid)];
+    let stride = corpus.len().div_ceil(8);
+    for (i, s) in corpus.iter().enumerate() {
+        let d = sample_deployment(&grid, &s.repo, &s.config);
+        hybrid.observe(&Observation {
+            app: s.app.clone(),
+            repo: s.repo.clone(),
+            data_nodes: d.config.data_nodes,
+            compute_nodes: d.config.compute_nodes,
+            wan_bw: d.stream_bw,
+            dataset_bytes: s.dataset_bytes,
+            predicted: s.predicted,
+            observed: s.observed,
+        });
+        if (i + 1) % stride == 0 || i + 1 == corpus.len() {
+            checkpoints.push(eval(&hybrid));
+        }
+    }
+    let start = checkpoints[0];
+    let end = *checkpoints.last().unwrap();
+    for pair in checkpoints.windows(2) {
+        assert!(
+            pair[1] <= pair[0] + 0.02 * start,
+            "error degraded between checkpoints: {checkpoints:?}"
+        );
+    }
+    assert!(
+        end < start * 0.6,
+        "training closed too little of the gap: start {start:.3}, end {end:.3}"
+    );
+}
+
+/// Dump → replay → dump is a byte fixpoint for both predictors, using
+/// models trained by a real run (not synthetic observations), and the
+/// replayed model predicts identically inside a fresh scheduler.
+#[test]
+fn run_trained_models_round_trip_through_jsonl() {
+    let hybrid = Arc::new(HybridPredictor::default());
+    drift_run(WorkloadShape::Uniform, Some(hybrid.clone()));
+    let dump = hybrid.dump_jsonl();
+    let replayed = HybridPredictor::replay_jsonl(&dump).expect("replay");
+    assert_eq!(replayed.dump_jsonl(), dump, "hybrid dump is not a fixpoint");
+
+    let learned = Arc::new(LearnedPredictor::default());
+    drift_run(WorkloadShape::Uniform, Some(learned.clone()));
+    assert!(learned.trained_keys() > 0, "the drift run must train at least one key");
+    let dump = learned.dump_jsonl();
+    let replayed = LearnedPredictor::replay_jsonl(&dump).expect("replay");
+    assert_eq!(replayed.dump_jsonl(), dump, "learned dump is not a fixpoint");
+
+    // A replayed model is a drop-in: rerunning the same workload
+    // through the replayed predictor matches rerunning it through a
+    // fresh clone trained the same way (both start from the same
+    // state; determinism does the rest).
+    let jobs = workload_jobs(WorkloadShape::Uniform);
+    let run = |p: Arc<dyn Predictor>| {
+        Scheduler::new(GridSpec::demo(sched_models()), Policy::Fcfs)
+            .with_ewma_alpha(FROZEN_ALPHA)
+            .with_predictor(p)
+            .run(&jobs)
+    };
+    let a = run(Arc::new(LearnedPredictor::replay_jsonl(&dump).expect("replay")));
+    let b = run(Arc::new(LearnedPredictor::replay_jsonl(&dump).expect("replay")));
+    assert_eq!(a.outcomes, b.outcomes);
+    assert_eq!(a.makespan.to_bits(), b.makespan.to_bits());
+}
+
+/// The guard-rail, structurally: whatever a run taught the learned
+/// model, every prediction stays within a factor of `trust` (2.0) of
+/// the analytical anchor — so a job the analytical model would reject
+/// as more than 2x over budget can never be admitted on the learned
+/// model's say-so.
+#[test]
+fn learned_predictions_never_leave_the_trust_region() {
+    use freeride_g::predict::{try_predict_deployment, AnalyticalPredictor};
+    let learned = Arc::new(LearnedPredictor::default());
+    drift_run(WorkloadShape::HeavyTail, Some(learned.clone()));
+    assert!(learned.trained_keys() > 0);
+
+    // Probe every (app, repo, site, config, size) the demo grid can
+    // express, at nominal and degraded bandwidths.
+    let grid = GridSpec::demo(sched_models());
+    let trust = learned.config().trust;
+    let mut probed = 0usize;
+    for (app, model) in &grid.apps {
+        for repo in &grid.repos {
+            for site in &grid.sites {
+                for &(n, c) in &[(1usize, 2usize), (2, 4), (4, 8), (8, 16)] {
+                    for &bw_scale in &[1.0, 0.15] {
+                        for &bytes in &[64u64 << 20, 400 << 20, 1600 << 20] {
+                            let d = freeride_g::cluster::DeploymentRef {
+                                repository: &repo.site,
+                                compute: &site.site,
+                                stream_bw: repo.wan.stream_bw * bw_scale,
+                                config: freeride_g::cluster::Configuration::new(n, c),
+                                cache: None,
+                            };
+                            let Ok(a) = try_predict_deployment(
+                                &model.profile,
+                                model.classes,
+                                d,
+                                bytes,
+                                &grid.factors,
+                            ) else {
+                                continue;
+                            };
+                            let l = learned
+                                .predict_deployment(
+                                    &model.profile,
+                                    model.classes,
+                                    d,
+                                    bytes,
+                                    &grid.factors,
+                                )
+                                .expect("predictable for analytical ⇒ predictable for learned");
+                            let anchor = AnalyticalPredictor
+                                .predict_deployment(
+                                    &model.profile,
+                                    model.classes,
+                                    d,
+                                    bytes,
+                                    &grid.factors,
+                                )
+                                .unwrap();
+                            assert_eq!(anchor.total().to_bits(), a.total().to_bits());
+                            for (lv, av) in [
+                                (l.t_disk, a.t_disk),
+                                (l.t_network, a.t_network),
+                                (l.t_compute, a.t_compute),
+                            ] {
+                                assert!(
+                                    lv <= av * trust + 1e-9 && lv >= av / trust - 1e-9,
+                                    "{app}: learned {lv} outside [{}, {}]",
+                                    av / trust,
+                                    av * trust
+                                );
+                            }
+                            probed += 1;
+                        }
+                    }
+                }
+            }
+        }
+    }
+    assert!(probed > 500, "probe sweep unexpectedly small: {probed}");
+}

@@ -121,7 +121,15 @@ fn check_engine(mut engine: PlacementEngine, grid: &GridSpec, queries: &[Query],
                 .map(|(si, s)| free_cmp_sel[si % free_cmp_sel.len()].min(s.site.max_nodes))
                 .collect(),
         );
-        let fast = engine.best_placement(grid, app_name, bytes, &free, &bw, quota_cap);
+        let fast = engine.best_placement(
+            &freeride_g::predict::AnalyticalPredictor,
+            grid,
+            app_name,
+            bytes,
+            &free,
+            &bw,
+            quota_cap,
+        );
         let naive =
             naive_best_placement(grid, model, bytes, free.data(), free.cmp(), &bw, quota_cap);
         assert_eq!(
@@ -178,7 +186,15 @@ fn saturated_grid_answers_none_like_the_scan() {
     let free = FreeSlices::new(vec![8, 8], vec![0, 0]);
     let bw: Vec<f64> = grid.repos.iter().map(|r| r.wan.stream_bw).collect();
     let (name, model) = &grid.apps[0];
-    let fast = engine.best_placement(&grid, name, 200 << 20, &free, &bw, None);
+    let fast = engine.best_placement(
+        &freeride_g::predict::AnalyticalPredictor,
+        &grid,
+        name,
+        200 << 20,
+        &free,
+        &bw,
+        None,
+    );
     let naive = naive_best_placement(&grid, model, 200 << 20, free.data(), free.cmp(), &bw, None);
     assert_eq!(fast, naive);
     assert_eq!(fast, None);
@@ -193,7 +209,15 @@ fn impossible_quota_cap_answers_none_like_the_scan() {
     let free = FreeSlices::new(vec![8, 8], vec![16, 8]);
     let bw: Vec<f64> = grid.repos.iter().map(|r| r.wan.stream_bw).collect();
     let (name, model) = &grid.apps[0];
-    let fast = engine.best_placement(&grid, name, 200 << 20, &free, &bw, Some(0));
+    let fast = engine.best_placement(
+        &freeride_g::predict::AnalyticalPredictor,
+        &grid,
+        name,
+        200 << 20,
+        &free,
+        &bw,
+        Some(0),
+    );
     let naive =
         naive_best_placement(&grid, model, 200 << 20, free.data(), free.cmp(), &bw, Some(0));
     assert_eq!(fast, naive);
